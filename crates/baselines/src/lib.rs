@@ -1,0 +1,46 @@
+//! Reimplementations of the two state-of-the-art competitors the B-Side
+//! paper evaluates against (§3, §5): **SysFilter** (DeMarinis et al.,
+//! RAID '20) and **Chestnut** (Canella et al., CCSW '21).
+//!
+//! These are *algorithmic* reimplementations built from the papers'
+//! descriptions and the B-Side paper's characterization, including their
+//! documented limitations — which is the point: the evaluation compares
+//! B-Side's precision against exactly these behaviours.
+//!
+//! | property | SysFilter | Chestnut |
+//! |---|---|---|
+//! | value tracking | intra-procedural use-define chains | 30-instruction backward `mov`/`xor` window |
+//! | memory flows (Fig. 1 C) | missed → FN | missed → unresolved |
+//! | wrappers (Fig. 2 B) | missed → FN | hardcoded glibc `syscall` only |
+//! | unresolved site | dropped (FN) | fallback to a ~270-call allow-list |
+//! | non-PIC static binaries | rejected | fails when a site is unresolved |
+//! | reachability pruning | none (all sites, all linked objects) | none |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chestnut;
+pub mod sysfilter;
+
+use std::fmt;
+
+/// Why a baseline failed on a binary (the failure rows of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The tool rejects this class of binary outright.
+    Unsupported(&'static str),
+    /// The analysis ran but could not produce a usable result.
+    AnalysisFailed(&'static str),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Unsupported(what) => write!(f, "unsupported input: {what}"),
+            BaselineError::AnalysisFailed(what) => write!(f, "analysis failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,145 @@
+//! Criterion benchmarks over the analysis pipeline, including the
+//! ablations DESIGN.md calls out:
+//!
+//! * `disasm` — raw decoder throughput;
+//! * `cfg_recovery` — plain vs. *active* address-taken (the §4.3
+//!   refinement);
+//! * `identification` — full pipeline with the wrapper heuristic on vs.
+//!   off (the §4.4 heuristic; "off" explores more and over-approximates);
+//! * `phase_methods` — automaton-based phase detection vs. the naive
+//!   CFG-navigation method (the §4.7 cost comparison: 41 s vs 700 s in
+//!   the paper's setting);
+//! * `end_to_end` — whole-binary analysis across the app profiles.
+
+use bside::cfg::{Cfg, CfgOptions, FunctionSym, IndirectResolution};
+use bside::core::phase::{detect_phases, detect_phases_naive, PhaseOptions};
+use bside::core::{Analyzer, AnalyzerOptions};
+use bside::gen::profiles::{all_profiles, hello_world, nginx};
+use bside::x86::decode_all;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+
+fn functions_of(elf: &bside::elf::Elf) -> Vec<FunctionSym> {
+    elf.function_symbols()
+        .into_iter()
+        .map(|s| FunctionSym { name: s.name.clone(), entry: s.value, size: s.size })
+        .collect()
+}
+
+fn bench_disasm(c: &mut Criterion) {
+    let profile = nginx();
+    let (text, vaddr) = profile.program.elf.text().expect(".text");
+    let mut group = c.benchmark_group("disasm");
+    group.throughput(criterion::Throughput::Bytes(text.len() as u64));
+    group.bench_function("decode_all/nginx", |b| {
+        b.iter(|| decode_all(std::hint::black_box(text), vaddr))
+    });
+    group.finish();
+}
+
+fn bench_cfg_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfg_recovery");
+    for profile in [hello_world(), nginx()] {
+        let elf = &profile.program.elf;
+        let (text, vaddr) = elf.text().expect(".text");
+        let funcs = functions_of(elf);
+        let entry = elf.entry_point();
+        for (label, indirect) in [
+            ("active_ataken", IndirectResolution::ActiveAddressTaken),
+            ("plain_ataken", IndirectResolution::AddressTaken),
+            ("none", IndirectResolution::None),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, profile.name),
+                &indirect,
+                |b, &indirect| {
+                    b.iter(|| {
+                        Cfg::build(text, vaddr, &[entry], &funcs, &CfgOptions { indirect })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identification");
+    group.sample_size(20);
+    let profile = nginx();
+    for (label, detect_wrappers) in [("wrappers_on", true), ("wrappers_off", false)] {
+        group.bench_function(label, |b| {
+            let analyzer = Analyzer::new(AnalyzerOptions {
+                detect_wrappers,
+                ..AnalyzerOptions::default()
+            });
+            b.iter(|| analyzer.analyze_static(&profile.program.elf).expect("analyzes"))
+        });
+    }
+    // Directed vs undirected forward search (the §4.4 optimization).
+    // Undirected may exhaust its budget (the paper's timeout case) — the
+    // measured cost of reaching that verdict is exactly the comparison.
+    for (label, undirected) in [("directed", false), ("undirected", true)] {
+        group.bench_function(label, |b| {
+            let analyzer = Analyzer::new(AnalyzerOptions {
+                limits: bside::symex::Limits {
+                    undirected,
+                    ..bside::symex::Limits::default()
+                },
+                ..AnalyzerOptions::default()
+            });
+            b.iter(|| {
+                let _ = std::hint::black_box(analyzer.analyze_static(&profile.program.elf));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_methods");
+    group.sample_size(20);
+    for profile in [hello_world(), nginx()] {
+        let analyzer = Analyzer::new(AnalyzerOptions::default());
+        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let site_sets: HashMap<u64, bside::SyscallSet> =
+            analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("automaton", profile.name),
+            &(),
+            |b, ()| {
+                b.iter(|| detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_navigation", profile.name),
+            &(),
+            |b, ()| b.iter(|| detect_phases_naive(&analysis.cfg, &site_sets)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for profile in all_profiles() {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_static", profile.name),
+            &profile,
+            |b, profile| b.iter(|| analyzer.analyze_static(&profile.program.elf).expect("ok")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disasm,
+    bench_cfg_recovery,
+    bench_identification,
+    bench_phase_methods,
+    bench_end_to_end
+);
+criterion_main!(benches);

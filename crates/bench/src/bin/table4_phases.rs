@@ -1,0 +1,72 @@
+//! Table 4: the nginx phase matrix — for each (source, destination) phase
+//! pair, the number of system calls allowed in the source that trigger
+//! the transition; per-phase totals (strictness) and code size; and the
+//! derived strictness gain of phase-based filtering.
+//!
+//! Paper shape: two phase classes — small strict phases (single-syscall,
+//! a few bytes) and large permissive phases (~85-89 % of the program's
+//! syscalls, hundreds of KB); phase-based filtering is 11-15 % stricter
+//! than a whole-program allow-list on average.
+
+use bside::core::phase::{detect_phases, PhaseOptions};
+use bside::core::{Analyzer, AnalyzerOptions};
+use bside::gen::profiles::all_profiles;
+use bside_bench::print_table;
+use std::collections::HashMap;
+
+fn main() {
+    // The paper prints the matrix for nginx and reports similar numbers
+    // for the other apps; we print nginx's matrix and every app's summary.
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+
+    for profile in all_profiles() {
+        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let site_sets: HashMap<u64, bside::SyscallSet> =
+            analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+        let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
+        let total = analysis.syscalls.len();
+
+        if profile.name == "nginx" {
+            println!("Table 4 — nginx phase matrix (cells: #syscalls triggering the transition)\n");
+            let n = automaton.phases.len();
+            let label = |id: usize| {
+                let c = (b'A' + (id % 26) as u8) as char;
+                if id < 26 { format!("{c}") } else { format!("{c}{}", id / 26) }
+            };
+            let mut headers: Vec<String> = vec!["src".into()];
+            headers.extend((0..n).map(label));
+            headers.push(format!("Total (/{total})"));
+            headers.push("Size (B)".into());
+            let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+            let mut rows = Vec::new();
+            for p in &automaton.phases {
+                let mut row = vec![label(p.id)];
+                for to in 0..n {
+                    row.push(match p.transitions.get(&to) {
+                        Some(labels) => labels.len().to_string(),
+                        None => "-".into(),
+                    });
+                }
+                row.push(p.allowed().len().to_string());
+                row.push(p.code_bytes.to_string());
+                rows.push(row);
+            }
+            print_table(&headers_ref, &rows);
+            println!();
+        }
+
+        let gain = automaton.strictness_gain(&analysis.syscalls);
+        println!(
+            "{:<10} phases: {:>3}   dfa states: {:>4}   size-weighted strictness gain: {:>5.1}%",
+            profile.name,
+            automaton.phases.len(),
+            automaton.dfa_states,
+            100.0 * gain
+        );
+    }
+
+    println!();
+    println!("paper: nginx has 15 phases; large phases allow 79-83 of 93 syscalls;");
+    println!("       phase-based filtering is ~11-15% stricter than whole-program.");
+}

@@ -1,0 +1,170 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every `src/bin/*.rs` in this crate regenerates one table or figure of
+//! the B-Side paper (see `DESIGN.md` §4 for the index). This library
+//! holds what they share: running all three tools over a binary,
+//! aggregating per-tool outcomes, and a plain-text table printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bside::core::{AnalysisError, Analyzer, AnalyzerOptions, LibraryStore};
+use bside::gen::corpus::{Corpus, CorpusBinary};
+use bside::gen::GeneratedLibrary;
+use bside::syscalls::SyscallSet;
+
+/// The three compared tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// This implementation.
+    BSide,
+    /// The Chestnut baseline.
+    Chestnut,
+    /// The SysFilter baseline.
+    SysFilter,
+}
+
+impl Tool {
+    /// All tools, in the paper's presentation order.
+    pub const ALL: [Tool; 3] = [Tool::BSide, Tool::Chestnut, Tool::SysFilter];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::BSide => "B-Side",
+            Tool::Chestnut => "Chestnut",
+            Tool::SysFilter => "SysFilter",
+        }
+    }
+}
+
+/// One tool's outcome on one binary.
+pub type ToolOutcome = Result<SyscallSet, String>;
+
+/// Runs one tool over a program and its (generated) libraries.
+pub fn run_tool(
+    tool: Tool,
+    binary: &CorpusBinary,
+    libs: &[&GeneratedLibrary],
+    store: &LibraryStore,
+) -> ToolOutcome {
+    let elf = &binary.program.elf;
+    match tool {
+        Tool::BSide => {
+            let analyzer = Analyzer::new(AnalyzerOptions::default());
+            let result = if binary.lib_names.is_empty() {
+                analyzer.analyze_static(elf)
+            } else {
+                analyzer.analyze_dynamic(elf, store, &[])
+            };
+            result.map(|a| a.syscalls).map_err(|e| e.to_string())
+        }
+        Tool::Chestnut => {
+            let lib_elfs: Vec<&bside::elf::Elf> = libs.iter().map(|l| &l.elf).collect();
+            bside::baselines::chestnut::analyze(elf, &lib_elfs).map_err(|e| e.to_string())
+        }
+        Tool::SysFilter => {
+            let lib_elfs: Vec<&bside::elf::Elf> = libs.iter().map(|l| &l.elf).collect();
+            bside::baselines::sysfilter::analyze(elf, &lib_elfs).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Builds the shared-interface store for a corpus (each library analyzed
+/// once, §4.5).
+pub fn build_store(corpus: &Corpus) -> Result<LibraryStore, AnalysisError> {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let mut store = LibraryStore::new();
+    for lib in &corpus.libraries {
+        let interface = analyzer.analyze_library(&lib.elf, &lib.spec.name, None)?;
+        store.insert(interface);
+    }
+    Ok(store)
+}
+
+/// Per-tool aggregate over a corpus (one Table 2 block).
+#[derive(Debug, Default, Clone)]
+pub struct Aggregate {
+    /// Binaries analyzed successfully.
+    pub successes: usize,
+    /// Binaries the tool failed on.
+    pub failures: usize,
+    /// Identified-set sizes of the successes.
+    pub sizes: Vec<usize>,
+}
+
+impl Aggregate {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: &ToolOutcome) {
+        match outcome {
+            Ok(set) => {
+                self.successes += 1;
+                self.sizes.push(set.len());
+            }
+            Err(_) => self.failures += 1,
+        }
+    }
+
+    /// Average identified-set size over successes.
+    pub fn avg_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        self.sizes.iter().sum::<usize>() as f64 / self.sizes.len() as f64
+    }
+
+    /// Success rate in percent.
+    pub fn success_pct(&self) -> f64 {
+        let total = self.successes + self.failures;
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.successes as f64 / total as f64
+    }
+}
+
+/// Renders rows as a fixed-width text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Reads the corpus scale from `BSIDE_CORPUS_SCALE` (percent of the full
+/// 557-binary corpus; default 100). Lets CI run quick smoke passes with
+/// `BSIDE_CORPUS_SCALE=10` without changing the harness.
+pub fn corpus_scale() -> usize {
+    std::env::var("BSIDE_CORPUS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0 && v <= 100)
+        .unwrap_or(100)
+}
+
+/// Builds the Table 2 corpus at the configured scale.
+pub fn scaled_corpus() -> Corpus {
+    let scale = corpus_scale();
+    bside::gen::corpus::corpus_with_size(
+        bside::gen::corpus::DEFAULT_SEED,
+        231 * scale / 100,
+        326 * scale / 100,
+        59 * scale.max(10) / 100,
+    )
+}

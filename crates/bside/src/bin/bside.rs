@@ -1,0 +1,205 @@
+//! The `bside` command-line tool: analyze x86-64 ELF binaries, emit
+//! policies and shared interfaces, detect execution phases.
+//!
+//! ```text
+//! bside analyze <elf> [--lib NAME=PATH]... [--store DIR] [--policy] [--bpf] [--sites]
+//! bside interface <lib.so> [--name NAME]
+//! bside phases <elf> [--back-propagate]
+//! bside demo <out-dir>
+//! ```
+
+use bside::core::phase::{detect_phases, PhaseOptions};
+use bside::core::{Analyzer, AnalyzerOptions, LibraryStore};
+use bside::filter::FilterPolicy;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("interface") => cmd_interface(&args[1..]),
+        Some("phases") => cmd_phases(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprintln!("usage:");
+            eprintln!("  bside analyze <elf> [--lib NAME=PATH]... [--store DIR] [--policy] [--bpf] [--sites]");
+            eprintln!("  bside interface <lib.so> [--name NAME]");
+            eprintln!("  bside phases <elf> [--back-propagate]");
+            eprintln!("  bside demo <out-dir>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_elf(path: &str) -> Result<bside::elf::Elf, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(bside::elf::Elf::parse(&bytes).map_err(|e| format!("parsing {path}: {e}"))?)
+}
+
+fn cmd_analyze(args: &[String]) -> CmdResult {
+    let mut path = None;
+    let mut libs: Vec<(String, String)> = Vec::new();
+    let mut store_dir: Option<String> = None;
+    let mut want_policy = false;
+    let mut want_bpf = false;
+    let mut want_sites = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--lib" => {
+                let spec = it.next().ok_or("--lib needs NAME=PATH")?;
+                let (name, libpath) =
+                    spec.split_once('=').ok_or("--lib argument must be NAME=PATH")?;
+                libs.push((name.to_string(), libpath.to_string()));
+            }
+            "--store" => store_dir = Some(it.next().ok_or("--store needs DIR")?.clone()),
+            "--policy" => want_policy = true,
+            "--bpf" => want_bpf = true,
+            "--sites" => want_sites = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let path = path.ok_or("missing <elf> argument")?;
+    let elf = load_elf(&path)?;
+
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analysis = if elf.needed_libraries().is_empty() {
+        analyzer.analyze_static(&elf)?
+    } else {
+        // Load cached interfaces (the §4.5 once-per-library phase) and
+        // analyze whatever is still missing.
+        let mut store = match &store_dir {
+            Some(dir) if std::path::Path::new(dir).exists() => {
+                LibraryStore::load_from_dir(std::path::Path::new(dir))?
+            }
+            _ => LibraryStore::new(),
+        };
+        for (name, libpath) in &libs {
+            if !store.contains(name) {
+                let lib_elf = load_elf(libpath)?;
+                store.insert(analyzer.analyze_library(&lib_elf, name, None)?);
+            }
+        }
+        if let Some(dir) = &store_dir {
+            store.save_to_dir(std::path::Path::new(dir))?;
+        }
+        analyzer.analyze_dynamic(&elf, &store, &[])?
+    };
+
+    eprintln!(
+        "# {} syscall(s), {} site(s), {} wrapper(s), precise: {}",
+        analysis.syscalls.len(),
+        analysis.sites.len(),
+        analysis.wrappers.len(),
+        analysis.precise
+    );
+    if want_sites {
+        for site in &analysis.sites {
+            println!(
+                "site {:#x} ({}) [{:?}]: {}",
+                site.site,
+                site.function.as_deref().unwrap_or("?"),
+                site.outcome,
+                site.syscalls
+            );
+        }
+    }
+    if want_bpf {
+        let policy = FilterPolicy::allow_only(path.clone(), analysis.syscalls);
+        print!("{}", bside::filter::bpf::BpfProgram::from_policy(&policy).listing());
+    } else if want_policy {
+        let policy = FilterPolicy::allow_only(path, analysis.syscalls);
+        println!("{}", policy.to_json());
+    } else {
+        for sysno in &analysis.syscalls {
+            println!("{:>3} {}", sysno.raw(), sysno);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_interface(args: &[String]) -> CmdResult {
+    let mut path = None;
+    let mut name = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let path = path.ok_or("missing <lib.so> argument")?;
+    let elf = load_elf(&path)?;
+    let lib_name = name.unwrap_or_else(|| {
+        std::path::Path::new(&path)
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or(path.clone())
+    });
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let interface = analyzer.analyze_library(&elf, &lib_name, None)?;
+    println!("{}", interface.to_json());
+    Ok(())
+}
+
+fn cmd_phases(args: &[String]) -> CmdResult {
+    let mut path = None;
+    let mut back_propagate = false;
+    for arg in args {
+        match arg.as_str() {
+            "--back-propagate" => back_propagate = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let path = path.ok_or("missing <elf> argument")?;
+    let elf = load_elf(&path)?;
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analysis = analyzer.analyze_static(&elf)?;
+    let site_sets: HashMap<u64, bside::SyscallSet> =
+        analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+    let mut automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
+    if back_propagate {
+        automaton.back_propagate();
+    }
+    eprintln!(
+        "# {} phases from {} DFA states; whole-program set: {} syscalls; gain {:.1}%",
+        automaton.phases.len(),
+        automaton.dfa_states,
+        analysis.syscalls.len(),
+        100.0 * automaton.strictness_gain(&analysis.syscalls)
+    );
+    for phase in &automaton.phases {
+        println!(
+            "phase {:>3}: {:>3} syscalls, {:>6} bytes, {} transition target(s)",
+            phase.id,
+            phase.allowed().len(),
+            phase.code_bytes,
+            phase.transitions.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> CmdResult {
+    let out = args.first().ok_or("missing <out-dir> argument")?;
+    std::fs::create_dir_all(out)?;
+    for profile in bside::gen::profiles::all_profiles() {
+        let path = format!("{out}/{}", profile.name);
+        std::fs::write(&path, &profile.program.image)?;
+        eprintln!("wrote {path} ({} bytes)", profile.program.image.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # B-Side: binary-level static system call identification
+//!
+//! A complete Rust implementation of
+//! *B-Side: Binary-Level Static System Call Identification*
+//! (Thévenon et al., MIDDLEWARE 2024): a static binary-analysis framework
+//! that identifies a precise superset of the system calls an x86-64 ELF
+//! executable can invoke — with no access to source code — and derives
+//! seccomp-style (optionally phase-based) filtering policies from it.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`syscalls`] | `bside-syscalls` | syscall table, [`SyscallSet`], CVE database |
+//! | [`elf`] | `bside-elf` | ELF64 reader/writer |
+//! | [`x86`] | `bside-x86` | decoder, assembler, concrete interpreter |
+//! | [`mod@cfg`] | `bside-cfg` | CFG recovery, active address-taken heuristic |
+//! | [`symex`] | `bside-symex` | backward-BFS + directed symbolic execution |
+//! | [`core`] | `bside-core` | the analysis pipeline, wrappers, shared interfaces, phases |
+//! | [`baselines`] | `bside-baselines` | Chestnut / SysFilter reimplementations |
+//! | [`gen`] | `bside-gen` | synthetic ground-truth corpus generator |
+//! | [`filter`] | `bside-filter` | policies, metrics, replay, CVE evaluation |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bside::{Analyzer, AnalyzerOptions, FilterPolicy};
+//!
+//! // Generate a demo binary (in real use: read any x86-64 ELF from disk).
+//! let program = bside::gen::profiles::lighttpd().program;
+//!
+//! // Identify its system calls.
+//! let analysis = Analyzer::new(AnalyzerOptions::default())
+//!     .analyze_static(&program.elf)?;
+//!
+//! // Derive a seccomp-style allow-list.
+//! let policy = FilterPolicy::allow_only("lighttpd", analysis.syscalls);
+//! assert!(policy.permits(bside::syscalls::well_known::READ));
+//! assert!(!policy.permits(bside::syscalls::well_known::EXECVE));
+//! # Ok::<(), bside::core::AnalysisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bside_baselines as baselines;
+pub use bside_cfg as cfg;
+pub use bside_core as core;
+pub use bside_elf as elf;
+pub use bside_filter as filter;
+pub use bside_gen as gen;
+pub use bside_symex as symex;
+pub use bside_syscalls as syscalls;
+pub use bside_x86 as x86;
+
+pub use bside_core::{Analyzer, AnalyzerOptions, BinaryAnalysis, LibraryStore, SharedInterface};
+pub use bside_filter::{FilterPolicy, PhasePolicy};
+pub use bside_syscalls::{Sysno, SyscallSet};

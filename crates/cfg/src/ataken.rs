@@ -1,0 +1,126 @@
+//! Address-taken scanning (§4.3).
+//!
+//! An *address taken* is a code address used as the operand of an
+//! address-forming instruction — on x86-64, `lea reg, [rip+disp]` in PIC
+//! code, or an immediate code address moved into a register in non-PIC
+//! code. These mark function-pointer creation sites; the CFG heuristic
+//! resolves every indirect branch to the set of addresses taken.
+
+use crate::blocks::BasicBlock;
+use crate::lea_target;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Scans every decoded block for addresses taken that land inside the
+/// text range (SysFilter's plain variant).
+pub(crate) fn scan(
+    blocks: &BTreeMap<u64, BasicBlock>,
+    base: u64,
+    text_len: u64,
+) -> BTreeSet<u64> {
+    scan_filtered(blocks.values(), base, text_len)
+}
+
+/// Scans only blocks in `reachable` (B-Side's *active* variant).
+pub(crate) fn scan_reachable(
+    blocks: &BTreeMap<u64, BasicBlock>,
+    reachable: &BTreeSet<u64>,
+    base: u64,
+    text_len: u64,
+) -> BTreeSet<u64> {
+    scan_filtered(
+        reachable.iter().filter_map(|s| blocks.get(s)),
+        base,
+        text_len,
+    )
+}
+
+fn scan_filtered<'a>(
+    blocks: impl Iterator<Item = &'a BasicBlock>,
+    base: u64,
+    text_len: u64,
+) -> BTreeSet<u64> {
+    let end = base + text_len;
+    let mut taken = BTreeSet::new();
+    for block in blocks {
+        for insn in &block.insns {
+            if let Some(target) = lea_target(insn) {
+                if target >= base && target < end {
+                    taken.insert(target);
+                }
+            }
+        }
+    }
+    taken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::disassemble;
+    use bside_x86::{Assembler, Reg};
+
+    #[test]
+    fn lea_of_code_address_is_taken() {
+        let mut a = Assembler::new(0x1000);
+        let f = a.new_label();
+        a.lea_riplabel(Reg::Rdi, f);
+        a.ret();
+        a.bind(f).unwrap();
+        a.ret();
+        let code = a.finish().unwrap();
+        let len = code.len() as u64;
+        let blocks = disassemble(&code, 0x1000, &[0x1000].into_iter().collect());
+        let taken = scan(&blocks, 0x1000, len);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken.iter().next(), Some(&0x1008)); // lea(7) + ret(1)
+    }
+
+    #[test]
+    fn lea_of_data_address_is_not_taken() {
+        let mut a = Assembler::new(0x1000);
+        let data = a.new_label();
+        a.bind_at(data, 0x20_0000).unwrap(); // outside text
+        a.lea_riplabel(Reg::Rdi, data);
+        a.ret();
+        let code = a.finish().unwrap();
+        let len = code.len() as u64;
+        let blocks = disassemble(&code, 0x1000, &[0x1000].into_iter().collect());
+        assert!(scan(&blocks, 0x1000, len).is_empty());
+    }
+
+    #[test]
+    fn movabs_code_immediate_is_taken() {
+        // Non-PIC function pointer: movabs rdi, 0x1005.
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm64(Reg::Rdi, 0x100b);
+        a.ret();
+        a.ret(); // 0x100b
+        let code = a.finish().unwrap();
+        let len = code.len() as u64;
+        let blocks = disassemble(&code, 0x1000, &[0x1000].into_iter().collect());
+        let taken = scan(&blocks, 0x1000, len);
+        assert!(taken.contains(&0x100b));
+    }
+
+    #[test]
+    fn reachable_scan_ignores_dead_blocks() {
+        let mut a = Assembler::new(0x1000);
+        let f = a.new_label();
+        let dead = a.new_label();
+        a.ret(); // entry block: no lea
+        a.bind(dead).unwrap();
+        a.lea_riplabel(Reg::Rdi, f); // dead code holding the only lea
+        a.ret();
+        a.bind(f).unwrap();
+        a.ret();
+        let code = a.finish().unwrap();
+        let len = code.len() as u64;
+        let blocks =
+            disassemble(&code, 0x1000, &[0x1000, 0x1001].into_iter().collect());
+        let all = scan(&blocks, 0x1000, len);
+        assert_eq!(all.len(), 1, "plain scan sees the dead lea");
+        let reachable: BTreeSet<u64> = [0x1000].into_iter().collect();
+        let active = scan_reachable(&blocks, &reachable, 0x1000, len);
+        assert!(active.is_empty(), "active scan does not");
+    }
+}

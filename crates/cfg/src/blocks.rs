@@ -1,0 +1,234 @@
+//! Basic-block discovery by recursive-traversal disassembly.
+
+use bside_x86::{decode, Instruction, Op};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A maximal straight-line run of instructions: entered only at the top,
+/// left only at the bottom.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// The instructions, in address order. Never empty.
+    pub insns: Vec<Instruction>,
+}
+
+impl BasicBlock {
+    /// Address one past the last instruction.
+    pub fn end(&self) -> u64 {
+        self.insns.last().map(|i| i.end()).unwrap_or(self.start)
+    }
+
+    /// Size of the block in bytes (used for the phase-size column of
+    /// Table 4).
+    pub fn byte_size(&self) -> u64 {
+        self.end() - self.start
+    }
+
+    /// The final instruction.
+    pub fn terminator(&self) -> &Instruction {
+        self.insns.last().expect("blocks are never empty")
+    }
+
+    /// `true` if the block contains a `syscall` instruction.
+    pub fn has_syscall(&self) -> bool {
+        self.insns.iter().any(|i| matches!(i.op, Op::Syscall))
+    }
+}
+
+/// Disassembles `code` (loaded at `base`) starting from every root,
+/// following direct control flow, and splits blocks at every discovered
+/// leader (branch target or post-branch address).
+pub(crate) fn disassemble(code: &[u8], base: u64, roots: &BTreeSet<u64>) -> BTreeMap<u64, BasicBlock> {
+    let end = base + code.len() as u64;
+    let in_range = |addr: u64| addr >= base && addr < end;
+
+    // Pass 1: discover instructions and leaders.
+    let mut insn_at: BTreeMap<u64, Instruction> = BTreeMap::new();
+    let mut leaders: BTreeSet<u64> = BTreeSet::new();
+    let mut worklist: Vec<u64> = roots.iter().copied().filter(|&a| in_range(a)).collect();
+    leaders.extend(worklist.iter().copied());
+
+    while let Some(start) = worklist.pop() {
+        let mut addr = start;
+        loop {
+            if !in_range(addr) {
+                break;
+            }
+            if insn_at.contains_key(&addr) {
+                break; // already visited this run
+            }
+            let off = (addr - base) as usize;
+            let Ok(insn) = decode(&code[off..], addr) else {
+                break; // undecodable: stop this run
+            };
+            insn_at.insert(addr, insn);
+
+            // Control flow handling.
+            match insn.op {
+                Op::Jmp(_) | Op::Ret | Op::Ud2 | Op::Hlt => {
+                    if let Some(t) = insn.branch_target() {
+                        if in_range(t) {
+                            leaders.insert(t);
+                            worklist.push(t);
+                        }
+                    }
+                    break;
+                }
+                Op::Jcc(..) => {
+                    if let Some(t) = insn.branch_target() {
+                        if in_range(t) {
+                            leaders.insert(t);
+                            worklist.push(t);
+                        }
+                    }
+                    leaders.insert(insn.end());
+                    // fall through continues the linear scan
+                }
+                Op::Call(_) => {
+                    if let Some(t) = insn.branch_target() {
+                        if in_range(t) {
+                            leaders.insert(t);
+                            worklist.push(t);
+                        }
+                    }
+                    leaders.insert(insn.end());
+                    // calls fall through (the callee returns)
+                }
+                Op::Syscall => {
+                    // One syscall site per block: phase detection labels
+                    // a block's outgoing edges with its site's syscalls,
+                    // which only models execution if each site sits at a
+                    // block boundary.
+                    leaders.insert(insn.end());
+                }
+                _ => {}
+            }
+            addr = insn.end();
+        }
+    }
+
+    // Pass 2: group instructions into blocks split at leaders.
+    let mut blocks: BTreeMap<u64, BasicBlock> = BTreeMap::new();
+    let mut current: Option<BasicBlock> = None;
+    let mut expected_next: Option<u64> = None;
+
+    for (&addr, insn) in &insn_at {
+        let starts_new = leaders.contains(&addr)
+            || current.is_none()
+            || expected_next != Some(addr);
+        if starts_new {
+            if let Some(b) = current.take() {
+                blocks.insert(b.start, b);
+            }
+            current = Some(BasicBlock { start: addr, insns: Vec::new() });
+        }
+        let block = current.as_mut().expect("just ensured");
+        block.insns.push(*insn);
+        expected_next = Some(insn.end());
+        if insn.is_terminator() || matches!(insn.op, Op::Jcc(..) | Op::Call(_) | Op::Syscall) {
+            let b = current.take().expect("in block");
+            blocks.insert(b.start, b);
+        }
+    }
+    if let Some(b) = current.take() {
+        blocks.insert(b.start, b);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_x86::{Assembler, Cond, Reg};
+
+    fn blocks_of(asm: Assembler, roots: &[u64]) -> BTreeMap<u64, BasicBlock> {
+        let code = asm.finish().expect("assemble");
+        disassemble(&code, 0x1000, &roots.iter().copied().collect())
+    }
+
+    #[test]
+    fn straight_line_splits_after_syscall() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 60);
+        a.syscall();
+        a.ret();
+        let blocks = blocks_of(a, &[0x1000]);
+        // The syscall ends its block so each block holds ≤ 1 site.
+        assert_eq!(blocks.len(), 2);
+        let b = &blocks[&0x1000];
+        assert_eq!(b.insns.len(), 2);
+        assert!(b.has_syscall());
+        assert!(!blocks[&0x1009].has_syscall());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let mut a = Assembler::new(0x1000);
+        let tgt = a.new_label();
+        a.cmp_reg_imm32(Reg::Rdi, 0); // block 1
+        a.jcc_label(Cond::E, tgt);
+        a.nop(); // block 2 (fallthrough)
+        a.bind(tgt).unwrap();
+        a.ret(); // block 3 (branch target)
+        let blocks = blocks_of(a, &[0x1000]);
+        assert_eq!(blocks.len(), 3);
+    }
+
+    #[test]
+    fn call_target_becomes_a_block() {
+        let mut a = Assembler::new(0x1000);
+        let f = a.new_label();
+        a.call_label(f); // block 1
+        a.ret(); // block 2 (post-call)
+        a.bind(f).unwrap();
+        a.syscall(); // block 3 (callee)
+        a.ret();
+        let blocks = blocks_of(a, &[0x1000]);
+        assert_eq!(blocks.len(), 4, "call split + syscall split + callee ret");
+        assert!(blocks.values().any(|b| b.has_syscall()));
+    }
+
+    #[test]
+    fn jump_into_middle_splits_existing_block() {
+        // A backward jump into the middle of an already-decoded run must
+        // split that run into two blocks.
+        let mut a = Assembler::new(0x1000);
+        let mid = a.new_label();
+        a.nop(); // 0x1000
+        a.bind(mid).unwrap();
+        a.nop(); // 0x1001 ← jump target
+        a.nop();
+        a.jmp_label(mid);
+        let blocks = blocks_of(a, &[0x1000]);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.contains_key(&0x1000));
+        assert!(blocks.contains_key(&0x1001));
+    }
+
+    #[test]
+    fn unreached_roots_outside_range_are_ignored() {
+        let mut a = Assembler::new(0x1000);
+        a.ret();
+        let blocks = blocks_of(a, &[0x1000, 0x9999]);
+        assert_eq!(blocks.len(), 1);
+    }
+
+    #[test]
+    fn undecodable_bytes_stop_the_run() {
+        let mut code = vec![0x90]; // nop
+        code.push(0x06); // invalid
+        let blocks = disassemble(&code, 0x1000, &[0x1000].into_iter().collect());
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[&0x1000].insns.len(), 1);
+    }
+
+    #[test]
+    fn block_byte_size() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 1); // 7 bytes
+        a.ret(); // 1 byte
+        let blocks = blocks_of(a, &[0x1000]);
+        assert_eq!(blocks[&0x1000].byte_size(), 8);
+    }
+}

@@ -1,0 +1,279 @@
+//! Edge construction and reachability.
+
+use crate::blocks::BasicBlock;
+use crate::{plt_stub_got_slot, EdgeKind, FunctionSym};
+use bside_x86::{Op, Target};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+type EdgeMap = HashMap<u64, Vec<(u64, EdgeKind)>>;
+
+/// Builds successor and predecessor maps plus PLT-stub classification,
+/// resolving indirect branches to `indirect_targets`.
+pub(crate) fn build(
+    blocks: &BTreeMap<u64, BasicBlock>,
+    functions: &[FunctionSym],
+    indirect_targets: &BTreeSet<u64>,
+) -> (EdgeMap, EdgeMap, HashMap<u64, u64>) {
+    let mut succs: EdgeMap = HashMap::new();
+    let mut plt_stubs: HashMap<u64, u64> = HashMap::new();
+    // (caller function-return bookkeeping) call edges: (callee entry, fallthrough block)
+    let mut calls: Vec<(u64, u64)> = Vec::new();
+
+    let block_at = |addr: u64| blocks.contains_key(&addr).then_some(addr);
+
+    for (&start, block) in blocks {
+        let term = block.terminator();
+        let mut out: Vec<(u64, EdgeKind)> = Vec::new();
+        match term.op {
+            Op::Jmp(Target::Rel(_)) => {
+                if let Some(t) = term.branch_target().and_then(block_at) {
+                    out.push((t, EdgeKind::Branch));
+                }
+            }
+            Op::Jmp(Target::Reg(_)) | Op::Jmp(Target::Mem(_)) => {
+                if let Some(slot) = plt_stub_got_slot(block) {
+                    // PLT stub: external control flow, no internal edges.
+                    plt_stubs.insert(start, slot);
+                } else {
+                    for &t in indirect_targets {
+                        if let Some(t) = block_at(t) {
+                            out.push((t, EdgeKind::Indirect));
+                        }
+                    }
+                }
+            }
+            Op::Jcc(..) => {
+                if let Some(t) = term.branch_target().and_then(block_at) {
+                    out.push((t, EdgeKind::Branch));
+                }
+                if let Some(f) = block_at(term.end()) {
+                    out.push((f, EdgeKind::FallThrough));
+                }
+            }
+            Op::Call(Target::Rel(_)) => {
+                if let Some(t) = term.branch_target().and_then(block_at) {
+                    out.push((t, EdgeKind::Call));
+                    if let Some(f) = block_at(term.end()) {
+                        calls.push((t, f));
+                    }
+                }
+                if let Some(f) = block_at(term.end()) {
+                    out.push((f, EdgeKind::FallThrough));
+                }
+            }
+            Op::Call(Target::Reg(_)) | Op::Call(Target::Mem(_)) => {
+                for &t in indirect_targets {
+                    if let Some(t) = block_at(t) {
+                        out.push((t, EdgeKind::Indirect));
+                        if let Some(f) = block_at(term.end()) {
+                            calls.push((t, f));
+                        }
+                    }
+                }
+                if let Some(f) = block_at(term.end()) {
+                    out.push((f, EdgeKind::FallThrough));
+                }
+            }
+            Op::Ret | Op::Ud2 | Op::Hlt => {}
+            _ => {
+                // Block ended by a leader split: plain fall-through.
+                if let Some(f) = block_at(block.end()) {
+                    out.push((f, EdgeKind::FallThrough));
+                }
+            }
+        }
+        succs.insert(start, out);
+    }
+
+    // Return edges: from each `ret` block of a called function back to the
+    // post-call block of each caller.
+    let func_range = |entry: u64| -> (u64, u64) {
+        let f = functions.iter().find(|f| f.entry == entry);
+        match f {
+            Some(f) if f.size > 0 => (f.entry, f.entry + f.size),
+            _ => {
+                // Fall back: until the next function entry.
+                let next = functions
+                    .iter()
+                    .map(|f| f.entry)
+                    .filter(|&e| e > entry)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                (entry, next)
+            }
+        }
+    };
+    let mut ret_edges: Vec<(u64, u64)> = Vec::new();
+    for &(callee, fallthrough) in &calls {
+        let (lo, hi) = func_range(callee);
+        for (&start, block) in blocks.range(lo..hi) {
+            if matches!(block.terminator().op, Op::Ret) {
+                ret_edges.push((start, fallthrough));
+            }
+        }
+    }
+    for (from, to) in ret_edges {
+        let out = succs.entry(from).or_default();
+        if !out.contains(&(to, EdgeKind::Return)) {
+            out.push((to, EdgeKind::Return));
+        }
+    }
+
+    // Predecessors.
+    let mut preds: EdgeMap = HashMap::new();
+    for (&from, outs) in &succs {
+        for &(to, kind) in outs {
+            preds.entry(to).or_default().push((from, kind));
+        }
+    }
+    for outs in preds.values_mut() {
+        outs.sort_unstable();
+        outs.dedup();
+    }
+    for outs in succs.values_mut() {
+        outs.sort_unstable();
+        outs.dedup();
+    }
+
+    (succs, preds, plt_stubs)
+}
+
+/// Block-level BFS from the blocks containing `entries`.
+///
+/// `Return` edges are *not* followed: they over-approximate (a shared
+/// helper's `ret` points at every caller's continuation, so following
+/// them would mark a dead caller's continuation reachable through any
+/// live call into the helper). Post-call continuations are covered by
+/// the call block's own `FallThrough` edge, so skipping returns loses no
+/// genuinely reachable block.
+pub(crate) fn reachable_from(
+    entries: &[u64],
+    blocks: &BTreeMap<u64, BasicBlock>,
+    succs: &EdgeMap,
+) -> BTreeSet<u64> {
+    let block_containing = |addr: u64| -> Option<u64> {
+        let (&start, block) = blocks.range(..=addr).next_back()?;
+        (addr < block.end()).then_some(start)
+    };
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut queue: VecDeque<u64> = entries.iter().filter_map(|&e| block_containing(e)).collect();
+    seen.extend(queue.iter().copied());
+    while let Some(b) = queue.pop_front() {
+        for &(to, kind) in succs.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+            if kind == EdgeKind::Return {
+                continue;
+            }
+            if seen.insert(to) {
+                queue.push_back(to);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::disassemble;
+    use bside_x86::{Assembler, Cond, Reg};
+
+    fn setup(
+        asm: Assembler,
+        funcs: &[FunctionSym],
+        indirect: &[u64],
+    ) -> (BTreeMap<u64, BasicBlock>, EdgeMap, EdgeMap, HashMap<u64, u64>) {
+        let code = asm.finish().expect("assemble");
+        let mut roots: BTreeSet<u64> = [0x1000].into_iter().collect();
+        roots.extend(funcs.iter().map(|f| f.entry));
+        roots.extend(indirect.iter().copied());
+        let blocks = disassemble(&code, 0x1000, &roots);
+        let targets: BTreeSet<u64> = indirect.iter().copied().collect();
+        let (s, p, stubs) = build(&blocks, funcs, &targets);
+        (blocks, s, p, stubs)
+    }
+
+    #[test]
+    fn jcc_has_branch_and_fallthrough() {
+        let mut a = Assembler::new(0x1000);
+        let t = a.new_label();
+        a.cmp_reg_imm32(Reg::Rax, 0);
+        a.jcc_label(Cond::E, t);
+        a.nop();
+        a.bind(t).unwrap();
+        a.ret();
+        let (_b, succs, preds, _) = setup(a, &[], &[]);
+        let out = &succs[&0x1000];
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|&(_, k)| k == EdgeKind::Branch));
+        assert!(out.iter().any(|&(_, k)| k == EdgeKind::FallThrough));
+        // The target block has the entry block as a predecessor.
+        let t_addr = out.iter().find(|&&(_, k)| k == EdgeKind::Branch).unwrap().0;
+        assert!(preds[&t_addr].iter().any(|&(p, _)| p == 0x1000));
+    }
+
+    #[test]
+    fn call_produces_call_fallthrough_and_return_edges() {
+        let mut a = Assembler::new(0x1000);
+        let f = a.new_label();
+        a.call_label(f); // block A @0x1000 (5 bytes)
+        a.ret(); // block B @0x1005
+        a.bind(f).unwrap();
+        a.ret(); // callee @0x1006
+        let funcs = vec![
+            FunctionSym { name: "main".into(), entry: 0x1000, size: 6 },
+            FunctionSym { name: "f".into(), entry: 0x1006, size: 1 },
+        ];
+        let (_b, succs, _preds, _) = setup(a, &funcs, &[]);
+        let out = &succs[&0x1000];
+        assert!(out.contains(&(0x1006, EdgeKind::Call)));
+        assert!(out.contains(&(0x1005, EdgeKind::FallThrough)));
+        // Return edge: callee ret block → post-call block.
+        assert!(succs[&0x1006].contains(&(0x1005, EdgeKind::Return)));
+    }
+
+    #[test]
+    fn indirect_call_fans_out_to_targets() {
+        let mut a = Assembler::new(0x1000);
+        let f1 = a.new_label();
+        let f2 = a.new_label();
+        a.call_reg(Reg::Rbx); // 0x1000..0x1002(+rex?) — call rbx = ff d3 (2 bytes)
+        a.ret();
+        a.bind(f1).unwrap();
+        a.ret();
+        a.bind(f2).unwrap();
+        a.ret();
+        // f1 at 0x1003, f2 at 0x1004.
+        let (_b, succs, _p, _) = setup(a, &[], &[0x1003, 0x1004]);
+        let out = &succs[&0x1000];
+        assert!(out.contains(&(0x1003, EdgeKind::Indirect)));
+        assert!(out.contains(&(0x1004, EdgeKind::Indirect)));
+        assert!(out.iter().any(|&(_, k)| k == EdgeKind::FallThrough));
+    }
+
+    #[test]
+    fn plt_stub_is_classified_not_edged() {
+        let mut a = Assembler::new(0x1000);
+        let got = a.new_label();
+        a.bind_at(got, 0x3000).unwrap();
+        a.endbr64();
+        a.jmp_riplabel(got);
+        let (_b, succs, _p, stubs) = setup(a, &[], &[]);
+        assert_eq!(stubs.get(&0x1000), Some(&0x3000));
+        assert!(succs[&0x1000].is_empty());
+    }
+
+    #[test]
+    fn reachability_stops_at_dead_code() {
+        let mut a = Assembler::new(0x1000);
+        a.ret(); // entry
+        a.syscall(); // dead
+        a.ret();
+        let code = a.finish().unwrap();
+        let roots: BTreeSet<u64> = [0x1000, 0x1001].into_iter().collect();
+        let blocks = disassemble(&code, 0x1000, &roots);
+        let (succs, _p, _s) = build(&blocks, &[], &BTreeSet::new());
+        let reach = reachable_from(&[0x1000], &blocks, &succs);
+        assert!(reach.contains(&0x1000));
+        assert!(!reach.contains(&0x1001));
+    }
+}

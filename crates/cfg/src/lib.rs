@@ -1,0 +1,390 @@
+//! Control-flow-graph recovery (§4.3 of the B-Side paper).
+//!
+//! Disassembly alone yields an *incomplete* CFG: indirect calls and jumps
+//! (function pointers) have no statically obvious targets. B-Side
+//! conservatively over-approximates them with the *address taken*
+//! heuristic inherited from SysFilter — every indirect branch may go to
+//! any code address that is the operand of an address-forming instruction
+//! (`lea reg, [rip+disp]`) — and refines it into *active addresses taken*:
+//! only `lea`s in blocks **reachable from the entry point** count, computed
+//! to a fixpoint because resolving indirect branches can make new `lea`s
+//! reachable (Fig. 4).
+//!
+//! The crate exposes:
+//!
+//! * [`Cfg`] — basic blocks, intra-/inter-procedural edges with
+//!   [`EdgeKind`]s, function table, PLT-stub classification;
+//! * [`CfgOptions`] / [`IndirectResolution`] — plain vs. active
+//!   address-taken (the ablation of the paper's refinement);
+//! * [`CfgStats`] — deterministic cost counters (blocks, fixpoint
+//!   iterations) used by the Table 3 harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_x86::{Assembler, Reg};
+//! use bside_cfg::{Cfg, CfgOptions, FunctionSym};
+//!
+//! // entry: mov rax, 60; syscall (fallthrough into a second block via jmp)
+//! let mut asm = Assembler::new(0x1000);
+//! let done = asm.new_label();
+//! asm.mov_reg_imm32(Reg::Rax, 60);
+//! asm.jmp_label(done);
+//! asm.bind(done).unwrap();
+//! asm.syscall();
+//! asm.ret();
+//! let code = asm.finish().unwrap();
+//!
+//! let funcs = vec![FunctionSym { name: "_start".into(), entry: 0x1000, size: code.len() as u64 }];
+//! let cfg = Cfg::build(&code, 0x1000, &[0x1000], &funcs, &CfgOptions::default());
+//! assert_eq!(cfg.syscall_sites().len(), 1);
+//! assert!(cfg.reachable().contains(&cfg.block_containing(cfg.syscall_sites()[0]).unwrap()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ataken;
+mod blocks;
+mod edges;
+
+pub use blocks::BasicBlock;
+
+use bside_x86::{Mem, Op, Target};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How indirect branch targets are over-approximated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndirectResolution {
+    /// Leave indirect branches unresolved (misses code — the naive
+    /// baseline shape; kept for ablations).
+    None,
+    /// SysFilter-style: every `lea`-taken code address anywhere in the
+    /// binary is a potential target.
+    AddressTaken,
+    /// B-Side's refinement: only addresses taken in blocks reachable from
+    /// the entry points, iterated to a fixpoint (§4.3, Fig. 4).
+    #[default]
+    ActiveAddressTaken,
+}
+
+/// CFG construction options.
+#[derive(Debug, Clone, Default)]
+pub struct CfgOptions {
+    /// Indirect-branch resolution strategy.
+    pub indirect: IndirectResolution,
+}
+
+/// A function symbol: the boundary metadata the paper assumes the
+/// disassembler recovers (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSym {
+    /// Symbol name.
+    pub name: String,
+    /// Entry address.
+    pub entry: u64,
+    /// Size in bytes (0 = unknown).
+    pub size: u64,
+}
+
+/// The kind of a CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// Taken direct branch (`jmp`/`jcc`).
+    Branch,
+    /// Sequential fall-through (including the not-taken side of `jcc` and
+    /// the post-`call` continuation).
+    FallThrough,
+    /// Call edge into a function entry.
+    Call,
+    /// Return edge from a `ret` block back to a post-call block.
+    Return,
+    /// Edge added by the address-taken over-approximation of an indirect
+    /// branch.
+    Indirect,
+}
+
+/// Deterministic cost counters for Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CfgStats {
+    /// Number of basic blocks discovered.
+    pub blocks: usize,
+    /// Number of instructions decoded.
+    pub instructions: usize,
+    /// Fixpoint iterations of the active-address-taken refinement.
+    pub ataken_iterations: usize,
+    /// Number of (active) addresses taken used to resolve indirect
+    /// branches.
+    pub addresses_taken: usize,
+}
+
+/// A recovered control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: BTreeMap<u64, BasicBlock>,
+    succs: HashMap<u64, Vec<(u64, EdgeKind)>>,
+    preds: HashMap<u64, Vec<(u64, EdgeKind)>>,
+    functions: Vec<FunctionSym>,
+    entries: Vec<u64>,
+    reachable: BTreeSet<u64>,
+    addresses_taken: BTreeSet<u64>,
+    /// Blocks that are PLT stubs (`jmp [rip+disp]` into a GOT slot),
+    /// mapping block start → GOT slot address. Symbol resolution happens
+    /// in `bside-core` where relocations are available.
+    plt_stubs: HashMap<u64, u64>,
+    stats: CfgStats,
+}
+
+impl Cfg {
+    /// Builds a CFG from raw text bytes.
+    ///
+    /// * `code`/`base` — the `.text` contents and load address;
+    /// * `entries` — disassembly roots and reachability sources: the
+    ///   program entry point, or a shared library's exposed functions;
+    /// * `functions` — function boundary symbols;
+    /// * `options` — indirect-branch resolution strategy.
+    pub fn build(
+        code: &[u8],
+        base: u64,
+        entries: &[u64],
+        functions: &[FunctionSym],
+        options: &CfgOptions,
+    ) -> Cfg {
+        builder::build(code, base, entries, functions, options)
+    }
+
+    /// All basic blocks, keyed by start address.
+    pub fn blocks(&self) -> &BTreeMap<u64, BasicBlock> {
+        &self.blocks
+    }
+
+    /// The block starting exactly at `addr`.
+    pub fn block(&self, addr: u64) -> Option<&BasicBlock> {
+        self.blocks.get(&addr)
+    }
+
+    /// The start address of the block containing `addr`, if any.
+    pub fn block_containing(&self, addr: u64) -> Option<u64> {
+        let (&start, block) = self.blocks.range(..=addr).next_back()?;
+        (addr < block.end()).then_some(start)
+    }
+
+    /// Successor edges of the block starting at `addr`.
+    pub fn succs(&self, addr: u64) -> &[(u64, EdgeKind)] {
+        self.succs.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Predecessor edges of the block starting at `addr`.
+    pub fn preds(&self, addr: u64) -> &[(u64, EdgeKind)] {
+        self.preds.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The function symbols supplied at construction.
+    pub fn functions(&self) -> &[FunctionSym] {
+        &self.functions
+    }
+
+    /// The function containing `addr`, resolved by symbol ranges (with a
+    /// fallback to the nearest preceding entry when sizes are absent).
+    pub fn function_of(&self, addr: u64) -> Option<&FunctionSym> {
+        let mut best: Option<&FunctionSym> = None;
+        for f in &self.functions {
+            if addr >= f.entry {
+                let in_range = if f.size > 0 {
+                    addr < f.entry + f.size
+                } else {
+                    true
+                };
+                if in_range && best.is_none_or(|b| f.entry > b.entry) {
+                    best = Some(f);
+                }
+            }
+        }
+        best
+    }
+
+    /// The disassembly/reachability roots.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Blocks reachable from the entries (block start addresses).
+    pub fn reachable(&self) -> &BTreeSet<u64> {
+        &self.reachable
+    }
+
+    /// The (active) address-taken set used to resolve indirect branches.
+    pub fn addresses_taken(&self) -> &BTreeSet<u64> {
+        &self.addresses_taken
+    }
+
+    /// Addresses of every *reachable* `syscall` instruction (§4.4 step F:
+    /// only occurrences reachable from the entry point are considered).
+    pub fn syscall_sites(&self) -> Vec<u64> {
+        let mut sites = Vec::new();
+        for start in &self.reachable {
+            let block = &self.blocks[start];
+            for insn in &block.insns {
+                if matches!(insn.op, Op::Syscall) {
+                    sites.push(insn.addr);
+                }
+            }
+        }
+        sites
+    }
+
+    /// All `syscall` sites, reachable or not (used by baselines that skip
+    /// the reachability filter).
+    pub fn all_syscall_sites(&self) -> Vec<u64> {
+        self.blocks
+            .values()
+            .flat_map(|b| b.insns.iter())
+            .filter(|i| matches!(i.op, Op::Syscall))
+            .map(|i| i.addr)
+            .collect()
+    }
+
+    /// Block starts of PLT stubs, with the GOT slot each jumps through.
+    pub fn plt_stubs(&self) -> &HashMap<u64, u64> {
+        &self.plt_stubs
+    }
+
+    /// Call sites (block start, call instruction) whose direct target is
+    /// `func_entry`.
+    pub fn callers_of(&self, func_entry: u64) -> Vec<u64> {
+        self.preds(self.block_containing(func_entry).unwrap_or(func_entry))
+            .iter()
+            .filter(|(_, k)| matches!(k, EdgeKind::Call | EdgeKind::Indirect))
+            .map(|&(p, _)| p)
+            .collect()
+    }
+
+    /// Cost counters.
+    pub fn stats(&self) -> CfgStats {
+        self.stats
+    }
+
+    /// Functions reachable from the entries (by entry address).
+    pub fn reachable_functions(&self) -> Vec<&FunctionSym> {
+        self.functions
+            .iter()
+            .filter(|f| {
+                self.block_containing(f.entry)
+                    .is_some_and(|b| self.reachable.contains(&b))
+            })
+            .collect()
+    }
+}
+
+mod builder {
+    use super::*;
+    use crate::{ataken, blocks, edges};
+
+    pub(super) fn build(
+        code: &[u8],
+        base: u64,
+        entries: &[u64],
+        functions: &[FunctionSym],
+        options: &CfgOptions,
+    ) -> Cfg {
+        // Roots: explicit entries plus all function symbols, so the whole
+        // binary is disassembled (as angr/Capstone do); reachability below
+        // distinguishes live code.
+        let mut roots: BTreeSet<u64> = entries.iter().copied().collect();
+        roots.extend(functions.iter().map(|f| f.entry));
+
+        let mut iterations = 0usize;
+        let mut indirect_targets: BTreeSet<u64> = BTreeSet::new();
+
+        // Initial disassembly + plain address-taken scan.
+        let mut block_map = blocks::disassemble(code, base, &roots);
+        let all_taken = ataken::scan(&block_map, base, code.len() as u64);
+
+        match options.indirect {
+            IndirectResolution::None => {}
+            IndirectResolution::AddressTaken => {
+                indirect_targets = all_taken.clone();
+                // Addresses taken may point at not-yet-disassembled code.
+                let mut new_roots = roots.clone();
+                new_roots.extend(indirect_targets.iter().copied());
+                block_map = blocks::disassemble(code, base, &new_roots);
+                iterations = 1;
+            }
+            IndirectResolution::ActiveAddressTaken => {
+                // Fixpoint: reachable blocks → active addresses taken →
+                // new indirect edges → possibly more reachable blocks.
+                loop {
+                    iterations += 1;
+                    let (succs, _preds, _stubs) =
+                        edges::build(&block_map, functions, &indirect_targets);
+                    let reachable = edges::reachable_from(entries, &block_map, &succs);
+                    let active =
+                        ataken::scan_reachable(&block_map, &reachable, base, code.len() as u64);
+                    if active == indirect_targets {
+                        break;
+                    }
+                    indirect_targets = active;
+                    let mut new_roots = roots.clone();
+                    new_roots.extend(indirect_targets.iter().copied());
+                    block_map = blocks::disassemble(code, base, &new_roots);
+                    if iterations > 64 {
+                        break; // defensive bound; fixpoint is monotone
+                    }
+                }
+            }
+        }
+
+        let (succs, preds, plt_stubs) = edges::build(&block_map, functions, &indirect_targets);
+        let reachable = edges::reachable_from(entries, &block_map, &succs);
+
+        let instructions = block_map.values().map(|b| b.insns.len()).sum();
+        let stats = CfgStats {
+            blocks: block_map.len(),
+            instructions,
+            ataken_iterations: iterations,
+            addresses_taken: indirect_targets.len(),
+        };
+
+        Cfg {
+            blocks: block_map,
+            succs,
+            preds,
+            functions: functions.to_vec(),
+            entries: entries.to_vec(),
+            reachable,
+            addresses_taken: indirect_targets,
+            plt_stubs,
+            stats,
+        }
+    }
+}
+
+/// Returns the GOT slot address if `block` is a PLT stub
+/// (`jmp [rip+disp]` as its only real instruction).
+pub(crate) fn plt_stub_got_slot(block: &BasicBlock) -> Option<u64> {
+    let insn = block
+        .insns
+        .iter()
+        .find(|i| !matches!(i.op, Op::Endbr64 | Op::Nop))?;
+    match insn.op {
+        Op::Jmp(Target::Mem(mem)) if mem.rip_relative => mem.rip_target(insn.addr, insn.len),
+        _ => None,
+    }
+}
+
+/// Extracts the RIP-relative `lea` target of an instruction, if any.
+pub(crate) fn lea_target(insn: &bside_x86::Instruction) -> Option<u64> {
+    match insn.op {
+        Op::Lea { addr, .. } if addr.rip_relative => addr.rip_target(insn.addr, insn.len),
+        // `movabs reg, imm64` of a code address is the non-PIC equivalent.
+        Op::MovImm64 { imm, .. } => Some(imm),
+        Op::Mov { src: bside_x86::Operand::Imm(imm), .. } if imm > 0 => Some(imm as u64),
+        _ => None,
+    }
+}
+
+/// Convenience: is this a RIP-relative memory operand?
+#[allow(dead_code)]
+pub(crate) fn is_rip_mem(mem: &Mem) -> bool {
+    mem.rip_relative
+}

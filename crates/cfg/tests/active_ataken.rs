@@ -1,0 +1,140 @@
+//! Integration tests for CFG recovery, centred on the active-address-taken
+//! refinement of §4.3 (Fig. 4): only `lea`s reachable from the entry point
+//! resolve indirect branches, iterated to a fixpoint.
+
+use bside_cfg::{Cfg, CfgOptions, FunctionSym, IndirectResolution};
+use bside_x86::{Assembler, Reg};
+
+/// Builds the Fig. 4 style program:
+///
+/// ```text
+/// entry:   lea rbx, [f1]; jmp *rbx            (f1 is actively taken)
+/// f1:      lea rbx, [f2]; jmp *rbx            (f2 becomes active in iter 2)
+/// f2:      syscall(39); ret
+/// dead:    lea rbx, [f3]; ret                 (never reachable)
+/// f3:      syscall(59); ret                   (must stay unreachable)
+/// ```
+fn fig4_program() -> (Vec<u8>, Vec<FunctionSym>, [u64; 5]) {
+    let base = 0x1000;
+    let mut a = Assembler::new(base);
+    let f1 = a.new_label();
+    let f2 = a.new_label();
+    let f3 = a.new_label();
+
+    let entry = a.cursor();
+    a.lea_riplabel(Reg::Rbx, f1);
+    a.jmp_reg(Reg::Rbx);
+
+    let f1_addr = a.cursor();
+    a.bind(f1).unwrap();
+    a.lea_riplabel(Reg::Rbx, f2);
+    a.jmp_reg(Reg::Rbx);
+
+    let f2_addr = a.cursor();
+    a.bind(f2).unwrap();
+    a.mov_reg_imm32(Reg::Rax, 39);
+    a.syscall();
+    a.ret();
+
+    let dead_addr = a.cursor();
+    a.lea_riplabel(Reg::Rbx, f3);
+    a.ret();
+
+    let f3_addr = a.cursor();
+    a.bind(f3).unwrap();
+    a.mov_reg_imm32(Reg::Rax, 59);
+    a.syscall();
+    a.ret();
+
+    let code = a.finish().unwrap();
+    let funcs = vec![
+        FunctionSym { name: "_start".into(), entry, size: f1_addr - entry },
+        FunctionSym { name: "f1".into(), entry: f1_addr, size: f2_addr - f1_addr },
+        FunctionSym { name: "f2".into(), entry: f2_addr, size: dead_addr - f2_addr },
+        FunctionSym { name: "dead".into(), entry: dead_addr, size: f3_addr - dead_addr },
+        FunctionSym { name: "f3".into(), entry: f3_addr, size: 0 },
+    ];
+    (code, funcs, [entry, f1_addr, f2_addr, dead_addr, f3_addr])
+}
+
+#[test]
+fn active_ataken_reaches_chained_function_pointers() {
+    let (code, funcs, [entry, f1, f2, _dead, _f3]) = fig4_program();
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
+
+    // The fixpoint needs ≥2 iterations: f2's lea only becomes reachable
+    // after f1 is resolved as an indirect target.
+    assert!(cfg.stats().ataken_iterations >= 2, "{:?}", cfg.stats());
+    assert!(cfg.addresses_taken().contains(&f1));
+    assert!(cfg.addresses_taken().contains(&f2));
+
+    let reachable_funcs: Vec<&str> = cfg
+        .reachable_functions()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    assert!(reachable_funcs.contains(&"f2"));
+    assert!(!reachable_funcs.contains(&"dead"));
+    assert!(!reachable_funcs.contains(&"f3"), "dead lea must not activate f3");
+
+    // Only f2's syscall is reachable.
+    assert_eq!(cfg.syscall_sites().len(), 1);
+    assert_eq!(cfg.all_syscall_sites().len(), 2);
+}
+
+#[test]
+fn plain_ataken_overapproximates_dead_leas() {
+    let (code, funcs, [entry, _f1, _f2, _dead, f3]) = fig4_program();
+    let opts = CfgOptions { indirect: IndirectResolution::AddressTaken };
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &opts);
+
+    // SysFilter-style plain scan also takes the dead lea's target, so both
+    // syscalls become reachable: strictly more conservative.
+    assert!(cfg.addresses_taken().contains(&f3));
+    assert_eq!(cfg.syscall_sites().len(), 2);
+}
+
+#[test]
+fn no_resolution_misses_indirect_code() {
+    let (code, funcs, [entry, ..]) = fig4_program();
+    let opts = CfgOptions { indirect: IndirectResolution::None };
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &opts);
+
+    // Without indirect resolution nothing past `jmp *rbx` is reachable:
+    // the false-negative shape static tools must avoid.
+    assert_eq!(cfg.syscall_sites().len(), 0);
+}
+
+#[test]
+fn active_is_subset_of_plain() {
+    let (code, funcs, [entry, ..]) = fig4_program();
+    let active = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
+    let plain = Cfg::build(
+        &code,
+        0x1000,
+        &[entry],
+        &funcs,
+        &CfgOptions { indirect: IndirectResolution::AddressTaken },
+    );
+    assert!(active.addresses_taken().is_subset(plain.addresses_taken()));
+    assert!(active.addresses_taken().len() < plain.addresses_taken().len());
+}
+
+#[test]
+fn function_of_resolves_by_range() {
+    let (code, funcs, [entry, f1, ..]) = fig4_program();
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
+    assert_eq!(cfg.function_of(entry).unwrap().name, "_start");
+    assert_eq!(cfg.function_of(f1 + 1).unwrap().name, "f1");
+    assert!(cfg.function_of(0x500).is_none());
+}
+
+#[test]
+fn stats_count_blocks_and_instructions() {
+    let (code, funcs, [entry, ..]) = fig4_program();
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
+    let s = cfg.stats();
+    assert!(s.blocks >= 5);
+    assert!(s.instructions > s.blocks);
+    assert_eq!(s.addresses_taken, cfg.addresses_taken().len());
+}

@@ -1,0 +1,772 @@
+//! Execution-phase detection (§4.7 of the paper, Fig. 6).
+//!
+//! Temporal system call specialization installs a different (stricter)
+//! filter for each phase of a program's execution. B-Side detects phases
+//! statically: the CFG and the per-site system call sets are turned into a
+//! Nondeterministic Finite Automaton in which edges leaving a
+//! syscall-containing block are labeled with that site's system calls and
+//! every other edge is an ε-transition; the standard powerset construction
+//! yields a DFA; strongly-connected DFA states are merged into *phases*;
+//! and (optionally, for seccomp's install-stricter-only rule) allowed sets
+//! are back-propagated to predecessor phases.
+//!
+//! The intuitive alternative — navigating the CFG and merging
+//! highly-connected syscall nodes directly — is implemented in
+//! [`detect_phases_naive`] for the cost comparison the paper reports
+//! (41 s vs 700 s on a hello-world; automaton wins).
+
+use bside_cfg::{BasicBlock, Cfg};
+use bside_syscalls::{Sysno, SyscallSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+
+/// Options for phase detection.
+#[derive(Debug, Clone)]
+pub struct PhaseOptions {
+    /// Upper bound on DFA states; construction truncates beyond it.
+    pub max_dfa_states: usize,
+    /// Call-string context depth for the NFA expansion. Return edges in
+    /// the raw CFG are over-approximated (a shared helper's `ret` points
+    /// at *every* caller's continuation), which fuses unrelated program
+    /// regions into one phase; expanding blocks with a bounded call-string
+    /// context restores precise returns. Calls nested deeper than the
+    /// depth are stepped over (their sites drop out of the automaton), so
+    /// shallow depths trade structure for size.
+    pub context_depth: usize,
+    /// Upper bound on expanded (context, block) nodes.
+    pub max_expanded_nodes: usize,
+}
+
+impl Default for PhaseOptions {
+    fn default() -> Self {
+        PhaseOptions {
+            max_dfa_states: 50_000,
+            context_depth: 4,
+            max_expanded_nodes: 500_000,
+        }
+    }
+}
+
+/// One detected phase: a merged set of DFA states.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase index within [`PhaseAutomaton::phases`].
+    pub id: usize,
+    /// The basic blocks composing the phase (union over its DFA states; a
+    /// block can belong to several phases, as §5.4 notes).
+    pub blocks: BTreeSet<u64>,
+    /// Transitions: destination phase → system calls triggering it.
+    /// `transitions[self.id]` holds the self-loop system calls.
+    pub transitions: BTreeMap<usize, SyscallSet>,
+    /// Total byte size of the phase's blocks (the "Size" column of
+    /// Table 4 — a proxy for how long execution stays in the phase).
+    pub code_bytes: u64,
+}
+
+impl Phase {
+    /// Every system call allowed while in this phase (the union of all
+    /// outgoing transition labels — the "Total" column of Table 4).
+    pub fn allowed(&self) -> SyscallSet {
+        let mut set = SyscallSet::new();
+        for labels in self.transitions.values() {
+            set.extend_from(labels);
+        }
+        set
+    }
+}
+
+/// The phase automaton.
+#[derive(Debug, Clone)]
+pub struct PhaseAutomaton {
+    /// The phases.
+    pub phases: Vec<Phase>,
+    /// Index of the initial phase.
+    pub initial: usize,
+    /// Number of DFA states before merging (cost metric).
+    pub dfa_states: usize,
+    /// `true` if construction hit [`PhaseOptions::max_dfa_states`].
+    pub truncated: bool,
+}
+
+impl PhaseAutomaton {
+    /// Average strictness gain of phase-based filtering vs. a
+    /// whole-program allow-list: `1 - avg_phase_allowed / total`, weighted
+    /// by phase code size (execution dwells in large phases, §5.4).
+    pub fn strictness_gain(&self, whole_program: &SyscallSet) -> f64 {
+        let total = whole_program.len() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let weight_sum: u64 = self.phases.iter().map(|p| p.code_bytes.max(1)).sum();
+        let weighted: f64 = self
+            .phases
+            .iter()
+            .map(|p| p.allowed().len() as f64 * p.code_bytes.max(1) as f64)
+            .sum::<f64>()
+            / weight_sum as f64;
+        1.0 - weighted / total
+    }
+
+    /// Applies back-propagation (Fig. 6, right): every phase's allowed set
+    /// absorbs the allowed sets of its transitively reachable successor
+    /// phases. Needed when the runtime filter is seccomp, which can only
+    /// install stricter rules as execution progresses.
+    pub fn back_propagate(&mut self) {
+        // Fixpoint over the phase graph (it is a DAG after SCC merging,
+        // but a fixpoint is simpler and safe).
+        loop {
+            let mut changed = false;
+            for i in 0..self.phases.len() {
+                let succ_ids: Vec<usize> = self.phases[i].transitions.keys().copied().collect();
+                let mut absorb = SyscallSet::new();
+                for j in succ_ids {
+                    if j != i {
+                        absorb.extend_from(&self.phases[j].allowed());
+                    }
+                }
+                let before = self.phases[i].allowed();
+                if !absorb.is_subset(&before) {
+                    let extra = absorb.difference(&before);
+                    self.phases[i]
+                        .transitions
+                        .entry(i)
+                        .or_default()
+                        .extend_from(&extra);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Per-block NFA labeling: a block's outgoing edges carry the union of
+/// its sites' system call sets; blocks without sites emit ε.
+fn block_labels(
+    cfg: &Cfg,
+    site_sets: &HashMap<u64, SyscallSet>,
+) -> HashMap<u64, SyscallSet> {
+    let mut labels: HashMap<u64, SyscallSet> = HashMap::new();
+    for (&start, block) in cfg.blocks() {
+        let mut set = SyscallSet::new();
+        let mut any = false;
+        for insn in &block.insns {
+            if let Some(s) = site_sets.get(&insn.addr) {
+                set.extend_from(s);
+                any = true;
+            }
+        }
+        if any {
+            labels.insert(start, set);
+        }
+    }
+    labels
+}
+
+/// The context-expanded NFA graph: nodes are `(call-string, block)` pairs
+/// so that `ret` resolves to the matching caller's continuation instead
+/// of every caller's (which would fuse unrelated phases).
+struct Expanded {
+    /// Underlying block of each node.
+    block: Vec<u64>,
+    /// Successor node ids.
+    succs: Vec<Vec<usize>>,
+    /// Entry node ids.
+    entries: Vec<usize>,
+    truncated: bool,
+}
+
+fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
+    use bside_cfg::EdgeKind;
+    use bside_x86::Op;
+
+    let mut intern: HashMap<(Vec<u64>, u64), usize> = HashMap::new();
+    let mut block: Vec<u64> = Vec::new();
+    let mut ctxs: Vec<Vec<u64>> = Vec::new();
+    let mut succs: Vec<Vec<usize>> = Vec::new();
+    let mut truncated = false;
+
+    let get = |ctx: &[u64],
+                   b: u64,
+                   block: &mut Vec<u64>,
+                   ctxs: &mut Vec<Vec<u64>>,
+                   succs: &mut Vec<Vec<usize>>,
+                   intern: &mut HashMap<(Vec<u64>, u64), usize>,
+                   queue: &mut VecDeque<usize>|
+     -> usize {
+        let key = (ctx.to_vec(), b);
+        if let Some(&id) = intern.get(&key) {
+            return id;
+        }
+        let id = block.len();
+        block.push(b);
+        ctxs.push(ctx.to_vec());
+        succs.push(Vec::new());
+        intern.insert(key, id);
+        queue.push_back(id);
+        id
+    };
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let entries: Vec<usize> = cfg
+        .entries()
+        .iter()
+        .filter_map(|&e| cfg.block_containing(e))
+        .map(|b| get(&[], b, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue))
+        .collect();
+
+    while let Some(id) = queue.pop_front() {
+        if block.len() > max_nodes {
+            truncated = true;
+            break;
+        }
+        let b = block[id];
+        let ctx = ctxs[id].clone();
+        let Some(bb) = cfg.block(b) else { continue };
+        let term = bb.terminator();
+        let mut out: Vec<usize> = Vec::new();
+
+        match term.op {
+            Op::Call(_) => {
+                let mut entered = false;
+                for &(to, kind) in cfg.succs(b) {
+                    if matches!(kind, EdgeKind::Call | EdgeKind::Indirect)
+                        && !cfg.plt_stubs().contains_key(&to)
+                        && ctx.len() < depth
+                    {
+                        let mut ctx2 = ctx.clone();
+                        ctx2.push(b);
+                        out.push(get(&ctx2, to, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                        entered = true;
+                    }
+                }
+                if !entered {
+                    // Depth-capped, external (PLT), or unresolved: step
+                    // over the call.
+                    for &(to, kind) in cfg.succs(b) {
+                        if kind == EdgeKind::FallThrough {
+                            out.push(get(&ctx, to, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                        }
+                    }
+                }
+            }
+            Op::Ret => {
+                if let Some((&call_block, rest)) = ctx.split_last() {
+                    if let Some(cb) = cfg.block(call_block) {
+                        if let Some(cont) = cfg.block_containing(cb.terminator().end()) {
+                            out.push(get(rest, cont, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                        }
+                    }
+                }
+                // Empty context: the entry function returned — halt.
+            }
+            _ => {
+                for &(to, kind) in cfg.succs(b) {
+                    if matches!(kind, EdgeKind::Branch | EdgeKind::FallThrough | EdgeKind::Indirect)
+                    {
+                        out.push(get(&ctx, to, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        succs[id] = out;
+    }
+
+    Expanded { block, succs, entries, truncated }
+}
+
+/// Synthetic halt node id within the expanded graph's DFA state sets.
+const HALT_NODE: usize = usize::MAX;
+
+fn epsilon_closure(
+    seed: impl IntoIterator<Item = usize>,
+    expanded: &Expanded,
+    labels: &HashMap<u64, SyscallSet>,
+) -> BTreeSet<usize> {
+    let mut closure: BTreeSet<usize> = seed.into_iter().collect();
+    let mut queue: VecDeque<usize> = closure.iter().copied().collect();
+    while let Some(n) = queue.pop_front() {
+        if n == HALT_NODE || labels.contains_key(&expanded.block[n]) {
+            continue; // labeled edges are not ε
+        }
+        for &to in &expanded.succs[n] {
+            if closure.insert(to) {
+                queue.push_back(to);
+            }
+        }
+    }
+    closure
+}
+
+/// Builds the phase automaton from an analyzed binary's CFG and per-site
+/// system call sets.
+pub fn detect_phases(
+    cfg: &Cfg,
+    site_sets: &HashMap<u64, SyscallSet>,
+    options: &PhaseOptions,
+) -> PhaseAutomaton {
+    let labels = block_labels(cfg, site_sets);
+
+    // Alphabet: every syscall occurring at any site.
+    let mut alphabet = SyscallSet::new();
+    for set in labels.values() {
+        alphabet.extend_from(set);
+    }
+
+    // ---- context-sensitive NFA expansion ----------------------------------------
+    let expanded = expand(cfg, options.context_depth, options.max_expanded_nodes);
+
+    // ---- powerset construction -------------------------------------------------
+    let start: BTreeSet<usize> =
+        epsilon_closure(expanded.entries.iter().copied(), &expanded, &labels);
+    let mut state_ids: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+    let mut states: Vec<BTreeSet<usize>> = Vec::new();
+    let mut dfa_edges: Vec<BTreeMap<u32, usize>> = Vec::new(); // sysno.raw → state
+    let mut truncated = expanded.truncated;
+
+    state_ids.insert(start.clone(), 0);
+    states.push(start);
+    dfa_edges.push(BTreeMap::new());
+    let mut queue: VecDeque<usize> = [0].into();
+
+    while let Some(sid) = queue.pop_front() {
+        if states.len() > options.max_dfa_states {
+            truncated = true;
+            break;
+        }
+        let state = states[sid].clone();
+        // For each symbol: targets of labeled edges from member nodes
+        // whose label contains the symbol.
+        let mut per_symbol: BTreeMap<u32, BTreeSet<usize>> = BTreeMap::new();
+        for &n in &state {
+            if n == HALT_NODE {
+                continue;
+            }
+            let Some(label) = labels.get(&expanded.block[n]) else { continue };
+            let succs = &expanded.succs[n];
+            if succs.is_empty() {
+                for s in label.iter() {
+                    per_symbol.entry(s.raw()).or_default().insert(HALT_NODE);
+                }
+            }
+            for &to in succs {
+                for s in label.iter() {
+                    per_symbol.entry(s.raw()).or_default().insert(to);
+                }
+            }
+        }
+        for (sym, targets) in per_symbol {
+            let next = epsilon_closure(targets, &expanded, &labels);
+            if next.is_empty() {
+                continue;
+            }
+            let next_id = match state_ids.get(&next) {
+                Some(&id) => id,
+                None => {
+                    let id = states.len();
+                    state_ids.insert(next.clone(), id);
+                    states.push(next);
+                    dfa_edges.push(BTreeMap::new());
+                    queue.push_back(id);
+                    id
+                }
+            };
+            dfa_edges[sid].insert(sym, next_id);
+        }
+    }
+    let dfa_states = states.len();
+
+    // ---- merge highly-connected states: SCC condensation -----------------------
+    let scc = tarjan_scc(dfa_states, |v| dfa_edges[v].values().copied());
+    let phase_count = scc.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+
+    let block_size = |b: u64| cfg.block(b).map(BasicBlock::byte_size).unwrap_or(0);
+
+    let mut phases: Vec<Phase> = (0..phase_count)
+        .map(|id| Phase {
+            id,
+            blocks: BTreeSet::new(),
+            transitions: BTreeMap::new(),
+            code_bytes: 0,
+        })
+        .collect();
+    for (sid, state) in states.iter().enumerate() {
+        let pid = scc[sid];
+        phases[pid].blocks.extend(
+            state
+                .iter()
+                .copied()
+                .filter(|&n| n != HALT_NODE)
+                .map(|n| expanded.block[n]),
+        );
+    }
+    for p in &mut phases {
+        p.code_bytes = p.blocks.iter().map(|&b| block_size(b)).sum();
+    }
+    for (sid, edges) in dfa_edges.iter().enumerate() {
+        let from = scc[sid];
+        for (&sym, &to_state) in edges {
+            let to = scc[to_state];
+            if let Some(sysno) = Sysno::new(sym) {
+                phases[from].transitions.entry(to).or_default().insert(sysno);
+            }
+        }
+    }
+
+    let initial = if dfa_states > 0 { scc[0] } else { 0 };
+    PhaseAutomaton { phases, initial, dfa_states, truncated }
+}
+
+/// Tarjan's strongly-connected components; returns a component id per
+/// vertex. Iterative to survive deep DFAs.
+fn tarjan_scc<I: Iterator<Item = usize>>(n: usize, succs: impl Fn(usize) -> I) -> Vec<usize> {
+    #[derive(Clone, Copy)]
+    struct Node {
+        index: usize,
+        lowlink: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut nodes =
+        vec![Node { index: 0, lowlink: 0, on_stack: false, visited: false }; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    for root in 0..n {
+        if nodes[root].visited {
+            continue;
+        }
+        // Iterative DFS with an explicit call stack.
+        let mut call: Vec<(usize, Vec<usize>, usize)> =
+            vec![(root, succs(root).collect(), 0)];
+        nodes[root].visited = true;
+        nodes[root].index = next_index;
+        nodes[root].lowlink = next_index;
+        next_index += 1;
+        stack.push(root);
+        nodes[root].on_stack = true;
+
+        while let Some((v, vsuccs, cursor)) = call.last_mut() {
+            if *cursor < vsuccs.len() {
+                let w = vsuccs[*cursor];
+                *cursor += 1;
+                if !nodes[w].visited {
+                    nodes[w].visited = true;
+                    nodes[w].index = next_index;
+                    nodes[w].lowlink = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    nodes[w].on_stack = true;
+                    let wsuccs: Vec<usize> = succs(w).collect();
+                    call.push((w, wsuccs, 0));
+                } else if nodes[w].on_stack {
+                    let v = *v;
+                    nodes[v].lowlink = nodes[v].lowlink.min(nodes[w].index);
+                }
+            } else {
+                let (v, _, _) = call.pop().expect("non-empty");
+                if nodes[v].lowlink == nodes[v].index {
+                    loop {
+                        let w = stack.pop().expect("stack invariant");
+                        nodes[w].on_stack = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                if let Some((parent, _, _)) = call.last() {
+                    let p = *parent;
+                    nodes[p].lowlink = nodes[p].lowlink.min(nodes[v].lowlink);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// The intuitive CFG-navigation phase detector the paper measures against
+/// the automaton method (§4.7: "navigating the CFG to perform that
+/// operation is a very costly operation that does not scale well").
+///
+/// The method merges highly-connected syscall nodes into phases by
+/// repeatedly *re-navigating* the graph: in every round it checks each
+/// pair of current clusters for mutual reachability that does not cross a
+/// third cluster (one BFS per direction per pair), merges the first such
+/// pair, and starts over — the quadratic-with-recomputation cost profile
+/// that motivates the automaton construction.
+pub fn detect_phases_naive(
+    cfg: &Cfg,
+    site_sets: &HashMap<u64, SyscallSet>,
+) -> PhaseAutomaton {
+    let labels = block_labels(cfg, site_sets);
+    let syscall_blocks: Vec<u64> = {
+        let mut v: Vec<u64> = labels.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let n = syscall_blocks.len();
+
+    // cluster id per syscall block.
+    let mut cluster: Vec<usize> = (0..n).collect();
+    let index_of: HashMap<u64, usize> =
+        syscall_blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    // BFS: does `from` reach `to` without entering a syscall block of a
+    // third cluster? Recomputed from scratch every time — the naive cost.
+    let reaches = |from: usize, to: usize, cluster: &[usize]| -> bool {
+        let (src, dst) = (syscall_blocks[from], syscall_blocks[to]);
+        let allowed_cluster = (cluster[from], cluster[to]);
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        queue.push_back(src);
+        while let Some(b) = queue.pop_front() {
+            for &(succ, _) in cfg.succs(b) {
+                if succ == dst {
+                    return true;
+                }
+                if let Some(&k) = index_of.get(&succ) {
+                    let c = cluster[k];
+                    if c != allowed_cluster.0 && c != allowed_cluster.1 {
+                        continue; // a third cluster blocks the path
+                    }
+                }
+                if seen.insert(succ) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        false
+    };
+
+    // Agglomerative rounds: merge the first mutually-reachable pair and
+    // restart the pair scan.
+    loop {
+        let mut merged = false;
+        'pairs: for i in 0..n {
+            for j in (i + 1)..n {
+                if cluster[i] == cluster[j] {
+                    continue;
+                }
+                if reaches(i, j, &cluster) && reaches(j, i, &cluster) {
+                    let (keep, drop) = (cluster[i].min(cluster[j]), cluster[i].max(cluster[j]));
+                    for c in cluster.iter_mut() {
+                        if *c == drop {
+                            *c = keep;
+                        }
+                    }
+                    merged = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    // Compact cluster ids into phase ids.
+    let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
+    for &c in &cluster {
+        let next = remap.len();
+        remap.entry(c).or_insert(next);
+    }
+    let phase_count = remap.len();
+    let mut phases: Vec<Phase> = (0..phase_count)
+        .map(|id| Phase {
+            id,
+            blocks: BTreeSet::new(),
+            transitions: BTreeMap::new(),
+            code_bytes: 0,
+        })
+        .collect();
+    for (i, &b) in syscall_blocks.iter().enumerate() {
+        let pid = remap[&cluster[i]];
+        phases[pid].blocks.insert(b);
+        phases[pid].code_bytes += cfg.block(b).map(BasicBlock::byte_size).unwrap_or(0);
+    }
+    // Transitions: per source syscall block, the next syscall blocks
+    // reachable without crossing a third block (one more navigation).
+    for (i, &b) in syscall_blocks.iter().enumerate() {
+        let from = remap[&cluster[i]];
+        let label = &labels[&b];
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        for &(succ, _) in cfg.succs(b) {
+            if seen.insert(succ) {
+                queue.push_back(succ);
+            }
+        }
+        while let Some(x) = queue.pop_front() {
+            if let Some(&k) = index_of.get(&x) {
+                let to = remap[&cluster[k]];
+                phases[from].transitions.entry(to).or_default().extend_from(label);
+                continue;
+            }
+            for &(succ, _) in cfg.succs(x) {
+                if seen.insert(succ) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+    }
+    let initial = syscall_blocks
+        .first()
+        .map(|_| remap[&cluster[0]])
+        .unwrap_or(0);
+    PhaseAutomaton { phases, initial, dfa_states: n, truncated: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_cfg::{CfgOptions, FunctionSym};
+    use bside_x86::{Assembler, Cond, Reg};
+
+    /// A two-phase program: an init phase invoking `open`, then a serving
+    /// loop invoking `read`/`write`, then `exit`.
+    fn two_phase_program() -> (Cfg, HashMap<u64, SyscallSet>) {
+        let mut a = Assembler::new(0x1000);
+        let serve = a.new_label();
+        let out = a.new_label();
+
+        // init: open
+        a.mov_reg_imm32(Reg::Rax, 2);
+        let open_site = a.cursor();
+        a.syscall();
+        // serving loop: read; write; loop back unless rdi == 0
+        a.bind(serve).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 0);
+        let read_site = a.cursor();
+        a.syscall();
+        a.mov_reg_imm32(Reg::Rax, 1);
+        let write_site = a.cursor();
+        a.syscall();
+        a.cmp_reg_imm32(Reg::Rdi, 0);
+        a.jcc_label(Cond::E, out);
+        a.jmp_label(serve);
+        // exit
+        a.bind(out).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 60);
+        let exit_site = a.cursor();
+        a.syscall();
+        a.ret();
+
+        let code = a.finish().unwrap();
+        let funcs =
+            vec![FunctionSym { name: "_start".into(), entry: 0x1000, size: code.len() as u64 }];
+        let cfg = Cfg::build(&code, 0x1000, &[0x1000], &funcs, &CfgOptions::default());
+
+        let site = |addr: u64, raw: u32| {
+            (addr, [Sysno::new(raw).unwrap()].into_iter().collect::<SyscallSet>())
+        };
+        let sets: HashMap<u64, SyscallSet> = [
+            site(open_site, 2),
+            site(read_site, 0),
+            site(write_site, 1),
+            site(exit_site, 60),
+        ]
+        .into_iter()
+        .collect();
+        (cfg, sets)
+    }
+
+    #[test]
+    fn phases_separate_init_from_serving_loop() {
+        let (cfg, sets) = two_phase_program();
+        let automaton = detect_phases(&cfg, &sets, &PhaseOptions::default());
+        assert!(!automaton.truncated);
+        assert!(automaton.phases.len() >= 2, "init and loop must separate");
+
+        // The initial phase allows `open` but not `write`.
+        let initial = &automaton.phases[automaton.initial];
+        let allowed = initial.allowed();
+        assert!(allowed.contains(Sysno::new(2).unwrap()), "{allowed}");
+        assert!(!allowed.contains(Sysno::new(1).unwrap()), "init must not allow write: {allowed}");
+
+        // Some phase (the serving loop) allows read and write together
+        // via self-transitions.
+        assert!(automaton.phases.iter().any(|p| {
+            let a = p.allowed();
+            a.contains(Sysno::new(0).unwrap()) && a.contains(Sysno::new(1).unwrap())
+        }));
+    }
+
+    #[test]
+    fn loop_phase_has_self_transitions() {
+        let (cfg, sets) = two_phase_program();
+        let automaton = detect_phases(&cfg, &sets, &PhaseOptions::default());
+        let looping = automaton
+            .phases
+            .iter()
+            .find(|p| p.transitions.contains_key(&p.id))
+            .expect("the serving loop merges into one phase with self-loops");
+        let self_loop = &looping.transitions[&looping.id];
+        assert!(self_loop.contains(Sysno::new(0).unwrap()));
+        assert!(self_loop.contains(Sysno::new(1).unwrap()));
+    }
+
+    #[test]
+    fn back_propagation_absorbs_successors() {
+        let (cfg, sets) = two_phase_program();
+        let mut automaton = detect_phases(&cfg, &sets, &PhaseOptions::default());
+        let before = automaton.phases[automaton.initial].allowed();
+        automaton.back_propagate();
+        let after = automaton.phases[automaton.initial].allowed();
+        assert!(before.is_subset(&after));
+        // After back-propagation the initial phase allows everything any
+        // later phase allows (seccomp can only tighten).
+        for raw in [0u32, 1, 2, 60] {
+            assert!(after.contains(Sysno::new(raw).unwrap()), "missing {raw}");
+        }
+    }
+
+    #[test]
+    fn strictness_gain_is_positive_for_phased_program() {
+        let (cfg, sets) = two_phase_program();
+        let automaton = detect_phases(&cfg, &sets, &PhaseOptions::default());
+        let mut whole = SyscallSet::new();
+        for s in sets.values() {
+            whole.extend_from(s);
+        }
+        let gain = automaton.strictness_gain(&whole);
+        assert!(gain > 0.0, "phases must be stricter than the whole-program list, gain={gain}");
+        assert!(gain < 1.0);
+    }
+
+    #[test]
+    fn naive_method_agrees_on_phase_count_shape() {
+        let (cfg, sets) = two_phase_program();
+        let automaton = detect_phases(&cfg, &sets, &PhaseOptions::default());
+        let naive = detect_phases_naive(&cfg, &sets);
+        // Both must find at least an init phase and a loop phase.
+        assert!(automaton.phases.len() >= 2);
+        assert!(naive.phases.len() >= 2);
+        // And the loop shows up as a self-transition in both.
+        assert!(naive.phases.iter().any(|p| p.transitions.contains_key(&p.id)));
+    }
+
+    #[test]
+    fn empty_program_yields_empty_automaton() {
+        let mut a = Assembler::new(0x1000);
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = Cfg::build(
+            &code,
+            0x1000,
+            &[0x1000],
+            &[FunctionSym { name: "f".into(), entry: 0x1000, size: 1 }],
+            &CfgOptions::default(),
+        );
+        let automaton = detect_phases(&cfg, &HashMap::new(), &PhaseOptions::default());
+        assert_eq!(automaton.phases.len(), 1, "just the initial ε-closure");
+        assert!(automaton.phases[0].allowed().is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Analysis cost reporting (the measurements behind Table 3).
+
+use bside_cfg::CfgStats;
+use std::time::Duration;
+
+/// Wall-clock time of each pipeline step (the columns of Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Step 1: disassembly + CFG recovery.
+    pub cfg_recovery: Duration,
+    /// Step 2a: wrapper identification.
+    pub wrapper_identification: Duration,
+    /// Step 2b: per-site system call identification.
+    pub syscall_identification: Duration,
+    /// Whole analysis (slightly more than the sum: loading etc.).
+    pub total: Duration,
+}
+
+/// Cost counters for one analysis run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisStats {
+    /// Step timings.
+    pub timings: PhaseTimings,
+    /// CFG construction counters.
+    pub cfg: CfgStats,
+    /// Number of reachable `syscall` sites identified.
+    pub sites: usize,
+    /// Basic blocks executed symbolically during identification — the
+    /// "BBs explored in identification phase" column of Table 3.
+    pub blocks_explored: usize,
+    /// Peak resident set size of the process, if the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Reads the process's peak resident set size (`VmHWM`, falling back to
+/// the current `VmRSS`) from `/proc/self/status`. Returns `None` when the
+/// platform does not expose either (non-Linux, or restricted containers).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let mut vmrss = None;
+    for line in status.lines() {
+        let parse = |rest: &str| -> Option<u64> {
+            rest.trim().trim_end_matches("kB").trim().parse::<u64>().ok().map(|kb| kb * 1024)
+        };
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return parse(rest);
+        }
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            vmrss = parse(rest);
+        }
+    }
+    vmrss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_without_panicking() {
+        // VmHWM may be absent in containers; the call must stay graceful.
+        let _ = peak_rss_bytes();
+    }
+
+    #[test]
+    fn default_stats_are_zero() {
+        let s = AnalysisStats::default();
+        assert_eq!(s.sites, 0);
+        assert_eq!(s.blocks_explored, 0);
+        assert_eq!(s.timings.total, Duration::ZERO);
+    }
+}

@@ -1,0 +1,496 @@
+//! Shared-library analysis and the *shared interface* (§4.5, step 3 of
+//! Fig. 3).
+//!
+//! Analyzing `libc.so` once per dependent program would dominate every
+//! run, so B-Side decouples the work: each library is analyzed **once**
+//! into a JSON *shared interface* — for every exported function, the
+//! system calls it can invoke directly plus the external functions it
+//! calls — and the per-program pass merely resolves the executable's
+//! imports through those interfaces. Cross-library calls are closed over
+//! with a worklist fixpoint (the paper orders the library DAG with a
+//! priority queue; the fixpoint computes the same closure and also
+//! tolerates dependency cycles).
+
+use crate::{AnalysisError, Analyzer};
+use bside_cfg::{Cfg, EdgeKind};
+use bside_elf::Elf;
+use bside_syscalls::SyscallSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Everything a consumer needs to know about one exported function.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExportInfo {
+    /// System calls reachable from this export *within* the library.
+    pub syscalls: SyscallSet,
+    /// External (imported) functions this export can call; resolved
+    /// against other libraries' interfaces at executable-analysis time.
+    pub calls_out: BTreeSet<String>,
+    /// `false` when a site under this export needed the conservative
+    /// fallback.
+    pub complete: bool,
+}
+
+/// The per-library analysis artifact (a JSON file in the paper, §4.5).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SharedInterface {
+    /// Library name (`DT_NEEDED` spelling, e.g. `libc.so`).
+    pub library: String,
+    /// Exported functions and what they can invoke.
+    pub exports: BTreeMap<String, ExportInfo>,
+    /// Names of detected system call wrapper functions.
+    pub wrappers: Vec<String>,
+    /// Addresses taken within the library (item 3 of the paper's shared
+    /// interface contents).
+    pub addresses_taken: Vec<u64>,
+    /// Function-level call graph (item 1): function → directly called
+    /// functions, by name.
+    pub function_cfg: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl SharedInterface {
+    /// Serializes the interface to JSON (the on-disk format of §4.5).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("interface serializes")
+    }
+
+    /// Reads an interface back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// An in-memory collection of shared interfaces, indexed by library name.
+#[derive(Debug, Clone, Default)]
+pub struct LibraryStore {
+    libs: BTreeMap<String, SharedInterface>,
+    /// export name → owning library (first wins, mirroring link order).
+    by_export: HashMap<String, String>,
+}
+
+impl LibraryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a library's interface.
+    pub fn insert(&mut self, interface: SharedInterface) {
+        for name in interface.exports.keys() {
+            self.by_export
+                .entry(name.clone())
+                .or_insert_with(|| interface.library.clone());
+        }
+        self.libs.insert(interface.library.clone(), interface);
+    }
+
+    /// `true` if `library` has been analyzed into the store.
+    pub fn contains(&self, library: &str) -> bool {
+        self.libs.contains_key(library)
+    }
+
+    /// The stored interface for `library`.
+    pub fn interface(&self, library: &str) -> Option<&SharedInterface> {
+        self.libs.get(library)
+    }
+
+    /// Number of stored libraries.
+    pub fn len(&self) -> usize {
+        self.libs.len()
+    }
+
+    /// `true` when no library is stored.
+    pub fn is_empty(&self) -> bool {
+        self.libs.is_empty()
+    }
+
+    /// Persists every stored interface as `<library>.interface.json`
+    /// under `dir` — the on-disk shared-interface cache of §4.5 ("the
+    /// first and computationally-expensive phase is done only once per
+    /// library").
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (name, interface) in &self.libs {
+            let path = dir.join(format!("{name}.interface.json"));
+            std::fs::write(path, interface.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `*.interface.json` under `dir` into a store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed interface files are
+    /// reported as `InvalidData`.
+    pub fn load_from_dir(dir: &std::path::Path) -> std::io::Result<LibraryStore> {
+        let mut store = LibraryStore::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.ends_with(".interface.json") {
+                continue;
+            }
+            let json = std::fs::read_to_string(&path)?;
+            let interface = SharedInterface::from_json(&json).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })?;
+            store.insert(interface);
+        }
+        Ok(store)
+    }
+
+    /// Computes the transitive closure of every export's system call set
+    /// across all stored libraries: `closed(f) = own(f) ∪ ⋃ closed(g)`
+    /// for every external `g` that `f` calls.
+    ///
+    /// Returns `(set, complete)` per export name. Unresolvable external
+    /// names mark the export incomplete.
+    pub fn closure(&self) -> BTreeMap<String, (SyscallSet, bool)> {
+        let mut state: BTreeMap<String, (SyscallSet, bool)> = BTreeMap::new();
+        for lib in self.libs.values() {
+            for (name, info) in &lib.exports {
+                state.insert(name.clone(), (info.syscalls, info.complete));
+            }
+        }
+        // Worklist fixpoint over the cross-library call graph.
+        let mut queue: VecDeque<String> = state.keys().cloned().collect();
+        let mut enqueued: BTreeSet<String> = queue.iter().cloned().collect();
+        while let Some(name) = queue.pop_front() {
+            enqueued.remove(&name);
+            let Some(lib_name) = self.by_export.get(&name) else {
+                continue;
+            };
+            let info = &self.libs[lib_name].exports[&name];
+            let mut merged = state[&name].0;
+            let mut complete = state[&name].1;
+            for callee in &info.calls_out {
+                match state.get(callee) {
+                    Some((set, c)) => {
+                        merged.extend_from(set);
+                        complete &= c;
+                    }
+                    None => complete = false, // unresolvable import
+                }
+            }
+            if merged != state[&name].0 || complete != state[&name].1 {
+                // Changed: re-examine everything that calls `name`.
+                state.insert(name.clone(), (merged, complete));
+                for lib in self.libs.values() {
+                    for (caller, caller_info) in &lib.exports {
+                        if caller_info.calls_out.contains(&name) && enqueued.insert(caller.clone())
+                        {
+                            queue.push_back(caller.clone());
+                        }
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Resolves one export of `module` (a dlopen-style loaded object)
+    /// against the store, closing over its external calls.
+    pub fn resolve_export_set(&self, _module: &SharedInterface, export: &ExportInfo) -> SyscallSet {
+        let closure = self.closure();
+        let mut set = export.syscalls;
+        for callee in &export.calls_out {
+            if let Some((s, _)) = closure.get(callee) {
+                set.extend_from(s);
+            }
+        }
+        set
+    }
+}
+
+/// The external-call resolution result for a dynamic executable.
+#[derive(Debug, Clone)]
+pub struct ExternalResolution {
+    /// System calls reachable through imported functions.
+    pub syscalls: SyscallSet,
+    /// `false` when an import could not be resolved or a library export
+    /// was itself incomplete.
+    pub complete: bool,
+    /// Imported functions that were actually reachable from the program.
+    pub resolved_imports: BTreeSet<String>,
+}
+
+/// Resolves the reachable imported calls of a dynamic executable through
+/// the shared interfaces (steps J–M of Fig. 3).
+pub(crate) fn resolve_external_calls(
+    elf: &Elf,
+    cfg: &Cfg,
+    libs: &LibraryStore,
+) -> Result<ExternalResolution, AnalysisError> {
+    // GOT slot → imported symbol name, from .rela.plt.
+    let mut slot_to_symbol: HashMap<u64, &str> = HashMap::new();
+    for rela in elf.plt_relocations() {
+        slot_to_symbol.insert(rela.r_offset, rela.symbol_name.as_str());
+    }
+
+    let closure = libs.closure();
+    let mut out = ExternalResolution {
+        syscalls: SyscallSet::new(),
+        complete: true,
+        resolved_imports: BTreeSet::new(),
+    };
+
+    for (&stub_block, &got_slot) in cfg.plt_stubs() {
+        if !cfg.reachable().contains(&stub_block) {
+            continue;
+        }
+        let Some(&symbol) = slot_to_symbol.get(&got_slot) else {
+            // A stub with no relocation: cannot name the import.
+            out.complete = false;
+            continue;
+        };
+        out.resolved_imports.insert(symbol.to_string());
+        match closure.get(symbol) {
+            Some((set, complete)) => {
+                out.syscalls.extend_from(set);
+                out.complete &= complete;
+            }
+            None => out.complete = false,
+        }
+    }
+    Ok(out)
+}
+
+/// Analyzes a shared library into its [`SharedInterface`] (§4.5).
+pub(crate) fn analyze_library(
+    analyzer: &Analyzer,
+    elf: &Elf,
+    name: &str,
+    exposed: Option<&[String]>,
+) -> Result<SharedInterface, AnalysisError> {
+    let exports: Vec<(String, u64)> = elf
+        .exported_functions()
+        .into_iter()
+        .filter(|s| exposed.is_none_or(|names| names.iter().any(|n| n == &s.name)))
+        .map(|s| (s.name.clone(), s.value))
+        .collect();
+    if exports.is_empty() {
+        return Err(AnalysisError::NoEntry);
+    }
+    let entries: Vec<u64> = exports.iter().map(|&(_, addr)| addr).collect();
+
+    // Steps D–H rooted at the exposed functions.
+    let analysis = analyzer.analyze_with_entries(elf, &entries, None)?;
+    let cfg = &analysis.cfg;
+
+    // Site → identified set, for per-export attribution. Wrapper sites
+    // are excluded here: their set is the union over *every* caller in
+    // the library (Fig. 2 B); attributing that union to each export would
+    // be exactly the over-estimation B-Side avoids. They are re-queried
+    // per export below, restricted to the export's reachable blocks.
+    let wrapper_sites: std::collections::HashSet<u64> = analysis
+        .wrappers
+        .iter()
+        .flat_map(|w| w.sites.iter().copied())
+        .collect();
+    let site_sets: HashMap<u64, &SyscallSet> = analysis
+        .sites
+        .iter()
+        .filter(|s| !wrapper_sites.contains(&s.site))
+        .map(|s| (s.site, &s.syscalls))
+        .collect();
+    let site_complete: HashMap<u64, bool> = analysis
+        .sites
+        .iter()
+        .map(|s| (s.site, !matches!(s.outcome, crate::SiteOutcome::ConservativeFallback)))
+        .collect();
+
+    // GOT slot → import name for external call attribution.
+    let mut slot_to_symbol: HashMap<u64, String> = HashMap::new();
+    for rela in elf.plt_relocations() {
+        slot_to_symbol.insert(rela.r_offset, rela.symbol_name.clone());
+    }
+
+    let mut export_infos: BTreeMap<String, ExportInfo> = BTreeMap::new();
+    for (export_name, entry) in &exports {
+        let mut info =
+            ExportInfo { syscalls: SyscallSet::new(), calls_out: BTreeSet::new(), complete: true };
+        // Per-export reachability over the library CFG.
+        let Some(entry_block) = cfg.block_containing(*entry) else {
+            export_infos.insert(export_name.clone(), info);
+            continue;
+        };
+        let mut seen: BTreeSet<u64> = [entry_block].into();
+        let mut queue: VecDeque<u64> = [entry_block].into();
+        while let Some(b) = queue.pop_front() {
+            if let Some(&slot) = cfg.plt_stubs().get(&b).as_ref() {
+                match slot_to_symbol.get(slot) {
+                    Some(sym) => {
+                        info.calls_out.insert(sym.clone());
+                    }
+                    None => info.complete = false,
+                }
+            }
+            if let Some(block) = cfg.block(b) {
+                for insn in &block.insns {
+                    if let Some(set) = site_sets.get(&insn.addr) {
+                        info.syscalls.extend_from(set);
+                        info.complete &= site_complete.get(&insn.addr).copied().unwrap_or(false);
+                    }
+                }
+            }
+            for &(to, kind) in cfg.succs(b) {
+                if kind == EdgeKind::Return {
+                    continue;
+                }
+                if seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        // Wrapper sites reachable from this export: query the wrapper
+        // parameter with the search universe restricted to the export's
+        // blocks, so only numbers this export can pass are attributed.
+        for w in &analysis.wrappers {
+            let Some(wb) = cfg.block_containing(w.entry) else { continue };
+            if !seen.contains(&wb) {
+                continue;
+            }
+            let (set, complete) =
+                crate::identify::identify_wrapper(cfg, w, analyzer.options(), Some(&seen))?;
+            info.syscalls.extend_from(&set);
+            info.complete &= complete;
+        }
+        export_infos.insert(export_name.clone(), info);
+    }
+
+    // Function-level call graph (item 1 of the interface contents).
+    let mut function_cfg: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in cfg.functions() {
+        let Some(fb) = cfg.block_containing(f.entry) else {
+            continue;
+        };
+        let mut callees = BTreeSet::new();
+        // Every call edge out of blocks of this function.
+        for &start in cfg.blocks().keys() {
+            if cfg.function_of(start).is_none_or(|g| g.entry != f.entry) {
+                continue;
+            }
+            for &(to, kind) in cfg.succs(start) {
+                if kind == EdgeKind::Call {
+                    if let Some(g) = cfg.function_of(to) {
+                        callees.insert(g.name.clone());
+                    }
+                }
+            }
+        }
+        let _ = fb;
+        function_cfg.insert(f.name.clone(), callees);
+    }
+
+    Ok(SharedInterface {
+        library: name.to_string(),
+        exports: export_infos,
+        wrappers: analysis.wrappers.iter().map(|w| w.name.clone()).collect(),
+        addresses_taken: cfg.addresses_taken().iter().copied().collect(),
+        function_cfg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::well_known as wk;
+
+    fn export(syscalls: &[bside_syscalls::Sysno], calls: &[&str]) -> ExportInfo {
+        ExportInfo {
+            syscalls: syscalls.iter().copied().collect(),
+            calls_out: calls.iter().map(|s| s.to_string()).collect(),
+            complete: true,
+        }
+    }
+
+    fn lib(name: &str, exports: Vec<(&str, ExportInfo)>) -> SharedInterface {
+        SharedInterface {
+            library: name.into(),
+            exports: exports.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+            wrappers: Vec::new(),
+            addresses_taken: Vec::new(),
+            function_cfg: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn closure_follows_cross_library_calls() {
+        let mut store = LibraryStore::new();
+        store.insert(lib("liba.so", vec![
+            ("a_fn", export(&[wk::READ], &["b_fn"])),
+        ]));
+        store.insert(lib("libb.so", vec![
+            ("b_fn", export(&[wk::WRITE], &[])),
+        ]));
+        let closure = store.closure();
+        let (set, complete) = &closure["a_fn"];
+        assert!(complete);
+        assert!(set.contains(wk::READ) && set.contains(wk::WRITE));
+        assert_eq!(closure["b_fn"].0.len(), 1);
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        let mut store = LibraryStore::new();
+        store.insert(lib("liba.so", vec![
+            ("a_fn", export(&[wk::READ], &["b_fn"])),
+        ]));
+        store.insert(lib("libb.so", vec![
+            ("b_fn", export(&[wk::WRITE], &["a_fn"])),
+        ]));
+        let closure = store.closure();
+        for name in ["a_fn", "b_fn"] {
+            let (set, _) = &closure[name];
+            assert!(set.contains(wk::READ) && set.contains(wk::WRITE), "{name}");
+        }
+    }
+
+    #[test]
+    fn unresolvable_import_marks_incomplete() {
+        let mut store = LibraryStore::new();
+        store.insert(lib("liba.so", vec![
+            ("a_fn", export(&[wk::READ], &["missing_fn"])),
+        ]));
+        let closure = store.closure();
+        assert!(!closure["a_fn"].1);
+    }
+
+    #[test]
+    fn interface_json_round_trip() {
+        let interface = lib("libc.so", vec![
+            ("write", export(&[wk::WRITE], &[])),
+            ("printf", export(&[wk::WRITE, wk::BRK], &["write"])),
+        ]);
+        let json = interface.to_json();
+        let back = SharedInterface::from_json(&json).expect("parses");
+        assert_eq!(interface, back);
+        assert!(json.contains("\"library\""));
+    }
+
+    #[test]
+    fn first_export_wins_on_name_collision() {
+        let mut store = LibraryStore::new();
+        store.insert(lib("liba.so", vec![("f", export(&[wk::READ], &[]))]));
+        store.insert(lib("libb.so", vec![("f", export(&[wk::WRITE], &[]))]));
+        // Resolution keyed by name uses liba's entry (link order).
+        let closure = store.closure();
+        // Both entries land in the state map keyed by name; the by_export
+        // index prefers liba.
+        assert!(closure["f"].0.contains(wk::READ) || closure["f"].0.contains(wk::WRITE));
+        assert_eq!(store.by_export["f"], "liba.so");
+    }
+}

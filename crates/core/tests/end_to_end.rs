@@ -1,0 +1,233 @@
+//! End-to-end tests: the full B-Side pipeline over generated binaries.
+//!
+//! The headline claim of §5.1 — *no false negatives* — becomes the
+//! invariant `truth ⊆ identified` checked over the application profiles
+//! and randomized corpus slices; the precision claim becomes
+//! `identified == static_truth` (the smallest sound static answer) on
+//! clean binaries.
+
+use bside_core::{Analyzer, AnalyzerOptions, LibraryStore};
+use bside_gen::corpus::corpus_with_size;
+use bside_gen::profiles::all_profiles;
+use bside_gen::{generate, trace_syscalls, ProgramSpec, Scenario, WrapperStyle};
+use bside_elf::ElfKind;
+
+#[test]
+fn profiles_have_no_false_negatives_and_exact_precision() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for profile in all_profiles() {
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", profile.name));
+        let truth = profile.truth();
+        assert!(
+            truth.is_subset(&analysis.syscalls),
+            "{}: false negatives {}",
+            profile.name,
+            truth.difference(&analysis.syscalls)
+        );
+        // On our clean corpus B-Side reaches the sound-static optimum:
+        // exactly the truth plus unavoidable dispatch alternatives.
+        assert_eq!(
+            analysis.syscalls,
+            profile.static_truth(),
+            "{}: identified set deviates from the sound static optimum",
+            profile.name
+        );
+        assert!(analysis.precise, "{}", profile.name);
+    }
+}
+
+#[test]
+fn profiles_exclude_dead_dangerous_syscalls() {
+    use bside_syscalls::well_known as wk;
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for profile in all_profiles() {
+        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        // §5.2: "B-Side is able to filter out execve … and execveat on all
+        // popular applications" — the dead runtime cruft contains both.
+        assert!(!analysis.syscalls.contains(wk::EXECVE), "{}", profile.name);
+        assert!(!analysis.syscalls.contains(wk::EXECVEAT), "{}", profile.name);
+        assert!(!analysis.syscalls.contains(wk::PTRACE), "{}", profile.name);
+    }
+}
+
+#[test]
+fn wrappers_are_detected_in_wrapper_profiles() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for profile in all_profiles() {
+        let uses_wrapper = profile.program.spec.wrapper_style != WrapperStyle::None;
+        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        if uses_wrapper {
+            assert!(
+                analysis.wrappers.iter().any(|w| w.name == "syscall_wrapper"),
+                "{}: wrapper not detected",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_static_binaries_no_false_negatives() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let corpus = corpus_with_size(0xAB, 20, 0, 0);
+    for binary in &corpus.binaries {
+        let analysis = analyzer
+            .analyze_static(&binary.program.elf)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", binary.program.spec.name));
+        let truth = binary.program.truth;
+        assert!(
+            truth.is_subset(&analysis.syscalls),
+            "{}: FN {}",
+            binary.program.spec.name,
+            truth.difference(&analysis.syscalls)
+        );
+        assert_eq!(
+            analysis.syscalls, binary.program.static_truth,
+            "{}: deviates from static optimum",
+            binary.program.spec.name
+        );
+    }
+}
+
+#[test]
+fn corpus_dynamic_binaries_resolve_through_interfaces() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let corpus = corpus_with_size(0xCD, 0, 12, 5);
+
+    // Analyze every library once (the decoupled first phase of §4.5).
+    let mut store = LibraryStore::new();
+    for lib in &corpus.libraries {
+        let interface = analyzer
+            .analyze_library(&lib.elf, &lib.spec.name, None)
+            .unwrap_or_else(|e| panic!("library {} failed: {e}", lib.spec.name));
+        store.insert(interface);
+    }
+
+    for binary in &corpus.binaries {
+        let libs: Vec<_> = corpus.libs_of(binary).into_iter().cloned().collect();
+        let analysis = analyzer
+            .analyze_dynamic(&binary.program.elf, &store, &[])
+            .unwrap_or_else(|e| panic!("{} failed: {e}", binary.program.spec.name));
+        let truth = binary.truth(&libs);
+        assert!(
+            truth.is_subset(&analysis.syscalls),
+            "{}: FN {}",
+            binary.program.spec.name,
+            truth.difference(&analysis.syscalls)
+        );
+        // Paper-grade precision bound: identified stays within the static
+        // truth of the binary plus everything its libraries could do (a
+        // loose but honest upper bound on over-approximation).
+        let mut upper = binary.static_truth(&libs);
+        for lib in &libs {
+            for name in lib.direct_truth.keys() {
+                if let Some(t) = lib.export_truth(name, &libs) {
+                    upper.extend_from(&t);
+                }
+            }
+        }
+        assert!(
+            analysis.syscalls.is_subset(&upper),
+            "{}: identified {} exceeds the upper bound {}",
+            binary.program.spec.name,
+            analysis.syscalls,
+            upper
+        );
+    }
+}
+
+#[test]
+fn traced_subset_identified_on_every_profile() {
+    // strace ⊆ truth ⊆ identified: the validation chain of Fig. 7.
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for profile in all_profiles() {
+        let traced = trace_syscalls(&profile.program, &[]);
+        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        assert!(traced.is_subset(&analysis.syscalls), "{}", profile.name);
+    }
+}
+
+#[test]
+fn missing_library_is_reported() {
+    let spec = ProgramSpec {
+        name: "needs_lib".into(),
+        kind: ElfKind::PieExecutable,
+        wrapper_style: WrapperStyle::None,
+        scenarios: vec![Scenario::CallImport("absent_fn".into())],
+        dead_scenarios: vec![],
+        imports: vec!["absent_fn".into()],
+        libs: vec!["libabsent.so".into()],
+        serve_loop: None,
+    };
+    let prog = generate(&spec);
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let err = analyzer
+        .analyze_dynamic(&prog.elf, &LibraryStore::new(), &[])
+        .unwrap_err();
+    assert!(matches!(err, bside_core::AnalysisError::MissingLibrary(_)), "{err}");
+}
+
+#[test]
+fn wrapper_ablation_loses_precision_in_library_attribution() {
+    // The Fig. 2 B scenario: a library routes every syscall through one
+    // wrapper. A program calling only the benign export must not inherit
+    // the dangerous exports' numbers — unless wrapper detection is
+    // disabled, in which case the wrapper site's set is the union over
+    // every caller in the library.
+    use bside_gen::{generate_library, ExportSpec, LibrarySpec};
+
+    let lib = generate_library(&LibrarySpec {
+        name: "libwrapped.so".into(),
+        base: 0x1000_0000,
+        wrapper_style: WrapperStyle::Register,
+        libs: vec![],
+        exports: vec![
+            ExportSpec { name: "benign_read".into(), syscalls: vec![0], calls: vec![] },
+            ExportSpec { name: "spawn_proc".into(), syscalls: vec![59, 101], calls: vec![] },
+        ],
+    });
+    let spec = ProgramSpec {
+        name: "uses_benign".into(),
+        kind: ElfKind::PieExecutable,
+        wrapper_style: WrapperStyle::None,
+        scenarios: vec![Scenario::CallImport("benign_read".into())],
+        dead_scenarios: vec![],
+        imports: vec!["benign_read".into()],
+        libs: vec!["libwrapped.so".into()],
+        serve_loop: None,
+    };
+    let prog = generate(&spec);
+
+    let analyze = |detect_wrappers: bool| {
+        let analyzer = Analyzer::new(AnalyzerOptions {
+            detect_wrappers,
+            ..AnalyzerOptions::default()
+        });
+        let mut store = LibraryStore::new();
+        let interface = analyzer
+            .analyze_library(&lib.elf, "libwrapped.so", None)
+            .expect("library analyzes");
+        store.insert(interface);
+        analyzer.analyze_dynamic(&prog.elf, &store, &[]).expect("program analyzes")
+    };
+
+    use bside_syscalls::well_known as wk;
+    let precise = analyze(true);
+    assert!(precise.syscalls.contains(wk::READ));
+    assert!(
+        !precise.syscalls.contains(wk::EXECVE),
+        "wrapper attribution must keep execve out: {}",
+        precise.syscalls
+    );
+
+    let ablated = analyze(false);
+    assert!(
+        ablated.syscalls.contains(wk::EXECVE) && ablated.syscalls.contains(wk::PTRACE),
+        "without wrapper detection the union over all callers leaks in: {}",
+        ablated.syscalls
+    );
+    // Soundness is kept either way.
+    assert!(precise.syscalls.contains(wk::READ) && ablated.syscalls.contains(wk::READ));
+}

@@ -1,0 +1,225 @@
+//! Tests for the pipeline's extension surfaces: dlopen-style modules,
+//! exposed-function-restricted library analysis, the popular-function
+//! state-explosion guard (Fig. 2 A), and timeout reporting.
+
+use bside_core::{Analyzer, AnalyzerOptions, LibraryStore};
+use bside_elf::ElfKind;
+use bside_gen::{
+    generate, generate_library, ExportSpec, LibrarySpec, ProgramSpec, Scenario, WrapperStyle,
+};
+use bside_symex::Limits;
+use bside_syscalls::well_known as wk;
+
+fn plain_spec(scenarios: Vec<Scenario>) -> ProgramSpec {
+    ProgramSpec {
+        name: "t".into(),
+        kind: ElfKind::PieExecutable,
+        wrapper_style: WrapperStyle::None,
+        scenarios,
+        dead_scenarios: vec![],
+        imports: vec![],
+        libs: vec![],
+        serve_loop: None,
+    }
+}
+
+#[test]
+fn dlopen_modules_contribute_their_exports() {
+    // Nginx-style: the main binary loads a module at runtime; per §4.5
+    // the user names it and it is processed like a shared library —
+    // every exported function may be invoked.
+    let module = generate_library(&LibrarySpec {
+        name: "ngx_http_geoip.so".into(),
+        base: 0x3000_0000,
+        wrapper_style: WrapperStyle::Register,
+        libs: vec![],
+        exports: vec![
+            ExportSpec { name: "module_init".into(), syscalls: vec![2, 5], calls: vec![] },
+            ExportSpec { name: "module_handler".into(), syscalls: vec![44], calls: vec![] },
+        ],
+    });
+    let prog = generate(&plain_spec(vec![Scenario::Direct(vec![0])]));
+
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let store = LibraryStore::new();
+    let module_interface = analyzer
+        .analyze_library(&module.elf, "ngx_http_geoip.so", None)
+        .expect("module analyzes");
+
+    let without = analyzer.analyze_dynamic(&prog.elf, &store, &[]).expect("analyzes");
+    let with = analyzer
+        .analyze_dynamic(&prog.elf, &store, &[&module_interface])
+        .expect("analyzes");
+
+    assert!(!without.syscalls.contains(wk::OPEN));
+    assert!(with.syscalls.contains(wk::OPEN), "module_init's open");
+    assert!(with.syscalls.contains(bside_syscalls::Sysno::from_name("sendto").unwrap()));
+    assert!(without.syscalls.is_subset(&with.syscalls));
+}
+
+#[test]
+fn exposed_restriction_narrows_the_interface() {
+    // §4.5: a library can be analyzed only for the exposed functions a
+    // given program actually reaches.
+    let lib = generate_library(&LibrarySpec {
+        name: "libmulti.so".into(),
+        base: 0x1000_0000,
+        wrapper_style: WrapperStyle::None,
+        libs: vec![],
+        exports: vec![
+            ExportSpec { name: "used_fn".into(), syscalls: vec![0], calls: vec![] },
+            ExportSpec { name: "unused_fn".into(), syscalls: vec![59], calls: vec![] },
+        ],
+    });
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+
+    let full = analyzer.analyze_library(&lib.elf, "libmulti.so", None).expect("ok");
+    assert_eq!(full.exports.len(), 2);
+
+    let restricted = analyzer
+        .analyze_library(&lib.elf, "libmulti.so", Some(&["used_fn".to_string()]))
+        .expect("ok");
+    assert_eq!(restricted.exports.len(), 1);
+    assert!(restricted.exports.contains_key("used_fn"));
+    assert!(restricted.exports["used_fn"].syscalls.contains(wk::READ));
+}
+
+#[test]
+fn restricting_to_no_known_export_fails_cleanly() {
+    let lib = generate_library(&LibrarySpec {
+        name: "lib.so".into(),
+        base: 0x1000_0000,
+        wrapper_style: WrapperStyle::None,
+        libs: vec![],
+        exports: vec![ExportSpec { name: "f".into(), syscalls: vec![0], calls: vec![] }],
+    });
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let err = analyzer
+        .analyze_library(&lib.elf, "lib.so", Some(&["nonexistent".to_string()]))
+        .unwrap_err();
+    assert!(matches!(err, bside_core::AnalysisError::NoEntry), "{err}");
+}
+
+#[test]
+fn popular_helper_with_many_callers_stays_cheap() {
+    // Fig. 2 A: a helper called from many places between the immediate
+    // definition and the syscall. The directed search must skip the
+    // helper's other callers entirely; exploration stays linear in the
+    // scenario count rather than exploding combinatorially.
+    let many: Vec<Scenario> = (0..40).map(|i| Scenario::PopularHelper(i % 300)).collect();
+    let prog = generate(&plain_spec(many));
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analysis = analyzer.analyze_static(&prog.elf).expect("analyzes");
+    assert!(prog.truth.is_subset(&analysis.syscalls));
+    // Each of the 40 sites should explore only its own few blocks: the
+    // bound is generous but orders of magnitude below the fan-out a
+    // non-directed search would produce (40 sites × 40 callers × paths).
+    assert!(
+        analysis.stats.blocks_explored < 40 * 20,
+        "directed search explored {} blocks",
+        analysis.stats.blocks_explored
+    );
+}
+
+#[test]
+fn exhausted_budget_is_reported_as_timeout() {
+    // The paper's per-binary timeout (§5.2) maps to budget exhaustion.
+    let prog = generate(&plain_spec(vec![
+        Scenario::BranchJoin(0, 1),
+        Scenario::BranchJoin(2, 3),
+        Scenario::ThroughStack(4),
+    ]));
+    let analyzer = Analyzer::new(AnalyzerOptions {
+        limits: Limits { max_total_blocks: 1, ..Limits::default() },
+        ..AnalyzerOptions::default()
+    });
+    let err = analyzer.analyze_static(&prog.elf).unwrap_err();
+    assert!(matches!(err, bside_core::AnalysisError::Timeout { .. }), "{err}");
+}
+
+#[test]
+fn analysis_without_conservative_fallback_reports_imprecision() {
+    // A raw unbounded site (rax from an input register): with the
+    // fallback disabled the set stays small but the result is flagged.
+    use bside_elf::{ElfBuilder, SymbolSpec};
+    use bside_x86::{Assembler, Reg};
+    let mut a = Assembler::new(0x1000);
+    a.mov_reg_reg(Reg::Rax, Reg::R15);
+    a.syscall();
+    a.ret();
+    let code = a.finish().unwrap();
+    let len = code.len() as u64;
+    let image = ElfBuilder::new(ElfKind::PieExecutable)
+        .text(code, 0x1000)
+        .entry(0x1000)
+        .symbol(SymbolSpec::function("_start", 0x1000, len))
+        .build()
+        .unwrap();
+    let elf = bside_elf::Elf::parse(&image).unwrap();
+
+    let conservative = Analyzer::new(AnalyzerOptions::default())
+        .analyze_static(&elf)
+        .expect("analyzes");
+    assert!(!conservative.precise);
+    assert_eq!(conservative.syscalls.len(), bside_syscalls::SyscallSet::all_known().len());
+
+    let lax = Analyzer::new(AnalyzerOptions {
+        conservative_fallback: false,
+        ..AnalyzerOptions::default()
+    })
+    .analyze_static(&elf)
+    .expect("analyzes");
+    assert!(!lax.precise);
+    assert!(lax.syscalls.is_empty());
+}
+
+#[test]
+fn library_store_persists_to_disk_and_back() {
+    // The §4.5 on-disk cache: interfaces survive a save/load round trip
+    // and resolve identically.
+    let corpus = bside_gen::corpus::corpus_with_size(33, 0, 3, 4);
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let mut store = LibraryStore::new();
+    for lib in &corpus.libraries {
+        store.insert(analyzer.analyze_library(&lib.elf, &lib.spec.name, None).expect("ok"));
+    }
+
+    let dir = std::env::temp_dir().join(format!("bside-store-{}", std::process::id()));
+    store.save_to_dir(&dir).expect("save");
+    let loaded = LibraryStore::load_from_dir(&dir).expect("load");
+    assert_eq!(loaded.len(), store.len());
+
+    for binary in corpus.binaries.iter().filter(|b| !b.is_static) {
+        let a = analyzer.analyze_dynamic(&binary.program.elf, &store, &[]).expect("ok");
+        let b = analyzer.analyze_dynamic(&binary.program.elf, &loaded, &[]).expect("ok");
+        assert_eq!(a.syscalls, b.syscalls, "{}", binary.program.spec.name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_from_dir_rejects_malformed_interfaces() {
+    let dir = std::env::temp_dir().join(format!("bside-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("broken.interface.json"), "{not json").expect("write");
+    let err = LibraryStore::load_from_dir(&dir).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn computed_and_tail_called_numbers_are_identified_exactly() {
+    // mov rax, 1; add rax, 2; syscall → close(3): the symbolic executor's
+    // constant folding resolves what use-define chains cannot.
+    let prog = generate(&plain_spec(vec![
+        Scenario::ComputedAdd(1, 2),
+        Scenario::TailCall(39),
+    ]));
+    let analysis = Analyzer::new(AnalyzerOptions::default())
+        .analyze_static(&prog.elf)
+        .expect("analyzes");
+    assert_eq!(analysis.syscalls, prog.static_truth);
+    assert!(analysis.syscalls.contains(wk::CLOSE));
+    assert!(analysis.syscalls.contains(bside_syscalls::Sysno::from_name("getpid").unwrap()));
+    assert!(analysis.precise);
+}

@@ -1,0 +1,96 @@
+//! ELF64 object-file reader and writer.
+//!
+//! B-Side consumes x86-64 ELF executables and shared objects without any
+//! access to sources (§4.1 of the paper), so the very first substrate it
+//! needs is an ELF parser. This crate provides:
+//!
+//! * [`Elf`] / [`Elf::parse`] — a reader for the structures the analysis
+//!   needs: file/program/section headers, `.symtab` and `.dynsym` symbols,
+//!   the dynamic section (`DT_NEEDED` dependencies), and PLT relocations
+//!   (used to resolve calls into shared libraries);
+//! * [`ElfBuilder`] — a writer used by the synthetic-corpus generator
+//!   (`bside-gen`) to emit well-formed static executables, dynamically
+//!   linked executables, and shared objects.
+//!
+//! The writer and reader round-trip: everything `ElfBuilder` emits,
+//! `Elf::parse` reads back structurally identical (see the property tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_elf::{Elf, ElfBuilder, ElfKind, SymbolSpec};
+//!
+//! let image = ElfBuilder::new(ElfKind::Executable)
+//!     .text(vec![0x0f, 0x05, 0xc3], 0x401000) // syscall; ret
+//!     .entry(0x401000)
+//!     .symbol(SymbolSpec::function("_start", 0x401000, 3))
+//!     .build()?;
+//!
+//! let elf = Elf::parse(&image)?;
+//! assert_eq!(elf.entry_point(), 0x401000);
+//! let (text, vaddr) = elf.text().expect("has .text");
+//! assert_eq!(vaddr, 0x401000);
+//! assert_eq!(text, &[0x0f, 0x05, 0xc3]);
+//! # Ok::<(), bside_elf::ElfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod read;
+mod types;
+mod write;
+
+pub use read::{Elf, Section};
+pub use types::{
+    Dyn, FileHeader, ProgramHeader, Rela, SectionHeader, Symbol, DT_NEEDED, DT_NULL, DT_PLTRELSZ,
+    DT_STRTAB, DT_SYMTAB, ET_DYN, ET_EXEC, PT_DYNAMIC, PT_LOAD, R_X86_64_GLOB_DAT,
+    R_X86_64_JUMP_SLOT, SHT_DYNAMIC, SHT_DYNSYM, SHT_NOBITS, SHT_NULL, SHT_PROGBITS, SHT_RELA,
+    SHT_STRTAB, SHT_SYMTAB, STB_GLOBAL, STB_LOCAL, STT_FUNC, STT_NOTYPE, STT_OBJECT,
+};
+pub use write::{ElfBuilder, ElfKind, PltReloc, SymbolSpec};
+
+use std::fmt;
+
+/// Errors produced while parsing an ELF image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ElfError {
+    /// The image is smaller than the structure being read requires.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+    },
+    /// The magic bytes are not `\x7fELF`.
+    BadMagic,
+    /// The file is not 64-bit little-endian ELF for x86-64.
+    UnsupportedFormat(&'static str),
+    /// An offset/size pair points outside the image.
+    OutOfBounds {
+        /// What the pointer was for.
+        what: &'static str,
+    },
+    /// A string table index does not point at a NUL-terminated string.
+    BadString,
+    /// A structural invariant is violated (e.g. entry size mismatch).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated { what, offset } => {
+                write!(f, "truncated ELF image while reading {what} at offset {offset:#x}")
+            }
+            ElfError::BadMagic => f.write_str("missing ELF magic"),
+            ElfError::UnsupportedFormat(what) => write!(f, "unsupported ELF format: {what}"),
+            ElfError::OutOfBounds { what } => write!(f, "{what} points outside the image"),
+            ElfError::BadString => f.write_str("invalid string table reference"),
+            ElfError::Malformed(what) => write!(f, "malformed ELF: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}

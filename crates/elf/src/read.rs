@@ -1,0 +1,420 @@
+//! ELF64 parsing.
+
+use crate::types::*;
+use crate::ElfError;
+
+/// A named section together with its raw contents.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (from `.shstrtab`).
+    pub name: String,
+    /// The raw section header.
+    pub header: SectionHeader,
+    /// Section contents (empty for `SHT_NOBITS`).
+    pub data: Vec<u8>,
+}
+
+/// A parsed ELF64 image.
+///
+/// Only the structures the B-Side analyses need are materialized eagerly:
+/// headers, sections with contents, both symbol tables, the dynamic array
+/// and PLT relocations. Everything is owned, so the source buffer can be
+/// dropped after parsing.
+#[derive(Debug, Clone)]
+pub struct Elf {
+    /// File header.
+    pub header: FileHeader,
+    /// Program headers, in file order.
+    pub program_headers: Vec<ProgramHeader>,
+    /// Sections, in file order, with contents.
+    pub sections: Vec<Section>,
+    symtab: Vec<Symbol>,
+    dynsym: Vec<Symbol>,
+    dynamic: Vec<Dyn>,
+    needed: Vec<String>,
+    plt_relocs: Vec<Rela>,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&self, offset: usize, len: usize, what: &'static str) -> Result<&'a [u8], ElfError> {
+        self.buf
+            .get(offset..offset.checked_add(len).ok_or(ElfError::OutOfBounds { what })?)
+            .ok_or(ElfError::Truncated { what, offset })
+    }
+
+    fn u16(&self, offset: usize, what: &'static str) -> Result<u16, ElfError> {
+        let b = self.bytes(offset, 2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&self, offset: usize, what: &'static str) -> Result<u32, ElfError> {
+        let b = self.bytes(offset, 4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&self, offset: usize, what: &'static str) -> Result<u64, ElfError> {
+        let b = self.bytes(offset, 8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("len 8")))
+    }
+}
+
+fn str_at(table: &[u8], offset: usize) -> Result<String, ElfError> {
+    let tail = table.get(offset..).ok_or(ElfError::BadString)?;
+    let end = tail.iter().position(|&b| b == 0).ok_or(ElfError::BadString)?;
+    String::from_utf8(tail[..end].to_vec()).map_err(|_| ElfError::BadString)
+}
+
+impl Elf {
+    /// Parses an ELF64 little-endian x86-64 image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError`] when the image is truncated, has the wrong
+    /// magic/class/machine, or contains out-of-bounds table references.
+    pub fn parse(buf: &[u8]) -> Result<Elf, ElfError> {
+        let r = Reader { buf };
+
+        let ident = r.bytes(0, 16, "ELF identification")?;
+        if &ident[0..4] != b"\x7fELF" {
+            return Err(ElfError::BadMagic);
+        }
+        if ident[4] != 2 {
+            return Err(ElfError::UnsupportedFormat("not 64-bit (ELFCLASS64)"));
+        }
+        if ident[5] != 1 {
+            return Err(ElfError::UnsupportedFormat("not little-endian"));
+        }
+
+        let header = FileHeader {
+            e_type: r.u16(16, "e_type")?,
+            e_machine: r.u16(18, "e_machine")?,
+            e_entry: r.u64(24, "e_entry")?,
+            e_phoff: r.u64(32, "e_phoff")?,
+            e_shoff: r.u64(40, "e_shoff")?,
+            e_phnum: r.u16(56, "e_phnum")?,
+            e_shnum: r.u16(60, "e_shnum")?,
+            e_shstrndx: r.u16(62, "e_shstrndx")?,
+        };
+        if header.e_machine != 62 {
+            return Err(ElfError::UnsupportedFormat("machine is not EM_X86_64"));
+        }
+
+        let mut program_headers = Vec::with_capacity(header.e_phnum as usize);
+        for i in 0..header.e_phnum as usize {
+            let off = header.e_phoff as usize + i * 56;
+            program_headers.push(ProgramHeader {
+                p_type: r.u32(off, "p_type")?,
+                p_flags: r.u32(off + 4, "p_flags")?,
+                p_offset: r.u64(off + 8, "p_offset")?,
+                p_vaddr: r.u64(off + 16, "p_vaddr")?,
+                p_filesz: r.u64(off + 32, "p_filesz")?,
+                p_memsz: r.u64(off + 40, "p_memsz")?,
+            });
+        }
+
+        let mut headers = Vec::with_capacity(header.e_shnum as usize);
+        for i in 0..header.e_shnum as usize {
+            let off = header.e_shoff as usize + i * 64;
+            headers.push(SectionHeader {
+                sh_name: r.u32(off, "sh_name")?,
+                sh_type: r.u32(off + 4, "sh_type")?,
+                sh_flags: r.u64(off + 8, "sh_flags")?,
+                sh_addr: r.u64(off + 16, "sh_addr")?,
+                sh_offset: r.u64(off + 24, "sh_offset")?,
+                sh_size: r.u64(off + 32, "sh_size")?,
+                sh_link: r.u32(off + 40, "sh_link")?,
+                sh_info: r.u32(off + 44, "sh_info")?,
+                sh_entsize: r.u64(off + 56, "sh_entsize")?,
+            });
+        }
+
+        let shstrtab: Vec<u8> = match headers.get(header.e_shstrndx as usize) {
+            Some(sh) if sh.sh_type == SHT_STRTAB => r
+                .bytes(sh.sh_offset as usize, sh.sh_size as usize, ".shstrtab")?
+                .to_vec(),
+            Some(_) => return Err(ElfError::Malformed("e_shstrndx is not a string table")),
+            None if header.e_shnum == 0 => Vec::new(),
+            None => return Err(ElfError::Malformed("e_shstrndx out of range")),
+        };
+
+        let mut sections = Vec::with_capacity(headers.len());
+        for sh in &headers {
+            let name = if shstrtab.is_empty() {
+                String::new()
+            } else {
+                str_at(&shstrtab, sh.sh_name as usize)?
+            };
+            let data = if sh.sh_type == SHT_NOBITS || sh.sh_type == SHT_NULL {
+                Vec::new()
+            } else {
+                r.bytes(sh.sh_offset as usize, sh.sh_size as usize, "section contents")?
+                    .to_vec()
+            };
+            sections.push(Section { name, header: *sh, data });
+        }
+
+        let symtab = Self::parse_symbols(&sections, SHT_SYMTAB)?;
+        let dynsym = Self::parse_symbols(&sections, SHT_DYNSYM)?;
+
+        let mut dynamic = Vec::new();
+        let mut needed = Vec::new();
+        if let Some(dyn_sec) = sections.iter().find(|s| s.header.sh_type == SHT_DYNAMIC) {
+            let dynstr = sections
+                .iter()
+                .find(|s| s.name == ".dynstr")
+                .map(|s| s.data.clone())
+                .unwrap_or_default();
+            let mut off = 0;
+            while off + 16 <= dyn_sec.data.len() {
+                let d_tag = i64::from_le_bytes(dyn_sec.data[off..off + 8].try_into().expect("len"));
+                let d_val =
+                    u64::from_le_bytes(dyn_sec.data[off + 8..off + 16].try_into().expect("len"));
+                dynamic.push(Dyn { d_tag, d_val });
+                if d_tag == DT_NULL {
+                    break;
+                }
+                if d_tag == DT_NEEDED {
+                    needed.push(str_at(&dynstr, d_val as usize)?);
+                }
+                off += 16;
+            }
+        }
+
+        let mut plt_relocs = Vec::new();
+        if let Some(rela) = sections.iter().find(|s| s.name == ".rela.plt") {
+            if rela.header.sh_entsize != 0 && rela.header.sh_entsize != 24 {
+                return Err(ElfError::Malformed(".rela.plt entry size is not 24"));
+            }
+            let mut off = 0;
+            while off + 24 <= rela.data.len() {
+                let r_offset =
+                    u64::from_le_bytes(rela.data[off..off + 8].try_into().expect("len"));
+                let r_info =
+                    u64::from_le_bytes(rela.data[off + 8..off + 16].try_into().expect("len"));
+                let r_addend =
+                    i64::from_le_bytes(rela.data[off + 16..off + 24].try_into().expect("len"));
+                let r_sym = (r_info >> 32) as u32;
+                let r_type = (r_info & 0xffff_ffff) as u32;
+                let symbol_name = dynsym
+                    .get(r_sym as usize)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_default();
+                plt_relocs.push(Rela { r_offset, r_type, r_sym, symbol_name, r_addend });
+                off += 24;
+            }
+        }
+
+        Ok(Elf {
+            header,
+            program_headers,
+            sections,
+            symtab,
+            dynsym,
+            dynamic,
+            needed,
+            plt_relocs,
+        })
+    }
+
+    fn parse_symbols(sections: &[Section], sh_type: u32) -> Result<Vec<Symbol>, ElfError> {
+        let Some(tab) = sections.iter().find(|s| s.header.sh_type == sh_type) else {
+            return Ok(Vec::new());
+        };
+        let strtab = sections
+            .get(tab.header.sh_link as usize)
+            .map(|s| s.data.clone())
+            .ok_or(ElfError::Malformed("symbol table sh_link out of range"))?;
+        if tab.header.sh_entsize != 0 && tab.header.sh_entsize != 24 {
+            return Err(ElfError::Malformed("symbol entry size is not 24"));
+        }
+        let mut out = Vec::new();
+        let mut off = 0;
+        while off + 24 <= tab.data.len() {
+            let d = &tab.data[off..off + 24];
+            let st_name = u32::from_le_bytes(d[0..4].try_into().expect("len"));
+            let st_info = d[4];
+            let st_shndx = u16::from_le_bytes(d[6..8].try_into().expect("len"));
+            let st_value = u64::from_le_bytes(d[8..16].try_into().expect("len"));
+            let st_size = u64::from_le_bytes(d[16..24].try_into().expect("len"));
+            out.push(Symbol {
+                name: str_at(&strtab, st_name as usize)?,
+                value: st_value,
+                size: st_size,
+                binding: st_info >> 4,
+                sym_type: st_info & 0xf,
+                shndx: st_shndx,
+            });
+            off += 24;
+        }
+        Ok(out)
+    }
+
+    /// Entry point virtual address (`e_entry`).
+    pub fn entry_point(&self) -> u64 {
+        self.header.e_entry
+    }
+
+    /// `true` for position-independent images (`ET_DYN`): PIE executables
+    /// and shared objects.
+    pub fn is_pic(&self) -> bool {
+        self.header.e_type == ET_DYN
+    }
+
+    /// `true` for images with dynamic-linking metadata.
+    pub fn is_dynamic(&self) -> bool {
+        !self.dynamic.is_empty()
+    }
+
+    /// Finds a section by name.
+    pub fn section_by_name(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// The `.text` contents and its load address.
+    pub fn text(&self) -> Option<(&[u8], u64)> {
+        self.section_by_name(".text")
+            .map(|s| (s.data.as_slice(), s.header.sh_addr))
+    }
+
+    /// The `.symtab` symbols (empty if stripped).
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symtab
+    }
+
+    /// The `.dynsym` symbols (empty for static executables).
+    pub fn dynamic_symbols(&self) -> &[Symbol] {
+        &self.dynsym
+    }
+
+    /// Raw dynamic array entries.
+    pub fn dynamic_entries(&self) -> &[Dyn] {
+        &self.dynamic
+    }
+
+    /// Names of shared libraries this image depends on (`DT_NEEDED`).
+    pub fn needed_libraries(&self) -> &[String] {
+        &self.needed
+    }
+
+    /// PLT relocations (`.rela.plt`), each naming an imported function and
+    /// the GOT slot its PLT stub jumps through.
+    pub fn plt_relocations(&self) -> &[Rela] {
+        &self.plt_relocs
+    }
+
+    /// Function symbols defined in this image, from `.symtab` if present,
+    /// falling back to `.dynsym` exports (the "stripped binary" case the
+    /// paper assumes function-boundary metadata for).
+    pub fn function_symbols(&self) -> Vec<&Symbol> {
+        let from = if self.symtab.iter().any(|s| s.is_function()) {
+            &self.symtab
+        } else {
+            &self.dynsym
+        };
+        from.iter()
+            .filter(|s| s.is_function() && !s.is_undefined())
+            .collect()
+    }
+
+    /// Exported (global, defined) function symbols — a shared library's
+    /// public interface.
+    pub fn exported_functions(&self) -> Vec<&Symbol> {
+        self.dynsym
+            .iter()
+            .filter(|s| s.is_function() && s.is_global() && !s.is_undefined())
+            .collect()
+    }
+
+    /// Maps a virtual address to the file image segment containing it,
+    /// returning the contained bytes.
+    pub fn bytes_at_vaddr(&self, vaddr: u64, len: usize) -> Option<&[u8]> {
+        for s in &self.sections {
+            if s.header.sh_addr != 0
+                && vaddr >= s.header.sh_addr
+                && vaddr + len as u64 <= s.header.sh_addr + s.header.sh_size
+            {
+                let start = (vaddr - s.header.sh_addr) as usize;
+                return s.data.get(start..start + len);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::{ElfBuilder, ElfKind, SymbolSpec};
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            Elf::parse(b"not an elf file....."),
+            Err(ElfError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(matches!(
+            Elf::parse(b"\x7fELF"),
+            Err(ElfError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_32_bit() {
+        let mut buf = vec![0u8; 64];
+        buf[..4].copy_from_slice(b"\x7fELF");
+        buf[4] = 1; // ELFCLASS32
+        buf[5] = 1;
+        assert!(matches!(
+            Elf::parse(&buf),
+            Err(ElfError::UnsupportedFormat(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_machine() {
+        let mut buf = vec![0u8; 64];
+        buf[..4].copy_from_slice(b"\x7fELF");
+        buf[4] = 2;
+        buf[5] = 1;
+        buf[18] = 40; // EM_ARM
+        assert!(matches!(
+            Elf::parse(&buf),
+            Err(ElfError::UnsupportedFormat(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let image = ElfBuilder::new(ElfKind::Executable)
+            .text(vec![0x90; 32], 0x401000)
+            .entry(0x401000)
+            .symbol(SymbolSpec::function("_start", 0x401000, 32))
+            .build()
+            .expect("build");
+        // Every prefix must either parse (unlikely) or fail cleanly.
+        for cut in 0..image.len() {
+            let _ = Elf::parse(&image[..cut]);
+        }
+    }
+
+    #[test]
+    fn bytes_at_vaddr_resolves_text() {
+        let image = ElfBuilder::new(ElfKind::Executable)
+            .text(vec![1, 2, 3, 4], 0x401000)
+            .entry(0x401000)
+            .build()
+            .expect("build");
+        let elf = Elf::parse(&image).expect("parse");
+        assert_eq!(elf.bytes_at_vaddr(0x401001, 2), Some(&[2u8, 3][..]));
+        assert_eq!(elf.bytes_at_vaddr(0x401003, 2), None, "crosses the end");
+        assert_eq!(elf.bytes_at_vaddr(0xdead, 1), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Raw ELF64 structures and constants.
+//!
+//! Field names follow the ELF specification (`e_*`, `p_*`, `sh_*`, `st_*`)
+//! so they can be cross-checked against `readelf` output directly.
+
+/// Relocatable/executable/shared type: executable (`ET_EXEC`).
+pub const ET_EXEC: u16 = 2;
+/// Shared object or PIE (`ET_DYN`).
+pub const ET_DYN: u16 = 3;
+
+/// Loadable program segment.
+pub const PT_LOAD: u32 = 1;
+/// Dynamic linking information segment.
+pub const PT_DYNAMIC: u32 = 2;
+
+/// Inactive section header.
+pub const SHT_NULL: u32 = 0;
+/// Program-defined contents.
+pub const SHT_PROGBITS: u32 = 1;
+/// Symbol table.
+pub const SHT_SYMTAB: u32 = 2;
+/// String table.
+pub const SHT_STRTAB: u32 = 3;
+/// Relocations with addends.
+pub const SHT_RELA: u32 = 4;
+/// Dynamic linking information.
+pub const SHT_DYNAMIC: u32 = 6;
+/// Section occupying no file space (e.g. `.bss`).
+pub const SHT_NOBITS: u32 = 8;
+/// Dynamic symbol table.
+pub const SHT_DYNSYM: u32 = 11;
+
+/// Local symbol binding.
+pub const STB_LOCAL: u8 = 0;
+/// Global symbol binding.
+pub const STB_GLOBAL: u8 = 1;
+
+/// Untyped symbol.
+pub const STT_NOTYPE: u8 = 0;
+/// Data object symbol.
+pub const STT_OBJECT: u8 = 1;
+/// Function symbol.
+pub const STT_FUNC: u8 = 2;
+
+/// End of the dynamic array.
+pub const DT_NULL: i64 = 0;
+/// Name of a needed shared library (offset into `.dynstr`).
+pub const DT_NEEDED: i64 = 1;
+/// Size in bytes of PLT relocations.
+pub const DT_PLTRELSZ: i64 = 2;
+/// Address of the dynamic string table.
+pub const DT_STRTAB: i64 = 5;
+/// Address of the dynamic symbol table.
+pub const DT_SYMTAB: i64 = 6;
+
+/// PLT jump-slot relocation (lazy-bound imported function).
+pub const R_X86_64_JUMP_SLOT: u32 = 7;
+/// GOT data relocation (imported data object).
+pub const R_X86_64_GLOB_DAT: u32 = 6;
+
+/// ELF file header (`Elf64_Ehdr`), minus the identification bytes that the
+/// parser validates and discards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Object file type (`ET_EXEC`, `ET_DYN`, …).
+    pub e_type: u16,
+    /// Machine architecture; always `EM_X86_64` (62) for accepted files.
+    pub e_machine: u16,
+    /// Entry point virtual address.
+    pub e_entry: u64,
+    /// Program header table file offset.
+    pub e_phoff: u64,
+    /// Section header table file offset.
+    pub e_shoff: u64,
+    /// Number of program headers.
+    pub e_phnum: u16,
+    /// Number of section headers.
+    pub e_shnum: u16,
+    /// Section header string table index.
+    pub e_shstrndx: u16,
+}
+
+/// Program header (`Elf64_Phdr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramHeader {
+    /// Segment type (`PT_LOAD`, `PT_DYNAMIC`, …).
+    pub p_type: u32,
+    /// Segment flags (R=4, W=2, X=1).
+    pub p_flags: u32,
+    /// File offset of the segment.
+    pub p_offset: u64,
+    /// Virtual address of the segment.
+    pub p_vaddr: u64,
+    /// Size of the segment in the file.
+    pub p_filesz: u64,
+    /// Size of the segment in memory.
+    pub p_memsz: u64,
+}
+
+impl ProgramHeader {
+    /// `true` if the segment is mapped executable.
+    pub fn is_executable(&self) -> bool {
+        self.p_flags & 1 != 0
+    }
+
+    /// `true` if the segment is mapped writable.
+    pub fn is_writable(&self) -> bool {
+        self.p_flags & 2 != 0
+    }
+}
+
+/// Section header (`Elf64_Shdr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionHeader {
+    /// Offset of the section name in `.shstrtab`.
+    pub sh_name: u32,
+    /// Section type (`SHT_*`).
+    pub sh_type: u32,
+    /// Section flags (ALLOC=2, EXECINSTR=4, WRITE=1).
+    pub sh_flags: u64,
+    /// Virtual address when loaded (0 for non-alloc sections).
+    pub sh_addr: u64,
+    /// File offset of the section contents.
+    pub sh_offset: u64,
+    /// Size of the section in bytes.
+    pub sh_size: u64,
+    /// Section-type-specific link (e.g. symtab → strtab index).
+    pub sh_link: u32,
+    /// Section-type-specific extra info.
+    pub sh_info: u32,
+    /// Entry size for table sections.
+    pub sh_entsize: u64,
+}
+
+/// Symbol table entry (`Elf64_Sym`) with its name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Resolved symbol name (may be empty for the null symbol).
+    pub name: String,
+    /// Symbol value; for functions, the virtual address.
+    pub value: u64,
+    /// Size in bytes (0 when unknown).
+    pub size: u64,
+    /// Binding (`STB_LOCAL` / `STB_GLOBAL`).
+    pub binding: u8,
+    /// Type (`STT_FUNC`, `STT_OBJECT`, …).
+    pub sym_type: u8,
+    /// Defining section index; 0 (`SHN_UNDEF`) for imports.
+    pub shndx: u16,
+}
+
+impl Symbol {
+    /// `true` for function symbols.
+    pub fn is_function(&self) -> bool {
+        self.sym_type == STT_FUNC
+    }
+
+    /// `true` for symbols imported from another object (`SHN_UNDEF`).
+    pub fn is_undefined(&self) -> bool {
+        self.shndx == 0
+    }
+
+    /// `true` for globally visible symbols.
+    pub fn is_global(&self) -> bool {
+        self.binding == STB_GLOBAL
+    }
+}
+
+/// Dynamic section entry (`Elf64_Dyn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dyn {
+    /// Entry tag (`DT_*`).
+    pub d_tag: i64,
+    /// Tag-dependent value or pointer.
+    pub d_val: u64,
+}
+
+/// Relocation with addend (`Elf64_Rela`), with the symbol name resolved
+/// against `.dynsym`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rela {
+    /// Location to be relocated (virtual address, e.g. a GOT slot).
+    pub r_offset: u64,
+    /// Relocation type (`R_X86_64_*`).
+    pub r_type: u32,
+    /// Index of the referenced symbol in `.dynsym`.
+    pub r_sym: u32,
+    /// Resolved name of the referenced symbol.
+    pub symbol_name: String,
+    /// Constant addend.
+    pub r_addend: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_header_flag_helpers() {
+        let ph = ProgramHeader {
+            p_type: PT_LOAD,
+            p_flags: 5, // R+X
+            p_offset: 0,
+            p_vaddr: 0,
+            p_filesz: 0,
+            p_memsz: 0,
+        };
+        assert!(ph.is_executable());
+        assert!(!ph.is_writable());
+    }
+
+    #[test]
+    fn symbol_helpers() {
+        let sym = Symbol {
+            name: "write".into(),
+            value: 0,
+            size: 0,
+            binding: STB_GLOBAL,
+            sym_type: STT_FUNC,
+            shndx: 0,
+        };
+        assert!(sym.is_function());
+        assert!(sym.is_undefined());
+        assert!(sym.is_global());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: everything the builder emits, the parser reads back.
+
+use bside_elf::{Elf, ElfBuilder, ElfKind, PltReloc, SymbolSpec};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = ElfKind> {
+    prop_oneof![
+        Just(ElfKind::Executable),
+        Just(ElfKind::PieExecutable),
+        Just(ElfKind::SharedObject),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_and_symbols_round_trip(
+        kind in kind_strategy(),
+        text in prop::collection::vec(any::<u8>(), 1..4096),
+        nsyms in 0usize..24,
+    ) {
+        let text_vaddr = 0x401000u64;
+        let mut b = ElfBuilder::new(kind);
+        b.text(text.clone(), text_vaddr);
+        if matches!(kind, ElfKind::Executable | ElfKind::PieExecutable) {
+            b.entry(text_vaddr);
+        }
+        let mut expected = Vec::new();
+        for i in 0..nsyms {
+            let addr = text_vaddr + (i as u64 % text.len() as u64);
+            let name = format!("fn_{i}");
+            expected.push((name.clone(), addr));
+            b.symbol(SymbolSpec::function(name, addr, 1));
+        }
+
+        let image = b.build().expect("build");
+        let elf = Elf::parse(&image).expect("parse");
+
+        let (got_text, got_vaddr) = elf.text().expect(".text");
+        prop_assert_eq!(got_text, &text[..]);
+        prop_assert_eq!(got_vaddr, text_vaddr);
+
+        let funcs = elf.function_symbols();
+        prop_assert_eq!(funcs.len(), expected.len());
+        for (sym, (name, addr)) in funcs.iter().zip(expected.iter()) {
+            prop_assert_eq!(&sym.name, name);
+            prop_assert_eq!(sym.value, *addr);
+        }
+    }
+
+    #[test]
+    fn dynamic_metadata_round_trips(
+        libs in prop::collection::vec("[a-z]{1,12}\\.so", 0..5),
+        nimports in 0usize..16,
+    ) {
+        let mut b = ElfBuilder::new(ElfKind::PieExecutable);
+        b.text(vec![0xc3; 64], 0x1000).entry(0x1000);
+        for lib in &libs {
+            b.needed(lib.clone());
+        }
+        let got_base = 0x3000u64;
+        b.got(got_base, (nimports as u64) * 8);
+        let mut imports = Vec::new();
+        for i in 0..nimports {
+            let name = format!("import_{i}");
+            imports.push(name.clone());
+            b.plt_reloc(PltReloc { got_slot: got_base + 8 * i as u64, symbol: name });
+        }
+        // A dynamic image needs at least one of: needed / plt / export.
+        if libs.is_empty() && nimports == 0 {
+            b.symbol(SymbolSpec::exported_function("anchor", 0x1000, 1));
+        }
+
+        let image = b.build().expect("build");
+        let elf = Elf::parse(&image).expect("parse");
+
+        prop_assert!(elf.is_dynamic());
+        prop_assert_eq!(elf.needed_libraries().to_vec(), libs);
+        let relocs = elf.plt_relocations();
+        prop_assert_eq!(relocs.len(), imports.len());
+        for (r, name) in relocs.iter().zip(imports.iter()) {
+            prop_assert_eq!(&r.symbol_name, name);
+        }
+        // Every import shows up as an undefined dynamic symbol.
+        for name in &imports {
+            prop_assert!(
+                elf.dynamic_symbols().iter().any(|s| &s.name == name && s.is_undefined()),
+                "missing undefined dynsym {}", name
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Elf::parse(&bytes);
+    }
+
+    #[test]
+    fn elf_prefixed_garbage_never_panics(tail in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut bytes = b"\x7fELF\x02\x01\x01".to_vec();
+        bytes.extend(tail);
+        let _ = Elf::parse(&bytes);
+    }
+}

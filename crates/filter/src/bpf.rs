@@ -1,0 +1,193 @@
+//! Classic-BPF seccomp filter generation.
+//!
+//! The enforcement mechanism the paper targets is Linux seccomp-BPF
+//! (§1, §4.7): the kernel runs a classic-BPF program against each system
+//! call's `seccomp_data` and kills the process on a deny verdict. This
+//! module lowers a [`crate::FilterPolicy`] into such a program — both as
+//! the structured instruction list and as the `libseccomp`-style
+//! disassembly users feed to external tooling.
+
+use crate::FilterPolicy;
+use std::fmt;
+
+/// `AUDIT_ARCH_X86_64`.
+pub const AUDIT_ARCH_X86_64: u32 = 0xc000_003e;
+/// `SECCOMP_RET_ALLOW`.
+pub const RET_ALLOW: u32 = 0x7fff_0000;
+/// `SECCOMP_RET_KILL_PROCESS`.
+pub const RET_KILL: u32 = 0x8000_0000;
+
+/// One classic-BPF instruction (`struct sock_filter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpfInsn {
+    /// Opcode (`BPF_LD|BPF_W|BPF_ABS`, `BPF_JMP|BPF_JEQ|BPF_K`, `BPF_RET|BPF_K`).
+    pub code: u16,
+    /// Jump-true offset.
+    pub jt: u8,
+    /// Jump-false offset.
+    pub jf: u8,
+    /// Immediate.
+    pub k: u32,
+}
+
+const LD_W_ABS: u16 = 0x20;
+const JMP_JEQ_K: u16 = 0x15;
+const RET_K: u16 = 0x06;
+
+impl fmt::Display for BpfInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.code {
+            LD_W_ABS => write!(f, "ld  [{}]", self.k),
+            JMP_JEQ_K => write!(f, "jeq #{:#x}, +{}, +{}", self.k, self.jt, self.jf),
+            RET_K => write!(f, "ret #{:#x}", self.k),
+            other => write!(f, ".raw code={other:#x} k={:#x}", self.k),
+        }
+    }
+}
+
+/// A compiled seccomp-BPF program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpfProgram {
+    /// The instructions, in order.
+    pub insns: Vec<BpfInsn>,
+}
+
+impl BpfProgram {
+    /// Lowers a policy into the canonical allow-list program:
+    ///
+    /// ```text
+    /// ld  [4]                      ; seccomp_data.arch
+    /// jeq #AUDIT_ARCH_X86_64, +1   ; wrong arch → kill
+    /// ret #KILL
+    /// ld  [0]                      ; seccomp_data.nr
+    /// jeq #nr0, +0, +1             ; match → next insn (allow)
+    /// ret #ALLOW
+    /// jeq #nr1, +0, +1
+    /// ret #ALLOW
+    /// …
+    /// ret #KILL
+    /// ```
+    ///
+    /// Each allowed number gets its own `jeq`/`ret` pair: classic BPF
+    /// jump offsets are 8-bit, so a single shared allow slot would
+    /// overflow on allow-lists longer than 255 entries.
+    pub fn from_policy(policy: &FilterPolicy) -> BpfProgram {
+        let numbers: Vec<u32> = policy.allowed.iter().map(|s| s.raw()).collect();
+        let mut insns = Vec::with_capacity(2 * numbers.len() + 5);
+        // Architecture pinning.
+        insns.push(BpfInsn { code: LD_W_ABS, jt: 0, jf: 0, k: 4 });
+        insns.push(BpfInsn { code: JMP_JEQ_K, jt: 1, jf: 0, k: AUDIT_ARCH_X86_64 });
+        insns.push(BpfInsn { code: RET_K, jt: 0, jf: 0, k: RET_KILL });
+        // Syscall number dispatch.
+        insns.push(BpfInsn { code: LD_W_ABS, jt: 0, jf: 0, k: 0 });
+        for nr in &numbers {
+            insns.push(BpfInsn { code: JMP_JEQ_K, jt: 0, jf: 1, k: *nr });
+            insns.push(BpfInsn { code: RET_K, jt: 0, jf: 0, k: RET_ALLOW });
+        }
+        insns.push(BpfInsn { code: RET_K, jt: 0, jf: 0, k: RET_KILL });
+        BpfProgram { insns }
+    }
+
+    /// Interprets the program against `(arch, nr)` and returns the
+    /// verdict — used to verify the lowering against the policy.
+    pub fn run(&self, arch: u32, nr: u32) -> u32 {
+        let mut acc = 0u32;
+        let mut pc = 0usize;
+        loop {
+            let insn = self.insns[pc];
+            match insn.code {
+                LD_W_ABS => {
+                    acc = match insn.k {
+                        0 => nr,
+                        4 => arch,
+                        _ => 0,
+                    };
+                    pc += 1;
+                }
+                JMP_JEQ_K => {
+                    pc += 1 + if acc == insn.k { insn.jt as usize } else { insn.jf as usize };
+                }
+                RET_K => return insn.k,
+                other => panic!("unknown BPF opcode {other:#x}"),
+            }
+        }
+    }
+
+    /// The `libseccomp`-style disassembly listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            out.push_str(&format!("{i:>4}: {insn}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::{well_known as wk, SyscallSet};
+
+    fn policy(names: &[&str]) -> FilterPolicy {
+        let allowed: SyscallSet = names
+            .iter()
+            .filter_map(|n| bside_syscalls::Sysno::from_name(n))
+            .collect();
+        FilterPolicy::allow_only("t", allowed)
+    }
+
+    #[test]
+    fn program_matches_policy_on_every_known_syscall() {
+        let p = policy(&["read", "write", "openat", "exit_group"]);
+        let prog = BpfProgram::from_policy(&p);
+        for (nr, _) in bside_syscalls::table::iter() {
+            let sysno = bside_syscalls::Sysno::new(nr).unwrap();
+            let verdict = prog.run(AUDIT_ARCH_X86_64, nr);
+            if p.permits(sysno) {
+                assert_eq!(verdict, RET_ALLOW, "{sysno}");
+            } else {
+                assert_eq!(verdict, RET_KILL, "{sysno}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_architecture_is_killed() {
+        let prog = BpfProgram::from_policy(&policy(&["read"]));
+        const AUDIT_ARCH_I386: u32 = 0x4000_0003;
+        assert_eq!(prog.run(AUDIT_ARCH_I386, wk::READ.raw()), RET_KILL);
+    }
+
+    #[test]
+    fn empty_policy_kills_everything() {
+        let prog = BpfProgram::from_policy(&FilterPolicy::allow_only("t", SyscallSet::new()));
+        assert_eq!(prog.run(AUDIT_ARCH_X86_64, 0), RET_KILL);
+        assert_eq!(prog.insns.len(), 5, "arch header + ld + kill");
+    }
+
+    #[test]
+    fn listing_is_readable() {
+        let prog = BpfProgram::from_policy(&policy(&["read"]));
+        let listing = prog.listing();
+        assert!(listing.contains("ld  [4]"));
+        assert!(listing.contains(&format!("jeq #{:#x}", AUDIT_ARCH_X86_64)));
+        assert!(listing.contains(&format!("ret #{RET_ALLOW:#x}")));
+    }
+
+    #[test]
+    fn program_size_is_linear_in_allowlist() {
+        let small = BpfProgram::from_policy(&policy(&["read"]));
+        let big = BpfProgram::from_policy(&FilterPolicy::allow_only(
+            "t",
+            SyscallSet::all_known(),
+        ));
+        assert_eq!(
+            big.insns.len() - small.insns.len(),
+            2 * (SyscallSet::all_known().len() - 1)
+        );
+        // Every offset fits classic BPF's 8-bit jumps by construction.
+        for insn in &big.insns {
+            assert!(insn.jt <= 1 && insn.jf <= 1);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! System-call filtering policies derived from B-Side analyses.
+//!
+//! The downstream purpose of system call identification is *filtering*
+//! (§1): turning the identified superset into a seccomp-style allow-list,
+//! optionally specialized per execution phase (§4.7). This crate covers
+//! the policy side of the paper:
+//!
+//! * [`FilterPolicy`] — a whole-program allow-list with a seccomp-like
+//!   decision function and JSON export;
+//! * [`PhasePolicy`] — per-phase allow-lists derived from a
+//!   [`bside_core::phase::PhaseAutomaton`], with the automaton's
+//!   transition structure driving phase switches at enforcement time;
+//! * [`metrics`] — precision / recall / F1 against a ground truth
+//!   (Table 1);
+//! * [`replay`] — trace replay validation: does a recorded execution pass
+//!   under the derived policy? (§5.1's validation methodology);
+//! * [`cve_eval`] — the Table 5 computation: which fraction of a binary
+//!   population a derived policy protects against each kernel CVE.
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_filter::FilterPolicy;
+//! use bside_syscalls::{Sysno, SyscallSet};
+//!
+//! let allowed: SyscallSet = ["read", "write", "exit_group"]
+//!     .iter()
+//!     .filter_map(|n| Sysno::from_name(n))
+//!     .collect();
+//! let policy = FilterPolicy::allow_only("demo", allowed);
+//!
+//! assert!(policy.permits(Sysno::from_name("read").unwrap()));
+//! assert!(!policy.permits(Sysno::from_name("execve").unwrap()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpf;
+pub mod cve_eval;
+pub mod metrics;
+pub mod replay;
+
+use bside_core::phase::PhaseAutomaton;
+use bside_syscalls::{Sysno, SyscallSet};
+
+/// A whole-program seccomp-style allow-list policy.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FilterPolicy {
+    /// Name of the binary the policy was derived for.
+    pub binary: String,
+    /// The allowed system calls.
+    pub allowed: SyscallSet,
+}
+
+impl FilterPolicy {
+    /// Builds a policy allowing exactly `allowed`.
+    pub fn allow_only(binary: impl Into<String>, allowed: SyscallSet) -> Self {
+        FilterPolicy { binary: binary.into(), allowed }
+    }
+
+    /// Seccomp decision: `true` = allow, `false` = kill.
+    pub fn permits(&self, sysno: Sysno) -> bool {
+        self.allowed.contains(sysno)
+    }
+
+    /// Number of denied system calls out of the known table — the
+    /// "strictness" a policy buys (compare Docker's 43 or Flatpak's
+    /// blanket rules from §1).
+    pub fn denied_count(&self) -> usize {
+        SyscallSet::all_known().difference(&self.allowed).len()
+    }
+
+    /// Serializes the policy to JSON (the exchange format for an external
+    /// enforcement agent).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("policy serializes")
+    }
+
+    /// Parses a policy back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `serde_json` error.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// A temporal (phase-based) policy: one allow-list per phase, plus the
+/// transition structure used to switch phases at enforcement time (§4.7).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PhasePolicy {
+    /// Name of the binary.
+    pub binary: String,
+    /// Per-phase allow-lists, indexed by phase id.
+    pub phases: Vec<SyscallSet>,
+    /// `transitions[from]` = list of `(syscall, to)` phase switches.
+    pub transitions: Vec<Vec<(Sysno, usize)>>,
+    /// The initial phase.
+    pub initial: usize,
+}
+
+impl PhasePolicy {
+    /// Derives a phase policy from a phase automaton.
+    pub fn from_automaton(binary: impl Into<String>, automaton: &PhaseAutomaton) -> Self {
+        let phases: Vec<SyscallSet> =
+            automaton.phases.iter().map(|p| p.allowed()).collect();
+        let transitions: Vec<Vec<(Sysno, usize)>> = automaton
+            .phases
+            .iter()
+            .map(|p| {
+                let mut out = Vec::new();
+                for (&to, labels) in &p.transitions {
+                    for s in labels.iter() {
+                        out.push((s, to));
+                    }
+                }
+                out
+            })
+            .collect();
+        PhasePolicy {
+            binary: binary.into(),
+            phases,
+            transitions,
+            initial: automaton.initial,
+        }
+    }
+
+    /// The allow-list of one phase.
+    pub fn allowed_in(&self, phase: usize) -> &SyscallSet {
+        &self.phases[phase]
+    }
+
+    /// The initial enforcement state.
+    pub fn initial_set(&self) -> std::collections::BTreeSet<usize> {
+        [self.initial].into()
+    }
+
+    /// Simulated enforcement step over a *set* of candidate phases.
+    ///
+    /// Merging strongly-connected DFA states into phases makes the phase
+    /// graph nondeterministic (one symbol may leave a merged phase toward
+    /// several destinations), so enforcement tracks the subset of phases
+    /// the execution may be in — the standard subset simulation. Returns
+    /// the next subset, or `None` when no candidate phase allows the call
+    /// (the process would be killed).
+    pub fn step_set(
+        &self,
+        phases: &std::collections::BTreeSet<usize>,
+        sysno: Sysno,
+    ) -> Option<std::collections::BTreeSet<usize>> {
+        let mut next = std::collections::BTreeSet::new();
+        for &p in phases {
+            if !self.phases[p].contains(sysno) {
+                continue;
+            }
+            let mut moved = false;
+            for &(s, to) in &self.transitions[p] {
+                if s == sysno {
+                    next.insert(to);
+                    moved = true;
+                }
+            }
+            if !moved {
+                next.insert(p);
+            }
+        }
+        (!next.is_empty()).then_some(next)
+    }
+
+    /// Average allowed-set size across phases, weighted equally — a
+    /// simple strictness summary for Table 4-style reporting.
+    pub fn mean_phase_size(&self) -> f64 {
+        if self.phases.is_empty() {
+            return 0.0;
+        }
+        self.phases.iter().map(|p| p.len() as f64).sum::<f64>() / self.phases.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::well_known as wk;
+
+    fn set(names: &[&str]) -> SyscallSet {
+        names.iter().filter_map(|n| Sysno::from_name(n)).collect()
+    }
+
+    #[test]
+    fn policy_permits_only_allowed() {
+        let p = FilterPolicy::allow_only("t", set(&["read", "write"]));
+        assert!(p.permits(wk::READ));
+        assert!(!p.permits(wk::EXECVE));
+        assert_eq!(p.denied_count(), SyscallSet::all_known().len() - 2);
+    }
+
+    #[test]
+    fn policy_json_round_trip() {
+        let p = FilterPolicy::allow_only("t", set(&["read", "openat"]));
+        let back = FilterPolicy::from_json(&p.to_json()).expect("parses");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn phase_policy_steps_and_denies() {
+        // Phase 0 allows open→1; phase 1 allows read/write self-loops.
+        let policy = PhasePolicy {
+            binary: "t".into(),
+            phases: vec![set(&["open"]), set(&["read", "write"])],
+            transitions: vec![vec![(wk::OPEN, 1)], vec![]],
+            initial: 0,
+        };
+        let s0 = policy.initial_set();
+        let s1 = policy.step_set(&s0, wk::OPEN).expect("open allowed in init");
+        assert_eq!(s1, [1].into());
+        assert!(policy.step_set(&s0, wk::READ).is_none(), "read denied during init");
+        assert_eq!(policy.step_set(&s1, wk::READ), Some([1].into()), "self-loop");
+        assert!(policy.step_set(&s1, wk::OPEN).is_none(), "open denied after init");
+    }
+
+    #[test]
+    fn nondeterministic_phase_step_tracks_all_candidates() {
+        // From phase 0, `read` may go to 1 or 2; only phase 2 allows
+        // `write` afterwards — the subset simulation must keep both.
+        let policy = PhasePolicy {
+            binary: "t".into(),
+            phases: vec![set(&["read"]), set(&["close"]), set(&["write"])],
+            transitions: vec![vec![(wk::READ, 1), (wk::READ, 2)], vec![], vec![]],
+            initial: 0,
+        };
+        let s = policy.step_set(&policy.initial_set(), wk::READ).expect("allowed");
+        assert_eq!(s, [1, 2].into());
+        assert!(policy.step_set(&s, wk::WRITE).is_some(), "phase 2 path survives");
+        assert!(policy.step_set(&s, wk::CLOSE).is_some(), "phase 1 path survives");
+        assert!(policy.step_set(&s, wk::OPEN).is_none());
+    }
+}

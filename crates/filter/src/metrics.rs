@@ -1,0 +1,99 @@
+//! Precision / recall / F1 against a ground truth (Table 1, Fig. 7).
+
+use bside_syscalls::SyscallSet;
+
+/// Confusion counts and derived scores for one (identified, truth) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    /// Correctly identified system calls (identified ∩ truth).
+    pub true_positives: usize,
+    /// Identified but never invoked (the over-approximation cost).
+    pub false_positives: usize,
+    /// Invoked but missed — the unacceptable case (§2.1): each one would
+    /// crash a legitimate program under the derived filter.
+    pub false_negatives: usize,
+    /// tp / (tp + fp).
+    pub precision: f64,
+    /// tp / (tp + fn).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes the confusion counts of `identified` against `truth`.
+pub fn score(identified: &SyscallSet, truth: &SyscallSet) -> Scores {
+    let tp = identified.intersection(truth).len();
+    let fp = identified.difference(truth).len();
+    let fnn = truth.difference(identified).len();
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fnn == 0 { 0.0 } else { tp as f64 / (tp + fnn) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Scores {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fnn,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::Sysno;
+
+    fn set(raws: &[u32]) -> SyscallSet {
+        raws.iter().filter_map(|&r| Sysno::new(r)).collect()
+    }
+
+    #[test]
+    fn perfect_identification_scores_one() {
+        let t = set(&[0, 1, 2]);
+        let s = score(&t, &t);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn overapproximation_costs_precision_not_recall() {
+        let truth = set(&[0, 1]);
+        let identified = set(&[0, 1, 2, 3]);
+        let s = score(&identified, &truth);
+        assert_eq!(s.false_positives, 2);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.recall, 1.0);
+        assert!(s.precision < 1.0);
+        assert!((s.f1 - 2.0 * 0.5 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misses_cost_recall() {
+        let truth = set(&[0, 1, 2, 3]);
+        let identified = set(&[0, 1]);
+        let s = score(&identified, &truth);
+        assert_eq!(s.false_negatives, 2);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn empty_identified_scores_zero() {
+        let s = score(&SyscallSet::new(), &set(&[1]));
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn chestnut_like_flat_answer_scores_low() {
+        // ~270 identified vs a truth of 40: the Table 1 Chestnut shape.
+        let truth = set(&(0..40).collect::<Vec<_>>());
+        let identified = set(&(0..270).collect::<Vec<_>>());
+        let s = score(&identified, &truth);
+        assert!(s.f1 > 0.2 && s.f1 < 0.4, "f1={}", s.f1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace replay validation.
+//!
+//! §5.1: competitors validate by "checking if test suites succeed while
+//! enforcing the filtering rules". The replay harness is our equivalent:
+//! feed a recorded system call trace through a policy and report every
+//! violation. A sound analysis produces policies with **zero** violations
+//! on any legitimate trace.
+
+use crate::{FilterPolicy, PhasePolicy};
+use bside_syscalls::Sysno;
+
+/// One denied invocation during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Index in the trace.
+    pub index: usize,
+    /// The denied system call.
+    pub sysno: Sysno,
+    /// The phase active at the time (0 for whole-program policies).
+    pub phase: usize,
+}
+
+/// Replays a trace against a whole-program policy.
+pub fn replay_flat(policy: &FilterPolicy, trace: &[Sysno]) -> Vec<Violation> {
+    trace
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| !policy.permits(s))
+        .map(|(index, &sysno)| Violation { index, sysno, phase: 0 })
+        .collect()
+}
+
+/// Replays a trace against a phase policy, following phase transitions
+/// with the subset simulation of [`PhasePolicy::step_set`]. Replay stops
+/// at the first violation (the process would be dead).
+pub fn replay_phased(policy: &PhasePolicy, trace: &[Sysno]) -> Result<(), Violation> {
+    let mut phases = policy.initial_set();
+    for (index, &sysno) in trace.iter().enumerate() {
+        match policy.step_set(&phases, sysno) {
+            Some(next) => phases = next,
+            None => {
+                let phase = phases.first().copied().unwrap_or(policy.initial);
+                return Err(Violation { index, sysno, phase });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::{well_known as wk, SyscallSet};
+
+    #[test]
+    fn clean_trace_passes_flat_policy() {
+        let allowed: SyscallSet = [wk::READ, wk::WRITE, wk::EXIT].into_iter().collect();
+        let policy = FilterPolicy::allow_only("t", allowed);
+        let trace = vec![wk::READ, wk::WRITE, wk::READ, wk::EXIT];
+        assert!(replay_flat(&policy, &trace).is_empty());
+    }
+
+    #[test]
+    fn violations_are_reported_with_positions() {
+        let allowed: SyscallSet = [wk::READ].into_iter().collect();
+        let policy = FilterPolicy::allow_only("t", allowed);
+        let trace = vec![wk::READ, wk::EXECVE, wk::READ, wk::PTRACE];
+        let violations = replay_flat(&policy, &trace);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].index, 1);
+        assert_eq!(violations[0].sysno, wk::EXECVE);
+        assert_eq!(violations[1].index, 3);
+    }
+
+    #[test]
+    fn phased_replay_follows_transitions() {
+        let policy = PhasePolicy {
+            binary: "t".into(),
+            phases: vec![
+                [wk::OPEN].into_iter().collect(),
+                [wk::READ, wk::WRITE, wk::EXIT].into_iter().collect(),
+            ],
+            transitions: vec![vec![(wk::OPEN, 1)], vec![]],
+            initial: 0,
+        };
+        // open → phase 1, then read/write allowed.
+        assert!(replay_phased(&policy, &[wk::OPEN, wk::READ, wk::WRITE, wk::EXIT]).is_ok());
+        // read during init is a kill.
+        let err = replay_phased(&policy, &[wk::READ]).unwrap_err();
+        assert_eq!(err.phase, 0);
+        assert_eq!(err.sysno, wk::READ);
+        // open after the transition is a kill too (temporal strictness).
+        let err = replay_phased(&policy, &[wk::OPEN, wk::OPEN]).unwrap_err();
+        assert_eq!(err.phase, 1);
+    }
+}

@@ -1,0 +1,685 @@
+//! Machine-code generation for synthetic programs and libraries.
+
+use crate::{
+    GeneratedLibrary, GeneratedProgram, LibrarySpec, ProgramSpec, Scenario,
+    WrapperStyle,
+};
+use bside_elf::{Elf, ElfBuilder, ElfKind, PltReloc, SymbolSpec};
+use bside_syscalls::{Sysno, SyscallSet};
+use bside_x86::{Assembler, Cond, Label, Mem, Reg};
+use std::collections::BTreeMap;
+
+/// Distance from the text base to the GOT (leaves ample room for text).
+const GOT_OFFSET: u64 = 0x200_000;
+
+struct FuncRecord {
+    name: String,
+    start: u64,
+    end: u64,
+    export: bool,
+}
+
+struct Emitter {
+    asm: Assembler,
+    funcs: Vec<FuncRecord>,
+    text_base: u64,
+    got_base: u64,
+    imports: Vec<String>,
+    wrapper_style: WrapperStyle,
+    wrapper_label: Option<Label>,
+    popular_label: Option<Label>,
+}
+
+impl Emitter {
+    fn new(text_base: u64, wrapper_style: WrapperStyle) -> Self {
+        Emitter {
+            asm: Assembler::new(text_base),
+            funcs: Vec::new(),
+            text_base,
+            got_base: text_base + GOT_OFFSET,
+            imports: Vec::new(),
+            wrapper_style,
+            wrapper_label: None,
+            popular_label: None,
+        }
+    }
+
+    fn begin_func(&mut self, name: &str, export: bool) -> u64 {
+        let start = self.asm.cursor();
+        let label = self.asm.named_label(name);
+        self.asm.bind(label).expect("function names are unique");
+        self.funcs.push(FuncRecord { name: name.to_string(), start, end: start, export });
+        start
+    }
+
+    fn end_func(&mut self) {
+        let end = self.asm.cursor();
+        self.funcs.last_mut().expect("begin_func first").end = end;
+    }
+
+    /// Registers (once) and returns the PLT stub label for an import.
+    fn import(&mut self, name: &str) -> Label {
+        if !self.imports.contains(&name.to_string()) {
+            self.imports.push(name.to_string());
+        }
+        self.asm.named_label(&format!("plt.{name}"))
+    }
+
+    fn got_slot(&self, name: &str) -> u64 {
+        let idx = self
+            .imports
+            .iter()
+            .position(|n| n == name)
+            .expect("import registered");
+        self.got_base + 8 * idx as u64
+    }
+
+    /// Emits the wrapper function if the style requires one. Must be
+    /// called before any `ViaWrapper` body.
+    fn ensure_wrapper(&mut self) -> Option<Label> {
+        if self.wrapper_style == WrapperStyle::None {
+            return None;
+        }
+        if let Some(l) = self.wrapper_label {
+            return Some(l);
+        }
+        let label = self.asm.named_label("syscall_wrapper");
+        self.wrapper_label = Some(label);
+        Some(label)
+    }
+
+    fn emit_wrapper_body(&mut self) {
+        let Some(_) = self.wrapper_label else { return };
+        self.begin_func("syscall_wrapper", false);
+        match self.wrapper_style {
+            WrapperStyle::Register => {
+                // long syscall(long number, ...): number in %rdi.
+                self.asm.mov_reg_reg(Reg::Rax, Reg::Rdi);
+            }
+            WrapperStyle::Stack => {
+                // Go ABI0: number at [rsp+8] past the return address.
+                self.asm.mov_reg_mem(Reg::Rax, Mem::base_disp(Reg::Rsp, 8));
+            }
+            WrapperStyle::None => unreachable!("gated above"),
+        }
+        self.asm.syscall();
+        self.asm.ret();
+        self.end_func();
+    }
+
+    fn ensure_popular_helper(&mut self) -> Label {
+        if let Some(l) = self.popular_label {
+            return l;
+        }
+        let label = self.asm.named_label("popular_helper");
+        self.popular_label = Some(label);
+        label
+    }
+
+    fn emit_popular_helper_body(&mut self) {
+        let Some(_) = self.popular_label else { return };
+        self.begin_func("popular_helper", false);
+        // A memcpy-ish busy body: moves data around, no syscalls.
+        self.asm.mov_reg_reg(Reg::Rax, Reg::Rdi);
+        self.asm.add_reg_reg(Reg::Rax, Reg::Rsi);
+        self.asm.nop();
+        self.asm.ret();
+        self.end_func();
+    }
+
+    /// Emits one scenario's function body. Returns the syscall numbers it
+    /// contributes to the ground truth.
+    fn emit_scenario_func(&mut self, name: &str, scenario: &Scenario) -> Vec<u32> {
+        let mut truth = Vec::new();
+        match scenario {
+            Scenario::Direct(nums) => {
+                self.begin_func(name, false);
+                for &n in nums {
+                    self.asm.mov_reg_imm32(Reg::Rax, n as i32);
+                    self.asm.syscall();
+                    truth.push(n);
+                }
+                self.asm.ret();
+                self.end_func();
+            }
+            Scenario::BranchJoin(a, b) => {
+                self.begin_func(name, false);
+                let alt = self.asm.new_label();
+                let join = self.asm.new_label();
+                self.asm.cmp_reg_imm32(Reg::Rdi, 0);
+                self.asm.jcc_label(Cond::Ne, alt);
+                self.asm.mov_reg_imm32(Reg::Rax, *a as i32);
+                self.asm.jmp_label(join);
+                self.asm.bind(alt).expect("fresh");
+                self.asm.mov_reg_imm32(Reg::Rax, *b as i32);
+                self.asm.bind(join).expect("fresh");
+                self.asm.syscall();
+                self.asm.ret();
+                self.end_func();
+                truth.extend([*a, *b]);
+            }
+            Scenario::ThroughStack(n) => {
+                self.begin_func(name, false);
+                self.asm.sub_reg_imm32(Reg::Rsp, 0x18);
+                self.asm.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 8), *n as i32);
+                self.asm.mov_reg_mem(Reg::Rax, Mem::base_disp(Reg::Rsp, 8));
+                self.asm.syscall();
+                self.asm.add_reg_imm32(Reg::Rsp, 0x18);
+                self.asm.ret();
+                self.end_func();
+                truth.push(*n);
+            }
+            Scenario::ViaWrapper(nums) => {
+                let wrapper = self.ensure_wrapper();
+                self.begin_func(name, false);
+                match (wrapper, self.wrapper_style) {
+                    (Some(w), WrapperStyle::Register) => {
+                        for &n in nums {
+                            self.asm.mov_reg_imm32(Reg::Rdi, n as i32);
+                            self.asm.call_label(w);
+                            truth.push(n);
+                        }
+                    }
+                    (Some(w), WrapperStyle::Stack) => {
+                        self.asm.sub_reg_imm32(Reg::Rsp, 0x10);
+                        for &n in nums {
+                            self.asm.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 0), n as i32);
+                            self.asm.call_label(w);
+                            truth.push(n);
+                        }
+                        self.asm.add_reg_imm32(Reg::Rsp, 0x10);
+                    }
+                    _ => {
+                        // No wrapper configured: degenerate to Direct.
+                        for &n in nums {
+                            self.asm.mov_reg_imm32(Reg::Rax, n as i32);
+                            self.asm.syscall();
+                            truth.push(n);
+                        }
+                    }
+                }
+                self.asm.ret();
+                self.end_func();
+            }
+            Scenario::IndirectHelper(n) => {
+                // The helper whose address is taken.
+                let helper_name = format!("{name}_target");
+                let helper = self.asm.named_label(&helper_name);
+                self.begin_func(name, false);
+                self.asm.lea_riplabel(Reg::Rbx, helper);
+                self.asm.call_reg(Reg::Rbx);
+                self.asm.ret();
+                self.end_func();
+                self.begin_func(&helper_name, false);
+                self.asm.mov_reg_imm32(Reg::Rax, *n as i32);
+                self.asm.syscall();
+                self.asm.ret();
+                self.end_func();
+                truth.push(*n);
+            }
+            Scenario::PopularHelper(n) => {
+                let helper = self.ensure_popular_helper();
+                self.begin_func(name, false);
+                self.asm.mov_reg_imm32(Reg::Rbx, *n as i32);
+                self.asm.call_label(helper);
+                self.asm.mov_reg_reg(Reg::Rax, Reg::Rbx);
+                self.asm.syscall();
+                self.asm.ret();
+                self.end_func();
+                truth.push(*n);
+            }
+            Scenario::Loop(n, count) => {
+                self.begin_func(name, false);
+                let top = self.asm.new_label();
+                self.asm.mov_reg_imm32(Reg::R12, *count as i32);
+                self.asm.bind(top).expect("fresh");
+                self.asm.mov_reg_imm32(Reg::Rax, *n as i32);
+                self.asm.syscall();
+                self.asm.sub_reg_imm32(Reg::R12, 1);
+                self.asm.cmp_reg_imm32(Reg::R12, 0);
+                self.asm.jcc_label(Cond::Ne, top);
+                self.asm.ret();
+                self.end_func();
+                truth.push(*n);
+            }
+            Scenario::CallImport(import) => {
+                let stub = self.import(import);
+                self.begin_func(name, false);
+                self.asm.call_label(stub);
+                self.asm.ret();
+                self.end_func();
+                // Truth contributed by the library, not here.
+            }
+            Scenario::TailCall(n) => {
+                let helper_name = format!("{name}_tail");
+                let helper = self.asm.named_label(&helper_name);
+                self.begin_func(name, false);
+                self.asm.nop();
+                self.asm.jmp_label(helper); // sibling call: no ret here
+                self.end_func();
+                self.begin_func(&helper_name, false);
+                self.asm.mov_reg_imm32(Reg::Rax, *n as i32);
+                self.asm.syscall();
+                self.asm.ret();
+                self.end_func();
+                truth.push(*n);
+            }
+            Scenario::ComputedAdd(base, delta) => {
+                self.begin_func(name, false);
+                self.asm.mov_reg_imm32(Reg::Rax, *base as i32);
+                self.asm.add_reg_imm32(Reg::Rax, *delta as i32);
+                self.asm.syscall();
+                self.asm.ret();
+                self.end_func();
+                truth.push(base + delta);
+            }
+            Scenario::DispatchTable { options, used } => {
+                // Helpers first-class: one per option, all address-taken.
+                let helper_labels: Vec<Label> = (0..options.len())
+                    .map(|i| self.asm.named_label(&format!("{name}_opt{i}")))
+                    .collect();
+                self.begin_func(name, false);
+                // Take every option's address (function-pointer table
+                // construction); keep only the used one in rbx.
+                for (i, &label) in helper_labels.iter().enumerate() {
+                    if i == *used {
+                        self.asm.lea_riplabel(Reg::Rbx, label);
+                    } else {
+                        self.asm.lea_riplabel(Reg::Rcx, label);
+                    }
+                }
+                self.asm.call_reg(Reg::Rbx);
+                self.asm.ret();
+                self.end_func();
+                for (i, &n) in options.iter().enumerate() {
+                    self.begin_func(&format!("{name}_opt{i}"), false);
+                    self.asm.mov_reg_imm32(Reg::Rax, n as i32);
+                    self.asm.syscall();
+                    self.asm.ret();
+                    self.end_func();
+                }
+                truth.push(options[*used]);
+            }
+        }
+        truth
+    }
+
+    /// Emits PLT stubs for all registered imports and binds GOT labels.
+    fn emit_plt(&mut self) {
+        for i in 0..self.imports.len() {
+            let name = self.imports[i].clone();
+            let stub = self.asm.named_label(&format!("plt.{name}"));
+            let got = self.asm.named_label(&format!("got.{name}"));
+            let slot = self.got_slot(&name);
+            self.asm.bind_at(got, slot).expect("slot label fresh");
+            let start = self.asm.cursor();
+            self.asm.bind(stub).expect("stub label fresh");
+            self.asm.endbr64();
+            self.asm.jmp_riplabel(got);
+            self.funcs.push(FuncRecord {
+                name: format!("{name}@plt"),
+                start,
+                end: self.asm.cursor(),
+                export: false,
+            });
+        }
+    }
+
+    fn finish(
+        self,
+        kind: ElfKind,
+        entry: Option<u64>,
+        needed: &[String],
+    ) -> Result<(Vec<u8>, Elf), bside_elf::ElfError> {
+        let Emitter { asm, funcs, text_base, got_base, imports, .. } = self;
+        let code = asm.finish().expect("all labels bound");
+        let mut builder = ElfBuilder::new(kind);
+        builder.text(code, text_base);
+        if let Some(e) = entry {
+            builder.entry(e);
+        }
+        for f in &funcs {
+            let spec = if f.export {
+                SymbolSpec::exported_function(&f.name, f.start, f.end - f.start)
+            } else {
+                SymbolSpec::function(&f.name, f.start, f.end - f.start)
+            };
+            builder.symbol(spec);
+        }
+        for lib in needed {
+            builder.needed(lib.clone());
+        }
+        if !imports.is_empty() {
+            builder.got(got_base, imports.len() as u64 * 8);
+            for (i, name) in imports.iter().enumerate() {
+                builder.plt_reloc(PltReloc { got_slot: got_base + 8 * i as u64, symbol: name.clone() });
+            }
+        }
+        let image = builder.build()?;
+        let elf = Elf::parse(&image).expect("emitted images parse");
+        Ok((image, elf))
+    }
+}
+
+fn truth_set(nums: impl IntoIterator<Item = u32>) -> SyscallSet {
+    nums.into_iter().filter_map(Sysno::new).collect()
+}
+
+/// Generates a program from its spec. Deterministic: the same spec always
+/// produces the same bytes.
+///
+/// # Panics
+///
+/// Panics if the spec is internally inconsistent (e.g. a `CallImport`
+/// scenario names an import while `kind` is `Executable` with no
+/// libraries; or labels collide due to duplicate scenario indices) —
+/// specs are produced by this crate's own corpus/profile code.
+pub fn generate(spec: &ProgramSpec) -> GeneratedProgram {
+    let text_base = match spec.kind {
+        ElfKind::Executable => 0x40_1000,
+        ElfKind::PieExecutable | ElfKind::SharedObject => 0x1000,
+    };
+    let mut em = Emitter::new(text_base, spec.wrapper_style);
+
+    // Pre-register declared imports so GOT slots are stable.
+    for import in &spec.imports {
+        em.import(import);
+    }
+
+    if let Some(l) = spec.serve_loop {
+        assert!(
+            l.start < l.end && l.end <= spec.scenarios.len() && l.iterations > 0,
+            "serve_loop range {l:?} out of bounds for {} scenarios",
+            spec.scenarios.len()
+        );
+    }
+
+    // _start calls each live scenario — wrapping the serve-loop range, if
+    // any, in a bounded loop (r13 is callee-saved and untouched by
+    // scenario bodies) — then exits.
+    let entry = em.begin_func("_start", false);
+    let calls: Vec<(String, bool)> = spec
+        .scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("scenario_{i}"), matches!(s, Scenario::BranchJoin(..))))
+        .collect();
+    let loop_top = em.asm.new_label();
+    for (i, (name, two_sided)) in calls.iter().enumerate() {
+        if spec.serve_loop.is_some_and(|l| l.start == i) {
+            let iterations = spec.serve_loop.expect("just checked").iterations;
+            em.asm.mov_reg_imm32(Reg::R13, iterations as i32);
+            em.asm.bind(loop_top).expect("loop top bound once");
+        }
+        let label = em.asm.named_label(name);
+        if *two_sided {
+            // Call both branch directions for full dynamic coverage.
+            em.asm.xor_reg_reg(Reg::Rdi, Reg::Rdi);
+            em.asm.call_label(label);
+            em.asm.mov_reg_imm32(Reg::Rdi, 1);
+            em.asm.call_label(label);
+        } else {
+            em.asm.call_label(label);
+        }
+        if spec.serve_loop.is_some_and(|l| l.end == i + 1) {
+            em.asm.sub_reg_imm32(Reg::R13, 1);
+            em.asm.cmp_reg_imm32(Reg::R13, 0);
+            em.asm.jcc_label(Cond::Ne, loop_top);
+        }
+    }
+    em.asm.mov_reg_imm32(Reg::Rax, 60); // exit
+    em.asm.xor_reg_reg(Reg::Rdi, Reg::Rdi);
+    em.asm.syscall();
+    em.end_func();
+
+    let mut truth: Vec<u32> = vec![60];
+    let mut static_truth: Vec<u32> = vec![60];
+    for (i, scenario) in spec.scenarios.iter().enumerate() {
+        truth.extend(em.emit_scenario_func(&format!("scenario_{i}"), scenario));
+        static_truth.extend(scenario.static_superset());
+    }
+    // Dead code: emitted, never called, not in the truth.
+    for (i, scenario) in spec.dead_scenarios.iter().enumerate() {
+        em.emit_scenario_func(&format!("dead_{i}"), scenario);
+    }
+    em.emit_wrapper_body();
+    em.emit_popular_helper_body();
+    em.emit_plt();
+
+    let (image, elf) = em
+        .finish(spec.kind, Some(entry), &spec.libs)
+        .expect("spec produces a well-formed image");
+    GeneratedProgram {
+        spec: spec.clone(),
+        image,
+        elf,
+        truth: truth_set(truth),
+        static_truth: truth_set(static_truth),
+    }
+}
+
+/// Generates a shared library from its spec.
+///
+/// # Panics
+///
+/// Panics on internally inconsistent specs (duplicate export names, a
+/// call naming neither an internal export nor a plausible import).
+pub fn generate_library(spec: &LibrarySpec) -> GeneratedLibrary {
+    let text_base = spec.base + 0x1000;
+    let mut em = Emitter::new(text_base, spec.wrapper_style);
+
+    let internal: Vec<String> = spec.exports.iter().map(|e| e.name.clone()).collect();
+    let mut direct_truth: BTreeMap<String, SyscallSet> = BTreeMap::new();
+
+    // First pass: register imports (calls that are not internal exports).
+    for export in &spec.exports {
+        for callee in &export.calls {
+            if !internal.contains(callee) {
+                em.import(callee);
+            }
+        }
+    }
+    if spec.exports.iter().any(|e| !e.syscalls.is_empty())
+        && spec.wrapper_style != WrapperStyle::None
+    {
+        em.ensure_wrapper();
+    }
+
+    for export in &spec.exports {
+        em.begin_func(&export.name, true);
+        match (em.wrapper_label, spec.wrapper_style) {
+            (Some(w), WrapperStyle::Register) => {
+                for &n in &export.syscalls {
+                    em.asm.mov_reg_imm32(Reg::Rdi, n as i32);
+                    em.asm.call_label(w);
+                }
+            }
+            (Some(w), WrapperStyle::Stack) => {
+                if !export.syscalls.is_empty() {
+                    em.asm.sub_reg_imm32(Reg::Rsp, 0x10);
+                    for &n in &export.syscalls {
+                        em.asm.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 0), n as i32);
+                        em.asm.call_label(w);
+                    }
+                    em.asm.add_reg_imm32(Reg::Rsp, 0x10);
+                }
+            }
+            _ => {
+                for &n in &export.syscalls {
+                    em.asm.mov_reg_imm32(Reg::Rax, n as i32);
+                    em.asm.syscall();
+                }
+            }
+        }
+        for callee in &export.calls {
+            let label = if internal.contains(callee) {
+                em.asm.named_label(callee)
+            } else {
+                em.import(callee)
+            };
+            em.asm.call_label(label);
+        }
+        em.asm.ret();
+        em.end_func();
+        direct_truth.insert(export.name.clone(), truth_set(export.syscalls.iter().copied()));
+    }
+    em.emit_wrapper_body();
+    em.emit_plt();
+
+    let (image, elf) = em
+        .finish(ElfKind::SharedObject, None, &spec.libs)
+        .expect("spec produces a well-formed image");
+    GeneratedLibrary { spec: spec.clone(), image, elf, direct_truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExportSpec;
+    use bside_syscalls::well_known as wk;
+
+    fn basic_spec(kind: ElfKind, style: WrapperStyle, scenarios: Vec<Scenario>) -> ProgramSpec {
+        ProgramSpec {
+            name: "t".into(),
+            kind,
+            wrapper_style: style,
+            scenarios,
+            dead_scenarios: vec![],
+            imports: vec![],
+            libs: vec![],
+            serve_loop: None,
+        }
+    }
+
+    #[test]
+    fn direct_program_truth_and_symbols() {
+        let spec = basic_spec(
+            ElfKind::Executable,
+            WrapperStyle::None,
+            vec![Scenario::Direct(vec![0, 1])],
+        );
+        let prog = generate(&spec);
+        assert!(prog.truth.contains(wk::READ));
+        assert!(prog.truth.contains(wk::WRITE));
+        assert!(prog.truth.contains(wk::EXIT));
+        assert_eq!(prog.truth.len(), 3);
+        let names: Vec<&str> =
+            prog.elf.function_symbols().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"_start"));
+        assert!(names.contains(&"scenario_0"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = basic_spec(
+            ElfKind::PieExecutable,
+            WrapperStyle::Register,
+            vec![Scenario::ViaWrapper(vec![0, 1, 257]), Scenario::BranchJoin(3, 8)],
+        );
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn dead_scenarios_are_emitted_but_not_in_truth() {
+        let spec = ProgramSpec {
+            dead_scenarios: vec![Scenario::Direct(vec![59])],
+            ..basic_spec(ElfKind::Executable, WrapperStyle::None, vec![Scenario::Direct(vec![1])])
+        };
+        let prog = generate(&spec);
+        assert!(!prog.truth.contains(wk::EXECVE), "dead execve not in truth");
+        let names: Vec<&str> =
+            prog.elf.function_symbols().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"dead_0"), "dead function exists in the binary");
+    }
+
+    #[test]
+    fn wrapper_function_is_emitted_once() {
+        let spec = basic_spec(
+            ElfKind::Executable,
+            WrapperStyle::Stack,
+            vec![Scenario::ViaWrapper(vec![0]), Scenario::ViaWrapper(vec![1])],
+        );
+        let prog = generate(&spec);
+        let wrappers: Vec<&str> = prog
+            .elf
+            .function_symbols()
+            .iter()
+            .map(|s| s.name.as_str())
+            .filter(|n| *n == "syscall_wrapper")
+            .collect();
+        assert_eq!(wrappers.len(), 1);
+    }
+
+    #[test]
+    fn imports_produce_plt_and_needed() {
+        let spec = ProgramSpec {
+            imports: vec!["lib_write".into()],
+            libs: vec!["libfake.so".into()],
+            ..basic_spec(
+                ElfKind::PieExecutable,
+                WrapperStyle::None,
+                vec![Scenario::CallImport("lib_write".into())],
+            )
+        };
+        let prog = generate(&spec);
+        assert_eq!(prog.elf.needed_libraries(), &["libfake.so"]);
+        assert_eq!(prog.elf.plt_relocations().len(), 1);
+        assert_eq!(prog.elf.plt_relocations()[0].symbol_name, "lib_write");
+        // Truth excludes the import's syscalls (resolved separately).
+        assert_eq!(prog.truth.len(), 1); // just exit
+    }
+
+    #[test]
+    fn library_exports_and_direct_truth() {
+        let spec = LibrarySpec {
+            name: "libdemo.so".into(),
+            base: 0x1000_0000,
+            wrapper_style: WrapperStyle::Register,
+            libs: vec![],
+            exports: vec![
+                ExportSpec { name: "demo_read".into(), syscalls: vec![0], calls: vec![] },
+                ExportSpec {
+                    name: "demo_io".into(),
+                    syscalls: vec![1],
+                    calls: vec!["demo_read".into()],
+                },
+            ],
+        };
+        let lib = generate_library(&spec);
+        let exports: Vec<&str> =
+            lib.elf.exported_functions().iter().map(|s| s.name.as_str()).collect();
+        assert!(exports.contains(&"demo_read"));
+        assert!(exports.contains(&"demo_io"));
+        assert_eq!(lib.direct_truth["demo_io"].len(), 1);
+        // Closed truth includes the internal callee.
+        let t = lib.export_truth("demo_io", &[]).unwrap();
+        assert!(t.contains(wk::READ) && t.contains(wk::WRITE));
+    }
+
+    #[test]
+    fn cross_library_truth_closure() {
+        let liba = generate_library(&LibrarySpec {
+            name: "liba.so".into(),
+            base: 0x1000_0000,
+            wrapper_style: WrapperStyle::None,
+            libs: vec!["libb.so".into()],
+            exports: vec![ExportSpec {
+                name: "a_fn".into(),
+                syscalls: vec![0],
+                calls: vec!["b_fn".into()],
+            }],
+        });
+        let libb = generate_library(&LibrarySpec {
+            name: "libb.so".into(),
+            base: 0x2000_0000,
+            wrapper_style: WrapperStyle::None,
+            libs: vec![],
+            exports: vec![ExportSpec { name: "b_fn".into(), syscalls: vec![1], calls: vec![] }],
+        });
+        let all = vec![liba.clone(), libb.clone()];
+        let t = liba.export_truth("a_fn", &all).unwrap();
+        assert!(t.contains(wk::READ) && t.contains(wk::WRITE));
+    }
+}

@@ -1,0 +1,335 @@
+//! Synthetic ELF corpus generator with ground truth by construction.
+//!
+//! The B-Side paper evaluates on artifacts we cannot ship: 557 binaries
+//! from the Debian 10 repositories, six popular applications, their test
+//! suites, and `strace` traces (§5.1–§5.2). This crate is the substitute
+//! documented in `DESIGN.md`: a deterministic generator that emits *real*
+//! ELF executables and shared objects whose machine code exhibits exactly
+//! the shapes the analyses must handle —
+//!
+//! * the three immediate-flow scenarios of Fig. 1 (same block / different
+//!   block / through memory);
+//! * register-parameter (glibc-style) and stack-parameter (Go-style)
+//!   system call wrappers, the Fig. 2 B precision hazard;
+//! * popular helper functions between the immediate definition and the
+//!   `syscall`, the Fig. 2 A state-explosion hazard;
+//! * function pointers (address-taken code), dispatch tables, tail
+//!   calls, arithmetically computed numbers, dead code carrying syscalls,
+//!   PLT/GOT-linked imports from shared libraries.
+//!
+//! Because the generator *constructs* the program, the true invocable
+//! system call set ([`GeneratedProgram::truth`]) is known exactly — the
+//! ground truth the Debian corpus never had. A mini dynamic loader
+//! ([`loader`]) links generated executables against their generated
+//! libraries so the concrete interpreter can execute them and play the
+//! role of `strace` ([`trace_syscalls`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_gen::{generate, ProgramSpec, Scenario, WrapperStyle};
+//! use bside_elf::ElfKind;
+//!
+//! let spec = ProgramSpec {
+//!     name: "demo".into(),
+//!     kind: ElfKind::Executable,
+//!     wrapper_style: WrapperStyle::Register,
+//!     scenarios: vec![
+//!         Scenario::Direct(vec![1]),           // write
+//!         Scenario::ViaWrapper(vec![0, 257]),  // read, openat through syscall()
+//!     ],
+//!     dead_scenarios: vec![Scenario::Direct(vec![59])], // execve, never called
+//!     imports: vec![],
+//!     libs: vec![],
+//!     serve_loop: None,
+//! };
+//! let prog = generate(&spec);
+//!
+//! // Ground truth: the live syscalls plus the generator's exit.
+//! let names: Vec<String> = prog.truth.iter().map(|s| s.to_string()).collect();
+//! assert_eq!(names, vec!["read", "write", "exit", "openat"]);
+//!
+//! // The dynamic trace observes exactly the truth (full coverage).
+//! let traced = bside_gen::trace_syscalls(&prog, &[]);
+//! assert_eq!(traced, prog.truth);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+pub mod corpus;
+pub mod loader;
+pub mod profiles;
+
+pub use codegen::{generate, generate_library};
+pub use loader::{link, trace_syscalls};
+
+use bside_elf::{Elf, ElfKind};
+use bside_syscalls::SyscallSet;
+use std::collections::BTreeMap;
+
+/// How the generated program wraps its system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapperStyle {
+    /// No wrapper: every site loads an immediate directly.
+    None,
+    /// A glibc-style wrapper receiving the number in `%rdi`.
+    Register,
+    /// A Go-style wrapper receiving the number on the stack.
+    Stack,
+}
+
+/// One code shape to emit as a function called from the entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scenario {
+    /// A function performing the given syscalls back to back with
+    /// immediates in the same block as each `syscall` (Fig. 1 A).
+    Direct(Vec<u32>),
+    /// A two-sided branch loading two different numbers in separate
+    /// blocks that join at a single `syscall` (Fig. 1 B). The entry calls
+    /// the function twice so the dynamic trace covers both sides.
+    BranchJoin(u32, u32),
+    /// The number takes a round trip through a stack slot before landing
+    /// in `%rax` (Fig. 1 C — the shape that defeats use-define chains).
+    ThroughStack(u32),
+    /// Each number is passed through the program's wrapper (style chosen
+    /// by [`ProgramSpec::wrapper_style`]; degenerates to `Direct` when the
+    /// style is `None`).
+    ViaWrapper(Vec<u32>),
+    /// The function's address is taken with `lea` and it is invoked
+    /// through a register (exercises the address-taken heuristic).
+    IndirectHelper(u32),
+    /// The number is parked in a callee-saved register across a call to a
+    /// popular shared helper before reaching `%rax` (Fig. 2 A).
+    PopularHelper(u32),
+    /// A bounded loop performing the syscall on each iteration.
+    Loop(u32, u8),
+    /// A call to an imported library function through the PLT (dynamic
+    /// binaries only; the name must appear in [`ProgramSpec::imports`]).
+    CallImport(String),
+    /// The scenario function ends with a direct tail call (`jmp`) into a
+    /// helper that performs the syscall — the compiler shape produced by
+    /// sibling-call optimization.
+    TailCall(u32),
+    /// The number is *computed*: `mov rax, base; add rax, delta;
+    /// syscall`. Constant folding in the symbolic executor resolves it;
+    /// use-define chains and window scans treat arithmetic as a kill.
+    ComputedAdd(u32, u32),
+    /// A dispatch table: the addresses of *all* the option helpers are
+    /// taken, but only `options[used]` is invoked at runtime. Every sound
+    /// static analysis must report all options (the CFG over-approximation
+    /// is input-independent), so this scenario manufactures honest false
+    /// positives against the dynamic ground truth — the reason measured
+    /// F1 scores sit below 1 (§5.2).
+    DispatchTable {
+        /// Syscall number of each helper in the table.
+        options: Vec<u32>,
+        /// Index of the helper actually called at runtime.
+        used: usize,
+    },
+}
+
+impl Scenario {
+    /// The system calls this scenario can *actually* invoke at runtime
+    /// (the dynamic ground truth contribution; imports excluded).
+    pub fn runtime_truth(&self) -> Vec<u32> {
+        match self {
+            Scenario::Direct(ns) | Scenario::ViaWrapper(ns) => ns.clone(),
+            Scenario::BranchJoin(a, b) => vec![*a, *b],
+            Scenario::ThroughStack(n)
+            | Scenario::IndirectHelper(n)
+            | Scenario::PopularHelper(n)
+            | Scenario::TailCall(n)
+            | Scenario::Loop(n, _) => vec![*n],
+            Scenario::ComputedAdd(base, delta) => vec![base + delta],
+            Scenario::CallImport(_) => vec![],
+            Scenario::DispatchTable { options, used } => vec![options[*used]],
+        }
+    }
+
+    /// The system calls a sound static analysis must report for this
+    /// scenario (⊇ [`Scenario::runtime_truth`]; differs only for
+    /// input-dependent dispatch).
+    pub fn static_superset(&self) -> Vec<u32> {
+        match self {
+            Scenario::DispatchTable { options, .. } => options.clone(),
+            other => other.runtime_truth(),
+        }
+    }
+}
+
+/// A bounded serving loop within a program: the scenarios with indices
+/// in `start..end` are invoked inside a loop executed `iterations` times.
+///
+/// This is what gives profiles the init → serve → shutdown temporal
+/// structure the phase detector of §4.7 feeds on: scenarios before the
+/// loop form strict startup phases, the loop body collapses into one
+/// large recurring phase, and trailing scenarios form shutdown phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeLoop {
+    /// First scenario index inside the loop.
+    pub start: usize,
+    /// One past the last scenario index inside the loop.
+    pub end: usize,
+    /// Loop iterations executed at runtime (kept small so the concrete
+    /// interpreter's traces stay bounded).
+    pub iterations: u8,
+}
+
+/// Specification of one synthetic program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Program name (also the `_start` symbol's binary name).
+    pub name: String,
+    /// Static executable, PIE, or shared object.
+    pub kind: ElfKind,
+    /// Wrapper flavour used by [`Scenario::ViaWrapper`].
+    pub wrapper_style: WrapperStyle,
+    /// Scenarios reachable from the entry point, in call order.
+    pub scenarios: Vec<Scenario>,
+    /// Scenarios emitted into the binary but never called: dead code whose
+    /// syscalls must *not* be in the ground truth (precision test).
+    pub dead_scenarios: Vec<Scenario>,
+    /// Imported library functions callable via `Scenario::CallImport`.
+    pub imports: Vec<String>,
+    /// `DT_NEEDED` library names.
+    pub libs: Vec<String>,
+    /// Optional serving loop over a contiguous range of scenarios.
+    pub serve_loop: Option<ServeLoop>,
+}
+
+/// Specification of one exported function of a synthetic library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportSpec {
+    /// Exported symbol name.
+    pub name: String,
+    /// System calls the export performs directly.
+    pub syscalls: Vec<u32>,
+    /// Other functions the export calls: internal exports of the same
+    /// library (resolved directly) or imports from other libraries
+    /// (resolved through the PLT).
+    pub calls: Vec<String>,
+}
+
+/// Specification of a synthetic shared library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibrarySpec {
+    /// Library name (`DT_NEEDED` spelling).
+    pub name: String,
+    /// Exported functions.
+    pub exports: Vec<ExportSpec>,
+    /// Wrapper style used for the exports' syscalls.
+    pub wrapper_style: WrapperStyle,
+    /// Load (link) base address; every library in a linked set needs a
+    /// distinct base.
+    pub base: u64,
+    /// Libraries this one imports from.
+    pub libs: Vec<String>,
+}
+
+/// A generated program: ELF image, parsed view, and ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// The spec it was generated from.
+    pub spec: ProgramSpec,
+    /// The ELF image bytes.
+    pub image: Vec<u8>,
+    /// Parsed view of the image.
+    pub elf: Elf,
+    /// The exact set of system calls the program can invoke at runtime
+    /// (excluding anything reached through imports — see
+    /// [`GeneratedProgram::truth_with_libs`]).
+    pub truth: SyscallSet,
+    /// The smallest set a *sound* static analysis can report: `truth`
+    /// plus input-dependent dispatch alternatives
+    /// ([`Scenario::static_superset`]). A perfect static tool reports
+    /// exactly this; its false positives against `truth` are inherent.
+    pub static_truth: SyscallSet,
+}
+
+impl GeneratedProgram {
+    /// Ground truth including system calls reached through imported
+    /// library functions, resolved against the given libraries.
+    pub fn truth_with_libs(&self, libs: &[GeneratedLibrary]) -> SyscallSet {
+        let mut set = self.truth;
+        set.extend_from(&self.import_truth(libs));
+        set
+    }
+
+    /// The sound-static-superset analogue of
+    /// [`GeneratedProgram::truth_with_libs`].
+    pub fn static_truth_with_libs(&self, libs: &[GeneratedLibrary]) -> SyscallSet {
+        let mut set = self.static_truth;
+        set.extend_from(&self.import_truth(libs));
+        set
+    }
+
+    fn import_truth(&self, libs: &[GeneratedLibrary]) -> SyscallSet {
+        let mut set = SyscallSet::new();
+        for scenario in &self.spec.scenarios {
+            if let Scenario::CallImport(name) = scenario {
+                for lib in libs {
+                    if let Some(t) = lib.export_truth(name, libs) {
+                        set.extend_from(&t);
+                    }
+                }
+            }
+        }
+        set
+    }
+}
+
+/// A generated shared library.
+#[derive(Debug, Clone)]
+pub struct GeneratedLibrary {
+    /// The spec it was generated from.
+    pub spec: LibrarySpec,
+    /// The ELF image bytes.
+    pub image: Vec<u8>,
+    /// Parsed view.
+    pub elf: Elf,
+    /// Per-export ground truth for *direct* syscalls (before closing over
+    /// `calls`).
+    pub direct_truth: BTreeMap<String, SyscallSet>,
+}
+
+impl GeneratedLibrary {
+    /// The full ground truth of one export, closed over internal and
+    /// cross-library calls.
+    pub fn export_truth(&self, export: &str, all_libs: &[GeneratedLibrary]) -> Option<SyscallSet> {
+        fn walk(
+            lib: &GeneratedLibrary,
+            export: &str,
+            all: &[GeneratedLibrary],
+            seen: &mut Vec<String>,
+            out: &mut SyscallSet,
+        ) -> bool {
+            let Some(spec) = lib.spec.exports.iter().find(|e| e.name == export) else {
+                return false;
+            };
+            if seen.contains(&export.to_string()) {
+                return true;
+            }
+            seen.push(export.to_string());
+            if let Some(direct) = lib.direct_truth.get(export) {
+                out.extend_from(direct);
+            }
+            for callee in &spec.calls {
+                let mut found = walk(lib, callee, all, seen, out);
+                if !found {
+                    for other in all {
+                        if walk(other, callee, all, seen, out) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            true
+        }
+        let mut out = SyscallSet::new();
+        let mut seen = Vec::new();
+        walk(self, export, all_libs, &mut seen, &mut out).then_some(out)
+    }
+}

@@ -1,0 +1,223 @@
+//! A miniature dynamic loader and the simulated-`strace` harness.
+//!
+//! The paper's ground truth comes from running each application's test
+//! suite under `strace` (§5.1). Our corpus is executed instead by the
+//! concrete interpreter of `bside-x86`; for dynamically linked programs
+//! this module plays the dynamic loader: it maps the executable and every
+//! generated library (each linked at a distinct base) into one flat
+//! [`Image`] and resolves all `R_X86_64_JUMP_SLOT` relocations by writing
+//! each imported function's address into the importing object's GOT.
+
+use crate::{GeneratedLibrary, GeneratedProgram};
+use bside_elf::Elf;
+use bside_syscalls::{Sysno, SyscallSet};
+use bside_x86::interp::{execute, ExecConfig, Image};
+use std::collections::HashMap;
+
+/// Links `prog` against `libs` into an executable memory image.
+///
+/// Every PLT relocation in the executable and in each library is resolved
+/// against the union of all exported functions. Unresolved slots are left
+/// as zero (a call through one faults, which the interpreter reports).
+pub fn link(prog: &GeneratedProgram, libs: &[GeneratedLibrary]) -> Image {
+    // Global export table: name → absolute address.
+    let mut exports: HashMap<&str, u64> = HashMap::new();
+    for lib in libs {
+        for sym in lib.elf.exported_functions() {
+            exports.entry(sym.name.as_str()).or_insert(sym.value);
+        }
+    }
+
+    let mut image = Image::new();
+    // GOT overlays go in first: the interpreter reads the first matching
+    // region, so resolved slots shadow the zero-filled section contents.
+    let mut add_got = |elf: &Elf| {
+        if let Some(got) = elf.section_by_name(".got.plt") {
+            let mut bytes = got.data.clone();
+            for rela in elf.plt_relocations() {
+                let Some(&addr) = exports.get(rela.symbol_name.as_str()) else {
+                    continue;
+                };
+                let off = (rela.r_offset - got.header.sh_addr) as usize;
+                if off + 8 <= bytes.len() {
+                    bytes[off..off + 8].copy_from_slice(&addr.to_le_bytes());
+                }
+            }
+            image.add_region(got.header.sh_addr, bytes);
+        }
+    };
+    add_got(&prog.elf);
+    for lib in libs {
+        add_got(&lib.elf);
+    }
+
+    // Map every allocatable section with contents.
+    let mut add_sections = |elf: &Elf| {
+        for section in &elf.sections {
+            if section.header.sh_addr != 0
+                && !section.data.is_empty()
+                && section.name != ".got.plt"
+            {
+                image.add_region(section.header.sh_addr, section.data.clone());
+            }
+        }
+    };
+    add_sections(&prog.elf);
+    for lib in libs {
+        add_sections(&lib.elf);
+    }
+    image
+}
+
+/// Executes the (linked) program and returns the set of system calls
+/// actually invoked — the simulated `strace` ground-truth observation.
+///
+/// # Panics
+///
+/// Panics if execution faults or runs past the step budget: generated
+/// programs are loop-bounded and must run to `exit`, so anything else is
+/// a generator bug worth failing loudly on.
+pub fn trace_syscalls(prog: &GeneratedProgram, libs: &[GeneratedLibrary]) -> SyscallSet {
+    let image = link(prog, libs);
+    let trace = execute(&image, prog.elf.entry_point(), &ExecConfig::default());
+    match trace.exit {
+        bside_x86::interp::ExitReason::SyscallExit
+        | bside_x86::interp::ExitReason::ReturnedFromEntry => {}
+        other => panic!(
+            "generated program {:?} did not run to completion: {other:?} after {} steps",
+            prog.spec.name, trace.steps
+        ),
+    }
+    trace
+        .syscalls
+        .iter()
+        .filter_map(|&(_, rax)| u32::try_from(rax).ok().and_then(Sysno::new))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, generate_library, ExportSpec, LibrarySpec, ProgramSpec, Scenario, WrapperStyle};
+    use bside_elf::ElfKind;
+    use bside_syscalls::well_known as wk;
+
+    #[test]
+    fn static_trace_equals_truth_for_all_patterns() {
+        let spec = ProgramSpec {
+            name: "all_patterns".into(),
+            kind: ElfKind::Executable,
+            wrapper_style: WrapperStyle::Register,
+            scenarios: vec![
+                Scenario::Direct(vec![1]),
+                Scenario::BranchJoin(0, 2),
+                Scenario::ThroughStack(39),
+                Scenario::ViaWrapper(vec![3, 257]),
+                Scenario::IndirectHelper(9),
+                Scenario::PopularHelper(12),
+                Scenario::Loop(4, 3),
+            ],
+            dead_scenarios: vec![Scenario::Direct(vec![59])],
+            imports: vec![],
+            libs: vec![],
+            serve_loop: None,
+        };
+        let prog = generate(&spec);
+        let traced = trace_syscalls(&prog, &[]);
+        assert_eq!(traced, prog.truth, "full-coverage trace must equal the constructed truth");
+        assert!(!traced.contains(wk::EXECVE));
+    }
+
+    #[test]
+    fn stack_wrapper_trace_matches() {
+        let spec = ProgramSpec {
+            name: "go_style".into(),
+            kind: ElfKind::Executable,
+            wrapper_style: WrapperStyle::Stack,
+            scenarios: vec![Scenario::ViaWrapper(vec![0, 1, 35])],
+            dead_scenarios: vec![],
+            imports: vec![],
+            libs: vec![],
+            serve_loop: None,
+        };
+        let prog = generate(&spec);
+        assert_eq!(trace_syscalls(&prog, &[]), prog.truth);
+    }
+
+    #[test]
+    fn dynamic_program_traces_through_libraries() {
+        let libc_like = generate_library(&LibrarySpec {
+            name: "libtiny.so".into(),
+            base: 0x1000_0000,
+            wrapper_style: WrapperStyle::Register,
+            libs: vec![],
+            exports: vec![
+                ExportSpec { name: "tiny_write".into(), syscalls: vec![1], calls: vec![] },
+                ExportSpec {
+                    name: "tiny_log".into(),
+                    syscalls: vec![228], // clock_gettime
+                    calls: vec!["tiny_write".into()],
+                },
+            ],
+        });
+        let spec = ProgramSpec {
+            name: "dyn".into(),
+            kind: ElfKind::PieExecutable,
+            wrapper_style: WrapperStyle::None,
+            scenarios: vec![
+                Scenario::Direct(vec![0]),
+                Scenario::CallImport("tiny_log".into()),
+            ],
+            dead_scenarios: vec![],
+            imports: vec!["tiny_log".into()],
+            libs: vec!["libtiny.so".into()],
+            serve_loop: None,
+        };
+        let prog = generate(&spec);
+        let libs = vec![libc_like];
+        let traced = trace_syscalls(&prog, &libs);
+        let truth = prog.truth_with_libs(&libs);
+        assert_eq!(traced, truth);
+        assert!(traced.contains(wk::READ));
+        assert!(traced.contains(wk::WRITE));
+        assert!(traced.contains(Sysno::from_name("clock_gettime").unwrap()));
+    }
+
+    #[test]
+    fn cross_library_calls_resolve() {
+        let libb = generate_library(&LibrarySpec {
+            name: "libb.so".into(),
+            base: 0x2000_0000,
+            wrapper_style: WrapperStyle::None,
+            libs: vec![],
+            exports: vec![ExportSpec { name: "b_fn".into(), syscalls: vec![41], calls: vec![] }],
+        });
+        let liba = generate_library(&LibrarySpec {
+            name: "liba.so".into(),
+            base: 0x1000_0000,
+            wrapper_style: WrapperStyle::None,
+            libs: vec!["libb.so".into()],
+            exports: vec![ExportSpec {
+                name: "a_fn".into(),
+                syscalls: vec![],
+                calls: vec!["b_fn".into()],
+            }],
+        });
+        let spec = ProgramSpec {
+            name: "xlib".into(),
+            kind: ElfKind::PieExecutable,
+            wrapper_style: WrapperStyle::None,
+            scenarios: vec![Scenario::CallImport("a_fn".into())],
+            dead_scenarios: vec![],
+            imports: vec!["a_fn".into()],
+            libs: vec!["liba.so".into()],
+            serve_loop: None,
+        };
+        let prog = generate(&spec);
+        let libs = vec![liba, libb];
+        let traced = trace_syscalls(&prog, &libs);
+        assert!(traced.contains(wk::SOCKET), "{traced}");
+    }
+
+    use bside_syscalls::Sysno;
+}

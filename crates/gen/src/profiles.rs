@@ -1,0 +1,319 @@
+//! Application profiles: the six validation programs of §5.1.
+//!
+//! The paper validates on Redis, Nginx, HAProxy, Memcached, Lighttpd and
+//! SQLite — binaries we cannot ship, whose ground truth came from running
+//! their test suites under `strace`. Each profile here is a synthetic
+//! program whose *shape* mirrors the corresponding application:
+//!
+//! * a startup phase (configuration, sockets, memory) followed by a
+//!   serving loop and a shutdown path — the structure the phase detector
+//!   of §4.7 must find;
+//! * statically linked runtime cruft: dead library code carrying syscalls
+//!   that a reachability-blind tool wrongly reports (the SysFilter /
+//!   Chestnut false-positive source);
+//! * wrapper usage matching the application's runtime (glibc-style
+//!   register wrappers, Go-style stack wrappers, or none);
+//! * input-dependent dispatch tables, the honest false-positive floor for
+//!   every sound static tool.
+//!
+//! Ground truth is known by construction and confirmed by the simulated
+//! `strace` (`bside_gen::trace_syscalls`).
+
+use crate::{generate, GeneratedProgram, ProgramSpec, Scenario, ServeLoop, WrapperStyle};
+use bside_elf::ElfKind;
+use bside_syscalls::SyscallSet;
+
+/// A named application profile.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Application name (`redis`, `nginx`, …).
+    pub name: &'static str,
+    /// The generated (statically linked) program.
+    pub program: GeneratedProgram,
+}
+
+impl AppProfile {
+    /// Runtime ground truth (what `strace` over a full-coverage test
+    /// suite observes).
+    pub fn truth(&self) -> SyscallSet {
+        self.program.truth
+    }
+
+    /// The smallest sound static answer (truth + dispatch alternatives).
+    pub fn static_truth(&self) -> SyscallSet {
+        self.program.static_truth
+    }
+}
+
+// Syscall-number pools, grouped the way server code uses them.
+const FILE_IO: &[u32] = &[0, 1, 2, 3, 5, 8, 16, 17, 18, 19, 20, 257, 262, 77, 74, 32, 33, 72];
+const NET: &[u32] = &[41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 54, 55, 288, 53];
+const MEM: &[u32] = &[9, 10, 11, 12, 25, 28];
+const EPOLL: &[u32] = &[232, 233, 291, 281, 7, 23, 270, 271];
+const TIME: &[u32] = &[35, 96, 201, 228, 229, 230, 283, 286];
+const SIGNAL: &[u32] = &[13, 14, 15, 127, 131, 282, 289];
+const PROC: &[u32] = &[39, 56, 57, 61, 102, 104, 107, 108, 110, 186, 218, 109, 234];
+const FS_META: &[u32] = &[4, 6, 21, 79, 80, 82, 83, 84, 87, 89, 90, 92, 95, 137, 161];
+const THREAD: &[u32] = &[202, 203, 204, 24, 273, 334];
+const RARE: &[u32] = &[302, 318, 157, 158, 99, 63, 97, 98, 105, 106, 112, 115, 116];
+
+fn direct(pool: &[u32], take: usize) -> Scenario {
+    Scenario::Direct(pool.iter().copied().take(take).collect())
+}
+
+fn via_wrapper(pool: &[u32], take: usize) -> Scenario {
+    Scenario::ViaWrapper(pool.iter().copied().take(take).collect())
+}
+
+/// Dead "statically linked runtime" code: syscalls present in the binary
+/// but never reachable — what a reachability-blind tool still reports.
+fn runtime_cruft() -> Vec<Scenario> {
+    vec![
+        Scenario::Direct(vec![59, 322, 101, 165, 155, 175, 321, 250]), // the dangerous ones
+        Scenario::Direct(RARE.to_vec()),
+        Scenario::Direct(vec![169, 167, 168, 246, 170, 171, 172, 173]),
+        Scenario::IndirectHelper(134),
+        Scenario::ThroughStack(177),
+    ]
+}
+
+fn profile(
+    name: &'static str,
+    wrapper: WrapperStyle,
+    scenarios: Vec<Scenario>,
+    serve_loop: Option<ServeLoop>,
+) -> AppProfile {
+    let spec = ProgramSpec {
+        name: name.into(),
+        // PIE, like the paper's distro-built applications: accepted by
+        // SysFilter (PIC) and pushes Chestnut onto its fallback path
+        // rather than a hard failure, matching the Fig. 7 setting.
+        kind: ElfKind::PieExecutable,
+        wrapper_style: wrapper,
+        scenarios,
+        dead_scenarios: runtime_cruft(),
+        imports: vec![],
+        libs: vec![],
+        serve_loop,
+    };
+    AppProfile { name, program: generate(&spec) }
+}
+
+/// The `redis`-like profile: a large event-loop server with persistence,
+/// fork-based snapshotting and a jemalloc-ish allocator (many memory
+/// syscalls), syscalls mostly through a glibc-style wrapper.
+///
+/// Scenario layout: 3 strict init scenarios, an 11-scenario serving loop,
+/// 1 shutdown scenario (indices 3..14 loop).
+pub fn redis() -> AppProfile {
+    profile("redis", WrapperStyle::Register, vec![
+        // init: config open, rlimits, allocator warmup
+        Scenario::Direct(vec![2]),
+        Scenario::Direct(vec![97, 160]),
+        via_wrapper(MEM, 6),
+        // serving loop
+        direct(FILE_IO, 14),
+        via_wrapper(NET, 13),
+        direct(EPOLL, 8),
+        via_wrapper(TIME, 6),
+        direct(SIGNAL, 6),
+        via_wrapper(PROC, 10),
+        direct(FS_META, 10),
+        via_wrapper(THREAD, 5),
+        Scenario::BranchJoin(77, 285),
+        Scenario::ThroughStack(213),
+        Scenario::IndirectHelper(290),
+        Scenario::PopularHelper(318),
+        Scenario::Loop(0, 3),
+        Scenario::DispatchTable { options: vec![26, 277, 75], used: 0 },
+        // shutdown
+        Scenario::Direct(vec![3, 74]),
+    ], Some(ServeLoop { start: 3, end: 17, iterations: 2 }))
+}
+
+/// The `nginx`-like profile: master/worker server with a clear
+/// init → serve → shutdown phase structure (the §5.4 subject).
+pub fn nginx() -> AppProfile {
+    profile("nginx", WrapperStyle::Register, vec![
+        // init: config parse, sockets, privileges — strict small phases
+        Scenario::Direct(vec![2]),
+        Scenario::Direct(vec![21]),
+        Scenario::Direct(vec![41, 49]),
+        Scenario::Direct(vec![50]),
+        Scenario::Direct(vec![105]),
+        direct(FS_META, 12),
+        via_wrapper(MEM, 5),
+        via_wrapper(PROC, 11),
+        // serving loop
+        direct(EPOLL, 8),
+        direct(FILE_IO, 12),
+        via_wrapper(NET, 14),
+        via_wrapper(TIME, 5),
+        direct(SIGNAL, 7),
+        Scenario::Loop(288, 2),
+        Scenario::Loop(1, 2),
+        Scenario::BranchJoin(40, 275),
+        Scenario::ThroughStack(293),
+        Scenario::IndirectHelper(213),
+        Scenario::PopularHelper(302),
+        Scenario::DispatchTable { options: vec![318, 16, 72], used: 0 },
+        // shutdown
+        Scenario::Direct(vec![3]),
+        Scenario::Direct(vec![87]),
+    ], Some(ServeLoop { start: 8, end: 20, iterations: 2 }))
+}
+
+/// The `haproxy`-like profile: proxy with splicing and many socket
+/// options.
+pub fn haproxy() -> AppProfile {
+    profile("haproxy", WrapperStyle::Register, vec![
+        // init
+        Scenario::Direct(vec![2]),
+        Scenario::Direct(vec![41]),
+        via_wrapper(MEM, 4),
+        // serving loop
+        direct(NET, 15),
+        via_wrapper(FILE_IO, 10),
+        direct(EPOLL, 7),
+        via_wrapper(TIME, 4),
+        direct(SIGNAL, 5),
+        via_wrapper(PROC, 8),
+        Scenario::BranchJoin(275, 276),
+        Scenario::ThroughStack(278),
+        Scenario::PopularHelper(302),
+        Scenario::DispatchTable { options: vec![54, 55], used: 0 },
+        // shutdown
+        Scenario::Direct(vec![3]),
+    ], Some(ServeLoop { start: 3, end: 13, iterations: 2 }))
+}
+
+/// The `memcached`-like profile: a threaded cache; models a runtime with
+/// Go-style stack-passing wrappers.
+pub fn memcached() -> AppProfile {
+    profile("memcached", WrapperStyle::Stack, vec![
+        // init
+        Scenario::Direct(vec![41]),
+        via_wrapper(MEM, 5),
+        via_wrapper(THREAD, 6),
+        // serving loop
+        via_wrapper(NET, 11),
+        direct(EPOLL, 6),
+        direct(TIME, 4),
+        via_wrapper(FILE_IO, 8),
+        direct(SIGNAL, 4),
+        via_wrapper(PROC, 7),
+        Scenario::BranchJoin(28, 25),
+        Scenario::ThroughStack(318),
+        Scenario::DispatchTable { options: vec![230, 35], used: 1 },
+        // shutdown
+        Scenario::Direct(vec![3]),
+    ], Some(ServeLoop { start: 3, end: 12, iterations: 2 }))
+}
+
+/// The `lighttpd`-like profile: a small single-process web server.
+pub fn lighttpd() -> AppProfile {
+    profile("lighttpd", WrapperStyle::None, vec![
+        // init
+        Scenario::Direct(vec![2]),
+        Scenario::Direct(vec![41, 49, 50]),
+        // serving loop
+        direct(FILE_IO, 10),
+        direct(NET, 9),
+        direct(EPOLL, 5),
+        direct(FS_META, 8),
+        direct(SIGNAL, 4),
+        direct(PROC, 6),
+        Scenario::BranchJoin(40, 275),
+        Scenario::ThroughStack(89),
+        Scenario::IndirectHelper(78),
+        // shutdown
+        Scenario::Direct(vec![3]),
+    ], Some(ServeLoop { start: 2, end: 11, iterations: 2 }))
+}
+
+/// The `sqlite`-like profile: a library-shaped workload driven by a
+/// shell, file-I/O heavy, few network calls.
+pub fn sqlite() -> AppProfile {
+    profile("sqlite", WrapperStyle::Register, vec![
+        // init
+        Scenario::Direct(vec![2, 5]),
+        // statement-execution loop
+        direct(FILE_IO, 13),
+        direct(FS_META, 10),
+        via_wrapper(MEM, 4),
+        via_wrapper(TIME, 3),
+        via_wrapper(PROC, 5),
+        Scenario::BranchJoin(73, 75),
+        Scenario::ThroughStack(285),
+        Scenario::DispatchTable { options: vec![26, 74], used: 1 },
+        // shutdown
+        Scenario::Direct(vec![3, 74]),
+    ], Some(ServeLoop { start: 1, end: 9, iterations: 2 }))
+}
+
+/// All six validation profiles, in the paper's order.
+pub fn all_profiles() -> Vec<AppProfile> {
+    vec![redis(), nginx(), haproxy(), memcached(), lighttpd(), sqlite()]
+}
+
+/// A hello-world-sized program (the §4.7 cost-comparison subject).
+pub fn hello_world() -> AppProfile {
+    profile("hello", WrapperStyle::None, vec![
+        Scenario::Direct(vec![1]),
+        Scenario::Direct(vec![12, 9]),
+    ], None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_syscalls;
+
+    #[test]
+    fn every_profile_traces_to_its_truth() {
+        for p in all_profiles() {
+            let traced = trace_syscalls(&p.program, &[]);
+            assert_eq!(traced, p.truth(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn truth_sizes_are_app_scaled() {
+        // The paper's apps see tens of syscalls; sqlite smallest,
+        // redis/nginx largest (Fig. 7 ground-truth bars).
+        let sizes: Vec<(usize, &str)> = all_profiles()
+            .iter()
+            .map(|p| (p.truth().len(), p.name))
+            .collect();
+        for &(n, name) in &sizes {
+            assert!((20..=110).contains(&n), "{name} truth size {n}");
+        }
+        let redis = sizes.iter().find(|s| s.1 == "redis").unwrap().0;
+        let sqlite = sizes.iter().find(|s| s.1 == "sqlite").unwrap().0;
+        assert!(redis > sqlite, "redis ({redis}) should exceed sqlite ({sqlite})");
+    }
+
+    #[test]
+    fn static_truth_strictly_contains_runtime_truth_when_dispatching() {
+        for p in all_profiles() {
+            assert!(p.truth().is_subset(&p.static_truth()), "{}", p.name);
+        }
+        let redis = redis();
+        assert!(redis.static_truth().len() > redis.truth().len());
+    }
+
+    #[test]
+    fn dead_cruft_contains_dangerous_syscalls_outside_the_truth() {
+        use bside_syscalls::well_known as wk;
+        for p in all_profiles() {
+            assert!(!p.truth().contains(wk::EXECVE), "{}", p.name);
+            assert!(!p.truth().contains(wk::EXECVEAT), "{}", p.name);
+            assert!(!p.truth().contains(wk::PTRACE), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        assert_eq!(nginx().program.image, nginx().program.image);
+    }
+}

@@ -1,0 +1,650 @@
+//! Backward BFS + directed forward symbolic execution (§4.4, Fig. 5).
+
+use crate::state::SymState;
+use crate::value::SymValue;
+use bside_cfg::{Cfg, EdgeKind};
+use bside_x86::{Op, Reg, Target};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// What to evaluate once the target address is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLoc {
+    /// A register — `%rax` for plain `syscall` sites, or the parameter
+    /// register of a detected wrapper.
+    Reg(Reg),
+    /// A stack slot `[rsp + offset]` at the target — the parameter slot of
+    /// a stack-passing (Go-style) wrapper.
+    StackSlot(i64),
+}
+
+/// A value query: "what can `what` hold when execution reaches `target`?"
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Address of the instruction at which to evaluate (the `syscall`
+    /// instruction, or a wrapper's first instruction). Evaluation happens
+    /// *before* the instruction executes.
+    pub target: u64,
+    /// What to read.
+    pub what: QueryLoc,
+}
+
+/// Search budgets. Exhausting any of them marks the result incomplete —
+/// the in-model equivalent of the paper's analysis timeouts (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum nodes the backward BFS may visit.
+    pub max_backward_nodes: usize,
+    /// Maximum forward paths explored per start node.
+    pub max_forward_paths: usize,
+    /// Maximum blocks along one forward path.
+    pub max_path_blocks: usize,
+    /// Total symbolic block executions across the whole search.
+    pub max_total_blocks: usize,
+    /// Disable search direction: forward exploration may leave the
+    /// backward-discovered node set. This is the ablation of §4.4's key
+    /// optimization — without direction the search "gets lost in paths
+    /// not leading to the system call site" and exploration balloons
+    /// (Fig. 2 A).
+    pub undirected: bool,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_backward_nodes: 4096,
+            max_forward_paths: 4096,
+            max_path_blocks: 512,
+            max_total_blocks: 200_000,
+            undirected: false,
+        }
+    }
+}
+
+/// The outcome of [`find_values`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Every concrete value observed at the target across all paths.
+    pub values: BTreeSet<u64>,
+    /// `true` when every backward path terminated at an immediate-defining
+    /// node: the value set is exhaustive for the modeled semantics.
+    pub complete: bool,
+    /// `true` when a budget in [`Limits`] was exhausted.
+    pub budget_exhausted: bool,
+    /// Basic blocks executed symbolically (the Table 3 cost metric).
+    pub blocks_explored: usize,
+}
+
+/// Runs the backward-BFS + directed-forward-search of Fig. 5 and returns
+/// every concrete value the queried location can hold at the target.
+///
+/// Starting from the block containing `query.target`, predecessors are
+/// visited in BFS order; each is used as the start of a forward symbolic
+/// execution *directed* at the target (only blocks already discovered by
+/// the backward walk are explored). A start node whose every
+/// target-reaching path yields a concrete value is immediate-defining and
+/// its predecessors are pruned.
+pub fn find_values(cfg: &Cfg, query: &Query, limits: &Limits) -> SearchResult {
+    find_values_within(cfg, query, limits, None)
+}
+
+/// Like [`find_values`], but the backward walk only expands predecessors
+/// inside `universe` (when given).
+///
+/// This is how the shared-library analysis attributes a wrapper site *per
+/// exported function* (§4.5): querying the wrapper's parameter with the
+/// universe restricted to the blocks reachable from one export yields
+/// only the numbers that export can pass — not the union over every
+/// caller in the library (the Fig. 2 B over-estimation).
+pub fn find_values_within(
+    cfg: &Cfg,
+    query: &Query,
+    limits: &Limits,
+    universe: Option<&BTreeSet<u64>>,
+) -> SearchResult {
+    let mut result = SearchResult {
+        values: BTreeSet::new(),
+        complete: true,
+        budget_exhausted: false,
+        blocks_explored: 0,
+    };
+    let Some(target_block) = cfg.block_containing(query.target) else {
+        result.complete = false;
+        return result;
+    };
+
+    let mut relevant: BTreeSet<u64> = BTreeSet::new();
+    relevant.insert(target_block);
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    queue.push_back(target_block);
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(target_block);
+
+    while let Some(start) = queue.pop_front() {
+        if visited.len() > limits.max_backward_nodes
+            || result.blocks_explored > limits.max_total_blocks
+        {
+            result.budget_exhausted = true;
+            result.complete = false;
+            break;
+        }
+
+        let fwd = forward_exec(cfg, start, query, &relevant, limits, &mut result.blocks_explored);
+        result.values.extend(fwd.concrete.iter().copied());
+
+        let defining = fwd.reached && !fwd.saw_symbolic && !fwd.budget_exhausted;
+        if fwd.budget_exhausted {
+            result.budget_exhausted = true;
+            result.complete = false;
+        }
+        if !defining {
+            // Expand backwards (the walk crosses function boundaries via
+            // call edges but not return edges, so it ascends from wrappers
+            // into their callers rather than descending into callees).
+            let preds: Vec<u64> = cfg
+                .preds(start)
+                .iter()
+                .filter(|(_, k)| {
+                    matches!(
+                        k,
+                        EdgeKind::Branch | EdgeKind::FallThrough | EdgeKind::Call | EdgeKind::Indirect
+                    )
+                })
+                .map(|&(p, _)| p)
+                .filter(|p| universe.is_none_or(|u| u.contains(p)))
+                .collect();
+            if preds.is_empty() && fwd.saw_symbolic {
+                // Symbolic value at a program boundary: cannot conclude.
+                result.complete = false;
+            }
+            for p in preds {
+                relevant.insert(p);
+                if visited.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+
+    result
+}
+
+#[derive(Debug, Default)]
+struct ForwardOutcome {
+    concrete: BTreeSet<u64>,
+    saw_symbolic: bool,
+    reached: bool,
+    budget_exhausted: bool,
+}
+
+fn eval_query(state: &mut SymState, what: QueryLoc) -> SymValue {
+    match what {
+        QueryLoc::Reg(r) => state.reg(r),
+        QueryLoc::StackSlot(offset) => match state.reg(Reg::Rsp) {
+            SymValue::StackAddr(base) => state.stack_slot(base + offset),
+            _ => SymValue::Opaque(u32::MAX),
+        },
+    }
+}
+
+/// Directed forward symbolic execution from `start` toward
+/// `query.target`, restricted to `relevant` blocks.
+fn forward_exec(
+    cfg: &Cfg,
+    start: u64,
+    query: &Query,
+    relevant: &BTreeSet<u64>,
+    limits: &Limits,
+    blocks_explored: &mut usize,
+) -> ForwardOutcome {
+    let mut outcome = ForwardOutcome::default();
+    let mut stack: Vec<(u64, SymState, usize)> = vec![(start, SymState::fresh_at_entry(), 0)];
+    let mut paths = 0usize;
+
+    while let Some((block_addr, mut state, depth)) = stack.pop() {
+        if paths >= limits.max_forward_paths || *blocks_explored >= limits.max_total_blocks {
+            outcome.budget_exhausted = true;
+            break;
+        }
+        if depth >= limits.max_path_blocks {
+            // Treat an over-long path as inconclusive.
+            outcome.budget_exhausted = true;
+            paths += 1;
+            continue;
+        }
+        let Some(block) = cfg.block(block_addr) else {
+            paths += 1;
+            continue;
+        };
+        *blocks_explored += 1;
+
+        // Execute the block, stopping at the query target if it is here.
+        let mut reached_target = false;
+        for insn in &block.insns {
+            if insn.addr == query.target {
+                let v = eval_query(&mut state, query.what);
+                outcome.reached = true;
+                reached_target = true;
+                match v.as_concrete() {
+                    Some(c) => {
+                        outcome.concrete.insert(c);
+                    }
+                    None => outcome.saw_symbolic = true,
+                }
+                break;
+            }
+            state.step(insn);
+        }
+        if reached_target {
+            paths += 1;
+            continue;
+        }
+
+        // Follow successor edges, directed: only into `relevant`
+        // (unless the undirected ablation is on).
+        let admit = |to: u64| limits.undirected || relevant.contains(&to);
+        let term = block.terminator();
+        let succs = cfg.succs(block_addr);
+        let mut followed = false;
+        match term.op {
+            Op::Call(_) => {
+                for &(to, kind) in succs {
+                    if !admit(to) {
+                        continue;
+                    }
+                    match kind {
+                        EdgeKind::Call | EdgeKind::Indirect => {
+                            let mut s = state.clone();
+                            s.apply_call_enter(term.end());
+                            stack.push((to, s, depth + 1));
+                            followed = true;
+                        }
+                        EdgeKind::FallThrough => {
+                            let mut s = state.clone();
+                            s.apply_call_skip();
+                            stack.push((to, s, depth + 1));
+                            followed = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Op::Ret => {
+                for &(to, kind) in succs {
+                    if kind == EdgeKind::Return && admit(to) {
+                        let mut s = state.clone();
+                        s.apply_ret();
+                        stack.push((to, s, depth + 1));
+                        followed = true;
+                    }
+                }
+            }
+            _ => {
+                for &(to, kind) in succs {
+                    if kind != EdgeKind::Return && admit(to) {
+                        stack.push((to, state.clone(), depth + 1));
+                        followed = true;
+                    }
+                }
+            }
+        }
+        if !followed {
+            // Dead end: this path never reaches the target.
+            paths += 1;
+        }
+    }
+
+    outcome
+}
+
+/// The result of [`exec_within_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncExecResult {
+    /// Every distinct value observed at the site across intra-procedural
+    /// paths (concrete constants, named inputs, or opaques).
+    pub outcomes: BTreeSet<SymValue>,
+    /// `true` if at least one path reached the site.
+    pub reached: bool,
+    /// `true` if a budget was exhausted.
+    pub budget_exhausted: bool,
+}
+
+/// Intra-procedural forward symbolic execution from `func_entry` to
+/// `query.target`, never entering callees (calls are skipped with ABI
+/// havoc). This is phase 2 of the wrapper-detection heuristic (§4.4): if
+/// the queried location is still a *named input* at the site, the function
+/// is a wrapper and the named input identifies its parameter.
+pub fn exec_within_function(cfg: &Cfg, func_entry: u64, query: &Query, limits: &Limits) -> FuncExecResult {
+    let mut result =
+        FuncExecResult { outcomes: BTreeSet::new(), reached: false, budget_exhausted: false };
+    let Some(entry_block) = cfg.block_containing(func_entry) else {
+        return result;
+    };
+    let func = cfg.function_of(func_entry);
+
+    let mut stack: Vec<(u64, SymState, usize)> = vec![(entry_block, SymState::fresh_at_entry(), 0)];
+    let mut paths = 0usize;
+    let mut blocks = 0usize;
+
+    while let Some((block_addr, mut state, depth)) = stack.pop() {
+        if paths >= limits.max_forward_paths || blocks >= limits.max_total_blocks {
+            result.budget_exhausted = true;
+            break;
+        }
+        if depth >= limits.max_path_blocks {
+            result.budget_exhausted = true;
+            paths += 1;
+            continue;
+        }
+        let Some(block) = cfg.block(block_addr) else {
+            paths += 1;
+            continue;
+        };
+        // Stay inside the function.
+        match (func, cfg.function_of(block_addr)) {
+            (Some(f), Some(g)) if f.entry == g.entry => {}
+            (None, _) => {}
+            _ => {
+                paths += 1;
+                continue;
+            }
+        }
+        blocks += 1;
+
+        let mut reached_target = false;
+        for insn in &block.insns {
+            if insn.addr == query.target {
+                let v = eval_query(&mut state, query.what);
+                result.outcomes.insert(v);
+                result.reached = true;
+                reached_target = true;
+                break;
+            }
+            state.step(insn);
+        }
+        if reached_target {
+            paths += 1;
+            continue;
+        }
+
+        let term = block.terminator();
+        let mut followed = false;
+        match term.op {
+            Op::Call(Target::Rel(_)) | Op::Call(Target::Reg(_)) | Op::Call(Target::Mem(_)) => {
+                // Intra-procedural: always step over calls.
+                for &(to, kind) in cfg.succs(block_addr) {
+                    if kind == EdgeKind::FallThrough {
+                        let mut s = state.clone();
+                        s.apply_call_skip();
+                        stack.push((to, s, depth + 1));
+                        followed = true;
+                    }
+                }
+            }
+            Op::Ret => {}
+            _ => {
+                for &(to, kind) in cfg.succs(block_addr) {
+                    if matches!(kind, EdgeKind::Branch | EdgeKind::FallThrough) {
+                        stack.push((to, state.clone(), depth + 1));
+                        followed = true;
+                    }
+                }
+            }
+        }
+        if !followed {
+            paths += 1;
+        }
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_cfg::{CfgOptions, FunctionSym};
+    use bside_x86::{Assembler, Cond};
+
+    fn build_cfg(code: Vec<u8>, funcs: Vec<FunctionSym>) -> Cfg {
+        Cfg::build(&code, 0x1000, &[0x1000], &funcs, &CfgOptions::default())
+    }
+
+    fn rax_query(target: u64) -> Query {
+        Query { target, what: QueryLoc::Reg(Reg::Rax) }
+    }
+
+    #[test]
+    fn fig1a_immediate_in_same_block() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 0);
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let r = find_values(&cfg, &rax_query(site), &Limits::default());
+        assert!(r.complete && !r.budget_exhausted);
+        assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn fig5_two_defining_paths() {
+        // Two branches load 0 (read) and 2 (open), joining at one syscall.
+        let mut a = Assembler::new(0x1000);
+        let alt = a.new_label();
+        let join = a.new_label();
+        a.cmp_reg_imm32(Reg::Rdi, 0);
+        a.jcc_label(Cond::Ne, alt);
+        a.mov_reg_imm32(Reg::Rax, 0);
+        a.jmp_label(join);
+        a.bind(alt).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 2);
+        a.bind(join).unwrap();
+        a.nop();
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let r = find_values(&cfg, &rax_query(site), &Limits::default());
+        assert!(r.complete, "{r:?}");
+        assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn interprocedural_wrapper_param_through_register() {
+        // caller: mov rdi, 39; call wrapper
+        // wrapper: mov rax, rdi; syscall
+        let mut a = Assembler::new(0x1000);
+        let wrapper = a.new_label();
+        a.mov_reg_imm32(Reg::Rdi, 39);
+        a.call_label(wrapper);
+        a.ret();
+        let wrapper_addr = a.cursor();
+        a.bind(wrapper).unwrap();
+        a.mov_reg_reg(Reg::Rax, Reg::Rdi);
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let funcs = vec![
+            FunctionSym { name: "main".into(), entry: 0x1000, size: wrapper_addr - 0x1000 },
+            FunctionSym { name: "wrapper".into(), entry: wrapper_addr, size: 0 },
+        ];
+        let cfg = build_cfg(code, funcs);
+        let r = find_values(&cfg, &rax_query(site), &Limits::default());
+        assert!(r.complete, "{r:?}");
+        assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![39]);
+    }
+
+    #[test]
+    fn value_through_stack_across_call() {
+        // Go-style: caller stores the number to the stack, callee loads it.
+        // caller: sub rsp,0x10; mov [rsp+0], 1; call w; ...
+        // w: mov rax, [rsp+8]; syscall  ([rsp+8] skips the return address)
+        let mut a = Assembler::new(0x1000);
+        let w = a.new_label();
+        a.sub_reg_imm32(Reg::Rsp, 0x10);
+        a.mov_mem_imm32(bside_x86::Mem::base_disp(Reg::Rsp, 0), 1);
+        a.call_label(w);
+        a.ret();
+        let w_addr = a.cursor();
+        a.bind(w).unwrap();
+        a.mov_reg_mem(Reg::Rax, bside_x86::Mem::base_disp(Reg::Rsp, 8));
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let funcs = vec![
+            FunctionSym { name: "main".into(), entry: 0x1000, size: w_addr - 0x1000 },
+            FunctionSym { name: "w".into(), entry: w_addr, size: 0 },
+        ];
+        let cfg = build_cfg(code, funcs);
+        let r = find_values(&cfg, &rax_query(site), &Limits::default());
+        assert!(r.complete, "{r:?}");
+        assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn intervening_popular_call_is_skipped() {
+        // mov rbx, 17 (callee-saved); call helper; mov rax, rbx; syscall.
+        // helper must be stepped over, not explored.
+        let mut a = Assembler::new(0x1000);
+        let helper = a.new_label();
+        a.mov_reg_imm64(Reg::Rbx, 17);
+        a.call_label(helper);
+        a.mov_reg_reg(Reg::Rax, Reg::Rbx);
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let helper_addr = a.cursor();
+        a.bind(helper).unwrap();
+        a.nop();
+        a.ret();
+        let code = a.finish().unwrap();
+        let funcs = vec![
+            FunctionSym { name: "main".into(), entry: 0x1000, size: helper_addr - 0x1000 },
+            FunctionSym { name: "helper".into(), entry: helper_addr, size: 0 },
+        ];
+        let cfg = build_cfg(code, funcs);
+        let r = find_values(&cfg, &rax_query(site), &Limits::default());
+        assert!(r.complete, "{r:?}");
+        assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![17]);
+    }
+
+    #[test]
+    fn unconstrained_input_is_incomplete() {
+        // rax comes straight from the (symbolic) input: nothing defines it.
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_reg(Reg::Rax, Reg::Rdi);
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let r = find_values(&cfg, &rax_query(site), &Limits::default());
+        assert!(!r.complete);
+        assert!(r.values.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let mut a = Assembler::new(0x1000);
+        let alt = a.new_label();
+        let join = a.new_label();
+        a.cmp_reg_imm32(Reg::Rdi, 0);
+        a.jcc_label(Cond::Ne, alt);
+        a.mov_reg_imm32(Reg::Rax, 0);
+        a.jmp_label(join);
+        a.bind(alt).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 2);
+        a.bind(join).unwrap();
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let tight = Limits { max_total_blocks: 1, ..Limits::default() };
+        let r = find_values(&cfg, &rax_query(site), &tight);
+        assert!(r.budget_exhausted);
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn within_function_exec_identifies_wrapper_param() {
+        // wrapper: mov rax, rdi; syscall — rax at the site is init(rdi).
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_reg(Reg::Rax, Reg::Rdi);
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "w".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let r = exec_within_function(&cfg, 0x1000, &rax_query(site), &Limits::default());
+        assert!(r.reached);
+        assert_eq!(
+            r.outcomes.iter().copied().collect::<Vec<_>>(),
+            vec![SymValue::InitialReg(Reg::Rdi)]
+        );
+    }
+
+    #[test]
+    fn within_function_exec_sees_concrete_non_wrapper() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 3);
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let r = exec_within_function(&cfg, 0x1000, &rax_query(site), &Limits::default());
+        assert_eq!(
+            r.outcomes.iter().copied().collect::<Vec<_>>(),
+            vec![SymValue::Concrete(3)]
+        );
+    }
+
+    #[test]
+    fn within_function_stack_param_is_named() {
+        // Go-style wrapper body: mov rax, [rsp+8]; syscall.
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_mem(Reg::Rax, bside_x86::Mem::base_disp(Reg::Rsp, 8));
+        let site = a.cursor();
+        a.syscall();
+        a.ret();
+        let code = a.finish().unwrap();
+        let cfg = build_cfg(code.clone(), vec![FunctionSym {
+            name: "w".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }]);
+        let r = exec_within_function(&cfg, 0x1000, &rax_query(site), &Limits::default());
+        assert_eq!(
+            r.outcomes.iter().copied().collect::<Vec<_>>(),
+            vec![SymValue::InitialStack(8)]
+        );
+    }
+}

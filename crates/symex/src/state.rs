@@ -1,0 +1,395 @@
+//! Symbolic machine state and instruction semantics.
+
+use crate::value::{binop, ArithOp, OpaqueSource, SymValue};
+use bside_x86::{Instruction, Mem, Op, Operand, Reg};
+use std::collections::HashMap;
+
+/// Where an effective address points, as far as the executor can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Addr {
+    /// A concrete virtual address (globals, GOT, …).
+    Concrete(u64),
+    /// `initial_rsp + offset` — the relative stack model.
+    Stack(i64),
+    /// Unresolvable.
+    Unknown,
+}
+
+/// A symbolic machine state: sixteen registers over [`SymValue`], a
+/// relative stack, and a concrete-addressed global memory overlay.
+///
+/// The state starts "fresh": every register holds its named initial value
+/// ([`SymValue::InitialReg`]), `%rsp` holds stack offset 0, and reads of
+/// never-written stack slots yield memoized [`SymValue::InitialStack`]
+/// values — so a system call number that was stored to the stack by code
+/// *before* the execution started is still recognized as a named input.
+#[derive(Debug, Clone)]
+pub struct SymState {
+    regs: [SymValue; 16],
+    stack: HashMap<i64, SymValue>,
+    globals: HashMap<u64, SymValue>,
+    fresh: OpaqueSource,
+    /// Unknown-address writes poison precision; remembered for diagnostics.
+    pub(crate) wrote_unknown_addr: bool,
+}
+
+impl Default for SymState {
+    fn default() -> Self {
+        Self::fresh_at_entry()
+    }
+}
+
+impl SymState {
+    /// A state at the start of a search: named register inputs, empty
+    /// stack, `%rsp` at offset 0.
+    pub fn fresh_at_entry() -> SymState {
+        let mut regs = [SymValue::Concrete(0); 16];
+        for r in Reg::ALL {
+            regs[r.number() as usize] = SymValue::InitialReg(r);
+        }
+        regs[Reg::Rsp.number() as usize] = SymValue::StackAddr(0);
+        SymState {
+            regs,
+            stack: HashMap::new(),
+            globals: HashMap::new(),
+            fresh: OpaqueSource::default(),
+            wrote_unknown_addr: false,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> SymValue {
+        self.regs[r.number() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: SymValue) {
+        self.regs[r.number() as usize] = v;
+    }
+
+    /// Reads the stack slot `initial_rsp + offset`, materializing a named
+    /// initial value on first access.
+    pub fn stack_slot(&mut self, offset: i64) -> SymValue {
+        *self
+            .stack
+            .entry(offset)
+            .or_insert(SymValue::InitialStack(offset))
+    }
+
+    fn eff_addr(&self, mem: &Mem, insn_end: u64) -> Addr {
+        if mem.rip_relative {
+            return Addr::Concrete(insn_end.wrapping_add(mem.disp as i64 as u64));
+        }
+        let mut base = match mem.base {
+            Some(r) => self.reg(r),
+            None => SymValue::Concrete(0),
+        };
+        if let Some((index, scale)) = mem.index {
+            let iv = self.reg(index);
+            match (base, iv) {
+                (SymValue::Concrete(b), SymValue::Concrete(i)) => {
+                    base = SymValue::Concrete(b.wrapping_add(i.wrapping_mul(scale as u64)));
+                }
+                _ => return Addr::Unknown,
+            }
+        }
+        match base {
+            SymValue::Concrete(b) => {
+                Addr::Concrete(b.wrapping_add(mem.disp as i64 as u64))
+            }
+            SymValue::StackAddr(off) => Addr::Stack(off.wrapping_add(mem.disp as i64)),
+            _ => Addr::Unknown,
+        }
+    }
+
+    fn read_addr(&mut self, addr: Addr) -> SymValue {
+        match addr {
+            Addr::Stack(off) => self.stack_slot(off),
+            Addr::Concrete(a) => {
+                let fresh = &mut self.fresh;
+                *self.globals.entry(a).or_insert_with(|| fresh.fresh())
+            }
+            Addr::Unknown => self.fresh.fresh(),
+        }
+    }
+
+    fn write_addr(&mut self, addr: Addr, v: SymValue) {
+        match addr {
+            Addr::Stack(off) => {
+                self.stack.insert(off, v);
+            }
+            Addr::Concrete(a) => {
+                self.globals.insert(a, v);
+            }
+            Addr::Unknown => {
+                // A write through an unresolvable pointer could alias
+                // anything; record the precision loss.
+                self.wrote_unknown_addr = true;
+            }
+        }
+    }
+
+    fn read_operand(&mut self, op: &Operand, insn_end: u64) -> SymValue {
+        match op {
+            Operand::Reg(r) => self.reg(*r),
+            Operand::Imm(i) => SymValue::Concrete(*i as u64),
+            Operand::Mem(m) => {
+                let a = self.eff_addr(m, insn_end);
+                self.read_addr(a)
+            }
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, v: SymValue, insn_end: u64) {
+        match op {
+            Operand::Reg(r) => self.set_reg(*r, v),
+            Operand::Mem(m) => {
+                let a = self.eff_addr(m, insn_end);
+                self.write_addr(a, v);
+            }
+            Operand::Imm(_) => {}
+        }
+    }
+
+    /// Executes one non-control-flow instruction. Control transfers
+    /// (`call`/`jmp`/`jcc`/`ret`) are driven by the search layer via
+    /// [`SymState::apply_call_enter`], [`SymState::apply_call_skip`] and
+    /// [`SymState::apply_ret`]; conditions are explored both ways, so
+    /// `cmp`/`test` only matter through the flags we deliberately do not
+    /// model.
+    pub fn step(&mut self, insn: &Instruction) {
+        let end = insn.end();
+        match insn.op {
+            Op::Mov { dst, src } => {
+                let v = self.read_operand(&src, end);
+                self.write_operand(&dst, v, end);
+            }
+            Op::MovImm64 { dst, imm } => self.set_reg(dst, SymValue::Concrete(imm)),
+            Op::Lea { dst, addr } => {
+                let v = match self.eff_addr(&addr, end) {
+                    Addr::Concrete(a) => SymValue::Concrete(a),
+                    Addr::Stack(off) => SymValue::StackAddr(off),
+                    Addr::Unknown => self.fresh.fresh(),
+                };
+                self.set_reg(dst, v);
+            }
+            Op::Push(src) => {
+                let v = self.read_operand(&src, end);
+                let rsp = binop(
+                    ArithOp::Sub,
+                    self.reg(Reg::Rsp),
+                    SymValue::Concrete(8),
+                    &mut self.fresh,
+                );
+                self.set_reg(Reg::Rsp, rsp);
+                if let SymValue::StackAddr(off) = rsp {
+                    self.stack.insert(off, v);
+                }
+            }
+            Op::Pop(dst) => {
+                let rsp = self.reg(Reg::Rsp);
+                let v = match rsp {
+                    SymValue::StackAddr(off) => self.stack_slot(off),
+                    _ => self.fresh.fresh(),
+                };
+                self.set_reg(dst, v);
+                let rsp = binop(ArithOp::Add, rsp, SymValue::Concrete(8), &mut self.fresh);
+                self.set_reg(Reg::Rsp, rsp);
+            }
+            Op::Add { dst, src } => self.arith(ArithOp::Add, dst, src, end),
+            Op::Sub { dst, src } => self.arith(ArithOp::Sub, dst, src, end),
+            Op::Xor { dst, src } => self.arith(ArithOp::Xor, dst, src, end),
+            Op::And { dst, src } => self.arith(ArithOp::And, dst, src, end),
+            Op::Or { dst, src } => self.arith(ArithOp::Or, dst, src, end),
+            // Flags are not modeled; both jcc successors are explored.
+            Op::Cmp { .. } | Op::Test { .. } => {}
+            Op::Syscall => {
+                // Kernel clobbers: result in rax, rcx/r11 trashed.
+                let v = self.fresh.fresh();
+                self.set_reg(Reg::Rax, v);
+                let v = self.fresh.fresh();
+                self.set_reg(Reg::Rcx, v);
+                let v = self.fresh.fresh();
+                self.set_reg(Reg::R11, v);
+            }
+            Op::Nop | Op::Endbr64 | Op::Int3 | Op::Ud2 | Op::Hlt => {}
+            // Handled by the search driver.
+            Op::Call(_) | Op::Jmp(_) | Op::Jcc(..) | Op::Ret => {}
+        }
+    }
+
+    fn arith(&mut self, op: ArithOp, dst: Operand, src: Operand, end: u64) {
+        let a = self.read_operand(&dst, end);
+        let b = self.read_operand(&src, end);
+        let v = binop(op, a, b, &mut self.fresh);
+        self.write_operand(&dst, v, end);
+    }
+
+    /// Models *entering* a direct call: the return address is pushed.
+    pub fn apply_call_enter(&mut self, return_addr: u64) {
+        let rsp = binop(
+            ArithOp::Sub,
+            self.reg(Reg::Rsp),
+            SymValue::Concrete(8),
+            &mut self.fresh,
+        );
+        self.set_reg(Reg::Rsp, rsp);
+        if let SymValue::StackAddr(off) = rsp {
+            self.stack.insert(off, SymValue::Concrete(return_addr));
+        }
+    }
+
+    /// Models *skipping over* a call (the callee is not on the path to the
+    /// target): caller-saved registers are havocked per the System V ABI,
+    /// `%rsp` and callee-saved registers are preserved.
+    pub fn apply_call_skip(&mut self) {
+        for r in [
+            Reg::Rax,
+            Reg::Rcx,
+            Reg::Rdx,
+            Reg::Rsi,
+            Reg::Rdi,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+        ] {
+            let v = self.fresh.fresh();
+            self.set_reg(r, v);
+        }
+    }
+
+    /// Models `ret`: pops the return address (the search layer supplies
+    /// control flow).
+    pub fn apply_ret(&mut self) {
+        let rsp = self.reg(Reg::Rsp);
+        let rsp = binop(ArithOp::Add, rsp, SymValue::Concrete(8), &mut self.fresh);
+        self.set_reg(Reg::Rsp, rsp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_x86::{decode, Assembler};
+
+    fn run(asm: Assembler) -> SymState {
+        let code = asm.finish().expect("assemble");
+        let mut state = SymState::fresh_at_entry();
+        let mut pos = 0usize;
+        while pos < code.len() {
+            let insn = decode(&code[pos..], 0x1000 + pos as u64).expect("decode");
+            state.step(&insn);
+            pos += insn.len as usize;
+        }
+        state
+    }
+
+    #[test]
+    fn immediate_load_is_concrete() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 39);
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), SymValue::Concrete(39));
+    }
+
+    #[test]
+    fn fig1c_value_survives_stack_round_trip() {
+        // mov [rsp+0x10], 39; mov rax, [rsp+0x10] — the scenario use-define
+        // chains cannot track (§2.4).
+        let mut a = Assembler::new(0x1000);
+        a.sub_reg_imm32(Reg::Rsp, 0x20);
+        a.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 0x10), 39);
+        a.mov_reg_mem(Reg::Rax, Mem::base_disp(Reg::Rsp, 0x10));
+        a.add_reg_imm32(Reg::Rsp, 0x20);
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), SymValue::Concrete(39));
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rbx, 7);
+        a.push_reg(Reg::Rbx);
+        a.pop_reg(Reg::Rax);
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), SymValue::Concrete(7));
+        assert_eq!(s.reg(Reg::Rsp), SymValue::StackAddr(0), "rsp balanced");
+    }
+
+    #[test]
+    fn untouched_register_is_named_input() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_reg(Reg::Rax, Reg::Rdi);
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), SymValue::InitialReg(Reg::Rdi));
+    }
+
+    #[test]
+    fn unwritten_stack_read_is_named_input() {
+        // mov rax, [rsp+8] with nothing written there: a stack-passed
+        // parameter (Go ABI0 shape).
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_mem(Reg::Rax, Mem::base_disp(Reg::Rsp, 8));
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), SymValue::InitialStack(8));
+    }
+
+    #[test]
+    fn xor_zero_idiom() {
+        let mut a = Assembler::new(0x1000);
+        a.xor_reg_reg(Reg::Rax, Reg::Rax);
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), SymValue::Concrete(0));
+    }
+
+    #[test]
+    fn syscall_clobbers_rax() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 0);
+        a.syscall();
+        let s = run(a);
+        assert!(!s.reg(Reg::Rax).is_concrete());
+    }
+
+    #[test]
+    fn call_skip_havocs_caller_saved_only() {
+        let mut s = SymState::fresh_at_entry();
+        s.set_reg(Reg::Rax, SymValue::Concrete(1));
+        s.set_reg(Reg::Rbx, SymValue::Concrete(2));
+        s.apply_call_skip();
+        assert!(!s.reg(Reg::Rax).is_concrete(), "rax is caller-saved");
+        assert_eq!(s.reg(Reg::Rbx), SymValue::Concrete(2), "rbx is callee-saved");
+        assert_eq!(s.reg(Reg::Rsp), SymValue::StackAddr(0), "rsp preserved");
+    }
+
+    #[test]
+    fn call_enter_then_ret_balances_stack() {
+        let mut s = SymState::fresh_at_entry();
+        s.apply_call_enter(0x1234);
+        assert_eq!(s.reg(Reg::Rsp), SymValue::StackAddr(-8));
+        s.apply_ret();
+        assert_eq!(s.reg(Reg::Rsp), SymValue::StackAddr(0));
+    }
+
+    #[test]
+    fn global_reads_are_memoized() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_mem(Reg::Rax, Mem::absolute(0x5000));
+        a.mov_reg_mem(Reg::Rbx, Mem::absolute(0x5000));
+        let s = run(a);
+        assert_eq!(s.reg(Reg::Rax), s.reg(Reg::Rbx));
+        assert!(!s.reg(Reg::Rax).is_concrete());
+    }
+
+    #[test]
+    fn unknown_address_write_is_recorded() {
+        let mut a = Assembler::new(0x1000);
+        // rdi is symbolic → [rdi] is unknown.
+        a.mov_mem_reg(Mem::base_disp(Reg::Rdi, 0), Reg::Rax);
+        let s = run(a);
+        assert!(s.wrote_unknown_addr);
+    }
+
+    use bside_x86::Mem;
+}

@@ -1,0 +1,171 @@
+//! The symbolic value lattice.
+
+use bside_x86::Reg;
+use std::fmt;
+
+/// A value tracked by the symbolic executor.
+///
+/// The lattice is deliberately shallow: B-Side's identification query only
+/// needs to distinguish *concrete constants* (system call numbers), *stack
+/// addresses* (so immediates survive a trip through memory, Fig. 1 C),
+/// and *named unknowns* whose origin is a function-entry register or stack
+/// slot (so the wrapper heuristic can report which parameter carries the
+/// system call number, §4.4). Everything else is opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymValue {
+    /// A known 64-bit constant.
+    Concrete(u64),
+    /// `initial_rsp + offset`: a pointer into the current stack frame
+    /// region (the executor's stack is addressed relative to the value of
+    /// `%rsp` at the start of the search).
+    StackAddr(i64),
+    /// The value a register held when execution started (a potential
+    /// function parameter).
+    InitialReg(Reg),
+    /// The value `[initial_rsp + offset]` held when execution started
+    /// (a potential stack-passed parameter, e.g. Go's ABI0).
+    InitialStack(i64),
+    /// An unknown produced by havoc or by arithmetic over unknowns.
+    Opaque(u32),
+}
+
+impl SymValue {
+    /// `true` for [`SymValue::Concrete`].
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, SymValue::Concrete(_))
+    }
+
+    /// The constant, if concrete.
+    pub fn as_concrete(&self) -> Option<u64> {
+        match self {
+            SymValue::Concrete(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// `true` if this value is a *named* input — an initial register or
+    /// initial stack slot. Wrapper detection keys on these.
+    pub fn is_named_input(&self) -> bool {
+        matches!(self, SymValue::InitialReg(_) | SymValue::InitialStack(_))
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Concrete(v) => write!(f, "{v:#x}"),
+            SymValue::StackAddr(off) => write!(f, "sp{off:+#x}"),
+            SymValue::InitialReg(r) => write!(f, "init({r})"),
+            SymValue::InitialStack(off) => write!(f, "init([sp{off:+#x}])"),
+            SymValue::Opaque(id) => write!(f, "?{id}"),
+        }
+    }
+}
+
+/// Allocator for fresh [`SymValue::Opaque`] identifiers.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OpaqueSource {
+    next: u32,
+}
+
+impl OpaqueSource {
+    pub(crate) fn fresh(&mut self) -> SymValue {
+        let id = self.next;
+        self.next += 1;
+        SymValue::Opaque(id)
+    }
+}
+
+/// Binary arithmetic over the lattice. Only the combinations the
+/// identification query relies on stay precise; the rest degrade to a
+/// fresh opaque value.
+pub(crate) fn binop(
+    op: ArithOp,
+    a: SymValue,
+    b: SymValue,
+    fresh: &mut OpaqueSource,
+) -> SymValue {
+    use SymValue::*;
+    match (op, a, b) {
+        (ArithOp::Add, Concrete(x), Concrete(y)) => Concrete(x.wrapping_add(y)),
+        (ArithOp::Sub, Concrete(x), Concrete(y)) => Concrete(x.wrapping_sub(y)),
+        (ArithOp::Xor, Concrete(x), Concrete(y)) => Concrete(x ^ y),
+        (ArithOp::And, Concrete(x), Concrete(y)) => Concrete(x & y),
+        (ArithOp::Or, Concrete(x), Concrete(y)) => Concrete(x | y),
+        // Stack-pointer arithmetic stays precise so the relative stack
+        // model keeps working across frame setup/teardown.
+        (ArithOp::Add, StackAddr(off), Concrete(d)) => StackAddr(off.wrapping_add(d as i64)),
+        (ArithOp::Add, Concrete(d), StackAddr(off)) => StackAddr(off.wrapping_add(d as i64)),
+        (ArithOp::Sub, StackAddr(off), Concrete(d)) => StackAddr(off.wrapping_sub(d as i64)),
+        // `xor r, r` zeroing is precise regardless of what r held.
+        (ArithOp::Xor, x, y) if x == y => Concrete(0),
+        _ => fresh.fresh(),
+    }
+}
+
+/// The arithmetic operations the executor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArithOp {
+    Add,
+    Sub,
+    Xor,
+    And,
+    Or,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_arithmetic_folds() {
+        let mut f = OpaqueSource::default();
+        assert_eq!(
+            binop(ArithOp::Add, SymValue::Concrete(2), SymValue::Concrete(3), &mut f),
+            SymValue::Concrete(5)
+        );
+        assert_eq!(
+            binop(ArithOp::Sub, SymValue::Concrete(2), SymValue::Concrete(3), &mut f),
+            SymValue::Concrete(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn stack_pointer_arithmetic_stays_precise() {
+        let mut f = OpaqueSource::default();
+        assert_eq!(
+            binop(ArithOp::Sub, SymValue::StackAddr(0), SymValue::Concrete(0x20), &mut f),
+            SymValue::StackAddr(-0x20)
+        );
+        assert_eq!(
+            binop(ArithOp::Add, SymValue::StackAddr(-0x20), SymValue::Concrete(8), &mut f),
+            SymValue::StackAddr(-0x18)
+        );
+    }
+
+    #[test]
+    fn xor_self_zeroes_even_unknowns() {
+        let mut f = OpaqueSource::default();
+        let v = SymValue::InitialReg(Reg::Rdi);
+        assert_eq!(binop(ArithOp::Xor, v, v, &mut f), SymValue::Concrete(0));
+    }
+
+    #[test]
+    fn unknown_combinations_degrade_to_opaque() {
+        let mut f = OpaqueSource::default();
+        let a = SymValue::InitialReg(Reg::Rdi);
+        let b = SymValue::Concrete(1);
+        let r1 = binop(ArithOp::Add, a, b, &mut f);
+        let r2 = binop(ArithOp::Add, a, b, &mut f);
+        assert!(matches!(r1, SymValue::Opaque(_)));
+        assert_ne!(r1, r2, "each degradation is a fresh unknown");
+    }
+
+    #[test]
+    fn named_input_classification() {
+        assert!(SymValue::InitialReg(Reg::Rdi).is_named_input());
+        assert!(SymValue::InitialStack(8).is_named_input());
+        assert!(!SymValue::Concrete(0).is_named_input());
+        assert!(!SymValue::Opaque(1).is_named_input());
+    }
+}

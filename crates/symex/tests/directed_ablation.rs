@@ -1,0 +1,124 @@
+//! The directed-search ablation (§4.4 / Fig. 2 A): without direction,
+//! forward exploration from a popular function's callers wanders into
+//! paths that cannot reach the site, inflating exploration cost.
+
+use bside_cfg::{Cfg, CfgOptions, FunctionSym};
+use bside_symex::{find_values, Limits, Query, QueryLoc};
+use bside_x86::{Assembler, Reg};
+
+/// Builds the Fig. 2 A shape: `fan` sibling functions, all calling a
+/// popular helper; one of them parks a syscall number in a callee-saved
+/// register across the helper call and then invokes `syscall`.
+fn popular_function_program(fan: usize) -> (Vec<u8>, Vec<FunctionSym>, u64, u64) {
+    let base = 0x1000;
+    let mut a = Assembler::new(base);
+    let helper = a.named_label("helper");
+    let mut funcs = Vec::new();
+
+    // _start calls every sibling.
+    let entry = a.cursor();
+    for i in 0..fan {
+        let l = a.named_label(&format!("sib_{i}"));
+        a.call_label(l);
+    }
+    let target_fn = a.named_label("target_fn");
+    a.call_label(target_fn);
+    a.mov_reg_imm32(Reg::Rax, 60);
+    a.syscall();
+    funcs.push(FunctionSym { name: "_start".into(), entry, size: a.cursor() - entry });
+
+    // Siblings: busywork around a helper call — no syscalls.
+    for i in 0..fan {
+        let start = a.cursor();
+        let l = a.named_label(&format!("sib_{i}"));
+        a.bind(l).unwrap();
+        a.mov_reg_imm32(Reg::Rdi, i as i32);
+        a.call_label(helper);
+        a.add_reg_imm32(Reg::Rdi, 1);
+        a.call_label(helper);
+        a.ret();
+        funcs.push(FunctionSym { name: format!("sib_{i}"), entry: start, size: a.cursor() - start });
+    }
+
+    // The interesting function.
+    let tf_start = a.cursor();
+    a.bind(target_fn).unwrap();
+    a.mov_reg_imm32(Reg::Rbx, 39);
+    a.call_label(helper);
+    a.mov_reg_reg(Reg::Rax, Reg::Rbx);
+    let site = a.cursor();
+    a.syscall();
+    a.ret();
+    funcs.push(FunctionSym {
+        name: "target_fn".into(),
+        entry: tf_start,
+        size: a.cursor() - tf_start,
+    });
+
+    // The popular helper.
+    let h_start = a.cursor();
+    a.bind(helper).unwrap();
+    a.nop();
+    a.nop();
+    a.ret();
+    funcs.push(FunctionSym { name: "helper".into(), entry: h_start, size: a.cursor() - h_start });
+
+    let code = a.finish().unwrap();
+    (code, funcs, entry, site)
+}
+
+#[test]
+fn directed_search_explores_far_less_than_undirected() {
+    let (code, funcs, entry, site) = popular_function_program(30);
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
+    let query = Query { target: site, what: QueryLoc::Reg(Reg::Rax) };
+
+    let directed = find_values(&cfg, &query, &Limits::default());
+    assert!(directed.complete, "{directed:?}");
+    assert_eq!(directed.values.iter().copied().collect::<Vec<_>>(), vec![39]);
+
+    let undirected = find_values(
+        &cfg,
+        &query,
+        &Limits { undirected: true, ..Limits::default() },
+    );
+    // Undirected search still finds the value (it is sound)…
+    assert!(undirected.values.contains(&39));
+    // …but wanders: exploration is a multiple of the directed cost.
+    assert!(
+        undirected.blocks_explored >= 3 * directed.blocks_explored,
+        "directed {} vs undirected {}",
+        directed.blocks_explored,
+        undirected.blocks_explored
+    );
+}
+
+#[test]
+fn undirected_search_exhausts_budget_on_larger_fan() {
+    // Scale the fan-out up and give the undirected search the budget the
+    // directed one is comfortable with: it blows through it — the state
+    // explosion the paper describes.
+    let (code, funcs, entry, site) = popular_function_program(120);
+    let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
+    let query = Query { target: site, what: QueryLoc::Reg(Reg::Rax) };
+
+    let directed = find_values(&cfg, &query, &Limits::default());
+    assert!(directed.complete);
+    let comfortable = directed.blocks_explored * 20;
+
+    let strangled = find_values(
+        &cfg,
+        &query,
+        &Limits {
+            undirected: true,
+            max_total_blocks: comfortable,
+            ..Limits::default()
+        },
+    );
+    assert!(
+        strangled.budget_exhausted || strangled.blocks_explored > comfortable / 2,
+        "undirected stayed cheap: {} vs directed {}",
+        strangled.blocks_explored,
+        directed.blocks_explored
+    );
+}

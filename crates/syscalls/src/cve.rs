@@ -1,0 +1,170 @@
+//! Kernel CVE database from Table 5 of the B-Side paper.
+//!
+//! Each entry maps a Linux kernel CVE to the system call(s) whose invocation
+//! is required to trigger it. A filtering rule that denies *all* of a CVE's
+//! trigger system calls protects the process against that CVE (§5.5).
+
+use crate::{Sysno, SyscallSet};
+
+/// The impact class of a CVE, following the legend of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CveType {
+    /// Check bypass.
+    CheckBypass,
+    /// Information leak.
+    InfoLeak,
+    /// Use after free.
+    UseAfterFree,
+    /// Arbitrary memory read primitive.
+    MemRead,
+    /// Arbitrary memory write primitive.
+    MemWrite,
+    /// Denial of service.
+    DenialOfService,
+    /// Privilege escalation.
+    PrivilegeEscalation,
+}
+
+/// One row of Table 5: a CVE, its trigger system calls, and impact classes.
+#[derive(Debug, Clone)]
+pub struct CveEntry {
+    /// CVE identifier, e.g. `"2019-13272"`.
+    pub id: &'static str,
+    /// Names of the system calls involved in the attack.
+    pub syscall_names: &'static [&'static str],
+    /// Impact classes.
+    pub types: &'static [CveType],
+}
+
+impl CveEntry {
+    /// The trigger system calls as a [`SyscallSet`].
+    ///
+    /// 32-bit compat entry points (`compat_sys_*`) are mapped to their
+    /// x86-64 equivalents, since a 64-bit seccomp policy filters the 64-bit
+    /// numbers.
+    pub fn syscalls(&self) -> SyscallSet {
+        self.syscall_names
+            .iter()
+            .map(|name| {
+                let name = name.strip_prefix("compat_sys_").unwrap_or(name);
+                Sysno::from_name(name)
+                    .unwrap_or_else(|| panic!("CVE table references unknown syscall {name}"))
+            })
+            .collect()
+    }
+
+    /// `true` if a process restricted to `allowed` cannot trigger this CVE,
+    /// i.e. at least one required system call is denied.
+    ///
+    /// Table 5 counts a binary as protected when the filtering rule derived
+    /// from the analysis precludes the CVE's system call; for multi-syscall
+    /// CVEs the attack needs all of them, so denying any one suffices.
+    pub fn is_blocked_by(&self, allowed: &SyscallSet) -> bool {
+        !self.syscalls().is_subset(allowed)
+    }
+}
+
+use CveType::*;
+
+/// The 36 CVEs of Table 5 (post-2014 kernel CVEs triggerable through
+/// system calls, collected from SysFilter, Confine and Kite).
+pub static CVE_TABLE: [CveEntry; 36] = [
+    CveEntry { id: "2021-35039", syscall_names: &["init_module"], types: &[CheckBypass] },
+    CveEntry { id: "2019-13272", syscall_names: &["ptrace"], types: &[PrivilegeEscalation] },
+    CveEntry { id: "2019-11815", syscall_names: &["clone", "unshare"], types: &[UseAfterFree] },
+    CveEntry { id: "2019-10125", syscall_names: &["io_submit"], types: &[UseAfterFree] },
+    CveEntry { id: "2019-9857", syscall_names: &["inotify_add_watch"], types: &[DenialOfService] },
+    CveEntry { id: "2019-3901", syscall_names: &["execve"], types: &[InfoLeak] },
+    CveEntry { id: "2018-18281", syscall_names: &["ftruncate", "mremap"], types: &[UseAfterFree] },
+    CveEntry { id: "2018-14634", syscall_names: &["execve", "execveat"], types: &[PrivilegeEscalation] },
+    CveEntry { id: "2018-13053", syscall_names: &["clock_nanosleep"], types: &[DenialOfService] },
+    CveEntry { id: "2018-12233", syscall_names: &["setxattr"], types: &[PrivilegeEscalation, InfoLeak, DenialOfService] },
+    CveEntry { id: "2018-11508", syscall_names: &["adjtimex"], types: &[InfoLeak] },
+    CveEntry { id: "2018-1068", syscall_names: &["compat_sys_setsockopt"], types: &[MemWrite] },
+    CveEntry { id: "2017-18509", syscall_names: &["setsockopt", "getsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2017-18344", syscall_names: &["timer_create"], types: &[MemRead] },
+    CveEntry { id: "2017-17712", syscall_names: &["sendto", "sendmsg"], types: &[PrivilegeEscalation] },
+    CveEntry { id: "2017-17053", syscall_names: &["modify_ldt", "clone"], types: &[UseAfterFree] },
+    CveEntry { id: "2017-14954", syscall_names: &["waitid"], types: &[CheckBypass, PrivilegeEscalation, InfoLeak] },
+    CveEntry { id: "2017-11176", syscall_names: &["mq_notify"], types: &[DenialOfService] },
+    CveEntry { id: "2017-6001", syscall_names: &["perf_event_open"], types: &[PrivilegeEscalation] },
+    CveEntry { id: "2016-7911", syscall_names: &["ioprio_get"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2016-6198", syscall_names: &["rename"], types: &[DenialOfService] },
+    CveEntry { id: "2016-6197", syscall_names: &["rename", "unlink"], types: &[DenialOfService] },
+    CveEntry { id: "2016-4998", syscall_names: &["setsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2016-4997", syscall_names: &["setsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2016-3134", syscall_names: &["setsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2016-2383", syscall_names: &["bpf"], types: &[InfoLeak] },
+    CveEntry { id: "2016-0728", syscall_names: &["keyctl"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2015-8543", syscall_names: &["socket"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2015-7613", syscall_names: &["semget", "msgget", "shmget"], types: &[PrivilegeEscalation] },
+    CveEntry { id: "2014-9903", syscall_names: &["sched_getattr"], types: &[InfoLeak] },
+    CveEntry { id: "2014-9529", syscall_names: &["keyctl"], types: &[DenialOfService] },
+    CveEntry { id: "2014-8133", syscall_names: &["set_thread_area"], types: &[CheckBypass] },
+    CveEntry { id: "2014-7970", syscall_names: &["pivot_root"], types: &[DenialOfService] },
+    CveEntry { id: "2014-5207", syscall_names: &["mount"], types: &[PrivilegeEscalation] },
+    CveEntry { id: "2014-4699", syscall_names: &["fork", "clone", "ptrace"], types: &[PrivilegeEscalation, DenialOfService] },
+    CveEntry { id: "2014-3180", syscall_names: &["compat_sys_nanosleep"], types: &[MemRead] },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::well_known as wk;
+
+    #[test]
+    fn table_has_36_entries() {
+        assert_eq!(CVE_TABLE.len(), 36);
+    }
+
+    #[test]
+    fn every_entry_resolves_to_syscalls() {
+        for entry in &CVE_TABLE {
+            let set = entry.syscalls();
+            assert_eq!(set.len(), {
+                // compat aliases may collapse onto the same 64-bit number,
+                // but no entry in this table mixes an alias with its target.
+                entry.syscall_names.len()
+            }, "{}", entry.id);
+            assert!(!entry.types.is_empty(), "{}", entry.id);
+        }
+    }
+
+    #[test]
+    fn compat_names_map_to_native_numbers() {
+        let e = CVE_TABLE.iter().find(|e| e.id == "2018-1068").unwrap();
+        assert!(e.syscalls().contains(wk::SETSOCKOPT));
+        let e = CVE_TABLE.iter().find(|e| e.id == "2014-3180").unwrap();
+        assert!(e.syscalls().contains(Sysno::from_name("nanosleep").unwrap()));
+    }
+
+    #[test]
+    fn blocking_any_trigger_syscall_protects() {
+        let e = CVE_TABLE.iter().find(|e| e.id == "2014-4699").unwrap();
+        // Allow everything: not protected.
+        let everything = SyscallSet::all_known();
+        assert!(!e.is_blocked_by(&everything));
+        // Deny ptrace only: protected, the attack needs fork+clone+ptrace.
+        let mut no_ptrace = everything;
+        no_ptrace.remove(wk::PTRACE);
+        assert!(e.is_blocked_by(&no_ptrace));
+    }
+
+    #[test]
+    fn single_syscall_cve_blocked_only_without_it() {
+        let e = CVE_TABLE.iter().find(|e| e.id == "2019-13272").unwrap();
+        let mut allowed = SyscallSet::new();
+        allowed.insert(wk::READ);
+        assert!(e.is_blocked_by(&allowed));
+        allowed.insert(wk::PTRACE);
+        assert!(!e.is_blocked_by(&allowed));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for e in &CVE_TABLE {
+            assert!(seen.insert(e.id), "duplicate {}", e.id);
+        }
+    }
+}

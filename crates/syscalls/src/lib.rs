@@ -1,0 +1,216 @@
+//! Linux x86-64 system call knowledge base.
+//!
+//! This crate provides the substrate shared by every other B-Side crate:
+//!
+//! * [`Sysno`] — a typed system call number;
+//! * [`table`] — the x86-64 system call table (number ↔ name);
+//! * [`SyscallSet`] — a dense bit-set of system call numbers, the currency in
+//!   which analyses report their results;
+//! * [`cve`] — the kernel CVE database of Table 5 of the B-Side paper,
+//!   mapping CVEs to the system calls that trigger them.
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_syscalls::{Sysno, SyscallSet};
+//!
+//! let read = Sysno::from_name("read").unwrap();
+//! assert_eq!(read.raw(), 0);
+//! assert_eq!(read.name(), Some("read"));
+//!
+//! let mut set = SyscallSet::new();
+//! set.insert(read);
+//! assert!(set.contains(read));
+//! assert_eq!(set.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cve;
+pub mod table;
+
+mod set;
+
+pub use set::SyscallSet;
+
+use std::fmt;
+
+/// The highest system call number (exclusive) tracked by [`SyscallSet`].
+///
+/// x86-64 Linux assigns classic system calls in `0..=334` and resumes at
+/// 424 for newer additions; 512 comfortably covers both ranges.
+pub const MAX_SYSNO: u32 = 512;
+
+/// A Linux x86-64 system call number.
+///
+/// `Sysno` is a thin, always-valid-by-range wrapper: constructing one does
+/// not require the number to be *assigned* in the kernel table (analyses can
+/// legitimately report reserved or future numbers), but it must be below
+/// [`MAX_SYSNO`].
+///
+/// # Examples
+///
+/// ```
+/// use bside_syscalls::Sysno;
+///
+/// let openat = Sysno::from_name("openat").unwrap();
+/// assert_eq!(openat.raw(), 257);
+/// assert_eq!(format!("{openat}"), "openat");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Sysno(u32);
+
+impl Sysno {
+    /// Creates a system call number from its raw value.
+    ///
+    /// Returns `None` if `raw` is not below [`MAX_SYSNO`].
+    pub fn new(raw: u32) -> Option<Self> {
+        (raw < MAX_SYSNO).then_some(Sysno(raw))
+    }
+
+    /// Looks a system call up by name in the x86-64 table.
+    ///
+    /// ```
+    /// use bside_syscalls::Sysno;
+    /// assert_eq!(Sysno::from_name("write").unwrap().raw(), 1);
+    /// assert!(Sysno::from_name("not_a_syscall").is_none());
+    /// ```
+    pub fn from_name(name: &str) -> Option<Self> {
+        table::number_of(name).map(Sysno)
+    }
+
+    /// The raw numeric value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The kernel name of this system call, if the number is assigned.
+    pub fn name(self) -> Option<&'static str> {
+        table::name_of(self.0)
+    }
+}
+
+impl fmt::Display for Sysno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "sys_{}", self.0),
+        }
+    }
+}
+
+/// Well-known system calls used throughout the workspace and in tests.
+///
+/// Only a convenience surface: anything in the table is reachable through
+/// [`Sysno::from_name`].
+pub mod well_known {
+    use super::Sysno;
+
+    /// `read` (0).
+    pub const READ: Sysno = Sysno(0);
+    /// `write` (1).
+    pub const WRITE: Sysno = Sysno(1);
+    /// `open` (2).
+    pub const OPEN: Sysno = Sysno(2);
+    /// `close` (3).
+    pub const CLOSE: Sysno = Sysno(3);
+    /// `mmap` (9).
+    pub const MMAP: Sysno = Sysno(9);
+    /// `brk` (12).
+    pub const BRK: Sysno = Sysno(12);
+    /// `ioctl` (16).
+    pub const IOCTL: Sysno = Sysno(16);
+    /// `socket` (41).
+    pub const SOCKET: Sysno = Sysno(41);
+    /// `accept` (43).
+    pub const ACCEPT: Sysno = Sysno(43);
+    /// `clone` (56).
+    pub const CLONE: Sysno = Sysno(56);
+    /// `fork` (57).
+    pub const FORK: Sysno = Sysno(57);
+    /// `execve` (59).
+    pub const EXECVE: Sysno = Sysno(59);
+    /// `exit` (60).
+    pub const EXIT: Sysno = Sysno(60);
+    /// `kill` (62).
+    pub const KILL: Sysno = Sysno(62);
+    /// `ptrace` (101).
+    pub const PTRACE: Sysno = Sysno(101);
+    /// `setsockopt` (54).
+    pub const SETSOCKOPT: Sysno = Sysno(54);
+    /// `openat` (257).
+    pub const OPENAT: Sysno = Sysno(257);
+    /// `execveat` (322).
+    pub const EXECVEAT: Sysno = Sysno(322);
+    /// `exit_group` (231).
+    pub const EXIT_GROUP: Sysno = Sysno(231);
+}
+
+/// System calls the B-Side paper (following Chestnut) singles out as
+/// *dangerous*: calls whose absence from a filter meaningfully shrinks the
+/// attack surface (§5.2: "we confirmed that B-Side is able to filter out
+/// execve on Nginx/Memcached, and execveat on all popular applications").
+pub fn dangerous_syscalls() -> SyscallSet {
+    let names = [
+        "execve", "execveat", "fork", "vfork", "clone", "ptrace", "mprotect",
+        "setuid", "setgid", "init_module", "finit_module", "delete_module",
+        "bpf", "keyctl", "mount", "pivot_root", "kexec_load",
+    ];
+    names
+        .iter()
+        .filter_map(|n| Sysno::from_name(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sysno_rejects_out_of_range() {
+        assert!(Sysno::new(MAX_SYSNO).is_none());
+        assert!(Sysno::new(u32::MAX).is_none());
+        assert!(Sysno::new(0).is_some());
+        assert!(Sysno::new(MAX_SYSNO - 1).is_some());
+    }
+
+    #[test]
+    fn display_uses_name_when_assigned() {
+        assert_eq!(well_known::READ.to_string(), "read");
+        assert_eq!(well_known::EXECVEAT.to_string(), "execveat");
+    }
+
+    #[test]
+    fn display_falls_back_to_number() {
+        // 400 is in-range but unassigned on x86-64.
+        let s = Sysno::new(400).unwrap();
+        assert_eq!(s.to_string(), "sys_400");
+    }
+
+    #[test]
+    fn well_known_numbers_match_table() {
+        for (sysno, name) in [
+            (well_known::READ, "read"),
+            (well_known::WRITE, "write"),
+            (well_known::MMAP, "mmap"),
+            (well_known::SOCKET, "socket"),
+            (well_known::SETSOCKOPT, "setsockopt"),
+            (well_known::PTRACE, "ptrace"),
+            (well_known::OPENAT, "openat"),
+            (well_known::EXECVEAT, "execveat"),
+            (well_known::EXIT_GROUP, "exit_group"),
+        ] {
+            assert_eq!(Sysno::from_name(name), Some(sysno), "{name}");
+        }
+    }
+
+    #[test]
+    fn dangerous_contains_exec_family() {
+        let d = dangerous_syscalls();
+        assert!(d.contains(well_known::EXECVE));
+        assert!(d.contains(well_known::EXECVEAT));
+        assert!(!d.contains(well_known::READ));
+    }
+}

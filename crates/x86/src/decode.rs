@@ -1,0 +1,563 @@
+//! x86-64 decoder for the compiler-emitted instruction subset.
+//!
+//! Covers everything [`crate::Assembler`] can produce, plus the common
+//! variants real compilers emit for the same operations (e.g. the
+//! `B8+r imm32` form of loading a system call number, `83 /n imm8`
+//! arithmetic, rel8 jumps, multi-byte NOPs).
+
+use crate::insn::{Cond, Instruction, Mem, Op, Operand, Target};
+use crate::Reg;
+use std::fmt;
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The byte stream ended mid-instruction.
+    Truncated {
+        /// Address of the instruction being decoded.
+        addr: u64,
+    },
+    /// The opcode byte is outside the supported subset.
+    UnknownOpcode {
+        /// Address of the instruction.
+        addr: u64,
+        /// The offending opcode byte.
+        opcode: u8,
+    },
+    /// A ModRM/extension combination outside the supported subset.
+    UnsupportedForm {
+        /// Address of the instruction.
+        addr: u64,
+        /// The opcode byte.
+        opcode: u8,
+        /// The ModRM byte.
+        modrm: u8,
+    },
+}
+
+impl DecodeError {
+    /// The address at which decoding failed.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            DecodeError::Truncated { addr }
+            | DecodeError::UnknownOpcode { addr, .. }
+            | DecodeError::UnsupportedForm { addr, .. } => addr,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { addr } => write!(f, "truncated instruction at {addr:#x}"),
+            DecodeError::UnknownOpcode { addr, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} at {addr:#x}")
+            }
+            DecodeError::UnsupportedForm { addr, opcode, modrm } => write!(
+                f,
+                "unsupported form opcode={opcode:#04x} modrm={modrm:#04x} at {addr:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    addr: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated { addr: self.addr })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut v = [0u8; 4];
+        for b in &mut v {
+            *b = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(v))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut v = [0u8; 8];
+        for b in &mut v {
+            *b = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(v))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Rex {
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+/// Decoded ModRM: the `reg` field value and the r/m operand.
+struct ModRm {
+    reg_field: u8,
+    rm: Operand,
+    raw: u8,
+}
+
+fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
+    let modrm = cur.u8()?;
+    let mode = modrm >> 6;
+    let reg_field = ((modrm >> 3) & 7) | if rex.r { 8 } else { 0 };
+    let rm_bits = modrm & 7;
+
+    if mode == 0b11 {
+        let reg = Reg::from_number(rm_bits | if rex.b { 8 } else { 0 });
+        return Ok(ModRm { reg_field, rm: Operand::Reg(reg), raw: modrm });
+    }
+
+    // Memory forms.
+    let mut mem = Mem { base: None, index: None, disp: 0, rip_relative: false };
+    if rm_bits == 0b100 {
+        // SIB byte.
+        let sib = cur.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let index_bits = ((sib >> 3) & 7) | if rex.x { 8 } else { 0 };
+        let base_bits = (sib & 7) | if rex.b { 8 } else { 0 };
+        if index_bits != 0b100 {
+            mem.index = Some((Reg::from_number(index_bits), scale));
+        }
+        if (sib & 7) == 0b101 && mode == 0b00 {
+            // disp32, no base.
+            mem.disp = cur.i32()?;
+            return Ok(ModRm { reg_field, rm: Operand::Mem(mem), raw: modrm });
+        }
+        mem.base = Some(Reg::from_number(base_bits));
+    } else if rm_bits == 0b101 && mode == 0b00 {
+        // RIP-relative.
+        mem.rip_relative = true;
+        mem.disp = cur.i32()?;
+        return Ok(ModRm { reg_field, rm: Operand::Mem(mem), raw: modrm });
+    } else {
+        mem.base = Some(Reg::from_number(rm_bits | if rex.b { 8 } else { 0 }));
+    }
+
+    match mode {
+        0b00 => {}
+        0b01 => mem.disp = cur.i8()? as i32,
+        0b10 => mem.disp = cur.i32()?,
+        _ => unreachable!(),
+    }
+    Ok(ModRm { reg_field, rm: Operand::Mem(mem), raw: modrm })
+}
+
+/// Decodes a single instruction at `addr` from `bytes` (which must start
+/// at the instruction's first byte).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation or bytes outside the supported
+/// subset — the analyses treat such addresses as opaque (§4.1 assumes a
+/// robust disassembler; our corpus is fully in-subset by construction).
+pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0, addr };
+    let mut rex = Rex::default();
+    let mut f3 = false;
+
+    // Prefixes.
+    loop {
+        match cur.peek() {
+            Some(0xf3) => {
+                f3 = true;
+                cur.u8()?;
+            }
+            Some(b) if (0x40..=0x4f).contains(&b) => {
+                cur.u8()?;
+                rex = Rex {
+                    w: b & 8 != 0,
+                    r: b & 4 != 0,
+                    x: b & 2 != 0,
+                    b: b & 1 != 0,
+                };
+            }
+            _ => break,
+        }
+    }
+
+    let opcode = cur.u8()?;
+    let op = match opcode {
+        0x0f => {
+            let op2 = cur.u8()?;
+            match op2 {
+                0x05 => Op::Syscall,
+                0x0b => Op::Ud2,
+                0x1e if f3 => {
+                    let tail = cur.u8()?;
+                    if tail == 0xfa {
+                        Op::Endbr64
+                    } else {
+                        return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: tail });
+                    }
+                }
+                0x1f => {
+                    // Multi-byte NOP: 0F 1F /0.
+                    let _ = decode_modrm(&mut cur, rex)?;
+                    Op::Nop
+                }
+                0x80..=0x8f => {
+                    let cond = Cond::from_code(op2 & 0xf).ok_or(DecodeError::UnsupportedForm {
+                        addr,
+                        opcode,
+                        modrm: op2,
+                    })?;
+                    let rel = cur.i32()?;
+                    Op::Jcc(cond, rel)
+                }
+                _ => return Err(DecodeError::UnknownOpcode { addr, opcode: op2 }),
+            }
+        }
+        0x50..=0x57 => Op::Push(Operand::Reg(Reg::from_number(
+            (opcode - 0x50) | if rex.b { 8 } else { 0 },
+        ))),
+        0x58..=0x5f => Op::Pop(Reg::from_number((opcode - 0x58) | if rex.b { 8 } else { 0 })),
+        0x68 => Op::Push(Operand::Imm(cur.i32()? as i64)),
+        0x6a => Op::Push(Operand::Imm(cur.i8()? as i64)),
+        0x70..=0x7f => {
+            let cond = Cond::from_code(opcode & 0xf).ok_or(DecodeError::UnknownOpcode {
+                addr,
+                opcode,
+            })?;
+            let rel = cur.i8()? as i32;
+            Op::Jcc(cond, rel)
+        }
+        // ALU r/m, r  (store direction)
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 | 0x89 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let src = Operand::Reg(Reg::from_number(m.reg_field));
+            let dst = m.rm;
+            match opcode {
+                0x01 => Op::Add { dst, src },
+                0x09 => Op::Or { dst, src },
+                0x21 => Op::And { dst, src },
+                0x29 => Op::Sub { dst, src },
+                0x31 => Op::Xor { dst, src },
+                0x39 => Op::Cmp { a: dst, b: src },
+                0x89 => Op::Mov { dst, src },
+                _ => unreachable!(),
+            }
+        }
+        // ALU r, r/m  (load direction)
+        0x03 | 0x0b | 0x23 | 0x2b | 0x33 | 0x3b | 0x8b => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let dst = Operand::Reg(Reg::from_number(m.reg_field));
+            let src = m.rm;
+            match opcode {
+                0x03 => Op::Add { dst, src },
+                0x0b => Op::Or { dst, src },
+                0x23 => Op::And { dst, src },
+                0x2b => Op::Sub { dst, src },
+                0x33 => Op::Xor { dst, src },
+                0x3b => Op::Cmp { a: dst, b: src },
+                0x8b => Op::Mov { dst, src },
+                _ => unreachable!(),
+            }
+        }
+        0x85 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            Op::Test { a: m.rm, b: Operand::Reg(Reg::from_number(m.reg_field)) }
+        }
+        0x81 | 0x83 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let imm = if opcode == 0x81 {
+                cur.i32()? as i64
+            } else {
+                cur.i8()? as i64
+            };
+            let dst = m.rm;
+            let src = Operand::Imm(imm);
+            match m.reg_field & 7 {
+                0 => Op::Add { dst, src },
+                1 => Op::Or { dst, src },
+                4 => Op::And { dst, src },
+                5 => Op::Sub { dst, src },
+                6 => Op::Xor { dst, src },
+                7 => Op::Cmp { a: dst, b: src },
+                _ => {
+                    return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw })
+                }
+            }
+        }
+        0x8d => {
+            let m = decode_modrm(&mut cur, rex)?;
+            match m.rm {
+                Operand::Mem(mem) => Op::Lea { dst: Reg::from_number(m.reg_field), addr: mem },
+                _ => return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw }),
+            }
+        }
+        0xb8..=0xbf => {
+            let dst = Reg::from_number((opcode - 0xb8) | if rex.b { 8 } else { 0 });
+            if rex.w {
+                Op::MovImm64 { dst, imm: cur.u64()? }
+            } else {
+                // mov r32, imm32 zero-extends.
+                let imm = cur.i32()? as u32 as i64;
+                Op::Mov { dst: Operand::Reg(dst), src: Operand::Imm(imm) }
+            }
+        }
+        0xc7 => {
+            let m = decode_modrm(&mut cur, rex)?;
+            if m.reg_field & 7 != 0 {
+                return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw });
+            }
+            let imm = cur.i32()? as i64;
+            Op::Mov { dst: m.rm, src: Operand::Imm(imm) }
+        }
+        0xc3 => Op::Ret,
+        0xc2 => {
+            let _ = cur.u8()?;
+            let _ = cur.u8()?;
+            Op::Ret
+        }
+        0xe8 => Op::Call(Target::Rel(cur.i32()?)),
+        0xe9 => Op::Jmp(Target::Rel(cur.i32()?)),
+        0xeb => Op::Jmp(Target::Rel(cur.i8()? as i32)),
+        0xff => {
+            let m = decode_modrm(&mut cur, rex)?;
+            let target = match m.rm {
+                Operand::Reg(r) => Target::Reg(r),
+                Operand::Mem(mem) => Target::Mem(mem),
+                Operand::Imm(_) => unreachable!("modrm never yields imm"),
+            };
+            match m.reg_field & 7 {
+                2 => Op::Call(target),
+                4 => Op::Jmp(target),
+                6 => Op::Push(m.rm),
+                _ => {
+                    return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw })
+                }
+            }
+        }
+        0x90 => Op::Nop,
+        0xcc => Op::Int3,
+        0xf4 => Op::Hlt,
+        _ => return Err(DecodeError::UnknownOpcode { addr, opcode }),
+    };
+
+    Ok(Instruction { addr, len: cur.pos as u8, op })
+}
+
+/// Decodes instructions linearly from `base` until the buffer is exhausted
+/// or an undecodable byte is reached (remaining bytes are ignored).
+pub fn decode_all(bytes: &[u8], base: u64) -> Vec<Instruction> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match decode(&bytes[pos..], base + pos as u64) {
+            Ok(insn) => {
+                pos += insn.len as usize;
+                out.push(insn);
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(bytes: &[u8]) -> Instruction {
+        decode(bytes, 0x1000).expect("decodes")
+    }
+
+    #[test]
+    fn decodes_syscall() {
+        assert_eq!(one(&[0x0f, 0x05]).op, Op::Syscall);
+    }
+
+    #[test]
+    fn decodes_gcc_style_mov_eax_imm() {
+        // mov eax, 1  →  b8 01 00 00 00 (no REX) — how GCC loads syscall ids.
+        let i = one(&[0xb8, 1, 0, 0, 0]);
+        assert_eq!(
+            i.op,
+            Op::Mov { dst: Operand::Reg(Reg::Rax), src: Operand::Imm(1) }
+        );
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn decodes_movabs() {
+        let i = one(&[0x48, 0xb8, 0xef, 0xbe, 0xad, 0xde, 0, 0, 0, 0]);
+        assert_eq!(i.op, Op::MovImm64 { dst: Reg::Rax, imm: 0xdeadbeef });
+        assert_eq!(i.len, 10);
+    }
+
+    #[test]
+    fn decodes_mov_through_stack() {
+        // mov qword [rsp+0x10], 2  →  48 c7 44 24 10 02 00 00 00
+        let i = one(&[0x48, 0xc7, 0x44, 0x24, 0x10, 2, 0, 0, 0]);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Operand::Mem(Mem::base_disp(Reg::Rsp, 0x10)),
+                src: Operand::Imm(2)
+            }
+        );
+        // mov rax, [rsp+0x10]  →  48 8b 44 24 10
+        let i = one(&[0x48, 0x8b, 0x44, 0x24, 0x10]);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Operand::Reg(Reg::Rax),
+                src: Operand::Mem(Mem::base_disp(Reg::Rsp, 0x10))
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_rip_relative_lea() {
+        // lea rdi, [rip+0x200]  →  48 8d 3d 00 02 00 00
+        let i = one(&[0x48, 0x8d, 0x3d, 0, 2, 0, 0]);
+        assert_eq!(i.op, Op::Lea { dst: Reg::Rdi, addr: Mem::rip(0x200) });
+        if let Op::Lea { addr, .. } = i.op {
+            assert_eq!(addr.rip_target(i.addr, i.len), Some(0x1207));
+        }
+    }
+
+    #[test]
+    fn decodes_extended_registers() {
+        // mov r10, r9  →  4d 89 ca
+        let i = one(&[0x4d, 0x89, 0xca]);
+        assert_eq!(
+            i.op,
+            Op::Mov { dst: Operand::Reg(Reg::R10), src: Operand::Reg(Reg::R9) }
+        );
+        // push r12 → 41 54
+        let i = one(&[0x41, 0x54]);
+        assert_eq!(i.op, Op::Push(Operand::Reg(Reg::R12)));
+    }
+
+    #[test]
+    fn decodes_rel8_and_rel32_jumps() {
+        let i = one(&[0xeb, 0x10]);
+        assert_eq!(i.op, Op::Jmp(Target::Rel(0x10)));
+        assert_eq!(i.branch_target(), Some(0x1012));
+        let i = one(&[0x74, 0xfe]); // je -2 (self loop)
+        assert_eq!(i.op, Op::Jcc(Cond::E, -2));
+        assert_eq!(i.branch_target(), Some(0x1000));
+        let i = one(&[0x0f, 0x85, 4, 0, 0, 0]); // jne +4
+        assert_eq!(i.op, Op::Jcc(Cond::Ne, 4));
+    }
+
+    #[test]
+    fn decodes_indirect_call_and_jmp() {
+        // call rax → ff d0
+        assert_eq!(one(&[0xff, 0xd0]).op, Op::Call(Target::Reg(Reg::Rax)));
+        // jmp [rip+8] → ff 25 08 00 00 00 (PLT stub shape)
+        assert_eq!(
+            one(&[0xff, 0x25, 8, 0, 0, 0]).op,
+            Op::Jmp(Target::Mem(Mem::rip(8)))
+        );
+        // call [rax+0x18] → ff 50 18
+        assert_eq!(
+            one(&[0xff, 0x50, 0x18]).op,
+            Op::Call(Target::Mem(Mem::base_disp(Reg::Rax, 0x18)))
+        );
+    }
+
+    #[test]
+    fn decodes_alu_imm8_forms() {
+        // sub rsp, 0x20 → 48 83 ec 20
+        let i = one(&[0x48, 0x83, 0xec, 0x20]);
+        assert_eq!(
+            i.op,
+            Op::Sub { dst: Operand::Reg(Reg::Rsp), src: Operand::Imm(0x20) }
+        );
+        // cmp rax, -1 → 48 83 f8 ff
+        let i = one(&[0x48, 0x83, 0xf8, 0xff]);
+        assert_eq!(
+            i.op,
+            Op::Cmp { a: Operand::Reg(Reg::Rax), b: Operand::Imm(-1) }
+        );
+    }
+
+    #[test]
+    fn decodes_multibyte_nop() {
+        // nopw [rax+rax*1] style: 0f 1f 44 00 00
+        let i = one(&[0x0f, 0x1f, 0x44, 0x00, 0x00]);
+        assert_eq!(i.op, Op::Nop);
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn decodes_endbr64() {
+        let i = one(&[0xf3, 0x0f, 0x1e, 0xfa]);
+        assert_eq!(i.op, Op::Endbr64);
+        assert_eq!(i.len, 4);
+    }
+
+    #[test]
+    fn sib_with_index_round_trip() {
+        // mov rax, [rbx + rcx*4 + 8] → 48 8b 44 8b 08
+        let i = one(&[0x48, 0x8b, 0x44, 0x8b, 0x08]);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Operand::Reg(Reg::Rax),
+                src: Operand::Mem(Mem {
+                    base: Some(Reg::Rbx),
+                    index: Some((Reg::Rcx, 4)),
+                    disp: 8,
+                    rip_relative: false
+                })
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert!(matches!(
+            decode(&[0x48], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(&[0xe8, 1, 2], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(decode(&[], 0), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        assert!(matches!(
+            decode(&[0x06], 0x42),
+            Err(DecodeError::UnknownOpcode { addr: 0x42, opcode: 0x06 })
+        ));
+    }
+
+    #[test]
+    fn decode_all_stops_at_garbage() {
+        let mut code = vec![0x90, 0x0f, 0x05]; // nop; syscall
+        code.push(0x06); // invalid
+        code.push(0x90);
+        let insns = decode_all(&code, 0);
+        assert_eq!(insns.len(), 2);
+    }
+}

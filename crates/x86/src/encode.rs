@@ -1,0 +1,660 @@
+//! x86-64 encoder with label/fixup support.
+//!
+//! All data-moving instructions are emitted with 64-bit operand size
+//! (REX.W), matching the canonical shapes compilers produce for the code
+//! patterns the B-Side analyses care about. `mov reg, imm32` uses the
+//! sign-extending `C7 /0` form, the shape used to load system call numbers.
+
+use crate::insn::Mem;
+use crate::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A code location that can be referenced before it is bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors reported by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A referenced label was never bound.
+    UnboundLabel(Label),
+    /// A relative displacement does not fit in 32 bits.
+    RelOutOfRange {
+        /// Where the reference is.
+        at: u64,
+        /// The address being referenced.
+        target: u64,
+    },
+    /// A label was bound twice.
+    DoubleBind(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::RelOutOfRange { at, target } => {
+                write!(f, "target {target:#x} out of rel32 range from {at:#x}")
+            }
+            AsmError::DoubleBind(l) => write!(f, "label {l:?} bound twice"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    /// Offset of the 4 displacement bytes within the buffer.
+    patch_at: usize,
+    /// Displacement is relative to the end of this instruction.
+    insn_end: usize,
+    label: Label,
+}
+
+/// An x86-64 assembler.
+///
+/// Emission methods append one instruction each; control-flow and
+/// address-forming methods take [`Label`]s which are patched during
+/// [`Assembler::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use bside_x86::{Assembler, Reg};
+///
+/// let mut asm = Assembler::new(0x1000);
+/// let skip = asm.new_label();
+/// asm.xor_reg_reg(Reg::Rax, Reg::Rax);
+/// asm.jmp_label(skip);
+/// asm.mov_reg_imm32(Reg::Rax, 1); // skipped
+/// asm.bind(skip).unwrap();
+/// asm.ret();
+/// let code = asm.finish().unwrap();
+/// assert!(!code.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u64,
+    buf: Vec<u8>,
+    labels: Vec<Option<u64>>, // absolute addresses once bound
+    fixups: Vec<Fixup>,
+    bound_names: HashMap<String, Label>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first emitted byte lives at `base`.
+    pub fn new(base: u64) -> Self {
+        Assembler {
+            base,
+            buf: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            bound_names: HashMap::new(),
+        }
+    }
+
+    /// The address of the next instruction to be emitted.
+    pub fn cursor(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+
+    /// Number of bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Creates or retrieves a label by name (convenient for codegen that
+    /// works with symbolic function names).
+    pub fn named_label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.bound_names.get(name) {
+            return l;
+        }
+        let l = self.new_label();
+        self.bound_names.insert(name.to_string(), l);
+        l
+    }
+
+    /// Binds `label` to the current cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DoubleBind`] if already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        self.bind_at(label, self.cursor())
+    }
+
+    /// Binds `label` to an arbitrary absolute address (e.g. a GOT slot or
+    /// a `.rodata` object that lives outside the code being assembled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DoubleBind`] if already bound.
+    pub fn bind_at(&mut self, label: Label, addr: u64) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::DoubleBind(label));
+        }
+        *slot = Some(addr);
+        Ok(())
+    }
+
+    /// Resolves fixups and returns the encoded bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] if any referenced label is unbound or a
+    /// displacement overflows.
+    pub fn finish(mut self) -> Result<Vec<u8>, AsmError> {
+        for fixup in &self.fixups {
+            let target = self.labels[fixup.label.0].ok_or(AsmError::UnboundLabel(fixup.label))?;
+            let from = self.base + fixup.insn_end as u64;
+            let rel = target.wrapping_sub(from) as i64;
+            let rel32 = i32::try_from(rel).map_err(|_| AsmError::RelOutOfRange {
+                at: self.base + fixup.patch_at as u64,
+                target,
+            })?;
+            self.buf[fixup.patch_at..fixup.patch_at + 4].copy_from_slice(&rel32.to_le_bytes());
+        }
+        Ok(self.buf)
+    }
+
+    // ---- raw emission helpers ------------------------------------------------
+
+    fn byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        self.buf.extend_from_slice(bs);
+    }
+
+    fn imm32(&mut self, v: i32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// REX prefix with W=1. `r` is the reg field register (or None), `b`
+    /// the rm/base register, `x` the index register.
+    fn rex_w(&mut self, r: Option<Reg>, x: Option<Reg>, b: Option<Reg>) {
+        let mut rex = 0x48u8;
+        if r.is_some_and(|r| r.needs_rex()) {
+            rex |= 0x4;
+        }
+        if x.is_some_and(|x| x.needs_rex()) {
+            rex |= 0x2;
+        }
+        if b.is_some_and(|b| b.needs_rex()) {
+            rex |= 0x1;
+        }
+        self.byte(rex);
+    }
+
+    /// ModRM byte with two registers: `reg` field and `rm` field.
+    fn modrm_rr(&mut self, reg_field: u8, rm: Reg) {
+        self.byte(0xc0 | (reg_field & 7) << 3 | rm.low3());
+    }
+
+    /// ModRM (+SIB, +disp) for a memory operand. Returns the fixup slot
+    /// offset if the operand is RIP-relative with a pending label.
+    fn modrm_mem(&mut self, reg_field: u8, mem: Mem) {
+        let reg_bits = (reg_field & 7) << 3;
+        if mem.rip_relative {
+            self.byte(reg_bits | 0b101); // mod=00, rm=101 → [rip+disp32]
+            self.imm32(mem.disp);
+            return;
+        }
+        match (mem.base, mem.index) {
+            (None, None) => {
+                // Absolute: mod=00, rm=100 (SIB), SIB base=101 index=100.
+                self.byte(reg_bits | 0b100);
+                self.byte(0x25);
+                self.imm32(mem.disp);
+            }
+            (Some(base), None) => {
+                let needs_sib = base.low3() == 0b100; // rsp/r12
+                let force_disp8 = base.low3() == 0b101; // rbp/r13 need disp
+                let (modbits, disp8) = if mem.disp == 0 && !force_disp8 {
+                    (0x00u8, false)
+                } else if i8::try_from(mem.disp).is_ok() {
+                    (0x40, true)
+                } else {
+                    (0x80, false)
+                };
+                if needs_sib {
+                    self.byte(modbits | reg_bits | 0b100);
+                    self.byte(0x24); // SIB: scale=0 index=100(none) base=rsp
+                } else {
+                    self.byte(modbits | reg_bits | base.low3());
+                }
+                if modbits == 0x40 {
+                    debug_assert!(disp8);
+                    self.byte(mem.disp as i8 as u8);
+                } else if modbits == 0x80 {
+                    self.imm32(mem.disp);
+                }
+            }
+            (base, Some((index, scale))) => {
+                assert!(index != Reg::Rsp, "rsp cannot be an index register");
+                let ss = match scale {
+                    1 => 0u8,
+                    2 => 1,
+                    4 => 2,
+                    8 => 3,
+                    other => panic!("invalid scale {other}"),
+                };
+                let (modbits, base_bits) = match base {
+                    Some(b) => {
+                        let force_disp = b.low3() == 0b101;
+                        let m = if mem.disp == 0 && !force_disp {
+                            0x00u8
+                        } else if i8::try_from(mem.disp).is_ok() {
+                            0x40
+                        } else {
+                            0x80
+                        };
+                        (m, b.low3())
+                    }
+                    None => (0x00u8, 0b101), // disp32, no base
+                };
+                self.byte(modbits | reg_bits | 0b100);
+                self.byte(ss << 6 | index.low3() << 3 | base_bits);
+                match (modbits, base) {
+                    (0x00, None) => self.imm32(mem.disp),
+                    (0x40, _) => self.byte(mem.disp as i8 as u8),
+                    (0x80, _) => self.imm32(mem.disp),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn mem_regs(mem: Mem) -> (Option<Reg>, Option<Reg>) {
+        (mem.index.map(|(r, _)| r), mem.base)
+    }
+
+    /// Records a fixup for the previous 4 bytes (which must be a
+    /// placeholder displacement) against `label`.
+    fn fixup_last4(&mut self, label: Label) {
+        self.fixups.push(Fixup {
+            patch_at: self.buf.len() - 4,
+            insn_end: self.buf.len(),
+            label,
+        });
+    }
+
+    // ---- data movement ---------------------------------------------------------
+
+    /// `mov reg, imm32` (sign-extended, `REX.W C7 /0`). The canonical way
+    /// a compiler loads a system call number.
+    pub fn mov_reg_imm32(&mut self, dst: Reg, imm: i32) {
+        self.rex_w(None, None, Some(dst));
+        self.byte(0xc7);
+        self.modrm_rr(0, dst);
+        self.imm32(imm);
+    }
+
+    /// `movabs reg, imm64`.
+    pub fn mov_reg_imm64(&mut self, dst: Reg, imm: u64) {
+        self.rex_w(None, None, Some(dst));
+        self.byte(0xb8 + dst.low3());
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `mov dst, src` between registers.
+    pub fn mov_reg_reg(&mut self, dst: Reg, src: Reg) {
+        self.rex_w(Some(src), None, Some(dst));
+        self.byte(0x89);
+        self.modrm_rr(src.low3(), dst);
+    }
+
+    /// `mov dst, [mem]`.
+    pub fn mov_reg_mem(&mut self, dst: Reg, mem: Mem) {
+        let (x, b) = Self::mem_regs(mem);
+        self.rex_w(Some(dst), x, b);
+        self.byte(0x8b);
+        self.modrm_mem(dst.low3(), mem);
+    }
+
+    /// `mov [mem], src`.
+    pub fn mov_mem_reg(&mut self, mem: Mem, src: Reg) {
+        let (x, b) = Self::mem_regs(mem);
+        self.rex_w(Some(src), x, b);
+        self.byte(0x89);
+        self.modrm_mem(src.low3(), mem);
+    }
+
+    /// `mov qword [mem], imm32` (sign-extended).
+    pub fn mov_mem_imm32(&mut self, mem: Mem, imm: i32) {
+        let (x, b) = Self::mem_regs(mem);
+        self.rex_w(None, x, b);
+        self.byte(0xc7);
+        self.modrm_mem(0, mem);
+        self.imm32(imm);
+    }
+
+    /// `mov dst, [rip + label]` — PC-relative load from a labelled
+    /// location.
+    pub fn mov_reg_riplabel(&mut self, dst: Reg, label: Label) {
+        self.rex_w(Some(dst), None, None);
+        self.byte(0x8b);
+        self.byte((dst.low3() << 3) | 0b101);
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `lea dst, [mem]`.
+    pub fn lea(&mut self, dst: Reg, mem: Mem) {
+        let (x, b) = Self::mem_regs(mem);
+        self.rex_w(Some(dst), x, b);
+        self.byte(0x8d);
+        self.modrm_mem(dst.low3(), mem);
+    }
+
+    /// `lea dst, [rip + label]` — the *address taken* shape the CFG
+    /// heuristic of §4.3 looks for.
+    pub fn lea_riplabel(&mut self, dst: Reg, label: Label) {
+        self.rex_w(Some(dst), None, None);
+        self.byte(0x8d);
+        self.byte((dst.low3() << 3) | 0b101);
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `push reg`.
+    pub fn push_reg(&mut self, reg: Reg) {
+        if reg.needs_rex() {
+            self.byte(0x41);
+        }
+        self.byte(0x50 + reg.low3());
+    }
+
+    /// `push imm32`.
+    pub fn push_imm32(&mut self, imm: i32) {
+        self.byte(0x68);
+        self.imm32(imm);
+    }
+
+    /// `pop reg`.
+    pub fn pop_reg(&mut self, reg: Reg) {
+        if reg.needs_rex() {
+            self.byte(0x41);
+        }
+        self.byte(0x58 + reg.low3());
+    }
+
+    // ---- arithmetic / logic ------------------------------------------------------
+
+    fn alu_reg_reg(&mut self, opcode: u8, dst: Reg, src: Reg) {
+        self.rex_w(Some(src), None, Some(dst));
+        self.byte(opcode);
+        self.modrm_rr(src.low3(), dst);
+    }
+
+    fn alu_reg_imm32(&mut self, ext: u8, dst: Reg, imm: i32) {
+        self.rex_w(None, None, Some(dst));
+        self.byte(0x81);
+        self.modrm_rr(ext, dst);
+        self.imm32(imm);
+    }
+
+    /// `add dst, src`.
+    pub fn add_reg_reg(&mut self, dst: Reg, src: Reg) {
+        self.alu_reg_reg(0x01, dst, src);
+    }
+
+    /// `add dst, imm32`.
+    pub fn add_reg_imm32(&mut self, dst: Reg, imm: i32) {
+        self.alu_reg_imm32(0, dst, imm);
+    }
+
+    /// `sub dst, src`.
+    pub fn sub_reg_reg(&mut self, dst: Reg, src: Reg) {
+        self.alu_reg_reg(0x29, dst, src);
+    }
+
+    /// `sub dst, imm32`.
+    pub fn sub_reg_imm32(&mut self, dst: Reg, imm: i32) {
+        self.alu_reg_imm32(5, dst, imm);
+    }
+
+    /// `xor dst, src` (`xor r, r` is the canonical zeroing idiom, tracked
+    /// by the Chestnut baseline).
+    pub fn xor_reg_reg(&mut self, dst: Reg, src: Reg) {
+        self.alu_reg_reg(0x31, dst, src);
+    }
+
+    /// `and dst, imm32`.
+    pub fn and_reg_imm32(&mut self, dst: Reg, imm: i32) {
+        self.alu_reg_imm32(4, dst, imm);
+    }
+
+    /// `or dst, src`.
+    pub fn or_reg_reg(&mut self, dst: Reg, src: Reg) {
+        self.alu_reg_reg(0x09, dst, src);
+    }
+
+    /// `cmp a, b` (registers).
+    pub fn cmp_reg_reg(&mut self, a: Reg, b: Reg) {
+        self.alu_reg_reg(0x39, a, b);
+    }
+
+    /// `cmp reg, imm32`.
+    pub fn cmp_reg_imm32(&mut self, a: Reg, imm: i32) {
+        self.alu_reg_imm32(7, a, imm);
+    }
+
+    /// `test a, b` (registers).
+    pub fn test_reg_reg(&mut self, a: Reg, b: Reg) {
+        self.rex_w(Some(b), None, Some(a));
+        self.byte(0x85);
+        self.modrm_rr(b.low3(), a);
+    }
+
+    // ---- control flow ---------------------------------------------------------------
+
+    /// `call label` (rel32).
+    pub fn call_label(&mut self, label: Label) {
+        self.byte(0xe8);
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `call reg`.
+    pub fn call_reg(&mut self, reg: Reg) {
+        if reg.needs_rex() {
+            self.byte(0x41);
+        }
+        self.byte(0xff);
+        self.modrm_rr(2, reg);
+    }
+
+    /// `call [mem]`.
+    pub fn call_mem(&mut self, mem: Mem) {
+        let (x, b) = Self::mem_regs(mem);
+        if x.is_some_and(|r| r.needs_rex()) || b.is_some_and(|r| r.needs_rex()) {
+            let mut rex = 0x40u8;
+            if x.is_some_and(|r| r.needs_rex()) {
+                rex |= 2;
+            }
+            if b.is_some_and(|r| r.needs_rex()) {
+                rex |= 1;
+            }
+            self.byte(rex);
+        }
+        self.byte(0xff);
+        self.modrm_mem(2, mem);
+    }
+
+    /// `call [rip + label]` — the PLT-stub shape for imported functions.
+    pub fn call_riplabel(&mut self, label: Label) {
+        self.byte(0xff);
+        self.byte((2 << 3) | 0b101);
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `jmp label` (rel32).
+    pub fn jmp_label(&mut self, label: Label) {
+        self.byte(0xe9);
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `jmp reg`.
+    pub fn jmp_reg(&mut self, reg: Reg) {
+        if reg.needs_rex() {
+            self.byte(0x41);
+        }
+        self.byte(0xff);
+        self.modrm_rr(4, reg);
+    }
+
+    /// `jmp [rip + label]` — the classic PLT stub (`jmpq *GOT(sym)`).
+    pub fn jmp_riplabel(&mut self, label: Label) {
+        self.byte(0xff);
+        self.byte((4 << 3) | 0b101);
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `jcc label` (rel32 form, `0F 8x`).
+    pub fn jcc_label(&mut self, cond: crate::Cond, label: Label) {
+        self.byte(0x0f);
+        self.byte(0x80 | cond.code());
+        self.imm32(0);
+        self.fixup_last4(label);
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.byte(0xc3);
+    }
+
+    /// `syscall`.
+    pub fn syscall(&mut self) {
+        self.bytes(&[0x0f, 0x05]);
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.byte(0x90);
+    }
+
+    /// `endbr64`.
+    pub fn endbr64(&mut self) {
+        self.bytes(&[0xf3, 0x0f, 0x1e, 0xfa]);
+    }
+
+    /// `int3`.
+    pub fn int3(&mut self) {
+        self.byte(0xcc);
+    }
+
+    /// `ud2`.
+    pub fn ud2(&mut self) {
+        self.bytes(&[0x0f, 0x0b]);
+    }
+
+    /// `hlt`.
+    pub fn hlt(&mut self) {
+        self.byte(0xf4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cond;
+
+    #[test]
+    fn mov_imm32_encoding_matches_gas() {
+        // mov rax, 60  →  48 c7 c0 3c 00 00 00
+        let mut a = Assembler::new(0);
+        a.mov_reg_imm32(Reg::Rax, 60);
+        assert_eq!(a.finish().unwrap(), vec![0x48, 0xc7, 0xc0, 0x3c, 0, 0, 0]);
+    }
+
+    #[test]
+    fn syscall_encoding() {
+        let mut a = Assembler::new(0);
+        a.syscall();
+        assert_eq!(a.finish().unwrap(), vec![0x0f, 0x05]);
+    }
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut a = Assembler::new(0x1000);
+        let top = a.new_label();
+        a.bind(top).unwrap();
+        a.nop();
+        let fwd = a.new_label();
+        a.jmp_label(fwd); // at 0x1001, 5 bytes, ends 0x1006
+        a.jmp_label(top); // at 0x1006, 5 bytes, ends 0x100b → rel = -0xb
+        a.bind(fwd).unwrap(); // 0x100b
+        a.ret();
+        let code = a.finish().unwrap();
+        // First jmp: target 0x100b - end 0x1006 = 5.
+        assert_eq!(&code[1..6], &[0xe9, 5, 0, 0, 0]);
+        // Second jmp: target 0x1000 - end 0x100b = -11.
+        assert_eq!(&code[6..11], &[0xe9, 0xf5, 0xff, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.jmp_label(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn double_bind_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.bind(l).unwrap();
+        assert!(matches!(a.bind(l), Err(AsmError::DoubleBind(_))));
+    }
+
+    #[test]
+    fn bind_at_external_address() {
+        let mut a = Assembler::new(0x1000);
+        let got = a.new_label();
+        a.bind_at(got, 0x3000).unwrap();
+        a.jmp_riplabel(got); // 6 bytes, ends 0x1006 → disp 0x1ffa
+        let code = a.finish().unwrap();
+        assert_eq!(code[..2], [0xff, 0x25]);
+        assert_eq!(i32::from_le_bytes(code[2..6].try_into().unwrap()), 0x1ffa);
+    }
+
+    #[test]
+    fn named_labels_are_interned() {
+        let mut a = Assembler::new(0);
+        let l1 = a.named_label("f");
+        let l2 = a.named_label("f");
+        assert_eq!(l1, l2);
+        assert_ne!(a.named_label("g"), l1);
+    }
+
+    #[test]
+    fn jcc_encodes_condition() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.jcc_label(Cond::Ne, l);
+        a.bind(l).unwrap();
+        let code = a.finish().unwrap();
+        assert_eq!(code[..2], [0x0f, 0x85]);
+    }
+}

@@ -1,0 +1,462 @@
+//! Instruction IR: operands, operations, and decoded instructions.
+
+use crate::Reg;
+use std::fmt;
+
+/// A memory operand: `[base + index*scale + disp]` or `[rip + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1/2/4/8), if any.
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+    /// `true` for RIP-relative addressing; `base`/`index` are then `None`.
+    pub rip_relative: bool,
+}
+
+impl Mem {
+    /// `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem { base: Some(base), index: None, disp, rip_relative: false }
+    }
+
+    /// `[rip + disp]` — the position-independent form compilers emit for
+    /// globals and GOT slots.
+    pub fn rip(disp: i32) -> Mem {
+        Mem { base: None, index: None, disp, rip_relative: true }
+    }
+
+    /// Absolute displacement with no registers: `[disp]`.
+    pub fn absolute(disp: i32) -> Mem {
+        Mem { base: None, index: None, disp, rip_relative: false }
+    }
+
+    /// For a RIP-relative operand decoded at `addr` with length `len`,
+    /// the absolute target address.
+    pub fn rip_target(&self, insn_addr: u64, insn_len: u8) -> Option<u64> {
+        self.rip_relative
+            .then(|| insn_addr.wrapping_add(insn_len as u64).wrapping_add(self.disp as i64 as u64))
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        let mut wrote = false;
+        if self.rip_relative {
+            f.write_str("rip")?;
+            wrote = true;
+        }
+        if let Some(base) = self.base {
+            write!(f, "{base}")?;
+            wrote = true;
+        }
+        if let Some((index, scale)) = self.index {
+            if wrote {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{index}*{scale}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp >= 0 {
+                    write!(f, " + {:#x}", self.disp)?;
+                } else {
+                    write!(f, " - {:#x}", -(self.disp as i64))?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A memory location.
+    Mem(Mem),
+    /// An immediate (sign-extended to 64 bits).
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(i) => {
+                if *i >= 0 {
+                    write!(f, "{i:#x}")
+                } else {
+                    write!(f, "-{:#x}", -i)
+                }
+            }
+        }
+    }
+}
+
+/// A control-transfer target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Relative displacement from the end of the instruction.
+    Rel(i32),
+    /// Indirect through a register.
+    Reg(Reg),
+    /// Indirect through memory.
+    Mem(Mem),
+}
+
+/// Condition codes for `jcc` (the subset compilers commonly emit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// ZF = 1 (`je`).
+    E,
+    /// ZF = 0 (`jne`).
+    Ne,
+    /// SF ≠ OF (`jl`).
+    L,
+    /// ZF = 1 or SF ≠ OF (`jle`).
+    Le,
+    /// ZF = 0 and SF = OF (`jg`).
+    G,
+    /// SF = OF (`jge`).
+    Ge,
+    /// CF = 1 (`jb`).
+    B,
+    /// CF = 1 or ZF = 1 (`jbe`).
+    Be,
+    /// CF = 0 (`jae`).
+    Ae,
+    /// CF = 0 and ZF = 0 (`ja`).
+    A,
+    /// SF = 1 (`js`).
+    S,
+    /// SF = 0 (`jns`).
+    Ns,
+}
+
+impl Cond {
+    /// The low nibble of the `0x0F 0x8x` / `0x7x` opcode.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Cond::E => 0x4,
+            Cond::Ne => 0x5,
+            Cond::L => 0xc,
+            Cond::Le => 0xe,
+            Cond::G => 0xf,
+            Cond::Ge => 0xd,
+            Cond::B => 0x2,
+            Cond::Be => 0x6,
+            Cond::Ae => 0x3,
+            Cond::A => 0x7,
+            Cond::S => 0x8,
+            Cond::Ns => 0x9,
+        }
+    }
+
+    /// Inverse mapping of [`Cond::code`].
+    pub(crate) fn from_code(code: u8) -> Option<Cond> {
+        Some(match code {
+            0x4 => Cond::E,
+            0x5 => Cond::Ne,
+            0xc => Cond::L,
+            0xe => Cond::Le,
+            0xf => Cond::G,
+            0xd => Cond::Ge,
+            0x2 => Cond::B,
+            0x6 => Cond::Be,
+            0x3 => Cond::Ae,
+            0x7 => Cond::A,
+            0x8 => Cond::S,
+            0x9 => Cond::Ns,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::Ae => "ae",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `mov dst, src` (64-bit unless noted; `MovImm64` is `movabs`).
+    Mov {
+        /// Destination operand (register or memory).
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `movabs reg, imm64`.
+    MovImm64 {
+        /// Destination register.
+        dst: Reg,
+        /// Full 64-bit immediate.
+        imm: u64,
+    },
+    /// `lea dst, [addr]`.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Effective-address expression.
+        addr: Mem,
+    },
+    /// `push src`.
+    Push(Operand),
+    /// `pop dst`.
+    Pop(Reg),
+    /// `add dst, src`.
+    Add {
+        /// Destination operand.
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `sub dst, src`.
+    Sub {
+        /// Destination operand.
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `xor dst, src`.
+    Xor {
+        /// Destination operand.
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `and dst, src`.
+    And {
+        /// Destination operand.
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `or dst, src`.
+    Or {
+        /// Destination operand.
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `cmp a, b` (sets flags, no write-back).
+    Cmp {
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `test a, b` (flags from `a & b`).
+    Test {
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `call target`.
+    Call(Target),
+    /// `jmp target`.
+    Jmp(Target),
+    /// `jcc rel32`.
+    Jcc(Cond, i32),
+    /// `ret`.
+    Ret,
+    /// `syscall` — the instruction every identification analysis anchors
+    /// on (§2.4).
+    Syscall,
+    /// `nop` (any encoding length).
+    Nop,
+    /// `endbr64` (CET landing pad; a no-op for analysis).
+    Endbr64,
+    /// `int3` breakpoint / padding.
+    Int3,
+    /// `ud2` trap.
+    Ud2,
+    /// `hlt`.
+    Hlt,
+}
+
+/// A decoded instruction: where it is, how long it is, and what it does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// The decoded operation.
+    pub op: Op,
+}
+
+impl Instruction {
+    /// Address of the next sequential instruction.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len as u64
+    }
+
+    /// For `call`/`jmp`/`jcc` with a relative target, the absolute
+    /// destination address.
+    pub fn branch_target(&self) -> Option<u64> {
+        let rel = match self.op {
+            Op::Call(Target::Rel(r)) | Op::Jmp(Target::Rel(r)) | Op::Jcc(_, r) => r,
+            _ => return None,
+        };
+        Some(self.end().wrapping_add(rel as i64 as u64))
+    }
+
+    /// `true` if control cannot fall through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Ret | Op::Jmp(_) | Op::Ud2 | Op::Hlt
+        )
+    }
+
+    /// `true` for any control-flow instruction (including calls).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self.op, Op::Call(_) | Op::Jmp(_) | Op::Jcc(..) | Op::Ret)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            Op::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Op::MovImm64 { dst, imm } => write!(f, "movabs {dst}, {imm:#x}"),
+            Op::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Op::Push(src) => write!(f, "push {src}"),
+            Op::Pop(dst) => write!(f, "pop {dst}"),
+            Op::Add { dst, src } => write!(f, "add {dst}, {src}"),
+            Op::Sub { dst, src } => write!(f, "sub {dst}, {src}"),
+            Op::Xor { dst, src } => write!(f, "xor {dst}, {src}"),
+            Op::And { dst, src } => write!(f, "and {dst}, {src}"),
+            Op::Or { dst, src } => write!(f, "or {dst}, {src}"),
+            Op::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Op::Test { a, b } => write!(f, "test {a}, {b}"),
+            Op::Call(Target::Rel(_)) => {
+                write!(f, "call {:#x}", self.branch_target().expect("rel"))
+            }
+            Op::Call(Target::Reg(r)) => write!(f, "call {r}"),
+            Op::Call(Target::Mem(m)) => write!(f, "call {m}"),
+            Op::Jmp(Target::Rel(_)) => {
+                write!(f, "jmp {:#x}", self.branch_target().expect("rel"))
+            }
+            Op::Jmp(Target::Reg(r)) => write!(f, "jmp {r}"),
+            Op::Jmp(Target::Mem(m)) => write!(f, "jmp {m}"),
+            Op::Jcc(cond, _) => {
+                write!(f, "j{cond} {:#x}", self.branch_target().expect("rel"))
+            }
+            Op::Ret => f.write_str("ret"),
+            Op::Syscall => f.write_str("syscall"),
+            Op::Nop => f.write_str("nop"),
+            Op::Endbr64 => f.write_str("endbr64"),
+            Op::Int3 => f.write_str("int3"),
+            Op::Ud2 => f.write_str("ud2"),
+            Op::Hlt => f.write_str("hlt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_target_forward_and_backward() {
+        let fwd = Instruction { addr: 0x1000, len: 5, op: Op::Call(Target::Rel(0x10)) };
+        assert_eq!(fwd.branch_target(), Some(0x1015));
+        let bwd = Instruction { addr: 0x1000, len: 2, op: Op::Jmp(Target::Rel(-4)) };
+        assert_eq!(bwd.branch_target(), Some(0xffe));
+    }
+
+    #[test]
+    fn non_branches_have_no_target() {
+        let i = Instruction { addr: 0, len: 1, op: Op::Ret };
+        assert_eq!(i.branch_target(), None);
+        let i = Instruction { addr: 0, len: 2, op: Op::Jmp(Target::Reg(Reg::Rax)) };
+        assert_eq!(i.branch_target(), None, "indirect targets are unknown");
+    }
+
+    #[test]
+    fn terminators() {
+        for op in [Op::Ret, Op::Jmp(Target::Rel(0)), Op::Ud2, Op::Hlt] {
+            assert!(Instruction { addr: 0, len: 1, op }.is_terminator());
+        }
+        for op in [Op::Syscall, Op::Call(Target::Rel(0)), Op::Jcc(Cond::E, 0)] {
+            assert!(!Instruction { addr: 0, len: 1, op }.is_terminator());
+        }
+    }
+
+    #[test]
+    fn rip_target_resolution() {
+        let m = Mem::rip(0x200);
+        assert_eq!(m.rip_target(0x1000, 7), Some(0x1207));
+        assert_eq!(Mem::base_disp(Reg::Rax, 0).rip_target(0x1000, 7), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction {
+            addr: 0x10,
+            len: 4,
+            op: Op::Mov {
+                dst: Operand::Reg(Reg::Rax),
+                src: Operand::Mem(Mem::base_disp(Reg::Rsp, 8)),
+            },
+        };
+        assert_eq!(i.to_string(), "mov rax, [rsp + 0x8]");
+        let i = Instruction {
+            addr: 0x10,
+            len: 7,
+            op: Op::Mov {
+                dst: Operand::Reg(Reg::Rbx),
+                src: Operand::Mem(Mem::base_disp(Reg::Rbp, -16)),
+            },
+        };
+        assert_eq!(i.to_string(), "mov rbx, [rbp - 0x10]");
+    }
+
+    #[test]
+    fn cond_code_round_trip() {
+        for cond in [
+            Cond::E,
+            Cond::Ne,
+            Cond::L,
+            Cond::Le,
+            Cond::G,
+            Cond::Ge,
+            Cond::B,
+            Cond::Be,
+            Cond::Ae,
+            Cond::A,
+            Cond::S,
+            Cond::Ns,
+        ] {
+            assert_eq!(Cond::from_code(cond.code()), Some(cond));
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Concrete reference interpreter.
+//!
+//! The paper establishes its dynamic ground truth by running each
+//! application's test suite under `strace` (§5.1). Our synthetic corpus is
+//! executed by this interpreter instead: it runs the decoded machine code
+//! concretely and records every `syscall` invocation together with the
+//! value of `%rax` at the time — exactly what `strace` would observe.
+//!
+//! The interpreter also serves as the semantic oracle for the symbolic
+//! execution engine: on fully concrete inputs, `bside-symex` must agree
+//! with it (property-tested in `bside-symex`).
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_x86::{Assembler, Reg};
+//! use bside_x86::interp::{execute, ExecConfig, ExitReason, Image};
+//!
+//! let mut asm = Assembler::new(0x1000);
+//! asm.mov_reg_imm32(Reg::Rax, 60); // exit
+//! asm.xor_reg_reg(Reg::Rdi, Reg::Rdi);
+//! asm.syscall();
+//! let code = asm.finish().unwrap();
+//!
+//! let mut image = Image::new();
+//! image.add_region(0x1000, code);
+//! let trace = execute(&image, 0x1000, &ExecConfig::default());
+//! assert_eq!(trace.exit, ExitReason::SyscallExit);
+//! assert_eq!(trace.syscalls, vec![(0x100a, 60)]);
+//! ```
+
+use crate::insn::{Cond, Mem, Op, Operand, Target};
+use crate::{decode, Reg};
+use std::collections::HashMap;
+
+/// A flat memory image: the loadable contents of a binary.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    regions: Vec<(u64, Vec<u8>)>,
+}
+
+impl Image {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        Image::default()
+    }
+
+    /// Adds a region of bytes at `vaddr`.
+    pub fn add_region(&mut self, vaddr: u64, bytes: Vec<u8>) {
+        self.regions.push((vaddr, bytes));
+    }
+
+    /// Reads one byte, if mapped.
+    pub fn read_u8(&self, addr: u64) -> Option<u8> {
+        for (base, bytes) in &self.regions {
+            if addr >= *base && addr < *base + bytes.len() as u64 {
+                return Some(bytes[(addr - base) as usize]);
+            }
+        }
+        None
+    }
+
+    /// Returns up to `len` contiguous bytes at `addr`, if mapped.
+    pub fn bytes_at(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        for (base, bytes) in &self.regions {
+            if addr >= *base && addr + len as u64 <= *base + bytes.len() as u64 {
+                let start = (addr - base) as usize;
+                return Some(&bytes[start..start + len]);
+            }
+        }
+        None
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The entry function executed `ret`.
+    ReturnedFromEntry,
+    /// An `exit`/`exit_group` system call was invoked.
+    SyscallExit,
+    /// The step budget was exhausted.
+    StepLimit,
+    /// Execution faulted (unmapped fetch, trap instruction, …).
+    Fault {
+        /// Address at which the fault occurred.
+        addr: u64,
+    },
+}
+
+/// Execution limits and environment.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum number of instructions to execute.
+    pub max_steps: usize,
+    /// Initial stack pointer (grows down).
+    pub stack_top: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { max_steps: 1_000_000, stack_top: 0x7fff_0000_0000 }
+    }
+}
+
+/// The record of one run.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// `(site address, %rax)` for every `syscall` executed, in order.
+    pub syscalls: Vec<(u64, u64)>,
+    /// Instructions executed.
+    pub steps: usize,
+    /// Why the run ended.
+    pub exit: ExitReason,
+}
+
+const RETURN_SENTINEL: u64 = 0xdead_beef_0000_0000;
+
+#[derive(Debug, Default)]
+struct Flags {
+    zf: bool,
+    sf: bool,
+    cf: bool,
+    of: bool,
+}
+
+struct Machine<'a> {
+    image: &'a Image,
+    regs: [u64; 16],
+    mem: HashMap<u64, u8>,
+    flags: Flags,
+}
+
+impl Machine<'_> {
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.number() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.number() as usize] = v;
+    }
+
+    fn read_u64(&self, addr: u64) -> Option<u64> {
+        let mut v = 0u64;
+        for i in 0..8 {
+            let a = addr.wrapping_add(i);
+            let byte = match self.mem.get(&a) {
+                Some(&b) => b,
+                None => self.image.read_u8(a)?,
+            };
+            v |= (byte as u64) << (8 * i);
+        }
+        Some(v)
+    }
+
+    fn write_u64(&mut self, addr: u64, v: u64) {
+        for i in 0..8 {
+            self.mem.insert(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    fn effective_addr(&self, mem: &Mem, insn_end: u64) -> u64 {
+        if mem.rip_relative {
+            return insn_end.wrapping_add(mem.disp as i64 as u64);
+        }
+        let mut addr = mem.disp as i64 as u64;
+        if let Some(base) = mem.base {
+            addr = addr.wrapping_add(self.reg(base));
+        }
+        if let Some((index, scale)) = mem.index {
+            addr = addr.wrapping_add(self.reg(index).wrapping_mul(scale as u64));
+        }
+        addr
+    }
+
+    fn read_operand(&self, op: &Operand, insn_end: u64) -> Option<u64> {
+        match op {
+            Operand::Reg(r) => Some(self.reg(*r)),
+            Operand::Imm(i) => Some(*i as u64),
+            Operand::Mem(m) => self.read_u64(self.effective_addr(m, insn_end)),
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, v: u64, insn_end: u64) -> bool {
+        match op {
+            Operand::Reg(r) => {
+                self.set_reg(*r, v);
+                true
+            }
+            Operand::Mem(m) => {
+                self.write_u64(self.effective_addr(m, insn_end), v);
+                true
+            }
+            Operand::Imm(_) => false,
+        }
+    }
+
+    fn set_flags_sub(&mut self, a: u64, b: u64) {
+        let (res, borrow) = a.overflowing_sub(b);
+        self.flags.zf = res == 0;
+        self.flags.sf = (res as i64) < 0;
+        self.flags.cf = borrow;
+        self.flags.of = ((a ^ b) & (a ^ res)) >> 63 == 1;
+    }
+
+    fn set_flags_add(&mut self, a: u64, b: u64) {
+        let (res, carry) = a.overflowing_add(b);
+        self.flags.zf = res == 0;
+        self.flags.sf = (res as i64) < 0;
+        self.flags.cf = carry;
+        self.flags.of = (!(a ^ b) & (a ^ res)) >> 63 == 1;
+    }
+
+    fn set_flags_logic(&mut self, res: u64) {
+        self.flags.zf = res == 0;
+        self.flags.sf = (res as i64) < 0;
+        self.flags.cf = false;
+        self.flags.of = false;
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        let f = &self.flags;
+        match cond {
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::L => f.sf != f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::Ae => !f.cf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+        }
+    }
+}
+
+/// Executes the image from `entry`, recording system calls.
+///
+/// The run ends when the entry function returns, an `exit`/`exit_group`
+/// system call is made, the step budget is exhausted, or execution faults.
+/// Non-exit system calls write `0` to `%rax` (success) and clobber
+/// `%rcx`/`%r11` as the hardware does.
+pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
+    let mut m = Machine { image, regs: [0; 16], mem: HashMap::new(), flags: Flags::default() };
+    m.set_reg(Reg::Rsp, config.stack_top - 8);
+    m.write_u64(config.stack_top - 8, RETURN_SENTINEL);
+
+    let mut rip = entry;
+    let mut syscalls = Vec::new();
+    let mut steps = 0;
+
+    loop {
+        if steps >= config.max_steps {
+            return Trace { syscalls, steps, exit: ExitReason::StepLimit };
+        }
+        let Some(window) = image.bytes_at(rip, 16).or_else(|| image.bytes_at(rip, 1)) else {
+            return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+        };
+        // Re-slice to the longest available window ≤ 16 bytes.
+        let window = {
+            let mut len = 16;
+            loop {
+                if let Some(w) = image.bytes_at(rip, len) {
+                    break w;
+                }
+                len -= 1;
+                if len == 0 {
+                    break window;
+                }
+            }
+        };
+        let Ok(insn) = decode(window, rip) else {
+            return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+        };
+        steps += 1;
+        let end = insn.end();
+        let mut next = end;
+
+        match insn.op {
+            Op::Mov { dst, src } => {
+                let Some(v) = m.read_operand(&src, end) else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.write_operand(&dst, v, end);
+            }
+            Op::MovImm64 { dst, imm } => m.set_reg(dst, imm),
+            Op::Lea { dst, addr } => {
+                let ea = m.effective_addr(&addr, end);
+                m.set_reg(dst, ea);
+            }
+            Op::Push(src) => {
+                let Some(v) = m.read_operand(&src, end) else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                let rsp = m.reg(Reg::Rsp) - 8;
+                m.set_reg(Reg::Rsp, rsp);
+                m.write_u64(rsp, v);
+            }
+            Op::Pop(dst) => {
+                let rsp = m.reg(Reg::Rsp);
+                let Some(v) = m.read_u64(rsp) else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.set_reg(dst, v);
+                m.set_reg(Reg::Rsp, rsp + 8);
+            }
+            Op::Add { dst, src } => {
+                let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
+                else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.set_flags_add(a, b);
+                m.write_operand(&dst, a.wrapping_add(b), end);
+            }
+            Op::Sub { dst, src } => {
+                let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
+                else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.set_flags_sub(a, b);
+                m.write_operand(&dst, a.wrapping_sub(b), end);
+            }
+            Op::Xor { dst, src } => {
+                let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
+                else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                let res = a ^ b;
+                m.set_flags_logic(res);
+                m.write_operand(&dst, res, end);
+            }
+            Op::And { dst, src } => {
+                let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
+                else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                let res = a & b;
+                m.set_flags_logic(res);
+                m.write_operand(&dst, res, end);
+            }
+            Op::Or { dst, src } => {
+                let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
+                else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                let res = a | b;
+                m.set_flags_logic(res);
+                m.write_operand(&dst, res, end);
+            }
+            Op::Cmp { a, b } => {
+                let (Some(x), Some(y)) = (m.read_operand(&a, end), m.read_operand(&b, end)) else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.set_flags_sub(x, y);
+            }
+            Op::Test { a, b } => {
+                let (Some(x), Some(y)) = (m.read_operand(&a, end), m.read_operand(&b, end)) else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.set_flags_logic(x & y);
+            }
+            Op::Call(target) => {
+                let dest = match target {
+                    Target::Rel(_) => insn.branch_target().expect("rel"),
+                    Target::Reg(r) => m.reg(r),
+                    Target::Mem(mem) => {
+                        let ea = m.effective_addr(&mem, end);
+                        match m.read_u64(ea) {
+                            Some(v) => v,
+                            None => {
+                                return Trace {
+                                    syscalls,
+                                    steps,
+                                    exit: ExitReason::Fault { addr: rip },
+                                }
+                            }
+                        }
+                    }
+                };
+                let rsp = m.reg(Reg::Rsp) - 8;
+                m.set_reg(Reg::Rsp, rsp);
+                m.write_u64(rsp, end);
+                next = dest;
+            }
+            Op::Jmp(target) => {
+                next = match target {
+                    Target::Rel(_) => insn.branch_target().expect("rel"),
+                    Target::Reg(r) => m.reg(r),
+                    Target::Mem(mem) => {
+                        let ea = m.effective_addr(&mem, end);
+                        match m.read_u64(ea) {
+                            Some(v) => v,
+                            None => {
+                                return Trace {
+                                    syscalls,
+                                    steps,
+                                    exit: ExitReason::Fault { addr: rip },
+                                }
+                            }
+                        }
+                    }
+                };
+            }
+            Op::Jcc(cond, _) => {
+                if m.cond_holds(cond) {
+                    next = insn.branch_target().expect("rel");
+                }
+            }
+            Op::Ret => {
+                let rsp = m.reg(Reg::Rsp);
+                let Some(v) = m.read_u64(rsp) else {
+                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                };
+                m.set_reg(Reg::Rsp, rsp + 8);
+                if v == RETURN_SENTINEL {
+                    return Trace { syscalls, steps, exit: ExitReason::ReturnedFromEntry };
+                }
+                next = v;
+            }
+            Op::Syscall => {
+                let rax = m.reg(Reg::Rax);
+                syscalls.push((insn.addr, rax));
+                if rax == 60 || rax == 231 {
+                    return Trace { syscalls, steps, exit: ExitReason::SyscallExit };
+                }
+                // Kernel return: rax = 0, rcx/r11 clobbered.
+                m.set_reg(Reg::Rax, 0);
+                m.set_reg(Reg::Rcx, end);
+                m.set_reg(Reg::R11, 0x246);
+            }
+            Op::Nop | Op::Endbr64 => {}
+            Op::Int3 | Op::Ud2 | Op::Hlt => {
+                return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+            }
+        }
+
+        rip = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assembler;
+
+    fn run(asm: Assembler, entry: u64) -> Trace {
+        let base = 0x1000;
+        let code = asm.finish().expect("assemble");
+        let mut image = Image::new();
+        image.add_region(base, code);
+        execute(&image, entry, &ExecConfig::default())
+    }
+
+    #[test]
+    fn records_syscall_sequence() {
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 1); // write
+        a.syscall();
+        a.mov_reg_imm32(Reg::Rax, 0); // read
+        a.syscall();
+        a.mov_reg_imm32(Reg::Rax, 60); // exit
+        a.syscall();
+        let t = run(a, 0x1000);
+        assert_eq!(t.exit, ExitReason::SyscallExit);
+        let ids: Vec<u64> = t.syscalls.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 0, 60]);
+    }
+
+    #[test]
+    fn call_and_ret_work() {
+        let mut a = Assembler::new(0x1000);
+        let f = a.new_label();
+        a.call_label(f);
+        a.mov_reg_imm32(Reg::Rax, 60);
+        a.syscall();
+        a.bind(f).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 1);
+        a.syscall();
+        a.ret();
+        let t = run(a, 0x1000);
+        let ids: Vec<u64> = t.syscalls.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 60]);
+    }
+
+    #[test]
+    fn branch_both_directions() {
+        // if rdi == 0 → syscall 0 else syscall 1, driven by initial rdi=0.
+        let mut a = Assembler::new(0x1000);
+        let elze = a.new_label();
+        let done = a.new_label();
+        a.cmp_reg_imm32(Reg::Rdi, 0);
+        a.jcc_label(crate::Cond::Ne, elze);
+        a.mov_reg_imm32(Reg::Rax, 0);
+        a.jmp_label(done);
+        a.bind(elze).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 1);
+        a.bind(done).unwrap();
+        a.syscall();
+        a.mov_reg_imm32(Reg::Rax, 60);
+        a.syscall();
+        let t = run(a, 0x1000);
+        let ids: Vec<u64> = t.syscalls.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 60], "rdi starts at 0 → taken branch is the je side");
+    }
+
+    #[test]
+    fn value_through_stack_reaches_rax() {
+        // The Fig. 1 C shape: store imm on the stack, load into rax, syscall.
+        let mut a = Assembler::new(0x1000);
+        a.sub_reg_imm32(Reg::Rsp, 0x20);
+        a.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 0x8), 39); // getpid
+        a.mov_reg_mem(Reg::Rax, Mem::base_disp(Reg::Rsp, 0x8));
+        a.syscall();
+        a.mov_reg_imm32(Reg::Rax, 60);
+        a.syscall();
+        let t = run(a, 0x1000);
+        assert_eq!(t.syscalls[0].1, 39);
+    }
+
+    #[test]
+    fn indirect_call_through_register() {
+        let mut a = Assembler::new(0x1000);
+        let f = a.new_label();
+        a.lea_riplabel(Reg::Rbx, f);
+        a.call_reg(Reg::Rbx);
+        a.mov_reg_imm32(Reg::Rax, 60);
+        a.syscall();
+        a.bind(f).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 39);
+        a.syscall();
+        a.ret();
+        let t = run(a, 0x1000);
+        let ids: Vec<u64> = t.syscalls.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![39, 60]);
+    }
+
+    #[test]
+    fn entry_return_ends_run() {
+        let mut a = Assembler::new(0x1000);
+        a.nop();
+        a.ret();
+        let t = run(a, 0x1000);
+        assert_eq!(t.exit, ExitReason::ReturnedFromEntry);
+        assert!(t.syscalls.is_empty());
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut a = Assembler::new(0x1000);
+        let top = a.new_label();
+        a.bind(top).unwrap();
+        a.jmp_label(top);
+        let code = a.finish().unwrap();
+        let mut image = Image::new();
+        image.add_region(0x1000, code);
+        let t = execute(&image, 0x1000, &ExecConfig { max_steps: 100, ..Default::default() });
+        assert_eq!(t.exit, ExitReason::StepLimit);
+        assert_eq!(t.steps, 100);
+    }
+
+    #[test]
+    fn unmapped_fetch_faults() {
+        let image = Image::new();
+        let t = execute(&image, 0x1000, &ExecConfig::default());
+        assert_eq!(t.exit, ExitReason::Fault { addr: 0x1000 });
+    }
+
+    #[test]
+    fn syscall_clobbers_follow_abi() {
+        // After a non-exit syscall, rax = 0 (result) and rcx = return rip.
+        let mut a = Assembler::new(0x1000);
+        a.mov_reg_imm32(Reg::Rax, 39);
+        a.syscall(); // ends at 0x1009
+        // If rax == 0, do syscall 2; else 3.
+        let other = a.new_label();
+        let done = a.new_label();
+        a.cmp_reg_imm32(Reg::Rax, 0);
+        a.jcc_label(crate::Cond::Ne, other);
+        a.mov_reg_imm32(Reg::Rax, 2);
+        a.jmp_label(done);
+        a.bind(other).unwrap();
+        a.mov_reg_imm32(Reg::Rax, 3);
+        a.bind(done).unwrap();
+        a.syscall();
+        a.mov_reg_imm32(Reg::Rax, 60);
+        a.syscall();
+        let t = run(a, 0x1000);
+        let ids: Vec<u64> = t.syscalls.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![39, 2, 60]);
+    }
+}

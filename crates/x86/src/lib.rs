@@ -1,0 +1,48 @@
+//! x86-64 machine-code model.
+//!
+//! B-Side's analyses operate on disassembled machine code (§4.3 of the
+//! paper). This crate is the workspace's equivalent of the Capstone/angr
+//! disassembly layer plus the assembler used by the synthetic-binary
+//! generator:
+//!
+//! * [`Reg`], [`Mem`], [`Operand`], [`Op`], [`Instruction`] — the
+//!   instruction IR shared by every analysis;
+//! * [`decode`]/[`decode_all`] — a decoder for the instruction subset
+//!   emitted by mainstream compilers (and by our own code generator);
+//! * [`Assembler`] — an encoder with label/fixup support, used by
+//!   `bside-gen` to produce test binaries; encoder output always decodes
+//!   back to the same instruction (see the round-trip property tests);
+//! * [`interp`] — a concrete interpreter that executes decoded code and
+//!   records the system calls actually invoked. The evaluation uses it the
+//!   way the paper uses `strace` over test suites: to establish a dynamic
+//!   ground truth (§5.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use bside_x86::{Assembler, Reg, decode_all};
+//!
+//! let mut asm = Assembler::new(0x1000);
+//! asm.mov_reg_imm32(Reg::Rax, 60); // exit
+//! asm.syscall();
+//! let code = asm.finish().unwrap();
+//!
+//! let insns = decode_all(&code, 0x1000);
+//! assert_eq!(insns.len(), 2);
+//! assert_eq!(insns[0].to_string(), "mov rax, 0x3c");
+//! assert_eq!(insns[1].to_string(), "syscall");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decode;
+mod encode;
+mod insn;
+pub mod interp;
+mod reg;
+
+pub use decode::{decode, decode_all, DecodeError};
+pub use encode::{AsmError, Assembler, Label};
+pub use insn::{Cond, Instruction, Mem, Op, Operand, Target};
+pub use reg::Reg;

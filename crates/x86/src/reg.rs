@@ -1,0 +1,127 @@
+//! General-purpose register file.
+
+use std::fmt;
+
+/// A 64-bit general-purpose register.
+///
+/// The discriminant is the hardware encoding (the 4-bit register number
+/// used in ModRM/SIB bytes, with the high bit carried by REX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers, in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The System V AMD64 integer argument registers, in order.
+    pub const ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rcx, Reg::R8, Reg::R9];
+
+    /// The hardware encoding (0–15).
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a register from its hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn from_number(n: u8) -> Reg {
+        Reg::ALL[n as usize]
+    }
+
+    /// The low 3 bits of the encoding (the ModRM field value).
+    pub(crate) fn low3(self) -> u8 {
+        self.number() & 7
+    }
+
+    /// `true` for `R8`–`R15`, which need a REX extension bit.
+    pub(crate) fn needs_rex(self) -> bool {
+        self.number() >= 8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_number(r.number()), r);
+        }
+    }
+
+    #[test]
+    fn rex_split() {
+        assert!(!Reg::Rdi.needs_rex());
+        assert!(Reg::R8.needs_rex());
+        assert_eq!(Reg::R9.low3(), 1);
+    }
+
+    #[test]
+    fn sysv_argument_order() {
+        assert_eq!(Reg::ARGS[0], Reg::Rdi);
+        assert_eq!(Reg::ARGS[5], Reg::R9);
+    }
+}

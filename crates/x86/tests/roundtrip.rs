@@ -1,0 +1,186 @@
+//! Property tests: encoder output always decodes back to the intended
+//! instruction, and the decoder never panics on arbitrary bytes.
+
+use bside_x86::{decode, Assembler, Cond, Instruction, Mem, Op, Operand, Reg, Target};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_number)
+}
+
+fn non_rsp_reg() -> impl Strategy<Value = Reg> {
+    reg_strategy().prop_filter("rsp cannot be an index", |r| *r != Reg::Rsp)
+}
+
+fn mem_strategy() -> impl Strategy<Value = Mem> {
+    prop_oneof![
+        // [base + disp]
+        (reg_strategy(), any::<i32>()).prop_map(|(base, disp)| Mem::base_disp(base, disp)),
+        // [rip + disp]
+        any::<i32>().prop_map(Mem::rip),
+        // [base + index*scale + disp]
+        (reg_strategy(), non_rsp_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<i32>())
+            .prop_map(|(base, index, scale, disp)| Mem {
+                base: Some(base),
+                index: Some((index, scale)),
+                disp,
+                rip_relative: false,
+            }),
+    ]
+}
+
+fn assemble_one(f: impl FnOnce(&mut Assembler)) -> Vec<u8> {
+    let mut asm = Assembler::new(0x40_0000);
+    f(&mut asm);
+    asm.finish().expect("assemble")
+}
+
+fn decode_one(bytes: &[u8]) -> Instruction {
+    let insn = decode(bytes, 0x40_0000).expect("decode");
+    assert_eq!(insn.len as usize, bytes.len(), "single instruction consumes all bytes");
+    insn
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mov_reg_imm32_round_trips(dst in reg_strategy(), imm in any::<i32>()) {
+        let code = assemble_one(|a| a.mov_reg_imm32(dst, imm));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::Mov { dst: Operand::Reg(dst), src: Operand::Imm(imm as i64) });
+    }
+
+    #[test]
+    fn mov_reg_imm64_round_trips(dst in reg_strategy(), imm in any::<u64>()) {
+        let code = assemble_one(|a| a.mov_reg_imm64(dst, imm));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::MovImm64 { dst, imm });
+    }
+
+    #[test]
+    fn mov_reg_reg_round_trips(dst in reg_strategy(), src in reg_strategy()) {
+        let code = assemble_one(|a| a.mov_reg_reg(dst, src));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::Mov { dst: Operand::Reg(dst), src: Operand::Reg(src) });
+    }
+
+    #[test]
+    fn mov_mem_forms_round_trip(reg in reg_strategy(), mem in mem_strategy()) {
+        let code = assemble_one(|a| a.mov_reg_mem(reg, mem));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::Mov { dst: Operand::Reg(reg), src: Operand::Mem(mem) });
+
+        let code = assemble_one(|a| a.mov_mem_reg(mem, reg));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::Mov { dst: Operand::Mem(mem), src: Operand::Reg(reg) });
+    }
+
+    #[test]
+    fn mov_mem_imm_round_trips(mem in mem_strategy(), imm in any::<i32>()) {
+        let code = assemble_one(|a| a.mov_mem_imm32(mem, imm));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::Mov { dst: Operand::Mem(mem), src: Operand::Imm(imm as i64) });
+    }
+
+    #[test]
+    fn lea_round_trips(dst in reg_strategy(), mem in mem_strategy()) {
+        let code = assemble_one(|a| a.lea(dst, mem));
+        let insn = decode_one(&code);
+        prop_assert_eq!(insn.op, Op::Lea { dst, addr: mem });
+    }
+
+    #[test]
+    fn push_pop_round_trip(reg in reg_strategy(), imm in any::<i32>()) {
+        let code = assemble_one(|a| a.push_reg(reg));
+        prop_assert_eq!(decode_one(&code).op, Op::Push(Operand::Reg(reg)));
+
+        let code = assemble_one(|a| a.pop_reg(reg));
+        prop_assert_eq!(decode_one(&code).op, Op::Pop(reg));
+
+        let code = assemble_one(|a| a.push_imm32(imm));
+        prop_assert_eq!(decode_one(&code).op, Op::Push(Operand::Imm(imm as i64)));
+    }
+
+    #[test]
+    fn alu_round_trips(dst in reg_strategy(), src in reg_strategy(), imm in any::<i32>()) {
+        let code = assemble_one(|a| a.add_reg_reg(dst, src));
+        prop_assert_eq!(decode_one(&code).op, Op::Add { dst: Operand::Reg(dst), src: Operand::Reg(src) });
+
+        let code = assemble_one(|a| a.sub_reg_imm32(dst, imm));
+        prop_assert_eq!(decode_one(&code).op, Op::Sub { dst: Operand::Reg(dst), src: Operand::Imm(imm as i64) });
+
+        let code = assemble_one(|a| a.xor_reg_reg(dst, src));
+        prop_assert_eq!(decode_one(&code).op, Op::Xor { dst: Operand::Reg(dst), src: Operand::Reg(src) });
+
+        let code = assemble_one(|a| a.cmp_reg_imm32(dst, imm));
+        prop_assert_eq!(decode_one(&code).op, Op::Cmp { a: Operand::Reg(dst), b: Operand::Imm(imm as i64) });
+
+        let code = assemble_one(|a| a.test_reg_reg(dst, src));
+        prop_assert_eq!(decode_one(&code).op, Op::Test { a: Operand::Reg(dst), b: Operand::Reg(src) });
+    }
+
+    #[test]
+    fn indirect_control_flow_round_trips(reg in reg_strategy(), mem in mem_strategy()) {
+        let code = assemble_one(|a| a.call_reg(reg));
+        prop_assert_eq!(decode_one(&code).op, Op::Call(Target::Reg(reg)));
+
+        let code = assemble_one(|a| a.jmp_reg(reg));
+        prop_assert_eq!(decode_one(&code).op, Op::Jmp(Target::Reg(reg)));
+
+        let code = assemble_one(|a| a.call_mem(mem));
+        prop_assert_eq!(decode_one(&code).op, Op::Call(Target::Mem(mem)));
+    }
+
+    #[test]
+    fn labelled_branches_resolve(disp in 0usize..200) {
+        // jmp over `disp` nops lands exactly past them.
+        let mut asm = Assembler::new(0x1000);
+        let l = asm.new_label();
+        asm.jmp_label(l);
+        for _ in 0..disp {
+            asm.nop();
+        }
+        asm.bind(l).unwrap();
+        asm.ret();
+        let code = asm.finish().unwrap();
+        let insn = decode(&code, 0x1000).unwrap();
+        prop_assert_eq!(insn.branch_target(), Some(0x1000 + 5 + disp as u64));
+    }
+
+    #[test]
+    fn jcc_labels_resolve(cond_code in 0usize..12, disp in 0usize..100) {
+        let conds = [
+            Cond::E, Cond::Ne, Cond::L, Cond::Le, Cond::G, Cond::Ge,
+            Cond::B, Cond::Be, Cond::Ae, Cond::A, Cond::S, Cond::Ns,
+        ];
+        let cond = conds[cond_code];
+        let mut asm = Assembler::new(0x2000);
+        let l = asm.new_label();
+        asm.jcc_label(cond, l);
+        for _ in 0..disp {
+            asm.nop();
+        }
+        asm.bind(l).unwrap();
+        let code = asm.finish().unwrap();
+        let insn = decode(&code, 0x2000).unwrap();
+        match insn.op {
+            Op::Jcc(c, _) => prop_assert_eq!(c, cond),
+            other => prop_assert!(false, "expected jcc, got {:?}", other),
+        }
+        prop_assert_eq!(insn.branch_target(), Some(0x2000 + 6 + disp as u64));
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        let _ = decode(&bytes, 0x1234);
+    }
+
+    #[test]
+    fn decoded_length_is_within_input(bytes in prop::collection::vec(any::<u8>(), 1..32)) {
+        if let Ok(insn) = decode(&bytes, 0) {
+            prop_assert!(insn.len as usize <= bytes.len());
+            prop_assert!(insn.len > 0);
+        }
+    }
+}

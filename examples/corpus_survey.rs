@@ -1,0 +1,78 @@
+//! A miniature §5.2: generate a Debian-like corpus slice, run B-Side and
+//! both baselines over every binary, and summarize success rates,
+//! identified-set sizes, and soundness against the constructed ground
+//! truth.
+//!
+//! ```sh
+//! cargo run --example corpus_survey
+//! ```
+
+use bside::baselines::{chestnut, sysfilter};
+use bside::core::{Analyzer, AnalyzerOptions, LibraryStore};
+use bside::gen::corpus::corpus_with_size;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = corpus_with_size(0xB51DE, 20, 30, 8);
+    println!(
+        "corpus: {} binaries ({} static), {} shared libraries\n",
+        corpus.binaries.len(),
+        corpus.binaries.iter().filter(|b| b.is_static).count(),
+        corpus.libraries.len()
+    );
+
+    // Analyze every library once.
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let mut store = LibraryStore::new();
+    for lib in &corpus.libraries {
+        store.insert(analyzer.analyze_library(&lib.elf, &lib.spec.name, None)?);
+    }
+
+    let mut stats = [(0usize, 0usize, 0usize); 3]; // (ok, fail, size-sum)
+    let mut bside_fn_total = 0usize;
+
+    for binary in &corpus.binaries {
+        let libs = corpus.libs_of(binary);
+        let lib_elfs: Vec<&bside::elf::Elf> = libs.iter().map(|l| &l.elf).collect();
+        let owned: Vec<_> = libs.iter().map(|&l| l.clone()).collect();
+        let truth = binary.truth(&owned);
+
+        // B-Side.
+        let result = if binary.is_static {
+            analyzer.analyze_static(&binary.program.elf).map(|a| a.syscalls)
+        } else {
+            analyzer.analyze_dynamic(&binary.program.elf, &store, &[]).map(|a| a.syscalls)
+        };
+        match result {
+            Ok(set) => {
+                stats[0].0 += 1;
+                stats[0].2 += set.len();
+                bside_fn_total += truth.difference(&set).len();
+            }
+            Err(_) => stats[0].1 += 1,
+        }
+        // Baselines.
+        match chestnut::analyze(&binary.program.elf, &lib_elfs) {
+            Ok(set) => {
+                stats[1].0 += 1;
+                stats[1].2 += set.len();
+            }
+            Err(_) => stats[1].1 += 1,
+        }
+        match sysfilter::analyze(&binary.program.elf, &lib_elfs) {
+            Ok(set) => {
+                stats[2].0 += 1;
+                stats[2].2 += set.len();
+            }
+            Err(_) => stats[2].1 += 1,
+        }
+    }
+
+    for (i, name) in ["B-Side", "Chestnut", "SysFilter"].iter().enumerate() {
+        let (ok, fail, sum) = stats[i];
+        let avg = if ok > 0 { sum as f64 / ok as f64 } else { 0.0 };
+        println!("{name:<10}  ok {ok:>3}   fail {fail:>3}   avg identified {avg:>6.1}");
+    }
+    println!("\nB-Side false negatives across the whole corpus: {bside_fn_total}");
+    assert_eq!(bside_fn_total, 0, "soundness: truth ⊆ identified everywhere");
+    Ok(())
+}

@@ -1,0 +1,243 @@
+//! Workspace-level integration tests spanning every crate through the
+//! `bside` facade: generator → ELF → CFG → symbolic identification →
+//! shared interfaces → policy → replay, plus randomized soundness sweeps.
+
+use bside::baselines::{chestnut, sysfilter};
+use bside::core::{Analyzer, AnalyzerOptions, LibraryStore, SharedInterface};
+use bside::filter::metrics::score;
+use bside::filter::replay::replay_flat;
+use bside::filter::FilterPolicy;
+use bside::gen::corpus::corpus_with_size;
+use bside::gen::{trace_syscalls, profiles};
+
+#[test]
+fn full_pipeline_on_all_profiles() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for profile in profiles::all_profiles() {
+        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let truth = trace_syscalls(&profile.program, &[]);
+
+        // Soundness + precision.
+        let s = score(&analysis.syscalls, &truth);
+        assert_eq!(s.false_negatives, 0, "{}", profile.name);
+        assert!(s.f1 > 0.9, "{}: f1={}", profile.name, s.f1);
+
+        // Policy replay: the traced execution passes the derived filter.
+        let policy = FilterPolicy::allow_only(profile.name, analysis.syscalls);
+        let trace: Vec<_> = truth.iter().collect();
+        assert!(replay_flat(&policy, &trace).is_empty(), "{}", profile.name);
+    }
+}
+
+#[test]
+fn randomized_corpus_soundness_sweep() {
+    // The paper's headline validity claim (§5.1: no false negatives),
+    // checked over corpora generated from multiple seeds.
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for seed in [1u64, 2, 3, 0xDEAD, 0xBEEF] {
+        let corpus = corpus_with_size(seed, 6, 6, 4);
+        let mut store = LibraryStore::new();
+        for lib in &corpus.libraries {
+            store.insert(
+                analyzer.analyze_library(&lib.elf, &lib.spec.name, None).expect("lib analyzes"),
+            );
+        }
+        for binary in &corpus.binaries {
+            let libs: Vec<_> = corpus.libs_of(binary).into_iter().cloned().collect();
+            let analysis = if binary.is_static {
+                analyzer.analyze_static(&binary.program.elf)
+            } else {
+                analyzer.analyze_dynamic(&binary.program.elf, &store, &[])
+            }
+            .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", binary.program.spec.name));
+            let truth = binary.truth(&libs);
+            assert!(
+                truth.is_subset(&analysis.syscalls),
+                "seed {seed} {}: FN {}",
+                binary.program.spec.name,
+                truth.difference(&analysis.syscalls)
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_rank_below_bside_on_f1() {
+    // Table 1's ordering as an invariant: B-Side ≥ SysFilter and
+    // B-Side ≥ Chestnut on every profile (strict for the averages).
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let mut avg = [0.0f64; 3];
+    let mut n = [0usize; 3];
+    for profile in profiles::all_profiles() {
+        let elf = &profile.program.elf;
+        let truth = trace_syscalls(&profile.program, &[]);
+        let b = score(
+            &analyzer.analyze_static(elf).expect("analyzes").syscalls,
+            &truth,
+        )
+        .f1;
+        avg[0] += b;
+        n[0] += 1;
+        if let Ok(set) = chestnut::analyze(elf, &[]) {
+            let f1 = score(&set, &truth).f1;
+            assert!(b >= f1, "{}: B-Side {b} < Chestnut {f1}", profile.name);
+            avg[1] += f1;
+            n[1] += 1;
+        }
+        if let Ok(set) = sysfilter::analyze(elf, &[]) {
+            let f1 = score(&set, &truth).f1;
+            assert!(b >= f1, "{}: B-Side {b} < SysFilter {f1}", profile.name);
+            avg[2] += f1;
+            n[2] += 1;
+        }
+    }
+    let mean = |i: usize| avg[i] / n[i].max(1) as f64;
+    assert!(mean(0) > mean(2) && mean(2) > mean(1), "ordering: {:?}", [mean(0), mean(1), mean(2)]);
+}
+
+#[test]
+fn shared_interfaces_survive_json_round_trip() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let corpus = corpus_with_size(11, 0, 2, 3);
+    for lib in &corpus.libraries {
+        let interface = analyzer.analyze_library(&lib.elf, &lib.spec.name, None).expect("ok");
+        let json = interface.to_json();
+        let back = SharedInterface::from_json(&json).expect("parses");
+        assert_eq!(interface, back, "{}", lib.spec.name);
+    }
+}
+
+#[test]
+fn library_store_resolution_is_order_independent() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let corpus = corpus_with_size(21, 0, 4, 5);
+    let interfaces: Vec<_> = corpus
+        .libraries
+        .iter()
+        .map(|l| analyzer.analyze_library(&l.elf, &l.spec.name, None).expect("ok"))
+        .collect();
+
+    let mut forward = LibraryStore::new();
+    for i in &interfaces {
+        forward.insert(i.clone());
+    }
+    let mut reverse = LibraryStore::new();
+    for i in interfaces.iter().rev() {
+        reverse.insert(i.clone());
+    }
+    for binary in corpus.binaries.iter().filter(|b| !b.is_static) {
+        let a = analyzer.analyze_dynamic(&binary.program.elf, &forward, &[]).expect("ok");
+        let b = analyzer.analyze_dynamic(&binary.program.elf, &reverse, &[]).expect("ok");
+        assert_eq!(a.syscalls, b.syscalls, "{}", binary.program.spec.name);
+    }
+}
+
+#[test]
+fn corrupt_inputs_fail_cleanly_across_the_stack() {
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    // Arbitrary bytes.
+    assert!(bside::elf::Elf::parse(&[0u8; 64]).is_err());
+    // A valid ELF with garbage text: analysis degrades, never panics.
+    let program = profiles::sqlite().program;
+    let mut image = program.image.clone();
+    // Stomp over a chunk in the middle of the file (inside .text).
+    for b in image.iter_mut().skip(0x1200).take(64) {
+        *b = 0x06; // undecodable opcode
+    }
+    if let Ok(elf) = bside::elf::Elf::parse(&image) {
+        let _ = analyzer.analyze_static(&elf); // may Err, must not panic
+    }
+}
+
+#[test]
+fn phase_policies_accept_traces_on_looped_programs() {
+    // Temporal policies must never kill a legitimate execution: build
+    // programs with explicit init → serve-loop → shutdown structure,
+    // derive the phase policy, and replay the interpreter's trace.
+    use bside::core::phase::{detect_phases, PhaseOptions};
+    use bside::filter::replay::replay_phased;
+    use bside::filter::PhasePolicy;
+    use bside::gen::{generate, ProgramSpec, Scenario, ServeLoop, WrapperStyle};
+    use std::collections::HashMap;
+
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for (wrapper, seed_sysno) in [
+        (WrapperStyle::None, 0u32),
+        (WrapperStyle::Register, 10),
+        (WrapperStyle::Stack, 20),
+    ] {
+        let spec = ProgramSpec {
+            name: format!("looped_{seed_sysno}"),
+            kind: bside::elf::ElfKind::Executable,
+            wrapper_style: wrapper,
+            scenarios: vec![
+                Scenario::Direct(vec![2]),
+                Scenario::Direct(vec![seed_sysno + 1, seed_sysno + 2]),
+                Scenario::ViaWrapper(vec![seed_sysno + 3]),
+                Scenario::BranchJoin(seed_sysno + 4, seed_sysno + 5),
+                Scenario::ThroughStack(seed_sysno + 6),
+                Scenario::Direct(vec![3]),
+            ],
+            dead_scenarios: vec![],
+            imports: vec![],
+            libs: vec![],
+            serve_loop: Some(ServeLoop { start: 1, end: 5, iterations: 3 }),
+        };
+        let program = generate(&spec);
+        let analysis = analyzer.analyze_static(&program.elf).expect("analyzes");
+        let site_sets: HashMap<u64, bside::SyscallSet> =
+            analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+        let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
+        let policy = PhasePolicy::from_automaton(&spec.name, &automaton);
+
+        let image = bside::gen::link(&program, &[]);
+        let trace = bside::x86::interp::execute(
+            &image,
+            program.elf.entry_point(),
+            &bside::x86::interp::ExecConfig::default(),
+        );
+        let sysnos: Vec<bside::Sysno> = trace
+            .syscalls
+            .iter()
+            .filter_map(|&(_, rax)| u32::try_from(rax).ok().and_then(bside::Sysno::new))
+            .collect();
+        assert!(sysnos.len() > 10, "loop actually ran: {} calls", sysnos.len());
+        replay_phased(&policy, &sysnos).unwrap_or_else(|v| {
+            panic!(
+                "{:?} policy killed legitimate {} at index {} (phase {})",
+                wrapper, v.sysno, v.index, v.phase
+            )
+        });
+    }
+}
+
+#[test]
+fn shallow_context_depth_coarsens_phases() {
+    // The phase NFA's call-string contexts are an ablatable refinement:
+    // shallow depths step over nested calls, dropping their syscall
+    // sites from the automaton and coarsening the phase structure.
+    use bside::core::phase::{detect_phases, PhaseOptions};
+    use std::collections::HashMap;
+
+    let profile = profiles::nginx();
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+    let site_sets: HashMap<u64, bside::SyscallSet> =
+        analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+
+    let precise = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
+    let shallow = detect_phases(
+        &analysis.cfg,
+        &site_sets,
+        &PhaseOptions { context_depth: 1, ..PhaseOptions::default() },
+    );
+    // With depth 1, calls nested inside scenario functions (the wrapper,
+    // helpers) are stepped over instead of entered, so their syscall
+    // sites vanish from the automaton and the structure coarsens.
+    assert!(
+        precise.phases.len() > shallow.phases.len(),
+        "contexts: {} phases, depth-1: {} phases",
+        precise.phases.len(),
+        shallow.phases.len()
+    );
+}

@@ -1,0 +1,109 @@
+//! Property-based soundness: for arbitrary generated programs, the
+//! identified set is a superset of the constructed runtime truth and
+//! matches the sound static optimum — the §5.1 validity claim quantified
+//! over the program space rather than six hand-picked applications.
+
+use bside::core::{Analyzer, AnalyzerOptions};
+use bside::elf::ElfKind;
+use bside::gen::{generate, trace_syscalls, ProgramSpec, Scenario, WrapperStyle};
+use proptest::prelude::*;
+
+fn sysno_strategy() -> impl Strategy<Value = u32> {
+    // Assigned, non-terminating numbers.
+    prop_oneof![0u32..60, 61u32..231, 232u32..335]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        prop::collection::vec(sysno_strategy(), 1..5).prop_map(Scenario::Direct),
+        (sysno_strategy(), sysno_strategy()).prop_map(|(a, b)| Scenario::BranchJoin(a, b)),
+        sysno_strategy().prop_map(Scenario::ThroughStack),
+        prop::collection::vec(sysno_strategy(), 1..5).prop_map(Scenario::ViaWrapper),
+        sysno_strategy().prop_map(Scenario::IndirectHelper),
+        sysno_strategy().prop_map(Scenario::PopularHelper),
+        (sysno_strategy(), 1u8..4).prop_map(|(n, c)| Scenario::Loop(n, c)),
+        sysno_strategy().prop_map(Scenario::TailCall),
+        (sysno_strategy(), 0u32..20).prop_map(|(b, d)| {
+            // Keep the computed number off the terminating syscalls.
+            let d = if matches!(b + d, 60 | 231) { d + 1 } else { d };
+            Scenario::ComputedAdd(b, d)
+        }),
+        (prop::collection::vec(sysno_strategy(), 2..4), any::<prop::sample::Index>()).prop_map(
+            |(options, idx)| {
+                let used = idx.index(options.len());
+                Scenario::DispatchTable { options, used }
+            }
+        ),
+    ]
+}
+
+fn wrapper_strategy() -> impl Strategy<Value = WrapperStyle> {
+    prop_oneof![
+        Just(WrapperStyle::None),
+        Just(WrapperStyle::Register),
+        Just(WrapperStyle::Stack),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = ElfKind> {
+    prop_oneof![Just(ElfKind::Executable), Just(ElfKind::PieExecutable)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn identified_is_sound_and_optimal(
+        kind in kind_strategy(),
+        wrapper_style in wrapper_strategy(),
+        scenarios in prop::collection::vec(scenario_strategy(), 1..8),
+        dead in prop::collection::vec(scenario_strategy(), 0..4),
+    ) {
+        let spec = ProgramSpec {
+            name: "prop".into(),
+            kind,
+            wrapper_style,
+            scenarios,
+            dead_scenarios: dead,
+            imports: vec![],
+            libs: vec![],
+            serve_loop: None,
+        };
+        let program = generate(&spec);
+        let analyzer = Analyzer::new(AnalyzerOptions::default());
+        let analysis = analyzer.analyze_static(&program.elf).expect("analyzes");
+
+        // Soundness: nothing the program can do is missed.
+        prop_assert!(
+            program.truth.is_subset(&analysis.syscalls),
+            "FN: {}",
+            program.truth.difference(&analysis.syscalls)
+        );
+        // Precision: exactly the sound static optimum on clean binaries.
+        prop_assert_eq!(analysis.syscalls, program.static_truth);
+    }
+
+    #[test]
+    fn trace_is_always_within_identified(
+        wrapper_style in wrapper_strategy(),
+        scenarios in prop::collection::vec(scenario_strategy(), 1..6),
+    ) {
+        let spec = ProgramSpec {
+            name: "prop_trace".into(),
+            kind: ElfKind::Executable,
+            wrapper_style,
+            scenarios,
+            dead_scenarios: vec![],
+            imports: vec![],
+            libs: vec![],
+            serve_loop: None,
+        };
+        let program = generate(&spec);
+        let traced = trace_syscalls(&program, &[]);
+        let analysis = Analyzer::new(AnalyzerOptions::default())
+            .analyze_static(&program.elf)
+            .expect("analyzes");
+        prop_assert!(traced.is_subset(&analysis.syscalls));
+        prop_assert_eq!(traced, program.truth, "full-coverage trace equals constructed truth");
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::BaselineError;
 use bside_elf::Elf;
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_syscalls::{SyscallSet, Sysno};
 use bside_x86::{decode_all, Instruction, Op, Operand, Reg};
 
 /// Chestnut's backward-scan window, in instructions.
@@ -30,21 +30,74 @@ pub const WINDOW: usize = 30;
 pub fn fallback_allowlist() -> SyscallSet {
     let blocked = [
         // Dangerous / privileged.
-        "ptrace", "init_module", "finit_module", "delete_module", "kexec_load",
-        "kexec_file_load", "reboot", "swapon", "swapoff", "mount", "umount2",
-        "pivot_root", "chroot", "acct", "settimeofday", "adjtimex", "bpf",
-        "userfaultfd", "perf_event_open", "lookup_dcookie", "iopl", "ioperm",
-        "create_module", "get_kernel_syms", "query_module", "nfsservctl",
-        "getpmsg", "putpmsg", "afs_syscall", "tuxcall", "security", "uselib",
-        "personality", "sysfs", "_sysctl", "vhangup", "modify_ldt",
+        "ptrace",
+        "init_module",
+        "finit_module",
+        "delete_module",
+        "kexec_load",
+        "kexec_file_load",
+        "reboot",
+        "swapon",
+        "swapoff",
+        "mount",
+        "umount2",
+        "pivot_root",
+        "chroot",
+        "acct",
+        "settimeofday",
+        "adjtimex",
+        "bpf",
+        "userfaultfd",
+        "perf_event_open",
+        "lookup_dcookie",
+        "iopl",
+        "ioperm",
+        "create_module",
+        "get_kernel_syms",
+        "query_module",
+        "nfsservctl",
+        "getpmsg",
+        "putpmsg",
+        "afs_syscall",
+        "tuxcall",
+        "security",
+        "uselib",
+        "personality",
+        "sysfs",
+        "_sysctl",
+        "vhangup",
+        "modify_ldt",
         // Obscure / legacy.
-        "add_key", "request_key", "keyctl", "io_setup", "io_destroy",
-        "io_getevents", "io_submit", "io_cancel", "migrate_pages", "mbind",
-        "set_mempolicy", "get_mempolicy", "move_pages", "kcmp",
-        "process_vm_readv", "process_vm_writev", "remap_file_pages",
-        "epoll_ctl_old", "epoll_wait_old", "vserver", "rt_tgsigqueueinfo",
-        "signalfd", "ustat", "sched_rr_get_interval", "restart_syscall",
-        "mq_open", "mq_unlink", "mq_timedsend", "mq_timedreceive", "mq_notify",
+        "add_key",
+        "request_key",
+        "keyctl",
+        "io_setup",
+        "io_destroy",
+        "io_getevents",
+        "io_submit",
+        "io_cancel",
+        "migrate_pages",
+        "mbind",
+        "set_mempolicy",
+        "get_mempolicy",
+        "move_pages",
+        "kcmp",
+        "process_vm_readv",
+        "process_vm_writev",
+        "remap_file_pages",
+        "epoll_ctl_old",
+        "epoll_wait_old",
+        "vserver",
+        "rt_tgsigqueueinfo",
+        "signalfd",
+        "ustat",
+        "sched_rr_get_interval",
+        "restart_syscall",
+        "mq_open",
+        "mq_unlink",
+        "mq_timedsend",
+        "mq_timedreceive",
+        "mq_notify",
         "mq_getsetattr",
     ];
     let mut set = SyscallSet::all_known();
@@ -155,7 +208,10 @@ fn resolve_window(insns: &[Instruction], site_idx: usize, elf: &Elf) -> Resoluti
             break;
         }
         match insn.op {
-            Op::Mov { dst: Operand::Reg(d), src } if d == tracked => match src {
+            Op::Mov {
+                dst: Operand::Reg(d),
+                src,
+            } if d == tracked => match src {
                 Operand::Imm(v) => {
                     values.push(v as u64);
                     return Resolution::Values(values);
@@ -167,20 +223,34 @@ fn resolve_window(insns: &[Instruction], site_idx: usize, elf: &Elf) -> Resoluti
                 values.push(imm);
                 return Resolution::Values(values);
             }
-            Op::Xor { dst: Operand::Reg(d), src: Operand::Reg(s) } if d == tracked && s == d => {
+            Op::Xor {
+                dst: Operand::Reg(d),
+                src: Operand::Reg(s),
+            } if d == tracked && s == d => {
                 values.push(0);
                 return Resolution::Values(values);
             }
             Op::Pop(d) if d == tracked => return Resolution::Unresolved,
-            Op::Add { dst: Operand::Reg(d), .. }
-            | Op::Sub { dst: Operand::Reg(d), .. }
-            | Op::Xor { dst: Operand::Reg(d), .. }
-            | Op::And { dst: Operand::Reg(d), .. }
-            | Op::Or { dst: Operand::Reg(d), .. }
-                if d == tracked =>
-            {
-                return Resolution::Unresolved
+            Op::Add {
+                dst: Operand::Reg(d),
+                ..
             }
+            | Op::Sub {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::Xor {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::And {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::Or {
+                dst: Operand::Reg(d),
+                ..
+            } if d == tracked => return Resolution::Unresolved,
             _ => {}
         }
     }
@@ -191,15 +261,19 @@ fn resolve_window(insns: &[Instruction], site_idx: usize, elf: &Elf) -> Resoluti
 /// The glibc special case: find `call` sites targeting the `syscall`
 /// function and window-scan each for the first argument (`%rdi`).
 fn resolve_glibc_wrapper_callers(insns: &[Instruction], elf: &Elf) -> Resolution {
-    let Some(wrapper) = elf.function_symbols().iter().find(|s| s.name == "syscall").map(|s| s.value)
+    let Some(wrapper) = elf
+        .function_symbols()
+        .iter()
+        .find(|s| s.name == "syscall")
+        .map(|s| s.value)
     else {
         return Resolution::Unresolved;
     };
     let mut values = Vec::new();
     let mut resolved_any = false;
     for (idx, insn) in insns.iter().enumerate() {
-        let is_call_to_wrapper = matches!(insn.op, Op::Call(_))
-            && insn.branch_target() == Some(wrapper);
+        let is_call_to_wrapper =
+            matches!(insn.op, Op::Call(_)) && insn.branch_target() == Some(wrapper);
         if !is_call_to_wrapper {
             continue;
         }
@@ -207,7 +281,10 @@ fn resolve_glibc_wrapper_callers(insns: &[Instruction], elf: &Elf) -> Resolution
         let lo = idx.saturating_sub(WINDOW);
         for prev in insns[lo..idx].iter().rev() {
             match prev.op {
-                Op::Mov { dst: Operand::Reg(d), src } if d == tracked => match src {
+                Op::Mov {
+                    dst: Operand::Reg(d),
+                    src,
+                } if d == tracked => match src {
                     Operand::Imm(v) => {
                         values.push(v as u64);
                         resolved_any = true;
@@ -332,7 +409,10 @@ mod tests {
             .unwrap();
         let elf = Elf::parse(&image).unwrap();
         let set = analyze(&elf, &[]).expect("analyzes");
-        assert!(set.contains(wk::OPEN), "rdi=2 at the wrapper call site: {set}");
+        assert!(
+            set.contains(wk::OPEN),
+            "rdi=2 at the wrapper call site: {set}"
+        );
         assert!(set.len() < 10, "no fallback: {set}");
     }
 

@@ -15,7 +15,7 @@
 use crate::BaselineError;
 use bside_cfg::{Cfg, CfgOptions, FunctionSym, IndirectResolution};
 use bside_elf::Elf;
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_syscalls::{SyscallSet, Sysno};
 use bside_x86::{Op, Operand, Reg};
 use std::collections::HashSet;
 
@@ -42,7 +42,11 @@ pub fn analyze(elf: &Elf, libs: &[&Elf]) -> Result<SyscallSet, BaselineError> {
 fn functions_of(elf: &Elf) -> Vec<FunctionSym> {
     elf.function_symbols()
         .into_iter()
-        .map(|s| FunctionSym { name: s.name.clone(), entry: s.value, size: s.size })
+        .map(|s| FunctionSym {
+            name: s.name.clone(),
+            entry: s.value,
+            size: s.size,
+        })
         .collect()
 }
 
@@ -52,7 +56,9 @@ fn analyze_object(elf: &Elf) -> Result<SyscallSet, BaselineError> {
         .ok_or(BaselineError::AnalysisFailed("no .text section"))?;
     let functions = functions_of(elf);
     let entries: Vec<u64> = functions.iter().map(|f| f.entry).collect();
-    let options = CfgOptions { indirect: IndirectResolution::AddressTaken };
+    let options = CfgOptions {
+        indirect: IndirectResolution::AddressTaken,
+    };
     let cfg = Cfg::build(text, vaddr, &entries, &functions, &options);
 
     let mut set = SyscallSet::new();
@@ -89,7 +95,9 @@ fn use_define_rax(cfg: &Cfg, site: u64) -> Vec<u64> {
     let mut visited: HashSet<(u64, Reg)> = HashSet::new();
 
     while let Some((block_addr, tracked, before)) = work.pop() {
-        let Some(block) = cfg.block(block_addr) else { continue };
+        let Some(block) = cfg.block(block_addr) else {
+            continue;
+        };
         // Scan this block's instructions backwards from `before`.
         let mut resolved_here = false;
         for insn in block.insns.iter().rev() {
@@ -97,7 +105,10 @@ fn use_define_rax(cfg: &Cfg, site: u64) -> Vec<u64> {
                 continue;
             }
             match insn.op {
-                Op::Mov { dst: Operand::Reg(d), src } if d == tracked => {
+                Op::Mov {
+                    dst: Operand::Reg(d),
+                    src,
+                } if d == tracked => {
                     match src {
                         Operand::Imm(v) => values.push(v as u64),
                         Operand::Reg(s) => {
@@ -114,19 +125,35 @@ fn use_define_rax(cfg: &Cfg, site: u64) -> Vec<u64> {
                     resolved_here = true;
                     break;
                 }
-                Op::Xor { dst: Operand::Reg(d), src: Operand::Reg(s) }
-                    if d == tracked && s == d =>
-                {
+                Op::Xor {
+                    dst: Operand::Reg(d),
+                    src: Operand::Reg(s),
+                } if d == tracked && s == d => {
                     values.push(0);
                     resolved_here = true;
                     break;
                 }
                 // Any other write to the tracked register kills the chain.
-                Op::Add { dst: Operand::Reg(d), .. }
-                | Op::Sub { dst: Operand::Reg(d), .. }
-                | Op::Xor { dst: Operand::Reg(d), .. }
-                | Op::And { dst: Operand::Reg(d), .. }
-                | Op::Or { dst: Operand::Reg(d), .. }
+                Op::Add {
+                    dst: Operand::Reg(d),
+                    ..
+                }
+                | Op::Sub {
+                    dst: Operand::Reg(d),
+                    ..
+                }
+                | Op::Xor {
+                    dst: Operand::Reg(d),
+                    ..
+                }
+                | Op::And {
+                    dst: Operand::Reg(d),
+                    ..
+                }
+                | Op::Or {
+                    dst: Operand::Reg(d),
+                    ..
+                }
                 | Op::Pop(d)
                     if d == tracked =>
                 {
@@ -235,7 +262,10 @@ mod tests {
         ));
         let set = analyze(&prog.elf, &[]).expect("accepted");
         let getpid = bside_syscalls::Sysno::from_name("getpid").unwrap();
-        assert!(!set.contains(getpid), "use-define chains cannot see through memory");
+        assert!(
+            !set.contains(getpid),
+            "use-define chains cannot see through memory"
+        );
     }
 
     #[test]
@@ -246,7 +276,10 @@ mod tests {
             vec![Scenario::ViaWrapper(vec![0, 2])],
         ));
         let set = analyze(&prog.elf, &[]).expect("accepted");
-        assert!(!set.contains(wk::READ), "wrapper values are inter-procedural: FN");
+        assert!(
+            !set.contains(wk::READ),
+            "wrapper values are inter-procedural: FN"
+        );
         assert!(!set.contains(wk::OPEN));
     }
 
@@ -260,16 +293,26 @@ mod tests {
             vec![Scenario::ComputedAdd(1, 2)],
         ));
         let set = analyze(&prog.elf, &[]).expect("accepted");
-        assert!(!set.contains(wk::CLOSE), "1+2=3 (close) must be missed: {set}");
+        assert!(
+            !set.contains(wk::CLOSE),
+            "1+2=3 (close) must be missed: {set}"
+        );
     }
 
     #[test]
     fn counts_dead_code_as_false_positives() {
         let prog = generate(&ProgramSpec {
             dead_scenarios: vec![Scenario::Direct(vec![59])],
-            ..spec(ElfKind::PieExecutable, WrapperStyle::None, vec![Scenario::Direct(vec![1])])
+            ..spec(
+                ElfKind::PieExecutable,
+                WrapperStyle::None,
+                vec![Scenario::Direct(vec![1])],
+            )
         });
         let set = analyze(&prog.elf, &[]).expect("accepted");
-        assert!(set.contains(wk::EXECVE), "no reachability pruning: dead execve counted");
+        assert!(
+            set.contains(wk::EXECVE),
+            "no reachability pruning: dead execve counted"
+        );
     }
 }

@@ -22,7 +22,11 @@ use std::collections::HashMap;
 fn functions_of(elf: &bside::elf::Elf) -> Vec<FunctionSym> {
     elf.function_symbols()
         .into_iter()
-        .map(|s| FunctionSym { name: s.name.clone(), entry: s.value, size: s.size })
+        .map(|s| FunctionSym {
+            name: s.name.clone(),
+            entry: s.value,
+            size: s.size,
+        })
         .collect()
 }
 
@@ -53,9 +57,7 @@ fn bench_cfg_recovery(c: &mut Criterion) {
                 BenchmarkId::new(label, profile.name),
                 &indirect,
                 |b, &indirect| {
-                    b.iter(|| {
-                        Cfg::build(text, vaddr, &[entry], &funcs, &CfgOptions { indirect })
-                    })
+                    b.iter(|| Cfg::build(text, vaddr, &[entry], &funcs, &CfgOptions { indirect }))
                 },
             );
         }
@@ -73,7 +75,11 @@ fn bench_identification(c: &mut Criterion) {
                 detect_wrappers,
                 ..AnalyzerOptions::default()
             });
-            b.iter(|| analyzer.analyze_static(&profile.program.elf).expect("analyzes"))
+            b.iter(|| {
+                analyzer
+                    .analyze_static(&profile.program.elf)
+                    .expect("analyzes")
+            })
         });
     }
     // Directed vs undirected forward search (the §4.4 optimization).
@@ -101,16 +107,17 @@ fn bench_phase_methods(c: &mut Criterion) {
     group.sample_size(20);
     for profile in [hello_world(), nginx()] {
         let analyzer = Analyzer::new(AnalyzerOptions::default());
-        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
-        let site_sets: HashMap<u64, bside::SyscallSet> =
-            analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("automaton", profile.name),
-            &(),
-            |b, ()| {
-                b.iter(|| detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default()))
-            },
-        );
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .expect("analyzes");
+        let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+            .sites
+            .iter()
+            .map(|s| (s.site, s.syscalls))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("automaton", profile.name), &(), |b, ()| {
+            b.iter(|| detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default()))
+        });
         group.bench_with_input(
             BenchmarkId::new("naive_navigation", profile.name),
             &(),

@@ -1,0 +1,156 @@
+//! Perf-trajectory snapshot: times the full analysis pipeline over the
+//! multi-binary profile corpus, sequentially (`parallelism = 1`) and with
+//! every available core, and emits `BENCH_pipeline.json` so future PRs
+//! have a recorded baseline to beat.
+//!
+//! ```text
+//! cargo run --release -p bside-bench --bin bench_snapshot [-- <out.json>]
+//! ```
+//!
+//! The JSON records, per configuration: end-to-end wall clock over the
+//! corpus (best of `REPEATS` runs), per-phase totals aggregated across
+//! binaries (`bside::core::PipelineTimings`), and the resulting
+//! sequential→parallel speedup. Phase totals are *CPU-side* sums across
+//! workers, so they exceed wall clock under parallelism — wall clock is
+//! the speedup metric.
+
+use bside::core::{Analyzer, AnalyzerOptions, PipelineTimings};
+use bside::gen::corpus::{corpus_with_size, DEFAULT_SEED};
+use bside::gen::profiles::all_profiles;
+use std::time::{Duration, Instant};
+
+const REPEATS: usize = 3;
+
+struct ConfigResult {
+    parallelism: usize,
+    wall: Duration,
+    phases: PipelineTimings,
+    syscall_counts: Vec<(String, usize)>,
+}
+
+fn run_config(parallelism: usize, binaries: &[(String, bside::elf::Elf)]) -> ConfigResult {
+    let analyzer = Analyzer::new(AnalyzerOptions {
+        parallelism,
+        ..AnalyzerOptions::default()
+    });
+    let binaries: Vec<(&str, &bside::elf::Elf)> = binaries
+        .iter()
+        .map(|(name, elf)| (name.as_str(), elf))
+        .collect();
+
+    let mut best_wall = Duration::MAX;
+    let mut phases = PipelineTimings::new();
+    let mut syscall_counts = Vec::new();
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let results = analyzer.analyze_corpus(&binaries);
+        let wall = t0.elapsed();
+        if wall < best_wall {
+            best_wall = wall;
+            phases = PipelineTimings::new();
+            syscall_counts.clear();
+            for (name, result) in &results {
+                let analysis = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{name} failed to analyze: {e}"));
+                phases.record(&analysis.stats.timings);
+                syscall_counts.push((name.clone(), analysis.syscalls.len()));
+            }
+        }
+    }
+    ConfigResult {
+        parallelism,
+        wall: best_wall,
+        phases,
+        syscall_counts,
+    }
+}
+
+fn phases_json(t: &PipelineTimings, indent: &str) -> String {
+    let rows: Vec<String> = t
+        .phases()
+        .iter()
+        .map(|(name, d)| format!("{indent}  \"{name}_us\": {}", d.as_micros()))
+        .collect();
+    format!("{{\n{}\n{indent}}}", rows.join(",\n"))
+}
+
+fn config_json(r: &ConfigResult, indent: &str) -> String {
+    let counts: Vec<String> = r
+        .syscall_counts
+        .iter()
+        .map(|(name, n)| format!("\"{name}\": {n}"))
+        .collect();
+    format!(
+        "{{\n{indent}  \"parallelism\": {},\n{indent}  \"wall_us\": {},\n{indent}  \"phase_totals\": {},\n{indent}  \"identified_syscalls\": {{ {} }}\n{indent}}}",
+        r.parallelism,
+        r.wall.as_micros(),
+        phases_json(&r.phases, &format!("{indent}  ")),
+        counts.join(", "),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    // The six application profiles plus a deterministic slice of the
+    // Table 2 synthetic corpus (static binaries only — the batch API's
+    // per-binary unit), so the measurement covers varied code shapes and
+    // enough work to time meaningfully.
+    let mut binaries: Vec<(String, bside::elf::Elf)> = all_profiles()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.program.elf))
+        .collect();
+    let corpus = corpus_with_size(DEFAULT_SEED, 48, 0, 0);
+    binaries.extend(
+        corpus
+            .binaries
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (format!("{}_{i}", b.program.spec.name), b.program.elf)),
+    );
+    eprintln!(
+        "bench_snapshot: {} binaries, {} repeats per config",
+        binaries.len(),
+        REPEATS
+    );
+
+    // Worker count for the parallel configuration: all cores, unless
+    // BSIDE_BENCH_PARALLELISM pins it (useful for scaling curves and for
+    // exercising the threaded path on small machines).
+    let ncpus = std::env::var("BSIDE_BENCH_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(bside::core::default_parallelism);
+    let sequential = run_config(1, &binaries);
+    eprintln!(
+        "  sequential (parallelism=1): {:.1} ms wall | {}",
+        sequential.wall.as_secs_f64() * 1e3,
+        sequential.phases
+    );
+    let parallel = run_config(ncpus, &binaries);
+    eprintln!(
+        "  parallel   (parallelism={ncpus}): {:.1} ms wall | {}",
+        parallel.wall.as_secs_f64() * 1e3,
+        parallel.phases
+    );
+
+    let speedup = sequential.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+    eprintln!("  end-to-end speedup: {speedup:.2}x on {ncpus} cpu(s)");
+
+    let json = format!(
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4}\n}}\n",
+        binaries.len(),
+        REPEATS,
+        ncpus,
+        config_json(&sequential, "  "),
+        config_json(&parallel, "  "),
+        speedup,
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("  wrote {out_path}");
+    println!("{json}");
+}

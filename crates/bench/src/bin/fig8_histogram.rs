@@ -32,7 +32,12 @@ fn main() {
         }
     }
 
-    let peak: usize = hists.iter().flat_map(|h| h.iter().copied()).max().unwrap_or(1).max(1);
+    let peak: usize = hists
+        .iter()
+        .flat_map(|h| h.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     const BAR: usize = 40;
     for (t, tool) in Tool::ALL.into_iter().enumerate() {
         println!("{}:", tool.name());
@@ -41,7 +46,13 @@ fn main() {
                 continue;
             }
             let bar = "#".repeat((count * BAR).div_ceil(peak));
-            println!("  {:>3}-{:<3} | {:<BAR$} {}", b * BUCKET, (b + 1) * BUCKET - 1, bar, count);
+            println!(
+                "  {:>3}-{:<3} | {:<BAR$} {}",
+                b * BUCKET,
+                (b + 1) * BUCKET - 1,
+                bar,
+                count
+            );
         }
         println!();
     }

@@ -12,10 +12,15 @@ use std::collections::HashMap;
 fn main() {
     let profile = nginx();
     let analyzer = Analyzer::new(AnalyzerOptions::default());
-    let analysis = analyzer.analyze_static(&profile.program.elf).expect("nginx analyzes");
+    let analysis = analyzer
+        .analyze_static(&profile.program.elf)
+        .expect("nginx analyzes");
 
-    let site_sets: HashMap<u64, bside::SyscallSet> =
-        analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+    let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+        .sites
+        .iter()
+        .map(|s| (s.site, s.syscalls))
+        .collect();
     let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
 
     println!("Figure 9 — nginx phase automaton (pre back-propagation)\n");
@@ -29,7 +34,11 @@ fn main() {
     let label = |id: usize| {
         // A..Z labels like the paper's figure.
         let c = (b'A' + (id % 26) as u8) as char;
-        if id < 26 { format!("{c}") } else { format!("{c}{}", id / 26) }
+        if id < 26 {
+            format!("{c}")
+        } else {
+            format!("{c}{}", id / 26)
+        }
     };
 
     for phase in &automaton.phases {
@@ -45,7 +54,12 @@ fn main() {
         dests.sort_by_key(|&(to, _)| *to);
         for (&to, labels) in dests {
             let marker = if to == phase.id { " (self)" } else { "" };
-            println!("    --[{:>2} syscall types]--> {}{}", labels.len(), label(to), marker);
+            println!(
+                "    --[{:>2} syscall types]--> {}{}",
+                labels.len(),
+                label(to),
+                marker
+            );
         }
     }
 

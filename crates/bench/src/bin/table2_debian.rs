@@ -34,7 +34,11 @@ fn main() {
         }
     }
 
-    for (class, name) in [(0usize, "All binaries"), (1, "Static executables"), (2, "Dynamic executables")] {
+    for (class, name) in [
+        (0usize, "All binaries"),
+        (1, "Static executables"),
+        (2, "Dynamic executables"),
+    ] {
         println!("{name}:");
         let mut rows = Vec::new();
         for (t, tool) in Tool::ALL.into_iter().enumerate() {
@@ -50,7 +54,9 @@ fn main() {
         println!();
     }
 
-    println!("paper (all): B-Side 441 ok / avg 43; Chestnut 310 ok / avg 271; SysFilter 109 ok / avg 95");
+    println!(
+        "paper (all): B-Side 441 ok / avg 43; Chestnut 310 ok / avg 271; SysFilter 109 ok / avg 95"
+    );
     println!("paper (static): B-Side 227/231 ok; Chestnut 4/231 ok; SysFilter 1/231 ok");
     println!("paper (dynamic): B-Side avg 55; Chestnut avg 274; SysFilter avg 96");
     println!("note: our substrate does not reproduce angr's CFG-recovery timeouts, so");

@@ -20,9 +20,14 @@ fn main() {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
 
     for profile in all_profiles() {
-        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
-        let site_sets: HashMap<u64, bside::SyscallSet> =
-            analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .expect("analyzes");
+        let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+            .sites
+            .iter()
+            .map(|s| (s.site, s.syscalls))
+            .collect();
         let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
         let total = analysis.syscalls.len();
 
@@ -31,7 +36,11 @@ fn main() {
             let n = automaton.phases.len();
             let label = |id: usize| {
                 let c = (b'A' + (id % 26) as u8) as char;
-                if id < 26 { format!("{c}") } else { format!("{c}{}", id / 26) }
+                if id < 26 {
+                    format!("{c}")
+                } else {
+                    format!("{c}{}", id / 26)
+                }
             };
             let mut headers: Vec<String> = vec!["src".into()];
             headers.extend((0..n).map(label));

@@ -71,15 +71,16 @@ pub fn run_tool(
 }
 
 /// Builds the shared-interface store for a corpus (each library analyzed
-/// once, §4.5).
+/// once, §4.5), fanning the independent per-library analyses out across
+/// the analyzer's configured worker threads.
 pub fn build_store(corpus: &Corpus) -> Result<LibraryStore, AnalysisError> {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
-    let mut store = LibraryStore::new();
-    for lib in &corpus.libraries {
-        let interface = analyzer.analyze_library(&lib.elf, &lib.spec.name, None)?;
-        store.insert(interface);
-    }
-    Ok(store)
+    let libraries: Vec<(&str, &bside::elf::Elf)> = corpus
+        .libraries
+        .iter()
+        .map(|lib| (lib.spec.name.as_str(), &lib.elf))
+        .collect();
+    analyzer.analyze_libraries(&libraries)
 }
 
 /// Per-tool aggregate over a corpus (one Table 2 block).

@@ -46,6 +46,20 @@ fn load_elf(path: &str) -> Result<bside::elf::Elf, Box<dyn std::error::Error>> {
     Ok(bside::elf::Elf::parse(&bytes).map_err(|e| format!("parsing {path}: {e}"))?)
 }
 
+/// Default analyzer options, honoring a `BSIDE_PARALLELISM` worker-count
+/// override (identical results at any value; see the determinism test).
+fn analyzer_options() -> AnalyzerOptions {
+    let mut options = AnalyzerOptions::default();
+    if let Some(n) = std::env::var("BSIDE_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        options.parallelism = n;
+    }
+    options
+}
+
 fn cmd_analyze(args: &[String]) -> CmdResult {
     let mut path = None;
     let mut libs: Vec<(String, String)> = Vec::new();
@@ -58,8 +72,9 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
         match arg.as_str() {
             "--lib" => {
                 let spec = it.next().ok_or("--lib needs NAME=PATH")?;
-                let (name, libpath) =
-                    spec.split_once('=').ok_or("--lib argument must be NAME=PATH")?;
+                let (name, libpath) = spec
+                    .split_once('=')
+                    .ok_or("--lib argument must be NAME=PATH")?;
                 libs.push((name.to_string(), libpath.to_string()));
             }
             "--store" => store_dir = Some(it.next().ok_or("--store needs DIR")?.clone()),
@@ -73,7 +88,7 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
     let path = path.ok_or("missing <elf> argument")?;
     let elf = load_elf(&path)?;
 
-    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analyzer = Analyzer::new(analyzer_options());
     let analysis = if elf.needed_libraries().is_empty() {
         analyzer.analyze_static(&elf)?
     } else {
@@ -117,7 +132,10 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
     }
     if want_bpf {
         let policy = FilterPolicy::allow_only(path.clone(), analysis.syscalls);
-        print!("{}", bside::filter::bpf::BpfProgram::from_policy(&policy).listing());
+        print!(
+            "{}",
+            bside::filter::bpf::BpfProgram::from_policy(&policy).listing()
+        );
     } else if want_policy {
         let policy = FilterPolicy::allow_only(path, analysis.syscalls);
         println!("{}", policy.to_json());
@@ -148,7 +166,7 @@ fn cmd_interface(args: &[String]) -> CmdResult {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or(path.clone())
     });
-    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analyzer = Analyzer::new(analyzer_options());
     let interface = analyzer.analyze_library(&elf, &lib_name, None)?;
     println!("{}", interface.to_json());
     Ok(())
@@ -166,10 +184,13 @@ fn cmd_phases(args: &[String]) -> CmdResult {
     }
     let path = path.ok_or("missing <elf> argument")?;
     let elf = load_elf(&path)?;
-    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let analyzer = Analyzer::new(analyzer_options());
     let analysis = analyzer.analyze_static(&elf)?;
-    let site_sets: HashMap<u64, bside::SyscallSet> =
-        analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+    let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+        .sites
+        .iter()
+        .map(|s| (s.site, s.syscalls))
+        .collect();
     let mut automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
     if back_propagate {
         automaton.back_propagate();
@@ -201,5 +222,27 @@ fn cmd_demo(args: &[String]) -> CmdResult {
         std::fs::write(&path, &profile.program.image)?;
         eprintln!("wrote {path} ({} bytes)", profile.program.image.len());
     }
+    // A small shared object as a target for `bside interface`.
+    let lib = bside::gen::generate_library(&bside::gen::LibrarySpec {
+        name: "libdemo.so".into(),
+        exports: vec![
+            bside::gen::ExportSpec {
+                name: "demo_read".into(),
+                syscalls: vec![0],
+                calls: vec![],
+            },
+            bside::gen::ExportSpec {
+                name: "demo_write_close".into(),
+                syscalls: vec![1, 3],
+                calls: vec!["demo_read".into()],
+            },
+        ],
+        wrapper_style: bside::gen::WrapperStyle::Register,
+        base: 0x7000_0000,
+        libs: vec![],
+    });
+    let path = format!("{out}/libdemo.so");
+    std::fs::write(&path, &lib.image)?;
+    eprintln!("wrote {path} ({} bytes)", lib.image.len());
     Ok(())
 }

@@ -55,4 +55,4 @@ pub use bside_x86 as x86;
 
 pub use bside_core::{Analyzer, AnalyzerOptions, BinaryAnalysis, LibraryStore, SharedInterface};
 pub use bside_filter::{FilterPolicy, PhasePolicy};
-pub use bside_syscalls::{Sysno, SyscallSet};
+pub use bside_syscalls::{SyscallSet, Sysno};

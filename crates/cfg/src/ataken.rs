@@ -12,11 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Scans every decoded block for addresses taken that land inside the
 /// text range (SysFilter's plain variant).
-pub(crate) fn scan(
-    blocks: &BTreeMap<u64, BasicBlock>,
-    base: u64,
-    text_len: u64,
-) -> BTreeSet<u64> {
+pub(crate) fn scan(blocks: &BTreeMap<u64, BasicBlock>, base: u64, text_len: u64) -> BTreeSet<u64> {
     scan_filtered(blocks.values(), base, text_len)
 }
 
@@ -115,8 +111,7 @@ mod tests {
         a.ret();
         let code = a.finish().unwrap();
         let len = code.len() as u64;
-        let blocks =
-            disassemble(&code, 0x1000, &[0x1000, 0x1001].into_iter().collect());
+        let blocks = disassemble(&code, 0x1000, &[0x1000, 0x1001].into_iter().collect());
         let all = scan(&blocks, 0x1000, len);
         assert_eq!(all.len(), 1, "plain scan sees the dead lea");
         let reachable: BTreeSet<u64> = [0x1000].into_iter().collect();

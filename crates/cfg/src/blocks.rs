@@ -36,10 +36,52 @@ impl BasicBlock {
     }
 }
 
+/// A memo of decode results keyed by address, shared across the repeated
+/// disassembly passes of the active-address-taken fixpoint.
+///
+/// The fixpoint re-disassembles the text after every round that discovers
+/// new indirect targets; without a cache each round re-decodes (almost)
+/// every instruction from raw bytes. The code bytes never change within
+/// one CFG construction, so decode results are safe to memoize —
+/// including failures (`None`), which would otherwise be retried every
+/// round.
+#[derive(Debug, Default)]
+pub(crate) struct DecodeCache {
+    decoded: std::collections::HashMap<u64, Option<Instruction>>,
+}
+
+impl DecodeCache {
+    fn decode_at(&mut self, code: &[u8], base: u64, addr: u64) -> Option<Instruction> {
+        *self.decoded.entry(addr).or_insert_with(|| {
+            let off = (addr - base) as usize;
+            decode(&code[off..], addr).ok()
+        })
+    }
+}
+
 /// Disassembles `code` (loaded at `base`) starting from every root,
 /// following direct control flow, and splits blocks at every discovered
 /// leader (branch target or post-branch address).
-pub(crate) fn disassemble(code: &[u8], base: u64, roots: &BTreeSet<u64>) -> BTreeMap<u64, BasicBlock> {
+///
+/// Convenience over [`disassemble_cached`] for one-shot callers (tests);
+/// the builder's fixpoint holds a [`DecodeCache`] across passes instead.
+#[cfg(test)]
+pub(crate) fn disassemble(
+    code: &[u8],
+    base: u64,
+    roots: &BTreeSet<u64>,
+) -> BTreeMap<u64, BasicBlock> {
+    disassemble_cached(code, base, roots, &mut DecodeCache::default())
+}
+
+/// [`disassemble`] with a caller-held [`DecodeCache`], so the fixpoint's
+/// repeated passes reuse decoded instructions instead of re-decoding.
+pub(crate) fn disassemble_cached(
+    code: &[u8],
+    base: u64,
+    roots: &BTreeSet<u64>,
+    cache: &mut DecodeCache,
+) -> BTreeMap<u64, BasicBlock> {
     let end = base + code.len() as u64;
     let in_range = |addr: u64| addr >= base && addr < end;
 
@@ -58,8 +100,7 @@ pub(crate) fn disassemble(code: &[u8], base: u64, roots: &BTreeSet<u64>) -> BTre
             if insn_at.contains_key(&addr) {
                 break; // already visited this run
             }
-            let off = (addr - base) as usize;
-            let Ok(insn) = decode(&code[off..], addr) else {
+            let Some(insn) = cache.decode_at(code, base, addr) else {
                 break; // undecodable: stop this run
             };
             insn_at.insert(addr, insn);
@@ -114,14 +155,16 @@ pub(crate) fn disassemble(code: &[u8], base: u64, roots: &BTreeSet<u64>) -> BTre
     let mut expected_next: Option<u64> = None;
 
     for (&addr, insn) in &insn_at {
-        let starts_new = leaders.contains(&addr)
-            || current.is_none()
-            || expected_next != Some(addr);
+        let starts_new =
+            leaders.contains(&addr) || current.is_none() || expected_next != Some(addr);
         if starts_new {
             if let Some(b) = current.take() {
                 blocks.insert(b.start, b);
             }
-            current = Some(BasicBlock { start: addr, insns: Vec::new() });
+            current = Some(BasicBlock {
+                start: addr,
+                insns: Vec::new(),
+            });
         }
         let block = current.as_mut().expect("just ensured");
         block.insns.push(*insn);

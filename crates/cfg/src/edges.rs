@@ -156,7 +156,10 @@ pub(crate) fn reachable_from(
         (addr < block.end()).then_some(start)
     };
     let mut seen: BTreeSet<u64> = BTreeSet::new();
-    let mut queue: VecDeque<u64> = entries.iter().filter_map(|&e| block_containing(e)).collect();
+    let mut queue: VecDeque<u64> = entries
+        .iter()
+        .filter_map(|&e| block_containing(e))
+        .collect();
     seen.extend(queue.iter().copied());
     while let Some(b) = queue.pop_front() {
         for &(to, kind) in succs.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
@@ -181,7 +184,12 @@ mod tests {
         asm: Assembler,
         funcs: &[FunctionSym],
         indirect: &[u64],
-    ) -> (BTreeMap<u64, BasicBlock>, EdgeMap, EdgeMap, HashMap<u64, u64>) {
+    ) -> (
+        BTreeMap<u64, BasicBlock>,
+        EdgeMap,
+        EdgeMap,
+        HashMap<u64, u64>,
+    ) {
         let code = asm.finish().expect("assemble");
         let mut roots: BTreeSet<u64> = [0x1000].into_iter().collect();
         roots.extend(funcs.iter().map(|f| f.entry));
@@ -220,8 +228,16 @@ mod tests {
         a.bind(f).unwrap();
         a.ret(); // callee @0x1006
         let funcs = vec![
-            FunctionSym { name: "main".into(), entry: 0x1000, size: 6 },
-            FunctionSym { name: "f".into(), entry: 0x1006, size: 1 },
+            FunctionSym {
+                name: "main".into(),
+                entry: 0x1000,
+                size: 6,
+            },
+            FunctionSym {
+                name: "f".into(),
+                entry: 0x1006,
+                size: 1,
+            },
         ];
         let (_b, succs, _preds, _) = setup(a, &funcs, &[]);
         let out = &succs[&0x1000];

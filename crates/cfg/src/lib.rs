@@ -296,8 +296,13 @@ mod builder {
         let mut iterations = 0usize;
         let mut indirect_targets: BTreeSet<u64> = BTreeSet::new();
 
+        // One decode memo for every disassembly pass below: the fixpoint
+        // re-disassembles after each round of newly-discovered indirect
+        // targets, and the raw bytes never change within a build.
+        let mut cache = blocks::DecodeCache::default();
+
         // Initial disassembly + plain address-taken scan.
-        let mut block_map = blocks::disassemble(code, base, &roots);
+        let mut block_map = blocks::disassemble_cached(code, base, &roots, &mut cache);
         let all_taken = ataken::scan(&block_map, base, code.len() as u64);
 
         match options.indirect {
@@ -307,7 +312,7 @@ mod builder {
                 // Addresses taken may point at not-yet-disassembled code.
                 let mut new_roots = roots.clone();
                 new_roots.extend(indirect_targets.iter().copied());
-                block_map = blocks::disassemble(code, base, &new_roots);
+                block_map = blocks::disassemble_cached(code, base, &new_roots, &mut cache);
                 iterations = 1;
             }
             IndirectResolution::ActiveAddressTaken => {
@@ -326,7 +331,7 @@ mod builder {
                     indirect_targets = active;
                     let mut new_roots = roots.clone();
                     new_roots.extend(indirect_targets.iter().copied());
-                    block_map = blocks::disassemble(code, base, &new_roots);
+                    block_map = blocks::disassemble_cached(code, base, &new_roots, &mut cache);
                     if iterations > 64 {
                         break; // defensive bound; fixpoint is monotone
                     }
@@ -378,7 +383,10 @@ pub(crate) fn lea_target(insn: &bside_x86::Instruction) -> Option<u64> {
         Op::Lea { addr, .. } if addr.rip_relative => addr.rip_target(insn.addr, insn.len),
         // `movabs reg, imm64` of a code address is the non-PIC equivalent.
         Op::MovImm64 { imm, .. } => Some(imm),
-        Op::Mov { src: bside_x86::Operand::Imm(imm), .. } if imm > 0 => Some(imm as u64),
+        Op::Mov {
+            src: bside_x86::Operand::Imm(imm),
+            ..
+        } if imm > 0 => Some(imm as u64),
         _ => None,
     }
 }

@@ -48,11 +48,31 @@ fn fig4_program() -> (Vec<u8>, Vec<FunctionSym>, [u64; 5]) {
 
     let code = a.finish().unwrap();
     let funcs = vec![
-        FunctionSym { name: "_start".into(), entry, size: f1_addr - entry },
-        FunctionSym { name: "f1".into(), entry: f1_addr, size: f2_addr - f1_addr },
-        FunctionSym { name: "f2".into(), entry: f2_addr, size: dead_addr - f2_addr },
-        FunctionSym { name: "dead".into(), entry: dead_addr, size: f3_addr - dead_addr },
-        FunctionSym { name: "f3".into(), entry: f3_addr, size: 0 },
+        FunctionSym {
+            name: "_start".into(),
+            entry,
+            size: f1_addr - entry,
+        },
+        FunctionSym {
+            name: "f1".into(),
+            entry: f1_addr,
+            size: f2_addr - f1_addr,
+        },
+        FunctionSym {
+            name: "f2".into(),
+            entry: f2_addr,
+            size: dead_addr - f2_addr,
+        },
+        FunctionSym {
+            name: "dead".into(),
+            entry: dead_addr,
+            size: f3_addr - dead_addr,
+        },
+        FunctionSym {
+            name: "f3".into(),
+            entry: f3_addr,
+            size: 0,
+        },
     ];
     (code, funcs, [entry, f1_addr, f2_addr, dead_addr, f3_addr])
 }
@@ -75,7 +95,10 @@ fn active_ataken_reaches_chained_function_pointers() {
         .collect();
     assert!(reachable_funcs.contains(&"f2"));
     assert!(!reachable_funcs.contains(&"dead"));
-    assert!(!reachable_funcs.contains(&"f3"), "dead lea must not activate f3");
+    assert!(
+        !reachable_funcs.contains(&"f3"),
+        "dead lea must not activate f3"
+    );
 
     // Only f2's syscall is reachable.
     assert_eq!(cfg.syscall_sites().len(), 1);
@@ -85,7 +108,9 @@ fn active_ataken_reaches_chained_function_pointers() {
 #[test]
 fn plain_ataken_overapproximates_dead_leas() {
     let (code, funcs, [entry, _f1, _f2, _dead, f3]) = fig4_program();
-    let opts = CfgOptions { indirect: IndirectResolution::AddressTaken };
+    let opts = CfgOptions {
+        indirect: IndirectResolution::AddressTaken,
+    };
     let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &opts);
 
     // SysFilter-style plain scan also takes the dead lea's target, so both
@@ -97,7 +122,9 @@ fn plain_ataken_overapproximates_dead_leas() {
 #[test]
 fn no_resolution_misses_indirect_code() {
     let (code, funcs, [entry, ..]) = fig4_program();
-    let opts = CfgOptions { indirect: IndirectResolution::None };
+    let opts = CfgOptions {
+        indirect: IndirectResolution::None,
+    };
     let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &opts);
 
     // Without indirect resolution nothing past `jmp *rbx` is reachable:
@@ -114,7 +141,9 @@ fn active_is_subset_of_plain() {
         0x1000,
         &[entry],
         &funcs,
-        &CfgOptions { indirect: IndirectResolution::AddressTaken },
+        &CfgOptions {
+            indirect: IndirectResolution::AddressTaken,
+        },
     );
     assert!(active.addresses_taken().is_subset(plain.addresses_taken()));
     assert!(active.addresses_taken().len() < plain.addresses_taken().len());

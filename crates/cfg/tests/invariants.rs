@@ -14,9 +14,19 @@ fn cfgs_of_corpus(seed: u64) -> Vec<(String, Cfg)> {
         let funcs: Vec<FunctionSym> = elf
             .function_symbols()
             .into_iter()
-            .map(|s| FunctionSym { name: s.name.clone(), entry: s.value, size: s.size })
+            .map(|s| FunctionSym {
+                name: s.name.clone(),
+                entry: s.value,
+                size: s.size,
+            })
             .collect();
-        let cfg = Cfg::build(text, vaddr, &[elf.entry_point()], &funcs, &CfgOptions::default());
+        let cfg = Cfg::build(
+            text,
+            vaddr,
+            &[elf.entry_point()],
+            &funcs,
+            &CfgOptions::default(),
+        );
         out.push((binary.program.spec.name.clone(), cfg));
     }
     out
@@ -28,7 +38,10 @@ fn blocks_are_disjoint_and_sorted() {
         let mut prev_end = 0u64;
         for (&start, block) in cfg.blocks() {
             assert_eq!(start, block.start, "{name}");
-            assert!(start >= prev_end, "{name}: block {start:#x} overlaps previous");
+            assert!(
+                start >= prev_end,
+                "{name}: block {start:#x} overlaps previous"
+            );
             assert!(!block.insns.is_empty(), "{name}: empty block {start:#x}");
             assert!(block.end() > start, "{name}");
             prev_end = block.end();
@@ -63,7 +76,10 @@ fn edges_land_on_block_starts() {
     for (name, cfg) in cfgs_of_corpus(103) {
         for &from in cfg.blocks().keys() {
             for &(to, _) in cfg.succs(from) {
-                assert!(cfg.block(to).is_some(), "{name}: edge into non-block {to:#x}");
+                assert!(
+                    cfg.block(to).is_some(),
+                    "{name}: edge into non-block {to:#x}"
+                );
             }
         }
     }
@@ -96,7 +112,9 @@ fn reachable_blocks_exist_and_include_entry() {
         for &b in cfg.reachable() {
             assert!(cfg.block(b).is_some(), "{name}");
         }
-        let entry_block = cfg.block_containing(cfg.entries()[0]).expect("entry decodes");
+        let entry_block = cfg
+            .block_containing(cfg.entries()[0])
+            .expect("entry decodes");
         assert!(cfg.reachable().contains(&entry_block), "{name}");
     }
 }
@@ -110,15 +128,27 @@ fn active_ataken_is_subset_of_plain_on_corpus() {
         let funcs: Vec<FunctionSym> = elf
             .function_symbols()
             .into_iter()
-            .map(|s| FunctionSym { name: s.name.clone(), entry: s.value, size: s.size })
+            .map(|s| FunctionSym {
+                name: s.name.clone(),
+                entry: s.value,
+                size: s.size,
+            })
             .collect();
-        let active = Cfg::build(text, vaddr, &[elf.entry_point()], &funcs, &CfgOptions::default());
+        let active = Cfg::build(
+            text,
+            vaddr,
+            &[elf.entry_point()],
+            &funcs,
+            &CfgOptions::default(),
+        );
         let plain = Cfg::build(
             text,
             vaddr,
             &[elf.entry_point()],
             &funcs,
-            &CfgOptions { indirect: IndirectResolution::AddressTaken },
+            &CfgOptions {
+                indirect: IndirectResolution::AddressTaken,
+            },
         );
         assert!(
             active.addresses_taken().is_subset(plain.addresses_taken()),
@@ -159,14 +189,12 @@ fn return_edges_pair_with_call_edges() {
                 if kind != EdgeKind::Return {
                     continue;
                 }
-                let has_call_fallthrough = cfg
-                    .preds(to)
-                    .iter()
-                    .any(|&(p, k)| k == EdgeKind::FallThrough && {
-                        cfg.block(p).is_some_and(|b| {
-                            matches!(b.terminator().op, bside_x86::Op::Call(_))
-                        })
-                    });
+                let has_call_fallthrough = cfg.preds(to).iter().any(|&(p, k)| {
+                    k == EdgeKind::FallThrough && {
+                        cfg.block(p)
+                            .is_some_and(|b| matches!(b.terminator().op, bside_x86::Op::Call(_)))
+                    }
+                });
                 assert!(
                     has_call_fallthrough,
                     "{name}: return edge {from:#x}->{to:#x} without a call fall-through"

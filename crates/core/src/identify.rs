@@ -1,10 +1,11 @@
 //! Per-site system call type identification (step H of Fig. 3).
 
+use crate::par;
 use crate::wrapper::{WrapperInfo, WrapperParam};
 use crate::{AnalysisError, AnalyzerOptions};
 use bside_cfg::Cfg;
-use bside_symex::{find_values_within, Query, QueryLoc};
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_symex::{find_values_scratch, Query, QueryLoc, SearchScratch};
+use bside_syscalls::{SyscallSet, Sysno};
 use bside_x86::Reg;
 use std::collections::BTreeSet;
 
@@ -58,12 +59,17 @@ pub(crate) fn identify_wrapper(
     wrapper: &WrapperInfo,
     options: &AnalyzerOptions,
     universe: Option<&BTreeSet<u64>>,
+    scratch: &mut SearchScratch,
 ) -> Result<(SyscallSet, bool), AnalysisError> {
     let query = match wrapper.param {
-        WrapperParam::Reg(r) => Query { target: wrapper.entry, what: QueryLoc::Reg(r) },
-        WrapperParam::StackSlot(off) => {
-            Query { target: wrapper.entry, what: QueryLoc::StackSlot(off) }
-        }
+        WrapperParam::Reg(r) => Query {
+            target: wrapper.entry,
+            what: QueryLoc::Reg(r),
+        },
+        WrapperParam::StackSlot(off) => Query {
+            target: wrapper.entry,
+            what: QueryLoc::StackSlot(off),
+        },
         WrapperParam::Unknown => {
             return Ok(if options.conservative_fallback {
                 (SyscallSet::all_known(), false)
@@ -72,9 +78,11 @@ pub(crate) fn identify_wrapper(
             });
         }
     };
-    let result = find_values_within(cfg, &query, &options.limits, universe);
+    let result = find_values_scratch(cfg, &query, &options.limits, universe, scratch);
     if result.budget_exhausted {
-        return Err(AnalysisError::Timeout { step: "wrapper identification" });
+        return Err(AnalysisError::Timeout {
+            step: "wrapper identification",
+        });
     }
     if result.complete {
         Ok((to_syscall_set(result.values), true))
@@ -99,56 +107,118 @@ pub(crate) fn identify_sites(
     wrappers: &[WrapperInfo],
     options: &AnalyzerOptions,
 ) -> Result<IdentifyOutcome, AnalysisError> {
-    let mut sites = Vec::new();
-    let mut blocks_explored = 0usize;
-
     // §4.4: only occurrences reachable from the entry point are
     // considered — and the *searches* stay within reachable blocks too,
     // so values passed at dead call sites (e.g. an unlinked wrapper
     // caller) do not leak into a reachable site's set.
     let universe = cfg.reachable();
 
-    for site in cfg.syscall_sites() {
-        let function = cfg.function_of(site);
-        let wrapper = wrappers.iter().find(|w| w.sites.contains(&site));
+    // A wrapper's identification is the same at every one of its sites
+    // (same query at the wrapper entry, same universe): run each wrapper
+    // search once up front instead of once per contained site.
+    let wrapper_sets: Vec<(SyscallSet, bool)> = {
+        let mut scratch = SearchScratch::new();
+        wrappers
+            .iter()
+            .map(|w| identify_wrapper(cfg, w, options, Some(universe), &mut scratch))
+            .collect::<Result<_, _>>()?
+    };
 
-        let (syscalls, outcome) = match wrapper {
-            Some(w) => {
-                let (set, complete) = identify_wrapper(cfg, w, options, Some(universe))?;
-                if complete {
-                    (set, SiteOutcome::ViaWrapper)
-                } else {
-                    (set, SiteOutcome::ConservativeFallback)
-                }
-            }
-            None => {
-                let q = Query { target: site, what: QueryLoc::Reg(Reg::Rax) };
-                let result = find_values_within(cfg, &q, &options.limits, Some(universe));
-                blocks_explored += result.blocks_explored;
-                if result.budget_exhausted {
-                    return Err(AnalysisError::Timeout { step: "syscall identification" });
-                }
-                if result.complete {
-                    (to_syscall_set(result.values), SiteOutcome::Exact)
-                } else if options.conservative_fallback {
-                    let mut set = SyscallSet::all_known();
-                    set.extend_from(&to_syscall_set(result.values));
-                    (set, SiteOutcome::ConservativeFallback)
-                } else {
-                    (to_syscall_set(result.values), SiteOutcome::ConservativeFallback)
-                }
-            }
-        };
+    // Each site's search is a pure function of (cfg, wrappers, options,
+    // universe): fan the sites out across workers, in ascending address
+    // order so reports and error selection are deterministic. Once any
+    // site exhausts a budget, remaining sites are cancelled.
+    let mut site_addrs = cfg.syscall_sites();
+    site_addrs.sort_unstable();
 
-        sites.push(SiteReport {
-            site,
-            function: function.map(|f| f.name.clone()),
-            syscalls,
-            outcome,
-        });
+    let results = par::run_indexed_ctx_fallible(
+        options.parallelism,
+        &site_addrs,
+        SearchScratch::new,
+        |scratch, _, &site| {
+            identify_one_site(
+                cfg,
+                wrappers,
+                &wrapper_sets,
+                options,
+                universe,
+                site,
+                scratch,
+            )
+        },
+    )?;
+
+    let mut sites = Vec::with_capacity(results.len());
+    let mut blocks_explored = 0usize;
+    for (report, blocks) in results {
+        blocks_explored += blocks;
+        sites.push(report);
     }
+    Ok(IdentifyOutcome {
+        sites,
+        blocks_explored,
+    })
+}
 
-    Ok(IdentifyOutcome { sites, blocks_explored })
+/// Identifies one `syscall` site; the per-worker unit of the parallel
+/// fan-out. Returns the report plus the blocks this site's search
+/// explored (summed into the Table 3 cost counter).
+fn identify_one_site(
+    cfg: &Cfg,
+    wrappers: &[WrapperInfo],
+    wrapper_sets: &[(SyscallSet, bool)],
+    options: &AnalyzerOptions,
+    universe: &BTreeSet<u64>,
+    site: u64,
+    scratch: &mut SearchScratch,
+) -> Result<(SiteReport, usize), AnalysisError> {
+    let function = cfg.function_of(site);
+    let wrapper = wrappers.iter().position(|w| w.sites.contains(&site));
+    let mut blocks_explored = 0usize;
+
+    let (syscalls, outcome) = match wrapper {
+        Some(w) => {
+            let (set, complete) = wrapper_sets[w];
+            if complete {
+                (set, SiteOutcome::ViaWrapper)
+            } else {
+                (set, SiteOutcome::ConservativeFallback)
+            }
+        }
+        None => {
+            let q = Query {
+                target: site,
+                what: QueryLoc::Reg(Reg::Rax),
+            };
+            let result = find_values_scratch(cfg, &q, &options.limits, Some(universe), scratch);
+            blocks_explored += result.blocks_explored;
+            if result.budget_exhausted {
+                return Err(AnalysisError::Timeout {
+                    step: "syscall identification",
+                });
+            }
+            if result.complete {
+                (to_syscall_set(result.values), SiteOutcome::Exact)
+            } else if options.conservative_fallback {
+                let mut set = SyscallSet::all_known();
+                set.extend_from(&to_syscall_set(result.values));
+                (set, SiteOutcome::ConservativeFallback)
+            } else {
+                (
+                    to_syscall_set(result.values),
+                    SiteOutcome::ConservativeFallback,
+                )
+            }
+        }
+    };
+
+    let report = SiteReport {
+        site,
+        function: function.map(|f| f.name.clone()),
+        syscalls,
+        outcome,
+    };
+    Ok((report, blocks_explored))
 }
 
 #[cfg(test)]
@@ -176,7 +246,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "f".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let out = analyze(code, funcs, 0x1000);
         assert_eq!(out.sites.len(), 1);
         assert_eq!(out.sites[0].outcome, SiteOutcome::Exact);
@@ -202,8 +276,16 @@ mod tests {
         a.ret();
         let code = a.finish().unwrap();
         let funcs = vec![
-            FunctionSym { name: "main".into(), entry: 0x1000, size: w_addr - 0x1000 },
-            FunctionSym { name: "syscall".into(), entry: w_addr, size: 0 },
+            FunctionSym {
+                name: "main".into(),
+                entry: 0x1000,
+                size: w_addr - 0x1000,
+            },
+            FunctionSym {
+                name: "syscall".into(),
+                entry: w_addr,
+                size: 0,
+            },
         ];
         let out = analyze(code, funcs, 0x1000);
         assert_eq!(out.sites.len(), 1);
@@ -229,8 +311,16 @@ mod tests {
         a.ret();
         let code = a.finish().unwrap();
         let funcs = vec![
-            FunctionSym { name: "main".into(), entry: 0x1000, size: w_addr - 0x1000 },
-            FunctionSym { name: "go_syscall".into(), entry: w_addr, size: 0 },
+            FunctionSym {
+                name: "main".into(),
+                entry: 0x1000,
+                size: w_addr - 0x1000,
+            },
+            FunctionSym {
+                name: "go_syscall".into(),
+                entry: w_addr,
+                size: 0,
+            },
         ];
         let out = analyze(code, funcs, 0x1000);
         assert_eq!(out.sites.len(), 1);
@@ -247,7 +337,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "f".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let out = analyze(code, funcs, 0x1000);
         assert!(out.sites[0].syscalls.is_empty());
     }
@@ -260,7 +354,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "f".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let out = analyze(code, funcs, 0x1000);
         assert_eq!(out.sites[0].outcome, SiteOutcome::ConservativeFallback);
         assert_eq!(out.sites[0].syscalls.len(), SyscallSet::all_known().len());

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod identify;
+mod par;
 pub mod phase;
 pub mod report;
 pub mod shared;
@@ -63,7 +64,8 @@ use std::fmt;
 use std::time::Instant;
 
 pub use identify::{SiteOutcome, SiteReport};
-pub use report::{AnalysisStats, PhaseTimings};
+pub use par::default_parallelism;
+pub use report::{AnalysisStats, PhaseTimings, PipelineTimings};
 pub use shared::{LibraryStore, SharedInterface};
 pub use wrapper::{WrapperInfo, WrapperParam};
 
@@ -124,6 +126,15 @@ pub struct AnalyzerOptions {
     /// fall back to "all known system calls" for that site. This keeps
     /// the no-false-negative guarantee at the cost of precision.
     pub conservative_fallback: bool,
+    /// Worker threads for the embarrassingly-parallel pipeline stages:
+    /// per-site identification, per-export attribution, and the batch
+    /// APIs ([`Analyzer::analyze_corpus`], [`Analyzer::analyze_libraries`]).
+    /// `1` runs everything inline on the calling thread. Results are
+    /// byte-identical for every value — the fan-out preserves input order
+    /// and each unit is a pure function of shared read-only state.
+    ///
+    /// Defaults to the machine's available hardware parallelism.
+    pub parallelism: usize,
 }
 
 impl Default for AnalyzerOptions {
@@ -133,6 +144,7 @@ impl Default for AnalyzerOptions {
             limits: Limits::default(),
             detect_wrappers: true,
             conservative_fallback: true,
+            parallelism: par::default_parallelism(),
         }
     }
 }
@@ -152,6 +164,54 @@ pub struct BinaryAnalysis {
     pub stats: AnalysisStats,
     /// The recovered CFG (input to phase detection).
     pub cfg: Cfg,
+}
+
+impl BinaryAnalysis {
+    /// A canonical, timing-free rendering of the analysis result.
+    ///
+    /// Two analyses of the same binary under the same options produce
+    /// byte-identical canonical reports **regardless of
+    /// [`AnalyzerOptions::parallelism`]** — the determinism contract of
+    /// the parallel engine, checked by the `determinism` integration
+    /// test. Wall-clock timings and peak RSS are deliberately excluded;
+    /// every other observable (sites, sets, wrappers, cost counters) is
+    /// included.
+    pub fn canonical_report(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "syscalls: {}", self.syscalls);
+        let _ = writeln!(out, "precise: {}", self.precise);
+        let _ = writeln!(out, "sites: {}", self.sites.len());
+        for site in &self.sites {
+            let _ = writeln!(
+                out,
+                "  site {:#x} fn={} outcome={:?} set={}",
+                site.site,
+                site.function.as_deref().unwrap_or("?"),
+                site.outcome,
+                site.syscalls
+            );
+        }
+        let _ = writeln!(out, "wrappers: {}", self.wrappers.len());
+        for w in &self.wrappers {
+            let _ = writeln!(
+                out,
+                "  wrapper {} entry={:#x} param={:?} sites={:?}",
+                w.name, w.entry, w.param, w.sites
+            );
+        }
+        let _ = writeln!(
+            out,
+            "cfg: blocks={} instructions={} ataken_iterations={} addresses_taken={}",
+            self.stats.cfg.blocks,
+            self.stats.cfg.instructions,
+            self.stats.cfg.ataken_iterations,
+            self.stats.cfg.addresses_taken
+        );
+        let _ = writeln!(out, "blocks_explored: {}", self.stats.blocks_explored);
+        out
+    }
 }
 
 /// The B-Side analyzer. See the crate-level example.
@@ -174,7 +234,11 @@ impl Analyzer {
     fn functions_of(elf: &Elf) -> Vec<FunctionSym> {
         elf.function_symbols()
             .into_iter()
-            .map(|s| FunctionSym { name: s.name.clone(), entry: s.value, size: s.size })
+            .map(|s| FunctionSym {
+                name: s.name.clone(),
+                entry: s.value,
+                size: s.size,
+            })
             .collect()
     }
 
@@ -224,7 +288,9 @@ impl Analyzer {
         // dlopen modules: every exported function may be invoked.
         for module in modules {
             for export in module.exports.values() {
-                analysis.syscalls.extend_from(&libs.resolve_export_set(module, export));
+                analysis
+                    .syscalls
+                    .extend_from(&libs.resolve_export_set(module, export));
                 if !export.complete {
                     analysis.precise = false;
                 }
@@ -251,6 +317,58 @@ impl Analyzer {
         exposed: Option<&[String]>,
     ) -> Result<SharedInterface, AnalysisError> {
         shared::analyze_library(self, elf, name, exposed)
+    }
+
+    /// A copy of this analyzer with a different worker count — used by
+    /// the batch APIs to avoid nesting thread pools.
+    fn with_parallelism(&self, parallelism: usize) -> Analyzer {
+        let mut options = self.options.clone();
+        options.parallelism = parallelism;
+        Analyzer { options }
+    }
+
+    /// Analyzes a batch of self-contained binaries, fanning out across
+    /// [`AnalyzerOptions::parallelism`] worker threads with one binary
+    /// per work unit (inner per-site parallelism is disabled to avoid
+    /// oversubscription). Results come back in input order, each binary's
+    /// outcome independent of its neighbours' — exactly what a
+    /// `gen::profiles` corpus run or a Debian-scale sweep needs.
+    pub fn analyze_corpus(
+        &self,
+        binaries: &[(&str, &Elf)],
+    ) -> Vec<(String, Result<BinaryAnalysis, AnalysisError>)> {
+        let inner = self.with_parallelism(1);
+        par::run_indexed(self.options.parallelism, binaries, |_, &(name, elf)| {
+            (name.to_string(), inner.analyze_static(elf))
+        })
+    }
+
+    /// Analyzes a batch of shared libraries into a [`LibraryStore`], one
+    /// library per work unit across [`AnalyzerOptions::parallelism`]
+    /// workers (§4.5's per-module analyses are mutually independent).
+    ///
+    /// Interfaces are inserted in input order, preserving the
+    /// link-order "first export wins" resolution the store implements.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing library's error, in input order.
+    pub fn analyze_libraries(
+        &self,
+        libraries: &[(&str, &Elf)],
+    ) -> Result<LibraryStore, AnalysisError> {
+        let inner = self.with_parallelism(1);
+        let interfaces = par::run_indexed_ctx_fallible(
+            self.options.parallelism,
+            libraries,
+            || (),
+            |(), _, &(name, elf)| inner.analyze_library(elf, name, None),
+        )?;
+        let mut store = LibraryStore::new();
+        for interface in interfaces {
+            store.insert(interface);
+        }
+        Ok(store)
     }
 
     /// Shared implementation: CFG recovery + site identification rooted at

@@ -16,9 +16,8 @@
 //! (41 s vs 700 s on a hello-world; automaton wins).
 
 use bside_cfg::{BasicBlock, Cfg};
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_syscalls::{SyscallSet, Sysno};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-
 
 /// Options for phase detection.
 #[derive(Debug, Clone)]
@@ -144,10 +143,7 @@ impl PhaseAutomaton {
 
 /// Per-block NFA labeling: a block's outgoing edges carry the union of
 /// its sites' system call sets; blocks without sites emit ε.
-fn block_labels(
-    cfg: &Cfg,
-    site_sets: &HashMap<u64, SyscallSet>,
-) -> HashMap<u64, SyscallSet> {
+fn block_labels(cfg: &Cfg, site_sets: &HashMap<u64, SyscallSet>) -> HashMap<u64, SyscallSet> {
     let mut labels: HashMap<u64, SyscallSet> = HashMap::new();
     for (&start, block) in cfg.blocks() {
         let mut set = SyscallSet::new();
@@ -189,12 +185,12 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
     let mut truncated = false;
 
     let get = |ctx: &[u64],
-                   b: u64,
-                   block: &mut Vec<u64>,
-                   ctxs: &mut Vec<Vec<u64>>,
-                   succs: &mut Vec<Vec<usize>>,
-                   intern: &mut HashMap<(Vec<u64>, u64), usize>,
-                   queue: &mut VecDeque<usize>|
+               b: u64,
+               block: &mut Vec<u64>,
+               ctxs: &mut Vec<Vec<u64>>,
+               succs: &mut Vec<Vec<usize>>,
+               intern: &mut HashMap<(Vec<u64>, u64), usize>,
+               queue: &mut VecDeque<usize>|
      -> usize {
         let key = (ctx.to_vec(), b);
         if let Some(&id) = intern.get(&key) {
@@ -214,7 +210,17 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
         .entries()
         .iter()
         .filter_map(|&e| cfg.block_containing(e))
-        .map(|b| get(&[], b, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue))
+        .map(|b| {
+            get(
+                &[],
+                b,
+                &mut block,
+                &mut ctxs,
+                &mut succs,
+                &mut intern,
+                &mut queue,
+            )
+        })
         .collect();
 
     while let Some(id) = queue.pop_front() {
@@ -238,7 +244,15 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
                     {
                         let mut ctx2 = ctx.clone();
                         ctx2.push(b);
-                        out.push(get(&ctx2, to, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                        out.push(get(
+                            &ctx2,
+                            to,
+                            &mut block,
+                            &mut ctxs,
+                            &mut succs,
+                            &mut intern,
+                            &mut queue,
+                        ));
                         entered = true;
                     }
                 }
@@ -247,7 +261,15 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
                     // over the call.
                     for &(to, kind) in cfg.succs(b) {
                         if kind == EdgeKind::FallThrough {
-                            out.push(get(&ctx, to, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                            out.push(get(
+                                &ctx,
+                                to,
+                                &mut block,
+                                &mut ctxs,
+                                &mut succs,
+                                &mut intern,
+                                &mut queue,
+                            ));
                         }
                     }
                 }
@@ -256,7 +278,15 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
                 if let Some((&call_block, rest)) = ctx.split_last() {
                     if let Some(cb) = cfg.block(call_block) {
                         if let Some(cont) = cfg.block_containing(cb.terminator().end()) {
-                            out.push(get(rest, cont, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                            out.push(get(
+                                rest,
+                                cont,
+                                &mut block,
+                                &mut ctxs,
+                                &mut succs,
+                                &mut intern,
+                                &mut queue,
+                            ));
                         }
                     }
                 }
@@ -264,9 +294,19 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
             }
             _ => {
                 for &(to, kind) in cfg.succs(b) {
-                    if matches!(kind, EdgeKind::Branch | EdgeKind::FallThrough | EdgeKind::Indirect)
-                    {
-                        out.push(get(&ctx, to, &mut block, &mut ctxs, &mut succs, &mut intern, &mut queue));
+                    if matches!(
+                        kind,
+                        EdgeKind::Branch | EdgeKind::FallThrough | EdgeKind::Indirect
+                    ) {
+                        out.push(get(
+                            &ctx,
+                            to,
+                            &mut block,
+                            &mut ctxs,
+                            &mut succs,
+                            &mut intern,
+                            &mut queue,
+                        ));
                     }
                 }
             }
@@ -276,7 +316,12 @@ fn expand(cfg: &Cfg, depth: usize, max_nodes: usize) -> Expanded {
         succs[id] = out;
     }
 
-    Expanded { block, succs, entries, truncated }
+    Expanded {
+        block,
+        succs,
+        entries,
+        truncated,
+    }
 }
 
 /// Synthetic halt node id within the expanded graph's DFA state sets.
@@ -346,7 +391,9 @@ pub fn detect_phases(
             if n == HALT_NODE {
                 continue;
             }
-            let Some(label) = labels.get(&expanded.block[n]) else { continue };
+            let Some(label) = labels.get(&expanded.block[n]) else {
+                continue;
+            };
             let succs = &expanded.succs[n];
             if succs.is_empty() {
                 for s in label.iter() {
@@ -412,13 +459,22 @@ pub fn detect_phases(
         for (&sym, &to_state) in edges {
             let to = scc[to_state];
             if let Some(sysno) = Sysno::new(sym) {
-                phases[from].transitions.entry(to).or_default().insert(sysno);
+                phases[from]
+                    .transitions
+                    .entry(to)
+                    .or_default()
+                    .insert(sysno);
             }
         }
     }
 
     let initial = if dfa_states > 0 { scc[0] } else { 0 };
-    PhaseAutomaton { phases, initial, dfa_states, truncated }
+    PhaseAutomaton {
+        phases,
+        initial,
+        dfa_states,
+        truncated,
+    }
 }
 
 /// Tarjan's strongly-connected components; returns a component id per
@@ -431,8 +487,15 @@ fn tarjan_scc<I: Iterator<Item = usize>>(n: usize, succs: impl Fn(usize) -> I) -
         on_stack: bool,
         visited: bool,
     }
-    let mut nodes =
-        vec![Node { index: 0, lowlink: 0, on_stack: false, visited: false }; n];
+    let mut nodes = vec![
+        Node {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut comp = vec![usize::MAX; n];
     let mut next_index = 0usize;
@@ -443,8 +506,7 @@ fn tarjan_scc<I: Iterator<Item = usize>>(n: usize, succs: impl Fn(usize) -> I) -
             continue;
         }
         // Iterative DFS with an explicit call stack.
-        let mut call: Vec<(usize, Vec<usize>, usize)> =
-            vec![(root, succs(root).collect(), 0)];
+        let mut call: Vec<(usize, Vec<usize>, usize)> = vec![(root, succs(root).collect(), 0)];
         nodes[root].visited = true;
         nodes[root].index = next_index;
         nodes[root].lowlink = next_index;
@@ -502,10 +564,7 @@ fn tarjan_scc<I: Iterator<Item = usize>>(n: usize, succs: impl Fn(usize) -> I) -
 /// third cluster (one BFS per direction per pair), merges the first such
 /// pair, and starts over — the quadratic-with-recomputation cost profile
 /// that motivates the automaton construction.
-pub fn detect_phases_naive(
-    cfg: &Cfg,
-    site_sets: &HashMap<u64, SyscallSet>,
-) -> PhaseAutomaton {
+pub fn detect_phases_naive(cfg: &Cfg, site_sets: &HashMap<u64, SyscallSet>) -> PhaseAutomaton {
     let labels = block_labels(cfg, site_sets);
     let syscall_blocks: Vec<u64> = {
         let mut v: Vec<u64> = labels.keys().copied().collect();
@@ -516,8 +575,11 @@ pub fn detect_phases_naive(
 
     // cluster id per syscall block.
     let mut cluster: Vec<usize> = (0..n).collect();
-    let index_of: HashMap<u64, usize> =
-        syscall_blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let index_of: HashMap<u64, usize> = syscall_blocks
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, i))
+        .collect();
 
     // BFS: does `from` reach `to` without entering a syscall block of a
     // third cluster? Recomputed from scratch every time — the naive cost.
@@ -607,7 +669,11 @@ pub fn detect_phases_naive(
         while let Some(x) = queue.pop_front() {
             if let Some(&k) = index_of.get(&x) {
                 let to = remap[&cluster[k]];
-                phases[from].transitions.entry(to).or_default().extend_from(label);
+                phases[from]
+                    .transitions
+                    .entry(to)
+                    .or_default()
+                    .extend_from(label);
                 continue;
             }
             for &(succ, _) in cfg.succs(x) {
@@ -621,7 +687,12 @@ pub fn detect_phases_naive(
         .first()
         .map(|_| remap[&cluster[0]])
         .unwrap_or(0);
-    PhaseAutomaton { phases, initial, dfa_states: n, truncated: false }
+    PhaseAutomaton {
+        phases,
+        initial,
+        dfa_states: n,
+        truncated: false,
+    }
 }
 
 #[cfg(test)]
@@ -660,12 +731,20 @@ mod tests {
         a.ret();
 
         let code = a.finish().unwrap();
-        let funcs =
-            vec![FunctionSym { name: "_start".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "_start".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = Cfg::build(&code, 0x1000, &[0x1000], &funcs, &CfgOptions::default());
 
         let site = |addr: u64, raw: u32| {
-            (addr, [Sysno::new(raw).unwrap()].into_iter().collect::<SyscallSet>())
+            (
+                addr,
+                [Sysno::new(raw).unwrap()]
+                    .into_iter()
+                    .collect::<SyscallSet>(),
+            )
         };
         let sets: HashMap<u64, SyscallSet> = [
             site(open_site, 2),
@@ -689,7 +768,10 @@ mod tests {
         let initial = &automaton.phases[automaton.initial];
         let allowed = initial.allowed();
         assert!(allowed.contains(Sysno::new(2).unwrap()), "{allowed}");
-        assert!(!allowed.contains(Sysno::new(1).unwrap()), "init must not allow write: {allowed}");
+        assert!(
+            !allowed.contains(Sysno::new(1).unwrap()),
+            "init must not allow write: {allowed}"
+        );
 
         // Some phase (the serving loop) allows read and write together
         // via self-transitions.
@@ -737,7 +819,10 @@ mod tests {
             whole.extend_from(s);
         }
         let gain = automaton.strictness_gain(&whole);
-        assert!(gain > 0.0, "phases must be stricter than the whole-program list, gain={gain}");
+        assert!(
+            gain > 0.0,
+            "phases must be stricter than the whole-program list, gain={gain}"
+        );
         assert!(gain < 1.0);
     }
 
@@ -750,7 +835,10 @@ mod tests {
         assert!(automaton.phases.len() >= 2);
         assert!(naive.phases.len() >= 2);
         // And the loop shows up as a self-transition in both.
-        assert!(naive.phases.iter().any(|p| p.transitions.contains_key(&p.id)));
+        assert!(naive
+            .phases
+            .iter()
+            .any(|p| p.transitions.contains_key(&p.id)));
     }
 
     #[test]
@@ -762,7 +850,11 @@ mod tests {
             &code,
             0x1000,
             &[0x1000],
-            &[FunctionSym { name: "f".into(), entry: 0x1000, size: 1 }],
+            &[FunctionSym {
+                name: "f".into(),
+                entry: 0x1000,
+                size: 1,
+            }],
             &CfgOptions::default(),
         );
         let automaton = detect_phases(&cfg, &HashMap::new(), &PhaseOptions::default());

@@ -18,7 +18,7 @@ use bside_syscalls::SyscallSet;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Everything a consumer needs to know about one exported function.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExportInfo {
     /// System calls reachable from this export *within* the library.
     pub syscalls: SyscallSet,
@@ -31,7 +31,7 @@ pub struct ExportInfo {
 }
 
 /// The per-library analysis artifact (a JSON file in the paper, §4.5).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SharedInterface {
     /// Library name (`DT_NEEDED` spelling, e.g. `libc.so`).
     pub library: String,
@@ -46,6 +46,19 @@ pub struct SharedInterface {
     /// functions, by name.
     pub function_cfg: BTreeMap<String, BTreeSet<String>>,
 }
+
+serde::impl_serde_struct!(ExportInfo {
+    syscalls,
+    calls_out,
+    complete
+});
+serde::impl_serde_struct!(SharedInterface {
+    library,
+    exports,
+    wrappers,
+    addresses_taken,
+    function_cfg,
+});
 
 impl SharedInterface {
     /// Serializes the interface to JSON (the on-disk format of §4.5).
@@ -275,12 +288,15 @@ pub(crate) fn analyze_library(
     name: &str,
     exposed: Option<&[String]>,
 ) -> Result<SharedInterface, AnalysisError> {
-    let exports: Vec<(String, u64)> = elf
+    let mut exports: Vec<(String, u64)> = elf
         .exported_functions()
         .into_iter()
         .filter(|s| exposed.is_none_or(|names| names.iter().any(|n| n == &s.name)))
         .map(|s| (s.name.clone(), s.value))
         .collect();
+    // Deterministic processing (and error-selection) order for the
+    // parallel per-export fan-out below.
+    exports.sort();
     if exports.is_empty() {
         return Err(AnalysisError::NoEntry);
     }
@@ -309,7 +325,12 @@ pub(crate) fn analyze_library(
     let site_complete: HashMap<u64, bool> = analysis
         .sites
         .iter()
-        .map(|s| (s.site, !matches!(s.outcome, crate::SiteOutcome::ConservativeFallback)))
+        .map(|s| {
+            (
+                s.site,
+                !matches!(s.outcome, crate::SiteOutcome::ConservativeFallback),
+            )
+        })
         .collect();
 
     // GOT slot → import name for external call attribution.
@@ -318,57 +339,31 @@ pub(crate) fn analyze_library(
         slot_to_symbol.insert(rela.r_offset, rela.symbol_name.clone());
     }
 
+    // Each export's attribution — block BFS plus restricted wrapper
+    // re-queries — touches only shared read-only state; fan the exports
+    // out across workers (cancelling on the first budget exhaustion) and
+    // fold the results back in input order.
+    let export_results = crate::par::run_indexed_ctx_fallible(
+        analyzer.options().parallelism,
+        &exports,
+        bside_symex::SearchScratch::new,
+        |scratch, _, (export_name, entry)| {
+            analyze_one_export(
+                analyzer,
+                cfg,
+                &analysis.wrappers,
+                &site_sets,
+                &site_complete,
+                &slot_to_symbol,
+                *entry,
+                scratch,
+            )
+            .map(|info| (export_name.clone(), info))
+        },
+    )?;
     let mut export_infos: BTreeMap<String, ExportInfo> = BTreeMap::new();
-    for (export_name, entry) in &exports {
-        let mut info =
-            ExportInfo { syscalls: SyscallSet::new(), calls_out: BTreeSet::new(), complete: true };
-        // Per-export reachability over the library CFG.
-        let Some(entry_block) = cfg.block_containing(*entry) else {
-            export_infos.insert(export_name.clone(), info);
-            continue;
-        };
-        let mut seen: BTreeSet<u64> = [entry_block].into();
-        let mut queue: VecDeque<u64> = [entry_block].into();
-        while let Some(b) = queue.pop_front() {
-            if let Some(&slot) = cfg.plt_stubs().get(&b).as_ref() {
-                match slot_to_symbol.get(slot) {
-                    Some(sym) => {
-                        info.calls_out.insert(sym.clone());
-                    }
-                    None => info.complete = false,
-                }
-            }
-            if let Some(block) = cfg.block(b) {
-                for insn in &block.insns {
-                    if let Some(set) = site_sets.get(&insn.addr) {
-                        info.syscalls.extend_from(set);
-                        info.complete &= site_complete.get(&insn.addr).copied().unwrap_or(false);
-                    }
-                }
-            }
-            for &(to, kind) in cfg.succs(b) {
-                if kind == EdgeKind::Return {
-                    continue;
-                }
-                if seen.insert(to) {
-                    queue.push_back(to);
-                }
-            }
-        }
-        // Wrapper sites reachable from this export: query the wrapper
-        // parameter with the search universe restricted to the export's
-        // blocks, so only numbers this export can pass are attributed.
-        for w in &analysis.wrappers {
-            let Some(wb) = cfg.block_containing(w.entry) else { continue };
-            if !seen.contains(&wb) {
-                continue;
-            }
-            let (set, complete) =
-                crate::identify::identify_wrapper(cfg, w, analyzer.options(), Some(&seen))?;
-            info.syscalls.extend_from(&set);
-            info.complete &= complete;
-        }
-        export_infos.insert(export_name.clone(), info);
+    for (export_name, info) in export_results {
+        export_infos.insert(export_name, info);
     }
 
     // Function-level call graph (item 1 of the interface contents).
@@ -404,6 +399,77 @@ pub(crate) fn analyze_library(
     })
 }
 
+/// Attributes one export: BFS over its reachable blocks collecting direct
+/// site sets and outgoing PLT calls, then re-queries reachable wrapper
+/// sites restricted to those blocks (§4.5). The per-worker unit of the
+/// parallel per-export fan-out; `scratch` is the worker's reusable
+/// search buffer.
+#[allow(clippy::too_many_arguments)]
+fn analyze_one_export(
+    analyzer: &Analyzer,
+    cfg: &Cfg,
+    wrappers: &[crate::WrapperInfo],
+    site_sets: &HashMap<u64, &SyscallSet>,
+    site_complete: &HashMap<u64, bool>,
+    slot_to_symbol: &HashMap<u64, String>,
+    entry: u64,
+    scratch: &mut bside_symex::SearchScratch,
+) -> Result<ExportInfo, AnalysisError> {
+    let mut info = ExportInfo {
+        syscalls: SyscallSet::new(),
+        calls_out: BTreeSet::new(),
+        complete: true,
+    };
+    // Per-export reachability over the library CFG.
+    let Some(entry_block) = cfg.block_containing(entry) else {
+        return Ok(info);
+    };
+    let mut seen: BTreeSet<u64> = [entry_block].into();
+    let mut queue: VecDeque<u64> = [entry_block].into();
+    while let Some(b) = queue.pop_front() {
+        if let Some(&slot) = cfg.plt_stubs().get(&b).as_ref() {
+            match slot_to_symbol.get(slot) {
+                Some(sym) => {
+                    info.calls_out.insert(sym.clone());
+                }
+                None => info.complete = false,
+            }
+        }
+        if let Some(block) = cfg.block(b) {
+            for insn in &block.insns {
+                if let Some(set) = site_sets.get(&insn.addr) {
+                    info.syscalls.extend_from(set);
+                    info.complete &= site_complete.get(&insn.addr).copied().unwrap_or(false);
+                }
+            }
+        }
+        for &(to, kind) in cfg.succs(b) {
+            if kind == EdgeKind::Return {
+                continue;
+            }
+            if seen.insert(to) {
+                queue.push_back(to);
+            }
+        }
+    }
+    // Wrapper sites reachable from this export: query the wrapper
+    // parameter with the search universe restricted to the export's
+    // blocks, so only numbers this export can pass are attributed.
+    for w in wrappers {
+        let Some(wb) = cfg.block_containing(w.entry) else {
+            continue;
+        };
+        if !seen.contains(&wb) {
+            continue;
+        }
+        let (set, complete) =
+            crate::identify::identify_wrapper(cfg, w, analyzer.options(), Some(&seen), scratch)?;
+        info.syscalls.extend_from(&set);
+        info.complete &= complete;
+    }
+    Ok(info)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,7 +486,10 @@ mod tests {
     fn lib(name: &str, exports: Vec<(&str, ExportInfo)>) -> SharedInterface {
         SharedInterface {
             library: name.into(),
-            exports: exports.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+            exports: exports
+                .into_iter()
+                .map(|(n, e)| (n.to_string(), e))
+                .collect(),
             wrappers: Vec::new(),
             addresses_taken: Vec::new(),
             function_cfg: BTreeMap::new(),
@@ -430,12 +499,11 @@ mod tests {
     #[test]
     fn closure_follows_cross_library_calls() {
         let mut store = LibraryStore::new();
-        store.insert(lib("liba.so", vec![
-            ("a_fn", export(&[wk::READ], &["b_fn"])),
-        ]));
-        store.insert(lib("libb.so", vec![
-            ("b_fn", export(&[wk::WRITE], &[])),
-        ]));
+        store.insert(lib(
+            "liba.so",
+            vec![("a_fn", export(&[wk::READ], &["b_fn"]))],
+        ));
+        store.insert(lib("libb.so", vec![("b_fn", export(&[wk::WRITE], &[]))]));
         let closure = store.closure();
         let (set, complete) = &closure["a_fn"];
         assert!(complete);
@@ -446,12 +514,14 @@ mod tests {
     #[test]
     fn closure_handles_cycles() {
         let mut store = LibraryStore::new();
-        store.insert(lib("liba.so", vec![
-            ("a_fn", export(&[wk::READ], &["b_fn"])),
-        ]));
-        store.insert(lib("libb.so", vec![
-            ("b_fn", export(&[wk::WRITE], &["a_fn"])),
-        ]));
+        store.insert(lib(
+            "liba.so",
+            vec![("a_fn", export(&[wk::READ], &["b_fn"]))],
+        ));
+        store.insert(lib(
+            "libb.so",
+            vec![("b_fn", export(&[wk::WRITE], &["a_fn"]))],
+        ));
         let closure = store.closure();
         for name in ["a_fn", "b_fn"] {
             let (set, _) = &closure[name];
@@ -462,19 +532,23 @@ mod tests {
     #[test]
     fn unresolvable_import_marks_incomplete() {
         let mut store = LibraryStore::new();
-        store.insert(lib("liba.so", vec![
-            ("a_fn", export(&[wk::READ], &["missing_fn"])),
-        ]));
+        store.insert(lib(
+            "liba.so",
+            vec![("a_fn", export(&[wk::READ], &["missing_fn"]))],
+        ));
         let closure = store.closure();
         assert!(!closure["a_fn"].1);
     }
 
     #[test]
     fn interface_json_round_trip() {
-        let interface = lib("libc.so", vec![
-            ("write", export(&[wk::WRITE], &[])),
-            ("printf", export(&[wk::WRITE, wk::BRK], &["write"])),
-        ]);
+        let interface = lib(
+            "libc.so",
+            vec![
+                ("write", export(&[wk::WRITE], &[])),
+                ("printf", export(&[wk::WRITE, wk::BRK], &["write"])),
+            ],
+        );
         let json = interface.to_json();
         let back = SharedInterface::from_json(&json).expect("parses");
         assert_eq!(interface, back);

@@ -67,7 +67,8 @@ pub fn phase1_may_be_wrapper(cfg: &Cfg, func_entry: u64, site: u64) -> bool {
         .blocks()
         .range(func_entry..)
         .take_while(|(&start, _)| {
-            cfg.function_of(start).is_some_and(|f| f.entry == func_entry)
+            cfg.function_of(start)
+                .is_some_and(|f| f.entry == func_entry)
         })
         .flat_map(|(_, b)| b.insns.iter())
         .filter(|i| i.addr < site)
@@ -78,24 +79,43 @@ pub fn phase1_may_be_wrapper(cfg: &Cfg, func_entry: u64, site: u64) -> bool {
     let mut tracked = Reg::Rax;
     for insn in insns.iter().rev() {
         match insn.op {
-            Op::Mov { dst: Operand::Reg(d), src } if d == tracked => match src {
+            Op::Mov {
+                dst: Operand::Reg(d),
+                src,
+            } if d == tracked => match src {
                 Operand::Imm(_) => return false, // determined
                 Operand::Reg(s) => tracked = s,  // follow the chain
                 Operand::Mem(_) => return true,  // memory: undetermined
             },
             Op::MovImm64 { dst, .. } if dst == tracked => return false,
-            Op::Xor { dst: Operand::Reg(d), src: Operand::Reg(s) } if d == tracked && s == d => {
+            Op::Xor {
+                dst: Operand::Reg(d),
+                src: Operand::Reg(s),
+            } if d == tracked && s == d => {
                 return false; // xor r,r = 0: determined
             }
             Op::Pop(d) if d == tracked => return true, // via stack: undetermined
             // Any other write to the tracked register: undetermined.
-            Op::Add { dst: Operand::Reg(d), .. }
-            | Op::Sub { dst: Operand::Reg(d), .. }
-            | Op::Xor { dst: Operand::Reg(d), .. }
-            | Op::And { dst: Operand::Reg(d), .. }
-            | Op::Or { dst: Operand::Reg(d), .. }
-                if d == tracked =>
-            {
+            Op::Add {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::Sub {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::Xor {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::And {
+                dst: Operand::Reg(d),
+                ..
+            }
+            | Op::Or {
+                dst: Operand::Reg(d),
+                ..
+            } if d == tracked => {
                 return true;
             }
             // A call clobbers caller-saved registers, rax included.
@@ -134,7 +154,10 @@ pub fn phase2_confirm(
     site: u64,
     limits: &Limits,
 ) -> Option<WrapperParam> {
-    let query = Query { target: site, what: QueryLoc::Reg(Reg::Rax) };
+    let query = Query {
+        target: site,
+        what: QueryLoc::Reg(Reg::Rax),
+    };
     let result = exec_within_function(cfg, func_entry, &query, limits);
     if !result.reached {
         // The site is not reachable intra-procedurally; treat as
@@ -219,7 +242,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "syscall".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "syscall".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
         assert!(phase1_may_be_wrapper(&cfg, 0x1000, site));
         let wrappers = detect_wrappers(&cfg, &Limits::default());
@@ -237,8 +264,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs =
-            vec![FunctionSym { name: "runtime.Syscall".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "runtime.Syscall".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
         assert!(phase1_may_be_wrapper(&cfg, 0x1000, site));
         let wrappers = detect_wrappers(&cfg, &Limits::default());
@@ -254,7 +284,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "do_write".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "do_write".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
         // Phase 1 already refutes: no symbolic execution needed.
         assert!(!phase1_may_be_wrapper(&cfg, 0x1000, site));
@@ -275,9 +309,16 @@ mod tests {
         a.add_reg_imm32(Reg::Rsp, 0x10);
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "f".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
-        assert!(phase1_may_be_wrapper(&cfg, 0x1000, site), "phase 1 is conservatively positive");
+        assert!(
+            phase1_may_be_wrapper(&cfg, 0x1000, site),
+            "phase 1 is conservatively positive"
+        );
         assert!(
             detect_wrappers(&cfg, &Limits::default()).is_empty(),
             "phase 2 refutes the false positive"
@@ -294,7 +335,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "f".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
         assert!(!phase1_may_be_wrapper(&cfg, 0x1000, site));
     }
@@ -307,7 +352,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "f".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "f".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
         assert!(!phase1_may_be_wrapper(&cfg, 0x1000, site));
     }
@@ -326,7 +375,11 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let funcs = vec![FunctionSym { name: "w".into(), entry: 0x1000, size: code.len() as u64 }];
+        let funcs = vec![FunctionSym {
+            name: "w".into(),
+            entry: 0x1000,
+            size: code.len() as u64,
+        }];
         let cfg = cfg_for(code, funcs, &[0x1000]);
         let wrappers = detect_wrappers(&cfg, &Limits::default());
         assert_eq!(wrappers.len(), 1);

@@ -1,0 +1,92 @@
+//! The determinism contract of the parallel analysis engine: for every
+//! `gen::profiles` binary (and a slice of the synthetic corpus),
+//! `parallelism = 1` and `parallelism = N` produce **byte-identical**
+//! canonical reports. The fan-out preserves input order and every work
+//! unit is a pure function of shared read-only state, so the worker count
+//! must be unobservable in the results.
+
+use bside_core::{Analyzer, AnalyzerOptions};
+use bside_gen::corpus::{corpus_with_size, DEFAULT_SEED};
+use bside_gen::profiles::all_profiles;
+
+fn analyzer_with(parallelism: usize) -> Analyzer {
+    Analyzer::new(AnalyzerOptions {
+        parallelism,
+        ..AnalyzerOptions::default()
+    })
+}
+
+#[test]
+fn profile_reports_are_identical_across_thread_counts() {
+    for profile in all_profiles() {
+        let reference = analyzer_with(1)
+            .analyze_static(&profile.program.elf)
+            .expect("sequential analysis succeeds")
+            .canonical_report();
+        for parallelism in [2, 4, 8] {
+            let parallel = analyzer_with(parallelism)
+                .analyze_static(&profile.program.elf)
+                .expect("parallel analysis succeeds")
+                .canonical_report();
+            assert_eq!(
+                reference, parallel,
+                "{}: parallelism={parallelism} diverged from sequential",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_batch_is_identical_across_thread_counts() {
+    let corpus = corpus_with_size(DEFAULT_SEED, 12, 0, 0);
+    let binaries: Vec<(&str, &bside_elf::Elf)> = corpus
+        .binaries
+        .iter()
+        .map(|b| (b.program.spec.name.as_str(), &b.program.elf))
+        .collect();
+
+    let render = |parallelism: usize| -> Vec<(String, String)> {
+        analyzer_with(parallelism)
+            .analyze_corpus(&binaries)
+            .into_iter()
+            .map(|(name, result)| {
+                (
+                    name,
+                    result.expect("corpus binary analyzes").canonical_report(),
+                )
+            })
+            .collect()
+    };
+
+    let reference = render(1);
+    for parallelism in [3, 8] {
+        assert_eq!(reference, render(parallelism), "parallelism={parallelism}");
+    }
+}
+
+#[test]
+fn library_interfaces_are_identical_across_thread_counts() {
+    let corpus = corpus_with_size(DEFAULT_SEED, 0, 6, 4);
+    let libraries: Vec<(&str, &bside_elf::Elf)> = corpus
+        .libraries
+        .iter()
+        .map(|lib| (lib.spec.name.as_str(), &lib.elf))
+        .collect();
+    assert!(!libraries.is_empty());
+
+    let render = |parallelism: usize| -> Vec<String> {
+        let store = analyzer_with(parallelism)
+            .analyze_libraries(&libraries)
+            .expect("libraries analyze");
+        libraries
+            .iter()
+            .map(|(name, _)| store.interface(name).expect("stored").to_json())
+            .collect()
+    };
+
+    let reference = render(1);
+    for parallelism in [2, 8] {
+        assert_eq!(reference, render(parallelism), "parallelism={parallelism}");
+    }
+}

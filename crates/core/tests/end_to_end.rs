@@ -7,10 +7,10 @@
 //! clean binaries.
 
 use bside_core::{Analyzer, AnalyzerOptions, LibraryStore};
+use bside_elf::ElfKind;
 use bside_gen::corpus::corpus_with_size;
 use bside_gen::profiles::all_profiles;
 use bside_gen::{generate, trace_syscalls, ProgramSpec, Scenario, WrapperStyle};
-use bside_elf::ElfKind;
 
 #[test]
 fn profiles_have_no_false_negatives_and_exact_precision() {
@@ -43,11 +43,17 @@ fn profiles_exclude_dead_dangerous_syscalls() {
     use bside_syscalls::well_known as wk;
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     for profile in all_profiles() {
-        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .expect("analyzes");
         // §5.2: "B-Side is able to filter out execve … and execveat on all
         // popular applications" — the dead runtime cruft contains both.
         assert!(!analysis.syscalls.contains(wk::EXECVE), "{}", profile.name);
-        assert!(!analysis.syscalls.contains(wk::EXECVEAT), "{}", profile.name);
+        assert!(
+            !analysis.syscalls.contains(wk::EXECVEAT),
+            "{}",
+            profile.name
+        );
         assert!(!analysis.syscalls.contains(wk::PTRACE), "{}", profile.name);
     }
 }
@@ -57,10 +63,15 @@ fn wrappers_are_detected_in_wrapper_profiles() {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     for profile in all_profiles() {
         let uses_wrapper = profile.program.spec.wrapper_style != WrapperStyle::None;
-        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .expect("analyzes");
         if uses_wrapper {
             assert!(
-                analysis.wrappers.iter().any(|w| w.name == "syscall_wrapper"),
+                analysis
+                    .wrappers
+                    .iter()
+                    .any(|w| w.name == "syscall_wrapper"),
                 "{}: wrapper not detected",
                 profile.name
             );
@@ -144,7 +155,9 @@ fn traced_subset_identified_on_every_profile() {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     for profile in all_profiles() {
         let traced = trace_syscalls(&profile.program, &[]);
-        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .expect("analyzes");
         assert!(traced.is_subset(&analysis.syscalls), "{}", profile.name);
     }
 }
@@ -166,7 +179,10 @@ fn missing_library_is_reported() {
     let err = analyzer
         .analyze_dynamic(&prog.elf, &LibraryStore::new(), &[])
         .unwrap_err();
-    assert!(matches!(err, bside_core::AnalysisError::MissingLibrary(_)), "{err}");
+    assert!(
+        matches!(err, bside_core::AnalysisError::MissingLibrary(_)),
+        "{err}"
+    );
 }
 
 #[test]
@@ -184,8 +200,16 @@ fn wrapper_ablation_loses_precision_in_library_attribution() {
         wrapper_style: WrapperStyle::Register,
         libs: vec![],
         exports: vec![
-            ExportSpec { name: "benign_read".into(), syscalls: vec![0], calls: vec![] },
-            ExportSpec { name: "spawn_proc".into(), syscalls: vec![59, 101], calls: vec![] },
+            ExportSpec {
+                name: "benign_read".into(),
+                syscalls: vec![0],
+                calls: vec![],
+            },
+            ExportSpec {
+                name: "spawn_proc".into(),
+                syscalls: vec![59, 101],
+                calls: vec![],
+            },
         ],
     });
     let spec = ProgramSpec {
@@ -210,7 +234,9 @@ fn wrapper_ablation_loses_precision_in_library_attribution() {
             .analyze_library(&lib.elf, "libwrapped.so", None)
             .expect("library analyzes");
         store.insert(interface);
-        analyzer.analyze_dynamic(&prog.elf, &store, &[]).expect("program analyzes")
+        analyzer
+            .analyze_dynamic(&prog.elf, &store, &[])
+            .expect("program analyzes")
     };
 
     use bside_syscalls::well_known as wk;

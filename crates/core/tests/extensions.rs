@@ -34,8 +34,16 @@ fn dlopen_modules_contribute_their_exports() {
         wrapper_style: WrapperStyle::Register,
         libs: vec![],
         exports: vec![
-            ExportSpec { name: "module_init".into(), syscalls: vec![2, 5], calls: vec![] },
-            ExportSpec { name: "module_handler".into(), syscalls: vec![44], calls: vec![] },
+            ExportSpec {
+                name: "module_init".into(),
+                syscalls: vec![2, 5],
+                calls: vec![],
+            },
+            ExportSpec {
+                name: "module_handler".into(),
+                syscalls: vec![44],
+                calls: vec![],
+            },
         ],
     });
     let prog = generate(&plain_spec(vec![Scenario::Direct(vec![0])]));
@@ -46,14 +54,18 @@ fn dlopen_modules_contribute_their_exports() {
         .analyze_library(&module.elf, "ngx_http_geoip.so", None)
         .expect("module analyzes");
 
-    let without = analyzer.analyze_dynamic(&prog.elf, &store, &[]).expect("analyzes");
+    let without = analyzer
+        .analyze_dynamic(&prog.elf, &store, &[])
+        .expect("analyzes");
     let with = analyzer
         .analyze_dynamic(&prog.elf, &store, &[&module_interface])
         .expect("analyzes");
 
     assert!(!without.syscalls.contains(wk::OPEN));
     assert!(with.syscalls.contains(wk::OPEN), "module_init's open");
-    assert!(with.syscalls.contains(bside_syscalls::Sysno::from_name("sendto").unwrap()));
+    assert!(with
+        .syscalls
+        .contains(bside_syscalls::Sysno::from_name("sendto").unwrap()));
     assert!(without.syscalls.is_subset(&with.syscalls));
 }
 
@@ -67,13 +79,23 @@ fn exposed_restriction_narrows_the_interface() {
         wrapper_style: WrapperStyle::None,
         libs: vec![],
         exports: vec![
-            ExportSpec { name: "used_fn".into(), syscalls: vec![0], calls: vec![] },
-            ExportSpec { name: "unused_fn".into(), syscalls: vec![59], calls: vec![] },
+            ExportSpec {
+                name: "used_fn".into(),
+                syscalls: vec![0],
+                calls: vec![],
+            },
+            ExportSpec {
+                name: "unused_fn".into(),
+                syscalls: vec![59],
+                calls: vec![],
+            },
         ],
     });
     let analyzer = Analyzer::new(AnalyzerOptions::default());
 
-    let full = analyzer.analyze_library(&lib.elf, "libmulti.so", None).expect("ok");
+    let full = analyzer
+        .analyze_library(&lib.elf, "libmulti.so", None)
+        .expect("ok");
     assert_eq!(full.exports.len(), 2);
 
     let restricted = analyzer
@@ -91,7 +113,11 @@ fn restricting_to_no_known_export_fails_cleanly() {
         base: 0x1000_0000,
         wrapper_style: WrapperStyle::None,
         libs: vec![],
-        exports: vec![ExportSpec { name: "f".into(), syscalls: vec![0], calls: vec![] }],
+        exports: vec![ExportSpec {
+            name: "f".into(),
+            syscalls: vec![0],
+            calls: vec![],
+        }],
     });
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     let err = analyzer
@@ -130,11 +156,17 @@ fn exhausted_budget_is_reported_as_timeout() {
         Scenario::ThroughStack(4),
     ]));
     let analyzer = Analyzer::new(AnalyzerOptions {
-        limits: Limits { max_total_blocks: 1, ..Limits::default() },
+        limits: Limits {
+            max_total_blocks: 1,
+            ..Limits::default()
+        },
         ..AnalyzerOptions::default()
     });
     let err = analyzer.analyze_static(&prog.elf).unwrap_err();
-    assert!(matches!(err, bside_core::AnalysisError::Timeout { .. }), "{err}");
+    assert!(
+        matches!(err, bside_core::AnalysisError::Timeout { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -161,7 +193,10 @@ fn analysis_without_conservative_fallback_reports_imprecision() {
         .analyze_static(&elf)
         .expect("analyzes");
     assert!(!conservative.precise);
-    assert_eq!(conservative.syscalls.len(), bside_syscalls::SyscallSet::all_known().len());
+    assert_eq!(
+        conservative.syscalls.len(),
+        bside_syscalls::SyscallSet::all_known().len()
+    );
 
     let lax = Analyzer::new(AnalyzerOptions {
         conservative_fallback: false,
@@ -181,7 +216,11 @@ fn library_store_persists_to_disk_and_back() {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     let mut store = LibraryStore::new();
     for lib in &corpus.libraries {
-        store.insert(analyzer.analyze_library(&lib.elf, &lib.spec.name, None).expect("ok"));
+        store.insert(
+            analyzer
+                .analyze_library(&lib.elf, &lib.spec.name, None)
+                .expect("ok"),
+        );
     }
 
     let dir = std::env::temp_dir().join(format!("bside-store-{}", std::process::id()));
@@ -190,8 +229,12 @@ fn library_store_persists_to_disk_and_back() {
     assert_eq!(loaded.len(), store.len());
 
     for binary in corpus.binaries.iter().filter(|b| !b.is_static) {
-        let a = analyzer.analyze_dynamic(&binary.program.elf, &store, &[]).expect("ok");
-        let b = analyzer.analyze_dynamic(&binary.program.elf, &loaded, &[]).expect("ok");
+        let a = analyzer
+            .analyze_dynamic(&binary.program.elf, &store, &[])
+            .expect("ok");
+        let b = analyzer
+            .analyze_dynamic(&binary.program.elf, &loaded, &[])
+            .expect("ok");
         assert_eq!(a.syscalls, b.syscalls, "{}", binary.program.spec.name);
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -220,6 +263,8 @@ fn computed_and_tail_called_numbers_are_identified_exactly() {
         .expect("analyzes");
     assert_eq!(analysis.syscalls, prog.static_truth);
     assert!(analysis.syscalls.contains(wk::CLOSE));
-    assert!(analysis.syscalls.contains(bside_syscalls::Sysno::from_name("getpid").unwrap()));
+    assert!(analysis
+        .syscalls
+        .contains(bside_syscalls::Sysno::from_name("getpid").unwrap()));
     assert!(analysis.precise);
 }

@@ -82,7 +82,10 @@ impl fmt::Display for ElfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ElfError::Truncated { what, offset } => {
-                write!(f, "truncated ELF image while reading {what} at offset {offset:#x}")
+                write!(
+                    f,
+                    "truncated ELF image while reading {what} at offset {offset:#x}"
+                )
             }
             ElfError::BadMagic => f.write_str("missing ELF magic"),
             ElfError::UnsupportedFormat(what) => write!(f, "unsupported ELF format: {what}"),

@@ -42,7 +42,12 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn bytes(&self, offset: usize, len: usize, what: &'static str) -> Result<&'a [u8], ElfError> {
         self.buf
-            .get(offset..offset.checked_add(len).ok_or(ElfError::OutOfBounds { what })?)
+            .get(
+                offset
+                    ..offset
+                        .checked_add(len)
+                        .ok_or(ElfError::OutOfBounds { what })?,
+            )
             .ok_or(ElfError::Truncated { what, offset })
     }
 
@@ -64,7 +69,10 @@ impl<'a> Reader<'a> {
 
 fn str_at(table: &[u8], offset: usize) -> Result<String, ElfError> {
     let tail = table.get(offset..).ok_or(ElfError::BadString)?;
-    let end = tail.iter().position(|&b| b == 0).ok_or(ElfError::BadString)?;
+    let end = tail
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(ElfError::BadString)?;
     String::from_utf8(tail[..end].to_vec()).map_err(|_| ElfError::BadString)
 }
 
@@ -151,10 +159,18 @@ impl Elf {
             let data = if sh.sh_type == SHT_NOBITS || sh.sh_type == SHT_NULL {
                 Vec::new()
             } else {
-                r.bytes(sh.sh_offset as usize, sh.sh_size as usize, "section contents")?
-                    .to_vec()
+                r.bytes(
+                    sh.sh_offset as usize,
+                    sh.sh_size as usize,
+                    "section contents",
+                )?
+                .to_vec()
             };
-            sections.push(Section { name, header: *sh, data });
+            sections.push(Section {
+                name,
+                header: *sh,
+                data,
+            });
         }
 
         let symtab = Self::parse_symbols(&sections, SHT_SYMTAB)?;
@@ -191,8 +207,7 @@ impl Elf {
             }
             let mut off = 0;
             while off + 24 <= rela.data.len() {
-                let r_offset =
-                    u64::from_le_bytes(rela.data[off..off + 8].try_into().expect("len"));
+                let r_offset = u64::from_le_bytes(rela.data[off..off + 8].try_into().expect("len"));
                 let r_info =
                     u64::from_le_bytes(rela.data[off + 8..off + 16].try_into().expect("len"));
                 let r_addend =
@@ -203,7 +218,13 @@ impl Elf {
                     .get(r_sym as usize)
                     .map(|s| s.name.clone())
                     .unwrap_or_default();
-                plt_relocs.push(Rela { r_offset, r_type, r_sym, symbol_name, r_addend });
+                plt_relocs.push(Rela {
+                    r_offset,
+                    r_type,
+                    r_sym,
+                    symbol_name,
+                    r_addend,
+                });
                 off += 24;
             }
         }

@@ -369,131 +369,181 @@ impl ElfBuilder {
         }];
         let mut index_of = std::collections::HashMap::new();
         let push_section = |shdrs: &mut Vec<SectionHeader>,
-                                index_of: &mut std::collections::HashMap<&'static str, u32>,
-                                name: &'static str,
-                                sh: SectionHeader| {
+                            index_of: &mut std::collections::HashMap<&'static str, u32>,
+                            name: &'static str,
+                            sh: SectionHeader| {
             index_of.insert(name, shdrs.len() as u32);
             shdrs.push(sh);
         };
 
-        push_section(&mut shdrs, &mut index_of, ".text", SectionHeader {
-            sh_name: shstrtab.offset_of(".text") as u32,
-            sh_type: SHT_PROGBITS,
-            sh_flags: 2 | 4, // ALLOC | EXECINSTR
-            sh_addr: self.text_vaddr,
-            sh_offset: text_off as u64,
-            sh_size: self.text.len() as u64,
-            sh_link: 0,
-            sh_info: 0,
-            sh_entsize: 0,
-        });
-        if !self.rodata.is_empty() {
-            push_section(&mut shdrs, &mut index_of, ".rodata", SectionHeader {
-                sh_name: shstrtab.offset_of(".rodata") as u32,
+        push_section(
+            &mut shdrs,
+            &mut index_of,
+            ".text",
+            SectionHeader {
+                sh_name: shstrtab.offset_of(".text") as u32,
                 sh_type: SHT_PROGBITS,
-                sh_flags: 2,
-                sh_addr: self.rodata_vaddr,
-                sh_offset: rodata_off as u64,
-                sh_size: self.rodata.len() as u64,
+                sh_flags: 2 | 4, // ALLOC | EXECINSTR
+                sh_addr: self.text_vaddr,
+                sh_offset: text_off as u64,
+                sh_size: self.text.len() as u64,
                 sh_link: 0,
                 sh_info: 0,
                 sh_entsize: 0,
-            });
+            },
+        );
+        if !self.rodata.is_empty() {
+            push_section(
+                &mut shdrs,
+                &mut index_of,
+                ".rodata",
+                SectionHeader {
+                    sh_name: shstrtab.offset_of(".rodata") as u32,
+                    sh_type: SHT_PROGBITS,
+                    sh_flags: 2,
+                    sh_addr: self.rodata_vaddr,
+                    sh_offset: rodata_off as u64,
+                    sh_size: self.rodata.len() as u64,
+                    sh_link: 0,
+                    sh_info: 0,
+                    sh_entsize: 0,
+                },
+            );
         }
         if has_got {
-            push_section(&mut shdrs, &mut index_of, ".got.plt", SectionHeader {
-                sh_name: shstrtab.offset_of(".got.plt") as u32,
-                sh_type: SHT_PROGBITS,
-                sh_flags: 2 | 1, // ALLOC | WRITE
-                sh_addr: self.got_vaddr,
-                sh_offset: got_off as u64,
-                sh_size: got_len as u64,
-                sh_link: 0,
-                sh_info: 0,
-                sh_entsize: 8,
-            });
+            push_section(
+                &mut shdrs,
+                &mut index_of,
+                ".got.plt",
+                SectionHeader {
+                    sh_name: shstrtab.offset_of(".got.plt") as u32,
+                    sh_type: SHT_PROGBITS,
+                    sh_flags: 2 | 1, // ALLOC | WRITE
+                    sh_addr: self.got_vaddr,
+                    sh_offset: got_off as u64,
+                    sh_size: got_len as u64,
+                    sh_link: 0,
+                    sh_info: 0,
+                    sh_entsize: 8,
+                },
+            );
         }
         let symtab_index_placeholder = shdrs.len() as u32;
-        push_section(&mut shdrs, &mut index_of, ".symtab", SectionHeader {
-            sh_name: shstrtab.offset_of(".symtab") as u32,
-            sh_type: SHT_SYMTAB,
-            sh_flags: 0,
-            sh_addr: 0,
-            sh_offset: symtab_off as u64,
-            sh_size: symtab_bytes.len() as u64,
-            sh_link: symtab_index_placeholder + 1, // .strtab follows
-            sh_info: 1,
-            sh_entsize: 24,
-        });
-        push_section(&mut shdrs, &mut index_of, ".strtab", SectionHeader {
-            sh_name: shstrtab.offset_of(".strtab") as u32,
-            sh_type: SHT_STRTAB,
-            sh_flags: 0,
-            sh_addr: 0,
-            sh_offset: strtab_off as u64,
-            sh_size: strtab.bytes.len() as u64,
-            sh_link: 0,
-            sh_info: 0,
-            sh_entsize: 0,
-        });
-        if dynamic {
-            let dynsym_index = shdrs.len() as u32;
-            push_section(&mut shdrs, &mut index_of, ".dynsym", SectionHeader {
-                sh_name: shstrtab.offset_of(".dynsym") as u32,
-                sh_type: SHT_DYNSYM,
-                sh_flags: 2,
+        push_section(
+            &mut shdrs,
+            &mut index_of,
+            ".symtab",
+            SectionHeader {
+                sh_name: shstrtab.offset_of(".symtab") as u32,
+                sh_type: SHT_SYMTAB,
+                sh_flags: 0,
                 sh_addr: 0,
-                sh_offset: dynsym_off as u64,
-                sh_size: dynsym_bytes.len() as u64,
-                sh_link: dynsym_index + 1, // .dynstr follows
+                sh_offset: symtab_off as u64,
+                sh_size: symtab_bytes.len() as u64,
+                sh_link: symtab_index_placeholder + 1, // .strtab follows
                 sh_info: 1,
                 sh_entsize: 24,
-            });
-            push_section(&mut shdrs, &mut index_of, ".dynstr", SectionHeader {
-                sh_name: shstrtab.offset_of(".dynstr") as u32,
+            },
+        );
+        push_section(
+            &mut shdrs,
+            &mut index_of,
+            ".strtab",
+            SectionHeader {
+                sh_name: shstrtab.offset_of(".strtab") as u32,
                 sh_type: SHT_STRTAB,
-                sh_flags: 2,
+                sh_flags: 0,
                 sh_addr: 0,
-                sh_offset: dynstr_off as u64,
-                sh_size: dynstr.bytes.len() as u64,
+                sh_offset: strtab_off as u64,
+                sh_size: strtab.bytes.len() as u64,
                 sh_link: 0,
                 sh_info: 0,
                 sh_entsize: 0,
-            });
-            push_section(&mut shdrs, &mut index_of, ".rela.plt", SectionHeader {
-                sh_name: shstrtab.offset_of(".rela.plt") as u32,
-                sh_type: SHT_RELA,
-                sh_flags: 2,
-                sh_addr: 0,
-                sh_offset: rela_off as u64,
-                sh_size: rela_bytes.len() as u64,
-                sh_link: dynsym_index,
-                sh_info: 0,
-                sh_entsize: 24,
-            });
-            push_section(&mut shdrs, &mut index_of, ".dynamic", SectionHeader {
-                sh_name: shstrtab.offset_of(".dynamic") as u32,
-                sh_type: SHT_DYNAMIC,
-                sh_flags: 2 | 1,
-                sh_addr: 0,
-                sh_offset: dynamic_off as u64,
-                sh_size: dynamic_bytes.len() as u64,
-                sh_link: dynsym_index + 1,
-                sh_info: 0,
-                sh_entsize: 16,
-            });
+            },
+        );
+        if dynamic {
+            let dynsym_index = shdrs.len() as u32;
+            push_section(
+                &mut shdrs,
+                &mut index_of,
+                ".dynsym",
+                SectionHeader {
+                    sh_name: shstrtab.offset_of(".dynsym") as u32,
+                    sh_type: SHT_DYNSYM,
+                    sh_flags: 2,
+                    sh_addr: 0,
+                    sh_offset: dynsym_off as u64,
+                    sh_size: dynsym_bytes.len() as u64,
+                    sh_link: dynsym_index + 1, // .dynstr follows
+                    sh_info: 1,
+                    sh_entsize: 24,
+                },
+            );
+            push_section(
+                &mut shdrs,
+                &mut index_of,
+                ".dynstr",
+                SectionHeader {
+                    sh_name: shstrtab.offset_of(".dynstr") as u32,
+                    sh_type: SHT_STRTAB,
+                    sh_flags: 2,
+                    sh_addr: 0,
+                    sh_offset: dynstr_off as u64,
+                    sh_size: dynstr.bytes.len() as u64,
+                    sh_link: 0,
+                    sh_info: 0,
+                    sh_entsize: 0,
+                },
+            );
+            push_section(
+                &mut shdrs,
+                &mut index_of,
+                ".rela.plt",
+                SectionHeader {
+                    sh_name: shstrtab.offset_of(".rela.plt") as u32,
+                    sh_type: SHT_RELA,
+                    sh_flags: 2,
+                    sh_addr: 0,
+                    sh_offset: rela_off as u64,
+                    sh_size: rela_bytes.len() as u64,
+                    sh_link: dynsym_index,
+                    sh_info: 0,
+                    sh_entsize: 24,
+                },
+            );
+            push_section(
+                &mut shdrs,
+                &mut index_of,
+                ".dynamic",
+                SectionHeader {
+                    sh_name: shstrtab.offset_of(".dynamic") as u32,
+                    sh_type: SHT_DYNAMIC,
+                    sh_flags: 2 | 1,
+                    sh_addr: 0,
+                    sh_offset: dynamic_off as u64,
+                    sh_size: dynamic_bytes.len() as u64,
+                    sh_link: dynsym_index + 1,
+                    sh_info: 0,
+                    sh_entsize: 16,
+                },
+            );
         }
-        push_section(&mut shdrs, &mut index_of, ".shstrtab", SectionHeader {
-            sh_name: shstrtab.offset_of(".shstrtab") as u32,
-            sh_type: SHT_STRTAB,
-            sh_flags: 0,
-            sh_addr: 0,
-            sh_offset: shstrtab_off as u64,
-            sh_size: shstrtab.bytes.len() as u64,
-            sh_link: 0,
-            sh_info: 0,
-            sh_entsize: 0,
-        });
+        push_section(
+            &mut shdrs,
+            &mut index_of,
+            ".shstrtab",
+            SectionHeader {
+                sh_name: shstrtab.offset_of(".shstrtab") as u32,
+                sh_type: SHT_STRTAB,
+                sh_flags: 0,
+                sh_addr: 0,
+                sh_offset: shstrtab_off as u64,
+                sh_size: shstrtab.bytes.len() as u64,
+                sh_link: 0,
+                sh_info: 0,
+                sh_entsize: 0,
+            },
+        );
         let shstrndx = (shdrs.len() - 1) as u16;
 
         // ---- serialize --------------------------------------------------------
@@ -533,33 +583,42 @@ impl ElfBuilder {
             out.put_u64_le(PAGE); // p_align
         };
         let rx_filesz = (rodata_off + self.rodata.len() - text_off) as u64;
-        put_phdr(&mut out, ProgramHeader {
-            p_type: PT_LOAD,
-            p_flags: 5, // R+X
-            p_offset: text_off as u64,
-            p_vaddr: self.text_vaddr,
-            p_filesz: rx_filesz,
-            p_memsz: rx_filesz,
-        });
-        if has_got {
-            put_phdr(&mut out, ProgramHeader {
+        put_phdr(
+            &mut out,
+            ProgramHeader {
                 p_type: PT_LOAD,
-                p_flags: 6, // R+W
-                p_offset: got_off as u64,
-                p_vaddr: self.got_vaddr,
-                p_filesz: got_len as u64,
-                p_memsz: got_len as u64,
-            });
+                p_flags: 5, // R+X
+                p_offset: text_off as u64,
+                p_vaddr: self.text_vaddr,
+                p_filesz: rx_filesz,
+                p_memsz: rx_filesz,
+            },
+        );
+        if has_got {
+            put_phdr(
+                &mut out,
+                ProgramHeader {
+                    p_type: PT_LOAD,
+                    p_flags: 6, // R+W
+                    p_offset: got_off as u64,
+                    p_vaddr: self.got_vaddr,
+                    p_filesz: got_len as u64,
+                    p_memsz: got_len as u64,
+                },
+            );
         }
         if dynamic {
-            put_phdr(&mut out, ProgramHeader {
-                p_type: PT_DYNAMIC,
-                p_flags: 4,
-                p_offset: dynamic_off as u64,
-                p_vaddr: 0,
-                p_filesz: dynamic_bytes.len() as u64,
-                p_memsz: dynamic_bytes.len() as u64,
-            });
+            put_phdr(
+                &mut out,
+                ProgramHeader {
+                    p_type: PT_DYNAMIC,
+                    p_flags: 4,
+                    p_offset: dynamic_off as u64,
+                    p_vaddr: 0,
+                    p_filesz: dynamic_bytes.len() as u64,
+                    p_memsz: dynamic_bytes.len() as u64,
+                },
+            );
         }
 
         // Section bodies.
@@ -607,7 +666,11 @@ fn align_up(v: usize, align: usize) -> usize {
 }
 
 fn pad_to(out: &mut BytesMut, offset: usize) {
-    assert!(out.len() <= offset, "layout overflow: {} > {offset}", out.len());
+    assert!(
+        out.len() <= offset,
+        "layout overflow: {} > {offset}",
+        out.len()
+    );
     out.put_slice(&vec![0u8; offset - out.len()]);
 }
 
@@ -641,7 +704,10 @@ struct StrTab {
 
 impl StrTab {
     fn new() -> Self {
-        StrTab { bytes: vec![0], offsets: std::collections::HashMap::new() }
+        StrTab {
+            bytes: vec![0],
+            offsets: std::collections::HashMap::new(),
+        }
     }
 
     fn intern(&mut self, s: &str) -> usize {
@@ -694,8 +760,14 @@ mod tests {
             .needed("libfoo.so")
             .needed("libbar.so")
             .got(0x3000, 16)
-            .plt_reloc(PltReloc { got_slot: 0x3000, symbol: "foo_read".into() })
-            .plt_reloc(PltReloc { got_slot: 0x3008, symbol: "bar_write".into() })
+            .plt_reloc(PltReloc {
+                got_slot: 0x3000,
+                symbol: "foo_read".into(),
+            })
+            .plt_reloc(PltReloc {
+                got_slot: 0x3008,
+                symbol: "bar_write".into(),
+            })
             .build()
             .expect("build");
         let elf = Elf::parse(&image).expect("parse");
@@ -786,7 +858,10 @@ mod tests {
         let err = ElfBuilder::new(ElfKind::PieExecutable)
             .text(vec![0xc3], 0x1000)
             .entry(0x1000)
-            .plt_reloc(PltReloc { got_slot: 0x3000, symbol: "f".into() })
+            .plt_reloc(PltReloc {
+                got_slot: 0x3000,
+                symbol: "f".into(),
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, ElfError::Malformed(_)));

@@ -1,25 +1,36 @@
 //! Property tests: everything the builder emits, the parser reads back.
+//!
+//! The build environment has no registry access, so instead of proptest
+//! these properties run over seeded pseudo-random inputs (64 cases per
+//! test; failures print the case index for replay).
 
 use bside_elf::{Elf, ElfBuilder, ElfKind, PltReloc, SymbolSpec};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn kind_strategy() -> impl Strategy<Value = ElfKind> {
-    prop_oneof![
-        Just(ElfKind::Executable),
-        Just(ElfKind::PieExecutable),
-        Just(ElfKind::SharedObject),
-    ]
+const CASES: u64 = 64;
+
+fn kind(rng: &mut SmallRng) -> ElfKind {
+    match rng.gen_range(0..3) {
+        0 => ElfKind::Executable,
+        1 => ElfKind::PieExecutable,
+        _ => ElfKind::SharedObject,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bytes(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<u8> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
 
-    #[test]
-    fn text_and_symbols_round_trip(
-        kind in kind_strategy(),
-        text in prop::collection::vec(any::<u8>(), 1..4096),
-        nsyms in 0usize..24,
-    ) {
+#[test]
+fn text_and_symbols_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE1F0 + case);
+        let kind = kind(&mut rng);
+        let text = random_bytes(&mut rng, 1, 4096);
+        let nsyms = rng.gen_range(0usize..24);
+
         let text_vaddr = 0x401000u64;
         let mut b = ElfBuilder::new(kind);
         b.text(text.clone(), text_vaddr);
@@ -38,22 +49,34 @@ proptest! {
         let elf = Elf::parse(&image).expect("parse");
 
         let (got_text, got_vaddr) = elf.text().expect(".text");
-        prop_assert_eq!(got_text, &text[..]);
-        prop_assert_eq!(got_vaddr, text_vaddr);
+        assert_eq!(got_text, &text[..], "case {case}");
+        assert_eq!(got_vaddr, text_vaddr, "case {case}");
 
         let funcs = elf.function_symbols();
-        prop_assert_eq!(funcs.len(), expected.len());
+        assert_eq!(funcs.len(), expected.len(), "case {case}");
         for (sym, (name, addr)) in funcs.iter().zip(expected.iter()) {
-            prop_assert_eq!(&sym.name, name);
-            prop_assert_eq!(sym.value, *addr);
+            assert_eq!(&sym.name, name, "case {case}");
+            assert_eq!(sym.value, *addr, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn dynamic_metadata_round_trips(
-        libs in prop::collection::vec("[a-z]{1,12}\\.so", 0..5),
-        nimports in 0usize..16,
-    ) {
+#[test]
+fn dynamic_metadata_round_trips() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1A0 + case);
+        let nlibs = rng.gen_range(0usize..5);
+        let libs: Vec<String> = (0..nlibs)
+            .map(|_| {
+                let len = rng.gen_range(1usize..13);
+                let name: String = (0..len)
+                    .map(|_| (b'a' + rng.gen_range(0u32..26) as u8) as char)
+                    .collect();
+                format!("{name}.so")
+            })
+            .collect();
+        let nimports = rng.gen_range(0usize..16);
+
         let mut b = ElfBuilder::new(ElfKind::PieExecutable);
         b.text(vec![0xc3; 64], 0x1000).entry(0x1000);
         for lib in &libs {
@@ -65,7 +88,10 @@ proptest! {
         for i in 0..nimports {
             let name = format!("import_{i}");
             imports.push(name.clone());
-            b.plt_reloc(PltReloc { got_slot: got_base + 8 * i as u64, symbol: name });
+            b.plt_reloc(PltReloc {
+                got_slot: got_base + 8 * i as u64,
+                symbol: name,
+            });
         }
         // A dynamic image needs at least one of: needed / plt / export.
         if libs.is_empty() && nimports == 0 {
@@ -75,31 +101,41 @@ proptest! {
         let image = b.build().expect("build");
         let elf = Elf::parse(&image).expect("parse");
 
-        prop_assert!(elf.is_dynamic());
-        prop_assert_eq!(elf.needed_libraries().to_vec(), libs);
+        assert!(elf.is_dynamic(), "case {case}");
+        assert_eq!(elf.needed_libraries().to_vec(), libs, "case {case}");
         let relocs = elf.plt_relocations();
-        prop_assert_eq!(relocs.len(), imports.len());
+        assert_eq!(relocs.len(), imports.len(), "case {case}");
         for (r, name) in relocs.iter().zip(imports.iter()) {
-            prop_assert_eq!(&r.symbol_name, name);
+            assert_eq!(&r.symbol_name, name, "case {case}");
         }
         // Every import shows up as an undefined dynamic symbol.
         for name in &imports {
-            prop_assert!(
-                elf.dynamic_symbols().iter().any(|s| &s.name == name && s.is_undefined()),
-                "missing undefined dynsym {}", name
+            assert!(
+                elf.dynamic_symbols()
+                    .iter()
+                    .any(|s| &s.name == name && s.is_undefined()),
+                "case {case}: missing undefined dynsym {name}"
             );
         }
     }
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn arbitrary_bytes_never_panic() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF422 + case);
+        let bytes = random_bytes(&mut rng, 0, 2048);
         let _ = Elf::parse(&bytes);
     }
+    let _ = Elf::parse(&[]);
+}
 
-    #[test]
-    fn elf_prefixed_garbage_never_panics(tail in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn elf_prefixed_garbage_never_panics() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6A4B + case);
         let mut bytes = b"\x7fELF\x02\x01\x01".to_vec();
-        bytes.extend(tail);
+        bytes.extend(random_bytes(&mut rng, 0, 2048));
         let _ = Elf::parse(&bytes);
     }
 }

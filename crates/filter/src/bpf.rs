@@ -75,16 +75,51 @@ impl BpfProgram {
         let numbers: Vec<u32> = policy.allowed.iter().map(|s| s.raw()).collect();
         let mut insns = Vec::with_capacity(2 * numbers.len() + 5);
         // Architecture pinning.
-        insns.push(BpfInsn { code: LD_W_ABS, jt: 0, jf: 0, k: 4 });
-        insns.push(BpfInsn { code: JMP_JEQ_K, jt: 1, jf: 0, k: AUDIT_ARCH_X86_64 });
-        insns.push(BpfInsn { code: RET_K, jt: 0, jf: 0, k: RET_KILL });
+        insns.push(BpfInsn {
+            code: LD_W_ABS,
+            jt: 0,
+            jf: 0,
+            k: 4,
+        });
+        insns.push(BpfInsn {
+            code: JMP_JEQ_K,
+            jt: 1,
+            jf: 0,
+            k: AUDIT_ARCH_X86_64,
+        });
+        insns.push(BpfInsn {
+            code: RET_K,
+            jt: 0,
+            jf: 0,
+            k: RET_KILL,
+        });
         // Syscall number dispatch.
-        insns.push(BpfInsn { code: LD_W_ABS, jt: 0, jf: 0, k: 0 });
+        insns.push(BpfInsn {
+            code: LD_W_ABS,
+            jt: 0,
+            jf: 0,
+            k: 0,
+        });
         for nr in &numbers {
-            insns.push(BpfInsn { code: JMP_JEQ_K, jt: 0, jf: 1, k: *nr });
-            insns.push(BpfInsn { code: RET_K, jt: 0, jf: 0, k: RET_ALLOW });
+            insns.push(BpfInsn {
+                code: JMP_JEQ_K,
+                jt: 0,
+                jf: 1,
+                k: *nr,
+            });
+            insns.push(BpfInsn {
+                code: RET_K,
+                jt: 0,
+                jf: 0,
+                k: RET_ALLOW,
+            });
         }
-        insns.push(BpfInsn { code: RET_K, jt: 0, jf: 0, k: RET_KILL });
+        insns.push(BpfInsn {
+            code: RET_K,
+            jt: 0,
+            jf: 0,
+            k: RET_KILL,
+        });
         BpfProgram { insns }
     }
 
@@ -105,7 +140,11 @@ impl BpfProgram {
                     pc += 1;
                 }
                 JMP_JEQ_K => {
-                    pc += 1 + if acc == insn.k { insn.jt as usize } else { insn.jf as usize };
+                    pc += 1 + if acc == insn.k {
+                        insn.jt as usize
+                    } else {
+                        insn.jf as usize
+                    };
                 }
                 RET_K => return insn.k,
                 other => panic!("unknown BPF opcode {other:#x}"),
@@ -177,10 +216,7 @@ mod tests {
     #[test]
     fn program_size_is_linear_in_allowlist() {
         let small = BpfProgram::from_policy(&policy(&["read"]));
-        let big = BpfProgram::from_policy(&FilterPolicy::allow_only(
-            "t",
-            SyscallSet::all_known(),
-        ));
+        let big = BpfProgram::from_policy(&FilterPolicy::allow_only("t", SyscallSet::all_known()));
         assert_eq!(
             big.insns.len() - small.insns.len(),
             2 * (SyscallSet::all_known().len() - 1)

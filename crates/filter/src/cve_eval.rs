@@ -35,7 +35,10 @@ pub fn evaluate(allowed_sets: &[SyscallSet]) -> Vec<CveProtection> {
         .iter()
         .map(|cve| CveProtection {
             cve,
-            protected: allowed_sets.iter().filter(|set| cve.is_blocked_by(set)).count(),
+            protected: allowed_sets
+                .iter()
+                .filter(|set| cve.is_blocked_by(set))
+                .count(),
             total: allowed_sets.len(),
         })
         .collect()
@@ -76,8 +79,9 @@ mod tests {
     fn popular_syscalls_protect_fewer_binaries() {
         // Three binaries: one network server allowing setsockopt, two
         // compute jobs allowing neither setsockopt nor bpf.
-        let server: SyscallSet =
-            [wk::READ, wk::WRITE, wk::SOCKET, wk::SETSOCKOPT].into_iter().collect();
+        let server: SyscallSet = [wk::READ, wk::WRITE, wk::SOCKET, wk::SETSOCKOPT]
+            .into_iter()
+            .collect();
         let job: SyscallSet = [wk::READ, wk::WRITE].into_iter().collect();
         let rows = evaluate(&[server, job, job]);
 

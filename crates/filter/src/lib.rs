@@ -42,10 +42,10 @@ pub mod metrics;
 pub mod replay;
 
 use bside_core::phase::PhaseAutomaton;
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_syscalls::{SyscallSet, Sysno};
 
 /// A whole-program seccomp-style allow-list policy.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterPolicy {
     /// Name of the binary the policy was derived for.
     pub binary: String,
@@ -56,7 +56,10 @@ pub struct FilterPolicy {
 impl FilterPolicy {
     /// Builds a policy allowing exactly `allowed`.
     pub fn allow_only(binary: impl Into<String>, allowed: SyscallSet) -> Self {
-        FilterPolicy { binary: binary.into(), allowed }
+        FilterPolicy {
+            binary: binary.into(),
+            allowed,
+        }
     }
 
     /// Seccomp decision: `true` = allow, `false` = kill.
@@ -89,7 +92,7 @@ impl FilterPolicy {
 
 /// A temporal (phase-based) policy: one allow-list per phase, plus the
 /// transition structure used to switch phases at enforcement time (§4.7).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhasePolicy {
     /// Name of the binary.
     pub binary: String,
@@ -101,11 +104,18 @@ pub struct PhasePolicy {
     pub initial: usize,
 }
 
+serde::impl_serde_struct!(FilterPolicy { binary, allowed });
+serde::impl_serde_struct!(PhasePolicy {
+    binary,
+    phases,
+    transitions,
+    initial
+});
+
 impl PhasePolicy {
     /// Derives a phase policy from a phase automaton.
     pub fn from_automaton(binary: impl Into<String>, automaton: &PhaseAutomaton) -> Self {
-        let phases: Vec<SyscallSet> =
-            automaton.phases.iter().map(|p| p.allowed()).collect();
+        let phases: Vec<SyscallSet> = automaton.phases.iter().map(|p| p.allowed()).collect();
         let transitions: Vec<Vec<(Sysno, usize)>> = automaton
             .phases
             .iter()
@@ -213,11 +223,23 @@ mod tests {
             initial: 0,
         };
         let s0 = policy.initial_set();
-        let s1 = policy.step_set(&s0, wk::OPEN).expect("open allowed in init");
+        let s1 = policy
+            .step_set(&s0, wk::OPEN)
+            .expect("open allowed in init");
         assert_eq!(s1, [1].into());
-        assert!(policy.step_set(&s0, wk::READ).is_none(), "read denied during init");
-        assert_eq!(policy.step_set(&s1, wk::READ), Some([1].into()), "self-loop");
-        assert!(policy.step_set(&s1, wk::OPEN).is_none(), "open denied after init");
+        assert!(
+            policy.step_set(&s0, wk::READ).is_none(),
+            "read denied during init"
+        );
+        assert_eq!(
+            policy.step_set(&s1, wk::READ),
+            Some([1].into()),
+            "self-loop"
+        );
+        assert!(
+            policy.step_set(&s1, wk::OPEN).is_none(),
+            "open denied after init"
+        );
     }
 
     #[test]
@@ -230,10 +252,18 @@ mod tests {
             transitions: vec![vec![(wk::READ, 1), (wk::READ, 2)], vec![], vec![]],
             initial: 0,
         };
-        let s = policy.step_set(&policy.initial_set(), wk::READ).expect("allowed");
+        let s = policy
+            .step_set(&policy.initial_set(), wk::READ)
+            .expect("allowed");
         assert_eq!(s, [1, 2].into());
-        assert!(policy.step_set(&s, wk::WRITE).is_some(), "phase 2 path survives");
-        assert!(policy.step_set(&s, wk::CLOSE).is_some(), "phase 1 path survives");
+        assert!(
+            policy.step_set(&s, wk::WRITE).is_some(),
+            "phase 2 path survives"
+        );
+        assert!(
+            policy.step_set(&s, wk::CLOSE).is_some(),
+            "phase 1 path survives"
+        );
         assert!(policy.step_set(&s, wk::OPEN).is_none());
     }
 }

@@ -25,8 +25,16 @@ pub fn score(identified: &SyscallSet, truth: &SyscallSet) -> Scores {
     let tp = identified.intersection(truth).len();
     let fp = identified.difference(truth).len();
     let fnn = truth.difference(identified).len();
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fnn == 0 { 0.0 } else { tp as f64 / (tp + fnn) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fnn == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fnn) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {

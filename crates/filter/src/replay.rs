@@ -26,7 +26,11 @@ pub fn replay_flat(policy: &FilterPolicy, trace: &[Sysno]) -> Vec<Violation> {
         .iter()
         .enumerate()
         .filter(|&(_, &s)| !policy.permits(s))
-        .map(|(index, &sysno)| Violation { index, sysno, phase: 0 })
+        .map(|(index, &sysno)| Violation {
+            index,
+            sysno,
+            phase: 0,
+        })
         .collect()
 }
 
@@ -40,7 +44,11 @@ pub fn replay_phased(policy: &PhasePolicy, trace: &[Sysno]) -> Result<(), Violat
             Some(next) => phases = next,
             None => {
                 let phase = phases.first().copied().unwrap_or(policy.initial);
-                return Err(Violation { index, sysno, phase });
+                return Err(Violation {
+                    index,
+                    sysno,
+                    phase,
+                });
             }
         }
     }

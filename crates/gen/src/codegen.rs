@@ -1,11 +1,8 @@
 //! Machine-code generation for synthetic programs and libraries.
 
-use crate::{
-    GeneratedLibrary, GeneratedProgram, LibrarySpec, ProgramSpec, Scenario,
-    WrapperStyle,
-};
+use crate::{GeneratedLibrary, GeneratedProgram, LibrarySpec, ProgramSpec, Scenario, WrapperStyle};
 use bside_elf::{Elf, ElfBuilder, ElfKind, PltReloc, SymbolSpec};
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_syscalls::{SyscallSet, Sysno};
 use bside_x86::{Assembler, Cond, Label, Mem, Reg};
 use std::collections::BTreeMap;
 
@@ -48,7 +45,12 @@ impl Emitter {
         let start = self.asm.cursor();
         let label = self.asm.named_label(name);
         self.asm.bind(label).expect("function names are unique");
-        self.funcs.push(FuncRecord { name: name.to_string(), start, end: start, export });
+        self.funcs.push(FuncRecord {
+            name: name.to_string(),
+            start,
+            end: start,
+            export,
+        });
         start
     }
 
@@ -161,7 +163,8 @@ impl Emitter {
             Scenario::ThroughStack(n) => {
                 self.begin_func(name, false);
                 self.asm.sub_reg_imm32(Reg::Rsp, 0x18);
-                self.asm.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 8), *n as i32);
+                self.asm
+                    .mov_mem_imm32(Mem::base_disp(Reg::Rsp, 8), *n as i32);
                 self.asm.mov_reg_mem(Reg::Rax, Mem::base_disp(Reg::Rsp, 8));
                 self.asm.syscall();
                 self.asm.add_reg_imm32(Reg::Rsp, 0x18);
@@ -183,7 +186,8 @@ impl Emitter {
                     (Some(w), WrapperStyle::Stack) => {
                         self.asm.sub_reg_imm32(Reg::Rsp, 0x10);
                         for &n in nums {
-                            self.asm.mov_mem_imm32(Mem::base_disp(Reg::Rsp, 0), n as i32);
+                            self.asm
+                                .mov_mem_imm32(Mem::base_disp(Reg::Rsp, 0), n as i32);
                             self.asm.call_label(w);
                             truth.push(n);
                         }
@@ -331,7 +335,14 @@ impl Emitter {
         entry: Option<u64>,
         needed: &[String],
     ) -> Result<(Vec<u8>, Elf), bside_elf::ElfError> {
-        let Emitter { asm, funcs, text_base, got_base, imports, .. } = self;
+        let Emitter {
+            asm,
+            funcs,
+            text_base,
+            got_base,
+            imports,
+            ..
+        } = self;
         let code = asm.finish().expect("all labels bound");
         let mut builder = ElfBuilder::new(kind);
         builder.text(code, text_base);
@@ -352,7 +363,10 @@ impl Emitter {
         if !imports.is_empty() {
             builder.got(got_base, imports.len() as u64 * 8);
             for (i, name) in imports.iter().enumerate() {
-                builder.plt_reloc(PltReloc { got_slot: got_base + 8 * i as u64, symbol: name.clone() });
+                builder.plt_reloc(PltReloc {
+                    got_slot: got_base + 8 * i as u64,
+                    symbol: name.clone(),
+                });
             }
         }
         let image = builder.build()?;
@@ -402,7 +416,12 @@ pub fn generate(spec: &ProgramSpec) -> GeneratedProgram {
         .scenarios
         .iter()
         .enumerate()
-        .map(|(i, s)| (format!("scenario_{i}"), matches!(s, Scenario::BranchJoin(..))))
+        .map(|(i, s)| {
+            (
+                format!("scenario_{i}"),
+                matches!(s, Scenario::BranchJoin(..)),
+            )
+        })
         .collect();
     let loop_top = em.asm.new_label();
     for (i, (name, two_sided)) in calls.iter().enumerate() {
@@ -521,7 +540,10 @@ pub fn generate_library(spec: &LibrarySpec) -> GeneratedLibrary {
         }
         em.asm.ret();
         em.end_func();
-        direct_truth.insert(export.name.clone(), truth_set(export.syscalls.iter().copied()));
+        direct_truth.insert(
+            export.name.clone(),
+            truth_set(export.syscalls.iter().copied()),
+        );
     }
     em.emit_wrapper_body();
     em.emit_plt();
@@ -529,7 +551,12 @@ pub fn generate_library(spec: &LibrarySpec) -> GeneratedLibrary {
     let (image, elf) = em
         .finish(ElfKind::SharedObject, None, &spec.libs)
         .expect("spec produces a well-formed image");
-    GeneratedLibrary { spec: spec.clone(), image, elf, direct_truth }
+    GeneratedLibrary {
+        spec: spec.clone(),
+        image,
+        elf,
+        direct_truth,
+    }
 }
 
 #[cfg(test)]
@@ -563,8 +590,12 @@ mod tests {
         assert!(prog.truth.contains(wk::WRITE));
         assert!(prog.truth.contains(wk::EXIT));
         assert_eq!(prog.truth.len(), 3);
-        let names: Vec<&str> =
-            prog.elf.function_symbols().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = prog
+            .elf
+            .function_symbols()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert!(names.contains(&"_start"));
         assert!(names.contains(&"scenario_0"));
     }
@@ -574,7 +605,10 @@ mod tests {
         let spec = basic_spec(
             ElfKind::PieExecutable,
             WrapperStyle::Register,
-            vec![Scenario::ViaWrapper(vec![0, 1, 257]), Scenario::BranchJoin(3, 8)],
+            vec![
+                Scenario::ViaWrapper(vec![0, 1, 257]),
+                Scenario::BranchJoin(3, 8),
+            ],
         );
         let a = generate(&spec);
         let b = generate(&spec);
@@ -585,13 +619,24 @@ mod tests {
     fn dead_scenarios_are_emitted_but_not_in_truth() {
         let spec = ProgramSpec {
             dead_scenarios: vec![Scenario::Direct(vec![59])],
-            ..basic_spec(ElfKind::Executable, WrapperStyle::None, vec![Scenario::Direct(vec![1])])
+            ..basic_spec(
+                ElfKind::Executable,
+                WrapperStyle::None,
+                vec![Scenario::Direct(vec![1])],
+            )
         };
         let prog = generate(&spec);
         assert!(!prog.truth.contains(wk::EXECVE), "dead execve not in truth");
-        let names: Vec<&str> =
-            prog.elf.function_symbols().iter().map(|s| s.name.as_str()).collect();
-        assert!(names.contains(&"dead_0"), "dead function exists in the binary");
+        let names: Vec<&str> = prog
+            .elf
+            .function_symbols()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(
+            names.contains(&"dead_0"),
+            "dead function exists in the binary"
+        );
     }
 
     #[test]
@@ -639,7 +684,11 @@ mod tests {
             wrapper_style: WrapperStyle::Register,
             libs: vec![],
             exports: vec![
-                ExportSpec { name: "demo_read".into(), syscalls: vec![0], calls: vec![] },
+                ExportSpec {
+                    name: "demo_read".into(),
+                    syscalls: vec![0],
+                    calls: vec![],
+                },
                 ExportSpec {
                     name: "demo_io".into(),
                     syscalls: vec![1],
@@ -648,8 +697,12 @@ mod tests {
             ],
         };
         let lib = generate_library(&spec);
-        let exports: Vec<&str> =
-            lib.elf.exported_functions().iter().map(|s| s.name.as_str()).collect();
+        let exports: Vec<&str> = lib
+            .elf
+            .exported_functions()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert!(exports.contains(&"demo_read"));
         assert!(exports.contains(&"demo_io"));
         assert_eq!(lib.direct_truth["demo_io"].len(), 1);
@@ -676,7 +729,11 @@ mod tests {
             base: 0x2000_0000,
             wrapper_style: WrapperStyle::None,
             libs: vec![],
-            exports: vec![ExportSpec { name: "b_fn".into(), syscalls: vec![1], calls: vec![] }],
+            exports: vec![ExportSpec {
+                name: "b_fn".into(),
+                syscalls: vec![1],
+                calls: vec![],
+            }],
         });
         let all = vec![liba.clone(), libb.clone()];
         let t = liba.export_truth("a_fn", &all).unwrap();

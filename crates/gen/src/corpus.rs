@@ -77,16 +77,16 @@ impl Corpus {
 }
 
 const POOLS: &[&[u32]] = &[
-    &[0, 1, 2, 3, 5, 8, 16, 17, 18, 257, 262],                  // file io
-    &[41, 42, 43, 44, 45, 46, 49, 50, 54, 55, 288],             // net
-    &[9, 10, 11, 12, 25, 28],                                   // mem
-    &[232, 233, 291, 281, 7, 23],                               // epoll/poll
-    &[35, 96, 201, 228, 229, 230],                              // time
-    &[13, 14, 15, 131],                                         // signal
-    &[39, 56, 57, 61, 102, 104, 110, 186, 112],                 // proc
-    &[4, 6, 21, 79, 80, 82, 83, 87, 89, 90],                    // fs meta
-    &[202, 203, 204, 24, 273],                                  // thread
-    &[318, 302, 157, 158, 99, 63],                              // misc
+    &[0, 1, 2, 3, 5, 8, 16, 17, 18, 257, 262],      // file io
+    &[41, 42, 43, 44, 45, 46, 49, 50, 54, 55, 288], // net
+    &[9, 10, 11, 12, 25, 28],                       // mem
+    &[232, 233, 291, 281, 7, 23],                   // epoll/poll
+    &[35, 96, 201, 228, 229, 230],                  // time
+    &[13, 14, 15, 131],                             // signal
+    &[39, 56, 57, 61, 102, 104, 110, 186, 112],     // proc
+    &[4, 6, 21, 79, 80, 82, 83, 87, 89, 90],        // fs meta
+    &[202, 203, 204, 24, 273],                      // thread
+    &[318, 302, 157, 158, 99, 63],                  // misc
 ];
 
 fn pick_syscall(rng: &mut SmallRng) -> u32 {
@@ -211,12 +211,7 @@ fn generate_libraries(rng: &mut SmallRng, count: usize) -> Vec<GeneratedLibrary>
 
 /// Generates a corpus of the given composition. The full Debian-like
 /// corpus of Table 2 is [`debian_like_corpus`].
-pub fn corpus_with_size(
-    seed: u64,
-    n_static: usize,
-    n_dynamic: usize,
-    n_libs: usize,
-) -> Corpus {
+pub fn corpus_with_size(seed: u64, n_static: usize, n_dynamic: usize, n_libs: usize) -> Corpus {
     let mut rng = SmallRng::seed_from_u64(seed);
     let libraries = generate_libraries(&mut rng, n_libs);
 
@@ -239,8 +234,9 @@ pub fn corpus_with_size(
         let allow_wrapper = wrapper_style != WrapperStyle::None;
 
         let n_scen = rng.gen_range(2..14);
-        let mut scenarios: Vec<Scenario> =
-            (0..n_scen).map(|_| random_scenario(&mut rng, allow_wrapper)).collect();
+        let mut scenarios: Vec<Scenario> = (0..n_scen)
+            .map(|_| random_scenario(&mut rng, allow_wrapper))
+            .collect();
 
         let mut imports = Vec::new();
         let mut lib_names = Vec::new();
@@ -281,10 +277,17 @@ pub fn corpus_with_size(
             libs: lib_names.clone(),
             serve_loop: None,
         };
-        binaries.push(CorpusBinary { program: generate(&spec), is_static, lib_names });
+        binaries.push(CorpusBinary {
+            program: generate(&spec),
+            is_static,
+            lib_names,
+        });
     }
 
-    Corpus { libraries, binaries }
+    Corpus {
+        libraries,
+        binaries,
+    }
 }
 
 /// The full Table 2 composition: 231 static + 326 dynamic binaries over
@@ -322,7 +325,11 @@ mod tests {
     fn different_seeds_differ() {
         let a = corpus_with_size(1, 3, 0, 0);
         let b = corpus_with_size(2, 3, 0, 0);
-        assert!(a.binaries.iter().zip(b.binaries.iter()).any(|(x, y)| x.program.image != y.program.image));
+        assert!(a
+            .binaries
+            .iter()
+            .zip(b.binaries.iter())
+            .any(|(x, y)| x.program.image != y.program.image));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::{GeneratedLibrary, GeneratedProgram};
 use bside_elf::Elf;
-use bside_syscalls::{Sysno, SyscallSet};
+use bside_syscalls::{SyscallSet, Sysno};
 use bside_x86::interp::{execute, ExecConfig, Image};
 use std::collections::HashMap;
 
@@ -54,9 +54,7 @@ pub fn link(prog: &GeneratedProgram, libs: &[GeneratedLibrary]) -> Image {
     // Map every allocatable section with contents.
     let mut add_sections = |elf: &Elf| {
         for section in &elf.sections {
-            if section.header.sh_addr != 0
-                && !section.data.is_empty()
-                && section.name != ".got.plt"
+            if section.header.sh_addr != 0 && !section.data.is_empty() && section.name != ".got.plt"
             {
                 image.add_region(section.header.sh_addr, section.data.clone());
             }
@@ -98,7 +96,9 @@ pub fn trace_syscalls(prog: &GeneratedProgram, libs: &[GeneratedLibrary]) -> Sys
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{generate, generate_library, ExportSpec, LibrarySpec, ProgramSpec, Scenario, WrapperStyle};
+    use crate::{
+        generate, generate_library, ExportSpec, LibrarySpec, ProgramSpec, Scenario, WrapperStyle,
+    };
     use bside_elf::ElfKind;
     use bside_syscalls::well_known as wk;
 
@@ -124,7 +124,10 @@ mod tests {
         };
         let prog = generate(&spec);
         let traced = trace_syscalls(&prog, &[]);
-        assert_eq!(traced, prog.truth, "full-coverage trace must equal the constructed truth");
+        assert_eq!(
+            traced, prog.truth,
+            "full-coverage trace must equal the constructed truth"
+        );
         assert!(!traced.contains(wk::EXECVE));
     }
 
@@ -152,7 +155,11 @@ mod tests {
             wrapper_style: WrapperStyle::Register,
             libs: vec![],
             exports: vec![
-                ExportSpec { name: "tiny_write".into(), syscalls: vec![1], calls: vec![] },
+                ExportSpec {
+                    name: "tiny_write".into(),
+                    syscalls: vec![1],
+                    calls: vec![],
+                },
                 ExportSpec {
                     name: "tiny_log".into(),
                     syscalls: vec![228], // clock_gettime
@@ -190,7 +197,11 @@ mod tests {
             base: 0x2000_0000,
             wrapper_style: WrapperStyle::None,
             libs: vec![],
-            exports: vec![ExportSpec { name: "b_fn".into(), syscalls: vec![41], calls: vec![] }],
+            exports: vec![ExportSpec {
+                name: "b_fn".into(),
+                syscalls: vec![41],
+                calls: vec![],
+            }],
         });
         let liba = generate_library(&LibrarySpec {
             name: "liba.so".into(),

@@ -46,7 +46,9 @@ impl AppProfile {
 }
 
 // Syscall-number pools, grouped the way server code uses them.
-const FILE_IO: &[u32] = &[0, 1, 2, 3, 5, 8, 16, 17, 18, 19, 20, 257, 262, 77, 74, 32, 33, 72];
+const FILE_IO: &[u32] = &[
+    0, 1, 2, 3, 5, 8, 16, 17, 18, 19, 20, 257, 262, 77, 74, 32, 33, 72,
+];
 const NET: &[u32] = &[41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 54, 55, 288, 53];
 const MEM: &[u32] = &[9, 10, 11, 12, 25, 28];
 const EPOLL: &[u32] = &[232, 233, 291, 281, 7, 23, 270, 271];
@@ -96,7 +98,10 @@ fn profile(
         libs: vec![],
         serve_loop,
     };
-    AppProfile { name, program: generate(&spec) }
+    AppProfile {
+        name,
+        program: generate(&spec),
+    }
 }
 
 /// The `redis`-like profile: a large event-loop server with persistence,
@@ -106,162 +111,240 @@ fn profile(
 /// Scenario layout: 3 strict init scenarios, an 11-scenario serving loop,
 /// 1 shutdown scenario (indices 3..14 loop).
 pub fn redis() -> AppProfile {
-    profile("redis", WrapperStyle::Register, vec![
-        // init: config open, rlimits, allocator warmup
-        Scenario::Direct(vec![2]),
-        Scenario::Direct(vec![97, 160]),
-        via_wrapper(MEM, 6),
-        // serving loop
-        direct(FILE_IO, 14),
-        via_wrapper(NET, 13),
-        direct(EPOLL, 8),
-        via_wrapper(TIME, 6),
-        direct(SIGNAL, 6),
-        via_wrapper(PROC, 10),
-        direct(FS_META, 10),
-        via_wrapper(THREAD, 5),
-        Scenario::BranchJoin(77, 285),
-        Scenario::ThroughStack(213),
-        Scenario::IndirectHelper(290),
-        Scenario::PopularHelper(318),
-        Scenario::Loop(0, 3),
-        Scenario::DispatchTable { options: vec![26, 277, 75], used: 0 },
-        // shutdown
-        Scenario::Direct(vec![3, 74]),
-    ], Some(ServeLoop { start: 3, end: 17, iterations: 2 }))
+    profile(
+        "redis",
+        WrapperStyle::Register,
+        vec![
+            // init: config open, rlimits, allocator warmup
+            Scenario::Direct(vec![2]),
+            Scenario::Direct(vec![97, 160]),
+            via_wrapper(MEM, 6),
+            // serving loop
+            direct(FILE_IO, 14),
+            via_wrapper(NET, 13),
+            direct(EPOLL, 8),
+            via_wrapper(TIME, 6),
+            direct(SIGNAL, 6),
+            via_wrapper(PROC, 10),
+            direct(FS_META, 10),
+            via_wrapper(THREAD, 5),
+            Scenario::BranchJoin(77, 285),
+            Scenario::ThroughStack(213),
+            Scenario::IndirectHelper(290),
+            Scenario::PopularHelper(318),
+            Scenario::Loop(0, 3),
+            Scenario::DispatchTable {
+                options: vec![26, 277, 75],
+                used: 0,
+            },
+            // shutdown
+            Scenario::Direct(vec![3, 74]),
+        ],
+        Some(ServeLoop {
+            start: 3,
+            end: 17,
+            iterations: 2,
+        }),
+    )
 }
 
 /// The `nginx`-like profile: master/worker server with a clear
 /// init → serve → shutdown phase structure (the §5.4 subject).
 pub fn nginx() -> AppProfile {
-    profile("nginx", WrapperStyle::Register, vec![
-        // init: config parse, sockets, privileges — strict small phases
-        Scenario::Direct(vec![2]),
-        Scenario::Direct(vec![21]),
-        Scenario::Direct(vec![41, 49]),
-        Scenario::Direct(vec![50]),
-        Scenario::Direct(vec![105]),
-        direct(FS_META, 12),
-        via_wrapper(MEM, 5),
-        via_wrapper(PROC, 11),
-        // serving loop
-        direct(EPOLL, 8),
-        direct(FILE_IO, 12),
-        via_wrapper(NET, 14),
-        via_wrapper(TIME, 5),
-        direct(SIGNAL, 7),
-        Scenario::Loop(288, 2),
-        Scenario::Loop(1, 2),
-        Scenario::BranchJoin(40, 275),
-        Scenario::ThroughStack(293),
-        Scenario::IndirectHelper(213),
-        Scenario::PopularHelper(302),
-        Scenario::DispatchTable { options: vec![318, 16, 72], used: 0 },
-        // shutdown
-        Scenario::Direct(vec![3]),
-        Scenario::Direct(vec![87]),
-    ], Some(ServeLoop { start: 8, end: 20, iterations: 2 }))
+    profile(
+        "nginx",
+        WrapperStyle::Register,
+        vec![
+            // init: config parse, sockets, privileges — strict small phases
+            Scenario::Direct(vec![2]),
+            Scenario::Direct(vec![21]),
+            Scenario::Direct(vec![41, 49]),
+            Scenario::Direct(vec![50]),
+            Scenario::Direct(vec![105]),
+            direct(FS_META, 12),
+            via_wrapper(MEM, 5),
+            via_wrapper(PROC, 11),
+            // serving loop
+            direct(EPOLL, 8),
+            direct(FILE_IO, 12),
+            via_wrapper(NET, 14),
+            via_wrapper(TIME, 5),
+            direct(SIGNAL, 7),
+            Scenario::Loop(288, 2),
+            Scenario::Loop(1, 2),
+            Scenario::BranchJoin(40, 275),
+            Scenario::ThroughStack(293),
+            Scenario::IndirectHelper(213),
+            Scenario::PopularHelper(302),
+            Scenario::DispatchTable {
+                options: vec![318, 16, 72],
+                used: 0,
+            },
+            // shutdown
+            Scenario::Direct(vec![3]),
+            Scenario::Direct(vec![87]),
+        ],
+        Some(ServeLoop {
+            start: 8,
+            end: 20,
+            iterations: 2,
+        }),
+    )
 }
 
 /// The `haproxy`-like profile: proxy with splicing and many socket
 /// options.
 pub fn haproxy() -> AppProfile {
-    profile("haproxy", WrapperStyle::Register, vec![
-        // init
-        Scenario::Direct(vec![2]),
-        Scenario::Direct(vec![41]),
-        via_wrapper(MEM, 4),
-        // serving loop
-        direct(NET, 15),
-        via_wrapper(FILE_IO, 10),
-        direct(EPOLL, 7),
-        via_wrapper(TIME, 4),
-        direct(SIGNAL, 5),
-        via_wrapper(PROC, 8),
-        Scenario::BranchJoin(275, 276),
-        Scenario::ThroughStack(278),
-        Scenario::PopularHelper(302),
-        Scenario::DispatchTable { options: vec![54, 55], used: 0 },
-        // shutdown
-        Scenario::Direct(vec![3]),
-    ], Some(ServeLoop { start: 3, end: 13, iterations: 2 }))
+    profile(
+        "haproxy",
+        WrapperStyle::Register,
+        vec![
+            // init
+            Scenario::Direct(vec![2]),
+            Scenario::Direct(vec![41]),
+            via_wrapper(MEM, 4),
+            // serving loop
+            direct(NET, 15),
+            via_wrapper(FILE_IO, 10),
+            direct(EPOLL, 7),
+            via_wrapper(TIME, 4),
+            direct(SIGNAL, 5),
+            via_wrapper(PROC, 8),
+            Scenario::BranchJoin(275, 276),
+            Scenario::ThroughStack(278),
+            Scenario::PopularHelper(302),
+            Scenario::DispatchTable {
+                options: vec![54, 55],
+                used: 0,
+            },
+            // shutdown
+            Scenario::Direct(vec![3]),
+        ],
+        Some(ServeLoop {
+            start: 3,
+            end: 13,
+            iterations: 2,
+        }),
+    )
 }
 
 /// The `memcached`-like profile: a threaded cache; models a runtime with
 /// Go-style stack-passing wrappers.
 pub fn memcached() -> AppProfile {
-    profile("memcached", WrapperStyle::Stack, vec![
-        // init
-        Scenario::Direct(vec![41]),
-        via_wrapper(MEM, 5),
-        via_wrapper(THREAD, 6),
-        // serving loop
-        via_wrapper(NET, 11),
-        direct(EPOLL, 6),
-        direct(TIME, 4),
-        via_wrapper(FILE_IO, 8),
-        direct(SIGNAL, 4),
-        via_wrapper(PROC, 7),
-        Scenario::BranchJoin(28, 25),
-        Scenario::ThroughStack(318),
-        Scenario::DispatchTable { options: vec![230, 35], used: 1 },
-        // shutdown
-        Scenario::Direct(vec![3]),
-    ], Some(ServeLoop { start: 3, end: 12, iterations: 2 }))
+    profile(
+        "memcached",
+        WrapperStyle::Stack,
+        vec![
+            // init
+            Scenario::Direct(vec![41]),
+            via_wrapper(MEM, 5),
+            via_wrapper(THREAD, 6),
+            // serving loop
+            via_wrapper(NET, 11),
+            direct(EPOLL, 6),
+            direct(TIME, 4),
+            via_wrapper(FILE_IO, 8),
+            direct(SIGNAL, 4),
+            via_wrapper(PROC, 7),
+            Scenario::BranchJoin(28, 25),
+            Scenario::ThroughStack(318),
+            Scenario::DispatchTable {
+                options: vec![230, 35],
+                used: 1,
+            },
+            // shutdown
+            Scenario::Direct(vec![3]),
+        ],
+        Some(ServeLoop {
+            start: 3,
+            end: 12,
+            iterations: 2,
+        }),
+    )
 }
 
 /// The `lighttpd`-like profile: a small single-process web server.
 pub fn lighttpd() -> AppProfile {
-    profile("lighttpd", WrapperStyle::None, vec![
-        // init
-        Scenario::Direct(vec![2]),
-        Scenario::Direct(vec![41, 49, 50]),
-        // serving loop
-        direct(FILE_IO, 10),
-        direct(NET, 9),
-        direct(EPOLL, 5),
-        direct(FS_META, 8),
-        direct(SIGNAL, 4),
-        direct(PROC, 6),
-        Scenario::BranchJoin(40, 275),
-        Scenario::ThroughStack(89),
-        Scenario::IndirectHelper(78),
-        // shutdown
-        Scenario::Direct(vec![3]),
-    ], Some(ServeLoop { start: 2, end: 11, iterations: 2 }))
+    profile(
+        "lighttpd",
+        WrapperStyle::None,
+        vec![
+            // init
+            Scenario::Direct(vec![2]),
+            Scenario::Direct(vec![41, 49, 50]),
+            // serving loop
+            direct(FILE_IO, 10),
+            direct(NET, 9),
+            direct(EPOLL, 5),
+            direct(FS_META, 8),
+            direct(SIGNAL, 4),
+            direct(PROC, 6),
+            Scenario::BranchJoin(40, 275),
+            Scenario::ThroughStack(89),
+            Scenario::IndirectHelper(78),
+            // shutdown
+            Scenario::Direct(vec![3]),
+        ],
+        Some(ServeLoop {
+            start: 2,
+            end: 11,
+            iterations: 2,
+        }),
+    )
 }
 
 /// The `sqlite`-like profile: a library-shaped workload driven by a
 /// shell, file-I/O heavy, few network calls.
 pub fn sqlite() -> AppProfile {
-    profile("sqlite", WrapperStyle::Register, vec![
-        // init
-        Scenario::Direct(vec![2, 5]),
-        // statement-execution loop
-        direct(FILE_IO, 13),
-        direct(FS_META, 10),
-        via_wrapper(MEM, 4),
-        via_wrapper(TIME, 3),
-        via_wrapper(PROC, 5),
-        Scenario::BranchJoin(73, 75),
-        Scenario::ThroughStack(285),
-        Scenario::DispatchTable { options: vec![26, 74], used: 1 },
-        // shutdown
-        Scenario::Direct(vec![3, 74]),
-    ], Some(ServeLoop { start: 1, end: 9, iterations: 2 }))
+    profile(
+        "sqlite",
+        WrapperStyle::Register,
+        vec![
+            // init
+            Scenario::Direct(vec![2, 5]),
+            // statement-execution loop
+            direct(FILE_IO, 13),
+            direct(FS_META, 10),
+            via_wrapper(MEM, 4),
+            via_wrapper(TIME, 3),
+            via_wrapper(PROC, 5),
+            Scenario::BranchJoin(73, 75),
+            Scenario::ThroughStack(285),
+            Scenario::DispatchTable {
+                options: vec![26, 74],
+                used: 1,
+            },
+            // shutdown
+            Scenario::Direct(vec![3, 74]),
+        ],
+        Some(ServeLoop {
+            start: 1,
+            end: 9,
+            iterations: 2,
+        }),
+    )
 }
 
 /// All six validation profiles, in the paper's order.
 pub fn all_profiles() -> Vec<AppProfile> {
-    vec![redis(), nginx(), haproxy(), memcached(), lighttpd(), sqlite()]
+    vec![
+        redis(),
+        nginx(),
+        haproxy(),
+        memcached(),
+        lighttpd(),
+        sqlite(),
+    ]
 }
 
 /// A hello-world-sized program (the §4.7 cost-comparison subject).
 pub fn hello_world() -> AppProfile {
-    profile("hello", WrapperStyle::None, vec![
-        Scenario::Direct(vec![1]),
-        Scenario::Direct(vec![12, 9]),
-    ], None)
+    profile(
+        "hello",
+        WrapperStyle::None,
+        vec![Scenario::Direct(vec![1]), Scenario::Direct(vec![12, 9])],
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -290,7 +373,10 @@ mod tests {
         }
         let redis = sizes.iter().find(|s| s.1 == "redis").unwrap().0;
         let sqlite = sizes.iter().find(|s| s.1 == "sqlite").unwrap().0;
-        assert!(redis > sqlite, "redis ({redis}) should exceed sqlite ({sqlite})");
+        assert!(
+            redis > sqlite,
+            "redis ({redis}) should exceed sqlite ({sqlite})"
+        );
     }
 
     #[test]

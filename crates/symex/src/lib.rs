@@ -61,8 +61,8 @@ mod state;
 mod value;
 
 pub use search::{
-    exec_within_function, find_values, find_values_within, FuncExecResult, Limits, Query,
-    QueryLoc, SearchResult,
+    exec_within_function, find_values, find_values_scratch, find_values_within, FuncExecResult,
+    Limits, Query, QueryLoc, SearchResult, SearchScratch,
 };
 pub use state::SymState;
 pub use value::SymValue;

@@ -87,6 +87,31 @@ pub fn find_values(cfg: &Cfg, query: &Query, limits: &Limits) -> SearchResult {
     find_values_within(cfg, query, limits, None)
 }
 
+/// Reusable buffers for repeated searches.
+///
+/// One backward-BFS + directed-forward search allocates a worklist, a
+/// visited set, a relevance set and a path stack; running one search per
+/// `syscall` site re-allocates all of them thousands of times on large
+/// binaries. Callers that issue many queries (per-site identification,
+/// per-export attribution) hold one scratch per worker thread and pass it
+/// to [`find_values_scratch`], which clears — but does not free — the
+/// buffers between searches.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    relevant: BTreeSet<u64>,
+    queue: VecDeque<u64>,
+    visited: HashSet<u64>,
+    stack: Vec<(u64, SymState, usize)>,
+    concrete: Vec<u64>,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Like [`find_values`], but the backward walk only expands predecessors
 /// inside `universe` (when given).
 ///
@@ -101,6 +126,18 @@ pub fn find_values_within(
     limits: &Limits,
     universe: Option<&BTreeSet<u64>>,
 ) -> SearchResult {
+    find_values_scratch(cfg, query, limits, universe, &mut SearchScratch::new())
+}
+
+/// Like [`find_values_within`], reusing the caller's [`SearchScratch`]
+/// buffers instead of allocating fresh ones per search.
+pub fn find_values_scratch(
+    cfg: &Cfg,
+    query: &Query,
+    limits: &Limits,
+    universe: Option<&BTreeSet<u64>>,
+    scratch: &mut SearchScratch,
+) -> SearchResult {
     let mut result = SearchResult {
         values: BTreeSet::new(),
         complete: true,
@@ -112,11 +149,18 @@ pub fn find_values_within(
         return result;
     };
 
-    let mut relevant: BTreeSet<u64> = BTreeSet::new();
+    let SearchScratch {
+        relevant,
+        queue,
+        visited,
+        stack,
+        concrete,
+    } = scratch;
+    relevant.clear();
     relevant.insert(target_block);
-    let mut queue: VecDeque<u64> = VecDeque::new();
+    queue.clear();
     queue.push_back(target_block);
-    let mut visited: HashSet<u64> = HashSet::new();
+    visited.clear();
     visited.insert(target_block);
 
     while let Some(start) = queue.pop_front() {
@@ -128,8 +172,17 @@ pub fn find_values_within(
             break;
         }
 
-        let fwd = forward_exec(cfg, start, query, &relevant, limits, &mut result.blocks_explored);
-        result.values.extend(fwd.concrete.iter().copied());
+        let fwd = forward_exec(
+            cfg,
+            start,
+            query,
+            relevant,
+            limits,
+            &mut result.blocks_explored,
+            stack,
+            concrete,
+        );
+        result.values.extend(concrete.iter().copied());
 
         let defining = fwd.reached && !fwd.saw_symbolic && !fwd.budget_exhausted;
         if fwd.budget_exhausted {
@@ -146,7 +199,10 @@ pub fn find_values_within(
                 .filter(|(_, k)| {
                     matches!(
                         k,
-                        EdgeKind::Branch | EdgeKind::FallThrough | EdgeKind::Call | EdgeKind::Indirect
+                        EdgeKind::Branch
+                            | EdgeKind::FallThrough
+                            | EdgeKind::Call
+                            | EdgeKind::Indirect
                     )
                 })
                 .map(|&(p, _)| p)
@@ -170,7 +226,6 @@ pub fn find_values_within(
 
 #[derive(Debug, Default)]
 struct ForwardOutcome {
-    concrete: BTreeSet<u64>,
     saw_symbolic: bool,
     reached: bool,
     budget_exhausted: bool,
@@ -188,6 +243,10 @@ fn eval_query(state: &mut SymState, what: QueryLoc) -> SymValue {
 
 /// Directed forward symbolic execution from `start` toward
 /// `query.target`, restricted to `relevant` blocks.
+///
+/// Concrete values observed at the target are appended to `concrete`
+/// (cleared on entry); `stack` is the caller's reusable path worklist.
+#[allow(clippy::too_many_arguments)]
 fn forward_exec(
     cfg: &Cfg,
     start: u64,
@@ -195,9 +254,13 @@ fn forward_exec(
     relevant: &BTreeSet<u64>,
     limits: &Limits,
     blocks_explored: &mut usize,
+    stack: &mut Vec<(u64, SymState, usize)>,
+    concrete: &mut Vec<u64>,
 ) -> ForwardOutcome {
     let mut outcome = ForwardOutcome::default();
-    let mut stack: Vec<(u64, SymState, usize)> = vec![(start, SymState::fresh_at_entry(), 0)];
+    stack.clear();
+    stack.push((start, SymState::fresh_at_entry(), 0));
+    concrete.clear();
     let mut paths = 0usize;
 
     while let Some((block_addr, mut state, depth)) = stack.pop() {
@@ -225,9 +288,7 @@ fn forward_exec(
                 outcome.reached = true;
                 reached_target = true;
                 match v.as_concrete() {
-                    Some(c) => {
-                        outcome.concrete.insert(c);
-                    }
+                    Some(c) => concrete.push(c),
                     None => outcome.saw_symbolic = true,
                 }
                 break;
@@ -313,9 +374,17 @@ pub struct FuncExecResult {
 /// havoc). This is phase 2 of the wrapper-detection heuristic (§4.4): if
 /// the queried location is still a *named input* at the site, the function
 /// is a wrapper and the named input identifies its parameter.
-pub fn exec_within_function(cfg: &Cfg, func_entry: u64, query: &Query, limits: &Limits) -> FuncExecResult {
-    let mut result =
-        FuncExecResult { outcomes: BTreeSet::new(), reached: false, budget_exhausted: false };
+pub fn exec_within_function(
+    cfg: &Cfg,
+    func_entry: u64,
+    query: &Query,
+    limits: &Limits,
+) -> FuncExecResult {
+    let mut result = FuncExecResult {
+        outcomes: BTreeSet::new(),
+        reached: false,
+        budget_exhausted: false,
+    };
     let Some(entry_block) = cfg.block_containing(func_entry) else {
         return result;
     };
@@ -409,7 +478,10 @@ mod tests {
     }
 
     fn rax_query(target: u64) -> Query {
-        Query { target, what: QueryLoc::Reg(Reg::Rax) }
+        Query {
+            target,
+            what: QueryLoc::Reg(Reg::Rax),
+        }
     }
 
     #[test]
@@ -420,11 +492,14 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "f".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "f".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
         let r = find_values(&cfg, &rax_query(site), &Limits::default());
         assert!(r.complete && !r.budget_exhausted);
         assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![0]);
@@ -448,11 +523,14 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "f".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "f".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
         let r = find_values(&cfg, &rax_query(site), &Limits::default());
         assert!(r.complete, "{r:?}");
         assert_eq!(r.values.iter().copied().collect::<Vec<_>>(), vec![0, 2]);
@@ -475,8 +553,16 @@ mod tests {
         a.ret();
         let code = a.finish().unwrap();
         let funcs = vec![
-            FunctionSym { name: "main".into(), entry: 0x1000, size: wrapper_addr - 0x1000 },
-            FunctionSym { name: "wrapper".into(), entry: wrapper_addr, size: 0 },
+            FunctionSym {
+                name: "main".into(),
+                entry: 0x1000,
+                size: wrapper_addr - 0x1000,
+            },
+            FunctionSym {
+                name: "wrapper".into(),
+                entry: wrapper_addr,
+                size: 0,
+            },
         ];
         let cfg = build_cfg(code, funcs);
         let r = find_values(&cfg, &rax_query(site), &Limits::default());
@@ -503,8 +589,16 @@ mod tests {
         a.ret();
         let code = a.finish().unwrap();
         let funcs = vec![
-            FunctionSym { name: "main".into(), entry: 0x1000, size: w_addr - 0x1000 },
-            FunctionSym { name: "w".into(), entry: w_addr, size: 0 },
+            FunctionSym {
+                name: "main".into(),
+                entry: 0x1000,
+                size: w_addr - 0x1000,
+            },
+            FunctionSym {
+                name: "w".into(),
+                entry: w_addr,
+                size: 0,
+            },
         ];
         let cfg = build_cfg(code, funcs);
         let r = find_values(&cfg, &rax_query(site), &Limits::default());
@@ -530,8 +624,16 @@ mod tests {
         a.ret();
         let code = a.finish().unwrap();
         let funcs = vec![
-            FunctionSym { name: "main".into(), entry: 0x1000, size: helper_addr - 0x1000 },
-            FunctionSym { name: "helper".into(), entry: helper_addr, size: 0 },
+            FunctionSym {
+                name: "main".into(),
+                entry: 0x1000,
+                size: helper_addr - 0x1000,
+            },
+            FunctionSym {
+                name: "helper".into(),
+                entry: helper_addr,
+                size: 0,
+            },
         ];
         let cfg = build_cfg(code, funcs);
         let r = find_values(&cfg, &rax_query(site), &Limits::default());
@@ -548,11 +650,14 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "f".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "f".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
         let r = find_values(&cfg, &rax_query(site), &Limits::default());
         assert!(!r.complete);
         assert!(r.values.is_empty());
@@ -574,12 +679,18 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "f".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
-        let tight = Limits { max_total_blocks: 1, ..Limits::default() };
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "f".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
+        let tight = Limits {
+            max_total_blocks: 1,
+            ..Limits::default()
+        };
         let r = find_values(&cfg, &rax_query(site), &tight);
         assert!(r.budget_exhausted);
         assert!(!r.complete);
@@ -594,11 +705,14 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "w".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "w".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
         let r = exec_within_function(&cfg, 0x1000, &rax_query(site), &Limits::default());
         assert!(r.reached);
         assert_eq!(
@@ -615,11 +729,14 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "f".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "f".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
         let r = exec_within_function(&cfg, 0x1000, &rax_query(site), &Limits::default());
         assert_eq!(
             r.outcomes.iter().copied().collect::<Vec<_>>(),
@@ -636,11 +753,14 @@ mod tests {
         a.syscall();
         a.ret();
         let code = a.finish().unwrap();
-        let cfg = build_cfg(code.clone(), vec![FunctionSym {
-            name: "w".into(),
-            entry: 0x1000,
-            size: code.len() as u64,
-        }]);
+        let cfg = build_cfg(
+            code.clone(),
+            vec![FunctionSym {
+                name: "w".into(),
+                entry: 0x1000,
+                size: code.len() as u64,
+            }],
+        );
         let r = exec_within_function(&cfg, 0x1000, &rax_query(site), &Limits::default());
         assert_eq!(
             r.outcomes.iter().copied().collect::<Vec<_>>(),

@@ -94,9 +94,7 @@ impl SymState {
             }
         }
         match base {
-            SymValue::Concrete(b) => {
-                Addr::Concrete(b.wrapping_add(mem.disp as i64 as u64))
-            }
+            SymValue::Concrete(b) => Addr::Concrete(b.wrapping_add(mem.disp as i64 as u64)),
             SymValue::StackAddr(off) => Addr::Stack(off.wrapping_add(mem.disp as i64)),
             _ => Addr::Unknown,
         }
@@ -359,7 +357,11 @@ mod tests {
         s.set_reg(Reg::Rbx, SymValue::Concrete(2));
         s.apply_call_skip();
         assert!(!s.reg(Reg::Rax).is_concrete(), "rax is caller-saved");
-        assert_eq!(s.reg(Reg::Rbx), SymValue::Concrete(2), "rbx is callee-saved");
+        assert_eq!(
+            s.reg(Reg::Rbx),
+            SymValue::Concrete(2),
+            "rbx is callee-saved"
+        );
         assert_eq!(s.reg(Reg::Rsp), SymValue::StackAddr(0), "rsp preserved");
     }
 

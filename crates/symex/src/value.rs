@@ -79,12 +79,7 @@ impl OpaqueSource {
 /// Binary arithmetic over the lattice. Only the combinations the
 /// identification query relies on stay precise; the rest degrade to a
 /// fresh opaque value.
-pub(crate) fn binop(
-    op: ArithOp,
-    a: SymValue,
-    b: SymValue,
-    fresh: &mut OpaqueSource,
-) -> SymValue {
+pub(crate) fn binop(op: ArithOp, a: SymValue, b: SymValue, fresh: &mut OpaqueSource) -> SymValue {
     use SymValue::*;
     match (op, a, b) {
         (ArithOp::Add, Concrete(x), Concrete(y)) => Concrete(x.wrapping_add(y)),
@@ -121,11 +116,21 @@ mod tests {
     fn concrete_arithmetic_folds() {
         let mut f = OpaqueSource::default();
         assert_eq!(
-            binop(ArithOp::Add, SymValue::Concrete(2), SymValue::Concrete(3), &mut f),
+            binop(
+                ArithOp::Add,
+                SymValue::Concrete(2),
+                SymValue::Concrete(3),
+                &mut f
+            ),
             SymValue::Concrete(5)
         );
         assert_eq!(
-            binop(ArithOp::Sub, SymValue::Concrete(2), SymValue::Concrete(3), &mut f),
+            binop(
+                ArithOp::Sub,
+                SymValue::Concrete(2),
+                SymValue::Concrete(3),
+                &mut f
+            ),
             SymValue::Concrete(u64::MAX)
         );
     }
@@ -134,11 +139,21 @@ mod tests {
     fn stack_pointer_arithmetic_stays_precise() {
         let mut f = OpaqueSource::default();
         assert_eq!(
-            binop(ArithOp::Sub, SymValue::StackAddr(0), SymValue::Concrete(0x20), &mut f),
+            binop(
+                ArithOp::Sub,
+                SymValue::StackAddr(0),
+                SymValue::Concrete(0x20),
+                &mut f
+            ),
             SymValue::StackAddr(-0x20)
         );
         assert_eq!(
-            binop(ArithOp::Add, SymValue::StackAddr(-0x20), SymValue::Concrete(8), &mut f),
+            binop(
+                ArithOp::Add,
+                SymValue::StackAddr(-0x20),
+                SymValue::Concrete(8),
+                &mut f
+            ),
             SymValue::StackAddr(-0x18)
         );
     }

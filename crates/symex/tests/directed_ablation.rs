@@ -25,7 +25,11 @@ fn popular_function_program(fan: usize) -> (Vec<u8>, Vec<FunctionSym>, u64, u64)
     a.call_label(target_fn);
     a.mov_reg_imm32(Reg::Rax, 60);
     a.syscall();
-    funcs.push(FunctionSym { name: "_start".into(), entry, size: a.cursor() - entry });
+    funcs.push(FunctionSym {
+        name: "_start".into(),
+        entry,
+        size: a.cursor() - entry,
+    });
 
     // Siblings: busywork around a helper call — no syscalls.
     for i in 0..fan {
@@ -37,7 +41,11 @@ fn popular_function_program(fan: usize) -> (Vec<u8>, Vec<FunctionSym>, u64, u64)
         a.add_reg_imm32(Reg::Rdi, 1);
         a.call_label(helper);
         a.ret();
-        funcs.push(FunctionSym { name: format!("sib_{i}"), entry: start, size: a.cursor() - start });
+        funcs.push(FunctionSym {
+            name: format!("sib_{i}"),
+            entry: start,
+            size: a.cursor() - start,
+        });
     }
 
     // The interesting function.
@@ -61,7 +69,11 @@ fn popular_function_program(fan: usize) -> (Vec<u8>, Vec<FunctionSym>, u64, u64)
     a.nop();
     a.nop();
     a.ret();
-    funcs.push(FunctionSym { name: "helper".into(), entry: h_start, size: a.cursor() - h_start });
+    funcs.push(FunctionSym {
+        name: "helper".into(),
+        entry: h_start,
+        size: a.cursor() - h_start,
+    });
 
     let code = a.finish().unwrap();
     (code, funcs, entry, site)
@@ -71,16 +83,25 @@ fn popular_function_program(fan: usize) -> (Vec<u8>, Vec<FunctionSym>, u64, u64)
 fn directed_search_explores_far_less_than_undirected() {
     let (code, funcs, entry, site) = popular_function_program(30);
     let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
-    let query = Query { target: site, what: QueryLoc::Reg(Reg::Rax) };
+    let query = Query {
+        target: site,
+        what: QueryLoc::Reg(Reg::Rax),
+    };
 
     let directed = find_values(&cfg, &query, &Limits::default());
     assert!(directed.complete, "{directed:?}");
-    assert_eq!(directed.values.iter().copied().collect::<Vec<_>>(), vec![39]);
+    assert_eq!(
+        directed.values.iter().copied().collect::<Vec<_>>(),
+        vec![39]
+    );
 
     let undirected = find_values(
         &cfg,
         &query,
-        &Limits { undirected: true, ..Limits::default() },
+        &Limits {
+            undirected: true,
+            ..Limits::default()
+        },
     );
     // Undirected search still finds the value (it is sound)…
     assert!(undirected.values.contains(&39));
@@ -100,7 +121,10 @@ fn undirected_search_exhausts_budget_on_larger_fan() {
     // explosion the paper describes.
     let (code, funcs, entry, site) = popular_function_program(120);
     let cfg = Cfg::build(&code, 0x1000, &[entry], &funcs, &CfgOptions::default());
-    let query = Query { target: site, what: QueryLoc::Reg(Reg::Rax) };
+    let query = Query {
+        target: site,
+        what: QueryLoc::Reg(Reg::Rax),
+    };
 
     let directed = find_values(&cfg, &query, &Limits::default());
     assert!(directed.complete);

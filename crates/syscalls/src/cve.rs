@@ -4,10 +4,10 @@
 //! is required to trigger it. A filtering rule that denies *all* of a CVE's
 //! trigger system calls protects the process against that CVE (§5.5).
 
-use crate::{Sysno, SyscallSet};
+use crate::{SyscallSet, Sysno};
 
 /// The impact class of a CVE, following the legend of Table 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CveType {
     /// Check bypass.
     CheckBypass,
@@ -24,6 +24,16 @@ pub enum CveType {
     /// Privilege escalation.
     PrivilegeEscalation,
 }
+
+serde::impl_serde_unit_enum!(CveType {
+    CheckBypass,
+    InfoLeak,
+    UseAfterFree,
+    MemRead,
+    MemWrite,
+    DenialOfService,
+    PrivilegeEscalation,
+});
 
 /// One row of Table 5: a CVE, its trigger system calls, and impact classes.
 #[derive(Debug, Clone)]
@@ -69,42 +79,186 @@ use CveType::*;
 /// The 36 CVEs of Table 5 (post-2014 kernel CVEs triggerable through
 /// system calls, collected from SysFilter, Confine and Kite).
 pub static CVE_TABLE: [CveEntry; 36] = [
-    CveEntry { id: "2021-35039", syscall_names: &["init_module"], types: &[CheckBypass] },
-    CveEntry { id: "2019-13272", syscall_names: &["ptrace"], types: &[PrivilegeEscalation] },
-    CveEntry { id: "2019-11815", syscall_names: &["clone", "unshare"], types: &[UseAfterFree] },
-    CveEntry { id: "2019-10125", syscall_names: &["io_submit"], types: &[UseAfterFree] },
-    CveEntry { id: "2019-9857", syscall_names: &["inotify_add_watch"], types: &[DenialOfService] },
-    CveEntry { id: "2019-3901", syscall_names: &["execve"], types: &[InfoLeak] },
-    CveEntry { id: "2018-18281", syscall_names: &["ftruncate", "mremap"], types: &[UseAfterFree] },
-    CveEntry { id: "2018-14634", syscall_names: &["execve", "execveat"], types: &[PrivilegeEscalation] },
-    CveEntry { id: "2018-13053", syscall_names: &["clock_nanosleep"], types: &[DenialOfService] },
-    CveEntry { id: "2018-12233", syscall_names: &["setxattr"], types: &[PrivilegeEscalation, InfoLeak, DenialOfService] },
-    CveEntry { id: "2018-11508", syscall_names: &["adjtimex"], types: &[InfoLeak] },
-    CveEntry { id: "2018-1068", syscall_names: &["compat_sys_setsockopt"], types: &[MemWrite] },
-    CveEntry { id: "2017-18509", syscall_names: &["setsockopt", "getsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2017-18344", syscall_names: &["timer_create"], types: &[MemRead] },
-    CveEntry { id: "2017-17712", syscall_names: &["sendto", "sendmsg"], types: &[PrivilegeEscalation] },
-    CveEntry { id: "2017-17053", syscall_names: &["modify_ldt", "clone"], types: &[UseAfterFree] },
-    CveEntry { id: "2017-14954", syscall_names: &["waitid"], types: &[CheckBypass, PrivilegeEscalation, InfoLeak] },
-    CveEntry { id: "2017-11176", syscall_names: &["mq_notify"], types: &[DenialOfService] },
-    CveEntry { id: "2017-6001", syscall_names: &["perf_event_open"], types: &[PrivilegeEscalation] },
-    CveEntry { id: "2016-7911", syscall_names: &["ioprio_get"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2016-6198", syscall_names: &["rename"], types: &[DenialOfService] },
-    CveEntry { id: "2016-6197", syscall_names: &["rename", "unlink"], types: &[DenialOfService] },
-    CveEntry { id: "2016-4998", syscall_names: &["setsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2016-4997", syscall_names: &["setsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2016-3134", syscall_names: &["setsockopt"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2016-2383", syscall_names: &["bpf"], types: &[InfoLeak] },
-    CveEntry { id: "2016-0728", syscall_names: &["keyctl"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2015-8543", syscall_names: &["socket"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2015-7613", syscall_names: &["semget", "msgget", "shmget"], types: &[PrivilegeEscalation] },
-    CveEntry { id: "2014-9903", syscall_names: &["sched_getattr"], types: &[InfoLeak] },
-    CveEntry { id: "2014-9529", syscall_names: &["keyctl"], types: &[DenialOfService] },
-    CveEntry { id: "2014-8133", syscall_names: &["set_thread_area"], types: &[CheckBypass] },
-    CveEntry { id: "2014-7970", syscall_names: &["pivot_root"], types: &[DenialOfService] },
-    CveEntry { id: "2014-5207", syscall_names: &["mount"], types: &[PrivilegeEscalation] },
-    CveEntry { id: "2014-4699", syscall_names: &["fork", "clone", "ptrace"], types: &[PrivilegeEscalation, DenialOfService] },
-    CveEntry { id: "2014-3180", syscall_names: &["compat_sys_nanosleep"], types: &[MemRead] },
+    CveEntry {
+        id: "2021-35039",
+        syscall_names: &["init_module"],
+        types: &[CheckBypass],
+    },
+    CveEntry {
+        id: "2019-13272",
+        syscall_names: &["ptrace"],
+        types: &[PrivilegeEscalation],
+    },
+    CveEntry {
+        id: "2019-11815",
+        syscall_names: &["clone", "unshare"],
+        types: &[UseAfterFree],
+    },
+    CveEntry {
+        id: "2019-10125",
+        syscall_names: &["io_submit"],
+        types: &[UseAfterFree],
+    },
+    CveEntry {
+        id: "2019-9857",
+        syscall_names: &["inotify_add_watch"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2019-3901",
+        syscall_names: &["execve"],
+        types: &[InfoLeak],
+    },
+    CveEntry {
+        id: "2018-18281",
+        syscall_names: &["ftruncate", "mremap"],
+        types: &[UseAfterFree],
+    },
+    CveEntry {
+        id: "2018-14634",
+        syscall_names: &["execve", "execveat"],
+        types: &[PrivilegeEscalation],
+    },
+    CveEntry {
+        id: "2018-13053",
+        syscall_names: &["clock_nanosleep"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2018-12233",
+        syscall_names: &["setxattr"],
+        types: &[PrivilegeEscalation, InfoLeak, DenialOfService],
+    },
+    CveEntry {
+        id: "2018-11508",
+        syscall_names: &["adjtimex"],
+        types: &[InfoLeak],
+    },
+    CveEntry {
+        id: "2018-1068",
+        syscall_names: &["compat_sys_setsockopt"],
+        types: &[MemWrite],
+    },
+    CveEntry {
+        id: "2017-18509",
+        syscall_names: &["setsockopt", "getsockopt"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2017-18344",
+        syscall_names: &["timer_create"],
+        types: &[MemRead],
+    },
+    CveEntry {
+        id: "2017-17712",
+        syscall_names: &["sendto", "sendmsg"],
+        types: &[PrivilegeEscalation],
+    },
+    CveEntry {
+        id: "2017-17053",
+        syscall_names: &["modify_ldt", "clone"],
+        types: &[UseAfterFree],
+    },
+    CveEntry {
+        id: "2017-14954",
+        syscall_names: &["waitid"],
+        types: &[CheckBypass, PrivilegeEscalation, InfoLeak],
+    },
+    CveEntry {
+        id: "2017-11176",
+        syscall_names: &["mq_notify"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2017-6001",
+        syscall_names: &["perf_event_open"],
+        types: &[PrivilegeEscalation],
+    },
+    CveEntry {
+        id: "2016-7911",
+        syscall_names: &["ioprio_get"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2016-6198",
+        syscall_names: &["rename"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2016-6197",
+        syscall_names: &["rename", "unlink"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2016-4998",
+        syscall_names: &["setsockopt"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2016-4997",
+        syscall_names: &["setsockopt"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2016-3134",
+        syscall_names: &["setsockopt"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2016-2383",
+        syscall_names: &["bpf"],
+        types: &[InfoLeak],
+    },
+    CveEntry {
+        id: "2016-0728",
+        syscall_names: &["keyctl"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2015-8543",
+        syscall_names: &["socket"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2015-7613",
+        syscall_names: &["semget", "msgget", "shmget"],
+        types: &[PrivilegeEscalation],
+    },
+    CveEntry {
+        id: "2014-9903",
+        syscall_names: &["sched_getattr"],
+        types: &[InfoLeak],
+    },
+    CveEntry {
+        id: "2014-9529",
+        syscall_names: &["keyctl"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2014-8133",
+        syscall_names: &["set_thread_area"],
+        types: &[CheckBypass],
+    },
+    CveEntry {
+        id: "2014-7970",
+        syscall_names: &["pivot_root"],
+        types: &[DenialOfService],
+    },
+    CveEntry {
+        id: "2014-5207",
+        syscall_names: &["mount"],
+        types: &[PrivilegeEscalation],
+    },
+    CveEntry {
+        id: "2014-4699",
+        syscall_names: &["fork", "clone", "ptrace"],
+        types: &[PrivilegeEscalation, DenialOfService],
+    },
+    CveEntry {
+        id: "2014-3180",
+        syscall_names: &["compat_sys_nanosleep"],
+        types: &[MemRead],
+    },
 ];
 
 #[cfg(test)]
@@ -121,11 +275,16 @@ mod tests {
     fn every_entry_resolves_to_syscalls() {
         for entry in &CVE_TABLE {
             let set = entry.syscalls();
-            assert_eq!(set.len(), {
-                // compat aliases may collapse onto the same 64-bit number,
-                // but no entry in this table mixes an alias with its target.
-                entry.syscall_names.len()
-            }, "{}", entry.id);
+            assert_eq!(
+                set.len(),
+                {
+                    // compat aliases may collapse onto the same 64-bit number,
+                    // but no entry in this table mixes an alias with its target.
+                    entry.syscall_names.len()
+                },
+                "{}",
+                entry.id
+            );
             assert!(!entry.types.is_empty(), "{}", entry.id);
         }
     }
@@ -135,7 +294,9 @@ mod tests {
         let e = CVE_TABLE.iter().find(|e| e.id == "2018-1068").unwrap();
         assert!(e.syscalls().contains(wk::SETSOCKOPT));
         let e = CVE_TABLE.iter().find(|e| e.id == "2014-3180").unwrap();
-        assert!(e.syscalls().contains(Sysno::from_name("nanosleep").unwrap()));
+        assert!(e
+            .syscalls()
+            .contains(Sysno::from_name("nanosleep").unwrap()));
     }
 
     #[test]

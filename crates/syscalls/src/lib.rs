@@ -58,9 +58,12 @@ pub const MAX_SYSNO: u32 = 512;
 /// assert_eq!(openat.raw(), 257);
 /// assert_eq!(format!("{openat}"), "openat");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Sysno(u32);
+
+// Serialized transparently as its raw number; deserialization re-checks
+// the range invariant instead of trusting the input.
+serde::impl_serde_transparent!(Sysno(u32), validate = |raw: u32| Sysno::new(raw));
 
 impl Sysno {
     /// Creates a system call number from its raw value.
@@ -154,14 +157,25 @@ pub mod well_known {
 /// execve on Nginx/Memcached, and execveat on all popular applications").
 pub fn dangerous_syscalls() -> SyscallSet {
     let names = [
-        "execve", "execveat", "fork", "vfork", "clone", "ptrace", "mprotect",
-        "setuid", "setgid", "init_module", "finit_module", "delete_module",
-        "bpf", "keyctl", "mount", "pivot_root", "kexec_load",
+        "execve",
+        "execveat",
+        "fork",
+        "vfork",
+        "clone",
+        "ptrace",
+        "mprotect",
+        "setuid",
+        "setgid",
+        "init_module",
+        "finit_module",
+        "delete_module",
+        "bpf",
+        "keyctl",
+        "mount",
+        "pivot_root",
+        "kexec_load",
     ];
-    names
-        .iter()
-        .filter_map(|n| Sysno::from_name(n))
-        .collect()
+    names.iter().filter_map(|n| Sysno::from_name(n)).collect()
 }
 
 #[cfg(test)]

@@ -280,6 +280,98 @@ mod tests {
         assert_eq!(SyscallSet::all_known().len(), crate::table::count());
     }
 
+    fn evens() -> SyscallSet {
+        (0..crate::MAX_SYSNO)
+            .step_by(2)
+            .filter_map(Sysno::new)
+            .collect()
+    }
+
+    fn multiples_of(k: u32) -> SyscallSet {
+        (0..crate::MAX_SYSNO)
+            .step_by(k as usize)
+            .filter_map(Sysno::new)
+            .collect()
+    }
+
+    #[test]
+    fn bulk_union_matches_element_wise() {
+        // The parallel merge step folds per-site/per-worker sets with
+        // extend_from; it must agree with element-wise insertion across
+        // word boundaries.
+        let a = evens();
+        let b = multiples_of(3);
+        let u = a.union(&b);
+        for raw in 0..crate::MAX_SYSNO {
+            let s = Sysno::new(raw).unwrap();
+            assert_eq!(u.contains(s), raw % 2 == 0 || raw % 3 == 0, "{raw}");
+        }
+        assert_eq!(
+            u.len(),
+            (0..crate::MAX_SYSNO)
+                .filter(|r| r % 2 == 0 || r % 3 == 0)
+                .count()
+        );
+
+        // In-place union over many small sets equals one big collect.
+        let mut folded = SyscallSet::new();
+        for raw in 0..crate::MAX_SYSNO {
+            if raw % 2 == 0 || raw % 3 == 0 {
+                let single: SyscallSet = [Sysno::new(raw).unwrap()].into_iter().collect();
+                folded.extend_from(&single);
+            }
+        }
+        assert_eq!(folded, u);
+    }
+
+    #[test]
+    fn bulk_intersection_matches_element_wise() {
+        let a = evens();
+        let b = multiples_of(3);
+        let i = a.intersection(&b);
+        for raw in 0..crate::MAX_SYSNO {
+            let s = Sysno::new(raw).unwrap();
+            assert_eq!(i.contains(s), raw % 6 == 0, "{raw}");
+        }
+        assert_eq!(i, multiples_of(6));
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+
+        // Identities: x ∩ x = x, x ∩ ∅ = ∅, and for a set of *assigned*
+        // numbers, x ∩ all_known = x.
+        assert_eq!(a.intersection(&a), a);
+        assert!(a.intersection(&SyscallSet::new()).is_empty());
+        let assigned = SyscallSet::all_known().intersection(&a);
+        assert_eq!(assigned.intersection(&SyscallSet::all_known()), assigned);
+        assert!(!assigned.is_empty());
+    }
+
+    #[test]
+    fn bulk_iteration_is_ascending_and_lossless() {
+        let set = multiples_of(7);
+        let raws: Vec<u32> = set.iter().map(|s| s.raw()).collect();
+        assert_eq!(raws.len(), set.len());
+        assert!(raws.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(raws.iter().all(|r| r % 7 == 0));
+        // Round trip through iteration rebuilds the identical bitmap.
+        let rebuilt: SyscallSet = set.iter().collect();
+        assert_eq!(rebuilt, set);
+        // Full-range iteration covers the highest representable word.
+        let full = SyscallSet::all_known();
+        let max = full.iter().last().unwrap();
+        assert!(full.contains(max));
+        assert_eq!(full.iter().count(), full.len());
+    }
+
+    #[test]
+    fn difference_and_union_are_consistent() {
+        let a = evens();
+        let b = multiples_of(3);
+        // (a \ b) ∪ (a ∩ b) = a, and (a \ b) ∩ b = ∅.
+        let rebuilt = a.difference(&b).union(&a.intersection(&b));
+        assert_eq!(rebuilt, a);
+        assert!(a.difference(&b).intersection(&b).is_empty());
+    }
+
     #[test]
     fn serde_round_trip() {
         let a: SyscallSet = [wk::READ, wk::EXECVEAT].into_iter().collect();

@@ -31,9 +31,7 @@ pub fn number_of(name: &str) -> Option<u32> {
     if let Some(idx) = CLASSIC.iter().position(|&n| n == name) {
         return Some(idx as u32);
     }
-    MODERN
-        .iter()
-        .find_map(|&(n, nm)| (nm == name).then_some(n))
+    MODERN.iter().find_map(|&(n, nm)| (nm == name).then_some(n))
 }
 
 /// Iterates over every assigned `(number, name)` pair in ascending order.

@@ -54,7 +54,11 @@ impl fmt::Display for DecodeError {
             DecodeError::UnknownOpcode { addr, opcode } => {
                 write!(f, "unknown opcode {opcode:#04x} at {addr:#x}")
             }
-            DecodeError::UnsupportedForm { addr, opcode, modrm } => write!(
+            DecodeError::UnsupportedForm {
+                addr,
+                opcode,
+                modrm,
+            } => write!(
                 f,
                 "unsupported form opcode={opcode:#04x} modrm={modrm:#04x} at {addr:#x}"
             ),
@@ -128,11 +132,20 @@ fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
 
     if mode == 0b11 {
         let reg = Reg::from_number(rm_bits | if rex.b { 8 } else { 0 });
-        return Ok(ModRm { reg_field, rm: Operand::Reg(reg), raw: modrm });
+        return Ok(ModRm {
+            reg_field,
+            rm: Operand::Reg(reg),
+            raw: modrm,
+        });
     }
 
     // Memory forms.
-    let mut mem = Mem { base: None, index: None, disp: 0, rip_relative: false };
+    let mut mem = Mem {
+        base: None,
+        index: None,
+        disp: 0,
+        rip_relative: false,
+    };
     if rm_bits == 0b100 {
         // SIB byte.
         let sib = cur.u8()?;
@@ -145,14 +158,22 @@ fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
         if (sib & 7) == 0b101 && mode == 0b00 {
             // disp32, no base.
             mem.disp = cur.i32()?;
-            return Ok(ModRm { reg_field, rm: Operand::Mem(mem), raw: modrm });
+            return Ok(ModRm {
+                reg_field,
+                rm: Operand::Mem(mem),
+                raw: modrm,
+            });
         }
         mem.base = Some(Reg::from_number(base_bits));
     } else if rm_bits == 0b101 && mode == 0b00 {
         // RIP-relative.
         mem.rip_relative = true;
         mem.disp = cur.i32()?;
-        return Ok(ModRm { reg_field, rm: Operand::Mem(mem), raw: modrm });
+        return Ok(ModRm {
+            reg_field,
+            rm: Operand::Mem(mem),
+            raw: modrm,
+        });
     } else {
         mem.base = Some(Reg::from_number(rm_bits | if rex.b { 8 } else { 0 }));
     }
@@ -163,7 +184,11 @@ fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
         0b10 => mem.disp = cur.i32()?,
         _ => unreachable!(),
     }
-    Ok(ModRm { reg_field, rm: Operand::Mem(mem), raw: modrm })
+    Ok(ModRm {
+        reg_field,
+        rm: Operand::Mem(mem),
+        raw: modrm,
+    })
 }
 
 /// Decodes a single instruction at `addr` from `bytes` (which must start
@@ -175,7 +200,11 @@ fn decode_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
 /// subset — the analyses treat such addresses as opaque (§4.1 assumes a
 /// robust disassembler; our corpus is fully in-subset by construction).
 pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
-    let mut cur = Cursor { bytes, pos: 0, addr };
+    let mut cur = Cursor {
+        bytes,
+        pos: 0,
+        addr,
+    };
     let mut rex = Rex::default();
     let mut f3 = false;
 
@@ -211,7 +240,11 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
                     if tail == 0xfa {
                         Op::Endbr64
                     } else {
-                        return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: tail });
+                        return Err(DecodeError::UnsupportedForm {
+                            addr,
+                            opcode,
+                            modrm: tail,
+                        });
                     }
                 }
                 0x1f => {
@@ -234,14 +267,14 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
         0x50..=0x57 => Op::Push(Operand::Reg(Reg::from_number(
             (opcode - 0x50) | if rex.b { 8 } else { 0 },
         ))),
-        0x58..=0x5f => Op::Pop(Reg::from_number((opcode - 0x58) | if rex.b { 8 } else { 0 })),
+        0x58..=0x5f => Op::Pop(Reg::from_number(
+            (opcode - 0x58) | if rex.b { 8 } else { 0 },
+        )),
         0x68 => Op::Push(Operand::Imm(cur.i32()? as i64)),
         0x6a => Op::Push(Operand::Imm(cur.i8()? as i64)),
         0x70..=0x7f => {
-            let cond = Cond::from_code(opcode & 0xf).ok_or(DecodeError::UnknownOpcode {
-                addr,
-                opcode,
-            })?;
+            let cond =
+                Cond::from_code(opcode & 0xf).ok_or(DecodeError::UnknownOpcode { addr, opcode })?;
             let rel = cur.i8()? as i32;
             Op::Jcc(cond, rel)
         }
@@ -279,7 +312,10 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
         }
         0x85 => {
             let m = decode_modrm(&mut cur, rex)?;
-            Op::Test { a: m.rm, b: Operand::Reg(Reg::from_number(m.reg_field)) }
+            Op::Test {
+                a: m.rm,
+                b: Operand::Reg(Reg::from_number(m.reg_field)),
+            }
         }
         0x81 | 0x83 => {
             let m = decode_modrm(&mut cur, rex)?;
@@ -298,34 +334,60 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
                 6 => Op::Xor { dst, src },
                 7 => Op::Cmp { a: dst, b: src },
                 _ => {
-                    return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw })
+                    return Err(DecodeError::UnsupportedForm {
+                        addr,
+                        opcode,
+                        modrm: m.raw,
+                    })
                 }
             }
         }
         0x8d => {
             let m = decode_modrm(&mut cur, rex)?;
             match m.rm {
-                Operand::Mem(mem) => Op::Lea { dst: Reg::from_number(m.reg_field), addr: mem },
-                _ => return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw }),
+                Operand::Mem(mem) => Op::Lea {
+                    dst: Reg::from_number(m.reg_field),
+                    addr: mem,
+                },
+                _ => {
+                    return Err(DecodeError::UnsupportedForm {
+                        addr,
+                        opcode,
+                        modrm: m.raw,
+                    })
+                }
             }
         }
         0xb8..=0xbf => {
             let dst = Reg::from_number((opcode - 0xb8) | if rex.b { 8 } else { 0 });
             if rex.w {
-                Op::MovImm64 { dst, imm: cur.u64()? }
+                Op::MovImm64 {
+                    dst,
+                    imm: cur.u64()?,
+                }
             } else {
                 // mov r32, imm32 zero-extends.
                 let imm = cur.i32()? as u32 as i64;
-                Op::Mov { dst: Operand::Reg(dst), src: Operand::Imm(imm) }
+                Op::Mov {
+                    dst: Operand::Reg(dst),
+                    src: Operand::Imm(imm),
+                }
             }
         }
         0xc7 => {
             let m = decode_modrm(&mut cur, rex)?;
             if m.reg_field & 7 != 0 {
-                return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw });
+                return Err(DecodeError::UnsupportedForm {
+                    addr,
+                    opcode,
+                    modrm: m.raw,
+                });
             }
             let imm = cur.i32()? as i64;
-            Op::Mov { dst: m.rm, src: Operand::Imm(imm) }
+            Op::Mov {
+                dst: m.rm,
+                src: Operand::Imm(imm),
+            }
         }
         0xc3 => Op::Ret,
         0xc2 => {
@@ -348,7 +410,11 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
                 4 => Op::Jmp(target),
                 6 => Op::Push(m.rm),
                 _ => {
-                    return Err(DecodeError::UnsupportedForm { addr, opcode, modrm: m.raw })
+                    return Err(DecodeError::UnsupportedForm {
+                        addr,
+                        opcode,
+                        modrm: m.raw,
+                    })
                 }
             }
         }
@@ -358,7 +424,11 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instruction, DecodeError> {
         _ => return Err(DecodeError::UnknownOpcode { addr, opcode }),
     };
 
-    Ok(Instruction { addr, len: cur.pos as u8, op })
+    Ok(Instruction {
+        addr,
+        len: cur.pos as u8,
+        op,
+    })
 }
 
 /// Decodes instructions linearly from `base` until the buffer is exhausted
@@ -397,7 +467,10 @@ mod tests {
         let i = one(&[0xb8, 1, 0, 0, 0]);
         assert_eq!(
             i.op,
-            Op::Mov { dst: Operand::Reg(Reg::Rax), src: Operand::Imm(1) }
+            Op::Mov {
+                dst: Operand::Reg(Reg::Rax),
+                src: Operand::Imm(1)
+            }
         );
         assert_eq!(i.len, 5);
     }
@@ -405,7 +478,13 @@ mod tests {
     #[test]
     fn decodes_movabs() {
         let i = one(&[0x48, 0xb8, 0xef, 0xbe, 0xad, 0xde, 0, 0, 0, 0]);
-        assert_eq!(i.op, Op::MovImm64 { dst: Reg::Rax, imm: 0xdeadbeef });
+        assert_eq!(
+            i.op,
+            Op::MovImm64 {
+                dst: Reg::Rax,
+                imm: 0xdeadbeef
+            }
+        );
         assert_eq!(i.len, 10);
     }
 
@@ -435,7 +514,13 @@ mod tests {
     fn decodes_rip_relative_lea() {
         // lea rdi, [rip+0x200]  →  48 8d 3d 00 02 00 00
         let i = one(&[0x48, 0x8d, 0x3d, 0, 2, 0, 0]);
-        assert_eq!(i.op, Op::Lea { dst: Reg::Rdi, addr: Mem::rip(0x200) });
+        assert_eq!(
+            i.op,
+            Op::Lea {
+                dst: Reg::Rdi,
+                addr: Mem::rip(0x200)
+            }
+        );
         if let Op::Lea { addr, .. } = i.op {
             assert_eq!(addr.rip_target(i.addr, i.len), Some(0x1207));
         }
@@ -447,7 +532,10 @@ mod tests {
         let i = one(&[0x4d, 0x89, 0xca]);
         assert_eq!(
             i.op,
-            Op::Mov { dst: Operand::Reg(Reg::R10), src: Operand::Reg(Reg::R9) }
+            Op::Mov {
+                dst: Operand::Reg(Reg::R10),
+                src: Operand::Reg(Reg::R9)
+            }
         );
         // push r12 → 41 54
         let i = one(&[0x41, 0x54]);
@@ -488,13 +576,19 @@ mod tests {
         let i = one(&[0x48, 0x83, 0xec, 0x20]);
         assert_eq!(
             i.op,
-            Op::Sub { dst: Operand::Reg(Reg::Rsp), src: Operand::Imm(0x20) }
+            Op::Sub {
+                dst: Operand::Reg(Reg::Rsp),
+                src: Operand::Imm(0x20)
+            }
         );
         // cmp rax, -1 → 48 83 f8 ff
         let i = one(&[0x48, 0x83, 0xf8, 0xff]);
         assert_eq!(
             i.op,
-            Op::Cmp { a: Operand::Reg(Reg::Rax), b: Operand::Imm(-1) }
+            Op::Cmp {
+                a: Operand::Reg(Reg::Rax),
+                b: Operand::Imm(-1)
+            }
         );
     }
 
@@ -548,7 +642,10 @@ mod tests {
     fn unknown_opcode_errors() {
         assert!(matches!(
             decode(&[0x06], 0x42),
-            Err(DecodeError::UnknownOpcode { addr: 0x42, opcode: 0x06 })
+            Err(DecodeError::UnknownOpcode {
+                addr: 0x42,
+                opcode: 0x06
+            })
         ));
     }
 

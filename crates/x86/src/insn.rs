@@ -19,25 +19,43 @@ pub struct Mem {
 impl Mem {
     /// `[base + disp]`.
     pub fn base_disp(base: Reg, disp: i32) -> Mem {
-        Mem { base: Some(base), index: None, disp, rip_relative: false }
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// `[rip + disp]` — the position-independent form compilers emit for
     /// globals and GOT slots.
     pub fn rip(disp: i32) -> Mem {
-        Mem { base: None, index: None, disp, rip_relative: true }
+        Mem {
+            base: None,
+            index: None,
+            disp,
+            rip_relative: true,
+        }
     }
 
     /// Absolute displacement with no registers: `[disp]`.
     pub fn absolute(disp: i32) -> Mem {
-        Mem { base: None, index: None, disp, rip_relative: false }
+        Mem {
+            base: None,
+            index: None,
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// For a RIP-relative operand decoded at `addr` with length `len`,
     /// the absolute target address.
     pub fn rip_target(&self, insn_addr: u64, insn_len: u8) -> Option<u64> {
-        self.rip_relative
-            .then(|| insn_addr.wrapping_add(insn_len as u64).wrapping_add(self.disp as i64 as u64))
+        self.rip_relative.then(|| {
+            insn_addr
+                .wrapping_add(insn_len as u64)
+                .wrapping_add(self.disp as i64 as u64)
+        })
     }
 }
 
@@ -330,10 +348,7 @@ impl Instruction {
 
     /// `true` if control cannot fall through to the next instruction.
     pub fn is_terminator(&self) -> bool {
-        matches!(
-            self.op,
-            Op::Ret | Op::Jmp(_) | Op::Ud2 | Op::Hlt
-        )
+        matches!(self.op, Op::Ret | Op::Jmp(_) | Op::Ud2 | Op::Hlt)
     }
 
     /// `true` for any control-flow instruction (including calls).
@@ -387,27 +402,53 @@ mod tests {
 
     #[test]
     fn branch_target_forward_and_backward() {
-        let fwd = Instruction { addr: 0x1000, len: 5, op: Op::Call(Target::Rel(0x10)) };
+        let fwd = Instruction {
+            addr: 0x1000,
+            len: 5,
+            op: Op::Call(Target::Rel(0x10)),
+        };
         assert_eq!(fwd.branch_target(), Some(0x1015));
-        let bwd = Instruction { addr: 0x1000, len: 2, op: Op::Jmp(Target::Rel(-4)) };
+        let bwd = Instruction {
+            addr: 0x1000,
+            len: 2,
+            op: Op::Jmp(Target::Rel(-4)),
+        };
         assert_eq!(bwd.branch_target(), Some(0xffe));
     }
 
     #[test]
     fn non_branches_have_no_target() {
-        let i = Instruction { addr: 0, len: 1, op: Op::Ret };
+        let i = Instruction {
+            addr: 0,
+            len: 1,
+            op: Op::Ret,
+        };
         assert_eq!(i.branch_target(), None);
-        let i = Instruction { addr: 0, len: 2, op: Op::Jmp(Target::Reg(Reg::Rax)) };
+        let i = Instruction {
+            addr: 0,
+            len: 2,
+            op: Op::Jmp(Target::Reg(Reg::Rax)),
+        };
         assert_eq!(i.branch_target(), None, "indirect targets are unknown");
     }
 
     #[test]
     fn terminators() {
         for op in [Op::Ret, Op::Jmp(Target::Rel(0)), Op::Ud2, Op::Hlt] {
-            assert!(Instruction { addr: 0, len: 1, op }.is_terminator());
+            assert!(Instruction {
+                addr: 0,
+                len: 1,
+                op
+            }
+            .is_terminator());
         }
         for op in [Op::Syscall, Op::Call(Target::Rel(0)), Op::Jcc(Cond::E, 0)] {
-            assert!(!Instruction { addr: 0, len: 1, op }.is_terminator());
+            assert!(!Instruction {
+                addr: 0,
+                len: 1,
+                op
+            }
+            .is_terminator());
         }
     }
 

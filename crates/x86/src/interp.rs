@@ -99,7 +99,10 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { max_steps: 1_000_000, stack_top: 0x7fff_0000_0000 }
+        ExecConfig {
+            max_steps: 1_000_000,
+            stack_top: 0x7fff_0000_0000,
+        }
     }
 }
 
@@ -244,7 +247,12 @@ impl Machine<'_> {
 /// Non-exit system calls write `0` to `%rax` (success) and clobber
 /// `%rcx`/`%r11` as the hardware does.
 pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
-    let mut m = Machine { image, regs: [0; 16], mem: HashMap::new(), flags: Flags::default() };
+    let mut m = Machine {
+        image,
+        regs: [0; 16],
+        mem: HashMap::new(),
+        flags: Flags::default(),
+    };
     m.set_reg(Reg::Rsp, config.stack_top - 8);
     m.write_u64(config.stack_top - 8, RETURN_SENTINEL);
 
@@ -254,10 +262,18 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
 
     loop {
         if steps >= config.max_steps {
-            return Trace { syscalls, steps, exit: ExitReason::StepLimit };
+            return Trace {
+                syscalls,
+                steps,
+                exit: ExitReason::StepLimit,
+            };
         }
         let Some(window) = image.bytes_at(rip, 16).or_else(|| image.bytes_at(rip, 1)) else {
-            return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+            return Trace {
+                syscalls,
+                steps,
+                exit: ExitReason::Fault { addr: rip },
+            };
         };
         // Re-slice to the longest available window ≤ 16 bytes.
         let window = {
@@ -273,7 +289,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             }
         };
         let Ok(insn) = decode(window, rip) else {
-            return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+            return Trace {
+                syscalls,
+                steps,
+                exit: ExitReason::Fault { addr: rip },
+            };
         };
         steps += 1;
         let end = insn.end();
@@ -282,7 +302,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
         match insn.op {
             Op::Mov { dst, src } => {
                 let Some(v) = m.read_operand(&src, end) else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.write_operand(&dst, v, end);
             }
@@ -293,7 +317,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             }
             Op::Push(src) => {
                 let Some(v) = m.read_operand(&src, end) else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 let rsp = m.reg(Reg::Rsp) - 8;
                 m.set_reg(Reg::Rsp, rsp);
@@ -302,7 +330,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::Pop(dst) => {
                 let rsp = m.reg(Reg::Rsp);
                 let Some(v) = m.read_u64(rsp) else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.set_reg(dst, v);
                 m.set_reg(Reg::Rsp, rsp + 8);
@@ -310,7 +342,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::Add { dst, src } => {
                 let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
                 else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.set_flags_add(a, b);
                 m.write_operand(&dst, a.wrapping_add(b), end);
@@ -318,7 +354,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::Sub { dst, src } => {
                 let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
                 else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.set_flags_sub(a, b);
                 m.write_operand(&dst, a.wrapping_sub(b), end);
@@ -326,7 +366,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::Xor { dst, src } => {
                 let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
                 else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 let res = a ^ b;
                 m.set_flags_logic(res);
@@ -335,7 +379,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::And { dst, src } => {
                 let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
                 else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 let res = a & b;
                 m.set_flags_logic(res);
@@ -344,7 +392,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::Or { dst, src } => {
                 let (Some(a), Some(b)) = (m.read_operand(&dst, end), m.read_operand(&src, end))
                 else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 let res = a | b;
                 m.set_flags_logic(res);
@@ -352,13 +404,21 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             }
             Op::Cmp { a, b } => {
                 let (Some(x), Some(y)) = (m.read_operand(&a, end), m.read_operand(&b, end)) else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.set_flags_sub(x, y);
             }
             Op::Test { a, b } => {
                 let (Some(x), Some(y)) = (m.read_operand(&a, end), m.read_operand(&b, end)) else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.set_flags_logic(x & y);
             }
@@ -412,11 +472,19 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             Op::Ret => {
                 let rsp = m.reg(Reg::Rsp);
                 let Some(v) = m.read_u64(rsp) else {
-                    return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::Fault { addr: rip },
+                    };
                 };
                 m.set_reg(Reg::Rsp, rsp + 8);
                 if v == RETURN_SENTINEL {
-                    return Trace { syscalls, steps, exit: ExitReason::ReturnedFromEntry };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::ReturnedFromEntry,
+                    };
                 }
                 next = v;
             }
@@ -424,7 +492,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
                 let rax = m.reg(Reg::Rax);
                 syscalls.push((insn.addr, rax));
                 if rax == 60 || rax == 231 {
-                    return Trace { syscalls, steps, exit: ExitReason::SyscallExit };
+                    return Trace {
+                        syscalls,
+                        steps,
+                        exit: ExitReason::SyscallExit,
+                    };
                 }
                 // Kernel return: rax = 0, rcx/r11 clobbered.
                 m.set_reg(Reg::Rax, 0);
@@ -433,7 +505,11 @@ pub fn execute(image: &Image, entry: u64, config: &ExecConfig) -> Trace {
             }
             Op::Nop | Op::Endbr64 => {}
             Op::Int3 | Op::Ud2 | Op::Hlt => {
-                return Trace { syscalls, steps, exit: ExitReason::Fault { addr: rip } };
+                return Trace {
+                    syscalls,
+                    steps,
+                    exit: ExitReason::Fault { addr: rip },
+                };
             }
         }
 
@@ -503,7 +579,11 @@ mod tests {
         a.syscall();
         let t = run(a, 0x1000);
         let ids: Vec<u64> = t.syscalls.iter().map(|&(_, id)| id).collect();
-        assert_eq!(ids, vec![0, 60], "rdi starts at 0 → taken branch is the je side");
+        assert_eq!(
+            ids,
+            vec![0, 60],
+            "rdi starts at 0 → taken branch is the je side"
+        );
     }
 
     #[test]
@@ -556,7 +636,14 @@ mod tests {
         let code = a.finish().unwrap();
         let mut image = Image::new();
         image.add_region(0x1000, code);
-        let t = execute(&image, 0x1000, &ExecConfig { max_steps: 100, ..Default::default() });
+        let t = execute(
+            &image,
+            0x1000,
+            &ExecConfig {
+                max_steps: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(t.exit, ExitReason::StepLimit);
         assert_eq!(t.steps, 100);
     }
@@ -574,7 +661,7 @@ mod tests {
         let mut a = Assembler::new(0x1000);
         a.mov_reg_imm32(Reg::Rax, 39);
         a.syscall(); // ends at 0x1009
-        // If rax == 0, do syscall 2; else 3.
+                     // If rax == 0, do syscall 2; else 3.
         let other = a.new_label();
         let done = a.new_label();
         a.cmp_reg_imm32(Reg::Rax, 0);

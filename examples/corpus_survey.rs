@@ -38,9 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // B-Side.
         let result = if binary.is_static {
-            analyzer.analyze_static(&binary.program.elf).map(|a| a.syscalls)
+            analyzer
+                .analyze_static(&binary.program.elf)
+                .map(|a| a.syscalls)
         } else {
-            analyzer.analyze_dynamic(&binary.program.elf, &store, &[]).map(|a| a.syscalls)
+            analyzer
+                .analyze_dynamic(&binary.program.elf, &store, &[])
+                .map(|a| a.syscalls)
         };
         match result {
             Ok(set) => {
@@ -73,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{name:<10}  ok {ok:>3}   fail {fail:>3}   avg identified {avg:>6.1}");
     }
     println!("\nB-Side false negatives across the whole corpus: {bside_fn_total}");
-    assert_eq!(bside_fn_total, 0, "soundness: truth ⊆ identified everywhere");
+    assert_eq!(
+        bside_fn_total, 0,
+        "soundness: truth ⊆ identified everywhere"
+    );
     Ok(())
 }

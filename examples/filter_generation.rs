@@ -24,15 +24,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wrapper_style: WrapperStyle::Register,
         libs: vec![],
         exports: vec![
-            ExportSpec { name: "tiny_read".into(), syscalls: vec![0], calls: vec![] },
-            ExportSpec { name: "tiny_write".into(), syscalls: vec![1], calls: vec![] },
+            ExportSpec {
+                name: "tiny_read".into(),
+                syscalls: vec![0],
+                calls: vec![],
+            },
+            ExportSpec {
+                name: "tiny_write".into(),
+                syscalls: vec![1],
+                calls: vec![],
+            },
             ExportSpec {
                 name: "tiny_log".into(),
                 syscalls: vec![228],
                 calls: vec!["tiny_write".into()],
             },
             // Dangerous export the program never calls: must not leak in.
-            ExportSpec { name: "tiny_spawn".into(), syscalls: vec![59, 57], calls: vec![] },
+            ExportSpec {
+                name: "tiny_spawn".into(),
+                syscalls: vec![59, 57],
+                calls: vec![],
+            },
         ],
     });
 
@@ -55,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 1 (once per library): build the shared interface.
     let interface = analyzer.analyze_library(&libc.elf, "libtiny.so", None)?;
-    println!("shared interface for libtiny.so:\n{}\n", interface.to_json());
+    println!(
+        "shared interface for libtiny.so:\n{}\n",
+        interface.to_json()
+    );
     let mut store = LibraryStore::new();
     store.insert(interface);
 
@@ -70,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let libs = vec![libc];
     let trace: Vec<_> = trace_syscalls(&program, &libs).iter().collect();
     let violations = replay_flat(&policy, &trace);
-    println!("\nreplay of {} traced syscalls: {} violations", trace.len(), violations.len());
+    println!(
+        "\nreplay of {} traced syscalls: {} violations",
+        trace.len(),
+        violations.len()
+    );
     assert!(violations.is_empty());
 
     // The unused dangerous export stays out.
@@ -78,10 +97,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // CVE protection (Table 5 for a population of one).
     println!("\nprotected against:");
-    for cve in CVE_TABLE.iter().filter(|c| c.is_blocked_by(&policy.allowed)).take(8) {
+    for cve in CVE_TABLE
+        .iter()
+        .filter(|c| c.is_blocked_by(&policy.allowed))
+        .take(8)
+    {
         println!("  CVE-{} ({})", cve.id, cve.syscall_names.join(", "));
     }
-    let protected = CVE_TABLE.iter().filter(|c| c.is_blocked_by(&policy.allowed)).count();
+    let protected = CVE_TABLE
+        .iter()
+        .filter(|c| c.is_blocked_by(&policy.allowed))
+        .count();
     println!("  … {protected}/{} CVEs total", CVE_TABLE.len());
     Ok(())
 }

@@ -20,8 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = analyzer.analyze_static(&profile.program.elf)?;
 
     // Phase detection: CFG + per-site sets → NFA → DFA → merged phases.
-    let site_sets: HashMap<u64, bside::SyscallSet> =
-        analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+    let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+        .sites
+        .iter()
+        .map(|s| (s.site, s.syscalls))
+        .collect();
     let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
 
     println!(

@@ -45,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ndetected wrappers:");
     for wrapper in &analysis.wrappers {
-        println!("  {} at {:#x} ({} site(s))", wrapper.name, wrapper.entry, wrapper.sites.len());
+        println!(
+            "  {} at {:#x} ({} site(s))",
+            wrapper.name,
+            wrapper.entry,
+            wrapper.sites.len()
+        );
     }
 
     // Derive the filtering policy.
@@ -57,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let execve = bside::syscalls::well_known::EXECVE;
     println!("execve allowed? {}", policy.permits(execve));
-    assert!(!policy.permits(execve), "dead code must not leak into the policy");
+    assert!(
+        !policy.permits(execve),
+        "dead code must not leak into the policy"
+    );
 
     // The ground truth (known by construction here) is fully covered: no
     // legitimate call would be killed.

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides a `Vec<u8>`-backed [`BytesMut`] and the [`BufMut`] writing
+//! surface the ELF emitter uses (`put_slice`, `put_u8`, little-endian
+//! integer puts). Growth semantics match the real crate for this usage:
+//! every put appends at the end.
+
+#![forbid(unsafe_code)]
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with at least the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Append-only writing operations.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puts_append_in_order() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0x7f);
+        b.put_slice(b"ELF");
+        b.put_u16_le(0x0102);
+        b.put_u32_le(0x03040506);
+        b.put_u64_le(0x0708090a0b0c0d0e);
+        assert_eq!(b.len(), 1 + 3 + 2 + 4 + 8);
+        assert_eq!(
+            b.to_vec(),
+            vec![
+                0x7f, b'E', b'L', b'F', 0x02, 0x01, 0x06, 0x05, 0x04, 0x03, 0x0e, 0x0d, 0x0c, 0x0b,
+                0x0a, 0x09, 0x08, 0x07
+            ]
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface `benches/pipeline.rs` uses — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!` —
+//! backed by a simple warm-up + timed-samples loop instead of criterion's
+//! statistical machinery. Each benchmark prints its mean wall-clock time
+//! per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (accepted, reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up pass then `samples` timed
+    /// passes, and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates the group with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.last_mean;
+        let mut line = format!("{}/{id}: {mean:?}/iter", self.name);
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!(
+                    " ({:.1} MiB/s)",
+                    bytes as f64 / secs / (1024.0 * 1024.0)
+                ));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

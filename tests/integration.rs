@@ -8,13 +8,15 @@ use bside::filter::metrics::score;
 use bside::filter::replay::replay_flat;
 use bside::filter::FilterPolicy;
 use bside::gen::corpus::corpus_with_size;
-use bside::gen::{trace_syscalls, profiles};
+use bside::gen::{profiles, trace_syscalls};
 
 #[test]
 fn full_pipeline_on_all_profiles() {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     for profile in profiles::all_profiles() {
-        let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
+        let analysis = analyzer
+            .analyze_static(&profile.program.elf)
+            .expect("analyzes");
         let truth = trace_syscalls(&profile.program, &[]);
 
         // Soundness + precision.
@@ -39,7 +41,9 @@ fn randomized_corpus_soundness_sweep() {
         let mut store = LibraryStore::new();
         for lib in &corpus.libraries {
             store.insert(
-                analyzer.analyze_library(&lib.elf, &lib.spec.name, None).expect("lib analyzes"),
+                analyzer
+                    .analyze_library(&lib.elf, &lib.spec.name, None)
+                    .expect("lib analyzes"),
             );
         }
         for binary in &corpus.binaries {
@@ -92,7 +96,11 @@ fn baselines_rank_below_bside_on_f1() {
         }
     }
     let mean = |i: usize| avg[i] / n[i].max(1) as f64;
-    assert!(mean(0) > mean(2) && mean(2) > mean(1), "ordering: {:?}", [mean(0), mean(1), mean(2)]);
+    assert!(
+        mean(0) > mean(2) && mean(2) > mean(1),
+        "ordering: {:?}",
+        [mean(0), mean(1), mean(2)]
+    );
 }
 
 #[test]
@@ -100,7 +108,9 @@ fn shared_interfaces_survive_json_round_trip() {
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     let corpus = corpus_with_size(11, 0, 2, 3);
     for lib in &corpus.libraries {
-        let interface = analyzer.analyze_library(&lib.elf, &lib.spec.name, None).expect("ok");
+        let interface = analyzer
+            .analyze_library(&lib.elf, &lib.spec.name, None)
+            .expect("ok");
         let json = interface.to_json();
         let back = SharedInterface::from_json(&json).expect("parses");
         assert_eq!(interface, back, "{}", lib.spec.name);
@@ -114,7 +124,11 @@ fn library_store_resolution_is_order_independent() {
     let interfaces: Vec<_> = corpus
         .libraries
         .iter()
-        .map(|l| analyzer.analyze_library(&l.elf, &l.spec.name, None).expect("ok"))
+        .map(|l| {
+            analyzer
+                .analyze_library(&l.elf, &l.spec.name, None)
+                .expect("ok")
+        })
         .collect();
 
     let mut forward = LibraryStore::new();
@@ -126,8 +140,12 @@ fn library_store_resolution_is_order_independent() {
         reverse.insert(i.clone());
     }
     for binary in corpus.binaries.iter().filter(|b| !b.is_static) {
-        let a = analyzer.analyze_dynamic(&binary.program.elf, &forward, &[]).expect("ok");
-        let b = analyzer.analyze_dynamic(&binary.program.elf, &reverse, &[]).expect("ok");
+        let a = analyzer
+            .analyze_dynamic(&binary.program.elf, &forward, &[])
+            .expect("ok");
+        let b = analyzer
+            .analyze_dynamic(&binary.program.elf, &reverse, &[])
+            .expect("ok");
         assert_eq!(a.syscalls, b.syscalls, "{}", binary.program.spec.name);
     }
 }
@@ -181,12 +199,19 @@ fn phase_policies_accept_traces_on_looped_programs() {
             dead_scenarios: vec![],
             imports: vec![],
             libs: vec![],
-            serve_loop: Some(ServeLoop { start: 1, end: 5, iterations: 3 }),
+            serve_loop: Some(ServeLoop {
+                start: 1,
+                end: 5,
+                iterations: 3,
+            }),
         };
         let program = generate(&spec);
         let analysis = analyzer.analyze_static(&program.elf).expect("analyzes");
-        let site_sets: HashMap<u64, bside::SyscallSet> =
-            analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+        let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+            .sites
+            .iter()
+            .map(|s| (s.site, s.syscalls))
+            .collect();
         let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
         let policy = PhasePolicy::from_automaton(&spec.name, &automaton);
 
@@ -201,7 +226,11 @@ fn phase_policies_accept_traces_on_looped_programs() {
             .iter()
             .filter_map(|&(_, rax)| u32::try_from(rax).ok().and_then(bside::Sysno::new))
             .collect();
-        assert!(sysnos.len() > 10, "loop actually ran: {} calls", sysnos.len());
+        assert!(
+            sysnos.len() > 10,
+            "loop actually ran: {} calls",
+            sysnos.len()
+        );
         replay_phased(&policy, &sysnos).unwrap_or_else(|v| {
             panic!(
                 "{:?} policy killed legitimate {} at index {} (phase {})",
@@ -221,15 +250,23 @@ fn shallow_context_depth_coarsens_phases() {
 
     let profile = profiles::nginx();
     let analyzer = Analyzer::new(AnalyzerOptions::default());
-    let analysis = analyzer.analyze_static(&profile.program.elf).expect("analyzes");
-    let site_sets: HashMap<u64, bside::SyscallSet> =
-        analysis.sites.iter().map(|s| (s.site, s.syscalls)).collect();
+    let analysis = analyzer
+        .analyze_static(&profile.program.elf)
+        .expect("analyzes");
+    let site_sets: HashMap<u64, bside::SyscallSet> = analysis
+        .sites
+        .iter()
+        .map(|s| (s.site, s.syscalls))
+        .collect();
 
     let precise = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
     let shallow = detect_phases(
         &analysis.cfg,
         &site_sets,
-        &PhaseOptions { context_depth: 1, ..PhaseOptions::default() },
+        &PhaseOptions {
+            context_depth: 1,
+            ..PhaseOptions::default()
+        },
     );
     // With depth 1, calls nested inside scenario functions (the wrapper,
     // helpers) are stepped over instead of entered, so their syscall

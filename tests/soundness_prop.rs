@@ -2,69 +2,90 @@
 //! identified set is a superset of the constructed runtime truth and
 //! matches the sound static optimum — the §5.1 validity claim quantified
 //! over the program space rather than six hand-picked applications.
+//!
+//! The build environment has no registry access, so instead of proptest
+//! this uses a seeded uniform generator over the same scenario space: the
+//! properties are checked on 48 deterministic pseudo-random programs per
+//! test (failures print the seed index for replay).
 
 use bside::core::{Analyzer, AnalyzerOptions};
 use bside::elf::ElfKind;
 use bside::gen::{generate, trace_syscalls, ProgramSpec, Scenario, WrapperStyle};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn sysno_strategy() -> impl Strategy<Value = u32> {
-    // Assigned, non-terminating numbers.
-    prop_oneof![0u32..60, 61u32..231, 232u32..335]
+const CASES: u64 = 48;
+
+/// Assigned, non-terminating syscall numbers.
+fn sysno(rng: &mut SmallRng) -> u32 {
+    match rng.gen_range(0..3) {
+        0 => rng.gen_range(0u32..60),
+        1 => rng.gen_range(61u32..231),
+        _ => rng.gen_range(232u32..335),
+    }
 }
 
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    prop_oneof![
-        prop::collection::vec(sysno_strategy(), 1..5).prop_map(Scenario::Direct),
-        (sysno_strategy(), sysno_strategy()).prop_map(|(a, b)| Scenario::BranchJoin(a, b)),
-        sysno_strategy().prop_map(Scenario::ThroughStack),
-        prop::collection::vec(sysno_strategy(), 1..5).prop_map(Scenario::ViaWrapper),
-        sysno_strategy().prop_map(Scenario::IndirectHelper),
-        sysno_strategy().prop_map(Scenario::PopularHelper),
-        (sysno_strategy(), 1u8..4).prop_map(|(n, c)| Scenario::Loop(n, c)),
-        sysno_strategy().prop_map(Scenario::TailCall),
-        (sysno_strategy(), 0u32..20).prop_map(|(b, d)| {
+fn sysnos(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<u32> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| sysno(rng)).collect()
+}
+
+fn scenario(rng: &mut SmallRng) -> Scenario {
+    match rng.gen_range(0..10) {
+        0 => Scenario::Direct(sysnos(rng, 1, 5)),
+        1 => Scenario::BranchJoin(sysno(rng), sysno(rng)),
+        2 => Scenario::ThroughStack(sysno(rng)),
+        3 => Scenario::ViaWrapper(sysnos(rng, 1, 5)),
+        4 => Scenario::IndirectHelper(sysno(rng)),
+        5 => Scenario::PopularHelper(sysno(rng)),
+        6 => Scenario::Loop(sysno(rng), rng.gen_range(1u8..4)),
+        7 => Scenario::TailCall(sysno(rng)),
+        8 => {
+            let b = sysno(rng);
+            let d = rng.gen_range(0u32..20);
             // Keep the computed number off the terminating syscalls.
             let d = if matches!(b + d, 60 | 231) { d + 1 } else { d };
             Scenario::ComputedAdd(b, d)
-        }),
-        (prop::collection::vec(sysno_strategy(), 2..4), any::<prop::sample::Index>()).prop_map(
-            |(options, idx)| {
-                let used = idx.index(options.len());
-                Scenario::DispatchTable { options, used }
-            }
-        ),
-    ]
+        }
+        _ => {
+            let options = sysnos(rng, 2, 4);
+            let used = rng.gen_range(0..options.len());
+            Scenario::DispatchTable { options, used }
+        }
+    }
 }
 
-fn wrapper_strategy() -> impl Strategy<Value = WrapperStyle> {
-    prop_oneof![
-        Just(WrapperStyle::None),
-        Just(WrapperStyle::Register),
-        Just(WrapperStyle::Stack),
-    ]
+fn scenarios(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<Scenario> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| scenario(rng)).collect()
 }
 
-fn kind_strategy() -> impl Strategy<Value = ElfKind> {
-    prop_oneof![Just(ElfKind::Executable), Just(ElfKind::PieExecutable)]
+fn wrapper_style(rng: &mut SmallRng) -> WrapperStyle {
+    match rng.gen_range(0..3) {
+        0 => WrapperStyle::None,
+        1 => WrapperStyle::Register,
+        _ => WrapperStyle::Stack,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn kind(rng: &mut SmallRng) -> ElfKind {
+    if rng.gen_bool(0.5) {
+        ElfKind::Executable
+    } else {
+        ElfKind::PieExecutable
+    }
+}
 
-    #[test]
-    fn identified_is_sound_and_optimal(
-        kind in kind_strategy(),
-        wrapper_style in wrapper_strategy(),
-        scenarios in prop::collection::vec(scenario_strategy(), 1..8),
-        dead in prop::collection::vec(scenario_strategy(), 0..4),
-    ) {
+#[test]
+fn identified_is_sound_and_optimal() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB51DE + case);
         let spec = ProgramSpec {
             name: "prop".into(),
-            kind,
-            wrapper_style,
-            scenarios,
-            dead_scenarios: dead,
+            kind: kind(&mut rng),
+            wrapper_style: wrapper_style(&mut rng),
+            scenarios: scenarios(&mut rng, 1, 8),
+            dead_scenarios: scenarios(&mut rng, 0, 4),
             imports: vec![],
             libs: vec![],
             serve_loop: None,
@@ -74,25 +95,28 @@ proptest! {
         let analysis = analyzer.analyze_static(&program.elf).expect("analyzes");
 
         // Soundness: nothing the program can do is missed.
-        prop_assert!(
+        assert!(
             program.truth.is_subset(&analysis.syscalls),
-            "FN: {}",
+            "case {case}: FN: {}",
             program.truth.difference(&analysis.syscalls)
         );
         // Precision: exactly the sound static optimum on clean binaries.
-        prop_assert_eq!(analysis.syscalls, program.static_truth);
+        assert_eq!(
+            analysis.syscalls, program.static_truth,
+            "case {case}: identified set is not the static optimum"
+        );
     }
+}
 
-    #[test]
-    fn trace_is_always_within_identified(
-        wrapper_style in wrapper_strategy(),
-        scenarios in prop::collection::vec(scenario_strategy(), 1..6),
-    ) {
+#[test]
+fn trace_is_always_within_identified() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A5CE + case);
         let spec = ProgramSpec {
             name: "prop_trace".into(),
             kind: ElfKind::Executable,
-            wrapper_style,
-            scenarios,
+            wrapper_style: wrapper_style(&mut rng),
+            scenarios: scenarios(&mut rng, 1, 6),
             dead_scenarios: vec![],
             imports: vec![],
             libs: vec![],
@@ -103,7 +127,10 @@ proptest! {
         let analysis = Analyzer::new(AnalyzerOptions::default())
             .analyze_static(&program.elf)
             .expect("analyzes");
-        prop_assert!(traced.is_subset(&analysis.syscalls));
-        prop_assert_eq!(traced, program.truth, "full-coverage trace equals constructed truth");
+        assert!(traced.is_subset(&analysis.syscalls), "case {case}");
+        assert_eq!(
+            traced, program.truth,
+            "case {case}: full-coverage trace equals constructed truth"
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! Perf-trajectory snapshot: times the full analysis pipeline over the
-//! multi-binary profile corpus, sequentially (`parallelism = 1`) and with
-//! every available core, and emits `BENCH_pipeline.json` so future PRs
-//! have a recorded baseline to beat.
+//! multi-binary profile corpus — sequentially (`parallelism = 1`), with
+//! every available core (thread fan-out), and distributed across worker
+//! **processes** (`bside-dist`) — and emits `BENCH_pipeline.json` so
+//! future PRs have a recorded baseline to beat.
 //!
 //! ```text
 //! cargo run --release -p bside-bench --bin bench_snapshot [-- <out.json>]
@@ -10,9 +11,15 @@
 //! The JSON records, per configuration: end-to-end wall clock over the
 //! corpus (best of `REPEATS` runs), per-phase totals aggregated across
 //! binaries (`bside::core::PipelineTimings`), and the resulting
-//! sequential→parallel speedup. Phase totals are *CPU-side* sums across
-//! workers, so they exceed wall clock under parallelism — wall clock is
-//! the speedup metric.
+//! speedups. Phase totals are *CPU-side* sums across workers, so they
+//! exceed wall clock under parallelism — wall clock is the speedup
+//! metric. The distributed wall clock additionally pays process spawn +
+//! JSON marshalling, so on tiny corpora it trails the thread engine;
+//! its value is fault isolation and the path past one machine.
+//!
+//! The distributed configuration needs the `bside-worker` binary next to
+//! this one (`cargo build --release --all-targets`); when it is missing
+//! the snapshot records `"distributed": null` and keeps the rest.
 
 use bside::core::{Analyzer, AnalyzerOptions, PipelineTimings};
 use bside::gen::corpus::{corpus_with_size, DEFAULT_SEED};
@@ -66,6 +73,76 @@ fn run_config(parallelism: usize, binaries: &[(String, bside::elf::Elf)]) -> Con
     }
 }
 
+/// Times the distributed engine (`workers` child processes) over the
+/// corpus, materialized to a scratch directory the workers read from.
+/// `None` when the `bside-worker` binary is not built or a unit fails.
+fn run_distributed(workers: usize, images: &[(String, Vec<u8>)]) -> Option<ConfigResult> {
+    bside::dist::resolve_worker_bin(None).ok()?;
+    let dir = std::env::temp_dir().join(format!("bside_bench_dist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_distributed_in(workers, images, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_distributed_in(
+    workers: usize,
+    images: &[(String, Vec<u8>)],
+    dir: &std::path::Path,
+) -> Option<ConfigResult> {
+    let mut units: Vec<(String, std::path::PathBuf)> = Vec::with_capacity(images.len());
+    for (i, (name, bytes)) in images.iter().enumerate() {
+        let path = dir.join(format!("{i:04}_{name}.elf"));
+        std::fs::write(&path, bytes).ok()?;
+        units.push((name.clone(), path));
+    }
+    let options = bside::dist::DistOptions {
+        workers,
+        ..bside::dist::DistOptions::default()
+    };
+
+    let mut best_wall = Duration::MAX;
+    let mut phases = PipelineTimings::new();
+    let mut syscall_counts = Vec::new();
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let run = match bside::dist::analyze_corpus_dist(&units, &options) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("  distributed config failed: {e}");
+                return None;
+            }
+        };
+        let wall = t0.elapsed();
+        if run.stats.failures > 0 {
+            if let Some(unit) = run.results.iter().find(|u| u.result.is_err()) {
+                eprintln!(
+                    "  distributed config failed: unit {} -> {}",
+                    unit.name,
+                    unit.result.as_ref().expect_err("failed unit")
+                );
+            }
+            return None;
+        }
+        if wall < best_wall {
+            best_wall = wall;
+            phases = PipelineTimings::new();
+            syscall_counts.clear();
+            for unit in &run.results {
+                let analysis = unit.result.as_ref().expect("no failures");
+                phases.record(&analysis.stats.timings);
+                syscall_counts.push((unit.name.clone(), analysis.syscalls.len()));
+            }
+        }
+    }
+    Some(ConfigResult {
+        parallelism: workers,
+        wall: best_wall,
+        phases,
+        syscall_counts,
+    })
+}
+
 fn phases_json(t: &PipelineTimings, indent: &str) -> String {
     let rows: Vec<String> = t
         .phases()
@@ -98,19 +175,20 @@ fn main() {
     // The six application profiles plus a deterministic slice of the
     // Table 2 synthetic corpus (static binaries only — the batch API's
     // per-binary unit), so the measurement covers varied code shapes and
-    // enough work to time meaningfully.
-    let mut binaries: Vec<(String, bside::elf::Elf)> = all_profiles()
-        .into_iter()
-        .map(|p| (p.name.to_string(), p.program.elf))
-        .collect();
+    // enough work to time meaningfully. Images ride along for the
+    // distributed configuration, whose workers read from disk.
+    let mut binaries: Vec<(String, bside::elf::Elf)> = Vec::new();
+    let mut images: Vec<(String, Vec<u8>)> = Vec::new();
+    for p in all_profiles() {
+        images.push((p.name.to_string(), p.program.image.clone()));
+        binaries.push((p.name.to_string(), p.program.elf));
+    }
     let corpus = corpus_with_size(DEFAULT_SEED, 48, 0, 0);
-    binaries.extend(
-        corpus
-            .binaries
-            .into_iter()
-            .enumerate()
-            .map(|(i, b)| (format!("{}_{i}", b.program.spec.name), b.program.elf)),
-    );
+    for (i, b) in corpus.binaries.into_iter().enumerate() {
+        let name = format!("{}_{i}", b.program.spec.name);
+        images.push((name.clone(), b.program.image.clone()));
+        binaries.push((name, b.program.elf));
+    }
     eprintln!(
         "bench_snapshot: {} binaries, {} repeats per config",
         binaries.len(),
@@ -141,14 +219,41 @@ fn main() {
     let speedup = sequential.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
     eprintln!("  end-to-end speedup: {speedup:.2}x on {ncpus} cpu(s)");
 
+    // Distributed configuration: worker *processes* instead of threads.
+    // Same worker count as the thread configuration (at least 2 so the
+    // multi-process path is exercised even on a 1-CPU container).
+    let dist_workers = ncpus.max(2);
+    let distributed = run_distributed(dist_workers, &images);
+    let (dist_json, dist_speedup_json) = match &distributed {
+        Some(d) => {
+            eprintln!(
+                "  distributed (workers={dist_workers}): {:.1} ms wall | {}",
+                d.wall.as_secs_f64() * 1e3,
+                d.phases
+            );
+            let s = sequential.wall.as_secs_f64() / d.wall.as_secs_f64().max(1e-9);
+            eprintln!("  sequential→distributed speedup: {s:.2}x (includes spawn + marshalling)");
+            (config_json(d, "  "), format!("{s:.4}"))
+        }
+        None => {
+            eprintln!(
+                "  distributed: skipped (cause above if a run failed; \
+                 otherwise bside-worker is not built)"
+            );
+            ("null".to_string(), "null".to_string())
+        }
+    };
+
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
         config_json(&sequential, "  "),
         config_json(&parallel, "  "),
         speedup,
+        dist_json,
+        dist_speedup_json,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("  wrote {out_path}");

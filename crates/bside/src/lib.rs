@@ -17,6 +17,7 @@
 //! | [`mod@cfg`] | `bside-cfg` | CFG recovery, active address-taken heuristic |
 //! | [`symex`] | `bside-symex` | backward-BFS + directed symbolic execution |
 //! | [`core`] | `bside-core` | the analysis pipeline, wrappers, shared interfaces, phases |
+//! | [`dist`] | `bside-dist` | multi-process distributed corpus analysis + result cache |
 //! | [`baselines`] | `bside-baselines` | Chestnut / SysFilter reimplementations |
 //! | [`gen`] | `bside-gen` | synthetic ground-truth corpus generator |
 //! | [`filter`] | `bside-filter` | policies, metrics, replay, CVE evaluation |
@@ -46,6 +47,7 @@
 pub use bside_baselines as baselines;
 pub use bside_cfg as cfg;
 pub use bside_core as core;
+pub use bside_dist as dist;
 pub use bside_elf as elf;
 pub use bside_filter as filter;
 pub use bside_gen as gen;
@@ -56,3 +58,31 @@ pub use bside_x86 as x86;
 pub use bside_core::{Analyzer, AnalyzerOptions, BinaryAnalysis, LibraryStore, SharedInterface};
 pub use bside_filter::{FilterPolicy, PhasePolicy};
 pub use bside_syscalls::{SyscallSet, Sysno};
+
+/// Parses a positive worker count from an environment variable; `None`
+/// when the variable is unset, empty, non-numeric, or zero.
+fn positive_env(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Default analyzer options honoring the `BSIDE_PARALLELISM` worker-count
+/// override — the one code path every CLI subcommand (and any embedder
+/// wanting CLI-compatible behavior) goes through. Identical results at
+/// any value: worker count is unobservable by the engine's determinism
+/// contract.
+pub fn analyzer_options_from_env() -> AnalyzerOptions {
+    let mut options = AnalyzerOptions::default();
+    if let Some(n) = positive_env("BSIDE_PARALLELISM") {
+        options.parallelism = n;
+    }
+    options
+}
+
+/// The default worker-process count for `bside corpus`:
+/// `BSIDE_PARALLELISM` when set, otherwise all cores.
+pub fn default_worker_count() -> usize {
+    positive_env("BSIDE_PARALLELISM").unwrap_or_else(bside_core::default_parallelism)
+}

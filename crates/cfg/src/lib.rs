@@ -68,12 +68,20 @@ pub enum IndirectResolution {
     ActiveAddressTaken,
 }
 
+serde::impl_serde_unit_enum!(IndirectResolution {
+    None,
+    AddressTaken,
+    ActiveAddressTaken,
+});
+
 /// CFG construction options.
 #[derive(Debug, Clone, Default)]
 pub struct CfgOptions {
     /// Indirect-branch resolution strategy.
     pub indirect: IndirectResolution,
 }
+
+serde::impl_serde_struct!(CfgOptions { indirect });
 
 /// A function symbol: the boundary metadata the paper assumes the
 /// disassembler recovers (§4.1).
@@ -118,8 +126,21 @@ pub struct CfgStats {
     pub addresses_taken: usize,
 }
 
+serde::impl_serde_struct!(CfgStats {
+    blocks,
+    instructions,
+    ataken_iterations,
+    addresses_taken,
+});
+
 /// A recovered control-flow graph.
-#[derive(Debug, Clone)]
+///
+/// The `Default` impl builds an **empty** graph (no blocks, no edges, no
+/// functions). It exists for results that cross a serialization boundary:
+/// the analysis wire format carries every observable *except* the CFG, so
+/// a deserialized `bside-core` analysis holds an empty graph. Consumers
+/// that need the live graph (phase detection) must analyze in-process.
+#[derive(Debug, Clone, Default)]
 pub struct Cfg {
     blocks: BTreeMap<u64, BasicBlock>,
     succs: HashMap<u64, Vec<(u64, EdgeKind)>>,

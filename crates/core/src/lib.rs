@@ -54,6 +54,7 @@ mod par;
 pub mod phase;
 pub mod report;
 pub mod shared;
+pub mod wire;
 pub mod wrapper;
 
 use bside_cfg::{Cfg, CfgOptions, FunctionSym};

@@ -1,0 +1,218 @@
+//! The serialized analysis wire format.
+//!
+//! Every observable of a [`BinaryAnalysis`] — identified sets, per-site
+//! reports, wrappers, cost counters, phase timings — (de)serializes
+//! through `serde`, which is what lets results cross process boundaries:
+//! the `bside-dist` coordinator/worker protocol and its content-addressed
+//! result cache both speak exactly this format.
+//!
+//! One deliberate exception: the recovered [`Cfg`](bside_cfg::Cfg) is
+//! **not** part of the wire format. The graph is an intermediate artifact
+//! (orders of magnitude larger than the report, and rebuildable from the
+//! binary), so serialization drops it and deserialization restores an
+//! empty graph. The canonical report — the determinism contract across
+//! thread counts *and* deployment modes — never looks at the graph, so
+//! round-tripping preserves it byte-for-byte. Phase detection, which does
+//! walk the graph, must run where the analysis ran.
+
+use crate::identify::{SiteOutcome, SiteReport};
+use crate::report::{AnalysisStats, PhaseTimings, PipelineTimings};
+use crate::wrapper::{WrapperInfo, WrapperParam};
+use crate::{AnalyzerOptions, BinaryAnalysis};
+use serde::{de, to_value, Value};
+
+serde::impl_serde_unit_enum!(SiteOutcome {
+    Exact,
+    ViaWrapper,
+    ConservativeFallback,
+});
+
+serde::impl_serde_struct!(SiteReport {
+    site,
+    function,
+    syscalls,
+    outcome,
+});
+
+// External tagging, as real serde derives for a mixed enum: newtype
+// variants become single-entry objects, the unit variant its name.
+impl serde::Serialize for WrapperParam {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            WrapperParam::Reg(r) => Value::Object(vec![("Reg".to_string(), to_value(r))]),
+            WrapperParam::StackSlot(off) => {
+                Value::Object(vec![("StackSlot".to_string(), to_value(off))])
+            }
+            WrapperParam::Unknown => Value::Str("Unknown".to_string()),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for WrapperParam {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) if s == "Unknown" => Ok(WrapperParam::Unknown),
+            Value::Object(entries) if entries.len() == 1 => {
+                let (tag, inner) = entries.into_iter().next().expect("len 1");
+                match tag.as_str() {
+                    "Reg" => serde::from_value(inner)
+                        .map(WrapperParam::Reg)
+                        .map_err(de::Error::custom),
+                    "StackSlot" => serde::from_value(inner)
+                        .map(WrapperParam::StackSlot)
+                        .map_err(de::Error::custom),
+                    other => Err(de::Error::custom(format!(
+                        "unknown WrapperParam variant `{other}`"
+                    ))),
+                }
+            }
+            other => Err(de::Error::custom(format!(
+                "expected WrapperParam, found {other:?}"
+            ))),
+        }
+    }
+}
+
+serde::impl_serde_struct!(WrapperInfo {
+    entry,
+    name,
+    sites,
+    param,
+});
+
+serde::impl_serde_struct!(PhaseTimings {
+    cfg_recovery,
+    wrapper_identification,
+    syscall_identification,
+    total,
+});
+
+serde::impl_serde_struct!(AnalysisStats {
+    timings,
+    cfg,
+    sites,
+    blocks_explored,
+    peak_rss_bytes,
+});
+
+serde::impl_serde_struct!(PipelineTimings {
+    binaries,
+    cfg_recovery,
+    wrapper_identification,
+    syscall_identification,
+    total,
+});
+
+serde::impl_serde_struct!(AnalyzerOptions {
+    cfg,
+    limits,
+    detect_wrappers,
+    conservative_fallback,
+    parallelism,
+});
+
+impl serde::Serialize for BinaryAnalysis {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Object(vec![
+            ("syscalls".to_string(), to_value(&self.syscalls)),
+            ("sites".to_string(), to_value(&self.sites)),
+            ("wrappers".to_string(), to_value(&self.wrappers)),
+            ("precise".to_string(), Value::Bool(self.precise)),
+            ("stats".to_string(), to_value(&self.stats)),
+        ]))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BinaryAnalysis {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        let Value::Object(mut entries) = value else {
+            return Err(de::Error::custom("expected object for BinaryAnalysis"));
+        };
+        let mut take = |name: &str| -> Result<Value, D::Error> {
+            let pos = entries
+                .iter()
+                .position(|(k, _)| k == name)
+                .ok_or_else(|| de::Error::custom(format!("missing field `{name}`")))?;
+            Ok(entries.remove(pos).1)
+        };
+        let field_err =
+            |name: &str, e: de::ValueError| de::Error::custom(format!("field `{name}`: {e}"));
+        Ok(BinaryAnalysis {
+            syscalls: serde::from_value(take("syscalls")?).map_err(|e| field_err("syscalls", e))?,
+            sites: serde::from_value(take("sites")?).map_err(|e| field_err("sites", e))?,
+            wrappers: serde::from_value(take("wrappers")?).map_err(|e| field_err("wrappers", e))?,
+            precise: serde::from_value(take("precise")?).map_err(|e| field_err("precise", e))?,
+            stats: serde::from_value(take("stats")?).map_err(|e| field_err("stats", e))?,
+            cfg: bside_cfg::Cfg::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Analyzer, AnalyzerOptions, BinaryAnalysis};
+
+    #[test]
+    fn analysis_json_round_trip_preserves_every_observable() {
+        for profile in bside_gen::profiles::all_profiles() {
+            let analysis = Analyzer::new(AnalyzerOptions::default())
+                .analyze_static(&profile.program.elf)
+                .expect("profile analyzes");
+            let json = serde_json::to_string(&analysis).expect("serializes");
+            let back: BinaryAnalysis = serde_json::from_str(&json).expect("parses back");
+
+            // The canonical report covers syscalls, sites, wrappers,
+            // precision and deterministic cost counters in one shot.
+            assert_eq!(
+                analysis.canonical_report(),
+                back.canonical_report(),
+                "{}: canonical report diverged across the wire",
+                profile.name
+            );
+            // Timings and RSS are excluded from the report but are part
+            // of the wire format (the bench harness aggregates them).
+            assert_eq!(
+                analysis.stats.timings.total, back.stats.timings.total,
+                "{}: timings diverged",
+                profile.name
+            );
+            assert_eq!(analysis.stats.peak_rss_bytes, back.stats.peak_rss_bytes);
+            // The graph is deliberately dropped by the wire format.
+            assert!(back.cfg.blocks().is_empty());
+        }
+    }
+
+    #[test]
+    fn options_json_round_trip() {
+        let options = AnalyzerOptions {
+            detect_wrappers: false,
+            parallelism: 7,
+            ..AnalyzerOptions::default()
+        };
+        let json = serde_json::to_string(&options).expect("serializes");
+        let back: AnalyzerOptions = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(back.detect_wrappers, options.detect_wrappers);
+        assert_eq!(back.parallelism, options.parallelism);
+        assert_eq!(back.limits, options.limits);
+        assert_eq!(back.cfg.indirect, options.cfg.indirect);
+    }
+
+    #[test]
+    fn pipeline_timings_round_trip() {
+        use crate::report::{PhaseTimings, PipelineTimings};
+        use std::time::Duration;
+        let mut agg = PipelineTimings::new();
+        agg.record(&PhaseTimings {
+            cfg_recovery: Duration::from_micros(21),
+            wrapper_identification: Duration::from_micros(34),
+            syscall_identification: Duration::from_micros(55),
+            total: Duration::from_micros(144),
+        });
+        let json = serde_json::to_string(&agg).unwrap();
+        let back: PipelineTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.binaries, 1);
+        assert_eq!(back.total, Duration::from_micros(144));
+    }
+}

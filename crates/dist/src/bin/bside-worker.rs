@@ -1,0 +1,9 @@
+//! The `bside-worker` process: one end of the `bside-dist` protocol.
+//!
+//! Spawned by the coordinator, never run by hand. Reads unit assignments
+//! as JSON lines on stdin, analyzes them, answers on stdout, and exits on
+//! EOF or a shutdown message.
+
+fn main() {
+    std::process::exit(bside_dist::worker::worker_main());
+}

@@ -1,0 +1,588 @@
+//! The coordinator: spawns worker processes, feeds them units from the
+//! pull queue, polices per-unit deadlines, retries lost units, and merges
+//! results back into input order.
+//!
+//! Process-level fault isolation is the design center. Every worker owns
+//! nothing but the unit it is currently analyzing, so:
+//!
+//! * a worker that **crashes** (panic, abort, OOM kill) is detected as
+//!   EOF on its pipe; the unit is requeued and the slot respawns a fresh
+//!   process;
+//! * a worker that **hangs** past [`DistOptions::unit_timeout`] is killed
+//!   by the watchdog thread and handled identically;
+//! * a unit that keeps failing exhausts its attempt budget and is
+//!   recorded as a per-unit [`UnitFailure`] — the run always completes.
+//!
+//! The per-slot manager threads double as the merge step: each records
+//! outcomes into a slot of the shared, input-indexed result vector, so
+//! the merged report needs no sorting and is byte-identical to the
+//! in-process engine's (see [`crate::report`]).
+
+use crate::cache::ResultCache;
+use crate::errors::{DistError, FailureKind, UnitFailure};
+use crate::protocol::{read_message, write_message, FromWorker, ToWorker, PROTOCOL_VERSION};
+use crate::queue::{WorkQueue, WorkUnit};
+use bside_core::{AnalyzerOptions, BinaryAnalysis};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a distributed corpus run.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Analyzer configuration shipped to every worker. Worker-side
+    /// thread parallelism is forced to 1 (one process per unit is the
+    /// parallelism axis here, exactly as `analyze_corpus` disables inner
+    /// fan-out), which is unobservable in results by the determinism
+    /// contract.
+    pub analyzer: AnalyzerOptions,
+    /// Explicit path of the `bside-worker` binary. When `None` the
+    /// coordinator tries `BSIDE_WORKER_BIN`, then a sibling of the
+    /// current executable, then the parent directory (covers test
+    /// binaries under `target/<profile>/deps/`).
+    pub worker_bin: Option<PathBuf>,
+    /// Wall-clock budget per unit attempt; a worker holding a unit past
+    /// this is killed and the unit retried.
+    pub unit_timeout: Duration,
+    /// Total dispatch attempts per unit (2 = one retry).
+    pub max_attempts: u32,
+    /// Directory of the content-addressed result cache; `None` disables
+    /// caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Extra environment variables for spawned workers (used by the
+    /// fault-injection tests; empty in production).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            workers: bside_core::default_parallelism(),
+            analyzer: AnalyzerOptions::default(),
+            worker_bin: None,
+            unit_timeout: Duration::from_secs(60),
+            max_attempts: 2,
+            cache_dir: None,
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of one corpus unit, in input order.
+#[derive(Debug)]
+pub struct UnitReport {
+    /// The unit's display name.
+    pub name: String,
+    /// The analysis, or the terminal failure after the retry budget.
+    pub result: Result<BinaryAnalysis, UnitFailure>,
+    /// Dispatch attempts spent (0 for a cache hit).
+    pub attempts: u32,
+    /// `true` when the result came from the cache without dispatching.
+    pub from_cache: bool,
+}
+
+/// Aggregate counters of a distributed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total corpus units.
+    pub units: usize,
+    /// Worker processes configured.
+    pub workers: usize,
+    /// Units answered from the result cache.
+    pub cache_hits: usize,
+    /// Units requeued after a lost attempt.
+    pub retries: usize,
+    /// Worker processes that died mid-unit.
+    pub worker_crashes: usize,
+    /// Units whose worker was killed for exceeding the deadline.
+    pub timeouts: usize,
+    /// Units that ended in a permanent failure.
+    pub failures: usize,
+}
+
+/// A completed distributed corpus run.
+#[derive(Debug)]
+pub struct CorpusRun {
+    /// Per-unit outcomes, in input order.
+    pub results: Vec<UnitReport>,
+    /// Run counters.
+    pub stats: RunStats,
+}
+
+/// Locates the `bside-worker` binary (see [`DistOptions::worker_bin`]).
+pub fn resolve_worker_bin(explicit: Option<&Path>) -> Result<PathBuf, DistError> {
+    if let Some(path) = explicit {
+        return Ok(path.to_path_buf());
+    }
+    let mut tried = Vec::new();
+    if let Ok(env) = std::env::var("BSIDE_WORKER_BIN") {
+        let path = PathBuf::from(env);
+        if path.is_file() {
+            return Ok(path);
+        }
+        tried.push(path);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        // Sibling: target/<profile>/bside and target/<profile>/bside-worker.
+        // Parent: test binaries live one level down in deps/.
+        for dir in [exe.parent(), exe.parent().and_then(Path::parent)]
+            .into_iter()
+            .flatten()
+        {
+            let candidate = dir.join("bside-worker");
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            tried.push(candidate);
+        }
+    }
+    Err(DistError::WorkerBinNotFound { tried })
+}
+
+/// What the watchdog needs to see about one worker slot.
+#[derive(Default)]
+struct SlotWatch {
+    deadline: Option<Instant>,
+    child: Option<Arc<Mutex<Child>>>,
+    timed_out: bool,
+}
+
+/// One live worker process, owned by its manager thread.
+struct WorkerProc {
+    child: Arc<Mutex<Child>>,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerProc {
+    /// Closes stdin (EOF ends the worker loop even if `Shutdown` was
+    /// lost) and reaps the process, killing it first when `force` is set.
+    fn shutdown(mut self, force: bool) {
+        drop(self.stdin.take());
+        let mut child = self.child.lock().expect("child lock");
+        if force {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+}
+
+/// How a dispatched unit came back to the manager.
+enum Dispatch {
+    /// A protocol reply arrived. `worker_dead` flags the rare race where
+    /// the watchdog's kill landed just as the reply did: the answer is
+    /// valid but the process is gone and must be respawned.
+    Reply {
+        message: FromWorker,
+        worker_dead: bool,
+    },
+    WorkerLost(FailureKind),
+}
+
+struct Shared<'a> {
+    queue: &'a WorkQueue,
+    results: &'a Mutex<Vec<Option<UnitReport>>>,
+    slots: &'a [Mutex<SlotWatch>],
+    options: &'a DistOptions,
+    worker_bin: &'a Path,
+    wire_options: &'a AnalyzerOptions,
+    retries: &'a AtomicUsize,
+    worker_crashes: &'a AtomicUsize,
+    timeouts: &'a AtomicUsize,
+}
+
+impl Shared<'_> {
+    /// Spawns and handshakes a worker. The error side carries whether the
+    /// failure was a handshake timeout (watchdog kill) or a crash.
+    fn spawn_worker(&self, slot: usize) -> Result<WorkerProc, (std::io::Error, bool)> {
+        let mut command = Command::new(self.worker_bin);
+        command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (key, value) in &self.options.worker_env {
+            command.env(key, value);
+        }
+        let mut child = command.spawn().map_err(|e| (e, false))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let child = Arc::new(Mutex::new(child));
+
+        let mut proc = WorkerProc {
+            child: Arc::clone(&child),
+            stdin: Some(stdin),
+            stdout: BufReader::new(stdout),
+        };
+        {
+            let mut watch = self.slots[slot].lock().expect("slot lock");
+            watch.child = Some(child);
+            watch.timed_out = false;
+        }
+
+        // Handshake under the same deadline as a unit: a worker that
+        // hangs on startup is killed like a hung unit.
+        self.arm_deadline(slot);
+        let ready = read_message::<FromWorker>(&mut proc.stdout);
+        let timed_out = self.disarm_deadline(slot);
+        match ready {
+            Ok(Some(FromWorker::Ready { version }))
+                if version == PROTOCOL_VERSION && !timed_out =>
+            {
+                Ok(proc)
+            }
+            Ok(Some(FromWorker::Ready { version })) if version != PROTOCOL_VERSION => {
+                proc.shutdown(true);
+                Err((
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("worker speaks protocol v{version}, expected v{PROTOCOL_VERSION}"),
+                    ),
+                    timed_out,
+                ))
+            }
+            other => {
+                proc.shutdown(true);
+                Err((
+                    std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        format!("worker failed handshake: {other:?}"),
+                    ),
+                    timed_out,
+                ))
+            }
+        }
+    }
+
+    fn arm_deadline(&self, slot: usize) {
+        let mut watch = self.slots[slot].lock().expect("slot lock");
+        watch.deadline = Some(Instant::now() + self.options.unit_timeout);
+    }
+
+    /// Clears the deadline; returns `true` when the watchdog had already
+    /// killed this slot's worker (the attempt counts as a timeout).
+    fn disarm_deadline(&self, slot: usize) -> bool {
+        let mut watch = self.slots[slot].lock().expect("slot lock");
+        watch.deadline = None;
+        std::mem::take(&mut watch.timed_out)
+    }
+
+    fn clear_slot(&self, slot: usize) {
+        let mut watch = self.slots[slot].lock().expect("slot lock");
+        watch.deadline = None;
+        watch.child = None;
+        watch.timed_out = false;
+    }
+
+    fn dispatch(&self, slot: usize, proc: &mut WorkerProc, unit: &WorkUnit) -> Dispatch {
+        let message = ToWorker::Unit {
+            id: unit.id,
+            name: unit.name.clone(),
+            path: unit.path.to_string_lossy().into_owned(),
+            options: self.wire_options.clone(),
+        };
+        let stdin = proc.stdin.as_mut().expect("live worker has stdin");
+        if write_message(stdin, &message).is_err() {
+            return Dispatch::WorkerLost(FailureKind::WorkerCrash);
+        }
+        self.arm_deadline(slot);
+        let reply = read_message::<FromWorker>(&mut proc.stdout);
+        let timed_out = self.disarm_deadline(slot);
+        match reply {
+            Ok(Some(message)) => {
+                if timed_out {
+                    // The reply raced the watchdog's kill: the worker is
+                    // gone but its answer is intact — use it.
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                Dispatch::Reply {
+                    message,
+                    worker_dead: timed_out,
+                }
+            }
+            Ok(None) | Err(_) if timed_out => Dispatch::WorkerLost(FailureKind::Timeout),
+            Ok(None) => Dispatch::WorkerLost(FailureKind::WorkerCrash),
+            Err(_) => Dispatch::WorkerLost(FailureKind::Protocol),
+        }
+    }
+
+    fn record(&self, unit: &WorkUnit, report: UnitReport) {
+        let mut results = self.results.lock().expect("results lock");
+        debug_assert!(
+            results[unit.id].is_none(),
+            "unit {} recorded twice",
+            unit.id
+        );
+        results[unit.id] = Some(report);
+    }
+
+    fn record_failure(&self, unit: &WorkUnit, kind: FailureKind, message: String) {
+        self.record(
+            unit,
+            UnitReport {
+                name: unit.name.clone(),
+                result: Err(UnitFailure {
+                    kind,
+                    message,
+                    attempts: unit.attempts + 1,
+                }),
+                attempts: unit.attempts + 1,
+                from_cache: false,
+            },
+        );
+    }
+
+    /// Requeues a lost unit, or records its permanent failure when the
+    /// attempt budget is spent.
+    fn retry_or_fail(&self, unit: WorkUnit, kind: FailureKind, message: String) {
+        if self.queue.retry(unit.clone()) {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.record_failure(&unit, kind, message);
+            self.queue.complete();
+        }
+    }
+
+    /// One slot's manager loop: keep a worker alive, pull units, dispatch.
+    fn run_manager(&self, slot: usize) {
+        let mut proc: Option<WorkerProc> = None;
+        while let Some(unit) = self.queue.pull() {
+            if proc.is_none() {
+                match self.spawn_worker(slot) {
+                    Ok(p) => proc = Some(p),
+                    Err((e, timed_out)) => {
+                        // A handshake kill counts as a timeout, anything
+                        // else as a crash; either spends one attempt.
+                        let kind = if timed_out {
+                            self.timeouts.fetch_add(1, Ordering::Relaxed);
+                            FailureKind::Timeout
+                        } else {
+                            self.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                            FailureKind::WorkerCrash
+                        };
+                        self.clear_slot(slot);
+                        self.retry_or_fail(unit, kind, format!("worker unavailable: {e}"));
+                        // A machine-level spawn problem (binary deleted
+                        // mid-run, fd/process exhaustion) would otherwise
+                        // burn the whole queue's retry budget in
+                        // milliseconds; give the condition a moment to
+                        // clear between attempts.
+                        std::thread::sleep(Duration::from_millis(200));
+                        continue;
+                    }
+                }
+            }
+            let worker = proc.as_mut().expect("ensured above");
+            match self.dispatch(slot, worker, &unit) {
+                Dispatch::Reply {
+                    message,
+                    worker_dead,
+                } => {
+                    if worker_dead {
+                        proc.take().expect("live worker").shutdown(true);
+                        self.clear_slot(slot);
+                    }
+                    match message {
+                        FromWorker::Result { id, analysis } if id == unit.id => {
+                            self.record(
+                                &unit,
+                                UnitReport {
+                                    name: unit.name.clone(),
+                                    result: Ok(*analysis),
+                                    attempts: unit.attempts + 1,
+                                    from_cache: false,
+                                },
+                            );
+                            self.queue.complete();
+                        }
+                        // Deterministic analysis failure: retried like a
+                        // crash (budget exhaustion gets its second
+                        // chance), then recorded with the analysis
+                        // error's own message so the merged report
+                        // matches the in-process run byte-for-byte.
+                        FromWorker::Error { id, message } if id == unit.id => {
+                            self.retry_or_fail(unit, FailureKind::Analysis, message);
+                        }
+                        // Id mismatch or stray handshake: the stream is
+                        // unreliable; drop the worker and retry the unit.
+                        _ => {
+                            if let Some(worker) = proc.take() {
+                                worker.shutdown(true);
+                            }
+                            self.clear_slot(slot);
+                            self.retry_or_fail(
+                                unit,
+                                FailureKind::Protocol,
+                                "worker answered out of order".to_string(),
+                            );
+                        }
+                    }
+                }
+                Dispatch::WorkerLost(kind) => {
+                    match kind {
+                        FailureKind::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
+                        _ => self.worker_crashes.fetch_add(1, Ordering::Relaxed),
+                    };
+                    proc.take().expect("live worker").shutdown(true);
+                    self.clear_slot(slot);
+                    let message = match kind {
+                        FailureKind::Timeout => format!(
+                            "unit exceeded the {:?} deadline and its worker was killed",
+                            self.options.unit_timeout
+                        ),
+                        FailureKind::Protocol => "worker broke protocol mid-unit".to_string(),
+                        _ => "worker process died mid-unit".to_string(),
+                    };
+                    self.retry_or_fail(unit, kind, message);
+                }
+            }
+        }
+        if let Some(mut worker) = proc.take() {
+            if let Some(stdin) = worker.stdin.as_mut() {
+                let _ = write_message(stdin, &ToWorker::Shutdown);
+            }
+            worker.shutdown(false);
+        }
+        self.clear_slot(slot);
+    }
+}
+
+/// Analyzes a corpus of on-disk static binaries across worker processes.
+///
+/// `units` are `(name, path)` pairs; results come back in the same order.
+/// The run completes even when individual units fail — only run-level
+/// setup problems (worker binary missing, cache directory unusable)
+/// return an error.
+pub fn analyze_corpus_dist(
+    units: &[(String, PathBuf)],
+    options: &DistOptions,
+) -> Result<CorpusRun, DistError> {
+    let worker_bin = resolve_worker_bin(options.worker_bin.as_deref())?;
+    let cache = match &options.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir).map_err(DistError::Cache)?),
+        None => None,
+    };
+    // One process per unit is the parallelism axis; inner thread fan-out
+    // would oversubscribe (and is unobservable in results anyway).
+    let mut wire_options = options.analyzer.clone();
+    wire_options.parallelism = 1;
+
+    let mut results: Vec<Option<UnitReport>> = Vec::with_capacity(units.len());
+    results.resize_with(units.len(), || None);
+    let mut pending = Vec::new();
+    let mut cache_hits = 0usize;
+    for (id, (name, path)) in units.iter().enumerate() {
+        let cache_key = cache.as_ref().and_then(|_| {
+            let bytes = std::fs::read(path).ok()?;
+            Some(ResultCache::key(&bytes, &wire_options))
+        });
+        if let Some(analysis) = cache_key
+            .as_ref()
+            .and_then(|key| cache.as_ref().expect("key implies cache").load(key))
+        {
+            cache_hits += 1;
+            results[id] = Some(UnitReport {
+                name: name.clone(),
+                result: Ok(analysis),
+                attempts: 0,
+                from_cache: true,
+            });
+            continue;
+        }
+        pending.push(WorkUnit {
+            id,
+            name: name.clone(),
+            path: path.clone(),
+            attempts: 0,
+            cache_key,
+        });
+    }
+    let cache_keys: Vec<Option<String>> = {
+        let mut keys = vec![None; units.len()];
+        for unit in &pending {
+            keys[unit.id] = unit.cache_key.clone();
+        }
+        keys
+    };
+
+    let workers = options.workers.max(1).min(pending.len().max(1));
+    let queue = WorkQueue::new(pending, options.max_attempts);
+    let results = Mutex::new(results);
+    let slots: Vec<Mutex<SlotWatch>> = (0..workers).map(|_| Mutex::default()).collect();
+    let retries = AtomicUsize::new(0);
+    let worker_crashes = AtomicUsize::new(0);
+    let timeouts = AtomicUsize::new(0);
+    let shared = Shared {
+        queue: &queue,
+        results: &results,
+        slots: &slots,
+        options,
+        worker_bin: &worker_bin,
+        wire_options: &wire_options,
+        retries: &retries,
+        worker_crashes: &worker_crashes,
+        timeouts: &timeouts,
+    };
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The watchdog enforces per-unit deadlines across all slots.
+        scope.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                for slot in &slots {
+                    let mut watch = slot.lock().expect("slot lock");
+                    let expired = watch.deadline.is_some_and(|d| Instant::now() >= d);
+                    if expired {
+                        watch.deadline = None;
+                        watch.timed_out = true;
+                        if let Some(child) = watch.child.clone() {
+                            drop(watch);
+                            let _ = child.lock().expect("child lock").kill();
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let shared = &shared;
+        let managers: Vec<_> = (0..workers)
+            .map(|slot| scope.spawn(move || shared.run_manager(slot)))
+            .collect();
+        for manager in managers {
+            manager.join().expect("manager thread panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let results: Vec<UnitReport> = results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every unit reached a terminal state"))
+        .collect();
+
+    // Populate the cache with fresh successes.
+    if let Some(cache) = &cache {
+        for (report, key) in results.iter().zip(&cache_keys) {
+            if let (Ok(analysis), Some(key), false) = (&report.result, key, report.from_cache) {
+                let _ = cache.store(key, analysis);
+            }
+        }
+    }
+
+    let failures = results.iter().filter(|r| r.result.is_err()).count();
+    let stats = RunStats {
+        units: units.len(),
+        workers,
+        cache_hits,
+        retries: retries.into_inner(),
+        worker_crashes: worker_crashes.into_inner(),
+        timeouts: timeouts.into_inner(),
+        failures,
+    };
+    Ok(CorpusRun { results, stats })
+}

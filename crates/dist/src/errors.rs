@@ -1,0 +1,97 @@
+//! Error types of the distributed engine.
+//!
+//! Two layers are deliberately kept apart: [`DistError`] aborts a whole
+//! corpus run before any work is dispatched (worker binary unlocatable,
+//! cache directory unusable), while [`UnitFailure`] is scoped to one work
+//! unit and **never** aborts the run — the fault-isolation contract.
+//! Spawn failures after a successful lookup are unit-scoped too: the
+//! affected unit is retried, then recorded as a [`UnitFailure`].
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A run-level failure: the coordinator could not do its job at all.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DistError {
+    /// The `bside-worker` binary could not be located. (Spawn failures
+    /// *after* a successful lookup are per-unit events, not run-level
+    /// ones: the affected unit is retried, then recorded as a
+    /// [`UnitFailure`].)
+    WorkerBinNotFound {
+        /// The locations that were tried, in order.
+        tried: Vec<PathBuf>,
+    },
+    /// The result cache directory could not be created or accessed.
+    Cache(std::io::Error),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::WorkerBinNotFound { tried } => {
+                write!(
+                    f,
+                    "bside-worker binary not found (tried: {}); build it with \
+                     `cargo build -p bside-dist` or set BSIDE_WORKER_BIN",
+                    tried
+                        .iter()
+                        .map(|p| p.display().to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+            DistError::Cache(e) => write!(f, "result cache unavailable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Why one work unit failed. Ordered roughly by how the coordinator
+/// learns about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The worker reported an analysis error (budget exhaustion, missing
+    /// `.text`, unreadable file …) — deterministic, the in-model analogue
+    /// of the paper's per-binary timeouts (§5.2).
+    Analysis,
+    /// The worker process died mid-unit (crash, panic, OOM kill).
+    WorkerCrash,
+    /// The unit exceeded the per-unit wall-clock budget and its worker
+    /// was killed.
+    Timeout,
+    /// The worker produced bytes that do not parse as protocol messages.
+    Protocol,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::Analysis => "analysis error",
+            FailureKind::WorkerCrash => "worker crash",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Protocol => "protocol error",
+        })
+    }
+}
+
+/// The terminal failure record of one work unit, written into the merged
+/// report after the retry budget is spent.
+#[derive(Debug, Clone)]
+pub struct UnitFailure {
+    /// What went wrong on the last attempt.
+    pub kind: FailureKind,
+    /// Human-readable detail (the analysis error's `Display` for
+    /// [`FailureKind::Analysis`], so the merged report renders exactly
+    /// like the in-process run's).
+    pub message: String,
+    /// Total attempts spent on the unit (including the failing one).
+    pub attempts: u32,
+}
+
+impl fmt::Display for UnitFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}

@@ -1,0 +1,60 @@
+//! # `bside-dist`: multi-process distributed corpus analysis
+//!
+//! The paper's headline evaluation is corpus-scale — 557 Debian ELFs for
+//! Table 2 — and the in-process engine's thread fan-out
+//! (`Analyzer::analyze_corpus`) shares one address space: a single
+//! pathological binary (budget blow-up, panic, runaway fixpoint) can take
+//! the whole run with it. This crate adds the next scaling layer,
+//! **process-level isolation**, the way corpus middleware does it:
+//!
+//! * a **coordinator** ([`analyze_corpus_dist`]) spawns N `bside-worker`
+//!   child processes and feeds them `(binary, options)` units over a
+//!   newline-delimited JSON protocol on stdin/stdout ([`protocol`]);
+//! * workers **pull** from a shared queue ([`queue`]) — load balances
+//!   itself, a slow binary occupies exactly one process;
+//! * a crashed, hung, or budget-exhausted unit is **retried once** and
+//!   then recorded as a per-unit failure; the run always completes
+//!   ([`coordinator`]);
+//! * a **content-addressed result cache** ([`cache`]) keyed by
+//!   `SHA-256(elf bytes, semantic options)` lets re-runs skip unchanged
+//!   binaries entirely;
+//! * the merged report is **byte-identical** to the in-process engine's
+//!   for any worker count ([`report`]) — deployment mode is as
+//!   unobservable as thread count.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bside_dist::{analyze_corpus_dist, DistOptions};
+//! use std::path::PathBuf;
+//!
+//! let units = vec![
+//!     ("redis".to_string(), PathBuf::from("corpus/000_redis.elf")),
+//!     ("nginx".to_string(), PathBuf::from("corpus/001_nginx.elf")),
+//! ];
+//! let run = analyze_corpus_dist(&units, &DistOptions {
+//!     workers: 4,
+//!     cache_dir: Some(PathBuf::from(".bside-cache")),
+//!     ..DistOptions::default()
+//! })?;
+//! println!("{}", bside_dist::report::report_of_run(&run));
+//! # Ok::<(), bside_dist::DistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coordinator;
+pub mod errors;
+pub mod protocol;
+pub mod queue;
+pub mod report;
+pub mod worker;
+
+pub use cache::{options_fingerprint, sha256_hex, ResultCache};
+pub use coordinator::{
+    analyze_corpus_dist, resolve_worker_bin, CorpusRun, DistOptions, RunStats, UnitReport,
+};
+pub use errors::{DistError, FailureKind, UnitFailure};
+pub use report::{report_of_in_process, report_of_run};

@@ -1,0 +1,308 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! Newline-delimited JSON over the worker's stdin/stdout: one message per
+//! line, each a single JSON object tagged by a `"type"` field. The
+//! payload of a result is the `bside-core` analysis wire format
+//! (`bside_core::wire`), so a worker's answer is exactly what the
+//! in-process engine would have produced, minus the CFG.
+//!
+//! ```text
+//! coordinator → worker    {"type":"unit","id":3,"name":"grep_3","path":"/corpus/003_grep.elf","options":{…}}
+//!                         {"type":"shutdown"}
+//! worker → coordinator    {"type":"ready","version":1}
+//!                         {"type":"result","id":3,"analysis":{…}}
+//!                         {"type":"error","id":3,"message":"analysis budget exhausted during identification"}
+//! ```
+//!
+//! The protocol is strictly request/response per worker: the coordinator
+//! never has more than one unit outstanding on a connection, which is what
+//! makes the pull-based queue balance load (a slow unit occupies one
+//! worker; everyone else keeps pulling).
+//!
+//! Unit paths travel as JSON strings, so non-UTF-8 file names (legal on
+//! Linux) cannot cross the wire; callers must reject or rename them
+//! before dispatch (the CLI refuses such corpus entries up front).
+
+use bside_core::{AnalyzerOptions, BinaryAnalysis};
+use serde::{de, to_value, Value};
+use std::io::{BufRead, Write};
+
+/// Protocol revision; bumped on any incompatible message change. The
+/// coordinator refuses workers announcing a different version rather than
+/// mis-parsing their output.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Messages the coordinator sends to a worker.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// Analyze one binary.
+    Unit {
+        /// Corpus-wide unit index (position in the input order).
+        id: usize,
+        /// Display name of the unit.
+        name: String,
+        /// Path of the ELF file to analyze.
+        path: String,
+        /// Analyzer configuration for this unit.
+        options: AnalyzerOptions,
+    },
+    /// Exit cleanly after finishing the current line.
+    Shutdown,
+}
+
+/// Messages a worker sends to the coordinator.
+#[derive(Debug)]
+pub enum FromWorker {
+    /// Sent once on startup, before any unit is accepted.
+    Ready {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// A unit analyzed successfully.
+    Result {
+        /// The unit's id, echoed back.
+        id: usize,
+        /// The analysis, in the `bside_core::wire` format (boxed: it
+        /// dwarfs the other variants).
+        analysis: Box<BinaryAnalysis>,
+    },
+    /// A unit failed deterministically (analysis error, unreadable file).
+    Error {
+        /// The unit's id, echoed back.
+        id: usize,
+        /// The error's `Display` rendering.
+        message: String,
+    },
+}
+
+impl serde::Serialize for ToWorker {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            ToWorker::Unit {
+                id,
+                name,
+                path,
+                options,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("unit".to_string())),
+                ("id".to_string(), Value::UInt(*id as u64)),
+                ("name".to_string(), Value::Str(name.clone())),
+                ("path".to_string(), Value::Str(path.clone())),
+                ("options".to_string(), to_value(options)),
+            ]),
+            ToWorker::Shutdown => Value::Object(vec![(
+                "type".to_string(),
+                Value::Str("shutdown".to_string()),
+            )]),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+impl serde::Serialize for FromWorker {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            FromWorker::Ready { version } => Value::Object(vec![
+                ("type".to_string(), Value::Str("ready".to_string())),
+                ("version".to_string(), Value::UInt(*version as u64)),
+            ]),
+            FromWorker::Result { id, analysis } => Value::Object(vec![
+                ("type".to_string(), Value::Str("result".to_string())),
+                ("id".to_string(), Value::UInt(*id as u64)),
+                ("analysis".to_string(), to_value(analysis)),
+            ]),
+            FromWorker::Error { id, message } => Value::Object(vec![
+                ("type".to_string(), Value::Str("error".to_string())),
+                ("id".to_string(), Value::UInt(*id as u64)),
+                ("message".to_string(), Value::Str(message.clone())),
+            ]),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+fn obj_fields(value: Value, what: &str) -> Result<Vec<(String, Value)>, de::ValueError> {
+    match value {
+        Value::Object(entries) => Ok(entries),
+        other => Err(de::Error::custom(format!(
+            "expected {what} object, found {other:?}"
+        ))),
+    }
+}
+
+fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Result<Value, de::ValueError> {
+    let pos = entries
+        .iter()
+        .position(|(k, _)| k == name)
+        .ok_or_else(|| de::Error::custom(format!("missing field `{name}`")))?;
+    Ok(entries.remove(pos).1)
+}
+
+fn tag_of(entries: &mut Vec<(String, Value)>) -> Result<String, de::ValueError> {
+    match take_field(entries, "type")? {
+        Value::Str(s) => Ok(s),
+        other => Err(de::Error::custom(format!(
+            "message `type` must be a string, found {other:?}"
+        ))),
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ToWorker {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries =
+            obj_fields(deserializer.into_value()?, "ToWorker").map_err(de::Error::custom)?;
+        let tag = tag_of(&mut entries).map_err(de::Error::custom)?;
+        match tag.as_str() {
+            "unit" => Ok(ToWorker::Unit {
+                id: serde::from_value(take_field(&mut entries, "id").map_err(de::Error::custom)?)
+                    .map_err(de::Error::custom)?,
+                name: serde::from_value(
+                    take_field(&mut entries, "name").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+                path: serde::from_value(
+                    take_field(&mut entries, "path").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+                options: serde::from_value(
+                    take_field(&mut entries, "options").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "shutdown" => Ok(ToWorker::Shutdown),
+            other => Err(de::Error::custom(format!(
+                "unknown coordinator message type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FromWorker {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries =
+            obj_fields(deserializer.into_value()?, "FromWorker").map_err(de::Error::custom)?;
+        let tag = tag_of(&mut entries).map_err(de::Error::custom)?;
+        match tag.as_str() {
+            "ready" => Ok(FromWorker::Ready {
+                version: serde::from_value(
+                    take_field(&mut entries, "version").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "result" => Ok(FromWorker::Result {
+                id: serde::from_value(take_field(&mut entries, "id").map_err(de::Error::custom)?)
+                    .map_err(de::Error::custom)?,
+                analysis: serde::from_value(
+                    take_field(&mut entries, "analysis").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "error" => Ok(FromWorker::Error {
+                id: serde::from_value(take_field(&mut entries, "id").map_err(de::Error::custom)?)
+                    .map_err(de::Error::custom)?,
+                message: serde::from_value(
+                    take_field(&mut entries, "message").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            other => Err(de::Error::custom(format!(
+                "unknown worker message type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Writes one message as a single JSON line and flushes — flushing per
+/// message is what keeps the request/response protocol live across the
+/// pipe's buffering.
+pub fn write_message<T: serde::Serialize>(
+    writer: &mut impl Write,
+    message: &T,
+) -> std::io::Result<()> {
+    let json = serde_json::to_string(message)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads one message line. `Ok(None)` is a clean EOF (peer closed the
+/// stream); empty lines are skipped.
+pub fn read_message<T: for<'de> serde::Deserialize<'de>>(
+    reader: &mut impl BufRead,
+) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return serde_json::from_str(line.trim())
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_message_round_trips() {
+        let msg = ToWorker::Unit {
+            id: 7,
+            name: "nginx_7".to_string(),
+            path: "/corpus/007_nginx.elf".to_string(),
+            options: AnalyzerOptions::default(),
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        match serde_json::from_str::<ToWorker>(&json).unwrap() {
+            ToWorker::Unit {
+                id,
+                name,
+                path,
+                options,
+            } => {
+                assert_eq!(id, 7);
+                assert_eq!(name, "nginx_7");
+                assert_eq!(path, "/corpus/007_nginx.elf");
+                assert_eq!(options.limits, AnalyzerOptions::default().limits);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip_via_line_codec() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &ToWorker::Shutdown).unwrap();
+        write_message(
+            &mut buf,
+            &FromWorker::Ready {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        assert!(matches!(
+            read_message::<ToWorker>(&mut reader).unwrap(),
+            Some(ToWorker::Shutdown)
+        ));
+        assert!(matches!(
+            read_message::<FromWorker>(&mut reader).unwrap(),
+            Some(FromWorker::Ready {
+                version: PROTOCOL_VERSION
+            })
+        ));
+        assert!(read_message::<ToWorker>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_line_is_a_protocol_error() {
+        let mut reader = std::io::BufReader::new(&b"not json\n"[..]);
+        assert!(read_message::<FromWorker>(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! The pull-based work queue.
+//!
+//! Worker manager threads *pull* units instead of being assigned shards up
+//! front, so a slow or crashing binary never stalls anyone but the worker
+//! holding it. The queue tracks in-flight units: [`WorkQueue::pull`]
+//! blocks while the queue is momentarily empty but an in-flight unit might
+//! still be requeued for retry, and returns `None` only once every unit
+//! has reached a terminal state — the coordinator's clean-shutdown signal.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+/// One unit of corpus work: analyze one binary.
+#[derive(Debug, Clone)]
+pub struct WorkUnit {
+    /// Position in the corpus input order (and index into the merged
+    /// result vector).
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// The ELF file to analyze.
+    pub path: PathBuf,
+    /// Attempts already spent on this unit (0 on first dispatch).
+    pub attempts: u32,
+    /// Content-address of this unit in the result cache, when caching is
+    /// enabled (computed once by the coordinator's pre-pass).
+    pub cache_key: Option<String>,
+}
+
+struct QueueState {
+    pending: VecDeque<WorkUnit>,
+    in_flight: usize,
+}
+
+/// A blocking multi-producer/multi-consumer queue of [`WorkUnit`]s with
+/// retry accounting.
+pub struct WorkQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    max_attempts: u32,
+}
+
+impl WorkQueue {
+    /// Builds a queue over `units`; a unit is dispatched at most
+    /// `max_attempts` times in total before [`WorkQueue::retry`] refuses
+    /// it.
+    pub fn new(units: Vec<WorkUnit>, max_attempts: u32) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                pending: units.into(),
+                in_flight: 0,
+            }),
+            cond: Condvar::new(),
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// Takes the next unit, blocking while the queue is empty but units
+    /// are still in flight (they may be requeued). Returns `None` once
+    /// all work is terminal: every caller drains out and can shut its
+    /// worker down.
+    pub fn pull(&self) -> Option<WorkUnit> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(unit) = state.pending.pop_front() {
+                state.in_flight += 1;
+                return Some(unit);
+            }
+            if state.in_flight == 0 {
+                return None;
+            }
+            state = self.cond.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Marks a pulled unit terminal (success or permanent failure).
+    pub fn complete(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.in_flight -= 1;
+        if state.in_flight == 0 && state.pending.is_empty() {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Requeues a failed unit for another attempt. Returns `false` when
+    /// the attempt budget is spent — the caller must then record the
+    /// permanent failure and call [`WorkQueue::complete`].
+    pub fn retry(&self, mut unit: WorkUnit) -> bool {
+        unit.attempts += 1;
+        if unit.attempts >= self.max_attempts {
+            return false;
+        }
+        let mut state = self.state.lock().expect("queue lock");
+        state.in_flight -= 1;
+        state.pending.push_back(unit);
+        self.cond.notify_all();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn unit(id: usize) -> WorkUnit {
+        WorkUnit {
+            id,
+            name: format!("u{id}"),
+            path: PathBuf::from(format!("/nonexistent/u{id}")),
+            attempts: 0,
+            cache_key: None,
+        }
+    }
+
+    #[test]
+    fn drains_in_order_and_terminates() {
+        let q = WorkQueue::new((0..5).map(unit).collect(), 2);
+        for expect in 0..5 {
+            let u = q.pull().expect("unit available");
+            assert_eq!(u.id, expect);
+            q.complete();
+        }
+        assert!(q.pull().is_none());
+        assert!(q.pull().is_none(), "terminal state is sticky");
+    }
+
+    #[test]
+    fn retry_requeues_until_budget_spent() {
+        let q = WorkQueue::new(vec![unit(0)], 2);
+        let u = q.pull().unwrap();
+        assert_eq!(u.attempts, 0);
+        assert!(q.retry(u), "first failure requeues");
+        let u = q.pull().unwrap();
+        assert_eq!(u.attempts, 1);
+        assert!(!q.retry(u.clone()), "second failure exhausts the budget");
+        q.complete();
+        assert!(q.pull().is_none());
+    }
+
+    #[test]
+    fn pull_blocks_across_inflight_retries() {
+        // Two consumer threads over one unit that fails once: the second
+        // consumer must wait for the possible requeue instead of
+        // observing a spuriously empty queue.
+        let q = WorkQueue::new(vec![unit(0)], 2);
+        let processed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while let Some(u) = q.pull() {
+                        if u.attempts == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            assert!(q.retry(u));
+                        } else {
+                            processed.fetch_add(1, Ordering::Relaxed);
+                            q.complete();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(processed.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The merged corpus report.
+//!
+//! One renderer serves every deployment mode: in-process
+//! [`Analyzer::analyze_corpus`](bside_core::Analyzer::analyze_corpus)
+//! batches and distributed [`CorpusRun`](crate::CorpusRun)s both reduce
+//! to `(name, Result<analysis, error-string>)` rows in input order, so a
+//! distributed run at any worker count is **byte-identical** to the
+//! in-process report — the determinism contract the `distributed`
+//! integration test enforces.
+
+use crate::coordinator::CorpusRun;
+use bside_core::{AnalysisError, BinaryAnalysis};
+use std::fmt::Write as _;
+
+/// Renders the canonical, timing-free merged report for an ordered
+/// sequence of per-binary outcomes.
+pub fn render_units<'a, I>(rows: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, Result<&'a BinaryAnalysis, String>)>,
+{
+    let mut out = String::new();
+    for (name, outcome) in rows {
+        let _ = writeln!(out, "=== {name} ===");
+        match outcome {
+            Ok(analysis) => out.push_str(&analysis.canonical_report()),
+            Err(message) => {
+                let _ = writeln!(out, "error: {message}");
+            }
+        }
+    }
+    out
+}
+
+/// The merged report of a distributed [`CorpusRun`].
+pub fn report_of_run(run: &CorpusRun) -> String {
+    render_units(run.results.iter().map(|unit| {
+        (
+            unit.name.as_str(),
+            unit.result.as_ref().map_err(|f| f.message.clone()),
+        )
+    }))
+}
+
+/// The merged report of an in-process
+/// [`Analyzer::analyze_corpus`](bside_core::Analyzer::analyze_corpus)
+/// batch — the reference the distributed engine must match byte-for-byte.
+pub fn report_of_in_process(results: &[(String, Result<BinaryAnalysis, AnalysisError>)]) -> String {
+    render_units(
+        results
+            .iter()
+            .map(|(name, result)| (name.as_str(), result.as_ref().map_err(|e| e.to_string()))),
+    )
+}

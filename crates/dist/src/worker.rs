@@ -1,0 +1,190 @@
+//! The worker side of the protocol: a single-threaded loop that reads
+//! unit assignments from stdin, analyzes them, and writes results to
+//! stdout.
+//!
+//! Workers are intentionally dumb: no queue knowledge, no retry logic, no
+//! cache — one unit in, one message out. All policy lives in the
+//! coordinator, so a worker crashing at *any* point loses at most the one
+//! unit it was holding.
+//!
+//! # Fault-injection hooks
+//!
+//! Integration tests exercise the coordinator's isolation machinery by
+//! asking a worker to misbehave on a named unit. The hooks are plain
+//! environment variables (the coordinator's `worker_env` passes them to
+//! spawned workers only, keeping tests hermetic):
+//!
+//! * `BSIDE_WORKER_CRASH_UNIT=<substr>` — abort the process before
+//!   analyzing any unit whose name contains `<substr>`;
+//! * `BSIDE_WORKER_HANG_UNIT=<substr>` — sleep forever instead of
+//!   analyzing (exercises the per-unit timeout kill);
+//! * `BSIDE_WORKER_FAULT_MARKER=<path>` — make either fault one-shot:
+//!   the first faulting worker creates `<path>` and subsequent workers
+//!   seeing the marker behave normally (so the retry succeeds).
+
+use crate::protocol::{read_message, write_message, FromWorker, ToWorker, PROTOCOL_VERSION};
+use bside_core::{Analyzer, AnalyzerOptions};
+use std::io::{BufRead, Write};
+
+fn fault_requested(var: &str, unit_name: &str) -> bool {
+    let Ok(needle) = std::env::var(var) else {
+        return false;
+    };
+    if !unit_name.contains(&needle) {
+        return false;
+    }
+    match std::env::var("BSIDE_WORKER_FAULT_MARKER") {
+        Ok(marker) => {
+            let path = std::path::Path::new(&marker);
+            if path.exists() {
+                return false; // already faulted once; behave normally
+            }
+            let _ = std::fs::File::create(path);
+            true
+        }
+        Err(_) => true,
+    }
+}
+
+fn apply_fault_hooks(unit_name: &str) {
+    if fault_requested("BSIDE_WORKER_CRASH_UNIT", unit_name) {
+        std::process::abort();
+    }
+    if fault_requested("BSIDE_WORKER_HANG_UNIT", unit_name) {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+/// The unit-failure message for an unreadable file. Exposed (with
+/// [`parse_error_message`]) so the CLI's in-process reference path emits
+/// byte-identical degraded reports — one definition, two deployment modes.
+pub fn read_error_message(path: &str, e: &std::io::Error) -> String {
+    format!("reading {path}: {e}")
+}
+
+/// The unit-failure message for a file that is not a parseable ELF.
+pub fn parse_error_message(path: &str, e: &bside_elf::ElfError) -> String {
+    format!("parsing {path}: {e}")
+}
+
+fn analyze_unit(id: usize, name: &str, path: &str, options: AnalyzerOptions) -> FromWorker {
+    apply_fault_hooks(name);
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            return FromWorker::Error {
+                id,
+                message: read_error_message(path, &e),
+            }
+        }
+    };
+    let elf = match bside_elf::Elf::parse(&bytes) {
+        Ok(elf) => elf,
+        Err(e) => {
+            return FromWorker::Error {
+                id,
+                message: parse_error_message(path, &e),
+            }
+        }
+    };
+    match Analyzer::new(options).analyze_static(&elf) {
+        Ok(analysis) => FromWorker::Result {
+            id,
+            analysis: Box::new(analysis),
+        },
+        // The error's `Display` is the wire payload, so the coordinator's
+        // merged report renders failures exactly like an in-process run.
+        Err(e) => FromWorker::Error {
+            id,
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Runs the worker loop over arbitrary streams until EOF or a shutdown
+/// message. Factored out of [`worker_main`] so tests can drive it
+/// in-memory.
+pub fn run_loop(input: &mut impl BufRead, output: &mut impl Write) -> std::io::Result<()> {
+    write_message(
+        output,
+        &FromWorker::Ready {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    while let Some(message) = read_message::<ToWorker>(input)? {
+        match message {
+            ToWorker::Unit {
+                id,
+                name,
+                path,
+                options,
+            } => {
+                let reply = analyze_unit(id, &name, &path, options);
+                write_message(output, &reply)?;
+            }
+            ToWorker::Shutdown => break,
+        }
+    }
+    Ok(())
+}
+
+/// The `bside-worker` entry point: the loop over real stdin/stdout.
+/// Returns the process exit code.
+pub fn worker_main() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    match run_loop(&mut input, &mut output) {
+        Ok(()) => 0,
+        Err(e) => {
+            // A broken pipe means the coordinator went away; anything else
+            // is a protocol bug worth surfacing.
+            eprintln!("bside-worker: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn loop_answers_ready_then_results_then_stops_on_shutdown() {
+        let mut request = Vec::new();
+        write_message(
+            &mut request,
+            &ToWorker::Unit {
+                id: 0,
+                name: "missing".to_string(),
+                path: "/nonexistent/binary.elf".to_string(),
+                options: AnalyzerOptions::default(),
+            },
+        )
+        .unwrap();
+        write_message(&mut request, &ToWorker::Shutdown).unwrap();
+
+        let mut input = BufReader::new(request.as_slice());
+        let mut output = Vec::new();
+        run_loop(&mut input, &mut output).unwrap();
+
+        let mut replies = BufReader::new(output.as_slice());
+        assert!(matches!(
+            read_message::<FromWorker>(&mut replies).unwrap(),
+            Some(FromWorker::Ready {
+                version: PROTOCOL_VERSION
+            })
+        ));
+        match read_message::<FromWorker>(&mut replies).unwrap() {
+            Some(FromWorker::Error { id: 0, message }) => {
+                assert!(message.contains("reading"), "unexpected message: {message}")
+            }
+            other => panic!("expected unit error, got {other:?}"),
+        }
+        assert!(read_message::<FromWorker>(&mut replies).unwrap().is_none());
+    }
+}

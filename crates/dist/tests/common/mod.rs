@@ -1,0 +1,53 @@
+//! Helpers shared by the distributed-engine integration tests.
+
+// Each integration-test binary compiles this module separately and uses
+// a different subset of the helpers.
+#![allow(dead_code)]
+
+use bside_core::{Analyzer, AnalyzerOptions};
+use bside_dist::report_of_in_process;
+use bside_gen::corpus::{corpus_with_size, DEFAULT_SEED};
+use std::path::PathBuf;
+
+/// The `bside-worker` binary Cargo built alongside these tests.
+pub fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_bside-worker"))
+}
+
+/// A per-test, per-process scratch path (removed first if it exists).
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bside_dist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Materializes `n` static default-seed corpus binaries under a fresh
+/// scratch directory.
+pub fn materialize(tag: &str, n: usize) -> (PathBuf, Vec<(String, PathBuf)>) {
+    let dir = temp_dir(tag);
+    let units = corpus_with_size(DEFAULT_SEED, n, 0, 0)
+        .materialize_static(&dir)
+        .expect("corpus materializes");
+    (dir, units)
+}
+
+/// The in-process reference report over materialized units — what every
+/// distributed run must reproduce byte-for-byte.
+pub fn in_process_report(units: &[(String, PathBuf)]) -> String {
+    let images: Vec<(String, Vec<u8>)> = units
+        .iter()
+        .map(|(name, path)| (name.clone(), std::fs::read(path).expect("unit file reads")))
+        .collect();
+    let elfs: Vec<(String, bside_elf::Elf)> = images
+        .iter()
+        .map(|(name, bytes)| {
+            (
+                name.clone(),
+                bside_elf::Elf::parse(bytes).expect("unit parses"),
+            )
+        })
+        .collect();
+    let refs: Vec<(&str, &bside_elf::Elf)> = elfs.iter().map(|(n, e)| (n.as_str(), e)).collect();
+    let results = Analyzer::new(AnalyzerOptions::default()).analyze_corpus(&refs);
+    report_of_in_process(&results)
+}

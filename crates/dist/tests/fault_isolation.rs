@@ -1,0 +1,138 @@
+//! Fault isolation: a worker that crashes, hangs, or keeps failing loses
+//! only its current unit — the corpus run always completes, the lost unit
+//! is retried on a fresh process, and the merged report still matches the
+//! in-process engine byte-for-byte.
+//!
+//! The faults are injected through the `bside-worker` test hooks
+//! (`BSIDE_WORKER_CRASH_UNIT` / `BSIDE_WORKER_HANG_UNIT` /
+//! `BSIDE_WORKER_FAULT_MARKER`), passed via `DistOptions::worker_env` so
+//! only the workers of one run see them.
+
+mod common;
+
+use bside_dist::{analyze_corpus_dist, report_of_run, DistOptions, FailureKind};
+use common::{in_process_report, materialize, temp_dir, worker_bin};
+use std::time::Duration;
+
+#[test]
+fn crashed_worker_loses_only_its_unit_and_the_retry_recovers_it() {
+    let (corpus_dir, units) = materialize("crash_once", 8);
+    let reference = in_process_report(&units);
+    let marker = temp_dir("crash_once_marker").with_extension("flag");
+    let victim = units[3].0.clone();
+
+    let run = analyze_corpus_dist(
+        &units,
+        &DistOptions {
+            workers: 2,
+            worker_bin: Some(worker_bin()),
+            worker_env: vec![
+                ("BSIDE_WORKER_CRASH_UNIT".to_string(), victim.clone()),
+                (
+                    "BSIDE_WORKER_FAULT_MARKER".to_string(),
+                    marker.display().to_string(),
+                ),
+            ],
+            ..DistOptions::default()
+        },
+    )
+    .expect("run completes despite the crash");
+
+    assert!(
+        run.stats.worker_crashes >= 1,
+        "the injected crash must be observed: {:?}",
+        run.stats
+    );
+    assert!(run.stats.retries >= 1, "the lost unit must be retried");
+    assert_eq!(run.stats.failures, 0, "the retry must recover the unit");
+    let recovered = run
+        .results
+        .iter()
+        .find(|r| r.name == victim)
+        .expect("victim present in merged results");
+    assert!(recovered.result.is_ok());
+    assert_eq!(recovered.attempts, 2, "first attempt died with the worker");
+    assert_eq!(
+        reference,
+        report_of_run(&run),
+        "fault recovery changed the merged report"
+    );
+
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_file(&marker);
+}
+
+#[test]
+fn hung_worker_is_killed_at_the_deadline_and_the_unit_recovers() {
+    let (corpus_dir, units) = materialize("hang_once", 6);
+    let reference = in_process_report(&units);
+    let marker = temp_dir("hang_once_marker").with_extension("flag");
+    let victim = units[2].0.clone();
+
+    let run = analyze_corpus_dist(
+        &units,
+        &DistOptions {
+            workers: 2,
+            worker_bin: Some(worker_bin()),
+            unit_timeout: Duration::from_secs(2),
+            worker_env: vec![
+                ("BSIDE_WORKER_HANG_UNIT".to_string(), victim.clone()),
+                (
+                    "BSIDE_WORKER_FAULT_MARKER".to_string(),
+                    marker.display().to_string(),
+                ),
+            ],
+            ..DistOptions::default()
+        },
+    )
+    .expect("run completes despite the hang");
+
+    assert!(
+        run.stats.timeouts >= 1,
+        "the hang must be killed by the watchdog: {:?}",
+        run.stats
+    );
+    assert_eq!(run.stats.failures, 0);
+    assert_eq!(reference, report_of_run(&run));
+
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_file(&marker);
+}
+
+#[test]
+fn persistently_crashing_unit_becomes_a_per_unit_failure_not_an_aborted_run() {
+    let (corpus_dir, units) = materialize("crash_always", 6);
+    let victim = units[1].0.clone();
+
+    // No fault marker: every attempt at the victim aborts its worker.
+    let run = analyze_corpus_dist(
+        &units,
+        &DistOptions {
+            workers: 2,
+            worker_bin: Some(worker_bin()),
+            worker_env: vec![("BSIDE_WORKER_CRASH_UNIT".to_string(), victim.clone())],
+            ..DistOptions::default()
+        },
+    )
+    .expect("run completes despite a poison unit");
+
+    assert_eq!(run.stats.units, units.len());
+    assert_eq!(run.stats.failures, 1, "exactly the poison unit fails");
+    let poisoned = run
+        .results
+        .iter()
+        .find(|r| r.name == victim)
+        .expect("victim present in merged results");
+    let failure = poisoned.result.as_ref().expect_err("victim must fail");
+    assert_eq!(failure.kind, FailureKind::WorkerCrash);
+    assert_eq!(failure.attempts, 2, "one retry, then terminal");
+    for report in run.results.iter().filter(|r| r.name != victim) {
+        assert!(
+            report.result.is_ok(),
+            "{} must be isolated from the poison unit",
+            report.name
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+}

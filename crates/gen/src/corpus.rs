@@ -54,6 +54,30 @@ pub struct Corpus {
 }
 
 impl Corpus {
+    /// Writes every **static** binary of the corpus to `dir` as a
+    /// standalone ELF file and returns `(name, path)` pairs in corpus
+    /// order — the unit list a `bside-dist` distributed run consumes
+    /// (worker processes read their inputs from disk, not from the
+    /// coordinator's address space).
+    ///
+    /// File names are prefixed with the zero-padded corpus index so that
+    /// lexicographic directory order equals corpus input order, keeping
+    /// directory-driven runs deterministic.
+    pub fn materialize_static(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Vec<(String, std::path::PathBuf)>> {
+        std::fs::create_dir_all(dir)?;
+        let mut units = Vec::new();
+        for (i, binary) in self.binaries.iter().filter(|b| b.is_static).enumerate() {
+            let name = format!("{i:04}_{}", binary.program.spec.name);
+            let path = dir.join(format!("{name}.elf"));
+            std::fs::write(&path, &binary.program.image)?;
+            units.push((name, path));
+        }
+        Ok(units)
+    }
+
     /// The libraries a binary needs, transitively closed over each
     /// library's own `DT_NEEDED` dependencies (the loader and the
     /// analyzer both load recursively, §4.5).
@@ -307,6 +331,32 @@ mod tests {
         assert_eq!(corpus.libraries.len(), 6);
         assert_eq!(corpus.binaries.len(), 25);
         assert_eq!(corpus.binaries.iter().filter(|b| b.is_static).count(), 10);
+    }
+
+    #[test]
+    fn materialize_static_preserves_corpus_order_and_bytes() {
+        let corpus = corpus_with_size(3, 4, 2, 2);
+        let dir =
+            std::env::temp_dir().join(format!("bside_gen_materialize_{}", std::process::id()));
+        let units = corpus.materialize_static(&dir).expect("materializes");
+        assert_eq!(units.len(), 4, "only the static half is materialized");
+        let statics: Vec<_> = corpus.binaries.iter().filter(|b| b.is_static).collect();
+        let mut names: Vec<&String> = units.iter().map(|(n, _)| n).collect();
+        let sorted = {
+            let mut s = names.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(names, sorted, "lexical order must equal corpus order");
+        names.dedup();
+        assert_eq!(names.len(), units.len(), "unit names are unique");
+        for ((_, path), binary) in units.iter().zip(&statics) {
+            assert_eq!(
+                std::fs::read(path).expect("written file reads back"),
+                binary.program.image
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct Limits {
     pub undirected: bool,
 }
 
+serde::impl_serde_struct!(Limits {
+    max_backward_nodes,
+    max_forward_paths,
+    max_path_blocks,
+    max_total_blocks,
+    undirected,
+});
+
 impl Default for Limits {
     fn default() -> Self {
         Limits {

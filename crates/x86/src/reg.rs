@@ -28,6 +28,25 @@ pub enum Reg {
     R15 = 15,
 }
 
+serde::impl_serde_unit_enum!(Reg {
+    Rax,
+    Rcx,
+    Rdx,
+    Rbx,
+    Rsp,
+    Rbp,
+    Rsi,
+    Rdi,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+});
+
 impl Reg {
     /// All sixteen registers, in encoding order.
     pub const ALL: [Reg; 16] = [

@@ -20,10 +20,18 @@
 //! The distributed configuration needs the `bside-worker` binary next to
 //! this one (`cargo build --release --all-targets`); when it is missing
 //! the snapshot records `"distributed": null` and keeps the rest.
+//!
+//! A fourth configuration measures the **policy service** (`bside-serve`)
+//! as a load generator would: spawn the daemon on a Unix socket, warm its
+//! content-addressed store, then hammer it with concurrent clients and
+//! record request throughput and latency percentiles — the serving-path
+//! trajectory (requests per second at the enforcement point), distinct
+//! from the analysis-path trajectories above it.
 
 use bside::core::{Analyzer, AnalyzerOptions, PipelineTimings};
 use bside::gen::corpus::{corpus_with_size, DEFAULT_SEED};
 use bside::gen::profiles::all_profiles;
+use bside::serve::{Endpoint, PolicyClient, PolicyServer, ServeOptions, Source};
 use std::time::{Duration, Instant};
 
 const REPEATS: usize = 3;
@@ -143,6 +151,160 @@ fn run_distributed_in(
     })
 }
 
+/// The serve-path measurement: store-hit request throughput and latency
+/// against one daemon.
+struct ServeBenchResult {
+    clients: usize,
+    requests_per_client: usize,
+    wall: Duration,
+    /// All request latencies in microseconds, sorted ascending.
+    latencies_us: Vec<u64>,
+    analyses: u64,
+    store_hits: u64,
+}
+
+impl ServeBenchResult {
+    fn total_requests(&self) -> usize {
+        self.clients * self.requests_per_client
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.total_requests() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[rank]
+    }
+
+    fn mean_us(&self) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        (self.latencies_us.iter().sum::<u64>()) / self.latencies_us.len() as u64
+    }
+}
+
+/// Runs the policy-service load generator: `clients` concurrent
+/// connections, `requests_per_client` fetches each, round-robin over the
+/// corpus, after a sequential warm pass populates the store (so the
+/// timed phase measures the serving path, not the analysis path).
+fn run_serve(
+    clients: usize,
+    requests_per_client: usize,
+    images: &[(String, Vec<u8>)],
+) -> Option<ServeBenchResult> {
+    let dir = std::env::temp_dir().join(format!("bside_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_serve_in(clients, requests_per_client, images, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_serve_in(
+    clients: usize,
+    requests_per_client: usize,
+    images: &[(String, Vec<u8>)],
+    dir: &std::path::Path,
+) -> Option<ServeBenchResult> {
+    let corpus_dir = dir.join("corpus");
+    std::fs::create_dir_all(&corpus_dir).ok()?;
+    let mut paths: Vec<String> = Vec::with_capacity(images.len());
+    for (i, (name, bytes)) in images.iter().enumerate() {
+        let path = corpus_dir.join(format!("{i:04}_{name}.elf"));
+        std::fs::write(&path, bytes).ok()?;
+        paths.push(path.to_str()?.to_string());
+    }
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            store_dir: Some(dir.join("store")),
+            threads: clients,
+            read_timeout: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .ok()?;
+
+    // Warm pass: every binary analyzed exactly once, store populated.
+    // The warm connection is dropped before the timed phase starts so it
+    // does not pin one of the pool's workers (and stall shutdown by its
+    // idle read timeout).
+    {
+        let mut warm = PolicyClient::connect(server.endpoint()).ok()?;
+        for path in &paths {
+            let fetch = warm.fetch_path(path).ok()?;
+            if fetch.source != Source::Analyzed {
+                eprintln!("  serve config: unexpected warm-pass store hit");
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let paths = &paths;
+                let server = &server;
+                scope.spawn(move || -> Option<Vec<u64>> {
+                    let mut client = PolicyClient::connect(server.endpoint()).ok()?;
+                    let mut latencies = Vec::with_capacity(requests_per_client);
+                    for r in 0..requests_per_client {
+                        let path = &paths[(c + r) % paths.len()];
+                        let t = Instant::now();
+                        let fetch = client.fetch_path(path).ok()?;
+                        latencies.push(t.elapsed().as_micros() as u64);
+                        if fetch.source != Source::Store {
+                            return None; // the timed phase must be store-served
+                        }
+                    }
+                    Some(latencies)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(clients * requests_per_client);
+        let mut ok = true;
+        for handle in handles {
+            match handle.join().expect("client thread") {
+                Some(latencies) => all.extend(latencies),
+                None => ok = false,
+            }
+        }
+        ok.then_some(all)
+    })?;
+    let wall = t0.elapsed();
+    latencies_us.sort_unstable();
+    let stats = server.stats();
+    server.shutdown();
+    Some(ServeBenchResult {
+        clients,
+        requests_per_client,
+        wall,
+        latencies_us,
+        analyses: stats.analyses,
+        store_hits: stats.store_hits,
+    })
+}
+
+fn serve_json(r: &ServeBenchResult, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"clients\": {},\n{indent}  \"requests_per_client\": {},\n{indent}  \"total_requests\": {},\n{indent}  \"wall_us\": {},\n{indent}  \"throughput_rps\": {:.1},\n{indent}  \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p99\": {} }},\n{indent}  \"analyses\": {},\n{indent}  \"store_hits\": {}\n{indent}}}",
+        r.clients,
+        r.requests_per_client,
+        r.total_requests(),
+        r.wall.as_micros(),
+        r.throughput_rps(),
+        r.mean_us(),
+        r.percentile_us(0.50),
+        r.percentile_us(0.99),
+        r.analyses,
+        r.store_hits,
+    )
+}
+
 fn phases_json(t: &PipelineTimings, indent: &str) -> String {
     let rows: Vec<String> = t
         .phases()
@@ -244,8 +406,34 @@ fn main() {
         }
     };
 
+    // Policy-service configuration: the serving path (store hits over a
+    // Unix socket), which is what the enforcement point pays per pod
+    // launch once the corpus is analyzed.
+    let serve_clients = 4usize;
+    let serve_requests = 100usize;
+    let serve = run_serve(serve_clients, serve_requests, &images);
+    let serve_json_str = match &serve {
+        Some(s) => {
+            eprintln!(
+                "  serve      (clients={}, store-hit requests={}): {:.1} ms wall | {:.0} req/s | mean {} us, p50 {} us, p99 {} us",
+                s.clients,
+                s.total_requests(),
+                s.wall.as_secs_f64() * 1e3,
+                s.throughput_rps(),
+                s.mean_us(),
+                s.percentile_us(0.50),
+                s.percentile_us(0.99),
+            );
+            serve_json(s, "  ")
+        }
+        None => {
+            eprintln!("  serve: skipped (daemon spawn or a request failed)");
+            "null".to_string()
+        }
+    };
+
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"serve\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -254,6 +442,7 @@ fn main() {
         speedup,
         dist_json,
         dist_speedup_json,
+        serve_json_str,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("  wrote {out_path}");

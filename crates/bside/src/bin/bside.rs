@@ -1,475 +1,14 @@
 //! The `bside` command-line tool: analyze x86-64 ELF binaries, emit
-//! policies and shared interfaces, detect execution phases.
+//! policies and shared interfaces, detect execution phases, run the
+//! distributed corpus engine, and serve policies as a daemon.
 //!
-//! ```text
-//! bside analyze <elf> [--lib NAME=PATH]... [--store DIR] [--policy] [--bpf] [--sites]
-//! bside interface <lib.so> [--name NAME]
-//! bside phases <elf> [--back-propagate]
-//! bside corpus <dir> [--workers N] [--cache DIR] [--timeout SECS] [--in-process] [--report]
-//! bside gen-corpus <out-dir> [--static N] [--seed N]
-//! bside demo <out-dir>
-//! ```
+//! The subcommand set — dispatch and usage listing alike — is generated
+//! from the single table in [`bside::cli::SUBCOMMANDS`]; run with no
+//! arguments for the listing.
 
-use bside::analyzer_options_from_env;
-use bside::core::phase::{detect_phases, PhaseOptions};
-use bside::core::{Analyzer, LibraryStore};
-use bside::filter::FilterPolicy;
-use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("interface") => cmd_interface(&args[1..]),
-        Some("phases") => cmd_phases(&args[1..]),
-        Some("corpus") => cmd_corpus(&args[1..]),
-        Some("gen-corpus") => cmd_gen_corpus(&args[1..]),
-        Some("demo") => cmd_demo(&args[1..]),
-        _ => {
-            eprintln!("usage:");
-            eprintln!("  bside analyze <elf> [--lib NAME=PATH]... [--store DIR] [--policy] [--bpf] [--sites]");
-            eprintln!("  bside interface <lib.so> [--name NAME]");
-            eprintln!("  bside phases <elf> [--back-propagate]");
-            eprintln!("  bside corpus <dir> [--workers N] [--cache DIR] [--timeout SECS] [--in-process] [--report]");
-            eprintln!("  bside gen-corpus <out-dir> [--static N] [--seed N]");
-            eprintln!("  bside demo <out-dir>");
-            return ExitCode::from(2);
-        }
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-type CmdResult = Result<(), Box<dyn std::error::Error>>;
-
-fn load_elf(path: &str) -> Result<bside::elf::Elf, Box<dyn std::error::Error>> {
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Ok(bside::elf::Elf::parse(&bytes).map_err(|e| format!("parsing {path}: {e}"))?)
-}
-
-fn cmd_analyze(args: &[String]) -> CmdResult {
-    let mut path = None;
-    let mut libs: Vec<(String, String)> = Vec::new();
-    let mut store_dir: Option<String> = None;
-    let mut want_policy = false;
-    let mut want_bpf = false;
-    let mut want_sites = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--lib" => {
-                let spec = it.next().ok_or("--lib needs NAME=PATH")?;
-                let (name, libpath) = spec
-                    .split_once('=')
-                    .ok_or("--lib argument must be NAME=PATH")?;
-                libs.push((name.to_string(), libpath.to_string()));
-            }
-            "--store" => store_dir = Some(it.next().ok_or("--store needs DIR")?.clone()),
-            "--policy" => want_policy = true,
-            "--bpf" => want_bpf = true,
-            "--sites" => want_sites = true,
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}").into()),
-        }
-    }
-    let path = path.ok_or("missing <elf> argument")?;
-    let elf = load_elf(&path)?;
-
-    let analyzer = Analyzer::new(analyzer_options_from_env());
-    let analysis = if elf.needed_libraries().is_empty() {
-        analyzer.analyze_static(&elf)?
-    } else {
-        // Load cached interfaces (the §4.5 once-per-library phase) and
-        // analyze whatever is still missing.
-        let mut store = match &store_dir {
-            Some(dir) if std::path::Path::new(dir).exists() => {
-                LibraryStore::load_from_dir(std::path::Path::new(dir))?
-            }
-            _ => LibraryStore::new(),
-        };
-        for (name, libpath) in &libs {
-            if !store.contains(name) {
-                let lib_elf = load_elf(libpath)?;
-                store.insert(analyzer.analyze_library(&lib_elf, name, None)?);
-            }
-        }
-        if let Some(dir) = &store_dir {
-            store.save_to_dir(std::path::Path::new(dir))?;
-        }
-        analyzer.analyze_dynamic(&elf, &store, &[])?
-    };
-
-    eprintln!(
-        "# {} syscall(s), {} site(s), {} wrapper(s), precise: {}",
-        analysis.syscalls.len(),
-        analysis.sites.len(),
-        analysis.wrappers.len(),
-        analysis.precise
-    );
-    if want_sites {
-        for site in &analysis.sites {
-            println!(
-                "site {:#x} ({}) [{:?}]: {}",
-                site.site,
-                site.function.as_deref().unwrap_or("?"),
-                site.outcome,
-                site.syscalls
-            );
-        }
-    }
-    if want_bpf {
-        let policy = FilterPolicy::allow_only(path.clone(), analysis.syscalls);
-        print!(
-            "{}",
-            bside::filter::bpf::BpfProgram::from_policy(&policy).listing()
-        );
-    } else if want_policy {
-        let policy = FilterPolicy::allow_only(path, analysis.syscalls);
-        println!("{}", policy.to_json());
-    } else {
-        for sysno in &analysis.syscalls {
-            println!("{:>3} {}", sysno.raw(), sysno);
-        }
-    }
-    Ok(())
-}
-
-fn cmd_interface(args: &[String]) -> CmdResult {
-    let mut path = None;
-    let mut name = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}").into()),
-        }
-    }
-    let path = path.ok_or("missing <lib.so> argument")?;
-    let elf = load_elf(&path)?;
-    let lib_name = name.unwrap_or_else(|| {
-        std::path::Path::new(&path)
-            .file_name()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or(path.clone())
-    });
-    let analyzer = Analyzer::new(analyzer_options_from_env());
-    let interface = analyzer.analyze_library(&elf, &lib_name, None)?;
-    println!("{}", interface.to_json());
-    Ok(())
-}
-
-fn cmd_phases(args: &[String]) -> CmdResult {
-    let mut path = None;
-    let mut back_propagate = false;
-    for arg in args {
-        match arg.as_str() {
-            "--back-propagate" => back_propagate = true,
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}").into()),
-        }
-    }
-    let path = path.ok_or("missing <elf> argument")?;
-    let elf = load_elf(&path)?;
-    let analyzer = Analyzer::new(analyzer_options_from_env());
-    let analysis = analyzer.analyze_static(&elf)?;
-    let site_sets: HashMap<u64, bside::SyscallSet> = analysis
-        .sites
-        .iter()
-        .map(|s| (s.site, s.syscalls))
-        .collect();
-    let mut automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
-    if back_propagate {
-        automaton.back_propagate();
-    }
-    eprintln!(
-        "# {} phases from {} DFA states; whole-program set: {} syscalls; gain {:.1}%",
-        automaton.phases.len(),
-        automaton.dfa_states,
-        analysis.syscalls.len(),
-        100.0 * automaton.strictness_gain(&analysis.syscalls)
-    );
-    for phase in &automaton.phases {
-        println!(
-            "phase {:>3}: {:>3} syscalls, {:>6} bytes, {} transition target(s)",
-            phase.id,
-            phase.allowed().len(),
-            phase.code_bytes,
-            phase.transitions.len()
-        );
-    }
-    Ok(())
-}
-
-/// The ordered `(name, path)` unit list of a corpus directory: every
-/// regular file, sorted by file name. `gen-corpus` prefixes names with
-/// the corpus index, so lexicographic order is generation order.
-fn corpus_units(
-    dir: &str,
-) -> Result<Vec<(String, std::path::PathBuf)>, Box<dyn std::error::Error>> {
-    let mut units = Vec::new();
-    for entry in std::fs::read_dir(dir).map_err(|e| format!("reading {dir}: {e}"))? {
-        let entry = entry?;
-        if entry.file_type()?.is_file() {
-            let path = entry.path();
-            // Unit paths cross the worker protocol as JSON strings, so a
-            // non-UTF-8 name cannot round-trip; reject it up front rather
-            // than failing the unit with a misleading read error.
-            if path.to_str().is_none() {
-                return Err(format!(
-                    "corpus file {} has a non-UTF-8 name, which the worker protocol cannot carry",
-                    path.display()
-                )
-                .into());
-            }
-            let name = path
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| entry.file_name().to_string_lossy().into_owned());
-            units.push((name, path));
-        }
-    }
-    units.sort();
-    if units.is_empty() {
-        return Err(format!("{dir} contains no corpus binaries").into());
-    }
-    Ok(units)
-}
-
-fn cmd_corpus(args: &[String]) -> CmdResult {
-    let mut dir = None;
-    let mut workers: Option<usize> = None;
-    let mut cache_dir: Option<String> = None;
-    let mut timeout_secs: Option<u64> = None;
-    let mut in_process = false;
-    let mut want_report = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--workers" => {
-                let n: usize = it
-                    .next()
-                    .ok_or("--workers needs N")?
-                    .parse()
-                    .map_err(|_| "--workers needs a positive integer")?;
-                if n == 0 {
-                    return Err("--workers needs a positive integer".into());
-                }
-                workers = Some(n);
-            }
-            "--cache" => cache_dir = Some(it.next().ok_or("--cache needs DIR")?.clone()),
-            "--timeout" => {
-                let secs: u64 = it
-                    .next()
-                    .ok_or("--timeout needs SECS")?
-                    .parse()
-                    .map_err(|_| "--timeout needs a positive integer")?;
-                if secs == 0 {
-                    return Err("--timeout needs a positive integer".into());
-                }
-                timeout_secs = Some(secs);
-            }
-            "--in-process" => in_process = true,
-            "--report" => want_report = true,
-            other if dir.is_none() => dir = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}").into()),
-        }
-    }
-    let dir = dir.ok_or("missing <dir> argument")?;
-    let units = corpus_units(&dir)?;
-
-    if in_process {
-        let ignored: Vec<&str> = [
-            cache_dir.as_ref().map(|_| "--cache"),
-            workers.map(|_| "--workers"),
-            timeout_secs.map(|_| "--timeout"),
-        ]
-        .into_iter()
-        .flatten()
-        .collect();
-        if !ignored.is_empty() {
-            eprintln!(
-                "# note: {} only apply to distributed runs; ignored with --in-process",
-                ignored.join("/")
-            );
-        }
-        // The single-address-space reference path: same report renderer
-        // and same per-unit degradation as the distributed engine (an
-        // unreadable or non-ELF file fails that unit, with the same
-        // message a worker would produce, instead of aborting the run),
-        // so `--report` output is byte-comparable against a distributed
-        // run even over degraded corpora.
-        let mut rows: Vec<Option<Result<bside::BinaryAnalysis, String>>> = Vec::new();
-        rows.resize_with(units.len(), || None);
-        let mut images: Vec<(usize, String, Vec<u8>)> = Vec::new();
-        for (i, (name, path)) in units.iter().enumerate() {
-            let display = path.to_string_lossy();
-            match std::fs::read(path) {
-                Ok(bytes) => images.push((i, name.clone(), bytes)),
-                Err(e) => {
-                    rows[i] = Some(Err(bside::dist::worker::read_error_message(&display, &e)))
-                }
-            }
-        }
-        let mut elfs: Vec<(usize, String, bside::elf::Elf)> = Vec::new();
-        for (i, name, bytes) in &images {
-            match bside::elf::Elf::parse(bytes) {
-                Ok(elf) => elfs.push((*i, name.clone(), elf)),
-                Err(e) => {
-                    let display = units[*i].1.to_string_lossy();
-                    rows[*i] = Some(Err(bside::dist::worker::parse_error_message(&display, &e)));
-                }
-            }
-        }
-        let refs: Vec<(&str, &bside::elf::Elf)> =
-            elfs.iter().map(|(_, n, e)| (n.as_str(), e)).collect();
-        let results = Analyzer::new(analyzer_options_from_env()).analyze_corpus(&refs);
-        for ((i, _, _), (_, result)) in elfs.iter().zip(results) {
-            rows[*i] = Some(result.map_err(|e| e.to_string()));
-        }
-        let rows: Vec<(String, Result<bside::BinaryAnalysis, String>)> = units
-            .iter()
-            .zip(rows)
-            .map(|((name, _), row)| (name.clone(), row.expect("every unit classified")))
-            .collect();
-        if want_report {
-            print!(
-                "{}",
-                bside::dist::report::render_units(
-                    rows.iter()
-                        .map(|(name, r)| (name.as_str(), r.as_ref().map_err(Clone::clone)))
-                )
-            );
-        } else {
-            for (name, result) in &rows {
-                match result {
-                    Ok(a) => println!(
-                        "{name}: {} syscall(s), precise: {}",
-                        a.syscalls.len(),
-                        a.precise
-                    ),
-                    Err(e) => println!("{name}: error: {e}"),
-                }
-            }
-        }
-        let failed = rows.iter().filter(|(_, r)| r.is_err()).count();
-        eprintln!("# in-process: {} binarie(s), {} failed", rows.len(), failed);
-        if failed > 0 {
-            return Err(format!("{failed} corpus unit(s) failed").into());
-        }
-        return Ok(());
-    }
-
-    let run = bside::dist::analyze_corpus_dist(
-        &units,
-        &bside::dist::DistOptions {
-            workers: workers.unwrap_or_else(bside::default_worker_count),
-            analyzer: analyzer_options_from_env(),
-            unit_timeout: std::time::Duration::from_secs(timeout_secs.unwrap_or(60)),
-            cache_dir: cache_dir.map(std::path::PathBuf::from),
-            ..bside::dist::DistOptions::default()
-        },
-    )?;
-    if want_report {
-        print!("{}", bside::dist::report_of_run(&run));
-    } else {
-        for unit in &run.results {
-            let provenance = if unit.from_cache {
-                " (cached)"
-            } else if unit.attempts > 1 {
-                " (retried)"
-            } else {
-                ""
-            };
-            match &unit.result {
-                Ok(a) => println!(
-                    "{}: {} syscall(s), precise: {}{provenance}",
-                    unit.name,
-                    a.syscalls.len(),
-                    a.precise
-                ),
-                Err(f) => println!("{}: error [{}]: {}", unit.name, f.kind, f.message),
-            }
-        }
-    }
-    let s = run.stats;
-    eprintln!(
-        "# distributed: {} unit(s) over {} worker(s): {} cached, {} retried, {} crash(es), {} timeout(s), {} failure(s)",
-        s.units, s.workers, s.cache_hits, s.retries, s.worker_crashes, s.timeouts, s.failures
-    );
-    if s.failures > 0 {
-        return Err(format!("{} corpus unit(s) failed", s.failures).into());
-    }
-    Ok(())
-}
-
-fn cmd_gen_corpus(args: &[String]) -> CmdResult {
-    let mut dir = None;
-    let mut n_static: usize = 16;
-    let mut seed: u64 = bside::gen::corpus::DEFAULT_SEED;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--static" => {
-                n_static = it
-                    .next()
-                    .ok_or("--static needs N")?
-                    .parse()
-                    .map_err(|_| "--static needs a positive integer")?;
-            }
-            "--seed" => {
-                seed = it
-                    .next()
-                    .ok_or("--seed needs N")?
-                    .parse()
-                    .map_err(|_| "--seed needs an integer")?;
-            }
-            other if dir.is_none() => dir = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}").into()),
-        }
-    }
-    let dir = dir.ok_or("missing <out-dir> argument")?;
-    let corpus = bside::gen::corpus::corpus_with_size(seed, n_static, 0, 0);
-    let units = corpus.materialize_static(std::path::Path::new(&dir))?;
-    eprintln!("wrote {} corpus binarie(s) to {dir}", units.len());
-    Ok(())
-}
-
-fn cmd_demo(args: &[String]) -> CmdResult {
-    let out = args.first().ok_or("missing <out-dir> argument")?;
-    std::fs::create_dir_all(out)?;
-    for profile in bside::gen::profiles::all_profiles() {
-        let path = format!("{out}/{}", profile.name);
-        std::fs::write(&path, &profile.program.image)?;
-        eprintln!("wrote {path} ({} bytes)", profile.program.image.len());
-    }
-    // A small shared object as a target for `bside interface`.
-    let lib = bside::gen::generate_library(&bside::gen::LibrarySpec {
-        name: "libdemo.so".into(),
-        exports: vec![
-            bside::gen::ExportSpec {
-                name: "demo_read".into(),
-                syscalls: vec![0],
-                calls: vec![],
-            },
-            bside::gen::ExportSpec {
-                name: "demo_write_close".into(),
-                syscalls: vec![1, 3],
-                calls: vec!["demo_read".into()],
-            },
-        ],
-        wrapper_style: bside::gen::WrapperStyle::Register,
-        base: 0x7000_0000,
-        libs: vec![],
-    });
-    let path = format!("{out}/libdemo.so");
-    std::fs::write(&path, &lib.image)?;
-    eprintln!("wrote {path} ({} bytes)", lib.image.len());
-    Ok(())
+    bside::cli::run(&args)
 }

@@ -18,6 +18,7 @@
 //! | [`symex`] | `bside-symex` | backward-BFS + directed symbolic execution |
 //! | [`core`] | `bside-core` | the analysis pipeline, wrappers, shared interfaces, phases |
 //! | [`dist`] | `bside-dist` | multi-process distributed corpus analysis + result cache |
+//! | [`serve`] | `bside-serve` | policy-distribution daemon, content-addressed policy store, client |
 //! | [`baselines`] | `bside-baselines` | Chestnut / SysFilter reimplementations |
 //! | [`gen`] | `bside-gen` | synthetic ground-truth corpus generator |
 //! | [`filter`] | `bside-filter` | policies, metrics, replay, CVE evaluation |
@@ -44,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use bside_baselines as baselines;
 pub use bside_cfg as cfg;
 pub use bside_core as core;
@@ -51,6 +54,7 @@ pub use bside_dist as dist;
 pub use bside_elf as elf;
 pub use bside_filter as filter;
 pub use bside_gen as gen;
+pub use bside_serve as serve;
 pub use bside_symex as symex;
 pub use bside_syscalls as syscalls;
 pub use bside_x86 as x86;

@@ -121,7 +121,10 @@ impl serde::Serialize for FromWorker {
     }
 }
 
-fn obj_fields(value: Value, what: &str) -> Result<Vec<(String, Value)>, de::ValueError> {
+/// Unwraps a tagged-message [`Value`] into its field list, naming `what`
+/// in the error. Shared with every protocol that speaks this crate's
+/// tagged-object NDJSON style (e.g. `bside-serve`).
+pub fn obj_fields(value: Value, what: &str) -> Result<Vec<(String, Value)>, de::ValueError> {
     match value {
         Value::Object(entries) => Ok(entries),
         other => Err(de::Error::custom(format!(
@@ -130,7 +133,9 @@ fn obj_fields(value: Value, what: &str) -> Result<Vec<(String, Value)>, de::Valu
     }
 }
 
-fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Result<Value, de::ValueError> {
+/// Removes and returns a named field from a message's field list,
+/// erroring when absent.
+pub fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Result<Value, de::ValueError> {
     let pos = entries
         .iter()
         .position(|(k, _)| k == name)

@@ -1,11 +1,14 @@
-//! Classic-BPF seccomp filter generation.
+//! Classic-BPF seccomp filter generation and evaluation.
 //!
 //! The enforcement mechanism the paper targets is Linux seccomp-BPF
 //! (§1, §4.7): the kernel runs a classic-BPF program against each system
 //! call's `seccomp_data` and kills the process on a deny verdict. This
 //! module lowers a [`crate::FilterPolicy`] into such a program — both as
 //! the structured instruction list and as the `libseccomp`-style
-//! disassembly users feed to external tooling.
+//! disassembly users feed to external tooling — and provides an
+//! in-kernel-style evaluator ([`execute`]) that runs any instruction list
+//! against a [`SeccompData`], which is how the policy-distribution
+//! service validates shipped programs end to end.
 
 use crate::FilterPolicy;
 use std::fmt;
@@ -17,10 +20,34 @@ pub const RET_ALLOW: u32 = 0x7fff_0000;
 /// `SECCOMP_RET_KILL_PROCESS`.
 pub const RET_KILL: u32 = 0x8000_0000;
 
+/// The classic-BPF opcodes the evaluator understands — the subset seccomp
+/// filters in the wild are built from (`BPF_LD`, `BPF_JMP`, `BPF_RET`
+/// classes; no scratch memory, no packet extensions).
+pub mod op {
+    /// `BPF_LD | BPF_W | BPF_ABS`: load a 32-bit word of `seccomp_data`.
+    pub const LD_W_ABS: u16 = 0x20;
+    /// `BPF_LD | BPF_IMM`: load the immediate into the accumulator.
+    pub const LD_IMM: u16 = 0x00;
+    /// `BPF_JMP | BPF_JA`: unconditional forward jump by `k`.
+    pub const JMP_JA: u16 = 0x05;
+    /// `BPF_JMP | BPF_JEQ | BPF_K`.
+    pub const JMP_JEQ_K: u16 = 0x15;
+    /// `BPF_JMP | BPF_JGT | BPF_K`.
+    pub const JMP_JGT_K: u16 = 0x25;
+    /// `BPF_JMP | BPF_JGE | BPF_K`.
+    pub const JMP_JGE_K: u16 = 0x35;
+    /// `BPF_JMP | BPF_JSET | BPF_K`.
+    pub const JMP_JSET_K: u16 = 0x45;
+    /// `BPF_RET | BPF_K`: return the immediate verdict.
+    pub const RET_K: u16 = 0x06;
+    /// `BPF_RET | BPF_A`: return the accumulator.
+    pub const RET_A: u16 = 0x16;
+}
+
 /// One classic-BPF instruction (`struct sock_filter`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BpfInsn {
-    /// Opcode (`BPF_LD|BPF_W|BPF_ABS`, `BPF_JMP|BPF_JEQ|BPF_K`, `BPF_RET|BPF_K`).
+    /// Opcode (see [`op`]).
     pub code: u16,
     /// Jump-true offset.
     pub jt: u8,
@@ -30,17 +57,171 @@ pub struct BpfInsn {
     pub k: u32,
 }
 
-const LD_W_ABS: u16 = 0x20;
-const JMP_JEQ_K: u16 = 0x15;
-const RET_K: u16 = 0x06;
-
 impl fmt::Display for BpfInsn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.code {
-            LD_W_ABS => write!(f, "ld  [{}]", self.k),
-            JMP_JEQ_K => write!(f, "jeq #{:#x}, +{}, +{}", self.k, self.jt, self.jf),
-            RET_K => write!(f, "ret #{:#x}", self.k),
+            op::LD_W_ABS => write!(f, "ld  [{}]", self.k),
+            op::LD_IMM => write!(f, "ld  #{:#x}", self.k),
+            op::JMP_JA => write!(f, "ja  +{}", self.k),
+            op::JMP_JEQ_K => write!(f, "jeq #{:#x}, +{}, +{}", self.k, self.jt, self.jf),
+            op::JMP_JGT_K => write!(f, "jgt #{:#x}, +{}, +{}", self.k, self.jt, self.jf),
+            op::JMP_JGE_K => write!(f, "jge #{:#x}, +{}, +{}", self.k, self.jt, self.jf),
+            op::JMP_JSET_K => write!(f, "jset #{:#x}, +{}, +{}", self.k, self.jt, self.jf),
+            op::RET_K => write!(f, "ret #{:#x}", self.k),
+            op::RET_A => write!(f, "ret A"),
             other => write!(f, ".raw code={other:#x} k={:#x}", self.k),
+        }
+    }
+}
+
+/// The kernel's `struct seccomp_data`: what a seccomp-BPF program reads.
+///
+/// Loads address the struct's little-endian byte image in 32-bit words,
+/// exactly as `BPF_LD | BPF_W | BPF_ABS` does in the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeccompData {
+    /// System call number.
+    pub nr: u32,
+    /// `AUDIT_ARCH_*` of the calling process.
+    pub arch: u32,
+    /// Instruction pointer at the time of the call.
+    pub instruction_pointer: u64,
+    /// The six system-call arguments.
+    pub args: [u64; 6],
+}
+
+/// Byte size of `struct seccomp_data`; loads beyond it are rejected.
+pub const SECCOMP_DATA_SIZE: u32 = 64;
+
+impl SeccompData {
+    /// Data for an `(arch, nr)` probe — the decision-relevant fields of a
+    /// pure allow-list filter.
+    pub fn new(arch: u32, nr: u32) -> SeccompData {
+        SeccompData {
+            nr,
+            arch,
+            ..SeccompData::default()
+        }
+    }
+
+    /// The 32-bit word at byte `offset`, or `None` when the load is
+    /// misaligned or out of bounds (the kernel verifier rejects such
+    /// programs outright; the evaluator reports them per instruction).
+    pub fn load(&self, offset: u32) -> Option<u32> {
+        // `offset >= SIZE` (not `offset + 4 > SIZE`): the addition would
+        // wrap for wire-supplied offsets near `u32::MAX` and let the
+        // bounds check pass. 4-aligned and in-bounds implies the whole
+        // word fits.
+        if !offset.is_multiple_of(4) || offset >= SECCOMP_DATA_SIZE {
+            return None;
+        }
+        let lo = |v: u64| v as u32;
+        let hi = |v: u64| (v >> 32) as u32;
+        Some(match offset {
+            0 => self.nr,
+            4 => self.arch,
+            8 => lo(self.instruction_pointer),
+            12 => hi(self.instruction_pointer),
+            _ => {
+                let arg = self.args[((offset - 16) / 8) as usize];
+                if offset.is_multiple_of(8) {
+                    lo(arg)
+                } else {
+                    hi(arg)
+                }
+            }
+        })
+    }
+}
+
+/// Why [`execute`] rejected a program. These are verifier-class defects:
+/// the kernel would refuse to install such a filter, so the evaluator
+/// reports them as errors rather than inventing a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BpfEvalError {
+    /// Control flow ran past the end of the program (missing `ret`, or a
+    /// jump target beyond the last instruction).
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: usize,
+    },
+    /// An opcode outside the supported seccomp subset.
+    UnknownOpcode {
+        /// Location of the instruction.
+        pc: usize,
+        /// The unrecognized opcode.
+        code: u16,
+    },
+    /// A load outside (or misaligned within) `struct seccomp_data`.
+    LoadOutOfRange {
+        /// Location of the instruction.
+        pc: usize,
+        /// The offending byte offset.
+        offset: u32,
+    },
+}
+
+impl fmt::Display for BpfEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpfEvalError::PcOutOfRange { pc } => {
+                write!(f, "program counter {pc} ran past the end of the program")
+            }
+            BpfEvalError::UnknownOpcode { pc, code } => {
+                write!(f, "unknown opcode {code:#x} at instruction {pc}")
+            }
+            BpfEvalError::LoadOutOfRange { pc, offset } => write!(
+                f,
+                "load at byte offset {offset} outside seccomp_data at instruction {pc}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BpfEvalError {}
+
+/// Executes a classic-BPF instruction list against one `seccomp_data`,
+/// returning the `SECCOMP_RET_*` verdict.
+///
+/// This mirrors the kernel's interpreter over the seccomp opcode subset
+/// ([`op`]): every malformed construct the verifier would reject —
+/// running off the end, unknown opcodes, loads outside the data — comes
+/// back as a [`BpfEvalError`] instead of a panic, so the evaluator is
+/// safe to run against programs received over the wire. Classic BPF
+/// jumps are forward-only, so every program either returns or errors
+/// within `insns.len()` steps; the evaluator cannot loop.
+pub fn execute(insns: &[BpfInsn], data: &SeccompData) -> Result<u32, BpfEvalError> {
+    let mut acc = 0u32;
+    let mut pc = 0usize;
+    loop {
+        let insn = *insns.get(pc).ok_or(BpfEvalError::PcOutOfRange { pc })?;
+        let branch = |taken: bool| {
+            pc + 1
+                + if taken {
+                    insn.jt as usize
+                } else {
+                    insn.jf as usize
+                }
+        };
+        match insn.code {
+            op::LD_W_ABS => {
+                acc = data
+                    .load(insn.k)
+                    .ok_or(BpfEvalError::LoadOutOfRange { pc, offset: insn.k })?;
+                pc += 1;
+            }
+            op::LD_IMM => {
+                acc = insn.k;
+                pc += 1;
+            }
+            op::JMP_JA => pc = pc + 1 + insn.k as usize,
+            op::JMP_JEQ_K => pc = branch(acc == insn.k),
+            op::JMP_JGT_K => pc = branch(acc > insn.k),
+            op::JMP_JGE_K => pc = branch(acc >= insn.k),
+            op::JMP_JSET_K => pc = branch(acc & insn.k != 0),
+            op::RET_K => return Ok(insn.k),
+            op::RET_A => return Ok(acc),
+            code => return Err(BpfEvalError::UnknownOpcode { pc, code }),
         }
     }
 }
@@ -76,46 +257,46 @@ impl BpfProgram {
         let mut insns = Vec::with_capacity(2 * numbers.len() + 5);
         // Architecture pinning.
         insns.push(BpfInsn {
-            code: LD_W_ABS,
+            code: op::LD_W_ABS,
             jt: 0,
             jf: 0,
             k: 4,
         });
         insns.push(BpfInsn {
-            code: JMP_JEQ_K,
+            code: op::JMP_JEQ_K,
             jt: 1,
             jf: 0,
             k: AUDIT_ARCH_X86_64,
         });
         insns.push(BpfInsn {
-            code: RET_K,
+            code: op::RET_K,
             jt: 0,
             jf: 0,
             k: RET_KILL,
         });
         // Syscall number dispatch.
         insns.push(BpfInsn {
-            code: LD_W_ABS,
+            code: op::LD_W_ABS,
             jt: 0,
             jf: 0,
             k: 0,
         });
         for nr in &numbers {
             insns.push(BpfInsn {
-                code: JMP_JEQ_K,
+                code: op::JMP_JEQ_K,
                 jt: 0,
                 jf: 1,
                 k: *nr,
             });
             insns.push(BpfInsn {
-                code: RET_K,
+                code: op::RET_K,
                 jt: 0,
                 jf: 0,
                 k: RET_ALLOW,
             });
         }
         insns.push(BpfInsn {
-            code: RET_K,
+            code: op::RET_K,
             jt: 0,
             jf: 0,
             k: RET_KILL,
@@ -125,31 +306,15 @@ impl BpfProgram {
 
     /// Interprets the program against `(arch, nr)` and returns the
     /// verdict — used to verify the lowering against the policy.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed program. Programs built by [`Self::from_policy`]
+    /// are well-formed by construction; to evaluate untrusted instruction
+    /// lists (e.g. received over the wire), call [`execute`] directly and
+    /// handle the error.
     pub fn run(&self, arch: u32, nr: u32) -> u32 {
-        let mut acc = 0u32;
-        let mut pc = 0usize;
-        loop {
-            let insn = self.insns[pc];
-            match insn.code {
-                LD_W_ABS => {
-                    acc = match insn.k {
-                        0 => nr,
-                        4 => arch,
-                        _ => 0,
-                    };
-                    pc += 1;
-                }
-                JMP_JEQ_K => {
-                    pc += 1 + if acc == insn.k {
-                        insn.jt as usize
-                    } else {
-                        insn.jf as usize
-                    };
-                }
-                RET_K => return insn.k,
-                other => panic!("unknown BPF opcode {other:#x}"),
-            }
-        }
+        execute(&self.insns, &SeccompData::new(arch, nr)).expect("malformed BPF program")
     }
 
     /// The `libseccomp`-style disassembly listing.
@@ -166,6 +331,8 @@ impl BpfProgram {
 mod tests {
     use super::*;
     use bside_syscalls::{well_known as wk, SyscallSet};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     fn policy(names: &[&str]) -> FilterPolicy {
         let allowed: SyscallSet = names
@@ -225,5 +392,255 @@ mod tests {
         for insn in &big.insns {
             assert!(insn.jt <= 1 && insn.jf <= 1);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluator properties: the build environment has no proptest, so
+    // these quantify over a seeded uniform sample of the policy space
+    // (failures print the case index for replay).
+    // ------------------------------------------------------------------
+
+    const CASES: u64 = 48;
+
+    fn random_policy(rng: &mut SmallRng) -> FilterPolicy {
+        let density = rng.gen_range(1u32..100);
+        let allowed: SyscallSet = bside_syscalls::table::iter()
+            .filter(|_| rng.gen_range(0u32..100) < density)
+            .map(|(nr, _)| bside_syscalls::Sysno::new(nr).expect("table nr"))
+            .collect();
+        FilterPolicy::allow_only("prop", allowed)
+    }
+
+    #[test]
+    fn evaluator_agrees_with_policy_decision_on_random_policies() {
+        for case in 0..CASES {
+            let mut rng = SmallRng::seed_from_u64(0xB51D_BF00 ^ case);
+            let policy = random_policy(&mut rng);
+            let prog = BpfProgram::from_policy(&policy);
+            for (nr, _) in bside_syscalls::table::iter() {
+                let sysno = bside_syscalls::Sysno::new(nr).expect("table nr");
+                let verdict = execute(&prog.insns, &SeccompData::new(AUDIT_ARCH_X86_64, nr))
+                    .expect("well-formed program");
+                let expected = if policy.permits(sysno) {
+                    RET_ALLOW
+                } else {
+                    RET_KILL
+                };
+                assert_eq!(verdict, expected, "case {case}, syscall {sysno}");
+            }
+            // Numbers outside the known table must always be killed.
+            for _ in 0..64 {
+                let nr = rng.gen_range(0u32..=u32::MAX);
+                let expected = if policy.allowed.iter().any(|s| s.raw() == nr) {
+                    RET_ALLOW
+                } else {
+                    RET_KILL
+                };
+                let verdict = execute(&prog.insns, &SeccompData::new(AUDIT_ARCH_X86_64, nr))
+                    .expect("well-formed program");
+                assert_eq!(verdict, expected, "case {case}, raw nr {nr}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_kills_every_non_x86_64_architecture() {
+        for case in 0..CASES {
+            let mut rng = SmallRng::seed_from_u64(0xA5C4 ^ case);
+            let policy = random_policy(&mut rng);
+            let prog = BpfProgram::from_policy(&policy);
+            for _ in 0..32 {
+                let arch = rng.gen_range(0u32..=u32::MAX);
+                if arch == AUDIT_ARCH_X86_64 {
+                    continue;
+                }
+                let nr = rng.gen_range(0u32..512);
+                let verdict =
+                    execute(&prog.insns, &SeccompData::new(arch, nr)).expect("well-formed program");
+                assert_eq!(verdict, RET_KILL, "case {case}, arch {arch:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_reads_every_seccomp_data_field() {
+        let data = SeccompData {
+            nr: 1,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: 0x1122_3344_5566_7788,
+            args: [0xaaaa_bbbb_cccc_dddd, 1, 2, 3, 4, 0xffff_eeee_0000_9999],
+        };
+        let probe = |offset: u32| {
+            execute(
+                &[
+                    BpfInsn {
+                        code: op::LD_W_ABS,
+                        jt: 0,
+                        jf: 0,
+                        k: offset,
+                    },
+                    BpfInsn {
+                        code: op::RET_A,
+                        jt: 0,
+                        jf: 0,
+                        k: 0,
+                    },
+                ],
+                &data,
+            )
+            .expect("in-bounds load")
+        };
+        assert_eq!(probe(0), 1, "nr");
+        assert_eq!(probe(4), AUDIT_ARCH_X86_64, "arch");
+        assert_eq!(probe(8), 0x5566_7788, "ip low");
+        assert_eq!(probe(12), 0x1122_3344, "ip high");
+        assert_eq!(probe(16), 0xcccc_dddd, "args[0] low");
+        assert_eq!(probe(20), 0xaaaa_bbbb, "args[0] high");
+        assert_eq!(probe(56), 0x0000_9999, "args[5] low");
+        assert_eq!(probe(60), 0xffff_eeee, "args[5] high");
+    }
+
+    #[test]
+    fn malformed_programs_error_instead_of_panicking() {
+        // nr 1000 matches no allow-list entry, so control flow reaches
+        // the (removed) final kill instruction.
+        let data = SeccompData::new(AUDIT_ARCH_X86_64, 1000);
+        // Truncated program: control flow runs off the end.
+        let mut truncated = BpfProgram::from_policy(&policy(&["read"])).insns;
+        truncated.pop();
+        let pc = truncated.len();
+        assert_eq!(
+            execute(&truncated, &data).expect_err("must not panic"),
+            BpfEvalError::PcOutOfRange { pc }
+        );
+        // Empty program.
+        assert_eq!(
+            execute(&[], &data).expect_err("empty"),
+            BpfEvalError::PcOutOfRange { pc: 0 }
+        );
+        // Unknown opcode.
+        let bogus = BpfInsn {
+            code: 0x87,
+            jt: 0,
+            jf: 0,
+            k: 0,
+        };
+        assert_eq!(
+            execute(&[bogus], &data).expect_err("bogus opcode"),
+            BpfEvalError::UnknownOpcode { pc: 0, code: 0x87 }
+        );
+        // Misaligned and out-of-bounds loads — including the 4-aligned
+        // offset near u32::MAX whose `offset + 4` would wrap to 0 and
+        // sneak past a naive bounds check into an args[] panic.
+        for offset in [2u32, 61, 64, 1000, u32::MAX - 3, u32::MAX] {
+            let load = BpfInsn {
+                code: op::LD_W_ABS,
+                jt: 0,
+                jf: 0,
+                k: offset,
+            };
+            assert_eq!(
+                execute(&[load], &data).expect_err("bad load"),
+                BpfEvalError::LoadOutOfRange { pc: 0, offset }
+            );
+        }
+        // A huge unconditional jump lands out of range.
+        let ja = BpfInsn {
+            code: op::JMP_JA,
+            jt: 0,
+            jf: 0,
+            k: 1_000_000,
+        };
+        assert_eq!(
+            execute(&[ja], &data).expect_err("jump out of range"),
+            BpfEvalError::PcOutOfRange { pc: 1_000_001 }
+        );
+    }
+
+    #[test]
+    fn extended_opcodes_evaluate() {
+        let data = SeccompData::new(AUDIT_ARCH_X86_64, 0x33);
+        // ld nr; jge 0x30 ? jset 0x3 ? ret nr : ret 0 : ret KILL
+        let prog = [
+            BpfInsn {
+                code: op::LD_W_ABS,
+                jt: 0,
+                jf: 0,
+                k: 0,
+            },
+            BpfInsn {
+                code: op::JMP_JGE_K,
+                jt: 0,
+                jf: 2,
+                k: 0x30,
+            },
+            BpfInsn {
+                code: op::JMP_JSET_K,
+                jt: 0,
+                jf: 1,
+                k: 0x3,
+            },
+            BpfInsn {
+                code: op::RET_A,
+                jt: 0,
+                jf: 0,
+                k: 0,
+            },
+            BpfInsn {
+                code: op::RET_K,
+                jt: 0,
+                jf: 0,
+                k: RET_KILL,
+            },
+        ];
+        assert_eq!(execute(&prog, &data).unwrap(), 0x33);
+        assert_eq!(
+            execute(&prog, &SeccompData::new(AUDIT_ARCH_X86_64, 0x2f)).unwrap(),
+            RET_KILL,
+            "below the jge bound"
+        );
+        assert_eq!(
+            execute(&prog, &SeccompData::new(AUDIT_ARCH_X86_64, 0x30)).unwrap(),
+            RET_KILL,
+            "jge holds but jset bits clear"
+        );
+        // jgt is strict; ja skips; ld imm loads.
+        let prog = [
+            BpfInsn {
+                code: op::LD_IMM,
+                jt: 0,
+                jf: 0,
+                k: 7,
+            },
+            BpfInsn {
+                code: op::JMP_JGT_K,
+                jt: 1,
+                jf: 0,
+                k: 7,
+            },
+            BpfInsn {
+                code: op::JMP_JA,
+                jt: 0,
+                jf: 0,
+                k: 1,
+            },
+            BpfInsn {
+                code: op::RET_K,
+                jt: 0,
+                jf: 0,
+                k: 1,
+            },
+            BpfInsn {
+                code: op::RET_A,
+                jt: 0,
+                jf: 0,
+                k: 0,
+            },
+        ];
+        assert_eq!(
+            execute(&prog, &data).unwrap(),
+            7,
+            "7 > 7 is false; ja skips the ret #1"
+        );
     }
 }

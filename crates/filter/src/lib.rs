@@ -6,7 +6,8 @@
 //! the policy side of the paper:
 //!
 //! * [`FilterPolicy`] — a whole-program allow-list with a seccomp-like
-//!   decision function and JSON export;
+//!   decision function, serialized via [`wire`] (the exchange format for
+//!   an external enforcement agent);
 //! * [`PhasePolicy`] — per-phase allow-lists derived from a
 //!   [`bside_core::phase::PhaseAutomaton`], with the automaton's
 //!   transition structure driving phase switches at enforcement time;
@@ -40,6 +41,7 @@ pub mod bpf;
 pub mod cve_eval;
 pub mod metrics;
 pub mod replay;
+pub mod wire;
 
 use bside_core::phase::PhaseAutomaton;
 use bside_syscalls::{SyscallSet, Sysno};
@@ -73,21 +75,6 @@ impl FilterPolicy {
     pub fn denied_count(&self) -> usize {
         SyscallSet::all_known().difference(&self.allowed).len()
     }
-
-    /// Serializes the policy to JSON (the exchange format for an external
-    /// enforcement agent).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("policy serializes")
-    }
-
-    /// Parses a policy back from JSON.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying `serde_json` error.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
-    }
 }
 
 /// A temporal (phase-based) policy: one allow-list per phase, plus the
@@ -103,14 +90,6 @@ pub struct PhasePolicy {
     /// The initial phase.
     pub initial: usize,
 }
-
-serde::impl_serde_struct!(FilterPolicy { binary, allowed });
-serde::impl_serde_struct!(PhasePolicy {
-    binary,
-    phases,
-    transitions,
-    initial
-});
 
 impl PhasePolicy {
     /// Derives a phase policy from a phase automaton.
@@ -204,13 +183,6 @@ mod tests {
         assert!(p.permits(wk::READ));
         assert!(!p.permits(wk::EXECVE));
         assert_eq!(p.denied_count(), SyscallSet::all_known().len() - 2);
-    }
-
-    #[test]
-    fn policy_json_round_trip() {
-        let p = FilterPolicy::allow_only("t", set(&["read", "openat"]));
-        let back = FilterPolicy::from_json(&p.to_json()).expect("parses");
-        assert_eq!(p, back);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! The serialized policy wire format.
+//!
+//! Policies are what leaves the analyzer — the exchange artifact between
+//! the analysis pipeline and an enforcement point — so every policy
+//! observable (de)serializes through `serde` in the same style as the
+//! analysis wire format (`bside_core::wire`): [`FilterPolicy`] and
+//! [`PhasePolicy`] as plain field objects, [`BpfInsn`]/[`BpfProgram`] as
+//! the structured lowering the `bside-serve` policy-distribution daemon
+//! ships to clients. `serde_json::to_string`/`from_str` over these types
+//! *is* the wire format; there is no separate hand-rolled JSON path.
+
+use crate::bpf::{BpfInsn, BpfProgram};
+use crate::{FilterPolicy, PhasePolicy};
+
+serde::impl_serde_struct!(FilterPolicy { binary, allowed });
+
+serde::impl_serde_struct!(PhasePolicy {
+    binary,
+    phases,
+    transitions,
+    initial
+});
+
+serde::impl_serde_struct!(BpfInsn { code, jt, jf, k });
+
+serde::impl_serde_struct!(BpfProgram { insns });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::{well_known as wk, SyscallSet, Sysno};
+
+    fn set(names: &[&str]) -> SyscallSet {
+        names.iter().filter_map(|n| Sysno::from_name(n)).collect()
+    }
+
+    #[test]
+    fn filter_policy_json_round_trip() {
+        let p = FilterPolicy::allow_only("t", set(&["read", "openat", "exit_group"]));
+        let json = serde_json::to_string(&p).expect("serializes");
+        let back: FilterPolicy = serde_json::from_str(&json).expect("parses");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn phase_policy_json_round_trip() {
+        let p = PhasePolicy {
+            binary: "t".into(),
+            phases: vec![set(&["open"]), set(&["read", "write"])],
+            transitions: vec![vec![(wk::OPEN, 1)], vec![]],
+            initial: 0,
+        };
+        let json = serde_json::to_string(&p).expect("serializes");
+        let back: PhasePolicy = serde_json::from_str(&json).expect("parses");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn bpf_program_json_round_trip_preserves_every_instruction() {
+        let policy = FilterPolicy::allow_only("t", set(&["read", "write", "mmap"]));
+        let prog = BpfProgram::from_policy(&policy);
+        let json = serde_json::to_string(&prog).expect("serializes");
+        let back: BpfProgram = serde_json::from_str(&json).expect("parses");
+        assert_eq!(prog, back);
+        // The round-tripped program still evaluates like the policy — the
+        // property the serve round-trip test relies on.
+        for (nr, _) in bside_syscalls::table::iter() {
+            assert_eq!(
+                prog.run(crate::bpf::AUDIT_ARCH_X86_64, nr),
+                back.run(crate::bpf::AUDIT_ARCH_X86_64, nr),
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_policy_json_is_an_error() {
+        assert!(serde_json::from_str::<FilterPolicy>("{\"binary\":\"x\"}").is_err());
+        assert!(serde_json::from_str::<FilterPolicy>("[]").is_err());
+        // An out-of-table syscall number must not deserialize.
+        assert!(
+            serde_json::from_str::<FilterPolicy>("{\"binary\":\"x\",\"allowed\":[99999]}").is_err()
+        );
+    }
+}

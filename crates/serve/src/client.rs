@@ -1,0 +1,172 @@
+//! The client library: what an enforcement agent (or the `bside policy`
+//! CLI) links to talk to the daemon.
+
+use crate::net::{Conn, Endpoint};
+use crate::protocol::{
+    read_message, write_message, PolicyBundle, Reply, Request, Source, StatsSnapshot,
+    PROTOCOL_VERSION,
+};
+use std::fmt;
+use std::io::BufReader;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure (connect, read, write, unexpected EOF).
+    Io(std::io::Error),
+    /// The peer broke protocol (bad hello, wrong reply shape).
+    Protocol(String),
+    /// The server answered with an in-band error reply.
+    Server(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol: {m}"),
+            ServeError::Server(m) => write!(f, "server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A fetched policy: the bundle plus its provenance metadata.
+#[derive(Debug, Clone)]
+pub struct PolicyFetch {
+    /// The bundle's content address in the server's store.
+    pub key: String,
+    /// `Store` when served without re-analysis, `Analyzed` when this
+    /// request ran the pipeline — the cache-observability contract.
+    pub source: Source,
+    /// The policy bundle.
+    pub bundle: PolicyBundle,
+}
+
+/// One connection to a policy server. Connections are cheap and
+/// reusable: issue any number of requests before dropping.
+pub struct PolicyClient {
+    writer: Conn,
+    reader: BufReader<Conn>,
+}
+
+impl PolicyClient {
+    /// Dials the endpoint and verifies the server's protocol version.
+    /// Reads block indefinitely — right for batch callers where a slow
+    /// answer (a cold analysis, a saturated daemon working the backlog)
+    /// is still a wanted answer. Interactive callers should prefer
+    /// [`Self::connect_with`].
+    pub fn connect(endpoint: &Endpoint) -> Result<PolicyClient, ServeError> {
+        Self::connect_with(endpoint, None)
+    }
+
+    /// [`Self::connect`] with a per-read budget: every read — including
+    /// the initial hello, which a saturated daemon only sends once a
+    /// pool worker picks the connection up — fails with a timeout error
+    /// instead of hanging past `read_timeout`.
+    pub fn connect_with(
+        endpoint: &Endpoint,
+        read_timeout: Option<std::time::Duration>,
+    ) -> Result<PolicyClient, ServeError> {
+        let conn = Conn::connect(endpoint)?;
+        conn.set_read_timeout(read_timeout)?;
+        let writer = conn.try_clone()?;
+        let mut reader = BufReader::new(conn);
+        match read_message::<Reply>(&mut reader)? {
+            Some(Reply::Hello { version }) if version == PROTOCOL_VERSION => {
+                Ok(PolicyClient { writer, reader })
+            }
+            Some(Reply::Hello { version }) => Err(ServeError::Protocol(format!(
+                "server speaks protocol v{version}, expected v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(ServeError::Protocol(format!(
+                "expected hello, got {other:?}"
+            ))),
+        }
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Reply, ServeError> {
+        write_message(&mut self.writer, request)?;
+        match read_message::<Reply>(&mut self.reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            ))),
+        }
+    }
+
+    fn expect_policy(reply: Reply) -> Result<PolicyFetch, ServeError> {
+        match reply {
+            Reply::Policy {
+                key,
+                source,
+                bundle,
+            } => Ok(PolicyFetch {
+                key,
+                source,
+                bundle: *bundle,
+            }),
+            Reply::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected policy reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the policy for the binary at `path` (a path on the
+    /// *server's* filesystem; analyze on store miss).
+    pub fn fetch_path(&mut self, path: &str) -> Result<PolicyFetch, ServeError> {
+        let reply = self.call(&Request::Policy {
+            path: path.to_string(),
+        })?;
+        Self::expect_policy(reply)
+    }
+
+    /// Fetches the stored policy under a content address (no analysis).
+    pub fn fetch_key(&mut self, key: &str) -> Result<PolicyFetch, ServeError> {
+        let reply = self.call(&Request::PolicyByKey {
+            key: key.to_string(),
+        })?;
+        Self::expect_policy(reply)
+    }
+
+    /// The server's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats { stats } => Ok(stats),
+            Reply::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected stats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully; returns once the server
+    /// has acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected shutdown acknowledgment, got {other:?}"
+            ))),
+        }
+    }
+}

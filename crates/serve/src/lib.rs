@@ -1,0 +1,158 @@
+//! # `bside-serve`: the policy-distribution service
+//!
+//! The paper's end product is a seccomp policy per binary; its
+//! deployment story (§1, §4.7) assumes something hands that policy to
+//! the enforcement point — exactly the middleware gap container runtimes
+//! hit at pod launch. This crate turns the analyzer into that always-on
+//! layer: a long-running daemon that answers *"give me the seccomp
+//! policy for this binary"* over a socket.
+//!
+//! * a **content-addressed policy store** ([`store`]) keyed by the
+//!   `bside_dist::cache` SHA-256 scheme (elf bytes ‖ options
+//!   fingerprint), holding [`FilterPolicy`]/[`PhasePolicy`] plus the
+//!   lowered classic-BPF program, in memory and optionally on disk;
+//! * a versioned **NDJSON request/response protocol** ([`protocol`])
+//!   over Unix-domain or TCP sockets ([`net`]), with explicit framing
+//!   and in-band error replies;
+//! * a **thread-pool server** ([`server`]) with graceful shutdown and
+//!   per-connection panic isolation;
+//! * an **analyze-on-miss** path: an unknown binary is analyzed
+//!   in-process, its bundle stored, and every later fetch — from any
+//!   client — served from the store (observable via the reply's
+//!   `source` metadata);
+//! * a **client library** ([`client`]) the `bside serve` / `bside
+//!   policy` CLI subcommands and embedding enforcement agents use.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bside_serve::{Endpoint, PolicyClient, PolicyServer, ServeOptions};
+//!
+//! let endpoint = Endpoint::parse("/run/bside.sock");
+//! let server = PolicyServer::spawn(&endpoint, ServeOptions::default())?;
+//! let mut client = PolicyClient::connect(server.endpoint())?;
+//! let fetch = client.fetch_path("/usr/bin/redis-server").expect("policy");
+//! println!("{} syscalls allowed", fetch.bundle.policy.allowed.len());
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::{PolicyClient, PolicyFetch, ServeError};
+pub use net::{Conn, Endpoint};
+pub use protocol::{PolicyBundle, Reply, Request, Source, StatsSnapshot, PROTOCOL_VERSION};
+pub use server::{PolicyServer, ServeOptions, ServerHandle};
+pub use store::PolicyStore;
+
+use bside_core::phase::{detect_phases, PhaseOptions};
+use bside_core::{Analyzer, AnalyzerOptions};
+use bside_filter::bpf::BpfProgram;
+use bside_filter::{FilterPolicy, PhasePolicy};
+use bside_syscalls::SyscallSet;
+use std::collections::HashMap;
+
+/// The display name a path's policy is derived under: the file stem
+/// (matching the corpus unit-naming convention), falling back to the
+/// whole path when there is none.
+pub fn binary_name(path: &std::path::Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string_lossy().into_owned())
+}
+
+/// Derives the full policy bundle for one static ELF: whole-program
+/// allow-list, phase refinement, and the classic-BPF lowering.
+///
+/// This is the one derivation both sides of the wire share: the daemon's
+/// analyze-on-miss path calls it, and tests call it locally to prove a
+/// fetched bundle is byte-identical to a local derivation.
+///
+/// # Errors
+///
+/// A human-readable message (the error-reply payload) when the bytes are
+/// not a parseable static ELF or the analysis fails.
+pub fn derive_bundle(
+    name: &str,
+    elf_bytes: &[u8],
+    options: &AnalyzerOptions,
+) -> Result<PolicyBundle, String> {
+    let elf = bside_elf::Elf::parse(elf_bytes).map_err(|e| format!("parsing {name}: {e}"))?;
+    if !elf.needed_libraries().is_empty() {
+        return Err(format!(
+            "{name} is dynamically linked; the policy service serves static binaries \
+             (analyze it with library interfaces via `bside analyze` instead)"
+        ));
+    }
+    let analysis = Analyzer::new(options.clone())
+        .analyze_static(&elf)
+        .map_err(|e| e.to_string())?;
+    let site_sets: HashMap<u64, SyscallSet> = analysis
+        .sites
+        .iter()
+        .map(|s| (s.site, s.syscalls))
+        .collect();
+    let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
+    let policy = FilterPolicy::allow_only(name, analysis.syscalls);
+    let phases = PhasePolicy::from_automaton(name, &automaton);
+    let bpf = BpfProgram::from_policy(&policy);
+    Ok(PolicyBundle {
+        binary: name.to_string(),
+        policy,
+        phases,
+        bpf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_name_uses_the_file_stem() {
+        assert_eq!(
+            binary_name(std::path::Path::new("/corpus/0003_redis.elf")),
+            "0003_redis"
+        );
+        assert_eq!(binary_name(std::path::Path::new("plain")), "plain");
+    }
+
+    #[test]
+    fn derive_bundle_is_deterministic_and_consistent() {
+        let profile = bside_gen::profiles::lighttpd();
+        let options = AnalyzerOptions::default();
+        let a = derive_bundle("lighttpd", &profile.program.image, &options).expect("derives");
+        let b = derive_bundle("lighttpd", &profile.program.image, &options).expect("derives");
+        assert_eq!(a, b, "same bytes, same bundle");
+        assert_eq!(a.policy.allowed, a.bpf_allowed_set(), "bpf matches policy");
+    }
+
+    #[test]
+    fn derive_bundle_rejects_garbage_and_reports_parsing() {
+        let err = derive_bundle("junk", b"not an elf", &AnalyzerOptions::default())
+            .expect_err("must fail");
+        assert!(err.contains("parsing junk"), "got: {err}");
+    }
+
+    impl PolicyBundle {
+        /// Test helper: the allow-set the lowered program actually
+        /// accepts, recovered by evaluating it over the known table.
+        fn bpf_allowed_set(&self) -> SyscallSet {
+            use bside_filter::bpf::{execute, SeccompData, AUDIT_ARCH_X86_64, RET_ALLOW};
+            bside_syscalls::table::iter()
+                .filter(|(nr, _)| {
+                    execute(&self.bpf.insns, &SeccompData::new(AUDIT_ARCH_X86_64, *nr))
+                        == Ok(RET_ALLOW)
+                })
+                .map(|(nr, _)| bside_syscalls::Sysno::new(nr).expect("table nr"))
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Transport endpoints: Unix-domain sockets and TCP, std only.
+//!
+//! The daemon listens on exactly one [`Endpoint`]; clients connect to
+//! the same value. Unix sockets are the container/pod-launch deployment
+//! (a path the runtime mounts into the enforcement agent); TCP is the
+//! fleet deployment (one analysis service per rack answering many
+//! hosts). [`Conn`] erases the difference for the protocol layer.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the policy service listens (or where a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP socket at this `host:port` address. Binding `…:0` picks an
+    /// ephemeral port; the server handle reports the resolved address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses a CLI-style endpoint spec: `tcp:HOST:PORT` is TCP,
+    /// `unix:PATH` or a bare path is a Unix socket.
+    pub fn parse(spec: &str) -> Endpoint {
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_string())
+        } else if let Some(path) = spec.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else {
+            Endpoint::Unix(PathBuf::from(spec))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A listening socket on either transport.
+pub(crate) enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds the endpoint. A Unix path with no live listener behind it
+    /// (a previous daemon died without cleanup) is removed and rebound;
+    /// a path a live daemon answers on is refused as `AddrInUse`.
+    pub(crate) fn bind(endpoint: &Endpoint) -> std::io::Result<(Listener, Endpoint)> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("{} already has a live listener", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                Ok((Listener::Unix(listener), endpoint.clone()))
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let resolved = Endpoint::Tcp(listener.local_addr()?.to_string());
+                Ok((Listener::Tcp(listener), resolved))
+            }
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+/// One accepted or dialed connection on either transport.
+#[derive(Debug)]
+pub enum Conn {
+    /// A Unix-domain stream.
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Dials the endpoint.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Conn> {
+        match endpoint {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+        }
+    }
+
+    /// A second handle onto the same socket (separate read/write halves).
+    pub fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    /// Bounds how long a read may block.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Removes a Unix socket file if the endpoint is one (listener teardown).
+pub(crate) fn cleanup(endpoint: &Endpoint) {
+    if let Endpoint::Unix(path) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// `true` when an I/O error is a read-timeout expiry rather than a real
+/// failure (the two kinds differ across platforms).
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_covers_both_transports() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7878"),
+            Endpoint::Tcp("127.0.0.1:7878".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/run/bside.sock"),
+            Endpoint::Unix(PathBuf::from("/run/bside.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("/run/bside.sock"),
+            Endpoint::Unix(PathBuf::from("/run/bside.sock"))
+        );
+    }
+
+    #[test]
+    fn endpoint_display_round_trips_through_parse() {
+        for spec in ["tcp:127.0.0.1:7878", "unix:/tmp/x.sock"] {
+            let ep = Endpoint::parse(spec);
+            assert_eq!(Endpoint::parse(&ep.to_string()), ep);
+        }
+    }
+
+    #[test]
+    fn stale_unix_socket_is_rebound() {
+        let dir = std::env::temp_dir().join(format!("bside_net_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.sock");
+        // A socket file with no listener behind it.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "dropped listener leaves the file");
+        let (listener, _) = Listener::bind(&Endpoint::Unix(path.clone())).expect("rebinds");
+        // And a live listener is refused.
+        let err = match Listener::bind(&Endpoint::Unix(path.clone())) {
+            Err(e) => e,
+            Ok(_) => panic!("binding over a live listener must fail"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        drop(listener);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

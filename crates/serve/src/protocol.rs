@@ -1,0 +1,395 @@
+//! The client ↔ server wire protocol.
+//!
+//! Newline-delimited JSON, one message per line, each a single JSON
+//! object tagged by a `"type"` field — the same framing the `bside-dist`
+//! coordinator/worker protocol uses (and the same line codec:
+//! [`read_message`]/[`write_message`] are re-exported from there). The
+//! policy payloads are the `bside_filter::wire` serde format, so what a
+//! client receives is exactly what a local derivation would serialize.
+//!
+//! ```text
+//! server → client   {"type":"hello","version":1}                          (once, on connect)
+//! client → server   {"type":"policy","path":"/corpus/000_redis.elf"}
+//!                   {"type":"policy_by_key","key":"9f2c…"}
+//!                   {"type":"stats"} | {"type":"ping"} | {"type":"shutdown"}
+//! server → client   {"type":"policy","key":"9f2c…","source":"store","bundle":{…}}
+//!                   {"type":"stats","stats":{…}} | {"type":"pong"} | {"type":"shutting_down"}
+//!                   {"type":"error","message":"reading /x: No such file…"}
+//! ```
+//!
+//! **Versioning.** The server opens every connection with a `hello`
+//! carrying its [`PROTOCOL_VERSION`]; clients refuse a mismatched server
+//! instead of mis-parsing replies, exactly as the dist coordinator
+//! refuses mismatched workers.
+//!
+//! **Error replies.** A request that cannot be answered (unreadable
+//! file, unknown key, analysis failure) produces a `{"type":"error"}`
+//! reply on the same connection — the connection survives and the client
+//! may keep issuing requests. Only a *malformed line* (non-JSON, unknown
+//! `type`) ends the connection, since framing can no longer be trusted.
+//!
+//! **Cache observability.** Every policy reply carries `"source"`:
+//! `"store"` when the bundle was served from the content-addressed store
+//! without re-analysis, `"analyzed"` when this request ran the pipeline
+//! — the metadata the round-trip tests (and operators watching hit
+//! rates) key on.
+
+use bside_filter::bpf::BpfProgram;
+use bside_filter::{FilterPolicy, PhasePolicy};
+use serde::{de, to_value, Value};
+
+use bside_dist::protocol::{obj_fields, take_field};
+
+pub use bside_dist::protocol::{read_message, write_message};
+
+/// Protocol revision; bumped on any incompatible message change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Where a policy reply came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Served from the content-addressed store without re-analysis.
+    Store,
+    /// This request ran the analysis pipeline (and populated the store).
+    Analyzed,
+}
+
+serde::impl_serde_unit_enum!(Source { Store, Analyzed });
+
+/// Everything the enforcement point needs for one binary: the
+/// whole-program allow-list, the per-phase refinement, and the lowered
+/// seccomp-BPF program ready to install.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyBundle {
+    /// Display name of the binary the bundle was derived for.
+    pub binary: String,
+    /// The whole-program allow-list.
+    pub policy: FilterPolicy,
+    /// The temporal (phase-based) refinement (§4.7).
+    pub phases: PhasePolicy,
+    /// The classic-BPF lowering of `policy`.
+    pub bpf: BpfProgram,
+}
+
+serde::impl_serde_struct!(PolicyBundle {
+    binary,
+    policy,
+    phases,
+    bpf
+});
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed.
+    pub requests: u64,
+    /// Policy requests answered from the store.
+    pub store_hits: u64,
+    /// Policy requests that ran the analysis pipeline.
+    pub analyses: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Connections dropped by a panicking handler (fault isolation).
+    pub panics: u64,
+    /// Entries currently in the policy store.
+    pub store_entries: u64,
+}
+
+serde::impl_serde_struct!(StatsSnapshot {
+    connections,
+    requests,
+    store_hits,
+    analyses,
+    errors,
+    panics,
+    store_entries
+});
+
+/// Messages a client sends to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// The policy for the ELF at `path` (analyze on store miss).
+    Policy {
+        /// Path of the binary, resolved on the server's filesystem.
+        path: String,
+    },
+    /// The stored policy under a content address (no analysis; an
+    /// unknown key is an error reply).
+    PolicyByKey {
+        /// The `SHA-256(elf bytes ‖ options fingerprint)` store key.
+        key: String,
+    },
+    /// The server's counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+}
+
+/// Messages the server sends to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Sent once per connection, before any request is answered.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// A policy lookup succeeded.
+    Policy {
+        /// The bundle's content address in the store.
+        key: String,
+        /// Whether the bundle was served from the store or analyzed now.
+        source: Source,
+        /// The policy bundle (boxed: it dwarfs the other variants).
+        bundle: Box<PolicyBundle>,
+    },
+    /// The server's counters.
+    Stats {
+        /// The snapshot.
+        stats: StatsSnapshot,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Shutdown acknowledged; the daemon stops accepting connections.
+    ShuttingDown,
+    /// The request could not be answered; the connection stays open.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl serde::Serialize for Request {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            Request::Policy { path } => Value::Object(vec![
+                ("type".to_string(), Value::Str("policy".to_string())),
+                ("path".to_string(), Value::Str(path.clone())),
+            ]),
+            Request::PolicyByKey { key } => Value::Object(vec![
+                ("type".to_string(), Value::Str("policy_by_key".to_string())),
+                ("key".to_string(), Value::Str(key.clone())),
+            ]),
+            Request::Stats => tag_only("stats"),
+            Request::Ping => tag_only("ping"),
+            Request::Shutdown => tag_only("shutdown"),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+impl serde::Serialize for Reply {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            Reply::Hello { version } => Value::Object(vec![
+                ("type".to_string(), Value::Str("hello".to_string())),
+                ("version".to_string(), Value::UInt(*version as u64)),
+            ]),
+            Reply::Policy {
+                key,
+                source,
+                bundle,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("policy".to_string())),
+                ("key".to_string(), Value::Str(key.clone())),
+                ("source".to_string(), to_value(source)),
+                ("bundle".to_string(), to_value(bundle)),
+            ]),
+            Reply::Stats { stats } => Value::Object(vec![
+                ("type".to_string(), Value::Str("stats".to_string())),
+                ("stats".to_string(), to_value(stats)),
+            ]),
+            Reply::Pong => tag_only("pong"),
+            Reply::ShuttingDown => tag_only("shutting_down"),
+            Reply::Error { message } => Value::Object(vec![
+                ("type".to_string(), Value::Str("error".to_string())),
+                ("message".to_string(), Value::Str(message.clone())),
+            ]),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+fn tag_only(tag: &str) -> Value {
+    Value::Object(vec![("type".to_string(), Value::Str(tag.to_string()))])
+}
+
+fn take_string(entries: &mut Vec<(String, Value)>, name: &str) -> Result<String, de::ValueError> {
+    match take_field(entries, name)? {
+        Value::Str(s) => Ok(s),
+        other => Err(de::Error::custom(format!(
+            "field `{name}` must be a string, found {other:?}"
+        ))),
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Request {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries =
+            obj_fields(deserializer.into_value()?, "Request").map_err(de::Error::custom)?;
+        let tag = take_string(&mut entries, "type").map_err(de::Error::custom)?;
+        match tag.as_str() {
+            "policy" => Ok(Request::Policy {
+                path: take_string(&mut entries, "path").map_err(de::Error::custom)?,
+            }),
+            "policy_by_key" => Ok(Request::PolicyByKey {
+                key: take_string(&mut entries, "key").map_err(de::Error::custom)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(de::Error::custom(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Reply {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries =
+            obj_fields(deserializer.into_value()?, "Reply").map_err(de::Error::custom)?;
+        let tag = take_string(&mut entries, "type").map_err(de::Error::custom)?;
+        match tag.as_str() {
+            "hello" => Ok(Reply::Hello {
+                version: serde::from_value(
+                    take_field(&mut entries, "version").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "policy" => Ok(Reply::Policy {
+                key: take_string(&mut entries, "key").map_err(de::Error::custom)?,
+                source: serde::from_value(
+                    take_field(&mut entries, "source").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+                bundle: serde::from_value(
+                    take_field(&mut entries, "bundle").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "stats" => Ok(Reply::Stats {
+                stats: serde::from_value(
+                    take_field(&mut entries, "stats").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "pong" => Ok(Reply::Pong),
+            "shutting_down" => Ok(Reply::ShuttingDown),
+            "error" => Ok(Reply::Error {
+                message: take_string(&mut entries, "message").map_err(de::Error::custom)?,
+            }),
+            other => Err(de::Error::custom(format!("unknown reply type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_syscalls::{SyscallSet, Sysno};
+
+    fn bundle() -> PolicyBundle {
+        let allowed: SyscallSet = ["read", "write", "exit_group"]
+            .iter()
+            .filter_map(|n| Sysno::from_name(n))
+            .collect();
+        let policy = FilterPolicy::allow_only("demo", allowed);
+        let bpf = BpfProgram::from_policy(&policy);
+        PolicyBundle {
+            binary: "demo".to_string(),
+            policy,
+            phases: PhasePolicy {
+                binary: "demo".to_string(),
+                phases: vec![allowed],
+                transitions: vec![vec![]],
+                initial: 0,
+            },
+            bpf,
+        }
+    }
+
+    fn round_trip_request(msg: Request) {
+        let json = serde_json::to_string(&msg).expect("serializes");
+        let back: Request = serde_json::from_str(&json).expect("parses");
+        assert_eq!(msg, back, "{json}");
+    }
+
+    fn round_trip_reply(msg: Reply) {
+        let json = serde_json::to_string(&msg).expect("serializes");
+        let back: Reply = serde_json::from_str(&json).expect("parses");
+        assert_eq!(msg, back, "{json}");
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        round_trip_request(Request::Policy {
+            path: "/corpus/000_redis.elf".to_string(),
+        });
+        round_trip_request(Request::PolicyByKey {
+            key: "9f".repeat(32),
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_reply_variant_round_trips() {
+        round_trip_reply(Reply::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip_reply(Reply::Policy {
+            key: "ab".repeat(32),
+            source: Source::Store,
+            bundle: Box::new(bundle()),
+        });
+        round_trip_reply(Reply::Policy {
+            key: "cd".repeat(32),
+            source: Source::Analyzed,
+            bundle: Box::new(bundle()),
+        });
+        round_trip_reply(Reply::Stats {
+            stats: StatsSnapshot {
+                connections: 3,
+                requests: 14,
+                store_hits: 11,
+                analyses: 2,
+                errors: 1,
+                panics: 0,
+                store_entries: 2,
+            },
+        });
+        round_trip_reply(Reply::Pong);
+        round_trip_reply(Reply::ShuttingDown);
+        round_trip_reply(Reply::Error {
+            message: "reading /x: No such file or directory".to_string(),
+        });
+    }
+
+    #[test]
+    fn messages_cross_the_line_codec() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Ping).unwrap();
+        write_message(&mut buf, &Request::Shutdown).unwrap();
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        assert_eq!(
+            read_message::<Request>(&mut reader).unwrap(),
+            Some(Request::Ping)
+        );
+        assert_eq!(
+            read_message::<Request>(&mut reader).unwrap(),
+            Some(Request::Shutdown)
+        );
+        assert!(read_message::<Request>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_tags_and_garbage_are_errors() {
+        assert!(serde_json::from_str::<Request>("{\"type\":\"gimme\"}").is_err());
+        assert!(serde_json::from_str::<Reply>("{\"type\":\"nope\"}").is_err());
+        assert!(serde_json::from_str::<Request>("not json").is_err());
+        assert!(serde_json::from_str::<Request>("{\"type\":\"policy\"}").is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! The policy-distribution daemon: accept loop, thread pool, request
+//! handlers, graceful shutdown.
+//!
+//! Concurrency model: one **accept thread** feeds accepted connections
+//! into a channel drained by [`ServeOptions::threads`] **worker
+//! threads**; each worker owns one connection at a time and serves its
+//! requests to completion (NDJSON request/response, several requests per
+//! connection). Per-connection isolation mirrors the dist coordinator's
+//! per-process isolation one level down: a panicking handler is caught,
+//! counted, and costs exactly its own connection — the daemon and every
+//! other client keep going.
+//!
+//! Shutdown is cooperative and complete: an in-band `shutdown` request
+//! (or [`ServerHandle::shutdown`]) sets a flag and dials a wake
+//! connection so the blocking accept returns; the accept thread stops
+//! handing out connections, the channel drains, workers finish their
+//! current request (idle connections expire within
+//! [`ServeOptions::read_timeout`]), and the listener's Unix socket file
+//! is removed. [`ServerHandle::join`] returns only after every thread
+//! has exited.
+
+use crate::net::{cleanup, is_timeout, Conn, Endpoint, Listener};
+use crate::protocol::{
+    read_message, write_message, Reply, Request, Source, StatsSnapshot, PROTOCOL_VERSION,
+};
+use crate::store::PolicyStore;
+use crate::{binary_name, derive_bundle};
+use bside_core::AnalyzerOptions;
+use std::io::BufReader;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a policy server.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Directory of the content-addressed policy store; `None` keeps the
+    /// store purely in memory (lost on shutdown).
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Worker threads — the number of connections served concurrently.
+    pub threads: usize,
+    /// Analyzer configuration for the analyze-on-miss path; also the
+    /// options half of every store key.
+    pub analyzer: AnalyzerOptions,
+    /// Per-read budget on a connection. An idle or stalled connection is
+    /// closed when it expires, which also bounds how long shutdown waits
+    /// for idle clients.
+    pub read_timeout: Duration,
+    /// Fault-injection hook for the isolation tests: a policy request
+    /// whose path contains this substring panics in the handler. `None`
+    /// in production.
+    pub panic_on_substr: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            store_dir: None,
+            threads: 4,
+            analyzer: AnalyzerOptions::default(),
+            read_timeout: Duration::from_secs(5),
+            panic_on_substr: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    store_hits: AtomicU64,
+    analyses: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+}
+
+struct Shared {
+    store: PolicyStore,
+    options: ServeOptions,
+    endpoint: Endpoint,
+    shutdown: AtomicBool,
+    stats: Counters,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Wake the blocking accept; the accepted connection is dropped.
+        let _ = Conn::connect(&self.endpoint);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            store_hits: self.stats.store_hits.load(Ordering::Relaxed),
+            analyses: self.stats.analyses.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            store_entries: self.store.len() as u64,
+        }
+    }
+
+    fn error_reply(&self, message: String) -> Reply {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        Reply::Error { message }
+    }
+
+    /// Answers one request. Never panics on malformed input — only the
+    /// test-only fault hook panics, deliberately.
+    fn answer(&self, request: &Request) -> Reply {
+        match request {
+            Request::Ping => Reply::Pong,
+            Request::Stats => Reply::Stats {
+                stats: self.snapshot(),
+            },
+            Request::Shutdown => Reply::ShuttingDown,
+            Request::PolicyByKey { key } => match self.store.load(key) {
+                Some(bundle) => {
+                    self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                    Reply::Policy {
+                        key: key.clone(),
+                        source: Source::Store,
+                        bundle: Box::new((*bundle).clone()),
+                    }
+                }
+                None => self.error_reply(format!("no stored policy under key {key}")),
+            },
+            Request::Policy { path } => self.answer_policy(path),
+        }
+    }
+
+    fn answer_policy(&self, path: &str) -> Reply {
+        if let Some(needle) = &self.options.panic_on_substr {
+            if path.contains(needle.as_str()) {
+                panic!("fault hook: policy request for {path}");
+            }
+        }
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => return self.error_reply(format!("reading {path}: {e}")),
+        };
+        let key = PolicyStore::key(&bytes, &self.options.analyzer);
+        if let Some(bundle) = self.store.load(&key) {
+            self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+            return Reply::Policy {
+                key,
+                source: Source::Store,
+                bundle: Box::new((*bundle).clone()),
+            };
+        }
+        let name = binary_name(std::path::Path::new(path));
+        let bundle = match derive_bundle(&name, &bytes, &self.options.analyzer) {
+            Ok(bundle) => bundle,
+            Err(message) => return self.error_reply(message),
+        };
+        self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+        let bundle = match self.store.insert(&key, bundle.clone()) {
+            Ok(stored) => (*stored).clone(),
+            Err(e) => {
+                // A store write failure degrades durability, not service:
+                // the freshly derived bundle still answers this request.
+                eprintln!("bside-serve: storing policy {key}: {e}");
+                bundle
+            }
+        };
+        Reply::Policy {
+            key,
+            source: Source::Analyzed,
+            bundle: Box::new(bundle),
+        }
+    }
+
+    /// Serves one connection until EOF, shutdown, read-timeout expiry,
+    /// or a framing error.
+    fn handle_connection(&self, conn: Conn) {
+        let _ = conn.set_read_timeout(Some(self.options.read_timeout));
+        let Ok(mut writer) = conn.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(conn);
+        if write_message(
+            &mut writer,
+            &Reply::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .is_err()
+        {
+            return;
+        }
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let request = match read_message::<Request>(&mut reader) {
+                Ok(Some(request)) => request,
+                Ok(None) => return, // clean EOF
+                Err(e) if is_timeout(&e) => return,
+                Err(e) => {
+                    // Framing is no longer trustworthy: answer once, close.
+                    let reply = self.error_reply(format!("malformed request: {e}"));
+                    let _ = write_message(&mut writer, &reply);
+                    return;
+                }
+            };
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let reply = self.answer(&request);
+            if write_message(&mut writer, &reply).is_err() {
+                return;
+            }
+            if matches!(request, Request::Shutdown) {
+                self.begin_shutdown();
+                return;
+            }
+        }
+    }
+}
+
+/// The policy-distribution server. [`PolicyServer::spawn`] binds and
+/// returns a handle; the daemon runs on background threads until
+/// shutdown.
+pub struct PolicyServer;
+
+impl PolicyServer {
+    /// Binds `endpoint` and starts the accept loop and worker pool.
+    pub fn spawn(endpoint: &Endpoint, options: ServeOptions) -> std::io::Result<ServerHandle> {
+        let (listener, resolved) = Listener::bind(endpoint)?;
+        let store = PolicyStore::open(options.store_dir.as_deref())?;
+        let threads = options.threads.max(1);
+        let shared = Arc::new(Shared {
+            store,
+            options,
+            endpoint: resolved,
+            shutdown: AtomicBool::new(false),
+            stats: Counters::default(),
+        });
+
+        let (tx, rx) = channel::<Conn>();
+        let rx = Arc::new(Mutex::new(rx));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener, tx))
+        };
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Conn>) {
+    loop {
+        match listener.accept() {
+            Ok(conn) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break; // the wake connection (or a late client): drop it
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if tx.send(conn).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // keep serving, but give the condition a moment to clear
+                // — a persistent EMFILE would otherwise busy-spin this
+                // thread against the very workers trying to free fds.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    cleanup(&shared.endpoint);
+    // tx drops here; workers drain the channel and exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>) {
+    loop {
+        let conn = match rx.lock().expect("connection queue lock").recv() {
+            Ok(conn) => conn,
+            Err(_) => return, // accept loop gone and queue drained
+        };
+        // Per-connection isolation: a panicking handler (a bug in
+        // analysis or a deliberate fault injection) loses its own
+        // connection only. The connection is moved into the closure, so
+        // unwinding drops (closes) it and the client sees EOF.
+        let result = catch_unwind(AssertUnwindSafe(|| shared.handle_connection(conn)));
+        if result.is_err() {
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A handle on a running policy server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The endpoint the server actually listens on (for `tcp:…:0`, the
+    /// resolved ephemeral port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.shared.endpoint
+    }
+
+    /// A point-in-time copy of the server's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Initiates shutdown and waits for every thread to exit.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+
+    /// Waits for the server to stop — i.e. for an in-band `shutdown`
+    /// request (or a concurrent [`Self::shutdown`] via a clone of the
+    /// handle's threads). This is what the `bside serve` daemon blocks on.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    /// Dropping the handle stops the server (RAII for tests and
+    /// embedders); a handle consumed by [`Self::join`]/[`Self::shutdown`]
+    /// has nothing left to do.
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+}

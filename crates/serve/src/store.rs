@@ -1,0 +1,219 @@
+//! The content-addressed policy store.
+//!
+//! Keyed by exactly the `bside_dist::cache` scheme —
+//! `SHA-256(elf bytes ‖ 0x00 ‖ semantic-options fingerprint)` — so a
+//! policy's address is stable across daemons, machines, and worker
+//! counts, and a store directory can be pre-populated by a batch corpus
+//! run and then served read-mostly. Values are [`PolicyBundle`]s in the
+//! `bside_filter::wire` JSON.
+//!
+//! Two layers:
+//!
+//! * an **in-memory map** of `Arc<PolicyBundle>` — the hot path a loaded
+//!   daemon answers from without touching disk or re-parsing JSON;
+//! * an optional **directory** of `<key>.policy.json` entries written
+//!   atomically (temp file + rename), shared safely between concurrent
+//!   daemons and surviving restarts. A corrupt or truncated entry reads
+//!   as a miss, never as an error — the daemon re-analyzes and rewrites.
+
+use crate::protocol::PolicyBundle;
+use bside_core::AnalyzerOptions;
+use bside_dist::ResultCache;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A concurrent policy store: in-memory map over an optional directory.
+#[derive(Debug)]
+pub struct PolicyStore {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<String, Arc<PolicyBundle>>>,
+}
+
+/// Distinguishes concurrent writers' temp files within one process (the
+/// pid alone distinguishes processes).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl PolicyStore {
+    /// Opens a store over `dir` (created if needed), or a purely
+    /// in-memory store when `dir` is `None`.
+    pub fn open(dir: Option<&Path>) -> std::io::Result<PolicyStore> {
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(PolicyStore {
+            dir: dir.map(Path::to_path_buf),
+            mem: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The content address of `(elf bytes, options)` — delegated to the
+    /// analysis cache's scheme, one key format across the workspace.
+    pub fn key(elf_bytes: &[u8], options: &AnalyzerOptions) -> String {
+        ResultCache::key(elf_bytes, options)
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.policy.json")))
+    }
+
+    /// Loads the bundle under `key`: memory first, then disk (promoting
+    /// a disk hit into memory). Corrupt entries are a miss.
+    pub fn load(&self, key: &str) -> Option<Arc<PolicyBundle>> {
+        if let Some(hit) = self.mem.lock().expect("store lock").get(key) {
+            return Some(Arc::clone(hit));
+        }
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let bundle: PolicyBundle = serde_json::from_str(&text).ok()?;
+        let bundle = Arc::new(bundle);
+        self.mem
+            .lock()
+            .expect("store lock")
+            .insert(key.to_string(), Arc::clone(&bundle));
+        Some(bundle)
+    }
+
+    /// Stores `bundle` under `key` in memory and (when directory-backed)
+    /// on disk via write-then-rename, so a concurrent reader never sees
+    /// a partial entry. Returns the shared handle.
+    pub fn insert(&self, key: &str, bundle: PolicyBundle) -> std::io::Result<Arc<PolicyBundle>> {
+        let bundle = Arc::new(bundle);
+        if let Some(path) = self.entry_path(key) {
+            let dir = self.dir.as_ref().expect("entry path implies dir");
+            let json = serde_json::to_string(&*bundle)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let tmp = dir.join(format!(
+                "{key}.tmp.{}.{}",
+                std::process::id(),
+                TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            {
+                let mut file = std::fs::File::create(&tmp)?;
+                file.write_all(json.as_bytes())?;
+            }
+            std::fs::rename(&tmp, path)?;
+        }
+        self.mem
+            .lock()
+            .expect("store lock")
+            .insert(key.to_string(), Arc::clone(&bundle));
+        Ok(bundle)
+    }
+
+    /// Number of stored policies: on-disk entries when directory-backed
+    /// (the durable truth), in-memory entries otherwise.
+    pub fn len(&self) -> usize {
+        match &self.dir {
+            Some(dir) => std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.filter_map(Result::ok)
+                        .filter(|e| e.file_name().to_string_lossy().ends_with(".policy.json"))
+                        .count()
+                })
+                .unwrap_or(0),
+            None => self.mem.lock().expect("store lock").len(),
+        }
+    }
+
+    /// `true` when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bside_filter::bpf::BpfProgram;
+    use bside_filter::{FilterPolicy, PhasePolicy};
+    use bside_syscalls::{SyscallSet, Sysno};
+
+    fn bundle(name: &str) -> PolicyBundle {
+        let allowed: SyscallSet = ["read", "write"]
+            .iter()
+            .filter_map(|n| Sysno::from_name(n))
+            .collect();
+        let policy = FilterPolicy::allow_only(name, allowed);
+        let bpf = BpfProgram::from_policy(&policy);
+        PolicyBundle {
+            binary: name.to_string(),
+            policy,
+            phases: PhasePolicy {
+                binary: name.to_string(),
+                phases: vec![allowed],
+                transitions: vec![vec![]],
+                initial: 0,
+            },
+            bpf,
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bside_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_only_store_round_trips() {
+        let store = PolicyStore::open(None).unwrap();
+        assert!(store.is_empty());
+        assert!(store.load("k").is_none());
+        store.insert("k", bundle("a")).unwrap();
+        assert_eq!(store.load("k").unwrap().binary, "a");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn directory_store_survives_reopening() {
+        let dir = scratch("reopen");
+        {
+            let store = PolicyStore::open(Some(&dir)).unwrap();
+            store.insert("deadbeef", bundle("a")).unwrap();
+            assert_eq!(store.len(), 1);
+        }
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        let loaded = store.load("deadbeef").expect("disk hit");
+        assert_eq!(loaded.binary, "a");
+        assert_eq!(*loaded, bundle("a"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss_not_an_error() {
+        let dir = scratch("corrupt");
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        std::fs::write(dir.join("badkey.policy.json"), b"{not json").unwrap();
+        assert!(store.load("badkey").is_none());
+        // And it can be overwritten with a good entry.
+        store.insert("badkey", bundle("fixed")).unwrap();
+        assert_eq!(store.load("badkey").unwrap().binary, "fixed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn len_counts_only_policy_entries() {
+        let dir = scratch("len");
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        store.insert("k1", bundle("a")).unwrap();
+        std::fs::write(dir.join("stray.txt"), b"x").unwrap();
+        std::fs::write(dir.join("k2.tmp.999.0"), b"partial").unwrap();
+        assert_eq!(store.len(), 1, "stray and temp files are not entries");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_matches_the_dist_cache_scheme() {
+        let options = AnalyzerOptions::default();
+        assert_eq!(
+            PolicyStore::key(b"elf", &options),
+            ResultCache::key(b"elf", &options),
+            "one content-address scheme across analysis cache and policy store"
+        );
+    }
+}

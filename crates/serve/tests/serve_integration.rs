@@ -1,0 +1,340 @@
+//! End-to-end tests of the policy-distribution service: daemon + store +
+//! protocol + client over real sockets, against a materialized synthetic
+//! corpus.
+//!
+//! The acceptance bar for the serve layer:
+//!
+//! * 8 concurrent clients × 50 requests against one daemon complete;
+//! * fetched policies are **byte-identical** to locally derived ones;
+//! * the second fetch of a binary is served from the store without
+//!   re-analysis, observable via the reply's `source` metadata;
+//! * a panicking handler costs exactly its own connection;
+//! * shutdown is graceful and removes the Unix socket file.
+
+use bside_core::AnalyzerOptions;
+use bside_gen::corpus::{corpus_with_size, DEFAULT_SEED};
+use bside_serve::{
+    derive_bundle, Endpoint, PolicyClient, PolicyServer, ServeError, ServeOptions, Source,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A per-test scratch directory (pid + tag keeps parallel tests apart).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bside_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Materializes a small static corpus and returns its `(name, path)`
+/// units.
+fn corpus_units(dir: &std::path::Path, n: usize) -> Vec<(String, PathBuf)> {
+    corpus_with_size(DEFAULT_SEED, n, 0, 0)
+        .materialize_static(dir)
+        .expect("materialize corpus")
+}
+
+fn options_with(store_dir: Option<PathBuf>, read_timeout: Duration) -> ServeOptions {
+    ServeOptions {
+        store_dir,
+        threads: 4,
+        read_timeout,
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn miss_then_hit_with_byte_identical_bundles() {
+    let dir = scratch("miss_hit");
+    let units = corpus_units(&dir.join("corpus"), 3);
+    let endpoint = Endpoint::Unix(dir.join("bside.sock"));
+    let server = PolicyServer::spawn(
+        &endpoint,
+        options_with(Some(dir.join("store")), Duration::from_secs(2)),
+    )
+    .expect("spawn");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let (name, path) = &units[0];
+    let path_str = path.to_str().expect("utf8 path");
+
+    let first = client.fetch_path(path_str).expect("first fetch");
+    assert_eq!(first.source, Source::Analyzed, "store starts cold");
+    let second = client.fetch_path(path_str).expect("second fetch");
+    assert_eq!(
+        second.source,
+        Source::Store,
+        "second fetch must not re-analyze"
+    );
+    assert_eq!(first.key, second.key);
+
+    // Byte-identical to a local derivation, through the wire format.
+    let bytes = std::fs::read(path).expect("read unit");
+    let local = derive_bundle(name, &bytes, &AnalyzerOptions::default()).expect("derive locally");
+    let fetched_json = serde_json::to_string(&second.bundle).expect("serializes");
+    let local_json = serde_json::to_string(&local).expect("serializes");
+    assert_eq!(fetched_json, local_json, "wire bundle != local derivation");
+
+    // And fetch-by-key returns the very same bytes.
+    let by_key = client.fetch_key(&first.key).expect("fetch by key");
+    assert_eq!(serde_json::to_string(&by_key.bundle).unwrap(), fetched_json);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.analyses, 1, "one cold analysis total");
+    assert!(stats.store_hits >= 2, "hit + by-key hit");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eight_concurrent_clients_times_fifty_requests() {
+    let dir = scratch("concurrent");
+    let units = corpus_units(&dir.join("corpus"), 5);
+    let endpoint = Endpoint::Unix(dir.join("bside.sock"));
+    let server = PolicyServer::spawn(
+        &endpoint,
+        options_with(Some(dir.join("store")), Duration::from_secs(5)),
+    )
+    .expect("spawn");
+
+    // Expected bundles, derived locally once (also warms the store so
+    // the concurrent phase can assert pure store service).
+    let mut expected_json: Vec<String> = Vec::new();
+    {
+        let mut warm = PolicyClient::connect(server.endpoint()).expect("connect");
+        for (name, path) in &units {
+            let fetch = warm
+                .fetch_path(path.to_str().expect("utf8"))
+                .expect("warm fetch");
+            assert_eq!(fetch.source, Source::Analyzed);
+            let bytes = std::fs::read(path).expect("read unit");
+            let local =
+                derive_bundle(name, &bytes, &AnalyzerOptions::default()).expect("derive locally");
+            let local_json = serde_json::to_string(&local).expect("serializes");
+            assert_eq!(
+                serde_json::to_string(&fetch.bundle).unwrap(),
+                local_json,
+                "{name}: fetched != derived"
+            );
+            expected_json.push(local_json);
+        }
+    }
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 50;
+    std::thread::scope(|scope| {
+        let units = &units;
+        let expected_json = &expected_json;
+        let server = &server;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client =
+                        PolicyClient::connect(server.endpoint()).expect("client connects");
+                    for r in 0..REQUESTS {
+                        let i = (c + r) % units.len();
+                        let (name, path) = &units[i];
+                        let fetch = client
+                            .fetch_path(path.to_str().expect("utf8"))
+                            .unwrap_or_else(|e| panic!("client {c} request {r}: {e}"));
+                        assert_eq!(
+                            fetch.source,
+                            Source::Store,
+                            "client {c} request {r} ({name}): store was warm"
+                        );
+                        assert_eq!(
+                            &serde_json::to_string(&fetch.bundle).unwrap(),
+                            &expected_json[i],
+                            "client {c} request {r} ({name}): bundle diverged"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.analyses,
+        units.len() as u64,
+        "the concurrent phase must be analysis-free"
+    );
+    assert_eq!(
+        stats.requests,
+        (CLIENTS * REQUESTS + units.len()) as u64,
+        "every request was counted"
+    );
+    assert_eq!(stats.panics, 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_handler_costs_only_its_connection() {
+    let dir = scratch("panic");
+    let units = corpus_units(&dir.join("corpus"), 2);
+    let endpoint = Endpoint::Unix(dir.join("bside.sock"));
+    let mut options = options_with(None, Duration::from_secs(2));
+    options.panic_on_substr = Some("poison-pill".to_string());
+    let server = PolicyServer::spawn(&endpoint, options).expect("spawn");
+
+    // The poisoned request kills its own connection: the client sees EOF.
+    let mut victim = PolicyClient::connect(server.endpoint()).expect("connect");
+    let err = victim
+        .fetch_path("/anywhere/poison-pill.elf")
+        .expect_err("handler panicked");
+    assert!(
+        matches!(err, ServeError::Io(_)),
+        "expected dropped connection, got {err}"
+    );
+
+    // The daemon (and a fresh connection) keep working.
+    let mut survivor = PolicyClient::connect(server.endpoint()).expect("reconnect");
+    survivor.ping().expect("server alive");
+    let fetch = survivor
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect("normal request still served");
+    assert_eq!(fetch.source, Source::Analyzed);
+    assert_eq!(server.stats().panics, 1, "the panic was counted");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_endpoint_serves_the_same_protocol() {
+    let dir = scratch("tcp");
+    let units = corpus_units(&dir.join("corpus"), 2);
+    let server = PolicyServer::spawn(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        options_with(None, Duration::from_secs(2)),
+    )
+    .expect("spawn on ephemeral port");
+    let Endpoint::Tcp(addr) = server.endpoint() else {
+        panic!("resolved endpoint must be tcp");
+    };
+    assert!(!addr.ends_with(":0"), "port resolved: {addr}");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let fetch = client
+        .fetch_path(units[1].1.to_str().expect("utf8"))
+        .expect("fetch over tcp");
+    assert_eq!(fetch.source, Source::Analyzed);
+    let again = client.fetch_key(&fetch.key).expect("by key over tcp");
+    assert_eq!(
+        serde_json::to_string(&again.bundle).unwrap(),
+        serde_json::to_string(&fetch.bundle).unwrap()
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_band_shutdown_is_graceful_and_cleans_the_socket() {
+    let dir = scratch("shutdown");
+    let socket = dir.join("bside.sock");
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(socket.clone()),
+        options_with(None, Duration::from_millis(300)),
+    )
+    .expect("spawn");
+    assert!(socket.exists(), "socket bound");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    client.shutdown_server().expect("acknowledged");
+    // join returns because the in-band request triggered shutdown.
+    server.join();
+    assert!(!socket.exists(), "socket file removed on shutdown");
+    // New connections are refused now.
+    assert!(
+        PolicyClient::connect(&Endpoint::Unix(socket)).is_err(),
+        "daemon is gone"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_survives_a_daemon_restart() {
+    let dir = scratch("restart");
+    let units = corpus_units(&dir.join("corpus"), 2);
+    let store_dir = dir.join("store");
+    let endpoint = Endpoint::Unix(dir.join("bside.sock"));
+    let path_str = units[0].1.to_str().expect("utf8").to_string();
+
+    let first_key;
+    {
+        let server = PolicyServer::spawn(
+            &endpoint,
+            options_with(Some(store_dir.clone()), Duration::from_secs(2)),
+        )
+        .expect("first daemon");
+        let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+        let fetch = client.fetch_path(&path_str).expect("cold fetch");
+        assert_eq!(fetch.source, Source::Analyzed);
+        first_key = fetch.key;
+        server.shutdown();
+    }
+
+    let server = PolicyServer::spawn(
+        &endpoint,
+        options_with(Some(store_dir), Duration::from_secs(2)),
+    )
+    .expect("second daemon");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let fetch = client.fetch_path(&path_str).expect("warm fetch");
+    assert_eq!(
+        fetch.source,
+        Source::Store,
+        "restart must not lose the store"
+    );
+    assert_eq!(fetch.key, first_key, "stable content address");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_replies_keep_the_connection_alive() {
+    let dir = scratch("errors");
+    let units = corpus_units(&dir.join("corpus"), 1);
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        options_with(None, Duration::from_secs(2)),
+    )
+    .expect("spawn");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+
+    let err = client
+        .fetch_path("/nonexistent/binary.elf")
+        .expect_err("unreadable file");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("reading")),
+        "got {err}"
+    );
+    let err = client.fetch_key("feed").expect_err("unknown key");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("no stored policy")),
+        "got {err}"
+    );
+    // Garbage on disk is an error reply, not a crash.
+    let junk = dir.join("junk.elf");
+    std::fs::write(&junk, b"definitely not an elf").unwrap();
+    let err = client
+        .fetch_path(junk.to_str().unwrap())
+        .expect_err("junk bytes");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("parsing")),
+        "got {err}"
+    );
+
+    // After three error replies, the same connection still serves.
+    let fetch = client
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect("connection survived the errors");
+    assert_eq!(fetch.source, Source::Analyzed);
+    assert_eq!(server.stats().errors, 3);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -289,6 +289,105 @@ fn run_serve_in(
     })
 }
 
+/// The cold-storm measurement: N clients hit one *cold* key at once and
+/// the single-flight table should collapse them into one analysis.
+struct ColdStormResult {
+    clients: usize,
+    wall: Duration,
+    analyses: u64,
+    coalesced: u64,
+    store_hits: u64,
+}
+
+impl ColdStormResult {
+    /// Analyses beyond the one the key needed — what the storm would
+    /// have wasted without single-flight (up to `clients - 1`).
+    fn duplicated(&self) -> u64 {
+        self.analyses.saturating_sub(1)
+    }
+}
+
+/// Spawns a fresh daemon (empty store), fires `clients` concurrent
+/// fetches of the same cold binary, and reads the coalescing off the
+/// server's counters.
+fn run_cold_storm(clients: usize, image: &(String, Vec<u8>)) -> Option<ColdStormResult> {
+    let dir = std::env::temp_dir().join(format!("bside_bench_storm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_cold_storm_in(clients, image, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_cold_storm_in(
+    clients: usize,
+    (name, bytes): &(String, Vec<u8>),
+    dir: &std::path::Path,
+) -> Option<ColdStormResult> {
+    let path = dir.join(format!("{name}.elf"));
+    std::fs::write(&path, bytes).ok()?;
+    let path = path.to_str()?.to_string();
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            threads: clients + 2,
+            read_timeout: Duration::from_secs(60),
+            ..ServeOptions::default()
+        },
+    )
+    .ok()?;
+
+    let barrier = std::sync::Barrier::new(clients);
+    let t0 = Instant::now();
+    let ok = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                let path = &path;
+                let server = &server;
+                scope.spawn(move || -> Option<()> {
+                    // Connect before the barrier but only early-return
+                    // after it: a thread bailing out pre-wait would
+                    // strand the other N-1 on the barrier forever.
+                    let client = PolicyClient::connect(server.endpoint());
+                    barrier.wait();
+                    let mut client = client.ok()?;
+                    let fetch = client.fetch_path(path).ok()?;
+                    matches!(
+                        fetch.source,
+                        Source::Analyzed | Source::Coalesced | Source::Store
+                    )
+                    .then_some(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .all(|h| h.join().expect("storm client").is_some())
+    });
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+    ok.then_some(ColdStormResult {
+        clients,
+        wall,
+        analyses: stats.analyses,
+        coalesced: stats.coalesced,
+        store_hits: stats.store_hits,
+    })
+}
+
+fn cold_storm_json(r: &ColdStormResult, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"clients\": {},\n{indent}  \"cold_keys\": 1,\n{indent}  \"wall_us\": {},\n{indent}  \"analyses\": {},\n{indent}  \"coalesced\": {},\n{indent}  \"duplicated\": {},\n{indent}  \"store_hits\": {}\n{indent}}}",
+        r.clients,
+        r.wall.as_micros(),
+        r.analyses,
+        r.coalesced,
+        r.duplicated(),
+        r.store_hits,
+    )
+}
+
 fn serve_json(r: &ServeBenchResult, indent: &str) -> String {
     format!(
         "{{\n{indent}  \"clients\": {},\n{indent}  \"requests_per_client\": {},\n{indent}  \"total_requests\": {},\n{indent}  \"wall_us\": {},\n{indent}  \"throughput_rps\": {:.1},\n{indent}  \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p99\": {} }},\n{indent}  \"analyses\": {},\n{indent}  \"store_hits\": {}\n{indent}}}",
@@ -432,8 +531,38 @@ fn main() {
         }
     };
 
+    // Cold-storm configuration: 16 clients, one cold key, single-flight
+    // coalescing observable as `analyses == 1, duplicated == 0` (without
+    // it the storm would burn up to 16 identical analyses). The largest
+    // image maximizes the analysis window followers can land in; on a
+    // 1-CPU container most followers still arrive after the flight and
+    // count as store hits — `duplicated == 0` is the claim either way.
+    let storm_clients = 16usize;
+    let storm_image = images
+        .iter()
+        .max_by_key(|(_, bytes)| bytes.len())
+        .expect("non-empty corpus");
+    let storm = run_cold_storm(storm_clients, storm_image);
+    let storm_json_str = match &storm {
+        Some(s) => {
+            eprintln!(
+                "  cold-storm (clients={}): {:.1} ms wall | {} analysis(es), {} coalesced, {} duplicated",
+                s.clients,
+                s.wall.as_secs_f64() * 1e3,
+                s.analyses,
+                s.coalesced,
+                s.duplicated(),
+            );
+            cold_storm_json(s, "  ")
+        }
+        None => {
+            eprintln!("  cold-storm: skipped (daemon spawn or a request failed)");
+            "null".to_string()
+        }
+    };
+
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"serve\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -443,6 +572,7 @@ fn main() {
         dist_json,
         dist_speedup_json,
         serve_json_str,
+        storm_json_str,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("  wrote {out_path}");

@@ -52,18 +52,18 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "gen-corpus",
-        synopsis: "<out-dir> [--static N] [--seed N]",
+        synopsis: "<out-dir> [--static N] [--dynamic N] [--libs N] [--seed N]",
         run: cmd_gen_corpus,
     },
     Subcommand {
         name: "serve",
-        synopsis: "(--socket PATH | --tcp ADDR) [--store DIR] [--threads N]",
+        synopsis: "(--socket PATH | --tcp ADDR) [--store DIR] [--lib-dir DIR] [--threads N]",
         run: cmd_serve,
     },
     Subcommand {
         name: "policy",
-        synopsis:
-            "(<elf> [--json|--bpf] | --stats | --ping | --shutdown) (--socket PATH | --tcp ADDR)",
+        synopsis: "(<elf> [--json|--bpf] | --invalidate KEY | --watch | --stats | --ping | \
+                   --shutdown) (--socket PATH | --tcp ADDR)",
         run: cmd_policy,
     },
     Subcommand {
@@ -469,6 +469,8 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
 fn cmd_gen_corpus(args: &[String]) -> CmdResult {
     let mut dir = None;
     let mut n_static: usize = 16;
+    let mut n_dynamic: usize = 0;
+    let mut n_libs: usize = 0;
     let mut seed: u64 = bside_gen::corpus::DEFAULT_SEED;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -479,6 +481,20 @@ fn cmd_gen_corpus(args: &[String]) -> CmdResult {
                     .ok_or("--static needs N")?
                     .parse()
                     .map_err(|_| "--static needs a positive integer")?;
+            }
+            "--dynamic" => {
+                n_dynamic = it
+                    .next()
+                    .ok_or("--dynamic needs N")?
+                    .parse()
+                    .map_err(|_| "--dynamic needs a positive integer")?;
+            }
+            "--libs" => {
+                n_libs = it
+                    .next()
+                    .ok_or("--libs needs N")?
+                    .parse()
+                    .map_err(|_| "--libs needs a positive integer")?;
             }
             "--seed" => {
                 seed = it
@@ -492,9 +508,21 @@ fn cmd_gen_corpus(args: &[String]) -> CmdResult {
         }
     }
     let dir = dir.ok_or("missing <out-dir> argument")?;
-    let corpus = bside_gen::corpus::corpus_with_size(seed, n_static, 0, 0);
-    let units = corpus.materialize_static(std::path::Path::new(&dir))?;
-    eprintln!("wrote {} corpus binarie(s) to {dir}", units.len());
+    if n_dynamic > 0 && n_libs == 0 {
+        return Err("--dynamic needs a library pool; pass --libs N too".into());
+    }
+    let corpus = bside_gen::corpus::corpus_with_size(seed, n_static, n_dynamic, n_libs);
+    if n_dynamic == 0 && n_libs == 0 {
+        let units = corpus.materialize_static(std::path::Path::new(&dir))?;
+        eprintln!("wrote {} corpus binarie(s) to {dir}", units.len());
+    } else {
+        let (units, libs) = corpus.materialize(std::path::Path::new(&dir))?;
+        eprintln!(
+            "wrote {} corpus binarie(s) ({n_dynamic} dynamic) to {dir} and {} librarie(s) to {dir}/libs",
+            units.len(),
+            libs.len()
+        );
+    }
     Ok(())
 }
 
@@ -520,6 +548,7 @@ fn endpoint_arg(
 fn cmd_serve(args: &[String]) -> CmdResult {
     let mut endpoint: Option<Endpoint> = None;
     let mut store_dir: Option<String> = None;
+    let mut lib_dir: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -529,6 +558,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         }
         match arg.as_str() {
             "--store" => store_dir = Some(it.next().ok_or("--store needs DIR")?.clone()),
+            "--lib-dir" => lib_dir = Some(it.next().ok_or("--lib-dir needs DIR")?.clone()),
             "--threads" => {
                 let n: usize = it
                     .next()
@@ -544,10 +574,19 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         }
     }
     let endpoint = endpoint.ok_or("missing --socket PATH or --tcp ADDR")?;
+    // Test/CI hook: widen the single-flight race window so concurrent
+    // cold fetches coalesce deterministically in smoke scripts.
+    let analysis_delay = std::env::var("BSIDE_SERVE_ANALYSIS_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis);
     let options = ServeOptions {
         store_dir: store_dir.map(std::path::PathBuf::from),
+        library_dir: lib_dir.map(std::path::PathBuf::from),
         threads: threads.unwrap_or_else(crate::default_worker_count),
         analyzer: analyzer_options_from_env(),
+        analysis_delay,
         ..ServeOptions::default()
     };
     let threads = options.threads;
@@ -567,6 +606,7 @@ fn cmd_policy(args: &[String]) -> CmdResult {
     let mut endpoint: Option<Endpoint> = None;
     let mut want_json = false;
     let mut want_bpf = false;
+    let mut invalidate_key: Option<String> = None;
     let mut mode: Option<&'static str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -577,6 +617,11 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         match arg.as_str() {
             "--json" => want_json = true,
             "--bpf" => want_bpf = true,
+            "--invalidate" => {
+                invalidate_key = Some(it.next().ok_or("--invalidate needs KEY")?.clone());
+                mode = Some("invalidate");
+            }
+            "--watch" => mode = Some("watch"),
             "--stats" => mode = Some("stats"),
             "--ping" => mode = Some("ping"),
             "--shutdown" => mode = Some("shutdown"),
@@ -587,10 +632,13 @@ fn cmd_policy(args: &[String]) -> CmdResult {
     let endpoint = endpoint.ok_or("missing --socket PATH or --tcp ADDR")?;
     // Control requests are cheap, so a hang (saturated or wedged daemon)
     // should surface as an error; a policy fetch may legitimately wait
-    // behind a cold analysis, so it blocks.
+    // behind a cold analysis, and a watch blocks by design, so those
+    // connections carry no read timeout.
     let mut client = match mode {
-        Some(_) => PolicyClient::connect_with(&endpoint, Some(std::time::Duration::from_secs(30)))?,
-        None => PolicyClient::connect(&endpoint)?,
+        Some("stats") | Some("ping") | Some("shutdown") | Some("invalidate") => {
+            PolicyClient::connect_with(&endpoint, Some(std::time::Duration::from_secs(30)))?
+        }
+        _ => PolicyClient::connect(&endpoint)?,
     };
     match mode {
         Some("stats") => {
@@ -608,9 +656,32 @@ fn cmd_policy(args: &[String]) -> CmdResult {
             eprintln!("# server acknowledged shutdown");
             return Ok(());
         }
+        Some("invalidate") => {
+            let key = invalidate_key.expect("mode implies key");
+            let (removed, generation) = client.invalidate(&key)?;
+            println!(
+                "{} (generation {generation})",
+                if removed {
+                    "invalidated"
+                } else {
+                    "unknown key"
+                }
+            );
+            return Ok(());
+        }
+        Some("watch") => {
+            // Anchor on the hello's generation and block until the store
+            // mutates — the push channel for enforcement agents.
+            let seen = client.generation_at_connect();
+            eprintln!("# watching from generation {seen}");
+            let generation = client.wait_for_generation(seen)?;
+            println!("generation {generation}");
+            return Ok(());
+        }
         _ => {}
     }
-    let elf = elf.ok_or("missing <elf> argument (or --stats/--ping/--shutdown)")?;
+    let elf =
+        elf.ok_or("missing <elf> argument (or --invalidate/--watch/--stats/--ping/--shutdown)")?;
     // The daemon resolves the path on *its* filesystem; hand it an
     // absolute path so client and daemon working directories need not
     // agree.
@@ -620,13 +691,15 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         .ok_or("non-UTF-8 paths cannot cross the protocol")?;
     let fetch = client.fetch_path(path)?;
     eprintln!(
-        "# {}: source: {}, key: {}, {} syscall(s) allowed, {} phase(s)",
+        "# {}: source: {}, key: {}, generation: {}, {} syscall(s) allowed, {} phase(s)",
         fetch.bundle.binary,
         match fetch.source {
             bside_serve::Source::Store => "store",
             bside_serve::Source::Analyzed => "analyzed",
+            bside_serve::Source::Coalesced => "coalesced",
         },
         fetch.key,
+        fetch.generation,
         fetch.bundle.policy.allowed.len(),
         fetch.bundle.phases.phases.len(),
     );

@@ -110,6 +110,13 @@ impl LibraryStore {
         self.libs.get(library)
     }
 
+    /// Every stored interface, in library-name order — the deterministic
+    /// iteration a content fingerprint of the whole library set needs
+    /// (e.g. `bside-serve` mixes it into dynamic-binary store keys).
+    pub fn interfaces(&self) -> impl Iterator<Item = &SharedInterface> {
+        self.libs.values()
+    }
+
     /// Number of stored libraries.
     pub fn len(&self) -> usize {
         self.libs.len()

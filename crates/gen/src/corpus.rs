@@ -21,6 +21,10 @@ use rand::{Rng, SeedableRng};
 /// identically.
 pub const DEFAULT_SEED: u64 = 0xB51D_E000;
 
+/// `(name, path)` pairs of materialized on-disk artifacts (binaries or
+/// libraries).
+pub type MaterializedUnits = Vec<(String, std::path::PathBuf)>;
+
 /// One corpus binary with its provenance.
 #[derive(Debug, Clone)]
 pub struct CorpusBinary {
@@ -76,6 +80,39 @@ impl Corpus {
             units.push((name, path));
         }
         Ok(units)
+    }
+
+    /// Writes **every** binary of the corpus (static and dynamic) to
+    /// `dir` — same `{index}_{name}.elf` naming as
+    /// [`Corpus::materialize_static`], indexed over the whole corpus —
+    /// and the shared-library pool to `dir/libs/<name>` (the `.so` files
+    /// a `bside interface` pass turns into the §4.5 interface JSONs a
+    /// policy daemon serves dynamic binaries from). Returns the binary
+    /// `(name, path)` units in corpus order plus the library
+    /// `(name, path)` pairs.
+    pub fn materialize(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<(MaterializedUnits, MaterializedUnits)> {
+        std::fs::create_dir_all(dir)?;
+        let mut units = Vec::new();
+        for (i, binary) in self.binaries.iter().enumerate() {
+            let name = format!("{i:04}_{}", binary.program.spec.name);
+            let path = dir.join(format!("{name}.elf"));
+            std::fs::write(&path, &binary.program.image)?;
+            units.push((name, path));
+        }
+        let lib_dir = dir.join("libs");
+        let mut libs = Vec::new();
+        if !self.libraries.is_empty() {
+            std::fs::create_dir_all(&lib_dir)?;
+            for library in &self.libraries {
+                let path = lib_dir.join(&library.spec.name);
+                std::fs::write(&path, &library.image)?;
+                libs.push((library.spec.name.clone(), path));
+            }
+        }
+        Ok((units, libs))
     }
 
     /// The libraries a binary needs, transitively closed over each
@@ -355,6 +392,29 @@ mod tests {
                 std::fs::read(path).expect("written file reads back"),
                 binary.program.image
             );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn materialize_writes_dynamic_binaries_and_the_library_pool() {
+        let corpus = corpus_with_size(9, 2, 3, 2);
+        let dir = std::env::temp_dir().join(format!("bside_gen_mat_all_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (units, libs) = corpus.materialize(&dir).expect("materializes");
+        assert_eq!(units.len(), 5, "static and dynamic binaries both land");
+        assert_eq!(libs.len(), 2, "the whole library pool lands");
+        for ((_, path), binary) in units.iter().zip(&corpus.binaries) {
+            assert_eq!(std::fs::read(path).unwrap(), binary.program.image);
+        }
+        for (name, path) in &libs {
+            assert!(path.starts_with(dir.join("libs")), "{}", path.display());
+            let lib = corpus
+                .libraries
+                .iter()
+                .find(|l| &l.spec.name == name)
+                .expect("library exists");
+            assert_eq!(std::fs::read(path).unwrap(), lib.image);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

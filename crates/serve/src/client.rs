@@ -44,8 +44,12 @@ pub struct PolicyFetch {
     /// The bundle's content address in the server's store.
     pub key: String,
     /// `Store` when served without re-analysis, `Analyzed` when this
-    /// request ran the pipeline — the cache-observability contract.
+    /// request ran the pipeline, `Coalesced` when it shared a concurrent
+    /// identical request's analysis — the cache-observability contract.
     pub source: Source,
+    /// The server's store generation when the reply was built — the
+    /// anchor to pass to [`PolicyClient::wait_for_generation`].
+    pub generation: u64,
     /// The policy bundle.
     pub bundle: PolicyBundle,
 }
@@ -55,14 +59,17 @@ pub struct PolicyFetch {
 pub struct PolicyClient {
     writer: Conn,
     reader: BufReader<Conn>,
+    /// The store generation announced in the server's hello.
+    hello_generation: u64,
 }
 
 impl PolicyClient {
     /// Dials the endpoint and verifies the server's protocol version.
     /// Reads block indefinitely — right for batch callers where a slow
     /// answer (a cold analysis, a saturated daemon working the backlog)
-    /// is still a wanted answer. Interactive callers should prefer
-    /// [`Self::connect_with`].
+    /// is still a wanted answer, and for [`Self::wait_for_generation`]
+    /// watchers that may block for hours. Interactive callers should
+    /// prefer [`Self::connect_with`].
     pub fn connect(endpoint: &Endpoint) -> Result<PolicyClient, ServeError> {
         Self::connect_with(endpoint, None)
     }
@@ -70,7 +77,9 @@ impl PolicyClient {
     /// [`Self::connect`] with a per-read budget: every read — including
     /// the initial hello, which a saturated daemon only sends once a
     /// pool worker picks the connection up — fails with a timeout error
-    /// instead of hanging past `read_timeout`.
+    /// instead of hanging past `read_timeout`. (A `watch` whose wait
+    /// legitimately exceeds the budget will time out too; watchers
+    /// should connect without one.)
     pub fn connect_with(
         endpoint: &Endpoint,
         read_timeout: Option<std::time::Duration>,
@@ -80,16 +89,27 @@ impl PolicyClient {
         let writer = conn.try_clone()?;
         let mut reader = BufReader::new(conn);
         match read_message::<Reply>(&mut reader)? {
-            Some(Reply::Hello { version }) if version == PROTOCOL_VERSION => {
-                Ok(PolicyClient { writer, reader })
-            }
-            Some(Reply::Hello { version }) => Err(ServeError::Protocol(format!(
+            Some(Reply::Hello {
+                version,
+                generation,
+            }) if version == PROTOCOL_VERSION => Ok(PolicyClient {
+                writer,
+                reader,
+                hello_generation: generation,
+            }),
+            Some(Reply::Hello { version, .. }) => Err(ServeError::Protocol(format!(
                 "server speaks protocol v{version}, expected v{PROTOCOL_VERSION}"
             ))),
             other => Err(ServeError::Protocol(format!(
                 "expected hello, got {other:?}"
             ))),
         }
+    }
+
+    /// The server's store generation at connect time — the baseline a
+    /// fresh watcher passes to [`Self::wait_for_generation`].
+    pub fn generation_at_connect(&self) -> u64 {
+        self.hello_generation
     }
 
     fn call(&mut self, request: &Request) -> Result<Reply, ServeError> {
@@ -108,10 +128,12 @@ impl PolicyClient {
             Reply::Policy {
                 key,
                 source,
+                generation,
                 bundle,
             } => Ok(PolicyFetch {
                 key,
                 source,
+                generation,
                 bundle: *bundle,
             }),
             Reply::Error { message } => Err(ServeError::Server(message)),
@@ -136,6 +158,41 @@ impl PolicyClient {
             key: key.to_string(),
         })?;
         Self::expect_policy(reply)
+    }
+
+    /// Drops the stored policy under `key` so the next fetch re-analyzes.
+    /// Returns `(removed, generation)`: whether an entry existed, and the
+    /// store generation after the operation.
+    pub fn invalidate(&mut self, key: &str) -> Result<(bool, u64), ServeError> {
+        match self.call(&Request::Invalidate {
+            key: key.to_string(),
+        })? {
+            Reply::Invalidated {
+                removed,
+                generation,
+                ..
+            } => Ok((removed, generation)),
+            Reply::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected invalidated reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocks until the server's store generation exceeds `seen` (e.g.
+    /// the value from a [`PolicyFetch`] or [`Self::generation_at_connect`])
+    /// and returns the new generation — push notification of store
+    /// mutations (re-analyses, invalidations), no polling. A server
+    /// shutting down fails the watch with an in-band error. Use a
+    /// connection without a read timeout: the wait is open-ended.
+    pub fn wait_for_generation(&mut self, seen: u64) -> Result<u64, ServeError> {
+        match self.call(&Request::Watch { generation: seen })? {
+            Reply::Generation { generation } => Ok(generation),
+            Reply::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected generation reply, got {other:?}"
+            ))),
+        }
     }
 
     /// The server's counters.

@@ -9,19 +9,25 @@
 //!
 //! * a **content-addressed policy store** ([`store`]) keyed by the
 //!   `bside_dist::cache` SHA-256 scheme (elf bytes ‖ options
-//!   fingerprint), holding [`FilterPolicy`]/[`PhasePolicy`] plus the
-//!   lowered classic-BPF program, in memory and optionally on disk;
+//!   fingerprint, extended with a library-set fingerprint for dynamic
+//!   binaries), holding [`FilterPolicy`]/[`PhasePolicy`] plus the
+//!   lowered classic-BPF program, in memory and optionally on disk, with
+//!   a monotonic **generation counter** bumped by every mutation;
 //! * a versioned **NDJSON request/response protocol** ([`protocol`])
-//!   over Unix-domain or TCP sockets ([`net`]), with explicit framing
-//!   and in-band error replies;
-//! * a **thread-pool server** ([`server`]) with graceful shutdown and
-//!   per-connection panic isolation;
-//! * an **analyze-on-miss** path: an unknown binary is analyzed
-//!   in-process, its bundle stored, and every later fetch — from any
-//!   client — served from the store (observable via the reply's
-//!   `source` metadata);
+//!   over Unix-domain or TCP sockets ([`net`]), with explicit framing,
+//!   in-band error replies, and push-style `watch` notification;
+//! * a **thread-pool server** ([`server`]) with graceful shutdown,
+//!   per-connection panic isolation, and **single-flight** analyze-on-miss
+//!   (the `flight` table): N concurrent cold requests for the same binary run
+//!   exactly one analysis, the rest block and share the result
+//!   (`source: "Coalesced"`);
+//! * **dynamic binaries**: with [`ServeOptions::library_dir`] pointing
+//!   at a directory of `§4.5` shared-interface JSONs, `DT_NEEDED`
+//!   binaries are derived through [`bside_core::LibraryStore`] instead
+//!   of being refused;
 //! * a **client library** ([`client`]) the `bside serve` / `bside
-//!   policy` CLI subcommands and embedding enforcement agents use.
+//!   policy` CLI subcommands and embedding enforcement agents use,
+//!   including [`PolicyClient::wait_for_generation`] for watchers.
 //!
 //! # Example
 //!
@@ -41,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub(crate) mod flight;
 pub mod net;
 pub mod protocol;
 pub mod server;
@@ -50,10 +57,10 @@ pub use client::{PolicyClient, PolicyFetch, ServeError};
 pub use net::{Conn, Endpoint};
 pub use protocol::{PolicyBundle, Reply, Request, Source, StatsSnapshot, PROTOCOL_VERSION};
 pub use server::{PolicyServer, ServeOptions, ServerHandle};
-pub use store::PolicyStore;
+pub use store::{library_fingerprint, PolicyStore};
 
 use bside_core::phase::{detect_phases, PhaseOptions};
-use bside_core::{Analyzer, AnalyzerOptions};
+use bside_core::{Analyzer, AnalyzerOptions, LibraryStore};
 use bside_filter::bpf::BpfProgram;
 use bside_filter::{FilterPolicy, PhasePolicy};
 use bside_syscalls::SyscallSet;
@@ -68,8 +75,13 @@ pub fn binary_name(path: &std::path::Path) -> String {
         .unwrap_or_else(|| path.to_string_lossy().into_owned())
 }
 
-/// Derives the full policy bundle for one static ELF: whole-program
-/// allow-list, phase refinement, and the classic-BPF lowering.
+/// Derives the full policy bundle for one ELF: whole-program allow-list,
+/// phase refinement, and the classic-BPF lowering.
+///
+/// A static binary needs no `libs`; a dynamically linked one (non-empty
+/// `DT_NEEDED`) is resolved through the given [`LibraryStore`] of §4.5
+/// shared interfaces via `Analyzer::analyze_dynamic`, and is refused
+/// with an explanatory message when `libs` is `None`.
 ///
 /// This is the one derivation both sides of the wire share: the daemon's
 /// analyze-on-miss path calls it, and tests call it locally to prove a
@@ -78,22 +90,42 @@ pub fn binary_name(path: &std::path::Path) -> String {
 /// # Errors
 ///
 /// A human-readable message (the error-reply payload) when the bytes are
-/// not a parseable static ELF or the analysis fails.
+/// not a parseable ELF, a needed library is missing, or the analysis
+/// fails.
 pub fn derive_bundle(
     name: &str,
     elf_bytes: &[u8],
     options: &AnalyzerOptions,
+    libs: Option<&LibraryStore>,
 ) -> Result<PolicyBundle, String> {
     let elf = bside_elf::Elf::parse(elf_bytes).map_err(|e| format!("parsing {name}: {e}"))?;
-    if !elf.needed_libraries().is_empty() {
-        return Err(format!(
-            "{name} is dynamically linked; the policy service serves static binaries \
-             (analyze it with library interfaces via `bside analyze` instead)"
-        ));
-    }
-    let analysis = Analyzer::new(options.clone())
-        .analyze_static(&elf)
-        .map_err(|e| e.to_string())?;
+    derive_bundle_parsed(name, &elf, options, libs)
+}
+
+/// [`derive_bundle`] over an already-parsed ELF — the server's path,
+/// which parses once to detect `DT_NEEDED` and compute the store key
+/// before deciding to analyze.
+pub fn derive_bundle_parsed(
+    name: &str,
+    elf: &bside_elf::Elf,
+    options: &AnalyzerOptions,
+    libs: Option<&LibraryStore>,
+) -> Result<PolicyBundle, String> {
+    let analyzer = Analyzer::new(options.clone());
+    let analysis = if elf.needed_libraries().is_empty() {
+        analyzer.analyze_static(elf).map_err(|e| e.to_string())?
+    } else {
+        let Some(libs) = libs else {
+            return Err(format!(
+                "{name} is dynamically linked; the policy service needs a shared-interface \
+                 directory to resolve it (start the daemon with --lib-dir, or analyze it \
+                 locally via `bside analyze --lib`)"
+            ));
+        };
+        analyzer
+            .analyze_dynamic(elf, libs, &[])
+            .map_err(|e| e.to_string())?
+    };
     let site_sets: HashMap<u64, SyscallSet> = analysis
         .sites
         .iter()
@@ -128,17 +160,57 @@ mod tests {
     fn derive_bundle_is_deterministic_and_consistent() {
         let profile = bside_gen::profiles::lighttpd();
         let options = AnalyzerOptions::default();
-        let a = derive_bundle("lighttpd", &profile.program.image, &options).expect("derives");
-        let b = derive_bundle("lighttpd", &profile.program.image, &options).expect("derives");
+        let a = derive_bundle("lighttpd", &profile.program.image, &options, None).expect("derives");
+        let b = derive_bundle("lighttpd", &profile.program.image, &options, None).expect("derives");
         assert_eq!(a, b, "same bytes, same bundle");
         assert_eq!(a.policy.allowed, a.bpf_allowed_set(), "bpf matches policy");
     }
 
     #[test]
     fn derive_bundle_rejects_garbage_and_reports_parsing() {
-        let err = derive_bundle("junk", b"not an elf", &AnalyzerOptions::default())
+        let err = derive_bundle("junk", b"not an elf", &AnalyzerOptions::default(), None)
             .expect_err("must fail");
         assert!(err.contains("parsing junk"), "got: {err}");
+    }
+
+    #[test]
+    fn dynamic_binary_without_libs_is_refused_with_guidance() {
+        let corpus = bside_gen::corpus::corpus_with_size(5, 0, 1, 2);
+        let binary = &corpus.binaries[0];
+        assert!(!binary.program.elf.needed_libraries().is_empty());
+        let err = derive_bundle(
+            "dyn",
+            &binary.program.image,
+            &AnalyzerOptions::default(),
+            None,
+        )
+        .expect_err("no libs");
+        assert!(err.contains("--lib-dir"), "got: {err}");
+    }
+
+    #[test]
+    fn dynamic_binary_derives_through_the_library_store() {
+        let corpus = bside_gen::corpus::corpus_with_size(5, 0, 1, 2);
+        let binary = &corpus.binaries[0];
+        let analyzer = Analyzer::new(AnalyzerOptions::default());
+        let refs: Vec<(&str, &bside_elf::Elf)> = corpus
+            .libraries
+            .iter()
+            .map(|l| (l.spec.name.as_str(), &l.elf))
+            .collect();
+        let libs = analyzer.analyze_libraries(&refs).expect("libraries");
+        let bundle = derive_bundle(
+            "dyn",
+            &binary.program.image,
+            &AnalyzerOptions::default(),
+            Some(&libs),
+        )
+        .expect("derives dynamically");
+        // The bundle's allow-list is exactly the analyze_dynamic result.
+        let local = analyzer
+            .analyze_dynamic(&binary.program.elf, &libs, &[])
+            .expect("local analysis");
+        assert_eq!(bundle.policy.allowed, local.syscalls);
     }
 
     impl PolicyBundle {

@@ -8,11 +8,15 @@
 //! client receives is exactly what a local derivation would serialize.
 //!
 //! ```text
-//! server → client   {"type":"hello","version":1}                          (once, on connect)
+//! server → client   {"type":"hello","version":2,"generation":7}           (once, on connect)
 //! client → server   {"type":"policy","path":"/corpus/000_redis.elf"}
 //!                   {"type":"policy_by_key","key":"9f2c…"}
+//!                   {"type":"invalidate","key":"9f2c…"}
+//!                   {"type":"watch","generation":7}
 //!                   {"type":"stats"} | {"type":"ping"} | {"type":"shutdown"}
-//! server → client   {"type":"policy","key":"9f2c…","source":"store","bundle":{…}}
+//! server → client   {"type":"policy","key":"9f2c…","source":"Store","generation":7,"bundle":{…}}
+//!                   {"type":"invalidated","key":"9f2c…","removed":true,"generation":8}
+//!                   {"type":"generation","generation":9}                  (watch fires)
 //!                   {"type":"stats","stats":{…}} | {"type":"pong"} | {"type":"shutting_down"}
 //!                   {"type":"error","message":"reading /x: No such file…"}
 //! ```
@@ -20,30 +24,81 @@
 //! **Versioning.** The server opens every connection with a `hello`
 //! carrying its [`PROTOCOL_VERSION`]; clients refuse a mismatched server
 //! instead of mis-parsing replies, exactly as the dist coordinator
-//! refuses mismatched workers.
+//! refuses mismatched workers. v2 added the generation counter,
+//! `invalidate`/`watch`, and the `Coalesced` source.
 //!
 //! **Error replies.** A request that cannot be answered (unreadable
 //! file, unknown key, analysis failure) produces a `{"type":"error"}`
 //! reply on the same connection — the connection survives and the client
 //! may keep issuing requests. Only a *malformed line* (non-JSON, unknown
-//! `type`) ends the connection, since framing can no longer be trusted.
+//! `type`, or a request line past [`MAX_REQUEST_LINE_BYTES`]) ends the
+//! connection, since framing can no longer be trusted.
 //!
 //! **Cache observability.** Every policy reply carries `"source"`:
-//! `"store"` when the bundle was served from the content-addressed store
-//! without re-analysis, `"analyzed"` when this request ran the pipeline
-//! — the metadata the round-trip tests (and operators watching hit
-//! rates) key on.
+//! `"Store"` when the bundle was served from the content-addressed store
+//! without re-analysis, `"Analyzed"` when this request ran the pipeline,
+//! `"Coalesced"` when this request blocked on (and shares) a concurrent
+//! identical request's analysis — the metadata the round-trip tests (and
+//! operators watching hit rates) key on.
+//!
+//! **Change notification.** Every mutation of the daemon's store bumps a
+//! monotonic per-daemon *generation*, surfaced in `hello`, every policy
+//! reply, the stats snapshot, and `invalidated` acks. A `watch` request
+//! blocks until the store generation exceeds the client's value and then
+//! answers `{"type":"generation"}` — push, not polling, for enforcement
+//! agents that must learn when a binary was re-analyzed.
 
 use bside_filter::bpf::BpfProgram;
 use bside_filter::{FilterPolicy, PhasePolicy};
 use serde::{de, to_value, Value};
+use std::io::BufRead;
 
 use bside_dist::protocol::{obj_fields, take_field};
 
 pub use bside_dist::protocol::{read_message, write_message};
 
 /// Protocol revision; bumped on any incompatible message change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: generation counter, `invalidate`/`watch`, `Coalesced` source.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Upper bound on one *request* line the server will read. Requests
+/// carry paths and hex keys — kilobytes at most — so anything past this
+/// is a confused or hostile peer; the read fails like any other framing
+/// error (in-band error reply, then disconnect) instead of buffering
+/// without bound. Replies are not capped: policy bundles are legitimately
+/// large.
+pub const MAX_REQUEST_LINE_BYTES: u64 = 256 * 1024;
+
+/// [`read_message`] with a line-length cap — the server-side request
+/// reader. A line longer than `cap` yields an `InvalidData` error (the
+/// caller answers in band and drops the connection, exactly as for
+/// non-JSON garbage).
+pub fn read_message_capped<T: for<'de> serde::Deserialize<'de>>(
+    reader: &mut impl BufRead,
+    cap: u64,
+) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let mut limited = std::io::Read::take(&mut *reader, cap);
+        let n = limited.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if n as u64 >= cap && !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("request line exceeds {cap} bytes"),
+            ));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return serde_json::from_str(line.trim())
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
 
 /// Where a policy reply came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +107,17 @@ pub enum Source {
     Store,
     /// This request ran the analysis pipeline (and populated the store).
     Analyzed,
+    /// This request arrived while an identical cold request was being
+    /// analyzed; it blocked on that single flight and shares its result
+    /// (no second analysis ran).
+    Coalesced,
 }
 
-serde::impl_serde_unit_enum!(Source { Store, Analyzed });
+serde::impl_serde_unit_enum!(Source {
+    Store,
+    Analyzed,
+    Coalesced
+});
 
 /// Everything the enforcement point needs for one binary: the
 /// whole-program allow-list, the per-phase refinement, and the lowered
@@ -89,12 +152,22 @@ pub struct StatsSnapshot {
     pub store_hits: u64,
     /// Policy requests that ran the analysis pipeline.
     pub analyses: u64,
+    /// Policy requests that blocked on and shared a concurrent identical
+    /// analysis (single-flight followers).
+    pub coalesced: u64,
+    /// `invalidate` requests that removed an entry.
+    pub invalidations: u64,
+    /// Binary-file bytes read off disk for policy requests — flat across
+    /// store hits for already-keyed paths (the hit path re-reads nothing).
+    pub bytes_read: u64,
     /// Error replies sent.
     pub errors: u64,
     /// Connections dropped by a panicking handler (fault isolation).
     pub panics: u64,
     /// Entries currently in the policy store.
     pub store_entries: u64,
+    /// The store's generation at snapshot time.
+    pub generation: u64,
 }
 
 serde::impl_serde_struct!(StatsSnapshot {
@@ -102,9 +175,13 @@ serde::impl_serde_struct!(StatsSnapshot {
     requests,
     store_hits,
     analyses,
+    coalesced,
+    invalidations,
+    bytes_read,
     errors,
     panics,
-    store_entries
+    store_entries,
+    generation
 });
 
 /// Messages a client sends to the server.
@@ -121,6 +198,19 @@ pub enum Request {
         /// The `SHA-256(elf bytes ‖ options fingerprint)` store key.
         key: String,
     },
+    /// Drop the stored policy under a content address so the next fetch
+    /// re-analyzes (e.g. after a binary or library upgrade).
+    Invalidate {
+        /// The store key to drop.
+        key: String,
+    },
+    /// Block until the store generation exceeds this value, then answer
+    /// with the new generation — the push channel for long-lived
+    /// enforcement agents.
+    Watch {
+        /// The generation the client has already observed.
+        generation: u64,
+    },
     /// The server's counters.
     Stats,
     /// Liveness probe.
@@ -136,15 +226,35 @@ pub enum Reply {
     Hello {
         /// The server's [`PROTOCOL_VERSION`].
         version: u32,
+        /// The store generation at connect time — the anchor for `watch`.
+        generation: u64,
     },
     /// A policy lookup succeeded.
     Policy {
         /// The bundle's content address in the store.
         key: String,
-        /// Whether the bundle was served from the store or analyzed now.
+        /// Whether the bundle came from the store, this request's
+        /// analysis, or a coalesced concurrent analysis.
         source: Source,
+        /// The store generation observed when the reply was built.
+        generation: u64,
         /// The policy bundle (boxed: it dwarfs the other variants).
         bundle: Box<PolicyBundle>,
+    },
+    /// An `invalidate` request was processed.
+    Invalidated {
+        /// The key, echoed back.
+        key: String,
+        /// `true` when an entry existed and was removed (and the
+        /// generation bumped); `false` for an unknown key (no bump).
+        removed: bool,
+        /// The store generation after the operation.
+        generation: u64,
+    },
+    /// A `watch` fired: the store generation passed the client's value.
+    Generation {
+        /// The new generation.
+        generation: u64,
     },
     /// The server's counters.
     Stats {
@@ -173,6 +283,14 @@ impl serde::Serialize for Request {
                 ("type".to_string(), Value::Str("policy_by_key".to_string())),
                 ("key".to_string(), Value::Str(key.clone())),
             ]),
+            Request::Invalidate { key } => Value::Object(vec![
+                ("type".to_string(), Value::Str("invalidate".to_string())),
+                ("key".to_string(), Value::Str(key.clone())),
+            ]),
+            Request::Watch { generation } => Value::Object(vec![
+                ("type".to_string(), Value::Str("watch".to_string())),
+                ("generation".to_string(), Value::UInt(*generation)),
+            ]),
             Request::Stats => tag_only("stats"),
             Request::Ping => tag_only("ping"),
             Request::Shutdown => tag_only("shutdown"),
@@ -184,19 +302,39 @@ impl serde::Serialize for Request {
 impl serde::Serialize for Reply {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let value = match self {
-            Reply::Hello { version } => Value::Object(vec![
+            Reply::Hello {
+                version,
+                generation,
+            } => Value::Object(vec![
                 ("type".to_string(), Value::Str("hello".to_string())),
                 ("version".to_string(), Value::UInt(*version as u64)),
+                ("generation".to_string(), Value::UInt(*generation)),
             ]),
             Reply::Policy {
                 key,
                 source,
+                generation,
                 bundle,
             } => Value::Object(vec![
                 ("type".to_string(), Value::Str("policy".to_string())),
                 ("key".to_string(), Value::Str(key.clone())),
                 ("source".to_string(), to_value(source)),
+                ("generation".to_string(), Value::UInt(*generation)),
                 ("bundle".to_string(), to_value(bundle)),
+            ]),
+            Reply::Invalidated {
+                key,
+                removed,
+                generation,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("invalidated".to_string())),
+                ("key".to_string(), Value::Str(key.clone())),
+                ("removed".to_string(), Value::Bool(*removed)),
+                ("generation".to_string(), Value::UInt(*generation)),
+            ]),
+            Reply::Generation { generation } => Value::Object(vec![
+                ("type".to_string(), Value::Str("generation".to_string())),
+                ("generation".to_string(), Value::UInt(*generation)),
             ]),
             Reply::Stats { stats } => Value::Object(vec![
                 ("type".to_string(), Value::Str("stats".to_string())),
@@ -226,6 +364,15 @@ fn take_string(entries: &mut Vec<(String, Value)>, name: &str) -> Result<String,
     }
 }
 
+fn take_u64(entries: &mut Vec<(String, Value)>, name: &str) -> Result<u64, de::ValueError> {
+    match take_field(entries, name)? {
+        Value::UInt(n) => Ok(n),
+        other => Err(de::Error::custom(format!(
+            "field `{name}` must be an unsigned integer, found {other:?}"
+        ))),
+    }
+}
+
 impl<'de> serde::Deserialize<'de> for Request {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let mut entries =
@@ -237,6 +384,12 @@ impl<'de> serde::Deserialize<'de> for Request {
             }),
             "policy_by_key" => Ok(Request::PolicyByKey {
                 key: take_string(&mut entries, "key").map_err(de::Error::custom)?,
+            }),
+            "invalidate" => Ok(Request::Invalidate {
+                key: take_string(&mut entries, "key").map_err(de::Error::custom)?,
+            }),
+            "watch" => Ok(Request::Watch {
+                generation: take_u64(&mut entries, "generation").map_err(de::Error::custom)?,
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
@@ -257,6 +410,15 @@ impl<'de> serde::Deserialize<'de> for Reply {
                     take_field(&mut entries, "version").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                // Absent from v1 hellos; default *only* then, so the
+                // version check can produce its helpful mismatch message
+                // when talking to an old daemon — a present-but-malformed
+                // value is still a protocol error, not a silent zero.
+                generation: if entries.iter().any(|(name, _)| name == "generation") {
+                    take_u64(&mut entries, "generation").map_err(de::Error::custom)?
+                } else {
+                    0
+                },
             }),
             "policy" => Ok(Reply::Policy {
                 key: take_string(&mut entries, "key").map_err(de::Error::custom)?,
@@ -264,10 +426,26 @@ impl<'de> serde::Deserialize<'de> for Reply {
                     take_field(&mut entries, "source").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                generation: take_u64(&mut entries, "generation").map_err(de::Error::custom)?,
                 bundle: serde::from_value(
                     take_field(&mut entries, "bundle").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+            }),
+            "invalidated" => Ok(Reply::Invalidated {
+                key: take_string(&mut entries, "key").map_err(de::Error::custom)?,
+                removed: match take_field(&mut entries, "removed").map_err(de::Error::custom)? {
+                    Value::Bool(b) => b,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "field `removed` must be a bool, found {other:?}"
+                        )))
+                    }
+                },
+                generation: take_u64(&mut entries, "generation").map_err(de::Error::custom)?,
+            }),
+            "generation" => Ok(Reply::Generation {
+                generation: take_u64(&mut entries, "generation").map_err(de::Error::custom)?,
             }),
             "stats" => Ok(Reply::Stats {
                 stats: serde::from_value(
@@ -330,6 +508,10 @@ mod tests {
         round_trip_request(Request::PolicyByKey {
             key: "9f".repeat(32),
         });
+        round_trip_request(Request::Invalidate {
+            key: "9f".repeat(32),
+        });
+        round_trip_request(Request::Watch { generation: 41 });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
@@ -339,26 +521,35 @@ mod tests {
     fn every_reply_variant_round_trips() {
         round_trip_reply(Reply::Hello {
             version: PROTOCOL_VERSION,
+            generation: 12,
         });
-        round_trip_reply(Reply::Policy {
-            key: "ab".repeat(32),
-            source: Source::Store,
-            bundle: Box::new(bundle()),
-        });
-        round_trip_reply(Reply::Policy {
+        for source in [Source::Store, Source::Analyzed, Source::Coalesced] {
+            round_trip_reply(Reply::Policy {
+                key: "ab".repeat(32),
+                source,
+                generation: 3,
+                bundle: Box::new(bundle()),
+            });
+        }
+        round_trip_reply(Reply::Invalidated {
             key: "cd".repeat(32),
-            source: Source::Analyzed,
-            bundle: Box::new(bundle()),
+            removed: true,
+            generation: 4,
         });
+        round_trip_reply(Reply::Generation { generation: 5 });
         round_trip_reply(Reply::Stats {
             stats: StatsSnapshot {
                 connections: 3,
                 requests: 14,
                 store_hits: 11,
                 analyses: 2,
+                coalesced: 5,
+                invalidations: 1,
+                bytes_read: 4096,
                 errors: 1,
                 panics: 0,
                 store_entries: 2,
+                generation: 3,
             },
         });
         round_trip_reply(Reply::Pong);
@@ -391,5 +582,59 @@ mod tests {
         assert!(serde_json::from_str::<Reply>("{\"type\":\"nope\"}").is_err());
         assert!(serde_json::from_str::<Request>("not json").is_err());
         assert!(serde_json::from_str::<Request>("{\"type\":\"policy\"}").is_err());
+        assert!(
+            serde_json::from_str::<Request>("{\"type\":\"watch\",\"generation\":\"x\"}").is_err()
+        );
+    }
+
+    #[test]
+    fn a_v1_hello_still_reports_its_version() {
+        // The generation field is new in v2; a v1 hello must parse far
+        // enough for the client to print the version mismatch.
+        let hello: Reply = serde_json::from_str("{\"type\":\"hello\",\"version\":1}").unwrap();
+        assert_eq!(
+            hello,
+            Reply::Hello {
+                version: 1,
+                generation: 0
+            }
+        );
+        // But a *present* malformed generation is a protocol error, not
+        // a silent zero a watcher would mis-anchor on.
+        assert!(serde_json::from_str::<Reply>(
+            "{\"type\":\"hello\",\"version\":2,\"generation\":\"oops\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn capped_reader_accepts_normal_lines_and_rejects_oversized_ones() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Ping).unwrap();
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        assert_eq!(
+            read_message_capped::<Request>(&mut reader, MAX_REQUEST_LINE_BYTES).unwrap(),
+            Some(Request::Ping)
+        );
+        assert!(
+            read_message_capped::<Request>(&mut reader, MAX_REQUEST_LINE_BYTES)
+                .unwrap()
+                .is_none()
+        );
+
+        // A line that never ends within the cap is a framing error, and
+        // the error arrives without buffering the whole line.
+        let huge = vec![b'a'; 64];
+        let mut reader = std::io::BufReader::new(huge.as_slice());
+        let err = read_message_capped::<Request>(&mut reader, 16).expect_err("oversized");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
+
+        // Empty lines are still skipped, exactly like the uncapped codec.
+        let mut reader = std::io::BufReader::new(&b"\n\n{\"type\":\"ping\"}\n"[..]);
+        assert_eq!(
+            read_message_capped::<Request>(&mut reader, MAX_REQUEST_LINE_BYTES).unwrap(),
+            Some(Request::Ping)
+        );
     }
 }

@@ -10,37 +10,61 @@
 //! counted, and costs exactly its own connection — the daemon and every
 //! other client keep going.
 //!
+//! The analyze-on-miss path is **single-flight** (`flight`): concurrent
+//! cold requests for one store key run exactly one analysis; followers
+//! block on the leader and share its result (`Source::Coalesced`). A
+//! panicking leader fails its followers with an in-band error instead of
+//! hanging them. Repeat requests for an unchanged path skip even the
+//! file read: a `(len, mtime) → key` memo resolves the store key without
+//! touching the payload, so the hit path reads the binary exactly once
+//! over its lifetime (observable via the `bytes_read` counter).
+//!
 //! Shutdown is cooperative and complete: an in-band `shutdown` request
 //! (or [`ServerHandle::shutdown`]) sets a flag and dials a wake
 //! connection so the blocking accept returns; the accept thread stops
 //! handing out connections, the channel drains, workers finish their
 //! current request (idle connections expire within
-//! [`ServeOptions::read_timeout`]), and the listener's Unix socket file
-//! is removed. [`ServerHandle::join`] returns only after every thread
-//! has exited.
+//! [`ServeOptions::read_timeout`]; blocked `watch`es are failed in band),
+//! and the listener's Unix socket file is removed. [`ServerHandle::join`]
+//! returns only after every thread has exited.
 
+use crate::flight::{FlightTable, Ticket};
 use crate::net::{cleanup, is_timeout, Conn, Endpoint, Listener};
 use crate::protocol::{
-    read_message, write_message, Reply, Request, Source, StatsSnapshot, PROTOCOL_VERSION,
+    read_message_capped, write_message, Reply, Request, Source, StatsSnapshot,
+    MAX_REQUEST_LINE_BYTES, PROTOCOL_VERSION,
 };
-use crate::store::PolicyStore;
-use crate::{binary_name, derive_bundle};
-use bside_core::AnalyzerOptions;
+use crate::store::{library_fingerprint, PolicyStore};
+use crate::{binary_name, derive_bundle, derive_bundle_parsed};
+use bside_core::{AnalyzerOptions, LibraryStore};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
+
+/// Callback invoked (with the store key) every time the daemon is about
+/// to run a cold analysis — the observability hook the single-flight
+/// tests count invocations on. `None` in production.
+pub type AnalysisHook = Arc<dyn Fn(&str) + Send + Sync>;
 
 /// Configuration of a policy server.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Directory of the content-addressed policy store; `None` keeps the
     /// store purely in memory (lost on shutdown).
     pub store_dir: Option<std::path::PathBuf>,
+    /// Directory of `<name>.interface.json` shared interfaces (§4.5, as
+    /// written by `bside interface` / `LibraryStore::save_to_dir`). With
+    /// it, dynamically linked binaries are served via
+    /// `Analyzer::analyze_dynamic`; without it they are refused in band.
+    pub library_dir: Option<std::path::PathBuf>,
     /// Worker threads — the number of connections served concurrently.
+    /// A blocked `watch` occupies its worker for its whole wait, so size
+    /// the pool for expected watchers plus request concurrency.
     pub threads: usize,
     /// Analyzer configuration for the analyze-on-miss path; also the
     /// options half of every store key.
@@ -49,20 +73,46 @@ pub struct ServeOptions {
     /// closed when it expires, which also bounds how long shutdown waits
     /// for idle clients.
     pub read_timeout: Duration,
-    /// Fault-injection hook for the isolation tests: a policy request
-    /// whose path contains this substring panics in the handler. `None`
-    /// in production.
+    /// Artificial delay inserted before every cold analysis — widens the
+    /// single-flight race window so tests and CI smokes can assert
+    /// coalescing deterministically (`BSIDE_SERVE_ANALYSIS_DELAY_MS` in
+    /// the CLI). `None` in production.
+    pub analysis_delay: Option<Duration>,
+    /// Fault-injection hook for the isolation tests: a cold analysis for
+    /// a path containing this substring panics mid-flight. `None` in
+    /// production.
     pub panic_on_substr: Option<String>,
+    /// Observability hook: called with the store key just before every
+    /// cold analysis runs. `None` in production.
+    pub analysis_hook: Option<AnalysisHook>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("store_dir", &self.store_dir)
+            .field("library_dir", &self.library_dir)
+            .field("threads", &self.threads)
+            .field("analyzer", &self.analyzer)
+            .field("read_timeout", &self.read_timeout)
+            .field("analysis_delay", &self.analysis_delay)
+            .field("panic_on_substr", &self.panic_on_substr)
+            .field("analysis_hook", &self.analysis_hook.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             store_dir: None,
+            library_dir: None,
             threads: 4,
             analyzer: AnalyzerOptions::default(),
             read_timeout: Duration::from_secs(5),
+            analysis_delay: None,
             panic_on_substr: None,
+            analysis_hook: None,
         }
     }
 }
@@ -73,16 +123,56 @@ struct Counters {
     requests: AtomicU64,
     store_hits: AtomicU64,
     analyses: AtomicU64,
+    coalesced: AtomicU64,
+    invalidations: AtomicU64,
+    bytes_read: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
 }
 
+/// One `(len, mtime) → store key` memo entry; lets a repeat request for
+/// an unchanged path reach the store without re-reading (or re-hashing)
+/// the binary.
+#[derive(Clone)]
+struct PathKey {
+    len: u64,
+    mtime: SystemTime,
+    key: String,
+}
+
 struct Shared {
     store: PolicyStore,
+    /// Shared interfaces for dynamic binaries; empty without
+    /// [`ServeOptions::library_dir`].
+    libraries: LibraryStore,
+    /// Content fingerprint of `libraries`; mixed into dynamic-binary
+    /// store keys. `None` when no libraries are loaded.
+    lib_fingerprint: Option<String>,
+    flights: FlightTable,
+    path_keys: Mutex<HashMap<String, PathKey>>,
+    /// Watches currently blocked in [`Shared::answer_watch`]; bounded to
+    /// keep workers free for the mutations that would wake them.
+    active_watches: AtomicU64,
     options: ServeOptions,
     endpoint: Endpoint,
     shutdown: AtomicBool,
     stats: Counters,
+}
+
+/// How long a blocked `watch` sleeps between shutdown-flag checks.
+const WATCH_SLICE: Duration = Duration::from_millis(100);
+
+/// Upper bound on the `(path → key)` memo. Deployments that fetch by
+/// ever-fresh per-pod paths would otherwise grow it without bound over
+/// a months-long daemon lifetime; the memo is a pure optimization, so
+/// hitting the cap just resets it and lets the hot paths re-memoize.
+const PATH_MEMO_CAP: usize = 8192;
+
+/// `true` for the canonical store-key form: 64 lowercase hex digits
+/// (SHA-256). Everything the daemon hands out matches; anything else
+/// from a client is refused before it reaches a filesystem path.
+fn is_store_key(key: &str) -> bool {
+    key.len() == 64 && key.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
 }
 
 impl Shared {
@@ -90,7 +180,9 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
         }
-        // Wake the blocking accept; the accepted connection is dropped.
+        // Blocked watchers notice the flag within one WATCH_SLICE (their
+        // wait is deliberately sliced). Wake the blocking accept; the
+        // accepted connection is dropped.
         let _ = Conn::connect(&self.endpoint);
     }
 
@@ -100,15 +192,49 @@ impl Shared {
             requests: self.stats.requests.load(Ordering::Relaxed),
             store_hits: self.stats.store_hits.load(Ordering::Relaxed),
             analyses: self.stats.analyses.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
             panics: self.stats.panics.load(Ordering::Relaxed),
             store_entries: self.store.len() as u64,
+            generation: self.store.generation(),
         }
     }
 
     fn error_reply(&self, message: String) -> Reply {
         self.stats.errors.fetch_add(1, Ordering::Relaxed);
         Reply::Error { message }
+    }
+
+    /// The one place a policy reply is built: bumps the counter the
+    /// source implies, so a future source variant cannot miss its
+    /// accounting. (`analyses` is counted where a derivation actually
+    /// runs — an `Analyzed` reply follows at most one of those.)
+    /// `generation` is the value to report: the landed generation for a
+    /// fresh insert, the current one otherwise.
+    fn policy_reply(
+        &self,
+        key: String,
+        source: Source,
+        generation: u64,
+        bundle: crate::PolicyBundle,
+    ) -> Reply {
+        match source {
+            Source::Store => {
+                self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Source::Coalesced => {
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            Source::Analyzed => {}
+        }
+        Reply::Policy {
+            key,
+            source,
+            generation,
+            bundle: Box::new(bundle),
+        }
     }
 
     /// Answers one request. Never panics on malformed input — only the
@@ -120,59 +246,267 @@ impl Shared {
                 stats: self.snapshot(),
             },
             Request::Shutdown => Reply::ShuttingDown,
-            Request::PolicyByKey { key } => match self.store.load(key) {
-                Some(bundle) => {
-                    self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
-                    Reply::Policy {
-                        key: key.clone(),
-                        source: Source::Store,
-                        bundle: Box::new((*bundle).clone()),
-                    }
+            Request::PolicyByKey { key } => {
+                // Client-supplied keys reach the store's filesystem
+                // layer; anything but the canonical SHA-256 hex form is
+                // refused before it can traverse out of the store dir.
+                if !is_store_key(key) {
+                    return self.error_reply(format!(
+                        "malformed policy key {key:?} (expected 64 lowercase hex digits)"
+                    ));
                 }
-                None => self.error_reply(format!("no stored policy under key {key}")),
-            },
+                match self.store.load(key) {
+                    Some(bundle) => self.policy_reply(
+                        key.clone(),
+                        Source::Store,
+                        self.store.generation(),
+                        (*bundle).clone(),
+                    ),
+                    None => self.error_reply(format!("no stored policy under key {key}")),
+                }
+            }
+            Request::Invalidate { key } => {
+                if !is_store_key(key) {
+                    return self.error_reply(format!(
+                        "malformed policy key {key:?} (expected 64 lowercase hex digits)"
+                    ));
+                }
+                match self.store.invalidate(key) {
+                    Some(generation) => {
+                        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                        Reply::Invalidated {
+                            key: key.clone(),
+                            removed: true,
+                            generation,
+                        }
+                    }
+                    None => Reply::Invalidated {
+                        key: key.clone(),
+                        removed: false,
+                        generation: self.store.generation(),
+                    },
+                }
+            }
+            Request::Watch { generation } => self.answer_watch(*generation),
             Request::Policy { path } => self.answer_policy(path),
         }
     }
 
+    /// Blocks until the store generation exceeds the client's, in short
+    /// slices so shutdown can interleave (a shutdown fails the watch in
+    /// band rather than leaving the client hanging on a dead socket).
+    ///
+    /// A blocked watch occupies its pool worker, so concurrent watches
+    /// are capped below the pool size: at least one worker always stays
+    /// free for the very mutations (policy/invalidate requests) that
+    /// would wake the watchers — without the cap, `threads` watchers
+    /// deadlock the daemon against itself.
+    fn answer_watch(&self, seen: u64) -> Reply {
+        let cap = (self.options.threads.max(1) - 1) as u64;
+        if cap == 0 {
+            return self.error_reply(
+                "watch requires at least 2 worker threads (--threads); \
+                 a single-worker daemon would deadlock against itself"
+                    .to_string(),
+            );
+        }
+        // Only this process issues generations, so an anchor ahead of the
+        // store is always a client error (typically a pre-restart anchor
+        // replayed after the counter reset) — reject it instead of
+        // pinning a watch slot until shutdown on a wait that can take
+        // arbitrarily long to satisfy.
+        let current = self.store.generation();
+        if seen > current {
+            return self.error_reply(format!(
+                "watch generation {seen} is ahead of the store (current {current}); \
+                 re-anchor from a fresh hello or fetch"
+            ));
+        }
+        let admitted = self
+            .active_watches
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            return self.error_reply(format!(
+                "too many concurrent watch requests (limit {cap}); retry later or raise --threads"
+            ));
+        }
+        let reply = loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break self.error_reply("server shutting down; watch aborted".to_string());
+            }
+            let now = self.store.wait_newer(seen, WATCH_SLICE);
+            if now > seen {
+                break Reply::Generation { generation: now };
+            }
+        };
+        self.active_watches.fetch_sub(1, Ordering::SeqCst);
+        reply
+    }
+
+    /// The `(len, mtime) → key` memo: the store key of an unchanged path
+    /// without re-reading the file. Same staleness caveat as the dist
+    /// cache — a rewrite preserving both length and mtime is invisible.
+    fn memoized_key(&self, path: &str, len: u64, mtime: SystemTime) -> Option<String> {
+        let memo = self.path_keys.lock().expect("path memo lock");
+        memo.get(path)
+            .filter(|m| m.len == len && m.mtime == mtime)
+            .map(|m| m.key.clone())
+    }
+
+    fn memoize_key(&self, path: &str, len: u64, mtime: SystemTime, key: &str) {
+        let mut memo = self.path_keys.lock().expect("path memo lock");
+        if memo.len() >= PATH_MEMO_CAP && !memo.contains_key(path) {
+            memo.clear();
+        }
+        memo.insert(
+            path.to_string(),
+            PathKey {
+                len,
+                mtime,
+                key: key.to_string(),
+            },
+        );
+    }
+
     fn answer_policy(&self, path: &str) -> Reply {
-        if let Some(needle) = &self.options.panic_on_substr {
-            if path.contains(needle.as_str()) {
-                panic!("fault hook: policy request for {path}");
+        // Store-key resolution before payload read (the PR-4 reorder):
+        // stat the file, and if an unchanged `(len, mtime)` already has a
+        // memoized key that hits the store, answer without reading the
+        // binary at all — the hit path costs zero payload bytes.
+        let meta = match std::fs::metadata(path) {
+            Ok(meta) => meta,
+            Err(e) => return self.error_reply(format!("reading {path}: {e}")),
+        };
+        let stamp = meta.modified().ok();
+        if let Some(mtime) = stamp {
+            if let Some(key) = self.memoized_key(path, meta.len(), mtime) {
+                if let Some(bundle) = self.store.load(&key) {
+                    return self.policy_reply(
+                        key,
+                        Source::Store,
+                        self.store.generation(),
+                        (*bundle).clone(),
+                    );
+                }
             }
         }
+
+        // Cold (or invalidated) path: read the payload once. The ELF is
+        // parsed here only when libraries are loaded — then `DT_NEEDED`
+        // decides whether the library-set fingerprint joins the key (so
+        // re-analyzed interfaces never serve stale bundles). Without
+        // libraries the key is a pure function of the bytes, and parsing
+        // is deferred into the analysis leader: a first-per-path fetch
+        // against a pre-populated store stays parse-free.
         let bytes = match std::fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) => return self.error_reply(format!("reading {path}: {e}")),
         };
-        let key = PolicyStore::key(&bytes, &self.options.analyzer);
-        if let Some(bundle) = self.store.load(&key) {
-            self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
-            return Reply::Policy {
-                key,
-                source: Source::Store,
-                bundle: Box::new((*bundle).clone()),
-            };
-        }
+        self.stats
+            .bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let name = binary_name(std::path::Path::new(path));
-        let bundle = match derive_bundle(&name, &bytes, &self.options.analyzer) {
-            Ok(bundle) => bundle,
-            Err(message) => return self.error_reply(message),
+        let parsed = match self.lib_fingerprint.as_deref() {
+            None => None,
+            Some(fp) => match bside_elf::Elf::parse(&bytes) {
+                Ok(elf) => {
+                    let dynamic = !elf.needed_libraries().is_empty();
+                    Some((elf, dynamic.then_some(fp)))
+                }
+                Err(e) => return self.error_reply(format!("parsing {name}: {e}")),
+            },
         };
-        self.stats.analyses.fetch_add(1, Ordering::Relaxed);
-        let bundle = match self.store.insert(&key, bundle.clone()) {
-            Ok(stored) => (*stored).clone(),
-            Err(e) => {
-                // A store write failure degrades durability, not service:
-                // the freshly derived bundle still answers this request.
-                eprintln!("bside-serve: storing policy {key}: {e}");
-                bundle
+        let lib_fp = parsed.as_ref().and_then(|(_, fp)| *fp);
+        let key = PolicyStore::key_with_libs(&bytes, &self.options.analyzer, lib_fp);
+        // Memoize against a stamp taken *after* the read, and only when
+        // it still describes what was read: binding the pre-read stamp
+        // to the post-swap content would let a later rollback (restoring
+        // the original file with its original mtime) memo-hit the wrong
+        // key and serve the wrong policy.
+        if let Ok(after) = std::fs::metadata(path) {
+            if after.len() == bytes.len() as u64 {
+                if let Ok(mtime) = after.modified() {
+                    self.memoize_key(path, after.len(), mtime, &key);
+                }
             }
-        };
-        Reply::Policy {
-            key,
-            source: Source::Analyzed,
-            bundle: Box::new(bundle),
+        }
+        if let Some(bundle) = self.store.load(&key) {
+            return self.policy_reply(
+                key,
+                Source::Store,
+                self.store.generation(),
+                (*bundle).clone(),
+            );
+        }
+
+        // Store miss: join the single flight for this key.
+        match self.flights.join(&key) {
+            Ticket::Follower(Ok(bundle)) => self.policy_reply(
+                key,
+                Source::Coalesced,
+                self.store.generation(),
+                (*bundle).clone(),
+            ),
+            Ticket::Follower(Err(message)) => self.error_reply(message),
+            Ticket::Leader(guard) => {
+                // Double-check the store under leadership: a previous
+                // flight may have landed between our store miss and the
+                // join — serve it instead of re-analyzing.
+                if let Some(bundle) = self.store.load(&key) {
+                    guard.complete(Ok(Arc::clone(&bundle)));
+                    return self.policy_reply(
+                        key,
+                        Source::Store,
+                        self.store.generation(),
+                        (*bundle).clone(),
+                    );
+                }
+                if let Some(delay) = self.options.analysis_delay {
+                    std::thread::sleep(delay);
+                }
+                if let Some(needle) = &self.options.panic_on_substr {
+                    if path.contains(needle.as_str()) {
+                        // Deliberate mid-flight panic: the guard's Drop
+                        // fails every follower in band on the way out.
+                        panic!("fault hook: policy request for {path}");
+                    }
+                }
+                if let Some(hook) = &self.options.analysis_hook {
+                    hook(&key);
+                }
+                let libs = (!self.libraries.is_empty()).then_some(&self.libraries);
+                let derived = match &parsed {
+                    Some((elf, _)) => {
+                        derive_bundle_parsed(&name, elf, &self.options.analyzer, libs)
+                    }
+                    None => derive_bundle(&name, &bytes, &self.options.analyzer, libs),
+                };
+                match derived {
+                    Ok(bundle) => {
+                        self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+                        let (bundle, generation) = match self.store.insert(&key, bundle.clone()) {
+                            Ok(landed) => landed,
+                            Err(e) => {
+                                // A store write failure degrades durability,
+                                // not service: the freshly derived bundle
+                                // still answers this request and its
+                                // followers.
+                                eprintln!("bside-serve: storing policy {key}: {e}");
+                                (Arc::new(bundle), self.store.generation())
+                            }
+                        };
+                        guard.complete(Ok(Arc::clone(&bundle)));
+                        self.policy_reply(key, Source::Analyzed, generation, (*bundle).clone())
+                    }
+                    Err(message) => {
+                        guard.complete(Err(message.clone()));
+                        self.error_reply(message)
+                    }
+                }
+            }
         }
     }
 
@@ -188,6 +522,7 @@ impl Shared {
             &mut writer,
             &Reply::Hello {
                 version: PROTOCOL_VERSION,
+                generation: self.store.generation(),
             },
         )
         .is_err()
@@ -198,7 +533,8 @@ impl Shared {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let request = match read_message::<Request>(&mut reader) {
+            let request = match read_message_capped::<Request>(&mut reader, MAX_REQUEST_LINE_BYTES)
+            {
                 Ok(Some(request)) => request,
                 Ok(None) => return, // clean EOF
                 Err(e) if is_timeout(&e) => return,
@@ -229,12 +565,29 @@ pub struct PolicyServer;
 
 impl PolicyServer {
     /// Binds `endpoint` and starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/store errors, and `InvalidData` when
+    /// [`ServeOptions::library_dir`] exists but holds a malformed
+    /// interface file (a half-loaded library set would silently change
+    /// every dynamic store key, so it is refused up front).
     pub fn spawn(endpoint: &Endpoint, options: ServeOptions) -> std::io::Result<ServerHandle> {
         let (listener, resolved) = Listener::bind(endpoint)?;
         let store = PolicyStore::open(options.store_dir.as_deref())?;
+        let libraries = match &options.library_dir {
+            Some(dir) => LibraryStore::load_from_dir(dir)?,
+            None => LibraryStore::new(),
+        };
+        let lib_fingerprint = library_fingerprint(&libraries);
         let threads = options.threads.max(1);
         let shared = Arc::new(Shared {
             store,
+            libraries,
+            lib_fingerprint,
+            flights: FlightTable::default(),
+            path_keys: Mutex::new(HashMap::new()),
+            active_watches: AtomicU64::new(0),
             options,
             endpoint: resolved,
             shutdown: AtomicBool::new(false),

@@ -4,8 +4,11 @@
 //! `SHA-256(elf bytes ‖ 0x00 ‖ semantic-options fingerprint)` — so a
 //! policy's address is stable across daemons, machines, and worker
 //! counts, and a store directory can be pre-populated by a batch corpus
-//! run and then served read-mostly. Values are [`PolicyBundle`]s in the
-//! `bside_filter::wire` JSON.
+//! run and then served read-mostly. Dynamically linked binaries extend
+//! the key with a **library-set fingerprint** (the SHA-256 of every
+//! loaded shared interface, see [`library_fingerprint`]): re-analyzing a
+//! library yields new interfaces, hence new keys, hence no stale bundles.
+//! Values are [`PolicyBundle`]s in the `bside_filter::wire` JSON.
 //!
 //! Two layers:
 //!
@@ -15,21 +18,37 @@
 //!   atomically (temp file + rename), shared safely between concurrent
 //!   daemons and surviving restarts. A corrupt or truncated entry reads
 //!   as a miss, never as an error — the daemon re-analyzes and rewrites.
+//!
+//! The store also owns the daemon's **generation counter**: a per-process
+//! strictly monotonic `u64` bumped by every mutation ([`PolicyStore::insert`],
+//! [`PolicyStore::invalidate`]) and broadcast to blocked watchers
+//! ([`PolicyStore::wait_newer`]) — the push half of the `watch`
+//! protocol, so long-lived enforcement agents learn about re-analyzed
+//! binaries without polling. Generations are not persisted: a restarted
+//! daemon starts at 0 and clients re-anchor from the `hello` they
+//! receive on (re)connect.
 
 use crate::protocol::PolicyBundle;
-use bside_core::AnalyzerOptions;
+use bside_core::{AnalyzerOptions, LibraryStore};
+use bside_dist::cache::{options_fingerprint, sha256_hex};
 use bside_dist::ResultCache;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
-/// A concurrent policy store: in-memory map over an optional directory.
+/// A concurrent policy store: in-memory map over an optional directory,
+/// plus the daemon's monotonic generation counter.
 #[derive(Debug)]
 pub struct PolicyStore {
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<String, Arc<PolicyBundle>>>,
+    /// Mutation counter; guarded by a mutex (not an atomic) so a bump and
+    /// its watcher notification are one atomic step.
+    generation: Mutex<u64>,
+    generation_cv: Condvar,
 }
 
 /// Distinguishes concurrent writers' temp files within one process (the
@@ -46,13 +65,38 @@ impl PolicyStore {
         Ok(PolicyStore {
             dir: dir.map(Path::to_path_buf),
             mem: Mutex::new(HashMap::new()),
+            generation: Mutex::new(0),
+            generation_cv: Condvar::new(),
         })
     }
 
-    /// The content address of `(elf bytes, options)` — delegated to the
-    /// analysis cache's scheme, one key format across the workspace.
+    /// The content address of `(elf bytes, options)` for a **static**
+    /// binary — delegated to the analysis cache's scheme, one key format
+    /// across the workspace.
     pub fn key(elf_bytes: &[u8], options: &AnalyzerOptions) -> String {
         ResultCache::key(elf_bytes, options)
+    }
+
+    /// The content address of `(elf bytes, options, library set)`. With
+    /// `lib_fingerprint == None` (a static binary, or a daemon with no
+    /// libraries loaded) this is exactly [`PolicyStore::key`]; otherwise
+    /// the library-set fingerprint is mixed in, so a bundle derived
+    /// against one set of shared interfaces is never served for another.
+    pub fn key_with_libs(
+        elf_bytes: &[u8],
+        options: &AnalyzerOptions,
+        lib_fingerprint: Option<&str>,
+    ) -> String {
+        match lib_fingerprint {
+            None => Self::key(elf_bytes, options),
+            Some(fp) => sha256_hex(&[
+                elf_bytes,
+                b"\x00",
+                options_fingerprint(options).as_bytes(),
+                b"\x00libs:",
+                fp.as_bytes(),
+            ]),
+        }
     }
 
     fn entry_path(&self, key: &str) -> Option<PathBuf> {
@@ -61,48 +105,141 @@ impl PolicyStore {
             .map(|d| d.join(format!("{key}.policy.json")))
     }
 
+    /// The current generation: the number of mutations this process's
+    /// store has performed. Strictly monotonic; starts at 0.
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock().expect("generation lock")
+    }
+
+    /// Bumps the generation and wakes every watcher. Returns the new
+    /// value, unique to this mutation.
+    fn bump(&self) -> u64 {
+        let mut generation = self.generation.lock().expect("generation lock");
+        *generation += 1;
+        let now = *generation;
+        self.generation_cv.notify_all();
+        now
+    }
+
+    /// Blocks until the generation exceeds `than` or `timeout` expires;
+    /// returns the generation observed at wakeup. The `watch` handler
+    /// calls this in short slices so shutdown can interleave — that
+    /// polling slice is the *only* shutdown-wakeup mechanism (a plain
+    /// notify without a bump would not get past the predicate re-check
+    /// inside `wait_timeout_while`).
+    pub fn wait_newer(&self, than: u64, timeout: Duration) -> u64 {
+        let generation = self.generation.lock().expect("generation lock");
+        let (generation, _) = self
+            .generation_cv
+            .wait_timeout_while(generation, timeout, |g| *g <= than)
+            .expect("generation wait");
+        *generation
+    }
+
     /// Loads the bundle under `key`: memory first, then disk (promoting
     /// a disk hit into memory). Corrupt entries are a miss.
+    ///
+    /// The disk promotion happens *under the memory lock*: releasing it
+    /// between the disk read and the memory insert would let a
+    /// concurrent [`PolicyStore::invalidate`] (mem remove, then disk
+    /// remove) interleave so the stale bundle is re-inserted after the
+    /// invalidation completed — resurrecting an entry the daemon just
+    /// acknowledged as removed, forever. Holding the lock makes the two
+    /// orders both correct: either the invalidation ran first (the disk
+    /// file is gone, this is a miss) or it runs after (and removes the
+    /// freshly promoted entry). Promotion is once per key per process,
+    /// so the lock is not held across disk I/O on any steady-state path.
     pub fn load(&self, key: &str) -> Option<Arc<PolicyBundle>> {
-        if let Some(hit) = self.mem.lock().expect("store lock").get(key) {
+        let mut mem = self.mem.lock().expect("store lock");
+        if let Some(hit) = mem.get(key) {
             return Some(Arc::clone(hit));
         }
         let path = self.entry_path(key)?;
         let text = std::fs::read_to_string(path).ok()?;
         let bundle: PolicyBundle = serde_json::from_str(&text).ok()?;
         let bundle = Arc::new(bundle);
-        self.mem
-            .lock()
-            .expect("store lock")
-            .insert(key.to_string(), Arc::clone(&bundle));
+        mem.insert(key.to_string(), Arc::clone(&bundle));
         Some(bundle)
     }
 
     /// Stores `bundle` under `key` in memory and (when directory-backed)
     /// on disk via write-then-rename, so a concurrent reader never sees
-    /// a partial entry. Returns the shared handle.
-    pub fn insert(&self, key: &str, bundle: PolicyBundle) -> std::io::Result<Arc<PolicyBundle>> {
+    /// a partial entry. Returns the shared handle and the generation the
+    /// insert landed at.
+    pub fn insert(
+        &self,
+        key: &str,
+        bundle: PolicyBundle,
+    ) -> std::io::Result<(Arc<PolicyBundle>, u64)> {
         let bundle = Arc::new(bundle);
-        if let Some(path) = self.entry_path(key) {
-            let dir = self.dir.as_ref().expect("entry path implies dir");
-            let json = serde_json::to_string(&*bundle)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-            let tmp = dir.join(format!(
-                "{key}.tmp.{}.{}",
-                std::process::id(),
-                TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-            ));
-            {
-                let mut file = std::fs::File::create(&tmp)?;
-                file.write_all(json.as_bytes())?;
+        // Serialization and the temp-file write happen before the lock —
+        // they are private to this writer. Only the rename (the publish)
+        // and the memory insert run under the lock, so they are atomic
+        // relative to a concurrent `invalidate`: either order leaves
+        // memory and disk agreeing, and hot-path loads never stall
+        // behind bundle serialization or a slow disk.
+        let staged = match self.entry_path(key) {
+            Some(path) => {
+                let dir = self.dir.as_ref().expect("entry path implies dir");
+                let json = serde_json::to_string(&*bundle).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                let tmp = dir.join(format!(
+                    "{key}.tmp.{}.{}",
+                    std::process::id(),
+                    TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                {
+                    let mut file = std::fs::File::create(&tmp)?;
+                    file.write_all(json.as_bytes())?;
+                }
+                Some((tmp, path))
             }
-            std::fs::rename(&tmp, path)?;
+            None => None,
+        };
+        {
+            let mut mem = self.mem.lock().expect("store lock");
+            if let Some((tmp, path)) = staged {
+                if let Err(e) = std::fs::rename(&tmp, path) {
+                    let _ = std::fs::remove_file(&tmp);
+                    return Err(e);
+                }
+            }
+            mem.insert(key.to_string(), Arc::clone(&bundle));
         }
-        self.mem
-            .lock()
-            .expect("store lock")
-            .insert(key.to_string(), Arc::clone(&bundle));
-        Ok(bundle)
+        Ok((bundle, self.bump()))
+    }
+
+    /// Removes the entry under `key` from memory and disk. Returns the
+    /// generation the removal landed at when an entry existed, `None`
+    /// when the key was unknown (a no-op does not bump the generation —
+    /// watchers only wake for real state changes).
+    pub fn invalidate(&self, key: &str) -> Option<u64> {
+        // Memory and disk are removed under one lock hold, pairing with
+        // the locked promotion in [`PolicyStore::load`]: a concurrent
+        // load either observes both layers before the removal or both
+        // after — never the torn middle that would let it promote the
+        // just-deleted disk entry back into memory.
+        let removed = {
+            let mut mem = self.mem.lock().expect("store lock");
+            let mem_hit = mem.remove(key).is_some();
+            match self.entry_path(key) {
+                Some(path) => match std::fs::remove_file(path) {
+                    Ok(()) => true,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => mem_hit,
+                    Err(e) => {
+                        // The disk entry survives (e.g. the directory went
+                        // read-only), so a later load would re-promote it:
+                        // report the invalidation as NOT performed rather
+                        // than acking a removal that did not stick.
+                        eprintln!("bside-serve: invalidating {key} on disk: {e}");
+                        false
+                    }
+                },
+                None => mem_hit,
+            }
+        };
+        removed.then(|| self.bump())
     }
 
     /// Number of stored policies: on-disk entries when directory-backed
@@ -124,6 +261,22 @@ impl PolicyStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// The content fingerprint of a whole [`LibraryStore`]: SHA-256 over
+/// every interface's `(name, JSON)` in library-name order, `None` for an
+/// empty store. Mixed into dynamic-binary store keys so a policy bundle
+/// is addressed by the exact interfaces it was derived against.
+pub fn library_fingerprint(libs: &LibraryStore) -> Option<String> {
+    if libs.is_empty() {
+        return None;
+    }
+    let parts: Vec<String> = libs
+        .interfaces()
+        .map(|i| format!("{}\x00{}\x00", i.library, i.to_json()))
+        .collect();
+    let chunks: Vec<&[u8]> = parts.iter().map(|p| p.as_bytes()).collect();
+    Some(sha256_hex(&chunks))
 }
 
 #[cfg(test)]
@@ -215,5 +368,89 @@ mod tests {
             ResultCache::key(b"elf", &options),
             "one content-address scheme across analysis cache and policy store"
         );
+        assert_eq!(
+            PolicyStore::key_with_libs(b"elf", &options, None),
+            PolicyStore::key(b"elf", &options),
+            "no libraries means the plain static key"
+        );
+    }
+
+    #[test]
+    fn library_fingerprint_splits_keys_per_interface_set() {
+        use bside_core::SharedInterface;
+        let options = AnalyzerOptions::default();
+        let mut libs = LibraryStore::new();
+        assert!(library_fingerprint(&libs).is_none(), "empty store: no fp");
+        libs.insert(SharedInterface {
+            library: "liba.so".to_string(),
+            exports: Default::default(),
+            wrappers: vec!["w".to_string()],
+            addresses_taken: vec![],
+            function_cfg: Default::default(),
+        });
+        let fp_a = library_fingerprint(&libs).expect("one lib");
+        let key_a = PolicyStore::key_with_libs(b"elf", &options, Some(&fp_a));
+        assert_ne!(
+            key_a,
+            PolicyStore::key(b"elf", &options),
+            "library set must split the key space"
+        );
+        // A changed interface changes the fingerprint, hence the key.
+        let mut libs2 = LibraryStore::new();
+        libs2.insert(SharedInterface {
+            library: "liba.so".to_string(),
+            exports: Default::default(),
+            wrappers: vec![],
+            addresses_taken: vec![],
+            function_cfg: Default::default(),
+        });
+        let fp_b = library_fingerprint(&libs2).expect("one lib");
+        assert_ne!(fp_a, fp_b);
+        assert_ne!(
+            key_a,
+            PolicyStore::key_with_libs(b"elf", &options, Some(&fp_b))
+        );
+    }
+
+    #[test]
+    fn generation_bumps_on_insert_and_real_invalidation_only() {
+        let store = PolicyStore::open(None).unwrap();
+        assert_eq!(store.generation(), 0);
+        let (_, g1) = store.insert("k", bundle("a")).unwrap();
+        assert_eq!(g1, 1);
+        assert!(store.invalidate("unknown").is_none(), "no-op: no bump");
+        assert_eq!(store.generation(), 1);
+        let g2 = store.invalidate("k").expect("entry existed");
+        assert_eq!(g2, 2);
+        assert!(store.load("k").is_none(), "invalidated entry is gone");
+    }
+
+    #[test]
+    fn invalidate_removes_the_disk_entry_too() {
+        let dir = scratch("inval");
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        store.insert("k", bundle("a")).unwrap();
+        assert!(dir.join("k.policy.json").exists());
+        store.invalidate("k").expect("existed");
+        assert!(!dir.join("k.policy.json").exists());
+        // A second daemon sharing the directory no longer sees it either.
+        let other = PolicyStore::open(Some(&dir)).unwrap();
+        assert!(other.load("k").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wait_newer_wakes_on_bump_and_times_out_otherwise() {
+        let store = std::sync::Arc::new(PolicyStore::open(None).unwrap());
+        // Timeout path: nothing bumps, returns the unchanged generation.
+        assert_eq!(store.wait_newer(0, Duration::from_millis(20)), 0);
+        // Wakeup path: a concurrent insert unblocks the waiter.
+        let waiter = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || store.wait_newer(0, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        store.insert("k", bundle("a")).unwrap();
+        assert_eq!(waiter.join().expect("waiter"), 1);
     }
 }

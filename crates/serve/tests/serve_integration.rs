@@ -71,7 +71,8 @@ fn miss_then_hit_with_byte_identical_bundles() {
 
     // Byte-identical to a local derivation, through the wire format.
     let bytes = std::fs::read(path).expect("read unit");
-    let local = derive_bundle(name, &bytes, &AnalyzerOptions::default()).expect("derive locally");
+    let local =
+        derive_bundle(name, &bytes, &AnalyzerOptions::default(), None).expect("derive locally");
     let fetched_json = serde_json::to_string(&second.bundle).expect("serializes");
     let local_json = serde_json::to_string(&local).expect("serializes");
     assert_eq!(fetched_json, local_json, "wire bundle != local derivation");
@@ -109,8 +110,8 @@ fn eight_concurrent_clients_times_fifty_requests() {
                 .expect("warm fetch");
             assert_eq!(fetch.source, Source::Analyzed);
             let bytes = std::fs::read(path).expect("read unit");
-            let local =
-                derive_bundle(name, &bytes, &AnalyzerOptions::default()).expect("derive locally");
+            let local = derive_bundle(name, &bytes, &AnalyzerOptions::default(), None)
+                .expect("derive locally");
             let local_json = serde_json::to_string(&local).expect("serializes");
             assert_eq!(
                 serde_json::to_string(&fetch.bundle).unwrap(),
@@ -182,10 +183,15 @@ fn panicking_handler_costs_only_its_connection() {
     options.panic_on_substr = Some("poison-pill".to_string());
     let server = PolicyServer::spawn(&endpoint, options).expect("spawn");
 
+    // The fault hook fires mid-analysis, so the poisoned path must be a
+    // real readable binary (the panic is the cold-analysis fault model).
+    let poison = dir.join("poison-pill.elf");
+    std::fs::copy(&units[1].1, &poison).expect("copy poison unit");
+
     // The poisoned request kills its own connection: the client sees EOF.
     let mut victim = PolicyClient::connect(server.endpoint()).expect("connect");
     let err = victim
-        .fetch_path("/anywhere/poison-pill.elf")
+        .fetch_path(poison.to_str().expect("utf8"))
         .expect_err("handler panicked");
     assert!(
         matches!(err, ServeError::Io(_)),
@@ -199,6 +205,13 @@ fn panicking_handler_costs_only_its_connection() {
         .fetch_path(units[0].1.to_str().expect("utf8"))
         .expect("normal request still served");
     assert_eq!(fetch.source, Source::Analyzed);
+    // The victim saw EOF mid-unwind, before the worker's catch_unwind
+    // returned and bumped the counter — wait for it to land instead of
+    // racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().panics < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
     assert_eq!(server.stats().panics, 1, "the panic was counted");
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -313,11 +326,25 @@ fn error_replies_keep_the_connection_alive() {
         matches!(&err, ServeError::Server(m) if m.contains("reading")),
         "got {err}"
     );
-    let err = client.fetch_key("feed").expect_err("unknown key");
+    let err = client.fetch_key(&"fe".repeat(32)).expect_err("unknown key");
     assert!(
         matches!(&err, ServeError::Server(m) if m.contains("no stored policy")),
         "got {err}"
     );
+    // Client-supplied keys that are not canonical SHA-256 hex never
+    // reach the filesystem layer — including path-traversal attempts.
+    for bad in ["feed", "../../../etc/passwd", &"FE".repeat(32)] {
+        let err = client.fetch_key(bad).expect_err("malformed key");
+        assert!(
+            matches!(&err, ServeError::Server(m) if m.contains("malformed policy key")),
+            "{bad}: got {err}"
+        );
+        let err = client.invalidate(bad).expect_err("malformed key");
+        assert!(
+            matches!(&err, ServeError::Server(m) if m.contains("malformed policy key")),
+            "{bad}: got {err}"
+        );
+    }
     // Garbage on disk is an error reply, not a crash.
     let junk = dir.join("junk.elf");
     std::fs::write(&junk, b"definitely not an elf").unwrap();
@@ -329,12 +356,291 @@ fn error_replies_keep_the_connection_alive() {
         "got {err}"
     );
 
-    // After three error replies, the same connection still serves.
+    // After all those error replies, the same connection still serves.
     let fetch = client
         .fetch_path(units[0].1.to_str().expect("utf8"))
         .expect("connection survived the errors");
     assert_eq!(fetch.source, Source::Analyzed);
-    assert_eq!(server.stats().errors, 3);
+    assert_eq!(server.stats().errors, 9);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The hit path reads the request payload exactly once over its
+/// lifetime: the first fetch reads (and hashes) the file, every repeat
+/// fetch resolves the store key through the `(len, mtime)` memo and the
+/// `bytes_read` counter stays flat. A changed file re-reads.
+#[test]
+fn store_hits_do_not_reread_the_binary() {
+    let dir = scratch("bytes");
+    let units = corpus_units(&dir.join("corpus"), 2);
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        options_with(None, Duration::from_secs(2)),
+    )
+    .expect("spawn");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+
+    let (_, path) = &units[0];
+    let path_str = path.to_str().expect("utf8");
+    let len = std::fs::metadata(path).expect("unit metadata").len();
+
+    let first = client.fetch_path(path_str).expect("cold fetch");
+    assert_eq!(first.source, Source::Analyzed);
+    assert_eq!(
+        server.stats().bytes_read,
+        len,
+        "the cold path reads the file once"
+    );
+
+    for _ in 0..3 {
+        let hit = client.fetch_path(path_str).expect("warm fetch");
+        assert_eq!(hit.source, Source::Store);
+        assert_eq!(hit.key, first.key);
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.bytes_read, len,
+        "hit-path fetches must not re-read the payload"
+    );
+    assert_eq!(stats.store_hits, 3);
+
+    // Rewriting the file (different bytes, hence different length)
+    // invalidates the memo: the next fetch re-reads and re-analyzes.
+    let other = std::fs::read(&units[1].1).expect("other unit");
+    assert_ne!(other.len() as u64, len, "distinct corpus binaries differ");
+    std::fs::write(path, &other).expect("rewrite unit");
+    let refreshed = client.fetch_path(path_str).expect("refetch");
+    assert_eq!(
+        refreshed.source,
+        Source::Analyzed,
+        "changed file re-analyzes"
+    );
+    assert_ne!(refreshed.key, first.key, "changed bytes change the key");
+    assert_eq!(
+        server.stats().bytes_read,
+        len + other.len() as u64,
+        "exactly one more read"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dynamically linked binary (non-empty `DT_NEEDED`) is served through
+/// the daemon's `LibraryStore` and the wire bundle is byte-identical to
+/// a local `analyze_dynamic`-based derivation; its store key differs
+/// from the static scheme (the library-set fingerprint is mixed in).
+#[test]
+fn dynamic_binary_bundle_matches_local_derivation() {
+    use bside_core::Analyzer;
+    let dir = scratch("dynamic");
+    let corpus = corpus_with_size(DEFAULT_SEED, 0, 2, 3);
+    let (units, _libs) = corpus
+        .materialize(&dir.join("corpus"))
+        .expect("materialize");
+
+    // The §4.5 once-per-library phase: analyze the pool into interfaces
+    // on disk — exactly what `bside interface` produces for the daemon.
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let lib_refs: Vec<(&str, &bside_elf::Elf)> = corpus
+        .libraries
+        .iter()
+        .map(|l| (l.spec.name.as_str(), &l.elf))
+        .collect();
+    let store = analyzer.analyze_libraries(&lib_refs).expect("libraries");
+    let iface_dir = dir.join("ifaces");
+    store.save_to_dir(&iface_dir).expect("save interfaces");
+
+    let mut options = options_with(Some(dir.join("store")), Duration::from_secs(5));
+    options.library_dir = Some(iface_dir);
+    let server =
+        PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+
+    let (name, path) = &units[0];
+    assert!(
+        !corpus.binaries[0].program.elf.needed_libraries().is_empty(),
+        "unit 0 must be dynamic"
+    );
+    let first = client
+        .fetch_path(path.to_str().expect("utf8"))
+        .expect("dynamic fetch");
+    assert_eq!(first.source, Source::Analyzed);
+
+    // Byte-stable: a second fetch (store path) returns identical JSON.
+    let second = client
+        .fetch_path(path.to_str().expect("utf8"))
+        .expect("warm dynamic fetch");
+    assert_eq!(second.source, Source::Store);
+    assert_eq!(
+        serde_json::to_string(&first.bundle).unwrap(),
+        serde_json::to_string(&second.bundle).unwrap()
+    );
+
+    // Matches the local analyze_dynamic-based derivation byte for byte.
+    let bytes = std::fs::read(path).expect("read unit");
+    let local = derive_bundle(name, &bytes, &AnalyzerOptions::default(), Some(&store))
+        .expect("derive locally");
+    assert_eq!(
+        serde_json::to_string(&first.bundle).unwrap(),
+        serde_json::to_string(&local).unwrap(),
+        "wire bundle != local dynamic derivation"
+    );
+
+    // The key covers the library set: it is not the static-scheme key.
+    use bside_serve::{library_fingerprint, PolicyStore};
+    let fp = library_fingerprint(&store).expect("non-empty store");
+    assert_eq!(
+        first.key,
+        PolicyStore::key_with_libs(&bytes, &AnalyzerOptions::default(), Some(&fp))
+    );
+    assert_ne!(
+        first.key,
+        PolicyStore::key(&bytes, &AnalyzerOptions::default())
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without `--lib-dir`, a dynamic binary is refused in band (connection
+/// survives) with a message pointing at the fix.
+#[test]
+fn dynamic_binary_without_library_dir_is_an_in_band_error() {
+    let dir = scratch("dynamic_refused");
+    let corpus = corpus_with_size(DEFAULT_SEED, 0, 1, 2);
+    let (units, _) = corpus
+        .materialize(&dir.join("corpus"))
+        .expect("materialize");
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        options_with(None, Duration::from_secs(2)),
+    )
+    .expect("spawn");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let err = client
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect_err("dynamic without libs");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("--lib-dir")),
+        "got {err}"
+    );
+    client.ping().expect("connection survived");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The generation/watch contract: every mutation bumps a monotonic
+/// counter surfaced in replies, `invalidate` forces a re-analysis, and a
+/// `watch` blocked on the old generation is woken by the re-analysis —
+/// push, not polling.
+#[test]
+fn watch_observes_invalidation_and_reanalysis_without_polling() {
+    let dir = scratch("watch");
+    let units = corpus_units(&dir.join("corpus"), 1);
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        options_with(Some(dir.join("store")), Duration::from_secs(5)),
+    )
+    .expect("spawn");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    assert_eq!(client.generation_at_connect(), 0, "fresh store");
+    let path_str = units[0].1.to_str().expect("utf8");
+
+    let first = client.fetch_path(path_str).expect("cold fetch");
+    assert_eq!(first.source, Source::Analyzed);
+    assert_eq!(first.generation, 1, "the insert was the first mutation");
+
+    // Unknown (but well-formed) keys do not bump the generation.
+    let (removed, generation) = client
+        .invalidate(&"feedbeef".repeat(8))
+        .expect("invalidate miss");
+    assert!(!removed);
+    assert_eq!(generation, 1);
+
+    // A real invalidation bumps it and empties the store entry.
+    let (removed, g_invalidated) = client.invalidate(&first.key).expect("invalidate hit");
+    assert!(removed);
+    assert_eq!(g_invalidated, 2);
+    let err = client.fetch_key(&first.key).expect_err("entry gone");
+    assert!(matches!(&err, ServeError::Server(m) if m.contains("no stored policy")));
+
+    // A watcher anchored on the post-invalidation generation blocks until
+    // the re-analysis lands, then reports the new generation.
+    let watcher = {
+        let endpoint = server.endpoint().clone();
+        std::thread::spawn(move || {
+            let mut watcher = PolicyClient::connect(&endpoint).expect("watcher connects");
+            assert_eq!(watcher.generation_at_connect(), g_invalidated);
+            watcher
+                .wait_for_generation(g_invalidated)
+                .expect("watch fires")
+        })
+    };
+    // Give the watcher time to actually block inside the server.
+    std::thread::sleep(Duration::from_millis(200));
+    let refetched = client.fetch_path(path_str).expect("re-fetch");
+    assert_eq!(
+        refetched.source,
+        Source::Analyzed,
+        "invalidation forced re-analysis"
+    );
+    assert_eq!(refetched.key, first.key, "same bytes, same address");
+    assert_eq!(refetched.generation, 3);
+    assert_eq!(
+        watcher.join().expect("watcher thread"),
+        3,
+        "watch woke on the re-analysis generation"
+    );
+    assert_eq!(
+        serde_json::to_string(&refetched.bundle).unwrap(),
+        serde_json::to_string(&first.bundle).unwrap(),
+        "re-analysis reproduces the bundle"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.invalidations, 1);
+    assert_eq!(stats.generation, 3);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent watches are capped below the pool size, so the workers
+/// that would process the waking mutations can never all be consumed by
+/// watchers (a full pool of watches would deadlock the daemon against
+/// itself).
+#[test]
+fn watch_admission_is_capped_below_the_pool() {
+    let dir = scratch("watch_cap");
+    let units = corpus_units(&dir.join("corpus"), 1);
+    let mut options = options_with(None, Duration::from_secs(5));
+    options.threads = 2; // cap = 1 concurrent watch
+    let server =
+        PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
+
+    // Watcher 1 is admitted and blocks server-side.
+    let blocked = {
+        let endpoint = server.endpoint().clone();
+        std::thread::spawn(move || {
+            let mut watcher = PolicyClient::connect(&endpoint).expect("watcher connects");
+            watcher.wait_for_generation(0).expect("eventually fires")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Watcher 2 is rejected in band — and its connection stays usable.
+    let mut second = PolicyClient::connect(server.endpoint()).expect("connect");
+    let err = second.wait_for_generation(0).expect_err("over the cap");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("too many concurrent watch")),
+        "got {err}"
+    );
+    second.ping().expect("connection survived the rejection");
+
+    // The free worker can still process the mutation that wakes watcher 1.
+    let fetch = second
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect("mutation served");
+    assert_eq!(fetch.source, Source::Analyzed);
+    assert_eq!(blocked.join().expect("watcher thread"), fetch.generation);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,288 @@
+//! Cold-storm stress tests of the single-flight analyze-on-miss path.
+//!
+//! The serve layer's concurrency bar: N concurrent cold requests for
+//! the same binary run **exactly one** analysis (counted by an
+//! independent fault-hook counter, not just the server's own stats);
+//! every requester receives a byte-identical bundle; and a panicking
+//! coalesced analysis fails every follower with an in-band error
+//! instead of hanging them on a condvar nobody will signal.
+
+use bside_core::AnalyzerOptions;
+use bside_gen::corpus::{corpus_with_size, DEFAULT_SEED};
+use bside_serve::{
+    derive_bundle, Endpoint, PolicyClient, PolicyServer, ServeError, ServeOptions, Source,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bside_serve_sf_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn corpus_units(dir: &std::path::Path, n: usize) -> Vec<(String, PathBuf)> {
+    corpus_with_size(DEFAULT_SEED, n, 0, 0)
+        .materialize_static(dir)
+        .expect("materialize corpus")
+}
+
+#[test]
+fn sixteen_cold_clients_coalesce_into_one_analysis() {
+    const CLIENTS: usize = 16;
+    let dir = scratch("storm");
+    let units = corpus_units(&dir.join("corpus"), 1);
+    let analyses_started = Arc::new(AtomicU64::new(0));
+    let options = ServeOptions {
+        store_dir: Some(dir.join("store")),
+        threads: CLIENTS + 2,
+        read_timeout: Duration::from_secs(20),
+        // Hold the leader inside the flight long enough for every other
+        // client to connect and pile onto the same key.
+        analysis_delay: Some(Duration::from_millis(500)),
+        analysis_hook: Some({
+            let analyses_started = Arc::clone(&analyses_started);
+            Arc::new(move |_key: &str| {
+                analyses_started.fetch_add(1, Ordering::SeqCst);
+            })
+        }),
+        ..ServeOptions::default()
+    };
+    let server =
+        PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
+
+    let path_str = units[0].1.to_str().expect("utf8").to_string();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let fetches: Vec<(Source, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                let path = &path_str;
+                let server = &server;
+                scope.spawn(move || {
+                    let mut client =
+                        PolicyClient::connect(server.endpoint()).expect("client connects");
+                    barrier.wait();
+                    let fetch = client
+                        .fetch_path(path)
+                        .unwrap_or_else(|e| panic!("storm client {c}: {e}"));
+                    (
+                        fetch.source,
+                        serde_json::to_string(&fetch.bundle).expect("serializes"),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm client thread"))
+            .collect()
+    });
+
+    // Exactly one analysis ran — by the independent hook counter AND the
+    // server's own stats.
+    assert_eq!(
+        analyses_started.load(Ordering::SeqCst),
+        1,
+        "the fault-hook counter saw exactly one analysis"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.analyses, 1, "server stats agree: one analysis");
+
+    // Provenance: exactly one leader analyzed. Followers normally all
+    // coalesce (the 500 ms window dwarfs local-socket latency), but a
+    // follower descheduled past the leader's publish legitimately takes
+    // the store path — tolerate that on slow machines instead of flaking;
+    // the hard invariant is one analysis, never a duplicated one.
+    let analyzed = fetches
+        .iter()
+        .filter(|(s, _)| *s == Source::Analyzed)
+        .count();
+    let coalesced = fetches
+        .iter()
+        .filter(|(s, _)| *s == Source::Coalesced)
+        .count();
+    let from_store = fetches.iter().filter(|(s, _)| *s == Source::Store).count();
+    assert_eq!(analyzed, 1, "exactly one Analyzed reply");
+    assert_eq!(
+        coalesced + from_store,
+        CLIENTS - 1,
+        "everyone else shared the leader's work (coalesced or store)"
+    );
+    assert_eq!(stats.coalesced, coalesced as u64, "stats match provenance");
+    assert!(coalesced >= 1, "the storm must exercise coalescing at all");
+
+    // Every bundle is byte-identical — to each other and to a local
+    // derivation.
+    let bytes = std::fs::read(&units[0].1).expect("read unit");
+    let local = derive_bundle(&units[0].0, &bytes, &AnalyzerOptions::default(), None)
+        .expect("derive locally");
+    let local_json = serde_json::to_string(&local).expect("serializes");
+    for (i, (_, json)) in fetches.iter().enumerate() {
+        assert_eq!(json, &local_json, "client {i} bundle diverged");
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_coalesced_analysis_fails_all_waiters_in_band() {
+    const CLIENTS: usize = 8;
+    let dir = scratch("storm_panic");
+    let units = corpus_units(&dir.join("corpus"), 1);
+    // A real, readable binary whose path carries the poison substring:
+    // the leader's analysis panics mid-flight with followers enrolled.
+    let poison = dir.join("storm-poison.elf");
+    std::fs::copy(&units[0].1, &poison).expect("copy poison unit");
+
+    let options = ServeOptions {
+        threads: CLIENTS + 2,
+        read_timeout: Duration::from_secs(20),
+        analysis_delay: Some(Duration::from_millis(500)),
+        panic_on_substr: Some("storm-poison".to_string()),
+        ..ServeOptions::default()
+    };
+    let server =
+        PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
+
+    let path_str = poison.to_str().expect("utf8").to_string();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let outcomes: Vec<Result<Source, ServeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let path = &path_str;
+                let server = &server;
+                scope.spawn(move || {
+                    let mut client =
+                        PolicyClient::connect(server.endpoint()).expect("client connects");
+                    barrier.wait();
+                    client.fetch_path(path).map(|f| f.source)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm client thread — nobody may hang"))
+            .collect()
+    });
+
+    // The leader's connection dies by panic (EOF at the client); every
+    // follower gets the in-band panic error — nobody hangs, nobody gets
+    // a bundle.
+    let mut leaders = 0usize;
+    let mut failed_waiters = 0usize;
+    for outcome in &outcomes {
+        match outcome {
+            Err(ServeError::Io(_)) => leaders += 1,
+            Err(ServeError::Server(m)) => {
+                assert!(
+                    m.contains("panicked"),
+                    "waiter error must name the panic: {m}"
+                );
+                failed_waiters += 1;
+            }
+            other => panic!("no request may succeed on a poisoned flight: {other:?}"),
+        }
+    }
+    // Normally one leader panics and 7 waiters fail in band; a client
+    // descheduled past the first flight's collapse becomes a fresh
+    // leader and panics too (another Io outcome) — tolerated, the hard
+    // invariants are: nobody hangs, nobody succeeds, every non-leader
+    // outcome is the in-band panic error, and panics == leaders.
+    assert!(leaders >= 1, "at least one connection died by panic");
+    assert_eq!(leaders + failed_waiters, CLIENTS, "every client resolved");
+    assert!(
+        failed_waiters >= 1,
+        "the storm must exercise waiter failure"
+    );
+    // The client observes EOF the moment the panicking worker drops its
+    // connection — mid-unwind, *before* the worker's catch_unwind
+    // returns and bumps the panic counter. Give the unwind a moment to
+    // land instead of racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().panics < leaders as u64 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.panics, leaders as u64, "every panic was counted");
+    assert_eq!(stats.analyses, 0, "no analysis ever completed");
+
+    // The daemon itself survives the storm.
+    let mut survivor = PolicyClient::connect(server.endpoint()).expect("reconnect");
+    survivor.ping().expect("daemon alive after poisoned storm");
+    let fetch = survivor
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect("clean binary still served");
+    assert_eq!(fetch.source, Source::Analyzed);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two different keys storm the daemon at once: flights are per-key, so
+/// two analyses run (one per key) and every client still gets its bundle.
+#[test]
+fn distinct_keys_run_independent_flights() {
+    const CLIENTS_PER_KEY: usize = 4;
+    let dir = scratch("two_keys");
+    let units = corpus_units(&dir.join("corpus"), 2);
+    let options = ServeOptions {
+        threads: 2 * CLIENTS_PER_KEY + 2,
+        read_timeout: Duration::from_secs(20),
+        analysis_delay: Some(Duration::from_millis(300)),
+        ..ServeOptions::default()
+    };
+    let server =
+        PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
+
+    let barrier = Arc::new(Barrier::new(2 * CLIENTS_PER_KEY));
+    let sources: Vec<(usize, Source)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2 * CLIENTS_PER_KEY)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                let units = &units;
+                let server = &server;
+                scope.spawn(move || {
+                    let which = c % 2;
+                    let mut client =
+                        PolicyClient::connect(server.endpoint()).expect("client connects");
+                    barrier.wait();
+                    let fetch = client
+                        .fetch_path(units[which].1.to_str().expect("utf8"))
+                        .unwrap_or_else(|e| panic!("client {c}: {e}"));
+                    (which, fetch.source)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.analyses, 2, "one analysis per distinct key");
+    for which in [0usize, 1] {
+        let analyzed = sources
+            .iter()
+            .filter(|(w, s)| *w == which && *s == Source::Analyzed)
+            .count();
+        assert_eq!(analyzed, 1, "key {which}: exactly one leader");
+        // Stragglers past the flight take the store path; what may not
+        // happen is a second analysis (asserted above).
+        let shared = sources
+            .iter()
+            .filter(|(w, s)| *w == which && matches!(s, Source::Coalesced | Source::Store))
+            .count();
+        assert_eq!(
+            shared,
+            CLIENTS_PER_KEY - 1,
+            "key {which}: everyone resolved"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

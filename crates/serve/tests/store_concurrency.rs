@@ -1,0 +1,216 @@
+//! Concurrency tests of the `PolicyStore`: 8 threads hammer one
+//! directory-backed store with a mixed put/get/invalidate workload over
+//! overlapping keys.
+//!
+//! What must hold under contention:
+//!
+//! * the generation counter is **strictly monotonic** — every mutation
+//!   returns a unique, increasing value, and the final counter equals
+//!   the mutation count;
+//! * **no torn reads** — every successful `load` returns a bundle that
+//!   is bit-for-bit one of the bundles ever written under that key, and
+//!   every file left on disk parses cleanly (atomic write-then-rename
+//!   holds under contention, no temp-file debris).
+
+use bside_core::AnalyzerOptions;
+use bside_filter::bpf::BpfProgram;
+use bside_filter::{FilterPolicy, PhasePolicy};
+use bside_serve::{PolicyBundle, PolicyStore};
+use bside_syscalls::{SyscallSet, Sysno};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 120;
+const KEYS: [&str; 4] = ["alpha", "bravo", "charlie", "delta"];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bside_store_cc_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The canonical bundle a `(key, writer)` pair writes — loads are
+/// checked back against this, so a torn or interleaved write could not
+/// go unnoticed.
+fn bundle_for(key: &str, writer: usize) -> PolicyBundle {
+    let names = ["read", "write", "close", "mmap", "openat", "fstat"];
+    let allowed: SyscallSet = names[..=writer % names.len()]
+        .iter()
+        .filter_map(|n| Sysno::from_name(n))
+        .collect();
+    let name = format!("{key}-w{writer}");
+    let policy = FilterPolicy::allow_only(&name, allowed);
+    let bpf = BpfProgram::from_policy(&policy);
+    PolicyBundle {
+        binary: name.clone(),
+        policy,
+        phases: PhasePolicy {
+            binary: name,
+            phases: vec![allowed],
+            transitions: vec![vec![]],
+            initial: 0,
+        },
+        bpf,
+    }
+}
+
+/// Recovers `(key, writer)` from a loaded bundle's name and checks the
+/// whole bundle against the canonical one — any torn read fails here.
+fn assert_untorn(loaded: &PolicyBundle, key: &str) {
+    let (loaded_key, writer_tag) = loaded
+        .binary
+        .split_once("-w")
+        .unwrap_or_else(|| panic!("unexpected bundle name {}", loaded.binary));
+    assert_eq!(loaded_key, key, "bundle under the wrong key");
+    let writer: usize = writer_tag.parse().expect("writer id");
+    assert_eq!(
+        loaded,
+        &bundle_for(key, writer),
+        "torn read: bundle differs from what writer {writer} wrote"
+    );
+}
+
+#[test]
+fn hammered_store_stays_monotonic_and_untorn() {
+    let dir = scratch("hammer");
+    let store = Arc::new(PolicyStore::open(Some(&dir)).expect("open store"));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mutations = Arc::new(AtomicU64::new(0));
+
+    let per_thread_generations: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                let mutations = Arc::clone(&mutations);
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ t as u64);
+                    let mut seen: Vec<u64> = Vec::new();
+                    barrier.wait();
+                    for _ in 0..OPS_PER_THREAD {
+                        let key = KEYS[rng.gen_range(0..KEYS.len())];
+                        match rng.gen_range(0..10u32) {
+                            // Put: ~40 % of ops.
+                            0..=3 => {
+                                let (_, generation) = store
+                                    .insert(key, bundle_for(key, t))
+                                    .expect("insert under contention");
+                                seen.push(generation);
+                                mutations.fetch_add(1, Ordering::SeqCst);
+                            }
+                            // Invalidate: ~20 %.
+                            4 | 5 => {
+                                if let Some(generation) = store.invalidate(key) {
+                                    seen.push(generation);
+                                    mutations.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            // Get: ~40 %. A hit must be untorn.
+                            _ => {
+                                if let Some(loaded) = store.load(key) {
+                                    assert_untorn(&loaded, key);
+                                }
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hammer thread"))
+            .collect()
+    });
+
+    // Strict monotonicity per thread: each thread's own mutations saw
+    // strictly increasing generations.
+    for (t, generations) in per_thread_generations.iter().enumerate() {
+        for pair in generations.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "thread {t}: generation went {} -> {} (not strictly increasing)",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    // Global uniqueness: every mutation got its own generation, and the
+    // final counter equals the mutation count (no lost or double bumps).
+    let mut all: Vec<u64> = per_thread_generations.into_iter().flatten().collect();
+    let total = mutations.load(Ordering::SeqCst);
+    assert_eq!(all.len() as u64, total);
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, total, "duplicate generation handed out");
+    assert_eq!(store.generation(), total, "final counter == mutation count");
+
+    // On-disk truth: no temp-file debris, and every surviving entry
+    // parses cleanly into an untorn bundle.
+    let mut entries = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("read store dir") {
+        let path = entry.expect("dir entry").path();
+        let file_name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            !file_name.contains(".tmp."),
+            "temp-file debris left behind: {file_name}"
+        );
+        let stem = file_name
+            .strip_suffix(".policy.json")
+            .unwrap_or_else(|| panic!("unexpected store file {file_name}"));
+        let text = std::fs::read_to_string(&path).expect("entry readable");
+        let loaded: PolicyBundle = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("torn on-disk entry {file_name}: {e}"));
+        assert_untorn(&loaded, stem);
+        entries += 1;
+    }
+    assert_eq!(store.len(), entries);
+
+    // A fresh store over the same directory (a restarted daemon) reads
+    // every survivor cleanly too.
+    let reopened = PolicyStore::open(Some(&dir)).expect("reopen");
+    for key in KEYS {
+        if let Some(loaded) = reopened.load(key) {
+            assert_untorn(&loaded, key);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent waiters all wake when the generation finally moves, and
+/// none wakes early.
+#[test]
+fn concurrent_watchers_wake_exactly_on_mutation() {
+    let store = Arc::new(PolicyStore::open(None).expect("open"));
+    let (_, g1) = store.insert("k", bundle_for("k", 0)).expect("seed insert");
+    assert_eq!(g1, 1);
+
+    let waiters: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.wait_newer(1, std::time::Duration::from_secs(10)))
+        })
+        .collect();
+    // No early wake: the generation has not moved yet.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert_eq!(store.generation(), 1);
+
+    let g2 = store.invalidate("k").expect("entry existed");
+    assert_eq!(g2, 2);
+    for waiter in waiters {
+        assert_eq!(waiter.join().expect("waiter"), 2, "woke on the bump");
+    }
+
+    // Options fingerprinting sanity: the static key scheme is untouched
+    // by the new generation machinery.
+    let options = AnalyzerOptions::default();
+    assert_eq!(
+        PolicyStore::key(b"elf", &options),
+        PolicyStore::key_with_libs(b"elf", &options, None)
+    );
+}

@@ -151,6 +151,139 @@ fn run_distributed_in(
     })
 }
 
+/// The fleet measurement: the corpus shipped in band over loopback TCP
+/// to in-process agents — what the multi-machine path costs per unit
+/// (JSON marshalling + base64 + socket hops) relative to local workers.
+struct FleetBenchResult {
+    agents: usize,
+    slots_per_agent: usize,
+    units: usize,
+    wall: Duration,
+    retries: u64,
+    timeouts: u64,
+}
+
+impl FleetBenchResult {
+    fn units_per_s(&self) -> f64 {
+        self.units as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Times a fleet run: bind a TCP coordinator on loopback, attach
+/// `agents` in-process agents, push the whole corpus through. `None`
+/// when setup or any unit fails.
+fn run_fleet(
+    agents: usize,
+    slots_per_agent: usize,
+    images: &[(String, Vec<u8>)],
+) -> Option<FleetBenchResult> {
+    let dir = std::env::temp_dir().join(format!("bside_bench_fleet_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_fleet_in(agents, slots_per_agent, images, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_fleet_in(
+    agents: usize,
+    slots_per_agent: usize,
+    images: &[(String, Vec<u8>)],
+    dir: &std::path::Path,
+) -> Option<FleetBenchResult> {
+    use bside::fleet::{
+        analyze_corpus_fleet, run_agent, AgentOptions, FleetCoordinator, FleetOptions,
+    };
+    let mut units: Vec<(String, std::path::PathBuf)> = Vec::with_capacity(images.len());
+    for (i, (name, bytes)) in images.iter().enumerate() {
+        let path = dir.join(format!("{i:04}_{name}.elf"));
+        std::fs::write(&path, bytes).ok()?;
+        units.push((name.clone(), path));
+    }
+    let handle = FleetCoordinator::bind(
+        &bside::serve::Endpoint::Tcp("127.0.0.1:0".to_string()),
+        FleetOptions::default(),
+    )
+    .ok()?;
+    let agent_threads: Vec<_> = (0..agents)
+        .map(|_| {
+            let endpoint = handle.endpoint().clone();
+            std::thread::spawn(move || {
+                run_agent(
+                    &endpoint,
+                    &AgentOptions {
+                        slots: slots_per_agent,
+                        dial_timeout: Some(Duration::from_secs(10)),
+                    },
+                )
+            })
+        })
+        .collect();
+    if !handle.wait_for_agents(agents, Duration::from_secs(30)) {
+        eprintln!("  fleet config: agents failed to register");
+        handle.shutdown();
+        for t in agent_threads {
+            let _ = t.join();
+        }
+        return None;
+    }
+
+    let mut best: Option<FleetBenchResult> = None;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let run = match analyze_corpus_fleet(&units, &handle) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("  fleet config failed: {e}");
+                handle.shutdown();
+                for t in agent_threads {
+                    let _ = t.join();
+                }
+                return None;
+            }
+        };
+        let wall = t0.elapsed();
+        if run.stats.failures > 0 {
+            eprintln!(
+                "  fleet config failed: {} unit failure(s)",
+                run.stats.failures
+            );
+            handle.shutdown();
+            for t in agent_threads {
+                let _ = t.join();
+            }
+            return None;
+        }
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(FleetBenchResult {
+                agents,
+                slots_per_agent,
+                units: units.len(),
+                wall,
+                retries: run.stats.retries as u64,
+                timeouts: run.stats.timeouts as u64,
+            });
+        }
+    }
+    handle.shutdown();
+    for t in agent_threads {
+        let _ = t.join();
+    }
+    best
+}
+
+fn fleet_json(r: &FleetBenchResult, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"agents\": {},\n{indent}  \"slots_per_agent\": {},\n{indent}  \"units\": {},\n{indent}  \"wall_us\": {},\n{indent}  \"units_per_s\": {:.1},\n{indent}  \"retries\": {},\n{indent}  \"timeouts\": {}\n{indent}}}",
+        r.agents,
+        r.slots_per_agent,
+        r.units,
+        r.wall.as_micros(),
+        r.units_per_s(),
+        r.retries,
+        r.timeouts,
+    )
+}
+
 /// The serve-path measurement: store-hit request throughput and latency
 /// against one daemon.
 struct ServeBenchResult {
@@ -505,6 +638,33 @@ fn main() {
         }
     };
 
+    // Fleet configuration: the same corpus shipped in band over
+    // loopback TCP to 2 in-process agents — the multi-machine
+    // trajectory. On a 1-CPU container the figure is marshalling- and
+    // base64-dominated (loopback hides the one thing a fleet buys,
+    // more machines); it exists so multi-machine hardware has a
+    // recorded baseline slot to beat.
+    let fleet_slots = dist_workers.div_ceil(2).max(1);
+    let fleet = run_fleet(2, fleet_slots, &images);
+    let fleet_json_str = match &fleet {
+        Some(f) => {
+            eprintln!(
+                "  fleet      (agents={}, slots/agent={}): {:.1} ms wall | {:.1} units/s | {} retrie(s), {} timeout(s)",
+                f.agents,
+                f.slots_per_agent,
+                f.wall.as_secs_f64() * 1e3,
+                f.units_per_s(),
+                f.retries,
+                f.timeouts,
+            );
+            fleet_json(f, "  ")
+        }
+        None => {
+            eprintln!("  fleet: skipped (cause above)");
+            "null".to_string()
+        }
+    };
+
     // Policy-service configuration: the serving path (store hits over a
     // Unix socket), which is what the enforcement point pays per pod
     // launch once the corpus is analyzed.
@@ -562,7 +722,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -571,6 +731,7 @@ fn main() {
         speedup,
         dist_json,
         dist_speedup_json,
+        fleet_json_str,
         serve_json_str,
         storm_json_str,
     );

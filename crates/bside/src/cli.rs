@@ -47,7 +47,8 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "corpus",
-        synopsis: "<dir> [--workers N] [--cache DIR] [--timeout SECS] [--in-process] [--report]",
+        synopsis: "<dir> [--workers N] [--fleet LISTEN_ADDR] [--cache DIR] [--timeout SECS] \
+                   [--in-process] [--report]",
         run: cmd_corpus,
     },
     Subcommand {
@@ -57,8 +58,14 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "serve",
-        synopsis: "(--socket PATH | --tcp ADDR) [--store DIR] [--lib-dir DIR] [--threads N]",
+        synopsis: "(--socket PATH | --tcp ADDR) [--store DIR] [--lib-dir DIR] [--threads N] \
+                   [--fleet LISTEN_ADDR]",
         run: cmd_serve,
+    },
+    Subcommand {
+        name: "agent",
+        synopsis: "--connect HOST:PORT [--slots N] [--dial-timeout SECS]",
+        run: cmd_agent,
     },
     Subcommand {
         name: "policy",
@@ -304,6 +311,7 @@ fn corpus_units(
 fn cmd_corpus(args: &[String]) -> CmdResult {
     let mut dir = None;
     let mut workers: Option<usize> = None;
+    let mut fleet_listen: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut timeout_secs: Option<u64> = None;
     let mut in_process = false;
@@ -311,6 +319,9 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--fleet" => {
+                fleet_listen = Some(it.next().ok_or("--fleet needs LISTEN_ADDR")?.clone());
+            }
             "--workers" => {
                 let n: usize = it
                     .next()
@@ -342,6 +353,9 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
     }
     let dir = dir.ok_or("missing <dir> argument")?;
     let units = corpus_units(&dir)?;
+    if in_process && fleet_listen.is_some() {
+        return Err("--in-process and --fleet are mutually exclusive".into());
+    }
 
     if in_process {
         let ignored: Vec<&str> = [
@@ -423,16 +437,50 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
         return Ok(());
     }
 
-    let run = bside_dist::analyze_corpus_dist(
-        &units,
-        &bside_dist::DistOptions {
-            workers: workers.unwrap_or_else(crate::default_worker_count),
-            analyzer: analyzer_options_from_env(),
-            unit_timeout: std::time::Duration::from_secs(timeout_secs.unwrap_or(60)),
-            cache_dir: cache_dir.map(std::path::PathBuf::from),
-            ..bside_dist::DistOptions::default()
-        },
-    )?;
+    let run = if let Some(listen) = &fleet_listen {
+        // Machines mode: listen for remote agents and ship binaries in
+        // band — no worker processes are spawned here.
+        if let Some(n) = workers {
+            eprintln!(
+                "# note: --workers {n} is the local-process knob; agents bring their own slots"
+            );
+        }
+        let endpoint = bside_fleet::connect_endpoint(listen);
+        let handle = bside_fleet::FleetCoordinator::bind(
+            &endpoint,
+            bside_fleet::FleetOptions {
+                analyzer: analyzer_options_from_env(),
+                unit_timeout: std::time::Duration::from_secs(timeout_secs.unwrap_or(60)),
+                cache_dir: cache_dir.map(std::path::PathBuf::from),
+                ..bside_fleet::FleetOptions::default()
+            },
+        )?;
+        eprintln!(
+            "bside corpus --fleet: coordinating on {}; waiting for agents \
+             (`bside agent --connect {listen}` on any machine)",
+            handle.endpoint()
+        );
+        while !handle.wait_for_agents(1, std::time::Duration::from_secs(1)) {}
+        let run = bside_fleet::analyze_corpus_fleet(&units, &handle)?;
+        let f = handle.stats();
+        handle.shutdown();
+        eprintln!(
+            "# fleet: {} agent(s) joined, {} lost, {} unit(s) dispatched, {} retried, {} timeout(s)",
+            f.agents_joined, f.agents_lost, f.dispatched, f.retries, f.timeouts
+        );
+        run
+    } else {
+        bside_dist::analyze_corpus_dist(
+            &units,
+            &bside_dist::DistOptions {
+                workers: workers.unwrap_or_else(crate::default_worker_count),
+                analyzer: analyzer_options_from_env(),
+                unit_timeout: std::time::Duration::from_secs(timeout_secs.unwrap_or(60)),
+                cache_dir: cache_dir.map(std::path::PathBuf::from),
+                ..bside_dist::DistOptions::default()
+            },
+        )?
+    };
     if want_report {
         print!("{}", bside_dist::report_of_run(&run));
     } else {
@@ -456,13 +504,65 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
         }
     }
     let s = run.stats;
+    let mode = if fleet_listen.is_some() {
+        ("fleet", "agent(s)")
+    } else {
+        ("distributed", "worker(s)")
+    };
     eprintln!(
-        "# distributed: {} unit(s) over {} worker(s): {} cached, {} retried, {} crash(es), {} timeout(s), {} failure(s)",
-        s.units, s.workers, s.cache_hits, s.retries, s.worker_crashes, s.timeouts, s.failures
+        "# {}: {} unit(s) over {} {}: {} cached, {} retried, {} crash(es), {} timeout(s), {} failure(s)",
+        mode.0, s.units, s.workers, mode.1, s.cache_hits, s.retries, s.worker_crashes, s.timeouts, s.failures
     );
     if s.failures > 0 {
         return Err(format!("{} corpus unit(s) failed", s.failures).into());
     }
+    Ok(())
+}
+
+fn cmd_agent(args: &[String]) -> CmdResult {
+    let mut connect: Option<String> = None;
+    let mut slots: Option<usize> = None;
+    let mut dial_timeout: u64 = 10;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs HOST:PORT")?.clone()),
+            "--slots" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--slots needs N")?
+                    .parse()
+                    .map_err(|_| "--slots needs a positive integer")?;
+                if n == 0 {
+                    return Err("--slots needs a positive integer".into());
+                }
+                slots = Some(n);
+            }
+            "--dial-timeout" => {
+                dial_timeout = it
+                    .next()
+                    .ok_or("--dial-timeout needs SECS")?
+                    .parse()
+                    .map_err(|_| "--dial-timeout needs a non-negative integer")?;
+            }
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let connect = connect.ok_or("missing --connect HOST:PORT")?;
+    let endpoint = bside_fleet::connect_endpoint(&connect);
+    let slots = slots.unwrap_or_else(crate::default_worker_count);
+    eprintln!("bside agent: dialing {endpoint} with {slots} slot(s)");
+    let report = bside_fleet::run_agent(
+        &endpoint,
+        &bside_fleet::AgentOptions {
+            slots,
+            dial_timeout: Some(std::time::Duration::from_secs(dial_timeout)),
+        },
+    )?;
+    eprintln!(
+        "bside agent: coordinator said goodbye after {} unit(s); exiting",
+        report.units
+    );
     Ok(())
 }
 
@@ -550,6 +650,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     let mut store_dir: Option<String> = None;
     let mut lib_dir: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut fleet_listen: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(ep) = endpoint_arg(&mut it, arg)? {
@@ -559,6 +660,9 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         match arg.as_str() {
             "--store" => store_dir = Some(it.next().ok_or("--store needs DIR")?.clone()),
             "--lib-dir" => lib_dir = Some(it.next().ok_or("--lib-dir needs DIR")?.clone()),
+            "--fleet" => {
+                fleet_listen = Some(it.next().ok_or("--fleet needs LISTEN_ADDR")?.clone());
+            }
             "--threads" => {
                 let n: usize = it
                     .next()
@@ -581,13 +685,41 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         .and_then(|v| v.parse::<u64>().ok())
         .filter(|&ms| ms > 0)
         .map(std::time::Duration::from_millis);
-    let options = ServeOptions {
+    let mut options = ServeOptions {
         store_dir: store_dir.map(std::path::PathBuf::from),
         library_dir: lib_dir.map(std::path::PathBuf::from),
         threads: threads.unwrap_or_else(crate::default_worker_count),
         analyzer: analyzer_options_from_env(),
         analysis_delay,
         ..ServeOptions::default()
+    };
+    // Fleet offload: spawn a coordinator (same analyzer options — store
+    // keys fingerprint them) and route analyze-on-miss leaders to it.
+    let fleet = match &fleet_listen {
+        Some(listen) => {
+            let fleet_endpoint = bside_fleet::connect_endpoint(listen);
+            let handle = bside_fleet::FleetCoordinator::bind(
+                &fleet_endpoint,
+                bside_fleet::FleetOptions {
+                    analyzer: options.analyzer.clone(),
+                    ..bside_fleet::FleetOptions::default()
+                },
+            )?;
+            eprintln!(
+                "bside-serve: fleet coordinator on {}; analyze-on-miss is offloaded \
+                 (`bside agent --connect {listen}` on any machine)",
+                handle.endpoint()
+            );
+            // A bounded offload wait keeps a daemon with zero (or saturated)
+            // agents serving: past the budget the leader answers in band
+            // and the client may retry.
+            options.remote_analyzer = Some(bside_fleet::serve_offload(
+                handle.submitter(),
+                std::time::Duration::from_secs(600),
+            ));
+            Some(handle)
+        }
+        None => None,
     };
     let threads = options.threads;
     let handle = PolicyServer::spawn(&endpoint, options)?;
@@ -597,6 +729,9 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         threads
     );
     handle.join();
+    if let Some(fleet) = fleet {
+        fleet.shutdown();
+    }
     eprintln!("bside-serve: shut down cleanly");
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`symex`] | `bside-symex` | backward-BFS + directed symbolic execution |
 //! | [`core`] | `bside-core` | the analysis pipeline, wrappers, shared interfaces, phases |
 //! | [`dist`] | `bside-dist` | multi-process distributed corpus analysis + result cache |
+//! | [`fleet`] | `bside-fleet` | multi-machine analysis fleet over TCP: agents, heartbeat scheduling, serve offload |
 //! | [`serve`] | `bside-serve` | policy-distribution daemon, content-addressed policy store, client |
 //! | [`baselines`] | `bside-baselines` | Chestnut / SysFilter reimplementations |
 //! | [`gen`] | `bside-gen` | synthetic ground-truth corpus generator |
@@ -53,6 +54,7 @@ pub use bside_core as core;
 pub use bside_dist as dist;
 pub use bside_elf as elf;
 pub use bside_filter as filter;
+pub use bside_fleet as fleet;
 pub use bside_gen as gen;
 pub use bside_serve as serve;
 pub use bside_symex as symex;

@@ -251,6 +251,40 @@ pub fn read_message<T: for<'de> serde::Deserialize<'de>>(
     }
 }
 
+/// [`read_message`] with a line-length cap — the framing every
+/// network-facing protocol in the workspace (`bside-serve` requests,
+/// `bside-fleet` frames) shares, so an oversized line is refused
+/// identically everywhere. A line longer than `cap` yields an
+/// `InvalidData` error without buffering the whole line; the caller
+/// answers in band (or drops the peer) exactly as for non-JSON garbage.
+/// `Ok(None)` is a clean EOF; empty lines are skipped.
+pub fn read_message_capped<T: for<'de> serde::Deserialize<'de>>(
+    reader: &mut impl BufRead,
+    cap: u64,
+) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let mut limited = std::io::Read::take(&mut *reader, cap);
+        let n = limited.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if n as u64 >= cap && !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("message line exceeds {cap} bytes"),
+            ));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return serde_json::from_str(line.trim())
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +343,25 @@ mod tests {
     fn garbage_line_is_a_protocol_error() {
         let mut reader = std::io::BufReader::new(&b"not json\n"[..]);
         assert!(read_message::<FromWorker>(&mut reader).is_err());
+    }
+
+    #[test]
+    fn capped_reader_enforces_the_line_limit_without_buffering_it() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &ToWorker::Shutdown).unwrap();
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        assert!(matches!(
+            read_message_capped::<ToWorker>(&mut reader, 1024).unwrap(),
+            Some(ToWorker::Shutdown)
+        ));
+        assert!(read_message_capped::<ToWorker>(&mut reader, 1024)
+            .unwrap()
+            .is_none());
+
+        let endless = vec![b'x'; 64];
+        let mut reader = std::io::BufReader::new(endless.as_slice());
+        let err = read_message_capped::<ToWorker>(&mut reader, 16).expect_err("over the cap");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
     }
 }

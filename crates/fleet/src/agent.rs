@@ -1,0 +1,428 @@
+//! The agent side: a long-lived worker process on any machine that can
+//! reach the coordinator.
+//!
+//! An agent is intentionally close to a dist worker in spirit — no
+//! queue knowledge, no retry logic, no cache; a unit in, a message out —
+//! but machine-shaped in mechanics: it *dials* the coordinator over
+//! TCP, self-describes in a capability hello (protocol version, slot
+//! count, cache-format fingerprint), receives binaries in band (no
+//! shared filesystem), analyzes up to `slots` units concurrently, and
+//! keeps a heartbeat flowing from a dedicated thread so the coordinator
+//! can tell "busy" from "gone" without probing.
+//!
+//! # Fault-injection hooks
+//!
+//! The fleet fault-isolation tests drive real `bside-agent` processes
+//! into machine-level failures, exactly as `dist/tests/fault_isolation.rs`
+//! drives `bside-worker`:
+//!
+//! * `BSIDE_AGENT_CRASH_UNIT=<substr>` — abort the whole agent process
+//!   before analyzing any unit whose name contains `<substr>` (the
+//!   "machine died mid-unit" model — every slot's in-flight unit is
+//!   lost at once);
+//! * `BSIDE_AGENT_SEVER_UNIT=<substr>` — write *half* of the unit's
+//!   result frame, flush it onto the wire, then abort: the coordinator
+//!   sees a torn frame followed by EOF (the "connection severed
+//!   mid-result" model);
+//! * `BSIDE_AGENT_FAULT_MARKER=<path>` — make either fault one-shot:
+//!   the first faulting agent creates `<path>` and later agents seeing
+//!   the marker behave normally, so the retry succeeds elsewhere.
+
+use crate::protocol::{
+    read_message_capped, write_message, FromAgent, ToAgent, Want, CACHE_FORMAT_VERSION,
+    MAX_FLEET_LINE_BYTES, PROTOCOL_VERSION,
+};
+use bside_core::{Analyzer, AnalyzerOptions};
+use bside_dist::worker::parse_error_message;
+use bside_serve::{Conn, Endpoint};
+use std::io::{BufReader, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one agent process.
+#[derive(Debug, Clone)]
+pub struct AgentOptions {
+    /// Units analyzed concurrently (announced in the hello; the
+    /// coordinator never has more than this outstanding here).
+    pub slots: usize,
+    /// How long to keep redialing a coordinator that is not (yet)
+    /// listening — lets the two-terminal walkthrough start either side
+    /// first. `None` fails fast on the first refused connection.
+    pub dial_timeout: Option<Duration>,
+}
+
+impl Default for AgentOptions {
+    fn default() -> Self {
+        AgentOptions {
+            slots: 1,
+            dial_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// What an agent did over one connection's lifetime.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentReport {
+    /// Units answered (results and in-band unit errors).
+    pub units: u64,
+}
+
+/// Parses an agent-facing endpoint spec. Unlike the daemon's
+/// [`Endpoint::parse`] (where a bare string is a Unix path), a bare
+/// `HOST:PORT` here is TCP — `bside agent --connect 10.0.0.7:4711` is
+/// the common case on a fleet; `unix:PATH` (or anything with a `/`)
+/// still selects a Unix socket for same-host use.
+pub fn connect_endpoint(spec: &str) -> Endpoint {
+    if spec.starts_with("tcp:") || spec.starts_with("unix:") || spec.contains('/') {
+        Endpoint::parse(spec)
+    } else {
+        Endpoint::Tcp(spec.to_string())
+    }
+}
+
+fn fault_requested(var: &str, unit_name: &str) -> bool {
+    let Ok(needle) = std::env::var(var) else {
+        return false;
+    };
+    if !unit_name.contains(&needle) {
+        return false;
+    }
+    match std::env::var("BSIDE_AGENT_FAULT_MARKER") {
+        Ok(marker) => {
+            let path = std::path::Path::new(&marker);
+            if path.exists() {
+                return false; // already faulted once; behave normally
+            }
+            let _ = std::fs::File::create(path);
+            true
+        }
+        Err(_) => true,
+    }
+}
+
+/// Analyzes one in-band unit; the error side carries the exact message
+/// the in-process engine would render for the same degradation.
+fn analyze_unit(
+    id: u64,
+    name: &str,
+    path: &str,
+    want: Want,
+    elf_bytes: &[u8],
+    options: AnalyzerOptions,
+) -> FromAgent {
+    if fault_requested("BSIDE_AGENT_CRASH_UNIT", name) {
+        std::process::abort();
+    }
+    match want {
+        Want::Analysis => {
+            let elf = match bside_elf::Elf::parse(elf_bytes) {
+                Ok(elf) => elf,
+                Err(e) => {
+                    return FromAgent::Error {
+                        id,
+                        message: parse_error_message(path, &e),
+                    }
+                }
+            };
+            match Analyzer::new(options).analyze_static(&elf) {
+                Ok(analysis) => FromAgent::Result {
+                    id,
+                    analysis: Box::new(analysis),
+                },
+                Err(e) => FromAgent::Error {
+                    id,
+                    message: e.to_string(),
+                },
+            }
+        }
+        // The offload path: the agent runs the *whole* derivation —
+        // analysis, phase detection, BPF lowering — so the serve daemon
+        // does none of it. Agents carry no shared-interface store, so a
+        // dynamic binary degrades to the same guidance message the
+        // daemon itself would produce without --lib-dir.
+        Want::Bundle => match bside_serve::derive_bundle(name, elf_bytes, &options, None) {
+            Ok(bundle) => FromAgent::Bundle {
+                id,
+                bundle: Box::new(bundle),
+            },
+            Err(message) => FromAgent::Error { id, message },
+        },
+    }
+}
+
+/// Writes a reply under the shared writer lock — unless the sever fault
+/// hook fires, in which case half the frame is flushed onto the wire and
+/// the process aborts (the torn-frame fault model).
+fn write_reply(writer: &Mutex<Conn>, name: &str, reply: &FromAgent) -> std::io::Result<()> {
+    if fault_requested("BSIDE_AGENT_SEVER_UNIT", name) {
+        let json = serde_json::to_string(reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut conn = writer.lock().expect("agent writer lock");
+        let half = &json.as_bytes()[..json.len() / 2];
+        let _ = conn.write_all(half);
+        let _ = conn.flush();
+        std::process::abort();
+    }
+    let mut conn = writer.lock().expect("agent writer lock");
+    write_message(&mut *conn, reply)
+}
+
+fn dial(endpoint: &Endpoint, budget: Option<Duration>) -> std::io::Result<Conn> {
+    let deadline = budget.map(|b| Instant::now() + b);
+    loop {
+        match Conn::connect(endpoint) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                let retryable = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::NotFound
+                );
+                match deadline {
+                    Some(d) if retryable && Instant::now() < d => {
+                        std::thread::sleep(Duration::from_millis(150));
+                    }
+                    _ => return Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Dials the coordinator and works units until it says goodbye (a
+/// `shutdown` frame or EOF — both a clean end of service).
+///
+/// # Errors
+///
+/// Connection failures past the dial budget, a rejected hello (version
+/// or cache-format mismatch — the in-band `reject` message is
+/// surfaced), or a transport/protocol failure mid-service.
+pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result<AgentReport> {
+    let conn = dial(endpoint, options.dial_timeout)?;
+    let writer = Arc::new(Mutex::new(conn.try_clone()?));
+    let mut reader = BufReader::new(conn);
+    let slots = options.slots.max(1);
+
+    write_message(
+        &mut *writer.lock().expect("agent writer lock"),
+        &FromAgent::Hello {
+            version: PROTOCOL_VERSION,
+            slots,
+            cache_format: CACHE_FORMAT_VERSION,
+        },
+    )?;
+    let heartbeat_interval =
+        match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES)? {
+            Some(ToAgent::Welcome {
+                version,
+                heartbeat_interval_ms,
+            }) if version == PROTOCOL_VERSION => {
+                Duration::from_millis(heartbeat_interval_ms.max(50))
+            }
+            Some(ToAgent::Welcome { version, .. }) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                    "coordinator speaks fleet protocol v{version}, expected v{PROTOCOL_VERSION}"
+                ),
+                ))
+            }
+            Some(ToAgent::Reject { message }) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    format!("coordinator rejected this agent: {message}"),
+                ))
+            }
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected welcome, got {other:?}"),
+                ))
+            }
+        };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let units_done = Arc::new(AtomicU64::new(0));
+
+    // The liveness channel: beats flow from a dedicated thread so a
+    // fully busy agent (every slot mid-analysis) still reads as alive.
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let slice = Duration::from_millis(25);
+            let mut next = Instant::now() + heartbeat_interval;
+            while !stop.load(Ordering::SeqCst) {
+                if Instant::now() >= next {
+                    let mut conn = writer.lock().expect("agent writer lock");
+                    if write_message(&mut *conn, &FromAgent::Heartbeat).is_err() {
+                        stop.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    next = Instant::now() + heartbeat_interval;
+                }
+                std::thread::sleep(slice);
+            }
+        })
+    };
+
+    // Slot workers drain an in-agent queue so the read loop never
+    // blocks behind an analysis.
+    type UnitJob = (u64, String, String, Want, Vec<u8>, AnalyzerOptions);
+    let (tx, rx) = channel::<UnitJob>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..slots)
+        .map(|_| {
+            let rx: Arc<Mutex<Receiver<UnitJob>>> = Arc::clone(&rx);
+            let writer = Arc::clone(&writer);
+            let stop = Arc::clone(&stop);
+            let units_done = Arc::clone(&units_done);
+            std::thread::spawn(move || loop {
+                let job = {
+                    let rx = rx.lock().expect("agent job queue lock");
+                    rx.recv()
+                };
+                let Ok((id, name, path, want, elf, options)) = job else {
+                    return; // queue closed: clean drain
+                };
+                let reply = analyze_unit(id, &name, &path, want, &elf, options);
+                units_done.fetch_add(1, Ordering::Relaxed);
+                if write_reply(&writer, &name, &reply).is_err() {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            })
+        })
+        .collect();
+
+    // The read loop: units in, goodbye out.
+    let outcome = loop {
+        match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES) {
+            Ok(Some(ToAgent::Unit {
+                id,
+                name,
+                path,
+                want,
+                elf,
+                options,
+            })) => {
+                if tx.send((id, name, path, want, elf, options)).is_err() {
+                    break Ok(()); // workers gone (writer died)
+                }
+            }
+            Ok(Some(ToAgent::Shutdown)) | Ok(None) => break Ok(()), // clean goodbye
+            Ok(Some(other)) => {
+                break Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected coordinator message: {other:?}"),
+                ))
+            }
+            Err(e) => break Err(e),
+        }
+    };
+
+    // Drain: close the queue, let workers finish what they hold (their
+    // late results are best-effort once the coordinator is gone), stop
+    // the heartbeat, and report.
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    outcome.map(|()| AgentReport {
+        units: units_done.load(Ordering::Relaxed),
+    })
+}
+
+/// The `bside-agent` / `bside agent` entry point: argument parsing plus
+/// [`run_agent`]. Returns the process exit code.
+pub fn agent_main(args: &[String]) -> i32 {
+    let mut connect: Option<String> = None;
+    let mut slots: usize = 1;
+    let mut dial_timeout = Duration::from_secs(10);
+    let mut it = args.iter();
+    let usage = "usage: bside-agent --connect HOST:PORT [--slots N] [--dial-timeout SECS]";
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => match it.next() {
+                Some(spec) => connect = Some(spec.clone()),
+                None => {
+                    eprintln!("{usage}");
+                    return 2;
+                }
+            },
+            "--slots" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => slots = n,
+                _ => {
+                    eprintln!("--slots needs a positive integer\n{usage}");
+                    return 2;
+                }
+            },
+            "--dial-timeout" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => dial_timeout = Duration::from_secs(secs),
+                None => {
+                    eprintln!("--dial-timeout needs SECS\n{usage}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument {other}\n{usage}");
+                return 2;
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let endpoint = connect_endpoint(&connect);
+    eprintln!("bside-agent: dialing {endpoint} with {slots} slot(s)");
+    match run_agent(
+        &endpoint,
+        &AgentOptions {
+            slots,
+            dial_timeout: Some(dial_timeout),
+        },
+    ) {
+        Ok(report) => {
+            eprintln!(
+                "bside-agent: coordinator said goodbye after {} unit(s); exiting",
+                report.units
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("bside-agent: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_endpoint_prefers_tcp_for_bare_host_port() {
+        assert_eq!(
+            connect_endpoint("10.0.0.7:4711"),
+            Endpoint::Tcp("10.0.0.7:4711".to_string())
+        );
+        assert_eq!(
+            connect_endpoint("tcp:10.0.0.7:4711"),
+            Endpoint::Tcp("10.0.0.7:4711".to_string())
+        );
+        assert_eq!(
+            connect_endpoint("unix:/run/fleet.sock"),
+            Endpoint::Unix(std::path::PathBuf::from("/run/fleet.sock"))
+        );
+        assert_eq!(
+            connect_endpoint("/run/fleet.sock"),
+            Endpoint::Unix(std::path::PathBuf::from("/run/fleet.sock"))
+        );
+    }
+}

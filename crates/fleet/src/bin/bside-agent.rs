@@ -1,0 +1,8 @@
+//! The standalone fleet agent binary: one long-lived worker per machine
+//! (or per container), dialing the coordinator and pulling units. See
+//! `bside_fleet::agent` for the protocol and fault-hook story.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(bside_fleet::agent::agent_main(&args));
+}

@@ -1,0 +1,548 @@
+//! The coordinator ↔ agent wire protocol.
+//!
+//! Newline-delimited JSON over a [`bside_serve::net::Conn`] (TCP between
+//! machines, Unix sockets for same-host tests), one message per line,
+//! each a single JSON object tagged by a `"type"` field — the exact
+//! framing the dist and serve protocols use, through the same shared
+//! codec ([`read_message_capped`]/[`write_message`] re-exported from
+//! `bside_dist::protocol`), so framing errors and the line cap behave
+//! identically in all three.
+//!
+//! ```text
+//! agent → coordinator   {"type":"hello","version":1,"slots":2,"cache_format":1}
+//! coordinator → agent   {"type":"welcome","version":1,"heartbeat_interval_ms":1000}
+//!                       {"type":"reject","message":"agent speaks protocol v2, expected v1"}
+//! coordinator → agent   {"type":"unit","id":7,"name":"grep_3","path":"/corpus/0003_grep.elf",
+//!                        "want":"Analysis","elf":"f0VMRg…","options":{…}}
+//!                       {"type":"shutdown"}
+//! agent → coordinator   {"type":"heartbeat"}
+//!                       {"type":"result","id":7,"analysis":{…}}
+//!                       {"type":"bundle","id":7,"bundle":{…}}
+//!                       {"type":"error","id":7,"message":"analysis budget exhausted…"}
+//! ```
+//!
+//! **The hello is the capability handshake.** An agent announces its
+//! protocol version, its slot count (how many units it will analyze
+//! concurrently — the coordinator never has more than that many
+//! outstanding on the connection), and its [`CACHE_FORMAT_VERSION`]
+//! (the result-semantics fingerprint every cache key folds in). The
+//! coordinator rejects, in band, any agent whose version or cache format
+//! differs: a heterogeneous fleet self-describes, and an agent built
+//! from an older engine can never poison the content-addressed result
+//! cache with semantically different analyses.
+//!
+//! **Binary payloads travel in band.** A unit carries the ELF bytes
+//! themselves (base64 inside the JSON line), so agents need no shared
+//! filesystem — the coordinator is the only process that ever touches
+//! the corpus directory. The `path` field is display-only: it makes
+//! agent-side error messages byte-identical to the in-process engine's.
+//!
+//! **Heartbeats are the liveness channel.** A dedicated agent thread
+//! sends `heartbeat` at the cadence the `welcome` prescribes; the
+//! coordinator reads with a socket timeout a few beats wide, so an agent
+//! that goes silent (killed, partitioned, wedged) is detected without
+//! any out-of-band probe and its in-flight units are requeued.
+
+use bside_core::{AnalyzerOptions, BinaryAnalysis};
+use bside_serve::PolicyBundle;
+use serde::{de, to_value, Value};
+
+use bside_dist::protocol::{obj_fields, take_field};
+
+pub use bside_dist::cache::CACHE_FORMAT_VERSION;
+pub use bside_dist::protocol::{read_message_capped, write_message};
+
+/// Protocol revision; bumped on any incompatible message change. The
+/// coordinator rejects agents announcing a different version in band
+/// rather than mis-parsing their frames.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one fleet frame. Unit frames carry whole binaries
+/// (base64, ~4/3 of the ELF size) and result frames carry whole
+/// analyses, so the cap is far above the serve request cap — but it is
+/// enforced through the same shared codec, so an oversized line fails
+/// identically: `InvalidData` without unbounded buffering.
+pub const MAX_FLEET_LINE_BYTES: u64 = 64 * 1024 * 1024;
+
+/// What the coordinator wants back for a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Want {
+    /// A [`BinaryAnalysis`] in the `bside_core::wire` format — the
+    /// corpus path.
+    Analysis,
+    /// A full [`PolicyBundle`] (policy + phases + lowered BPF) — the
+    /// serve-daemon offload path, where the agent also runs phase
+    /// detection and the BPF lowering so the daemon does none of it.
+    Bundle,
+}
+
+serde::impl_serde_unit_enum!(Want { Analysis, Bundle });
+
+/// Messages the coordinator sends to an agent.
+#[derive(Debug, Clone)]
+pub enum ToAgent {
+    /// The hello was accepted; the agent may expect units.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`], echoed for symmetry.
+        version: u32,
+        /// How often the agent must send heartbeats, in milliseconds.
+        heartbeat_interval_ms: u64,
+    },
+    /// The hello was refused (version or cache-format mismatch); the
+    /// coordinator closes the connection after this frame.
+    Reject {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Analyze one binary, shipped in band.
+    Unit {
+        /// Coordinator-wide dispatch sequence number, echoed back.
+        id: u64,
+        /// Display name of the unit (the corpus naming convention).
+        name: String,
+        /// Display-only origin path — used in agent-side error messages
+        /// so degraded units render byte-identically to in-process runs.
+        path: String,
+        /// What to send back.
+        want: Want,
+        /// The ELF image (base64 on the wire).
+        elf: Vec<u8>,
+        /// Analyzer configuration for this unit.
+        options: AnalyzerOptions,
+    },
+    /// Exit cleanly after finishing in-flight units.
+    Shutdown,
+}
+
+/// Messages an agent sends to the coordinator.
+#[derive(Debug)]
+pub enum FromAgent {
+    /// Sent once on connect, before anything else: the capability hello.
+    Hello {
+        /// The agent's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Units the agent analyzes concurrently (its admission window).
+        slots: usize,
+        /// The agent's [`CACHE_FORMAT_VERSION`] — the result-semantics
+        /// fingerprint; a mismatch means its analyses must not land in
+        /// the coordinator's cache.
+        cache_format: u32,
+    },
+    /// Liveness beacon, sent at the welcome's cadence from a dedicated
+    /// thread — it keeps flowing even while every slot is busy.
+    Heartbeat,
+    /// A unit analyzed successfully ([`Want::Analysis`]).
+    Result {
+        /// The unit's id, echoed back.
+        id: u64,
+        /// The analysis, in the `bside_core::wire` format.
+        analysis: Box<BinaryAnalysis>,
+    },
+    /// A unit derived successfully ([`Want::Bundle`]).
+    Bundle {
+        /// The unit's id, echoed back.
+        id: u64,
+        /// The policy bundle, in the `bside_filter::wire` format.
+        bundle: Box<PolicyBundle>,
+    },
+    /// A unit failed deterministically (unparseable ELF, analysis
+    /// error); the connection stays healthy.
+    Error {
+        /// The unit's id, echoed back.
+        id: u64,
+        /// The error's `Display` rendering — the merged-report payload.
+        message: String,
+    },
+}
+
+impl serde::Serialize for ToAgent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            ToAgent::Welcome {
+                version,
+                heartbeat_interval_ms,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("welcome".to_string())),
+                ("version".to_string(), Value::UInt(*version as u64)),
+                (
+                    "heartbeat_interval_ms".to_string(),
+                    Value::UInt(*heartbeat_interval_ms),
+                ),
+            ]),
+            ToAgent::Reject { message } => Value::Object(vec![
+                ("type".to_string(), Value::Str("reject".to_string())),
+                ("message".to_string(), Value::Str(message.clone())),
+            ]),
+            ToAgent::Unit {
+                id,
+                name,
+                path,
+                want,
+                elf,
+                options,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("unit".to_string())),
+                ("id".to_string(), Value::UInt(*id)),
+                ("name".to_string(), Value::Str(name.clone())),
+                ("path".to_string(), Value::Str(path.clone())),
+                ("want".to_string(), to_value(want)),
+                ("elf".to_string(), Value::Str(base64_encode(elf))),
+                ("options".to_string(), to_value(options)),
+            ]),
+            ToAgent::Shutdown => Value::Object(vec![(
+                "type".to_string(),
+                Value::Str("shutdown".to_string()),
+            )]),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+impl serde::Serialize for FromAgent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = match self {
+            FromAgent::Hello {
+                version,
+                slots,
+                cache_format,
+            } => Value::Object(vec![
+                ("type".to_string(), Value::Str("hello".to_string())),
+                ("version".to_string(), Value::UInt(*version as u64)),
+                ("slots".to_string(), Value::UInt(*slots as u64)),
+                (
+                    "cache_format".to_string(),
+                    Value::UInt(*cache_format as u64),
+                ),
+            ]),
+            FromAgent::Heartbeat => Value::Object(vec![(
+                "type".to_string(),
+                Value::Str("heartbeat".to_string()),
+            )]),
+            FromAgent::Result { id, analysis } => Value::Object(vec![
+                ("type".to_string(), Value::Str("result".to_string())),
+                ("id".to_string(), Value::UInt(*id)),
+                ("analysis".to_string(), to_value(analysis)),
+            ]),
+            FromAgent::Bundle { id, bundle } => Value::Object(vec![
+                ("type".to_string(), Value::Str("bundle".to_string())),
+                ("id".to_string(), Value::UInt(*id)),
+                ("bundle".to_string(), to_value(bundle)),
+            ]),
+            FromAgent::Error { id, message } => Value::Object(vec![
+                ("type".to_string(), Value::Str("error".to_string())),
+                ("id".to_string(), Value::UInt(*id)),
+                ("message".to_string(), Value::Str(message.clone())),
+            ]),
+        };
+        serializer.serialize_value(value)
+    }
+}
+
+fn take_u64(entries: &mut Vec<(String, Value)>, name: &str) -> Result<u64, de::ValueError> {
+    match take_field(entries, name)? {
+        Value::UInt(n) => Ok(n),
+        other => Err(de::Error::custom(format!(
+            "field `{name}` must be an unsigned integer, found {other:?}"
+        ))),
+    }
+}
+
+fn take_string(entries: &mut Vec<(String, Value)>, name: &str) -> Result<String, de::ValueError> {
+    match take_field(entries, name)? {
+        Value::Str(s) => Ok(s),
+        other => Err(de::Error::custom(format!(
+            "field `{name}` must be a string, found {other:?}"
+        ))),
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ToAgent {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries =
+            obj_fields(deserializer.into_value()?, "ToAgent").map_err(de::Error::custom)?;
+        let tag = take_string(&mut entries, "type").map_err(de::Error::custom)?;
+        match tag.as_str() {
+            "welcome" => Ok(ToAgent::Welcome {
+                version: take_u64(&mut entries, "version").map_err(de::Error::custom)? as u32,
+                heartbeat_interval_ms: take_u64(&mut entries, "heartbeat_interval_ms")
+                    .map_err(de::Error::custom)?,
+            }),
+            "reject" => Ok(ToAgent::Reject {
+                message: take_string(&mut entries, "message").map_err(de::Error::custom)?,
+            }),
+            "unit" => Ok(ToAgent::Unit {
+                id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
+                name: take_string(&mut entries, "name").map_err(de::Error::custom)?,
+                path: take_string(&mut entries, "path").map_err(de::Error::custom)?,
+                want: serde::from_value(
+                    take_field(&mut entries, "want").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+                elf: {
+                    let encoded = take_string(&mut entries, "elf").map_err(de::Error::custom)?;
+                    base64_decode(&encoded).map_err(de::Error::custom)?
+                },
+                options: serde::from_value(
+                    take_field(&mut entries, "options").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "shutdown" => Ok(ToAgent::Shutdown),
+            other => Err(de::Error::custom(format!(
+                "unknown coordinator message type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FromAgent {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut entries =
+            obj_fields(deserializer.into_value()?, "FromAgent").map_err(de::Error::custom)?;
+        let tag = take_string(&mut entries, "type").map_err(de::Error::custom)?;
+        match tag.as_str() {
+            "hello" => Ok(FromAgent::Hello {
+                version: take_u64(&mut entries, "version").map_err(de::Error::custom)? as u32,
+                slots: take_u64(&mut entries, "slots").map_err(de::Error::custom)? as usize,
+                cache_format: take_u64(&mut entries, "cache_format").map_err(de::Error::custom)?
+                    as u32,
+            }),
+            "heartbeat" => Ok(FromAgent::Heartbeat),
+            "result" => Ok(FromAgent::Result {
+                id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
+                analysis: serde::from_value(
+                    take_field(&mut entries, "analysis").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "bundle" => Ok(FromAgent::Bundle {
+                id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
+                bundle: serde::from_value(
+                    take_field(&mut entries, "bundle").map_err(de::Error::custom)?,
+                )
+                .map_err(de::Error::custom)?,
+            }),
+            "error" => Ok(FromAgent::Error {
+                id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
+                message: take_string(&mut entries, "message").map_err(de::Error::custom)?,
+            }),
+            other => Err(de::Error::custom(format!(
+                "unknown agent message type `{other}`"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base64 (RFC 4648, standard alphabet with padding). The build
+// environment has no registry access; this is only used to carry binary
+// payloads inside JSON lines.
+// ---------------------------------------------------------------------------
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with padding.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(B64_ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn b64_value(c: u8) -> Result<u32, String> {
+    match c {
+        b'A'..=b'Z' => Ok((c - b'A') as u32),
+        b'a'..=b'z' => Ok((c - b'a') as u32 + 26),
+        b'0'..=b'9' => Ok((c - b'0') as u32 + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        other => Err(format!("invalid base64 byte {other:#04x}")),
+    }
+}
+
+/// Decodes standard padded base64; any malformed input is an error, never
+/// a silent truncation.
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = i == bytes.len() / 4 - 1;
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (!last && pad > 0) {
+            return Err("misplaced base64 padding".to_string());
+        }
+        if quad[..4 - pad].contains(&b'=') {
+            return Err("misplaced base64 padding".to_string());
+        }
+        let mut triple = 0u32;
+        for &c in &quad[..4 - pad] {
+            triple = (triple << 6) | b64_value(c)?;
+        }
+        triple <<= 6 * pad as u32;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trips_and_matches_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        for len in [0usize, 1, 2, 3, 63, 64, 65, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            assert_eq!(
+                base64_decode(&base64_encode(&data)).expect("round trip"),
+                data,
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn base64_rejects_malformed_input() {
+        assert!(base64_decode("Zg=").is_err(), "bad length");
+        assert!(base64_decode("Z!==").is_err(), "bad alphabet");
+        assert!(base64_decode("Zg==Zg==").is_err(), "padding mid-stream");
+        assert!(base64_decode("====").is_err(), "over-padded");
+        assert!(base64_decode("Z=g=").is_err(), "padding before data");
+    }
+
+    #[test]
+    fn hello_and_unit_round_trip() {
+        let hello = FromAgent::Hello {
+            version: PROTOCOL_VERSION,
+            slots: 4,
+            cache_format: CACHE_FORMAT_VERSION,
+        };
+        let json = serde_json::to_string(&hello).unwrap();
+        match serde_json::from_str::<FromAgent>(&json).unwrap() {
+            FromAgent::Hello {
+                version,
+                slots,
+                cache_format,
+            } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(slots, 4);
+                assert_eq!(cache_format, CACHE_FORMAT_VERSION);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let unit = ToAgent::Unit {
+            id: 9,
+            name: "nginx_9".to_string(),
+            path: "/corpus/0009_nginx.elf".to_string(),
+            want: Want::Analysis,
+            elf: vec![0x7f, b'E', b'L', b'F', 0, 1, 2, 3],
+            options: bside_core::AnalyzerOptions::default(),
+        };
+        let json = serde_json::to_string(&unit).unwrap();
+        match serde_json::from_str::<ToAgent>(&json).unwrap() {
+            ToAgent::Unit {
+                id,
+                name,
+                path,
+                want,
+                elf,
+                options,
+            } => {
+                assert_eq!(id, 9);
+                assert_eq!(name, "nginx_9");
+                assert_eq!(path, "/corpus/0009_nginx.elf");
+                assert_eq!(want, Want::Analysis);
+                assert_eq!(elf, vec![0x7f, b'E', b'L', b'F', 0, 1, 2, 3]);
+                assert_eq!(
+                    options.limits,
+                    bside_core::AnalyzerOptions::default().limits
+                );
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip_via_line_codec() {
+        let mut buf = Vec::new();
+        write_message(
+            &mut buf,
+            &ToAgent::Welcome {
+                version: PROTOCOL_VERSION,
+                heartbeat_interval_ms: 500,
+            },
+        )
+        .unwrap();
+        write_message(&mut buf, &ToAgent::Shutdown).unwrap();
+        write_message(&mut buf, &FromAgent::Heartbeat).unwrap();
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        assert!(matches!(
+            read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES).unwrap(),
+            Some(ToAgent::Welcome {
+                version: PROTOCOL_VERSION,
+                heartbeat_interval_ms: 500
+            })
+        ));
+        assert!(matches!(
+            read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES).unwrap(),
+            Some(ToAgent::Shutdown)
+        ));
+        assert!(matches!(
+            read_message_capped::<FromAgent>(&mut reader, MAX_FLEET_LINE_BYTES).unwrap(),
+            Some(FromAgent::Heartbeat)
+        ));
+        assert!(
+            read_message_capped::<FromAgent>(&mut reader, MAX_FLEET_LINE_BYTES)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn unknown_tags_and_garbage_are_errors() {
+        assert!(serde_json::from_str::<FromAgent>("{\"type\":\"gimme\"}").is_err());
+        assert!(serde_json::from_str::<ToAgent>("{\"type\":\"nope\"}").is_err());
+        assert!(serde_json::from_str::<FromAgent>("not json").is_err());
+        assert!(serde_json::from_str::<ToAgent>(
+            "{\"type\":\"unit\",\"id\":1,\"name\":\"x\",\"path\":\"p\",\"want\":\"Analysis\",\
+             \"elf\":\"!!!!\",\"options\":{}}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Serve-daemon offload: `bside serve --fleet` wiring, in library form.
+//! Analyze-on-miss leaders ship the whole bundle derivation to the
+//! fleet; the bundle that comes back is byte-identical to a local
+//! derivation, and the serve layer's single-flight still collapses a
+//! cold storm into exactly one fleet unit.
+
+mod common;
+
+use bside_core::AnalyzerOptions;
+use bside_fleet::{serve_offload, FleetCoordinator, FleetOptions};
+use bside_serve::{
+    derive_bundle, Endpoint, PolicyClient, PolicyServer, ServeError, ServeOptions, Source,
+};
+use common::{materialize, temp_dir, thread_agent};
+use std::time::Duration;
+
+fn tcp0() -> Endpoint {
+    Endpoint::Tcp("127.0.0.1:0".to_string())
+}
+
+#[test]
+fn offloaded_bundle_is_byte_identical_and_store_backed() {
+    let (corpus_dir, units) = materialize("offload", 2);
+    let dir = temp_dir("offload_daemon");
+    std::fs::create_dir_all(&dir).expect("scratch");
+
+    let fleet = FleetCoordinator::bind(&tcp0(), FleetOptions::default()).expect("fleet bind");
+    let agent = thread_agent(fleet.endpoint(), 2);
+    assert!(fleet.wait_for_agents(1, Duration::from_secs(10)));
+
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            remote_analyzer: Some(serve_offload(fleet.submitter(), Duration::from_secs(60))),
+            read_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+
+    let (name, path) = &units[0];
+    let path_str = path.to_str().expect("utf8");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+
+    let first = client.fetch_path(path_str).expect("cold fetch via fleet");
+    assert_eq!(first.source, Source::Analyzed);
+    let bytes = std::fs::read(path).expect("unit bytes");
+    let local =
+        derive_bundle(name, &bytes, &AnalyzerOptions::default(), None).expect("local derivation");
+    assert_eq!(
+        serde_json::to_string(&first.bundle).unwrap(),
+        serde_json::to_string(&local).unwrap(),
+        "fleet-derived bundle != local derivation"
+    );
+    assert_eq!(
+        fleet.stats().completed,
+        1,
+        "exactly one unit crossed the fleet"
+    );
+
+    // The bundle landed in the daemon's store: the repeat fetch is a
+    // store hit and costs the fleet nothing.
+    let second = client.fetch_path(path_str).expect("warm fetch");
+    assert_eq!(second.source, Source::Store);
+    assert_eq!(fleet.stats().completed, 1, "no second fleet unit");
+
+    server.shutdown();
+    fleet.shutdown();
+    agent.join().expect("agent thread").expect("clean goodbye");
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cold_storm_composes_with_single_flight_into_one_fleet_unit() {
+    let (corpus_dir, units) = materialize("offload_storm", 1);
+    let dir = temp_dir("offload_storm_daemon");
+    std::fs::create_dir_all(&dir).expect("scratch");
+
+    let fleet = FleetCoordinator::bind(&tcp0(), FleetOptions::default()).expect("fleet bind");
+    let agent = thread_agent(fleet.endpoint(), 2);
+    assert!(fleet.wait_for_agents(1, Duration::from_secs(10)));
+
+    const CLIENTS: usize = 6;
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            remote_analyzer: Some(serve_offload(fleet.submitter(), Duration::from_secs(60))),
+            // Widen the race window so every client lands in one flight.
+            analysis_delay: Some(Duration::from_millis(300)),
+            threads: CLIENTS + 1,
+            read_timeout: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+
+    let path_str = units[0].1.to_str().expect("utf8").to_string();
+    let barrier = std::sync::Barrier::new(CLIENTS);
+    let sources: Vec<Source> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = &barrier;
+                let path = &path_str;
+                let server = &server;
+                scope.spawn(move || {
+                    let client = PolicyClient::connect(server.endpoint());
+                    barrier.wait();
+                    let mut client = client.expect("connect");
+                    client.fetch_path(path).expect("storm fetch").source
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm client"))
+            .collect()
+    });
+
+    let analyzed = sources.iter().filter(|s| **s == Source::Analyzed).count();
+    assert_eq!(analyzed, 1, "exactly one leader: {sources:?}");
+    assert_eq!(
+        fleet.stats().completed,
+        1,
+        "one storm = one fleet unit, coalescing held: {sources:?}"
+    );
+
+    server.shutdown();
+    fleet.shutdown();
+    agent.join().expect("agent thread").expect("clean goodbye");
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_downed_fleet_degrades_to_an_in_band_error_not_a_hang() {
+    let (corpus_dir, units) = materialize("offload_down", 1);
+    let dir = temp_dir("offload_down_daemon");
+    std::fs::create_dir_all(&dir).expect("scratch");
+
+    // Shut the fleet down before the daemon ever uses it: submissions
+    // fail fast, and the client sees the in-band error.
+    let fleet = FleetCoordinator::bind(&tcp0(), FleetOptions::default()).expect("fleet bind");
+    let submitter = fleet.submitter();
+    fleet.shutdown();
+
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            remote_analyzer: Some(serve_offload(submitter, Duration::from_secs(60))),
+            read_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let err = client
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect_err("offload must fail in band");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("fleet")),
+        "got {err}"
+    );
+    client.ping().expect("connection survived the failure");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The zero-agent hazard: a daemon offloading to a fleet nobody has
+/// joined must answer cold fetches with a bounded in-band error — not
+/// pin a pool worker forever on a unit no agent will ever pull (which
+/// would wedge the pool, and then wedge shutdown behind the pool).
+#[test]
+fn offload_with_no_agents_times_out_in_band_and_the_daemon_stays_serviceable() {
+    let (corpus_dir, units) = materialize("offload_empty", 1);
+    let dir = temp_dir("offload_empty_daemon");
+    std::fs::create_dir_all(&dir).expect("scratch");
+
+    // A live coordinator with zero agents, and a short offload budget.
+    let fleet = FleetCoordinator::bind(&tcp0(), FleetOptions::default()).expect("fleet bind");
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            remote_analyzer: Some(serve_offload(fleet.submitter(), Duration::from_secs(2))),
+            read_timeout: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let t0 = std::time::Instant::now();
+    let err = client
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect_err("no agents: the offload must fail, not hang");
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("timed out")),
+        "got {err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "the failure is bounded by the offload budget"
+    );
+    // The pool worker is free again, and shutdown completes.
+    client.ping().expect("daemon still serviceable");
+    server.shutdown();
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

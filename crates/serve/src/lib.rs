@@ -56,7 +56,7 @@ pub mod store;
 pub use client::{PolicyClient, PolicyFetch, ServeError};
 pub use net::{Conn, Endpoint};
 pub use protocol::{PolicyBundle, Reply, Request, Source, StatsSnapshot, PROTOCOL_VERSION};
-pub use server::{PolicyServer, ServeOptions, ServerHandle};
+pub use server::{PolicyServer, RemoteAnalyzer, ServeOptions, ServerHandle};
 pub use store::{library_fingerprint, PolicyStore};
 
 use bside_core::phase::{detect_phases, PhaseOptions};

@@ -46,9 +46,13 @@ impl fmt::Display for Endpoint {
     }
 }
 
-/// A listening socket on either transport.
-pub(crate) enum Listener {
+/// A listening socket on either transport. Public because the serve
+/// daemon is not its only consumer: the fleet coordinator accepts agent
+/// connections through the same abstraction.
+pub enum Listener {
+    /// A bound Unix-domain listener.
     Unix(UnixListener),
+    /// A bound TCP listener.
     Tcp(TcpListener),
 }
 
@@ -56,7 +60,7 @@ impl Listener {
     /// Binds the endpoint. A Unix path with no live listener behind it
     /// (a previous daemon died without cleanup) is removed and rebound;
     /// a path a live daemon answers on is refused as `AddrInUse`.
-    pub(crate) fn bind(endpoint: &Endpoint) -> std::io::Result<(Listener, Endpoint)> {
+    pub fn bind(endpoint: &Endpoint) -> std::io::Result<(Listener, Endpoint)> {
         match endpoint {
             Endpoint::Unix(path) => {
                 if path.exists() {
@@ -79,7 +83,8 @@ impl Listener {
         }
     }
 
-    pub(crate) fn accept(&self) -> std::io::Result<Conn> {
+    /// Blocks until a peer connects and returns the accepted connection.
+    pub fn accept(&self) -> std::io::Result<Conn> {
         match self {
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
             Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
@@ -120,6 +125,39 @@ impl Conn {
             Conn::Tcp(s) => s.set_read_timeout(timeout),
         }
     }
+
+    /// Switches the socket between blocking and non-blocking reads —
+    /// used by the serve watcher thread to probe a parked connection
+    /// for liveness without ever blocking on it.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// A display label for the remote peer: the TCP peer address, or a
+    /// placeholder for Unix sockets (whose peers are anonymous).
+    pub fn peer_label(&self) -> String {
+        match self {
+            Conn::Unix(_) => "unix-peer".to_string(),
+            Conn::Tcp(s) => s
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "tcp-peer".to_string()),
+        }
+    }
+
+    /// Severs both directions of the socket. Every clone of the
+    /// connection observes it at once — the lever for forcibly
+    /// disconnecting a peer (e.g. a fleet agent declared dead) whose
+    /// reader thread is blocked in a read on another handle.
+    pub fn shutdown_both(&self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -148,7 +186,7 @@ impl Write for Conn {
 }
 
 /// Removes a Unix socket file if the endpoint is one (listener teardown).
-pub(crate) fn cleanup(endpoint: &Endpoint) {
+pub fn cleanup(endpoint: &Endpoint) {
     if let Endpoint::Unix(path) = endpoint {
         let _ = std::fs::remove_file(path);
     }
@@ -156,7 +194,7 @@ pub(crate) fn cleanup(endpoint: &Endpoint) {
 
 /// `true` when an I/O error is a read-timeout expiry rather than a real
 /// failure (the two kinds differ across platforms).
-pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+pub fn is_timeout(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut

@@ -51,54 +51,24 @@
 use bside_filter::bpf::BpfProgram;
 use bside_filter::{FilterPolicy, PhasePolicy};
 use serde::{de, to_value, Value};
-use std::io::BufRead;
 
 use bside_dist::protocol::{obj_fields, take_field};
 
-pub use bside_dist::protocol::{read_message, write_message};
+pub use bside_dist::protocol::{read_message, read_message_capped, write_message};
 
 /// Protocol revision; bumped on any incompatible message change.
 /// v2: generation counter, `invalidate`/`watch`, `Coalesced` source.
 pub const PROTOCOL_VERSION: u32 = 2;
 
-/// Upper bound on one *request* line the server will read. Requests
+/// Upper bound on one *request* line the server will read (enforced via
+/// the workspace-shared [`read_message_capped`] codec, so the cap
+/// semantics are identical to the dist and fleet protocols'). Requests
 /// carry paths and hex keys — kilobytes at most — so anything past this
 /// is a confused or hostile peer; the read fails like any other framing
 /// error (in-band error reply, then disconnect) instead of buffering
 /// without bound. Replies are not capped: policy bundles are legitimately
 /// large.
 pub const MAX_REQUEST_LINE_BYTES: u64 = 256 * 1024;
-
-/// [`read_message`] with a line-length cap — the server-side request
-/// reader. A line longer than `cap` yields an `InvalidData` error (the
-/// caller answers in band and drops the connection, exactly as for
-/// non-JSON garbage).
-pub fn read_message_capped<T: for<'de> serde::Deserialize<'de>>(
-    reader: &mut impl BufRead,
-    cap: u64,
-) -> std::io::Result<Option<T>> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let mut limited = std::io::Read::take(&mut *reader, cap);
-        let n = limited.read_line(&mut line)?;
-        if n == 0 {
-            return Ok(None);
-        }
-        if n as u64 >= cap && !line.ends_with('\n') {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("request line exceeds {cap} bytes"),
-            ));
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        return serde_json::from_str(line.trim())
-            .map(Some)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
-    }
-}
 
 /// Where a policy reply came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -19,14 +19,27 @@
 //! touching the payload, so the hit path reads the binary exactly once
 //! over its lifetime (observable via the `bytes_read` counter).
 //!
+//! Blocked `watch`es do **not** occupy pool workers: a watch that must
+//! wait is *parked* — its connection (reader and writer halves) moves to
+//! a dedicated **watcher thread**, and the pool worker goes straight
+//! back to serving other connections. When the store generation passes a
+//! parked watch's anchor, the watcher writes the `generation` reply and
+//! hands the connection back to the pool, where it resumes its request
+//! loop as if nothing happened. A daemon can therefore sustain far more
+//! concurrent watchers than worker threads (the cap is
+//! [`MAX_PARKED_WATCHES`], a memory bound, not a pool bound), and even a
+//! single-threaded daemon serves a watch plus the mutation that wakes
+//! it.
+//!
 //! Shutdown is cooperative and complete: an in-band `shutdown` request
 //! (or [`ServerHandle::shutdown`]) sets a flag and dials a wake
 //! connection so the blocking accept returns; the accept thread stops
 //! handing out connections, the channel drains, workers finish their
 //! current request (idle connections expire within
-//! [`ServeOptions::read_timeout`]; blocked `watch`es are failed in band),
-//! and the listener's Unix socket file is removed. [`ServerHandle::join`]
-//! returns only after every thread has exited.
+//! [`ServeOptions::read_timeout`]; parked `watch`es are failed in band
+//! by the watcher thread), and the listener's Unix socket file is
+//! removed. [`ServerHandle::join`] returns only after every thread has
+//! exited.
 
 use crate::flight::{FlightTable, Ticket};
 use crate::net::{cleanup, is_timeout, Conn, Endpoint, Listener};
@@ -51,6 +64,16 @@ use std::time::{Duration, SystemTime};
 /// tests count invocations on. `None` in production.
 pub type AnalysisHook = Arc<dyn Fn(&str) + Send + Sync>;
 
+/// A remote bundle derivation: `(name, path, elf bytes)` in, a
+/// [`crate::PolicyBundle`] (or the in-band error message) out. Installed
+/// by `bside serve --fleet`, where it ships analyze-on-miss work to a
+/// `bside-fleet` coordinator instead of running it in-process; the
+/// single-flight table still guarantees one storm = one invocation.
+/// The remote side must run the same analyzer options as this daemon
+/// (store keys fingerprint them).
+pub type RemoteAnalyzer =
+    Arc<dyn Fn(&str, &str, &[u8]) -> Result<crate::PolicyBundle, String> + Send + Sync>;
+
 /// Configuration of a policy server.
 #[derive(Clone)]
 pub struct ServeOptions {
@@ -63,8 +86,8 @@ pub struct ServeOptions {
     /// `Analyzer::analyze_dynamic`; without it they are refused in band.
     pub library_dir: Option<std::path::PathBuf>,
     /// Worker threads — the number of connections served concurrently.
-    /// A blocked `watch` occupies its worker for its whole wait, so size
-    /// the pool for expected watchers plus request concurrency.
+    /// Blocked `watch`es park on a dedicated watcher thread and cost no
+    /// pool worker, so size the pool for request concurrency alone.
     pub threads: usize,
     /// Analyzer configuration for the analyze-on-miss path; also the
     /// options half of every store key.
@@ -85,6 +108,12 @@ pub struct ServeOptions {
     /// Observability hook: called with the store key just before every
     /// cold analysis runs. `None` in production.
     pub analysis_hook: Option<AnalysisHook>,
+    /// Remote offload for analyze-on-miss leaders: when set, cold
+    /// derivations for static binaries are shipped through this hook
+    /// (e.g. to a fleet coordinator) instead of running in-process.
+    /// Dynamic binaries stay local — they need this daemon's
+    /// shared-interface store.
+    pub remote_analyzer: Option<RemoteAnalyzer>,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -98,6 +127,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("analysis_delay", &self.analysis_delay)
             .field("panic_on_substr", &self.panic_on_substr)
             .field("analysis_hook", &self.analysis_hook.is_some())
+            .field("remote_analyzer", &self.remote_analyzer.is_some())
             .finish()
     }
 }
@@ -113,6 +143,7 @@ impl Default for ServeOptions {
             analysis_delay: None,
             panic_on_substr: None,
             analysis_hook: None,
+            remote_analyzer: None,
         }
     }
 }
@@ -140,6 +171,37 @@ struct PathKey {
     key: String,
 }
 
+/// One live connection's state as it moves between pool workers and the
+/// watcher thread: the buffered read half and the write half of one
+/// socket.
+struct ConnState {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+/// A watch waiting for the store generation to pass its anchor, parked
+/// off-pool with its whole connection.
+struct ParkedWatch {
+    state: ConnState,
+    /// The generation the client has already observed.
+    seen: u64,
+}
+
+/// What the worker pool's channel carries: fresh connections from the
+/// accept loop, and connections the watcher thread resumed after their
+/// watch fired.
+enum Work {
+    New(Conn),
+    Resumed(ConnState),
+}
+
+/// How one request resolves: an immediate reply, or (for a waiting
+/// `watch`) an instruction to park the connection off-pool.
+enum Answered {
+    Reply(Reply),
+    Park { seen: u64 },
+}
+
 struct Shared {
     store: PolicyStore,
     /// Shared interfaces for dynamic binaries; empty without
@@ -150,8 +212,15 @@ struct Shared {
     lib_fingerprint: Option<String>,
     flights: FlightTable,
     path_keys: Mutex<HashMap<String, PathKey>>,
-    /// Watches currently blocked in [`Shared::answer_watch`]; bounded to
-    /// keep workers free for the mutations that would wake them.
+    /// Connections parked by a pending `watch`, awaiting the watcher
+    /// thread's next sweep. `None` once the watcher has done its final
+    /// shutdown drain: a worker that tries to park after that fails the
+    /// watch in band itself instead of orphaning it — the state change
+    /// and the drain share this mutex, so no park can slip between.
+    watch_inbox: Mutex<Option<Vec<ParkedWatch>>>,
+    /// Watches currently parked (inbox + watcher-held); bounded by
+    /// [`MAX_PARKED_WATCHES`] so a watcher flood cannot grow connection
+    /// state without limit.
     active_watches: AtomicU64,
     options: ServeOptions,
     endpoint: Endpoint,
@@ -159,8 +228,15 @@ struct Shared {
     stats: Counters,
 }
 
-/// How long a blocked `watch` sleeps between shutdown-flag checks.
+/// How long the watcher thread waits per sweep — also the bound on how
+/// long shutdown and freshly parked watches wait to be noticed.
 const WATCH_SLICE: Duration = Duration::from_millis(100);
+
+/// Upper bound on concurrently parked watches. Watches no longer occupy
+/// pool workers (the watcher thread holds them), so this is a memory
+/// bound on retained connections, not a deadlock guard; past it a watch
+/// is rejected in band and the client retries.
+pub const MAX_PARKED_WATCHES: u64 = 1024;
 
 /// Upper bound on the `(path → key)` memo. Deployments that fetch by
 /// ever-fresh per-pod paths would otherwise grow it without bound over
@@ -238,22 +314,25 @@ impl Shared {
     }
 
     /// Answers one request. Never panics on malformed input — only the
-    /// test-only fault hook panics, deliberately.
-    fn answer(&self, request: &Request) -> Reply {
-        match request {
+    /// test-only fault hook panics, deliberately. A `watch` that must
+    /// wait answers [`Answered::Park`]: the connection loop hands the
+    /// whole connection to the watcher thread instead of blocking here.
+    fn answer(&self, request: &Request) -> Answered {
+        Answered::Reply(match request {
             Request::Ping => Reply::Pong,
             Request::Stats => Reply::Stats {
                 stats: self.snapshot(),
             },
             Request::Shutdown => Reply::ShuttingDown,
+            Request::Watch { generation } => return self.watch_decision(*generation),
             Request::PolicyByKey { key } => {
                 // Client-supplied keys reach the store's filesystem
                 // layer; anything but the canonical SHA-256 hex form is
                 // refused before it can traverse out of the store dir.
                 if !is_store_key(key) {
-                    return self.error_reply(format!(
+                    return Answered::Reply(self.error_reply(format!(
                         "malformed policy key {key:?} (expected 64 lowercase hex digits)"
-                    ));
+                    )));
                 }
                 match self.store.load(key) {
                     Some(bundle) => self.policy_reply(
@@ -267,9 +346,9 @@ impl Shared {
             }
             Request::Invalidate { key } => {
                 if !is_store_key(key) {
-                    return self.error_reply(format!(
+                    return Answered::Reply(self.error_reply(format!(
                         "malformed policy key {key:?} (expected 64 lowercase hex digits)"
-                    ));
+                    )));
                 }
                 match self.store.invalidate(key) {
                     Some(generation) => {
@@ -287,29 +366,14 @@ impl Shared {
                     },
                 }
             }
-            Request::Watch { generation } => self.answer_watch(*generation),
             Request::Policy { path } => self.answer_policy(path),
-        }
+        })
     }
 
-    /// Blocks until the store generation exceeds the client's, in short
-    /// slices so shutdown can interleave (a shutdown fails the watch in
-    /// band rather than leaving the client hanging on a dead socket).
-    ///
-    /// A blocked watch occupies its pool worker, so concurrent watches
-    /// are capped below the pool size: at least one worker always stays
-    /// free for the very mutations (policy/invalidate requests) that
-    /// would wake the watchers — without the cap, `threads` watchers
-    /// deadlock the daemon against itself.
-    fn answer_watch(&self, seen: u64) -> Reply {
-        let cap = (self.options.threads.max(1) - 1) as u64;
-        if cap == 0 {
-            return self.error_reply(
-                "watch requires at least 2 worker threads (--threads); \
-                 a single-worker daemon would deadlock against itself"
-                    .to_string(),
-            );
-        }
+    /// Decides a `watch` request without ever blocking a pool worker:
+    /// answer immediately when the condition is already met (or the
+    /// request is malformed), park otherwise.
+    fn watch_decision(&self, seen: u64) -> Answered {
         // Only this process issues generations, so an anchor ahead of the
         // store is always a client error (typically a pre-restart anchor
         // replayed after the counter reset) — reject it instead of
@@ -317,33 +381,47 @@ impl Shared {
         // arbitrarily long to satisfy.
         let current = self.store.generation();
         if seen > current {
-            return self.error_reply(format!(
+            return Answered::Reply(self.error_reply(format!(
                 "watch generation {seen} is ahead of the store (current {current}); \
                  re-anchor from a fresh hello or fetch"
-            ));
+            )));
+        }
+        if current > seen {
+            // Already satisfied: push semantics degrade gracefully to an
+            // immediate answer, no parking round-trip.
+            return Answered::Reply(Reply::Generation {
+                generation: current,
+            });
         }
         let admitted = self
             .active_watches
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < cap).then_some(n + 1)
+                (n < MAX_PARKED_WATCHES).then_some(n + 1)
             })
             .is_ok();
         if !admitted {
-            return self.error_reply(format!(
-                "too many concurrent watch requests (limit {cap}); retry later or raise --threads"
-            ));
+            return Answered::Reply(self.error_reply(format!(
+                "too many concurrent watch requests (limit {MAX_PARKED_WATCHES}); retry later"
+            )));
         }
-        let reply = loop {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break self.error_reply("server shutting down; watch aborted".to_string());
+        Answered::Park { seen }
+    }
+
+    /// Hands a parked watch to the watcher thread's inbox (it sweeps
+    /// within one [`WATCH_SLICE`]). If the watcher already did its final
+    /// shutdown drain, the watch is failed in band right here — the
+    /// closed-inbox check and the drain share one mutex, so no watch can
+    /// be orphaned between them.
+    fn park(&self, mut parked: ParkedWatch) {
+        let mut inbox = self.watch_inbox.lock().expect("watch inbox lock");
+        match inbox.as_mut() {
+            Some(waiting) => waiting.push(parked),
+            None => {
+                self.active_watches.fetch_sub(1, Ordering::SeqCst);
+                let reply = self.error_reply("server shutting down; watch aborted".to_string());
+                let _ = write_message(&mut parked.state.writer, &reply);
             }
-            let now = self.store.wait_newer(seen, WATCH_SLICE);
-            if now > seen {
-                break Reply::Generation { generation: now };
-            }
-        };
-        self.active_watches.fetch_sub(1, Ordering::SeqCst);
-        reply
+        }
     }
 
     /// The `(len, mtime) → key` memo: the store key of an unchanged path
@@ -421,16 +499,18 @@ impl Shared {
         };
         let lib_fp = parsed.as_ref().and_then(|(_, fp)| *fp);
         let key = PolicyStore::key_with_libs(&bytes, &self.options.analyzer, lib_fp);
-        // Memoize against a stamp taken *after* the read, and only when
-        // it still describes what was read: binding the pre-read stamp
-        // to the post-swap content would let a later rollback (restoring
-        // the original file with its original mtime) memo-hit the wrong
-        // key and serve the wrong policy.
-        if let Ok(after) = std::fs::metadata(path) {
-            if after.len() == bytes.len() as u64 {
-                if let Ok(mtime) = after.modified() {
-                    self.memoize_key(path, after.len(), mtime, &key);
-                }
+        // Memoize only when the pre-read and post-read stamps agree
+        // (and match what was read): requiring both closes *both*
+        // swap-race directions — a pre-read stamp bound to post-swap
+        // content (a later rollback restoring the original file+mtime
+        // would memo-hit the wrong key), and a post-read stamp bound to
+        // pre-swap content (a same-length swap during the read would
+        // bind the new mtime to the old bytes' key and serve the old
+        // policy forever). Disagreement just skips the memo; the next
+        // fetch re-reads.
+        if let (Some(before), Ok(after)) = (stamp, std::fs::metadata(path)) {
+            if after.len() == bytes.len() as u64 && after.modified().ok() == Some(before) {
+                self.memoize_key(path, after.len(), before, &key);
             }
         }
         if let Some(bundle) = self.store.load(&key) {
@@ -477,27 +557,36 @@ impl Shared {
                 if let Some(hook) = &self.options.analysis_hook {
                     hook(&key);
                 }
-                let libs = (!self.libraries.is_empty()).then_some(&self.libraries);
-                let derived = match &parsed {
-                    Some((elf, _)) => {
-                        derive_bundle_parsed(&name, elf, &self.options.analyzer, libs)
+                let derived = match (&self.options.remote_analyzer, lib_fp) {
+                    // Offload only what the fleet can actually derive: a
+                    // dynamic binary needs this daemon's shared-interface
+                    // store, so it stays local even under --fleet.
+                    (Some(remote), None) => remote(&name, path, &bytes),
+                    _ => {
+                        let libs = (!self.libraries.is_empty()).then_some(&self.libraries);
+                        match &parsed {
+                            Some((elf, _)) => {
+                                derive_bundle_parsed(&name, elf, &self.options.analyzer, libs)
+                            }
+                            None => derive_bundle(&name, &bytes, &self.options.analyzer, libs),
+                        }
                     }
-                    None => derive_bundle(&name, &bytes, &self.options.analyzer, libs),
                 };
                 match derived {
                     Ok(bundle) => {
                         self.stats.analyses.fetch_add(1, Ordering::Relaxed);
-                        let (bundle, generation) = match self.store.insert(&key, bundle.clone()) {
-                            Ok(landed) => landed,
-                            Err(e) => {
-                                // A store write failure degrades durability,
-                                // not service: the freshly derived bundle
-                                // still answers this request and its
-                                // followers.
-                                eprintln!("bside-serve: storing policy {key}: {e}");
-                                (Arc::new(bundle), self.store.generation())
-                            }
-                        };
+                        let (bundle, generation) =
+                            match self.store.insert_with_libs(&key, bundle.clone(), lib_fp) {
+                                Ok(landed) => landed,
+                                Err(e) => {
+                                    // A store write failure degrades durability,
+                                    // not service: the freshly derived bundle
+                                    // still answers this request and its
+                                    // followers.
+                                    eprintln!("bside-serve: storing policy {key}: {e}");
+                                    (Arc::new(bundle), self.store.generation())
+                                }
+                            };
                         guard.complete(Ok(Arc::clone(&bundle)));
                         self.policy_reply(key, Source::Analyzed, generation, (*bundle).clone())
                     }
@@ -510,14 +599,14 @@ impl Shared {
         }
     }
 
-    /// Serves one connection until EOF, shutdown, read-timeout expiry,
-    /// or a framing error.
-    fn handle_connection(&self, conn: Conn) {
+    /// Greets a fresh connection and serves it. Returns a parked watch
+    /// when the connection left the pool mid-`watch`.
+    fn handle_connection(&self, conn: Conn) -> Option<ParkedWatch> {
         let _ = conn.set_read_timeout(Some(self.options.read_timeout));
         let Ok(mut writer) = conn.try_clone() else {
-            return;
+            return None;
         };
-        let mut reader = BufReader::new(conn);
+        let reader = BufReader::new(conn);
         if write_message(
             &mut writer,
             &Reply::Hello {
@@ -527,32 +616,136 @@ impl Shared {
         )
         .is_err()
         {
-            return;
+            return None;
         }
+        self.serve_requests(ConnState { reader, writer })
+    }
+
+    /// Serves a connection's request loop until EOF, shutdown,
+    /// read-timeout expiry, or a framing error — or until a `watch` must
+    /// wait, in which case the whole connection state is returned for
+    /// parking and the pool worker goes back to the pool.
+    fn serve_requests(&self, mut state: ConnState) -> Option<ParkedWatch> {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
-                return;
+                return None;
             }
-            let request = match read_message_capped::<Request>(&mut reader, MAX_REQUEST_LINE_BYTES)
-            {
-                Ok(Some(request)) => request,
-                Ok(None) => return, // clean EOF
-                Err(e) if is_timeout(&e) => return,
-                Err(e) => {
-                    // Framing is no longer trustworthy: answer once, close.
-                    let reply = self.error_reply(format!("malformed request: {e}"));
-                    let _ = write_message(&mut writer, &reply);
-                    return;
-                }
-            };
+            let request =
+                match read_message_capped::<Request>(&mut state.reader, MAX_REQUEST_LINE_BYTES) {
+                    Ok(Some(request)) => request,
+                    Ok(None) => return None, // clean EOF
+                    Err(e) if is_timeout(&e) => return None,
+                    Err(e) => {
+                        // Framing is no longer trustworthy: answer once, close.
+                        let reply = self.error_reply(format!("malformed request: {e}"));
+                        let _ = write_message(&mut state.writer, &reply);
+                        return None;
+                    }
+                };
             self.stats.requests.fetch_add(1, Ordering::Relaxed);
-            let reply = self.answer(&request);
-            if write_message(&mut writer, &reply).is_err() {
-                return;
+            let reply = match self.answer(&request) {
+                Answered::Reply(reply) => reply,
+                Answered::Park { seen } => return Some(ParkedWatch { state, seen }),
+            };
+            if write_message(&mut state.writer, &reply).is_err() {
+                return None;
             }
             if matches!(request, Request::Shutdown) {
                 self.begin_shutdown();
-                return;
+                return None;
+            }
+        }
+    }
+}
+
+/// `true` when a parked watch's client is gone (EOF or transport
+/// error), probed without blocking. A client that *sends* while its
+/// watch is pending is breaking the protocol (nothing may be in flight
+/// from it until the watch answers), so any readable byte also counts
+/// as gone — the framing could not be trusted anyway.
+fn watch_client_gone(parked: &mut ParkedWatch) -> bool {
+    use std::io::Read as _;
+    if !parked.state.reader.buffer().is_empty() {
+        return true; // bytes sent mid-watch: protocol breach
+    }
+    let conn = parked.state.reader.get_mut();
+    if conn.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match conn.read(&mut probe) {
+        Ok(0) => true,             // EOF: client hung up
+        Ok(_) => true,             // data mid-watch: breach
+        Err(e) => !is_timeout(&e), // WouldBlock = alive
+    };
+    let _ = conn.set_nonblocking(false);
+    gone
+}
+
+/// The dedicated watcher thread: holds every parked watch, fires the
+/// ripe ones as the store generation advances, hands their connections
+/// back to the worker pool, and drops watchers whose clients hung up
+/// (a dead watcher must not pin one of the [`MAX_PARKED_WATCHES`] slots
+/// until the store happens to mutate). On shutdown it closes the inbox
+/// and fails every parked watch in band — no client is left hanging on
+/// a dead socket.
+fn watcher_loop(shared: &Shared, tx: &Sender<Work>) {
+    let mut held: Vec<ParkedWatch> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Close the inbox and drain it under one lock hold: a park
+            // racing this drain either lands before it (drained here)
+            // or finds the inbox closed and fails its watch itself.
+            let late = {
+                let mut inbox = shared.watch_inbox.lock().expect("watch inbox lock");
+                inbox.take().unwrap_or_default()
+            };
+            for mut parked in held.drain(..).chain(late) {
+                shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+                let reply = shared.error_reply("server shutting down; watch aborted".to_string());
+                let _ = write_message(&mut parked.state.writer, &reply);
+            }
+            return;
+        }
+        {
+            let mut inbox = shared.watch_inbox.lock().expect("watch inbox lock");
+            if let Some(waiting) = inbox.as_mut() {
+                held.append(waiting);
+            }
+        }
+        // Drop watchers whose clients are gone, so 1024 connect-watch-
+        // disconnect cycles cannot exhaust the parked-watch slots on a
+        // store that never mutates.
+        held.retain_mut(|parked| {
+            let gone = watch_client_gone(parked);
+            if gone {
+                shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+            }
+            !gone
+        });
+        // One sweep: sleep until the generation can have passed the
+        // lowest anchor (or a slice elapses — the slice also bounds how
+        // long shutdown, new parks, and disconnect probes wait). With
+        // nothing parked this degrades to a plain slice sleep.
+        let anchor = held.iter().map(|p| p.seen).min().unwrap_or(u64::MAX);
+        let now = shared.store.wait_newer(anchor, WATCH_SLICE);
+        let mut i = 0;
+        while i < held.len() {
+            if now > held[i].seen {
+                let mut parked = held.swap_remove(i);
+                shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+                if write_message(
+                    &mut parked.state.writer,
+                    &Reply::Generation { generation: now },
+                )
+                .is_ok()
+                {
+                    // Back to the pool: the connection resumes its
+                    // request loop on whichever worker picks it up.
+                    let _ = tx.send(Work::Resumed(parked.state));
+                }
+            } else {
+                i += 1;
             }
         }
     }
@@ -580,6 +773,20 @@ impl PolicyServer {
             None => LibraryStore::new(),
         };
         let lib_fingerprint = library_fingerprint(&libraries);
+        // Startup auto-invalidation: entries fingerprinted under a
+        // *different* library set can never be addressed by this daemon
+        // (their keys fold in the old fingerprint), so sweep them now
+        // instead of letting them linger on disk until eviction.
+        if let Some(fp) = lib_fingerprint.as_deref() {
+            let swept = store.sweep_stale_lib_entries(fp);
+            if swept > 0 {
+                eprintln!(
+                    "bside-serve: swept {swept} store entr{} derived against a previous \
+                     library set",
+                    if swept == 1 { "y" } else { "ies" }
+                );
+            }
+        }
         let threads = options.threads.max(1);
         let shared = Arc::new(Shared {
             store,
@@ -587,6 +794,7 @@ impl PolicyServer {
             lib_fingerprint,
             flights: FlightTable::default(),
             path_keys: Mutex::new(HashMap::new()),
+            watch_inbox: Mutex::new(Some(Vec::new())),
             active_watches: AtomicU64::new(0),
             options,
             endpoint: resolved,
@@ -594,11 +802,16 @@ impl PolicyServer {
             stats: Counters::default(),
         });
 
-        let (tx, rx) = channel::<Conn>();
+        let (tx, rx) = channel::<Work>();
         let rx = Arc::new(Mutex::new(rx));
         let accept = {
             let shared = Arc::clone(&shared);
+            let tx = tx.clone();
             std::thread::spawn(move || accept_loop(&shared, listener, tx))
+        };
+        let watcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watcher_loop(&shared, &tx))
         };
         let workers = (0..threads)
             .map(|_| {
@@ -610,12 +823,13 @@ impl PolicyServer {
         Ok(ServerHandle {
             shared,
             accept: Some(accept),
+            watcher: Some(watcher),
             workers,
         })
     }
 }
 
-fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Conn>) {
+fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Work>) {
     loop {
         match listener.accept() {
             Ok(conn) => {
@@ -623,7 +837,7 @@ fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Conn>) {
                     break; // the wake connection (or a late client): drop it
                 }
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                if tx.send(conn).is_err() {
+                if tx.send(Work::New(conn)).is_err() {
                     break;
                 }
             }
@@ -640,22 +854,30 @@ fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Conn>) {
         }
     }
     cleanup(&shared.endpoint);
-    // tx drops here; workers drain the channel and exit.
+    // tx drops here; once the watcher's clone drops too, workers drain
+    // the channel and exit.
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Work>>) {
     loop {
-        let conn = match rx.lock().expect("connection queue lock").recv() {
-            Ok(conn) => conn,
-            Err(_) => return, // accept loop gone and queue drained
+        let work = match rx.lock().expect("connection queue lock").recv() {
+            Ok(work) => work,
+            Err(_) => return, // accept loop and watcher gone, queue drained
         };
         // Per-connection isolation: a panicking handler (a bug in
         // analysis or a deliberate fault injection) loses its own
         // connection only. The connection is moved into the closure, so
         // unwinding drops (closes) it and the client sees EOF.
-        let result = catch_unwind(AssertUnwindSafe(|| shared.handle_connection(conn)));
-        if result.is_err() {
-            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| match work {
+            Work::New(conn) => shared.handle_connection(conn),
+            Work::Resumed(state) => shared.serve_requests(state),
+        }));
+        match result {
+            Ok(Some(parked)) => shared.park(parked),
+            Ok(None) => {}
+            Err(_) => {
+                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -664,6 +886,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>) {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -677,6 +900,13 @@ impl ServerHandle {
     /// A point-in-time copy of the server's counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// Watches currently parked off-pool (inbox + watcher-held) — an
+    /// API-side gauge (not on the wire) for embedders and the tests
+    /// that prove dead watchers release their slots.
+    pub fn parked_watches(&self) -> u64 {
+        self.shared.active_watches.load(Ordering::SeqCst)
     }
 
     /// Initiates shutdown and waits for every thread to exit.
@@ -695,6 +925,11 @@ impl ServerHandle {
     fn join_threads(&mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        // The watcher must exit (failing its parked watches) before the
+        // workers can drain: it holds the pool channel's last sender.
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();

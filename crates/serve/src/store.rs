@@ -105,6 +105,55 @@ impl PolicyStore {
             .map(|d| d.join(format!("{key}.policy.json")))
     }
 
+    fn sidecar_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.libfp")))
+    }
+
+    /// Removes every on-disk entry whose recorded library-set
+    /// fingerprint differs from `current` — the startup sweep a daemon
+    /// runs after loading its `--lib-dir`. Re-analyzed interfaces mean
+    /// new store keys, so entries fingerprinted under the old set can
+    /// never be addressed again by this daemon; without the sweep they
+    /// linger until manual invalidation or eviction. Returns the number
+    /// of entries removed (each also clears its in-memory copy and its
+    /// sidecar). Purely in-memory stores have nothing to sweep.
+    pub fn sweep_stale_lib_entries(&self, current: &str) -> usize {
+        let Some(dir) = &self.dir else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        let mut swept = 0usize;
+        for entry in entries.filter_map(Result::ok) {
+            let file_name = entry.file_name();
+            let name = file_name.to_string_lossy();
+            let Some(key) = name.strip_suffix(".libfp") else {
+                continue;
+            };
+            let recorded = std::fs::read_to_string(entry.path()).unwrap_or_default();
+            if recorded == current {
+                continue;
+            }
+            // Same lock discipline as `invalidate`: memory and disk go
+            // under one hold so a racing load cannot resurrect the
+            // entry between the two removals.
+            let mut mem = self.mem.lock().expect("store lock");
+            if let Some(path) = self.entry_path(key) {
+                if std::fs::remove_file(path).is_ok() {
+                    swept += 1;
+                }
+            }
+            mem.remove(key);
+            drop(mem);
+            let _ = std::fs::remove_file(entry.path());
+        }
+        if swept > 0 {
+            self.bump();
+        }
+        swept
+    }
+
     /// The current generation: the number of mutations this process's
     /// store has performed. Strictly monotonic; starts at 0.
     pub fn generation(&self) -> u64 {
@@ -171,6 +220,21 @@ impl PolicyStore {
         key: &str,
         bundle: PolicyBundle,
     ) -> std::io::Result<(Arc<PolicyBundle>, u64)> {
+        self.insert_with_libs(key, bundle, None)
+    }
+
+    /// [`PolicyStore::insert`] for a bundle whose key folds in a
+    /// library-set fingerprint. The fingerprint is recorded in a
+    /// `<key>.libfp` sidecar next to the entry, which is what lets a
+    /// restarted daemon recognize — and proactively sweep — entries
+    /// derived against shared interfaces it no longer serves (see
+    /// [`PolicyStore::sweep_stale_lib_entries`]).
+    pub fn insert_with_libs(
+        &self,
+        key: &str,
+        bundle: PolicyBundle,
+        lib_fingerprint: Option<&str>,
+    ) -> std::io::Result<(Arc<PolicyBundle>, u64)> {
         let bundle = Arc::new(bundle);
         // Serialization and the temp-file write happen before the lock —
         // they are private to this writer. Only the rename (the publish)
@@ -203,6 +267,13 @@ impl PolicyStore {
                 if let Err(e) = std::fs::rename(&tmp, path) {
                     let _ = std::fs::remove_file(&tmp);
                     return Err(e);
+                }
+                // The sidecar is provenance metadata, not the entry
+                // itself: best-effort, written after the entry lands
+                // (a missing sidecar just means the entry is never
+                // swept as stale).
+                if let (Some(fp), Some(sidecar)) = (lib_fingerprint, self.sidecar_path(key)) {
+                    let _ = std::fs::write(sidecar, fp);
                 }
             }
             mem.insert(key.to_string(), Arc::clone(&bundle));
@@ -239,6 +310,11 @@ impl PolicyStore {
                 None => mem_hit,
             }
         };
+        if removed {
+            if let Some(sidecar) = self.sidecar_path(key) {
+                let _ = std::fs::remove_file(sidecar);
+            }
+        }
         removed.then(|| self.bump())
     }
 
@@ -436,6 +512,66 @@ mod tests {
         // A second daemon sharing the directory no longer sees it either.
         let other = PolicyStore::open(Some(&dir)).unwrap();
         assert!(other.load("k").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_removes_only_entries_from_a_different_library_set() {
+        let dir = scratch("sweep");
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        // One static entry (no sidecar), one entry under the current
+        // library set, one under a stale set.
+        store
+            .insert("a".repeat(64).as_str(), bundle("static"))
+            .unwrap();
+        store
+            .insert_with_libs("b".repeat(64).as_str(), bundle("fresh"), Some("fp-now"))
+            .unwrap();
+        store
+            .insert_with_libs("c".repeat(64).as_str(), bundle("stale"), Some("fp-old"))
+            .unwrap();
+        assert_eq!(store.len(), 3, "sidecars are not entries");
+        let generation_before = store.generation();
+
+        let swept = store.sweep_stale_lib_entries("fp-now");
+        assert_eq!(swept, 1, "exactly the stale-set entry goes");
+        assert_eq!(store.len(), 2);
+        assert!(store.load(&"a".repeat(64)).is_some(), "static entry kept");
+        assert!(
+            store.load(&"b".repeat(64)).is_some(),
+            "current-set entry kept"
+        );
+        assert!(store.load(&"c".repeat(64)).is_none(), "stale entry gone");
+        assert!(
+            !dir.join(format!("{}.libfp", "c".repeat(64))).exists(),
+            "stale sidecar removed with its entry"
+        );
+        assert_eq!(
+            store.generation(),
+            generation_before + 1,
+            "a real sweep is a mutation watchers hear about"
+        );
+        // Idempotent: nothing left to sweep, no spurious bump.
+        assert_eq!(store.sweep_stale_lib_entries("fp-now"), 0);
+        assert_eq!(store.generation(), generation_before + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_clears_the_fingerprint_sidecar_too() {
+        let dir = scratch("sidecar_inval");
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        let key = "d".repeat(64);
+        store
+            .insert_with_libs(&key, bundle("dyn"), Some("fp"))
+            .unwrap();
+        assert!(dir.join(format!("{key}.libfp")).exists());
+        store.invalidate(&key).expect("entry existed");
+        assert!(!dir.join(format!("{key}.policy.json")).exists());
+        assert!(
+            !dir.join(format!("{key}.libfp")).exists(),
+            "sidecar must not outlive its entry"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -603,44 +603,255 @@ fn watch_observes_invalidation_and_reanalysis_without_polling() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Concurrent watches are capped below the pool size, so the workers
-/// that would process the waking mutations can never all be consumed by
-/// watchers (a full pool of watches would deadlock the daemon against
-/// itself).
+/// A blocked watch parks on the watcher thread instead of occupying a
+/// pool worker: even a **single-threaded** daemon serves a watch plus
+/// the very mutation that wakes it — the configuration that used to be
+/// rejected as a self-deadlock. After the watch fires, the watcher's
+/// connection resumes in the pool and keeps serving requests.
 #[test]
-fn watch_admission_is_capped_below_the_pool() {
-    let dir = scratch("watch_cap");
+fn blocked_watch_frees_its_pool_worker_even_on_a_single_thread_daemon() {
+    let dir = scratch("watch_park");
     let units = corpus_units(&dir.join("corpus"), 1);
     let mut options = options_with(None, Duration::from_secs(5));
-    options.threads = 2; // cap = 1 concurrent watch
+    options.threads = 1; // the lone worker must stay available
     let server =
         PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
 
-    // Watcher 1 is admitted and blocks server-side.
+    // The watcher blocks server-side — parked, not holding the worker.
     let blocked = {
         let endpoint = server.endpoint().clone();
         std::thread::spawn(move || {
             let mut watcher = PolicyClient::connect(&endpoint).expect("watcher connects");
-            watcher.wait_for_generation(0).expect("eventually fires")
+            let generation = watcher.wait_for_generation(0).expect("eventually fires");
+            // The resumed connection is fully alive: it serves more
+            // requests from the pool after un-parking.
+            watcher.ping().expect("resumed connection still serves");
+            let stats = watcher.stats().expect("and richer requests too");
+            (generation, stats.generation)
         })
     };
-    std::thread::sleep(Duration::from_millis(200));
+    std::thread::sleep(Duration::from_millis(300));
 
-    // Watcher 2 is rejected in band — and its connection stays usable.
-    let mut second = PolicyClient::connect(server.endpoint()).expect("connect");
-    let err = second.wait_for_generation(0).expect_err("over the cap");
-    assert!(
-        matches!(&err, ServeError::Server(m) if m.contains("too many concurrent watch")),
-        "got {err}"
-    );
-    second.ping().expect("connection survived the rejection");
-
-    // The free worker can still process the mutation that wakes watcher 1.
-    let fetch = second
+    // The single worker serves the mutation while the watch waits.
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let fetch = client
         .fetch_path(units[0].1.to_str().expect("utf8"))
-        .expect("mutation served");
+        .expect("mutation served by the lone worker");
     assert_eq!(fetch.source, Source::Analyzed);
-    assert_eq!(blocked.join().expect("watcher thread"), fetch.generation);
+    let (woke_at, stats_generation) = blocked.join().expect("watcher thread");
+    assert_eq!(woke_at, fetch.generation, "watch woke on the mutation");
+    assert_eq!(stats_generation, fetch.generation);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Many more concurrent watchers than pool workers, all parked at once,
+/// all woken by one mutation — the old `threads - 1` admission cap is
+/// gone because watches no longer consume what they were capped against.
+#[test]
+fn watchers_can_outnumber_pool_workers() {
+    let dir = scratch("watch_many");
+    let units = corpus_units(&dir.join("corpus"), 1);
+    let mut options = options_with(None, Duration::from_secs(10));
+    options.threads = 2; // old cap would have admitted exactly 1 watch
+    let server =
+        PolicyServer::spawn(&Endpoint::Unix(dir.join("bside.sock")), options).expect("spawn");
+
+    const WATCHERS: usize = 6;
+    let handles: Vec<_> = (0..WATCHERS)
+        .map(|_| {
+            let endpoint = server.endpoint().clone();
+            std::thread::spawn(move || {
+                let mut watcher = PolicyClient::connect(&endpoint).expect("watcher connects");
+                watcher.wait_for_generation(0).expect("fires")
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let fetch = client
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect("mutation served while 6 watches wait");
+    for handle in handles {
+        assert_eq!(
+            handle.join().expect("watcher thread"),
+            fetch.generation,
+            "every parked watcher woke on the one mutation"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Startup auto-invalidation: a daemon that loads a `--lib-dir` whose
+/// fingerprint differs from what on-disk entries were derived against
+/// sweeps those entries at spawn — re-analyzed interfaces would never
+/// address them again, so they must not linger. Static entries (and
+/// entries under the current set) survive untouched.
+#[test]
+fn restart_with_changed_interfaces_sweeps_stale_lib_entries() {
+    use bside_core::{Analyzer, SharedInterface};
+    let dir = scratch("lib_sweep");
+    let corpus = corpus_with_size(DEFAULT_SEED, 1, 1, 2);
+    let (units, _libs) = corpus
+        .materialize(&dir.join("corpus"))
+        .expect("materialize");
+    let store_dir = dir.join("store");
+    let endpoint = Endpoint::Unix(dir.join("bside.sock"));
+
+    // The original §4.5 interface set.
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let lib_refs: Vec<(&str, &bside_elf::Elf)> = corpus
+        .libraries
+        .iter()
+        .map(|l| (l.spec.name.as_str(), &l.elf))
+        .collect();
+    let interfaces = analyzer.analyze_libraries(&lib_refs).expect("libraries");
+    let iface_a = dir.join("ifaces_a");
+    interfaces.save_to_dir(&iface_a).expect("save set A");
+
+    // Locate the corpus units by linkage.
+    let is_dynamic: Vec<bool> = corpus
+        .binaries
+        .iter()
+        .map(|b| !b.program.elf.needed_libraries().is_empty())
+        .collect();
+    let dyn_unit = units
+        .iter()
+        .zip(&is_dynamic)
+        .find(|(_, d)| **d)
+        .expect("a dynamic unit")
+        .0;
+    let static_unit = units
+        .iter()
+        .zip(&is_dynamic)
+        .find(|(_, d)| !**d)
+        .expect("a static unit")
+        .0;
+
+    // Daemon 1: populate one dynamic (lib-fingerprinted, sidecar'd) and
+    // one static entry.
+    let (dyn_key, static_key) = {
+        let mut options = options_with(Some(store_dir.clone()), Duration::from_secs(5));
+        options.library_dir = Some(iface_a);
+        let server = PolicyServer::spawn(&endpoint, options).expect("daemon 1");
+        let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+        let dyn_fetch = client
+            .fetch_path(dyn_unit.1.to_str().expect("utf8"))
+            .expect("dynamic fetch");
+        let static_fetch = client
+            .fetch_path(static_unit.1.to_str().expect("utf8"))
+            .expect("static fetch");
+        server.shutdown();
+        (dyn_fetch.key, static_fetch.key)
+    };
+    assert!(store_dir.join(format!("{dyn_key}.policy.json")).exists());
+    assert!(
+        store_dir.join(format!("{dyn_key}.libfp")).exists(),
+        "dynamic entry records its library-set fingerprint"
+    );
+    assert!(store_dir.join(format!("{static_key}.policy.json")).exists());
+    assert!(
+        !store_dir.join(format!("{static_key}.libfp")).exists(),
+        "static entries carry no fingerprint"
+    );
+
+    // Interface set B: the same libraries plus one more — a different
+    // fingerprint, as after a library upgrade and re-analysis.
+    let mut changed = bside_core::LibraryStore::new();
+    for iface in interfaces.interfaces() {
+        changed.insert(iface.clone());
+    }
+    changed.insert(SharedInterface {
+        library: "libextra.so".to_string(),
+        exports: Default::default(),
+        wrappers: vec![],
+        addresses_taken: vec![],
+        function_cfg: Default::default(),
+    });
+    let iface_b = dir.join("ifaces_b");
+    changed.save_to_dir(&iface_b).expect("save set B");
+
+    // Daemon 2 sweeps the stale dynamic entry at spawn; the static one
+    // survives and still serves from the store.
+    let mut options = options_with(Some(store_dir.clone()), Duration::from_secs(5));
+    options.library_dir = Some(iface_b);
+    let server = PolicyServer::spawn(&endpoint, options).expect("daemon 2");
+    assert!(
+        !store_dir.join(format!("{dyn_key}.policy.json")).exists(),
+        "stale lib-fingerprinted entry swept at startup"
+    );
+    assert!(
+        !store_dir.join(format!("{dyn_key}.libfp")).exists(),
+        "its sidecar went with it"
+    );
+    assert!(
+        store_dir.join(format!("{static_key}.policy.json")).exists(),
+        "static entry untouched by the sweep"
+    );
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    let static_again = client
+        .fetch_path(static_unit.1.to_str().expect("utf8"))
+        .expect("static fetch");
+    assert_eq!(static_again.source, Source::Store, "static entry survived");
+    let dyn_again = client
+        .fetch_path(dyn_unit.1.to_str().expect("utf8"))
+        .expect("dynamic re-fetch");
+    assert_eq!(
+        dyn_again.source,
+        Source::Analyzed,
+        "dynamic binary re-analyzed under the new set"
+    );
+    assert_ne!(dyn_again.key, dyn_key, "new set, new address");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A watcher whose client hangs up is detected by the watcher thread's
+/// liveness probe and its parked slot is released — 1024 connect-watch-
+/// disconnect cycles must not exhaust the parked-watch capacity on a
+/// store that never mutates.
+#[test]
+fn dead_watchers_release_their_parked_slots() {
+    let dir = scratch("watch_gone");
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        options_with(None, Duration::from_secs(5)),
+    )
+    .expect("spawn");
+
+    for round in 0..3 {
+        let mut raw = bside_serve::Conn::connect(server.endpoint()).expect("raw dial");
+        {
+            use std::io::{BufRead, Read, Write};
+            // Consume the hello line, then send a watch and hang up.
+            let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+            let mut hello = String::new();
+            reader.read_line(&mut hello).expect("hello line");
+            raw.write_all(b"{\"type\":\"watch\",\"generation\":0}\n")
+                .expect("watch request");
+            raw.flush().expect("flush");
+            // Wait until the server parked it.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while server.parked_watches() == 0 && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert_eq!(server.parked_watches(), 1, "round {round}: watch parked");
+            let _ = raw.shutdown_both();
+            let _ = Read::read(&mut reader, &mut [0u8; 1]);
+        }
+        drop(raw); // client gone; the probe must notice without any mutation
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.parked_watches() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.parked_watches(),
+            0,
+            "round {round}: dead watcher released its slot without a store mutation"
+        );
+    }
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -213,6 +213,7 @@ fn run_fleet_in(
                     &AgentOptions {
                         slots: slots_per_agent,
                         dial_timeout: Some(Duration::from_secs(10)),
+                        ..AgentOptions::default()
                     },
                 )
             })
@@ -269,6 +270,279 @@ fn run_fleet_in(
         let _ = t.join();
     }
     best
+}
+
+/// The chaos measurement: the [`run_fleet`] shape on an *authenticated*
+/// link, once with a clean wire and once under a seeded fault plan —
+/// what line noise costs in throughput and retries when every frame is
+/// MAC-sealed and corrupted units are retried. A third leg times the
+/// serve daemon in degraded mode (fleet offload with zero agents and a
+/// short budget, so every analyze-on-miss falls back to a local
+/// derivation): its p99 is the degraded-mode serving figure.
+struct FleetChaosResult {
+    faults_off: FleetBenchResult,
+    faults_on: FleetBenchResult,
+    plan: bside::dist::fault::FaultPlan,
+}
+
+const CHAOS_SECRET: &str = "bench-chaos-secret";
+
+fn chaos_plan() -> bside::dist::fault::FaultPlan {
+    use bside::dist::fault::FaultPlan;
+    FaultPlan {
+        corrupt: 30,
+        truncate: 10,
+        reset: 10,
+        dup: 30,
+        delay: 20,
+        delay_ms: 1,
+        ..FaultPlan::quiet(11)
+    }
+}
+
+fn run_fleet_chaos(
+    slots_per_agent: usize,
+    images: &[(String, Vec<u8>)],
+) -> Option<FleetChaosResult> {
+    let dir = std::env::temp_dir().join(format!("bside_bench_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_fleet_chaos_in(slots_per_agent, images, &dir);
+    bside::dist::fault::set_plan(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_fleet_chaos_in(
+    slots_per_agent: usize,
+    images: &[(String, Vec<u8>)],
+    dir: &std::path::Path,
+) -> Option<FleetChaosResult> {
+    use bside::dist::fault::{set_plan, FaultPlan};
+    use bside::fleet::{
+        analyze_corpus_fleet, run_agent_loop, AgentOptions, FleetCoordinator, FleetOptions,
+    };
+    let mut units: Vec<(String, std::path::PathBuf)> = Vec::with_capacity(images.len());
+    for (i, (name, bytes)) in images.iter().enumerate() {
+        let path = dir.join(format!("{i:04}_{name}.elf"));
+        std::fs::write(&path, bytes).ok()?;
+        units.push((name.clone(), path));
+    }
+
+    let measure = |plan: Option<FaultPlan>| -> Option<FleetBenchResult> {
+        let handle = FleetCoordinator::bind(
+            &bside::serve::Endpoint::Tcp("127.0.0.1:0".to_string()),
+            FleetOptions {
+                unit_timeout: Duration::from_secs(30),
+                max_attempts: 64,
+                secret: Some(CHAOS_SECRET.to_string()),
+                ..FleetOptions::default()
+            },
+        )
+        .ok()?;
+        set_plan(plan);
+        let agent_threads: Vec<_> = (0..2u64)
+            .map(|i| {
+                let endpoint = handle.endpoint().clone();
+                std::thread::spawn(move || {
+                    run_agent_loop(
+                        &endpoint,
+                        &AgentOptions {
+                            slots: slots_per_agent,
+                            dial_timeout: Some(Duration::from_secs(10)),
+                            secret: Some(CHAOS_SECRET.to_string()),
+                            backoff_base: Duration::from_millis(5),
+                            backoff_cap: Duration::from_millis(50),
+                            backoff_seed: Some(21 + i),
+                            ..AgentOptions::default()
+                        },
+                    )
+                })
+            })
+            .collect();
+        let finish = |handle: bside::fleet::FleetHandle| {
+            // Quiet the wire before the goodbye round so shutdown frames
+            // are not themselves faulted away.
+            set_plan(None);
+            handle.wait_for_agents(2, Duration::from_secs(10));
+            handle.shutdown();
+        };
+        if !handle.wait_for_agents(2, Duration::from_secs(30)) {
+            eprintln!("  fleet-chaos config: agents failed to register");
+            finish(handle);
+            for t in agent_threads {
+                let _ = t.join();
+            }
+            return None;
+        }
+        let t0 = Instant::now();
+        let run = analyze_corpus_fleet(&units, &handle);
+        let wall = t0.elapsed();
+        finish(handle);
+        for t in agent_threads {
+            let _ = t.join();
+        }
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("  fleet-chaos config failed: {e}");
+                return None;
+            }
+        };
+        if run.stats.failures > 0 {
+            eprintln!(
+                "  fleet-chaos config failed: {} unit failure(s)",
+                run.stats.failures
+            );
+            return None;
+        }
+        Some(FleetBenchResult {
+            agents: 2,
+            slots_per_agent,
+            units: units.len(),
+            wall,
+            retries: run.stats.retries as u64,
+            timeouts: run.stats.timeouts as u64,
+        })
+    };
+
+    let faults_off = measure(None)?;
+    let plan = chaos_plan();
+    let faults_on = measure(Some(plan))?;
+    Some(FleetChaosResult {
+        faults_off,
+        faults_on,
+        plan,
+    })
+}
+
+/// Serve daemon in degraded mode: the fleet offload has zero agents and
+/// a short budget, so every analyze-on-miss waits out the budget (until
+/// the breaker opens and skips the wait) and falls back to a local
+/// derivation. One client fetches every binary cold.
+struct ServeDegradedResult {
+    requests: usize,
+    wall: Duration,
+    latencies_us: Vec<u64>,
+    degraded: u64,
+    breaker_state: u64,
+}
+
+impl ServeDegradedResult {
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[rank]
+    }
+}
+
+fn run_serve_degraded(images: &[(String, Vec<u8>)]) -> Option<ServeDegradedResult> {
+    let dir = std::env::temp_dir().join(format!("bside_bench_degraded_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_serve_degraded_in(images, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_serve_degraded_in(
+    images: &[(String, Vec<u8>)],
+    dir: &std::path::Path,
+) -> Option<ServeDegradedResult> {
+    use bside::fleet::{serve_offload, FleetCoordinator, FleetOptions};
+    let corpus_dir = dir.join("corpus");
+    std::fs::create_dir_all(&corpus_dir).ok()?;
+    let mut paths: Vec<String> = Vec::with_capacity(images.len());
+    for (i, (name, bytes)) in images.iter().enumerate() {
+        let path = corpus_dir.join(format!("{i:04}_{name}.elf"));
+        std::fs::write(&path, bytes).ok()?;
+        paths.push(path.to_str()?.to_string());
+    }
+    let fleet = FleetCoordinator::bind(
+        &bside::serve::Endpoint::Tcp("127.0.0.1:0".to_string()),
+        FleetOptions::default(),
+    )
+    .ok()?;
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            store_dir: Some(dir.join("store")),
+            remote_analyzer: Some(serve_offload(fleet.submitter(), Duration::from_millis(300))),
+            read_timeout: Duration::from_secs(60),
+            ..ServeOptions::default()
+        },
+    )
+    .ok()?;
+
+    let mut client = PolicyClient::connect(server.endpoint()).ok()?;
+    let mut latencies_us = Vec::with_capacity(paths.len());
+    let t0 = Instant::now();
+    for path in &paths {
+        let t = Instant::now();
+        let fetch = client.fetch_path(path).ok()?;
+        latencies_us.push(t.elapsed().as_micros() as u64);
+        if fetch.source == Source::Store {
+            eprintln!("  serve-degraded config: unexpected store hit on a cold key");
+        }
+    }
+    let wall = t0.elapsed();
+    latencies_us.sort_unstable();
+    let stats = server.stats();
+    server.shutdown();
+    fleet.shutdown();
+    if stats.degraded == 0 {
+        eprintln!("  serve-degraded config: no request degraded — figure is not the degraded path");
+        return None;
+    }
+    Some(ServeDegradedResult {
+        requests: paths.len(),
+        wall,
+        latencies_us,
+        degraded: stats.degraded,
+        breaker_state: stats.breaker_state,
+    })
+}
+
+fn fleet_chaos_json(
+    r: &FleetChaosResult,
+    degraded: Option<&ServeDegradedResult>,
+    indent: &str,
+) -> String {
+    let leg = |f: &FleetBenchResult, pad: &str| {
+        format!(
+            "{{\n{pad}  \"wall_us\": {},\n{pad}  \"units_per_s\": {:.1},\n{pad}  \"retries\": {},\n{pad}  \"timeouts\": {}\n{pad}}}",
+            f.wall.as_micros(),
+            f.units_per_s(),
+            f.retries,
+            f.timeouts,
+        )
+    };
+    let p = &r.plan;
+    let plan = format!(
+        "\"seed={} corrupt={} truncate={} reset={} dup={} delay={}({}ms) per-mille\"",
+        p.seed, p.corrupt, p.truncate, p.reset, p.dup, p.delay, p.delay_ms
+    );
+    let pad = format!("{indent}  ");
+    let degraded_json = match degraded {
+        Some(d) => format!(
+            "{{\n{pad}  \"requests\": {},\n{pad}  \"wall_us\": {},\n{pad}  \"degraded\": {},\n{pad}  \"breaker_state\": {},\n{pad}  \"latency_us\": {{ \"p50\": {}, \"p99\": {} }}\n{pad}}}",
+            d.requests,
+            d.wall.as_micros(),
+            d.degraded,
+            d.breaker_state,
+            d.percentile_us(0.50),
+            d.percentile_us(0.99),
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n{indent}  \"agents\": {},\n{indent}  \"slots_per_agent\": {},\n{indent}  \"units\": {},\n{indent}  \"authenticated\": true,\n{indent}  \"plan\": {plan},\n{indent}  \"faults_off\": {},\n{indent}  \"faults_on\": {},\n{indent}  \"serve_degraded\": {degraded_json}\n{indent}}}",
+        r.faults_off.agents,
+        r.faults_off.slots_per_agent,
+        r.faults_off.units,
+        leg(&r.faults_off, &pad),
+        leg(&r.faults_on, &pad),
+    )
 }
 
 fn fleet_json(r: &FleetBenchResult, indent: &str) -> String {
@@ -721,8 +995,48 @@ fn main() {
         }
     };
 
+    // Chaos configuration: the authenticated fleet with and without a
+    // seeded fault plan on the wire, plus the serve daemon's degraded
+    // mode — the robustness trajectory (what faults cost, and what the
+    // service does when the fleet is gone).
+    let chaos = run_fleet_chaos(fleet_slots, &images);
+    let degraded = run_serve_degraded(&images);
+    let chaos_json_str = match &chaos {
+        Some(c) => {
+            eprintln!(
+                "  fleet-chaos (authenticated, faults off): {:.1} ms wall | {:.1} units/s | {} retrie(s)",
+                c.faults_off.wall.as_secs_f64() * 1e3,
+                c.faults_off.units_per_s(),
+                c.faults_off.retries,
+            );
+            eprintln!(
+                "  fleet-chaos (authenticated, faults on):  {:.1} ms wall | {:.1} units/s | {} retrie(s), {} timeout(s)",
+                c.faults_on.wall.as_secs_f64() * 1e3,
+                c.faults_on.units_per_s(),
+                c.faults_on.retries,
+                c.faults_on.timeouts,
+            );
+            if let Some(d) = &degraded {
+                eprintln!(
+                    "  serve-degraded (no agents, 300ms budget): {} request(s), {} degraded | p50 {} us, p99 {} us",
+                    d.requests,
+                    d.degraded,
+                    d.percentile_us(0.50),
+                    d.percentile_us(0.99),
+                );
+            } else {
+                eprintln!("  serve-degraded: skipped (cause above)");
+            }
+            fleet_chaos_json(c, degraded.as_ref(), "  ")
+        }
+        None => {
+            eprintln!("  fleet-chaos: skipped (cause above)");
+            "null".to_string()
+        }
+    };
+
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -734,6 +1048,7 @@ fn main() {
         fleet_json_str,
         serve_json_str,
         storm_json_str,
+        chaos_json_str,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("  wrote {out_path}");

@@ -9,6 +9,12 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Chaos opt-in (BSIDE_NET_FAULT_PLAN) happens here in main, never
+    // lazily in the codec: a malformed plan refuses to start.
+    if let Err(e) = bside_dist::fault::init_from_env() {
+        eprintln!("bside: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     bside::cli::run(&args)
 }

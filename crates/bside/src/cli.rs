@@ -47,8 +47,9 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "corpus",
-        synopsis: "<dir> [--workers N] [--fleet LISTEN_ADDR] [--cache DIR] [--timeout SECS] \
-                   [--in-process] [--report]",
+        synopsis: "<dir> [--workers N] [--fleet LISTEN_ADDR] [--fleet-secret SECRET] \
+                   [--heartbeat-secs SECS] [--unit-timeout-secs SECS] [--max-attempts N] \
+                   [--cache DIR] [--timeout SECS] [--in-process] [--report]",
         run: cmd_corpus,
     },
     Subcommand {
@@ -59,12 +60,13 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "serve",
         synopsis: "(--socket PATH | --tcp ADDR) [--store DIR] [--lib-dir DIR] [--threads N] \
-                   [--fleet LISTEN_ADDR]",
+                   [--fleet LISTEN_ADDR] [--fleet-secret SECRET]",
         run: cmd_serve,
     },
     Subcommand {
         name: "agent",
-        synopsis: "--connect HOST:PORT [--slots N] [--dial-timeout SECS]",
+        synopsis: "--connect HOST:PORT [--slots N] [--dial-timeout SECS] \
+                   [--fleet-secret SECRET] [--heartbeat-secs SECS] [--no-reconnect]",
         run: cmd_agent,
     },
     Subcommand {
@@ -312,6 +314,10 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
     let mut dir = None;
     let mut workers: Option<usize> = None;
     let mut fleet_listen: Option<String> = None;
+    let mut fleet_secret: Option<String> = None;
+    let mut heartbeat_secs: Option<u64> = None;
+    let mut unit_timeout_secs: Option<u64> = None;
+    let mut max_attempts: Option<u32> = None;
     let mut cache_dir: Option<String> = None;
     let mut timeout_secs: Option<u64> = None;
     let mut in_process = false;
@@ -321,6 +327,42 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
         match arg.as_str() {
             "--fleet" => {
                 fleet_listen = Some(it.next().ok_or("--fleet needs LISTEN_ADDR")?.clone());
+            }
+            "--fleet-secret" => {
+                fleet_secret = Some(it.next().ok_or("--fleet-secret needs SECRET")?.clone());
+            }
+            "--heartbeat-secs" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--heartbeat-secs needs SECS")?
+                    .parse()
+                    .map_err(|_| "--heartbeat-secs needs a positive integer")?;
+                if secs == 0 {
+                    return Err("--heartbeat-secs needs a positive integer".into());
+                }
+                heartbeat_secs = Some(secs);
+            }
+            "--unit-timeout-secs" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--unit-timeout-secs needs SECS")?
+                    .parse()
+                    .map_err(|_| "--unit-timeout-secs needs a positive integer")?;
+                if secs == 0 {
+                    return Err("--unit-timeout-secs needs a positive integer".into());
+                }
+                unit_timeout_secs = Some(secs);
+            }
+            "--max-attempts" => {
+                let n: u32 = it
+                    .next()
+                    .ok_or("--max-attempts needs N")?
+                    .parse()
+                    .map_err(|_| "--max-attempts needs a positive integer")?;
+                if n == 0 {
+                    return Err("--max-attempts needs a positive integer".into());
+                }
+                max_attempts = Some(n);
             }
             "--workers" => {
                 let n: usize = it
@@ -355,6 +397,23 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
     let units = corpus_units(&dir)?;
     if in_process && fleet_listen.is_some() {
         return Err("--in-process and --fleet are mutually exclusive".into());
+    }
+    if fleet_listen.is_none() {
+        let fleet_only: Vec<&str> = [
+            fleet_secret.as_ref().map(|_| "--fleet-secret"),
+            heartbeat_secs.map(|_| "--heartbeat-secs"),
+            unit_timeout_secs.map(|_| "--unit-timeout-secs"),
+            max_attempts.map(|_| "--max-attempts"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if !fleet_only.is_empty() {
+            return Err(format!("{} require(s) --fleet LISTEN_ADDR", fleet_only.join("/")).into());
+        }
+    }
+    if unit_timeout_secs.is_some() && timeout_secs.is_some() {
+        return Err("--unit-timeout-secs and --timeout set the same deadline; pick one".into());
     }
 
     if in_process {
@@ -446,27 +505,43 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
             );
         }
         let endpoint = bside_fleet::connect_endpoint(listen);
+        let defaults = bside_fleet::FleetOptions::default();
+        // --heartbeat-secs moves both the announced interval and the
+        // reaper deadline, preserving the default 5x interval/timeout
+        // ratio so a slower heartbeat doesn't shrink the grace window.
+        let heartbeat_interval = heartbeat_secs
+            .map(std::time::Duration::from_secs)
+            .unwrap_or(defaults.heartbeat_interval);
+        let secret = bside_fleet::auth::resolve_secret(fleet_secret);
+        let sealed = secret.is_some();
         let handle = bside_fleet::FleetCoordinator::bind(
             &endpoint,
             bside_fleet::FleetOptions {
                 analyzer: analyzer_options_from_env(),
-                unit_timeout: std::time::Duration::from_secs(timeout_secs.unwrap_or(60)),
+                unit_timeout: std::time::Duration::from_secs(
+                    unit_timeout_secs.or(timeout_secs).unwrap_or(60),
+                ),
+                heartbeat_interval,
+                heartbeat_timeout: heartbeat_interval * 5,
+                max_attempts: max_attempts.unwrap_or(defaults.max_attempts),
                 cache_dir: cache_dir.map(std::path::PathBuf::from),
-                ..bside_fleet::FleetOptions::default()
+                secret,
             },
         )?;
         eprintln!(
-            "bside corpus --fleet: coordinating on {}; waiting for agents \
+            "bside corpus --fleet: coordinating on {}{}; waiting for agents \
              (`bside agent --connect {listen}` on any machine)",
-            handle.endpoint()
+            handle.endpoint(),
+            if sealed { " [authenticated]" } else { "" }
         );
         while !handle.wait_for_agents(1, std::time::Duration::from_secs(1)) {}
         let run = bside_fleet::analyze_corpus_fleet(&units, &handle)?;
         let f = handle.stats();
         handle.shutdown();
         eprintln!(
-            "# fleet: {} agent(s) joined, {} lost, {} unit(s) dispatched, {} retried, {} timeout(s)",
-            f.agents_joined, f.agents_lost, f.dispatched, f.retries, f.timeouts
+            "# fleet: {} agent(s) joined, {} lost, {} rejected, {} unit(s) dispatched, \
+             {} retried, {} timeout(s)",
+            f.agents_joined, f.agents_lost, f.agents_rejected, f.dispatched, f.retries, f.timeouts
         );
         run
     } else {
@@ -523,6 +598,9 @@ fn cmd_agent(args: &[String]) -> CmdResult {
     let mut connect: Option<String> = None;
     let mut slots: Option<usize> = None;
     let mut dial_timeout: u64 = 10;
+    let mut fleet_secret: Option<String> = None;
+    let mut heartbeat_cap: Option<u64> = None;
+    let mut reconnect = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -545,23 +623,50 @@ fn cmd_agent(args: &[String]) -> CmdResult {
                     .parse()
                     .map_err(|_| "--dial-timeout needs a non-negative integer")?;
             }
+            "--fleet-secret" => {
+                fleet_secret = Some(it.next().ok_or("--fleet-secret needs SECRET")?.clone());
+            }
+            "--heartbeat-secs" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--heartbeat-secs needs SECS")?
+                    .parse()
+                    .map_err(|_| "--heartbeat-secs needs a positive integer")?;
+                if secs == 0 {
+                    return Err("--heartbeat-secs needs a positive integer".into());
+                }
+                heartbeat_cap = Some(secs);
+            }
+            "--no-reconnect" => reconnect = false,
             other => return Err(format!("unexpected argument {other}").into()),
         }
     }
     let connect = connect.ok_or("missing --connect HOST:PORT")?;
     let endpoint = bside_fleet::connect_endpoint(&connect);
     let slots = slots.unwrap_or_else(crate::default_worker_count);
-    eprintln!("bside agent: dialing {endpoint} with {slots} slot(s)");
-    let report = bside_fleet::run_agent(
-        &endpoint,
-        &bside_fleet::AgentOptions {
-            slots,
-            dial_timeout: Some(std::time::Duration::from_secs(dial_timeout)),
-        },
-    )?;
+    let options = bside_fleet::AgentOptions {
+        slots,
+        dial_timeout: Some(std::time::Duration::from_secs(dial_timeout)),
+        secret: bside_fleet::auth::resolve_secret(fleet_secret),
+        heartbeat_cap: heartbeat_cap.map(std::time::Duration::from_secs),
+        ..bside_fleet::AgentOptions::default()
+    };
     eprintln!(
-        "bside agent: coordinator said goodbye after {} unit(s); exiting",
-        report.units
+        "bside agent: dialing {endpoint} with {slots} slot(s){}",
+        if options.secret.is_some() {
+            " (authenticated)"
+        } else {
+            ""
+        }
+    );
+    let report = if reconnect {
+        bside_fleet::run_agent_loop(&endpoint, &options)?
+    } else {
+        bside_fleet::run_agent(&endpoint, &options)?
+    };
+    eprintln!(
+        "bside agent: coordinator said goodbye after {} unit(s) over {} session(s); exiting",
+        report.units, report.sessions
     );
     Ok(())
 }
@@ -651,6 +756,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     let mut lib_dir: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut fleet_listen: Option<String> = None;
+    let mut fleet_secret: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(ep) = endpoint_arg(&mut it, arg)? {
@@ -662,6 +768,9 @@ fn cmd_serve(args: &[String]) -> CmdResult {
             "--lib-dir" => lib_dir = Some(it.next().ok_or("--lib-dir needs DIR")?.clone()),
             "--fleet" => {
                 fleet_listen = Some(it.next().ok_or("--fleet needs LISTEN_ADDR")?.clone());
+            }
+            "--fleet-secret" => {
+                fleet_secret = Some(it.next().ok_or("--fleet-secret needs SECRET")?.clone());
             }
             "--threads" => {
                 let n: usize = it
@@ -693,29 +802,42 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         analysis_delay,
         ..ServeOptions::default()
     };
+    if fleet_listen.is_none() && fleet_secret.is_some() {
+        return Err("--fleet-secret requires --fleet LISTEN_ADDR".into());
+    }
     // Fleet offload: spawn a coordinator (same analyzer options — store
     // keys fingerprint them) and route analyze-on-miss leaders to it.
     let fleet = match &fleet_listen {
         Some(listen) => {
             let fleet_endpoint = bside_fleet::connect_endpoint(listen);
+            let secret = bside_fleet::auth::resolve_secret(fleet_secret);
+            let sealed = secret.is_some();
             let handle = bside_fleet::FleetCoordinator::bind(
                 &fleet_endpoint,
                 bside_fleet::FleetOptions {
                     analyzer: options.analyzer.clone(),
+                    secret,
                     ..bside_fleet::FleetOptions::default()
                 },
             )?;
             eprintln!(
-                "bside-serve: fleet coordinator on {}; analyze-on-miss is offloaded \
+                "bside-serve: fleet coordinator on {}{}; analyze-on-miss is offloaded \
                  (`bside agent --connect {listen}` on any machine)",
-                handle.endpoint()
+                handle.endpoint(),
+                if sealed { " [authenticated]" } else { "" }
             );
             // A bounded offload wait keeps a daemon with zero (or saturated)
             // agents serving: past the budget the leader answers in band
-            // and the client may retry.
+            // and the client may retry. The env hook exists so smoke tests
+            // can shrink the budget and exercise the degraded path quickly.
+            let budget = std::env::var("BSIDE_SERVE_OFFLOAD_BUDGET_SECS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&secs| secs > 0)
+                .unwrap_or(600);
             options.remote_analyzer = Some(bside_fleet::serve_offload(
                 handle.submitter(),
-                std::time::Duration::from_secs(600),
+                std::time::Duration::from_secs(budget),
             ));
             Some(handle)
         }

@@ -5,5 +5,11 @@
 //! EOF or a shutdown message.
 
 fn main() {
+    // Chaos opt-in (BSIDE_NET_FAULT_PLAN) happens here in main, never
+    // lazily in the codec: a malformed plan refuses to start.
+    if let Err(e) = bside_dist::fault::init_from_env() {
+        eprintln!("bside-worker: {e}");
+        std::process::exit(2);
+    }
     std::process::exit(bside_dist::worker::worker_main());
 }

@@ -47,6 +47,7 @@
 pub mod cache;
 pub mod coordinator;
 pub mod errors;
+pub mod fault;
 pub mod protocol;
 pub mod queue;
 pub mod report;

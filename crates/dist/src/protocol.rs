@@ -219,16 +219,17 @@ impl<'de> serde::Deserialize<'de> for FromWorker {
 
 /// Writes one message as a single JSON line and flushes — flushing per
 /// message is what keeps the request/response protocol live across the
-/// pipe's buffering.
+/// pipe's buffering. The actual byte write goes through the
+/// fault-injection choke point ([`crate::fault::write_frame`]): a no-op
+/// unless a chaos plan is installed, and the single place where every
+/// NDJSON protocol in the workspace can be subjected to line noise.
 pub fn write_message<T: serde::Serialize>(
     writer: &mut impl Write,
     message: &T,
 ) -> std::io::Result<()> {
     let json = serde_json::to_string(message)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    writer.write_all(json.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+    crate::fault::write_frame(writer, json.as_bytes())
 }
 
 /// Reads one message line. `Ok(None)` is a clean EOF (peer closed the

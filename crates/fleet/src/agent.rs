@@ -4,11 +4,31 @@
 //! An agent is intentionally close to a dist worker in spirit — no
 //! queue knowledge, no retry logic, no cache; a unit in, a message out —
 //! but machine-shaped in mechanics: it *dials* the coordinator over
-//! TCP, self-describes in a capability hello (protocol version, slot
-//! count, cache-format fingerprint), receives binaries in band (no
-//! shared filesystem), analyzes up to `slots` units concurrently, and
-//! keeps a heartbeat flowing from a dedicated thread so the coordinator
-//! can tell "busy" from "gone" without probing.
+//! TCP, answers the coordinator's challenge in a capability hello
+//! (protocol version, slot count, cache-format fingerprint, and — on
+//! secured fleets — an HMAC over the challenge nonce and those fields),
+//! receives binaries in band (no shared filesystem), analyzes up to
+//! `slots` units concurrently, and keeps a heartbeat flowing from a
+//! dedicated thread so the coordinator can tell "busy" from "gone"
+//! without probing.
+//!
+//! # Session endings
+//!
+//! A session ends one of three ways, and they are deliberately
+//! distinguishable:
+//!
+//! * **goodbye** — the coordinator's in-band `shutdown` frame: a clean
+//!   end of service. [`run_agent_loop`] exits 0; supervisors must not
+//!   treat it as a crash.
+//! * **link lost** — a bare EOF or transport error mid-service: the
+//!   coordinator crashed, restarted, or the network dropped.
+//!   [`run_agent_loop`] re-dials under a capped decorrelated backoff
+//!   ([`crate::backoff`]), re-runs the handshake, and resumes pulling;
+//!   in-flight units are abandoned idempotently (the coordinator's
+//!   reaper requeues them onto live agents).
+//! * **fatal** — an in-band reject (failed authentication, version or
+//!   cache-format mismatch) or a protocol-version downgrade: retrying
+//!   cannot help, so the loop surfaces the error.
 //!
 //! # Fault-injection hooks
 //!
@@ -28,8 +48,9 @@
 //!   the first faulting agent creates `<path>` and later agents seeing
 //!   the marker behave normally, so the retry succeeds elsewhere.
 
+use crate::backoff::Backoff;
 use crate::protocol::{
-    read_message_capped, write_message, FromAgent, ToAgent, Want, CACHE_FORMAT_VERSION,
+    read_message_capped, seal, write_message, FromAgent, ToAgent, Want, CACHE_FORMAT_VERSION,
     MAX_FLEET_LINE_BYTES, PROTOCOL_VERSION,
 };
 use bside_core::{Analyzer, AnalyzerOptions};
@@ -51,6 +72,22 @@ pub struct AgentOptions {
     /// listening — lets the two-terminal walkthrough start either side
     /// first. `None` fails fast on the first refused connection.
     pub dial_timeout: Option<Duration>,
+    /// Shared fleet secret: answer challenges with a hello MAC and seal
+    /// every post-hello frame. Must match the coordinator's
+    /// (`--fleet-secret` / `BSIDE_FLEET_SECRET` on both sides).
+    pub secret: Option<String>,
+    /// First reconnect delay of the decorrelated-jitter schedule
+    /// ([`run_agent_loop`]).
+    pub backoff_base: Duration,
+    /// Reconnect delay ceiling.
+    pub backoff_cap: Duration,
+    /// Jitter seed; `None` derives one from process identity so a fleet
+    /// of agents decorrelates naturally. Tests pin it for determinism.
+    pub backoff_seed: Option<u64>,
+    /// Agent-side heartbeat cap: beat at least this often even when the
+    /// welcome prescribes a slower cadence (beating faster than required
+    /// is always safe; slower never is).
+    pub heartbeat_cap: Option<Duration>,
 }
 
 impl Default for AgentOptions {
@@ -58,15 +95,23 @@ impl Default for AgentOptions {
         AgentOptions {
             slots: 1,
             dial_timeout: Some(Duration::from_secs(10)),
+            secret: None,
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(10),
+            backoff_seed: None,
+            heartbeat_cap: None,
         }
     }
 }
 
-/// What an agent did over one connection's lifetime.
+/// What an agent did over its service lifetime.
 #[derive(Debug, Clone, Copy)]
 pub struct AgentReport {
-    /// Units answered (results and in-band unit errors).
+    /// Units answered (results and in-band unit errors), summed across
+    /// every session.
     pub units: u64,
+    /// Sessions served (1 unless a reconnect loop re-dialed).
+    pub sessions: u64,
 }
 
 /// Parses an agent-facing endpoint spec. Unlike the daemon's
@@ -152,10 +197,42 @@ fn analyze_unit(
     }
 }
 
+/// The sealing state of one secured session: the derived key and the
+/// next frame sequence number. The number is assigned **under the
+/// writer lock**, so sequence order always matches stream order and the
+/// coordinator's strictly-increasing policy never trips on a healthy
+/// agent.
+struct SessionAuth {
+    key: [u8; 32],
+    next_seq: AtomicU64,
+}
+
+/// Writes one agent frame, sealing it first on secured sessions.
+fn send_frame(
+    writer: &Mutex<Conn>,
+    auth: Option<&SessionAuth>,
+    frame: &FromAgent,
+) -> std::io::Result<()> {
+    let mut conn = writer.lock().expect("agent writer lock");
+    match auth {
+        Some(auth) => {
+            let seq = auth.next_seq.fetch_add(1, Ordering::Relaxed);
+            let sealed = seal(&auth.key, seq, frame)?;
+            write_message(&mut *conn, &sealed)
+        }
+        None => write_message(&mut *conn, frame),
+    }
+}
+
 /// Writes a reply under the shared writer lock — unless the sever fault
 /// hook fires, in which case half the frame is flushed onto the wire and
 /// the process aborts (the torn-frame fault model).
-fn write_reply(writer: &Mutex<Conn>, name: &str, reply: &FromAgent) -> std::io::Result<()> {
+fn write_reply(
+    writer: &Mutex<Conn>,
+    auth: Option<&SessionAuth>,
+    name: &str,
+    reply: &FromAgent,
+) -> std::io::Result<()> {
     if fault_requested("BSIDE_AGENT_SEVER_UNIT", name) {
         let json = serde_json::to_string(reply)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -165,8 +242,7 @@ fn write_reply(writer: &Mutex<Conn>, name: &str, reply: &FromAgent) -> std::io::
         let _ = conn.flush();
         std::process::abort();
     }
-    let mut conn = writer.lock().expect("agent writer lock");
-    write_message(&mut *conn, reply)
+    send_frame(writer, auth, reply)
 }
 
 fn dial(endpoint: &Endpoint, budget: Option<Duration>) -> std::io::Result<Conn> {
@@ -192,39 +268,86 @@ fn dial(endpoint: &Endpoint, budget: Option<Duration>) -> std::io::Result<Conn> 
     }
 }
 
-/// Dials the coordinator and works units until it says goodbye (a
-/// `shutdown` frame or EOF — both a clean end of service).
-///
-/// # Errors
-///
-/// Connection failures past the dial budget, a rejected hello (version
-/// or cache-format mismatch — the in-band `reject` message is
-/// surfaced), or a transport/protocol failure mid-service.
-pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result<AgentReport> {
-    let conn = dial(endpoint, options.dial_timeout)?;
+/// How one session ended, from the agent's point of view.
+enum SessionEnd {
+    /// The coordinator said goodbye in band: a clean end of service.
+    Goodbye,
+    /// The link died without a goodbye: reconnect territory.
+    LinkLost(std::io::Error),
+}
+
+/// `true` for errors that redialing cannot fix: an in-band reject
+/// (`PermissionDenied`) or a protocol-level incompatibility
+/// (`Unsupported`). Everything else — refused dials, resets, garbled
+/// frames — is link weather the reconnect loop rides out.
+fn is_fatal(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::PermissionDenied | std::io::ErrorKind::Unsupported
+    )
+}
+
+/// One connection's service lifetime: dial, challenge/hello handshake,
+/// units until the link ends. Returns the units served and how the
+/// session ended; `Err` means the handshake itself failed (classify
+/// with [`is_fatal`]).
+fn run_session(
+    endpoint: &Endpoint,
+    options: &AgentOptions,
+    dial_budget: Option<Duration>,
+) -> std::io::Result<(u64, SessionEnd)> {
+    let conn = dial(endpoint, dial_budget)?;
     let writer = Arc::new(Mutex::new(conn.try_clone()?));
     let mut reader = BufReader::new(conn);
     let slots = options.slots.max(1);
 
+    // The coordinator speaks first: every connection opens with its
+    // challenge, whether or not the fleet is secured.
+    let nonce = match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES)? {
+        Some(ToAgent::Challenge { nonce }) => nonce,
+        Some(ToAgent::Reject { message }) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                format!("coordinator rejected this agent: {message}"),
+            ))
+        }
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected challenge, got {other:?}"),
+            ))
+        }
+    };
+    let auth_mac = options.secret.as_deref().map(|secret| {
+        crate::auth::hello_mac(
+            secret,
+            &nonce,
+            PROTOCOL_VERSION,
+            slots,
+            CACHE_FORMAT_VERSION,
+        )
+    });
     write_message(
         &mut *writer.lock().expect("agent writer lock"),
         &FromAgent::Hello {
             version: PROTOCOL_VERSION,
             slots,
             cache_format: CACHE_FORMAT_VERSION,
+            auth: auth_mac,
         },
     )?;
-    let heartbeat_interval =
+    let (heartbeat_interval, sealed) =
         match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES)? {
             Some(ToAgent::Welcome {
                 version,
                 heartbeat_interval_ms,
+                sealed,
             }) if version == PROTOCOL_VERSION => {
-                Duration::from_millis(heartbeat_interval_ms.max(50))
+                (Duration::from_millis(heartbeat_interval_ms.max(50)), sealed)
             }
             Some(ToAgent::Welcome { version, .. }) => {
                 return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
+                    std::io::ErrorKind::Unsupported,
                     format!(
                     "coordinator speaks fleet protocol v{version}, expected v{PROTOCOL_VERSION}"
                 ),
@@ -232,7 +355,7 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
             }
             Some(ToAgent::Reject { message }) => {
                 return Err(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionRefused,
+                    std::io::ErrorKind::PermissionDenied,
                     format!("coordinator rejected this agent: {message}"),
                 ))
             }
@@ -243,6 +366,36 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
                 ))
             }
         };
+    // An agent holding a secret refuses to run unsealed: a welcome
+    // without sealing means the coordinator never verified the hello
+    // MAC — a misconfiguration (or a downgrade) that must fail loudly
+    // instead of silently dropping the integrity guarantee.
+    let auth = match (&options.secret, sealed) {
+        (Some(secret), true) => Some(Arc::new(SessionAuth {
+            key: crate::auth::session_key(secret, &nonce),
+            next_seq: AtomicU64::new(1),
+        })),
+        (Some(_), false) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "a fleet secret is configured but the coordinator does not seal frames; \
+                 refusing to run with authentication silently disabled",
+            ))
+        }
+        (None, true) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "coordinator requires sealed frames but this agent has no fleet secret",
+            ))
+        }
+        (None, false) => None,
+    };
+    // The agent may beat faster than prescribed (never slower): the
+    // agent-side cap is a floor on cadence for jittery links.
+    let heartbeat_interval = match options.heartbeat_cap {
+        Some(cap) => heartbeat_interval.min(cap.max(Duration::from_millis(50))),
+        None => heartbeat_interval,
+    };
 
     let stop = Arc::new(AtomicBool::new(false));
     let units_done = Arc::new(AtomicU64::new(0));
@@ -252,13 +405,13 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
     let heartbeat = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&stop);
+        let auth = auth.clone();
         std::thread::spawn(move || {
             let slice = Duration::from_millis(25);
             let mut next = Instant::now() + heartbeat_interval;
             while !stop.load(Ordering::SeqCst) {
                 if Instant::now() >= next {
-                    let mut conn = writer.lock().expect("agent writer lock");
-                    if write_message(&mut *conn, &FromAgent::Heartbeat).is_err() {
+                    if send_frame(&writer, auth.as_deref(), &FromAgent::Heartbeat).is_err() {
                         stop.store(true, Ordering::SeqCst);
                         return;
                     }
@@ -280,6 +433,7 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
             let writer = Arc::clone(&writer);
             let stop = Arc::clone(&stop);
             let units_done = Arc::clone(&units_done);
+            let auth = auth.clone();
             std::thread::spawn(move || loop {
                 let job = {
                     let rx = rx.lock().expect("agent job queue lock");
@@ -290,7 +444,7 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
                 };
                 let reply = analyze_unit(id, &name, &path, want, &elf, options);
                 units_done.fetch_add(1, Ordering::Relaxed);
-                if write_reply(&writer, &name, &reply).is_err() {
+                if write_reply(&writer, auth.as_deref(), &name, &reply).is_err() {
                     stop.store(true, Ordering::SeqCst);
                     return;
                 }
@@ -298,29 +452,80 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
         })
         .collect();
 
-    // The read loop: units in, goodbye out.
-    let outcome = loop {
-        match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES) {
-            Ok(Some(ToAgent::Unit {
+    // The read loop: units in, goodbye (or a lost link) out. Only the
+    // in-band shutdown frame is a clean goodbye — a bare EOF or any
+    // transport/framing error is a lost link the reconnect loop may
+    // ride out. On a secured session every post-welcome frame must
+    // arrive sealed: a bad MAC or an unsealed frame ends the session
+    // (the stream is not trustworthy), while a stale sequence number is
+    // dropped silently — that is what a duplicated delivery looks like.
+    let mut last_down_seq: u64 = 0;
+    let end = loop {
+        let frame = match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                break SessionEnd::LinkLost(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "coordinator link closed without a goodbye",
+                ))
+            }
+            Err(e) => break SessionEnd::LinkLost(e),
+        };
+        let frame = match (&auth, frame) {
+            (Some(auth), ToAgent::Sealed { seq, mac, body }) => {
+                if seq <= last_down_seq {
+                    continue; // duplicate delivery: already acted on
+                }
+                match crate::protocol::unseal_down(&auth.key, seq, &mac, &body) {
+                    Ok(inner) => {
+                        last_down_seq = seq;
+                        inner
+                    }
+                    Err(e) => {
+                        break SessionEnd::LinkLost(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            e,
+                        ))
+                    }
+                }
+            }
+            (Some(_), other) => {
+                break SessionEnd::LinkLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unsealed coordinator frame on a secured link: {other:?}"),
+                ))
+            }
+            (None, ToAgent::Sealed { .. }) => {
+                break SessionEnd::LinkLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "sealed coordinator frame on an open link",
+                ))
+            }
+            (None, frame) => frame,
+        };
+        match frame {
+            ToAgent::Unit {
                 id,
                 name,
                 path,
                 want,
                 elf,
                 options,
-            })) => {
+            } => {
                 if tx.send((id, name, path, want, elf, options)).is_err() {
-                    break Ok(()); // workers gone (writer died)
+                    break SessionEnd::LinkLost(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        "agent writer died mid-session",
+                    ));
                 }
             }
-            Ok(Some(ToAgent::Shutdown)) | Ok(None) => break Ok(()), // clean goodbye
-            Ok(Some(other)) => {
-                break Err(std::io::Error::new(
+            ToAgent::Shutdown => break SessionEnd::Goodbye,
+            other => {
+                break SessionEnd::LinkLost(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("unexpected coordinator message: {other:?}"),
                 ))
             }
-            Err(e) => break Err(e),
         }
     };
 
@@ -333,19 +538,112 @@ pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result
     }
     stop.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
-    outcome.map(|()| AgentReport {
-        units: units_done.load(Ordering::Relaxed),
-    })
+    Ok((units_done.load(Ordering::Relaxed), end))
+}
+
+/// Dials the coordinator and works units over **one** session, until
+/// the coordinator says goodbye in band.
+///
+/// # Errors
+///
+/// Connection failures past the dial budget, a rejected hello (failed
+/// authentication, version or cache-format mismatch — the in-band
+/// `reject` message is surfaced as `PermissionDenied`), a
+/// transport/protocol failure mid-service, or a link that closed
+/// without a goodbye. Callers that should survive coordinator restarts
+/// want [`run_agent_loop`] instead.
+pub fn run_agent(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result<AgentReport> {
+    let (units, end) = run_session(endpoint, options, options.dial_timeout)?;
+    match end {
+        SessionEnd::Goodbye => Ok(AgentReport { units, sessions: 1 }),
+        SessionEnd::LinkLost(e) => Err(e),
+    }
+}
+
+/// How many *consecutive* in-band rejects the reconnect loop absorbs
+/// before concluding the verdict is real. A reject is usually fatal (a
+/// wrong secret cannot become right by redialing), but a corrupted
+/// challenge nonce on a noisy link produces the same verdict once —
+/// the coordinator cannot tell a bad secret from a bad nonce either.
+/// Three in a row is noise no longer.
+const REJECT_THRESHOLD: u32 = 3;
+
+/// [`run_agent`] under a reconnect supervisor: a lost link (coordinator
+/// crash, restart, partition) is retried forever under a capped
+/// decorrelated-jitter backoff that resets after every healthy session,
+/// while an in-band goodbye ends service cleanly and a fatal handshake
+/// verdict surfaces as the error it is — immediately for a protocol
+/// downgrade, after [`REJECT_THRESHOLD`] consecutive tries for a
+/// reject. In-flight units lost with a link are abandoned idempotently
+/// — the coordinator's reaper requeues them onto live agents, so an
+/// at-most-once answer per unit is preserved across reconnects.
+pub fn run_agent_loop(endpoint: &Endpoint, options: &AgentOptions) -> std::io::Result<AgentReport> {
+    let seed = options.backoff_seed.unwrap_or_else(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ ((std::process::id() as u64) << 32)
+    });
+    let mut backoff = Backoff::new(options.backoff_base, options.backoff_cap, seed);
+    let mut units_total: u64 = 0;
+    let mut sessions: u64 = 0;
+    let mut rejects: u32 = 0;
+    // The first dial honors the configured budget (either side of the
+    // walkthrough may start first); re-dials are paced by the backoff
+    // itself, so each attempt fails fast.
+    let mut dial_budget = options.dial_timeout;
+    loop {
+        match run_session(endpoint, options, dial_budget) {
+            Ok((units, SessionEnd::Goodbye)) => {
+                return Ok(AgentReport {
+                    units: units_total + units,
+                    sessions: sessions + 1,
+                })
+            }
+            Ok((units, SessionEnd::LinkLost(e))) => {
+                units_total += units;
+                sessions += 1;
+                rejects = 0;
+                // A completed handshake is a healthy session: the next
+                // outage starts the schedule from the base again.
+                backoff.reset();
+                let delay = backoff.next();
+                eprintln!(
+                    "bside-agent: link lost ({e}); reconnecting in {}ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::PermissionDenied => {
+                rejects += 1;
+                if rejects >= REJECT_THRESHOLD {
+                    return Err(e);
+                }
+                eprintln!("bside-agent: rejected ({e}); retrying in case it was line noise");
+                std::thread::sleep(backoff.next());
+            }
+            Err(e) if is_fatal(&e) => return Err(e),
+            Err(_) => std::thread::sleep(backoff.next()),
+        }
+        dial_budget = Some(Duration::from_millis(250));
+    }
 }
 
 /// The `bside-agent` / `bside agent` entry point: argument parsing plus
-/// [`run_agent`]. Returns the process exit code.
+/// [`run_agent_loop`] (or single-session [`run_agent`] with
+/// `--no-reconnect`). Returns the process exit code: 0 for an in-band
+/// goodbye, nonzero for fatal verdicts.
 pub fn agent_main(args: &[String]) -> i32 {
     let mut connect: Option<String> = None;
     let mut slots: usize = 1;
     let mut dial_timeout = Duration::from_secs(10);
+    let mut secret: Option<String> = None;
+    let mut heartbeat_cap: Option<Duration> = None;
+    let mut reconnect = true;
     let mut it = args.iter();
-    let usage = "usage: bside-agent --connect HOST:PORT [--slots N] [--dial-timeout SECS]";
+    let usage = "usage: bside-agent --connect HOST:PORT [--slots N] [--dial-timeout SECS] \
+                 [--fleet-secret SECRET] [--heartbeat-secs SECS] [--no-reconnect]";
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--connect" => match it.next() {
@@ -369,6 +667,21 @@ pub fn agent_main(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--fleet-secret" => match it.next() {
+                Some(value) => secret = Some(value.clone()),
+                None => {
+                    eprintln!("--fleet-secret needs SECRET\n{usage}");
+                    return 2;
+                }
+            },
+            "--heartbeat-secs" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) if secs > 0 => heartbeat_cap = Some(Duration::from_secs(secs)),
+                _ => {
+                    eprintln!("--heartbeat-secs needs a positive integer\n{usage}");
+                    return 2;
+                }
+            },
+            "--no-reconnect" => reconnect = false,
             other => {
                 eprintln!("unexpected argument {other}\n{usage}");
                 return 2;
@@ -380,18 +693,31 @@ pub fn agent_main(args: &[String]) -> i32 {
         return 2;
     };
     let endpoint = connect_endpoint(&connect);
-    eprintln!("bside-agent: dialing {endpoint} with {slots} slot(s)");
-    match run_agent(
-        &endpoint,
-        &AgentOptions {
-            slots,
-            dial_timeout: Some(dial_timeout),
-        },
-    ) {
+    let options = AgentOptions {
+        slots,
+        dial_timeout: Some(dial_timeout),
+        secret: crate::auth::resolve_secret(secret),
+        heartbeat_cap,
+        ..AgentOptions::default()
+    };
+    eprintln!(
+        "bside-agent: dialing {endpoint} with {slots} slot(s){}",
+        if options.secret.is_some() {
+            " (authenticated)"
+        } else {
+            ""
+        }
+    );
+    let outcome = if reconnect {
+        run_agent_loop(&endpoint, &options)
+    } else {
+        run_agent(&endpoint, &options)
+    };
+    match outcome {
         Ok(report) => {
             eprintln!(
-                "bside-agent: coordinator said goodbye after {} unit(s); exiting",
-                report.units
+                "bside-agent: coordinator said goodbye after {} unit(s) over {} session(s); exiting",
+                report.units, report.sessions
             );
             0
         }
@@ -424,5 +750,17 @@ mod tests {
             connect_endpoint("/run/fleet.sock"),
             Endpoint::Unix(std::path::PathBuf::from("/run/fleet.sock"))
         );
+    }
+
+    #[test]
+    fn fatal_verdicts_are_exactly_reject_and_downgrade() {
+        let reject = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "rejected");
+        let downgrade = std::io::Error::new(std::io::ErrorKind::Unsupported, "v1");
+        let refused = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "down");
+        let garbled = std::io::Error::new(std::io::ErrorKind::InvalidData, "noise");
+        assert!(is_fatal(&reject));
+        assert!(is_fatal(&downgrade));
+        assert!(!is_fatal(&refused), "a down coordinator is retryable");
+        assert!(!is_fatal(&garbled), "line noise is retryable");
     }
 }

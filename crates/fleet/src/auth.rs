@@ -1,0 +1,232 @@
+//! Shared-secret link authentication: HMAC-SHA256 (RFC 2104) over the
+//! hand-rolled SHA-256 already powering the content-addressed result
+//! cache (`bside_dist::cache`).
+//!
+//! The fleet trusts any LAN peer that can speak the hello — which is
+//! fine on a closed rack and fatal anywhere else, because an admitted
+//! agent's results land in the shared result cache. Authentication is
+//! woven into the existing capability handshake rather than bolted on
+//! as a separate round trip:
+//!
+//! 1. the coordinator opens every connection with a `challenge` frame
+//!    carrying a fresh random nonce (sent whether or not a secret is
+//!    configured, so the handshake shape never depends on deployment);
+//! 2. the agent's `hello` carries `auth = HMAC(secret, nonce ‖ version
+//!    ‖ slots ‖ cache_format)` — binding the MAC to the hello fields
+//!    means a relay cannot splice a genuine MAC onto a different
+//!    capability claim;
+//! 3. both sides derive a per-session key from `(secret, nonce)` and the
+//!    agent **seals** every subsequent frame: `mac = HMAC(session_key,
+//!    seq ‖ body)` with a strictly increasing sequence number, so a
+//!    mid-session injector can neither forge a result frame nor replay a
+//!    stale one into the cache.
+//!
+//! The secret is a shared string (`--fleet-secret` /
+//! `BSIDE_FLEET_SECRET`); no key exchange, no PKI — the deployment model
+//! is "one secret per fleet", matching the single shared result cache.
+
+use bside_dist::sha256_hex;
+
+/// SHA-256's internal block size in bytes — the HMAC key pad width.
+const BLOCK: usize = 64;
+
+/// Decodes the lowercase-hex digest `sha256_hex` renders back into its
+/// 32 raw bytes. Digests are produced locally, so malformed input is a
+/// programming error.
+fn hex_digest_bytes(hex: &str) -> [u8; 32] {
+    debug_assert_eq!(hex.len(), 64, "SHA-256 hex digest is 64 chars");
+    let mut out = [0u8; 32];
+    let bytes = hex.as_bytes();
+    for (i, slot) in out.iter_mut().enumerate() {
+        let hi = (bytes[2 * i] as char).to_digit(16).expect("hex digest");
+        let lo = (bytes[2 * i + 1] as char).to_digit(16).expect("hex digest");
+        *slot = ((hi << 4) | lo) as u8;
+    }
+    out
+}
+
+/// HMAC-SHA256 (RFC 2104) over the concatenation of `chunks`, as
+/// lowercase hex. Keys longer than the block size are hashed first;
+/// shorter keys are zero-padded, exactly per the RFC.
+pub fn hmac_sha256_hex(key: &[u8], chunks: &[&[u8]]) -> String {
+    let shortened;
+    let key = if key.len() > BLOCK {
+        shortened = hex_digest_bytes(&sha256_hex(&[key]));
+        &shortened[..]
+    } else {
+        key
+    };
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for (i, &b) in key.iter().enumerate() {
+        ipad[i] ^= b;
+        opad[i] ^= b;
+    }
+    let mut inner_input: Vec<&[u8]> = Vec::with_capacity(chunks.len() + 1);
+    inner_input.push(&ipad);
+    inner_input.extend_from_slice(chunks);
+    let inner = hex_digest_bytes(&sha256_hex(&inner_input));
+    sha256_hex(&[&opad, &inner])
+}
+
+/// A fresh per-connection challenge nonce: 64 hex chars of SHA-256 over
+/// process identity, wall-clock nanoseconds, and a process-wide counter.
+/// Unpredictability (not just uniqueness) is not load-bearing here — the
+/// MAC covers the hello fields and the per-frame sequence numbers, so
+/// the nonce only has to never repeat for the same secret.
+pub fn fresh_nonce() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    sha256_hex(&[
+        &std::process::id().to_le_bytes(),
+        &nanos.to_le_bytes(),
+        &count.to_le_bytes(),
+    ])
+}
+
+/// The hello MAC: binds the challenge nonce to the hello's capability
+/// fields, so an authenticated agent cannot have its announced version,
+/// slot count, or cache format altered in flight.
+pub fn hello_mac(
+    secret: &str,
+    nonce: &str,
+    version: u32,
+    slots: usize,
+    cache_format: u32,
+) -> String {
+    let fields = format!("{version}|{slots}|{cache_format}");
+    hmac_sha256_hex(
+        secret.as_bytes(),
+        &[
+            b"bside-fleet-hello|",
+            nonce.as_bytes(),
+            b"|",
+            fields.as_bytes(),
+        ],
+    )
+}
+
+/// Derives the per-session sealing key from the shared secret and the
+/// connection's challenge nonce. Returned as the 32 raw digest bytes —
+/// the HMAC key for [`frame_mac`].
+pub fn session_key(secret: &str, nonce: &str) -> [u8; 32] {
+    hex_digest_bytes(&hmac_sha256_hex(
+        secret.as_bytes(),
+        &[b"bside-fleet-session|", nonce.as_bytes()],
+    ))
+}
+
+/// The per-frame MAC sealing `body` (a serialized agent frame) under the
+/// session key at sequence number `seq`. Covering `seq` is what turns
+/// the MAC into replay protection: a duplicated or reordered sealed
+/// frame fails the strictly-increasing sequence check without its MAC
+/// ever verifying against a different number.
+pub fn frame_mac(session_key: &[u8], seq: u64, body: &str) -> String {
+    let seq = seq.to_string();
+    hmac_sha256_hex(
+        session_key,
+        &[b"bside-fleet-frame|", seq.as_bytes(), b"|", body.as_bytes()],
+    )
+}
+
+/// Resolves the fleet secret from an explicit flag value or the
+/// `BSIDE_FLEET_SECRET` environment variable (flag wins). An empty
+/// string from either source means "no secret".
+pub fn resolve_secret(flag: Option<String>) -> Option<String> {
+    flag.or_else(|| std::env::var("BSIDE_FLEET_SECRET").ok())
+        .filter(|s| !s.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4231 test case 1: 20 bytes of 0x0b, "Hi There".
+    #[test]
+    fn hmac_matches_rfc_4231_case_1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hmac_sha256_hex(&key, &[b"Hi There"]),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2: key "Jefe", a key shorter than the block.
+    #[test]
+    fn hmac_matches_rfc_4231_case_2() {
+        assert_eq!(
+            hmac_sha256_hex(b"Jefe", &[b"what do ya want for nothing?"]),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 6: a 131-byte key exercises the hash-the-key
+    /// path (key longer than one SHA-256 block).
+    #[test]
+    fn hmac_hashes_oversized_keys_per_rfc_4231_case_6() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hmac_sha256_hex(
+                &key,
+                &[b"Test Using Larger Than Block-Size Key - Hash Key First"]
+            ),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    /// Chunked input hashes identically to the concatenation — the
+    /// property every multi-field MAC in this module leans on.
+    #[test]
+    fn hmac_is_chunking_invariant() {
+        assert_eq!(
+            hmac_sha256_hex(b"k", &[b"hello world"]),
+            hmac_sha256_hex(b"k", &[b"hello", b" ", b"world"]),
+        );
+    }
+
+    #[test]
+    fn nonces_are_distinct_and_well_formed() {
+        let a = fresh_nonce();
+        let b = fresh_nonce();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    /// Every bound field changes the hello MAC — a spliced capability
+    /// claim cannot reuse a genuine MAC.
+    #[test]
+    fn hello_mac_binds_every_field() {
+        let base = hello_mac("s3cret", "nonce", 2, 4, 1);
+        assert_ne!(base, hello_mac("other", "nonce", 2, 4, 1), "secret");
+        assert_ne!(base, hello_mac("s3cret", "econon", 2, 4, 1), "nonce");
+        assert_ne!(base, hello_mac("s3cret", "nonce", 3, 4, 1), "version");
+        assert_ne!(base, hello_mac("s3cret", "nonce", 2, 5, 1), "slots");
+        assert_ne!(base, hello_mac("s3cret", "nonce", 2, 4, 2), "cache format");
+        assert_eq!(base, hello_mac("s3cret", "nonce", 2, 4, 1), "deterministic");
+    }
+
+    /// Frame MACs bind the sequence number, so a replayed frame cannot
+    /// verify under a fresh sequence number.
+    #[test]
+    fn frame_mac_binds_sequence_and_body() {
+        let key = session_key("s3cret", "nonce");
+        let base = frame_mac(&key, 7, "{\"type\":\"heartbeat\"}");
+        assert_ne!(base, frame_mac(&key, 8, "{\"type\":\"heartbeat\"}"), "seq");
+        assert_ne!(base, frame_mac(&key, 7, "{\"type\":\"hello\"}"), "body");
+        let other_key = session_key("s3cret", "other-nonce");
+        assert_ne!(base, frame_mac(&other_key, 7, "{\"type\":\"heartbeat\"}"));
+    }
+
+    /// Field separators are unambiguous: moving a byte across the `|`
+    /// boundary changes the MAC (no length-extension-style gluing).
+    #[test]
+    fn hello_mac_separates_nonce_from_fields() {
+        assert_ne!(hello_mac("s", "ab", 2, 4, 1), hello_mac("s", "a", 2, 4, 1));
+    }
+}

@@ -1,0 +1,164 @@
+//! Reconnect pacing: capped decorrelated-jitter backoff.
+//!
+//! When an agent loses its coordinator (restart, partition, sever) it
+//! re-dials under this schedule rather than hammering the endpoint. The
+//! schedule is the decorrelated-jitter variant: each delay is drawn
+//! uniformly from `[base, min(cap, prev * 3)]`, so consecutive delays
+//! decorrelate across a fleet of agents (no thundering reconnect herd)
+//! while the envelope still grows geometrically to the cap. A healthy
+//! session ([`Backoff::reset`]) snaps the schedule back to the base.
+//!
+//! The RNG is a self-contained xorshift64* — deterministic per seed, so
+//! the property tests can sweep seeds, and free of any dependency.
+
+use std::time::Duration;
+
+/// A deterministic decorrelated-jitter backoff schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A schedule from `base` (first-delay floor, clamped to ≥1ms so the
+    /// schedule can never zero-delay spin) to `cap`, seeded for
+    /// deterministic jitter.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
+        // Scramble the seed (splitmix64 finalizer) so adjacent seeds —
+        // e.g. per-agent indices — land in unrelated stream positions,
+        // and clamp away the single all-zero state xorshift can't leave.
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^= s >> 31;
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            rng: s.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: tiny, seedable, good enough for jitter.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// The next delay to sleep before re-dialing: uniform over
+    /// `[base, min(cap, prev * 3)]`. Monotone in envelope, capped, and
+    /// never zero. Not an `Iterator` on purpose: the schedule is
+    /// infinite and stateful, and `reset` breaks iterator semantics.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Duration {
+        let base_ms = self.base.as_millis() as u64;
+        let ceiling_ms = self
+            .prev
+            .saturating_mul(3)
+            .min(self.cap)
+            .as_millis()
+            .max(self.base.as_millis()) as u64;
+        let span = ceiling_ms - base_ms;
+        let delay_ms = if span == 0 {
+            base_ms
+        } else {
+            base_ms + self.next_u64() % (span + 1)
+        };
+        let delay = Duration::from_millis(delay_ms);
+        self.prev = delay;
+        delay
+    }
+
+    /// Snaps the schedule back to the base after a healthy session, so
+    /// the next hiccup starts from a short delay again.
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(100);
+    const CAP: Duration = Duration::from_secs(10);
+
+    /// The envelope property, swept across seeds: every delay lies in
+    /// `[base, cap]` and within 3× the previous delay (decorrelated
+    /// growth, monotone-capped envelope).
+    #[test]
+    fn delays_stay_inside_the_decorrelated_envelope() {
+        for seed in 0..64u64 {
+            let mut b = Backoff::new(BASE, CAP, seed);
+            let mut prev = BASE;
+            for step in 0..200 {
+                let d = b.next();
+                assert!(d >= BASE, "seed {seed} step {step}: {d:?} under base");
+                assert!(d <= CAP, "seed {seed} step {step}: {d:?} over cap");
+                assert!(
+                    d <= prev.saturating_mul(3).min(CAP),
+                    "seed {seed} step {step}: {d:?} outgrew 3x{prev:?}"
+                );
+                prev = d;
+            }
+        }
+    }
+
+    /// No configuration — not even a zero base — can produce a zero
+    /// delay (the no-spin guarantee for the reconnect loop).
+    #[test]
+    fn never_zero_delay_even_from_a_zero_base() {
+        for seed in 0..64u64 {
+            let mut b = Backoff::new(Duration::ZERO, Duration::from_millis(5), seed);
+            for _ in 0..100 {
+                assert!(b.next() > Duration::ZERO);
+            }
+        }
+    }
+
+    /// The schedule reaches the cap region (it genuinely grows) and a
+    /// reset snaps the very next delay back under the early envelope.
+    #[test]
+    fn grows_toward_the_cap_and_reset_restarts_the_schedule() {
+        for seed in 0..64u64 {
+            let mut b = Backoff::new(BASE, CAP, seed);
+            let mut max_seen = Duration::ZERO;
+            for _ in 0..200 {
+                max_seen = max_seen.max(b.next());
+            }
+            assert!(
+                max_seen > CAP / 4,
+                "seed {seed}: schedule never grew ({max_seen:?})"
+            );
+            b.reset();
+            let after_reset = b.next();
+            assert!(
+                after_reset <= BASE * 3,
+                "seed {seed}: post-reset delay {after_reset:?} did not restart"
+            );
+        }
+    }
+
+    /// Same seed, same schedule — the determinism the chaos suites lean
+    /// on.
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let mut a = Backoff::new(BASE, CAP, 42);
+        let mut b = Backoff::new(BASE, CAP, 42);
+        for _ in 0..50 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut a = Backoff::new(BASE, CAP, 42);
+        let mut c = Backoff::new(BASE, CAP, 43);
+        let differs = (0..50).any(|_| a.next() != c.next());
+        assert!(differs, "different seeds should jitter differently");
+    }
+}

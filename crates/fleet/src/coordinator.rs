@@ -29,7 +29,7 @@
 //! pre-pass, input-ordered merge, byte-identical report — on top.
 
 use crate::protocol::{
-    read_message_capped, write_message, FromAgent, ToAgent, Want, CACHE_FORMAT_VERSION,
+    read_message_capped, seal_down, write_message, FromAgent, ToAgent, Want, CACHE_FORMAT_VERSION,
     MAX_FLEET_LINE_BYTES, PROTOCOL_VERSION,
 };
 use crate::queue::{FleetQueue, FleetUnit, UnitDone, UnitOutput, UnitSlot};
@@ -71,6 +71,12 @@ pub struct FleetOptions {
     /// dist engine; `None` disables caching. Used by
     /// [`analyze_corpus_fleet`]'s pre-pass.
     pub cache_dir: Option<PathBuf>,
+    /// Shared fleet secret. When set, every connection is challenged:
+    /// the hello must carry the matching MAC ([`crate::auth::hello_mac`])
+    /// and every subsequent agent frame must arrive sealed
+    /// ([`crate::protocol::seal`]) — an unauthenticated or forged peer
+    /// is rejected in band and lands nothing in the result cache.
+    pub secret: Option<String>,
 }
 
 impl Default for FleetOptions {
@@ -82,6 +88,7 @@ impl Default for FleetOptions {
             heartbeat_timeout: Duration::from_secs(5),
             max_attempts: 2,
             cache_dir: None,
+            secret: None,
         }
     }
 }
@@ -96,6 +103,9 @@ pub struct FleetStats {
     /// Agents declared dead (EOF, silence, deadline sever) outside
     /// shutdown.
     pub agents_lost: u64,
+    /// Hellos refused in band (version/cache mismatch, bad slot count,
+    /// or failed authentication).
+    pub agents_rejected: u64,
     /// Live slot capacity (sum of alive agents' announced slots).
     pub slots: usize,
     /// Unit frames written to agents (retries included).
@@ -118,6 +128,7 @@ struct Counters {
     retries: AtomicU64,
     timeouts: AtomicU64,
     failures: AtomicU64,
+    rejected: AtomicU64,
 }
 
 struct FleetShared {
@@ -238,15 +249,11 @@ impl FleetShared {
                 options: self.wire_options.clone(),
             };
             self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
-            {
-                let mut writer = agent.writer.lock().expect("agent writer lock");
-                if write_message(&mut *writer, &message).is_err() {
-                    drop(writer);
-                    // The connection is gone; mark_dead fills our reply
-                    // slot (and everyone else's) so the wait below is
-                    // still the single recovery path.
-                    self.declare_dead(agent, FailureKind::WorkerCrash);
-                }
+            if send_to_agent(agent, &message).is_err() {
+                // The connection is gone; mark_dead fills our reply
+                // slot (and everyone else's) so the wait below is
+                // still the single recovery path.
+                self.declare_dead(agent, FailureKind::WorkerCrash);
             }
             match reply.wait() {
                 SlotReply::Message(FromAgent::Result { analysis, .. })
@@ -308,6 +315,7 @@ impl FleetShared {
             agents_alive: alive.len(),
             agents_joined: self.registry.joined_total.load(Ordering::Relaxed),
             agents_lost: self.registry.lost_total.load(Ordering::Relaxed),
+            agents_rejected: self.stats.rejected.load(Ordering::Relaxed),
             slots: alive.iter().map(|a| a.slots).sum(),
             dispatched: self.stats.dispatched.load(Ordering::Relaxed),
             completed: self.stats.completed.load(Ordering::Relaxed),
@@ -317,7 +325,7 @@ impl FleetShared {
         }
     }
 
-    fn begin_shutdown(self: &Arc<Self>) {
+    fn begin_teardown(self: &Arc<Self>, goodbye: bool) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -339,16 +347,40 @@ impl FleetShared {
         // the queued goodbye frame is delivered before the FIN, so
         // agents see either the frame or a clean EOF — both a clean end
         // of service — and no coordinator-side reader can stay blocked.
+        // An *abort* (crash simulation) skips the goodbye: agents see a
+        // bare severed link, exactly what a killed coordinator leaves
+        // behind, and their reconnect loops take over.
         let agents = self.registry.alive();
-        for agent in &agents {
-            let mut writer = agent.writer.lock().expect("agent writer lock");
-            let _ = write_message(&mut *writer, &ToAgent::Shutdown);
+        if goodbye {
+            for agent in &agents {
+                let _ = send_to_agent(agent, &ToAgent::Shutdown);
+            }
         }
         for agent in &agents {
             self.declare_dead(agent, FailureKind::WorkerCrash);
         }
         // Wake the blocking accept; the connection is dropped on sight.
         let _ = Conn::connect(&self.endpoint);
+    }
+}
+
+/// Writes one post-welcome frame to an agent, sealing it on secured
+/// fleets. Downlink frames carry the unit payloads, so they need the
+/// same integrity cover as the results coming back: a corrupted unit
+/// would otherwise hand the agent a *different valid binary* and come
+/// back as a correctly sealed wrong answer. The sequence number is
+/// claimed while the writer lock is held, so stream order always
+/// matches sequence order and the agent's monotonic policy never trips
+/// on a healthy link.
+fn send_to_agent(agent: &AgentState, message: &ToAgent) -> std::io::Result<()> {
+    let mut writer = agent.writer.lock().expect("agent writer lock");
+    match &agent.seal {
+        Some(seal) => {
+            let seq = seal.next_seq.fetch_add(1, Ordering::Relaxed);
+            let sealed = seal_down(&seal.key, seq, message)?;
+            write_message(&mut *writer, &sealed)
+        }
+        None => write_message(&mut *writer, message),
     }
 }
 
@@ -438,6 +470,22 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
     let addr = conn.peer_label();
     let mut reader = BufReader::new(conn);
 
+    // The challenge opens every connection — secured and open fleets
+    // share one handshake shape, and the nonce is on the wire before
+    // the hello is read, so neither side ever deadlocks writing first.
+    let nonce = crate::auth::fresh_nonce();
+    let mut writer = writer;
+    if write_message(
+        &mut writer,
+        &ToAgent::Challenge {
+            nonce: nonce.clone(),
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
     // The capability hello, under the same deadline as any other frame.
     let hello = read_message_capped::<FromAgent>(&mut reader, MAX_FLEET_LINE_BYTES);
     let (slots, reject) = match hello {
@@ -445,6 +493,7 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
             version,
             slots,
             cache_format,
+            auth,
         })) => {
             if version != PROTOCOL_VERSION {
                 (
@@ -469,6 +518,26 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
                         "agent announced {slots} slot(s); expected between 1 and 1024"
                     )),
                 )
+            } else if let Some(secret) = &shared.options.secret {
+                let expected = crate::auth::hello_mac(secret, &nonce, version, slots, cache_format);
+                match auth {
+                    // The comparison leaks timing, but the MAC is
+                    // per-connection (fresh nonce): a byte-at-a-time
+                    // oracle has nothing stable to probe.
+                    Some(mac) if mac == expected => (slots, None),
+                    Some(_) => (
+                        0,
+                        Some("agent failed authentication (wrong fleet secret?)".to_string()),
+                    ),
+                    None => (
+                        0,
+                        Some(
+                            "this fleet requires authentication; start the agent with \
+                             --fleet-secret (or BSIDE_FLEET_SECRET)"
+                                .to_string(),
+                        ),
+                    ),
+                }
             } else {
                 (slots, None)
             }
@@ -476,12 +545,26 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
         _ => (0, Some("agent did not open with a hello".to_string())),
     };
     if let Some(message) = reject {
-        let mut writer = writer;
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = write_message(&mut writer, &ToAgent::Reject { message });
         return;
     }
 
-    let agent = shared.registry.register(addr, slots, sever_handle, writer);
+    // On a secured fleet the rest of the session arrives sealed under a
+    // key derived from (secret, nonce); `last_seq` enforces the
+    // strictly-increasing sequence policy.
+    let session_key = shared
+        .options
+        .secret
+        .as_deref()
+        .map(|secret| crate::auth::session_key(secret, &nonce));
+
+    let agent = shared
+        .registry
+        .register(addr, slots, sever_handle, writer, session_key);
+    // The welcome itself stays plaintext: it announces sealing, and the
+    // agent refuses to proceed unsealed when it holds a secret, so a
+    // tampered `sealed` flag fails loudly on whichever side it targets.
     {
         let mut writer = agent.writer.lock().expect("agent writer lock");
         if write_message(
@@ -489,6 +572,7 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
             &ToAgent::Welcome {
                 version: PROTOCOL_VERSION,
                 heartbeat_interval_ms: shared.options.heartbeat_interval.as_millis() as u64,
+                sealed: session_key.is_some(),
             },
         )
         .is_err()
@@ -509,18 +593,47 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
 
     // The session thread is the read loop: route replies, absorb
     // heartbeats, and turn EOF / silence / garbage into a death verdict.
+    // On a secured link every frame must arrive sealed with a fresh
+    // sequence number: a bad MAC or an unsealed frame severs the agent
+    // (the stream is not trustworthy), while a stale sequence number is
+    // dropped silently — that is what a replayed or fault-duplicated
+    // frame looks like, and it must not kill a healthy link.
+    let mut last_seq: u64 = 0;
     let kind = loop {
-        match read_message_capped::<FromAgent>(&mut reader, MAX_FLEET_LINE_BYTES) {
-            Ok(Some(message)) => match message_id(&message) {
-                Some(id) => agent.route_reply(id, message),
-                None => match message {
-                    FromAgent::Heartbeat => {}
-                    _ => break FailureKind::Protocol, // a second hello
-                },
+        let message = match read_message_capped::<FromAgent>(&mut reader, MAX_FLEET_LINE_BYTES) {
+            Ok(Some(FromAgent::Sealed { seq, mac, body })) => match &session_key {
+                Some(key) => {
+                    if seq <= last_seq {
+                        continue; // replay or duplicate: drop, stay alive
+                    }
+                    match crate::protocol::unseal(key, seq, &mac, &body) {
+                        Ok(inner) => {
+                            last_seq = seq;
+                            inner
+                        }
+                        Err(_) => break FailureKind::Protocol, // forged or corrupted
+                    }
+                }
+                // Sealed frames at an open coordinator: a configuration
+                // mismatch that must surface loudly, not parse quietly.
+                None => break FailureKind::Protocol,
             },
+            Ok(Some(message)) => {
+                if session_key.is_some() {
+                    break FailureKind::Protocol; // unsealed frame on a secured link
+                }
+                message
+            }
             Ok(None) => break FailureKind::WorkerCrash, // clean EOF
             Err(e) if is_timeout(&e) => break FailureKind::Timeout, // silence
             Err(_) => break FailureKind::Protocol,
+        };
+        match message_id(&message) {
+            Some(id) => agent.route_reply(id, message),
+            None => match message {
+                FromAgent::Heartbeat => {}
+                _ => break FailureKind::Protocol, // a second hello, or a nested seal
+            },
         }
     };
     shared.declare_dead(&agent, kind);
@@ -625,7 +738,17 @@ impl FleetHandle {
     /// Initiates shutdown (goodbye frames, queue drain, socket cleanup)
     /// and waits for every thread to exit.
     pub fn shutdown(mut self) {
-        self.shared.begin_shutdown();
+        self.shared.begin_teardown(true);
+        self.join_threads();
+    }
+
+    /// Tears the coordinator down **without goodbyes** — the
+    /// crash-simulation lever for the chaos suites. Agents see a bare
+    /// severed link (exactly what a killed coordinator process leaves
+    /// behind) and their reconnect loops take over; the listen port is
+    /// released so a successor can bind it.
+    pub fn abort(mut self) {
+        self.shared.begin_teardown(false);
         self.join_threads();
     }
 
@@ -648,7 +771,7 @@ impl FleetHandle {
 
 impl Drop for FleetHandle {
     fn drop(&mut self) {
-        self.shared.begin_shutdown();
+        self.shared.begin_teardown(true);
         self.join_threads();
     }
 }

@@ -56,12 +56,17 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod auth;
+pub mod backoff;
 pub mod coordinator;
 pub mod protocol;
 pub(crate) mod queue;
 pub mod registry;
 
-pub use agent::{agent_main, connect_endpoint, run_agent, AgentOptions, AgentReport};
+pub use agent::{
+    agent_main, connect_endpoint, run_agent, run_agent_loop, AgentOptions, AgentReport,
+};
+pub use backoff::Backoff;
 pub use coordinator::{
     analyze_corpus_fleet, FleetCoordinator, FleetHandle, FleetOptions, FleetOutput, FleetStats,
     FleetSubmitter, PendingUnit,

@@ -9,9 +9,12 @@
 //! identically in all three.
 //!
 //! ```text
-//! agent → coordinator   {"type":"hello","version":1,"slots":2,"cache_format":1}
-//! coordinator → agent   {"type":"welcome","version":1,"heartbeat_interval_ms":1000}
-//!                       {"type":"reject","message":"agent speaks protocol v2, expected v1"}
+//! coordinator → agent   {"type":"challenge","nonce":"9f2c…"}
+//! agent → coordinator   {"type":"hello","version":2,"slots":2,"cache_format":1,
+//!                        "auth":"b034…"}           (auth present only on secured fleets)
+//! coordinator → agent   {"type":"welcome","version":2,"heartbeat_interval_ms":1000,
+//!                        "sealed":true}            (sealed only on secured fleets)
+//!                       {"type":"reject","message":"agent speaks protocol v3, expected v2"}
 //! coordinator → agent   {"type":"unit","id":7,"name":"grep_3","path":"/corpus/0003_grep.elf",
 //!                        "want":"Analysis","elf":"f0VMRg…","options":{…}}
 //!                       {"type":"shutdown"}
@@ -19,7 +22,15 @@
 //!                       {"type":"result","id":7,"analysis":{…}}
 //!                       {"type":"bundle","id":7,"bundle":{…}}
 //!                       {"type":"error","id":7,"message":"analysis budget exhausted…"}
+//!                       {"type":"sealed","seq":3,"mac":"5bdc…","body":"{\"type\":\"result\"…}"}
 //! ```
+//!
+//! **The challenge opens every connection.** The coordinator's first
+//! frame is a `challenge` carrying a fresh nonce, sent whether or not a
+//! secret is configured — the handshake shape never depends on
+//! deployment. On a secured fleet the agent's hello must carry
+//! `auth = HMAC-SHA256(secret, nonce ‖ hello fields)` (see
+//! [`crate::auth`]); a wrong or missing MAC is rejected in band.
 //!
 //! **The hello is the capability handshake.** An agent announces its
 //! protocol version, its slot count (how many units it will analyze
@@ -30,6 +41,16 @@
 //! differs: a heterogeneous fleet self-describes, and an agent built
 //! from an older engine can never poison the content-addressed result
 //! cache with semantically different analyses.
+//!
+//! **Sealed frames carry the session on secured fleets.** After an
+//! authenticated hello, every agent frame travels wrapped in a `sealed`
+//! envelope: the serialized inner frame as `body`, a strictly
+//! increasing per-connection `seq`, and `mac = HMAC(session_key, seq ‖
+//! body)` under a key derived from `(secret, nonce)`. The coordinator
+//! severs on a bad MAC or an unsealed frame and silently drops
+//! replayed/duplicated sequence numbers — a mid-session injector cannot
+//! forge a result into the content-addressed cache, and a fault-injected
+//! duplicate frame is absorbed without killing the link.
 //!
 //! **Binary payloads travel in band.** A unit carries the ELF bytes
 //! themselves (base64 inside the JSON line), so agents need no shared
@@ -54,8 +75,9 @@ pub use bside_dist::protocol::{read_message_capped, write_message};
 
 /// Protocol revision; bumped on any incompatible message change. The
 /// coordinator rejects agents announcing a different version in band
-/// rather than mis-parsing their frames.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// rather than mis-parsing their frames. v2 added the challenge-first
+/// handshake, the hello's `auth` MAC, and the sealed-frame envelope.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one fleet frame. Unit frames carry whole binaries
 /// (base64, ~4/3 of the ELF size) and result frames carry whole
@@ -81,12 +103,24 @@ serde::impl_serde_unit_enum!(Want { Analysis, Bundle });
 /// Messages the coordinator sends to an agent.
 #[derive(Debug, Clone)]
 pub enum ToAgent {
+    /// The coordinator's first frame on every connection: the
+    /// authentication challenge the agent folds into its hello MAC.
+    /// Always sent — secured and open fleets share one handshake shape.
+    Challenge {
+        /// Fresh per-connection nonce (hex).
+        nonce: String,
+    },
     /// The hello was accepted; the agent may expect units.
     Welcome {
         /// The coordinator's [`PROTOCOL_VERSION`], echoed for symmetry.
         version: u32,
         /// How often the agent must send heartbeats, in milliseconds.
         heartbeat_interval_ms: u64,
+        /// Whether the coordinator requires sealed agent frames for the
+        /// rest of the session (true exactly when a secret is
+        /// configured). An agent holding a secret refuses an unsealed
+        /// welcome — a downgrade must fail loudly, not silently.
+        sealed: bool,
     },
     /// The hello was refused (version or cache-format mismatch); the
     /// coordinator closes the connection after this frame.
@@ -112,12 +146,29 @@ pub enum ToAgent {
     },
     /// Exit cleanly after finishing in-flight units.
     Shutdown,
+    /// An authenticated envelope around a post-welcome coordinator frame
+    /// — the only shape a secured agent accepts once welcomed. Symmetric
+    /// with [`FromAgent::Sealed`] for a reason: without downlink seals,
+    /// line noise inside a unit's base64 payload could hand the agent a
+    /// *different valid binary*, and the agent would return a correctly
+    /// sealed wrong answer the coordinator has no way to distrust.
+    Sealed {
+        /// Strictly increasing per-connection sequence number; the agent
+        /// silently drops any number it has already seen (duplicate
+        /// delivery), and severs on a MAC that does not verify.
+        seq: u64,
+        /// `HMAC-SHA256(session_key, seq ‖ body)`
+        /// ([`crate::auth::frame_mac`]).
+        mac: String,
+        /// The serialized inner frame (one JSON object, no newline).
+        body: String,
+    },
 }
 
 /// Messages an agent sends to the coordinator.
 #[derive(Debug)]
 pub enum FromAgent {
-    /// Sent once on connect, before anything else: the capability hello.
+    /// Sent once on connect, after the challenge: the capability hello.
     Hello {
         /// The agent's [`PROTOCOL_VERSION`].
         version: u32,
@@ -127,6 +178,9 @@ pub enum FromAgent {
         /// fingerprint; a mismatch means its analyses must not land in
         /// the coordinator's cache.
         cache_format: u32,
+        /// `HMAC-SHA256(secret, nonce ‖ hello fields)` on secured
+        /// fleets ([`crate::auth::hello_mac`]); absent on open fleets.
+        auth: Option<String>,
     },
     /// Liveness beacon, sent at the welcome's cadence from a dedicated
     /// thread — it keeps flowing even while every slot is busy.
@@ -153,14 +207,31 @@ pub enum FromAgent {
         /// The error's `Display` rendering — the merged-report payload.
         message: String,
     },
+    /// An authenticated envelope around any other agent frame — the only
+    /// frame shape a secured coordinator accepts after the hello.
+    Sealed {
+        /// Strictly increasing per-connection sequence number; the
+        /// coordinator silently drops any number it has already seen.
+        seq: u64,
+        /// `HMAC-SHA256(session_key, seq ‖ body)`
+        /// ([`crate::auth::frame_mac`]).
+        mac: String,
+        /// The serialized inner frame (one JSON object, no newline).
+        body: String,
+    },
 }
 
 impl serde::Serialize for ToAgent {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let value = match self {
+            ToAgent::Challenge { nonce } => Value::Object(vec![
+                ("type".to_string(), Value::Str("challenge".to_string())),
+                ("nonce".to_string(), Value::Str(nonce.clone())),
+            ]),
             ToAgent::Welcome {
                 version,
                 heartbeat_interval_ms,
+                sealed,
             } => Value::Object(vec![
                 ("type".to_string(), Value::Str("welcome".to_string())),
                 ("version".to_string(), Value::UInt(*version as u64)),
@@ -168,6 +239,7 @@ impl serde::Serialize for ToAgent {
                     "heartbeat_interval_ms".to_string(),
                     Value::UInt(*heartbeat_interval_ms),
                 ),
+                ("sealed".to_string(), Value::Bool(*sealed)),
             ]),
             ToAgent::Reject { message } => Value::Object(vec![
                 ("type".to_string(), Value::Str("reject".to_string())),
@@ -193,6 +265,12 @@ impl serde::Serialize for ToAgent {
                 "type".to_string(),
                 Value::Str("shutdown".to_string()),
             )]),
+            ToAgent::Sealed { seq, mac, body } => Value::Object(vec![
+                ("type".to_string(), Value::Str("sealed".to_string())),
+                ("seq".to_string(), Value::UInt(*seq)),
+                ("mac".to_string(), Value::Str(mac.clone())),
+                ("body".to_string(), Value::Str(body.clone())),
+            ]),
         };
         serializer.serialize_value(value)
     }
@@ -205,15 +283,22 @@ impl serde::Serialize for FromAgent {
                 version,
                 slots,
                 cache_format,
-            } => Value::Object(vec![
-                ("type".to_string(), Value::Str("hello".to_string())),
-                ("version".to_string(), Value::UInt(*version as u64)),
-                ("slots".to_string(), Value::UInt(*slots as u64)),
-                (
-                    "cache_format".to_string(),
-                    Value::UInt(*cache_format as u64),
-                ),
-            ]),
+                auth,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("hello".to_string())),
+                    ("version".to_string(), Value::UInt(*version as u64)),
+                    ("slots".to_string(), Value::UInt(*slots as u64)),
+                    (
+                        "cache_format".to_string(),
+                        Value::UInt(*cache_format as u64),
+                    ),
+                ];
+                if let Some(mac) = auth {
+                    fields.push(("auth".to_string(), Value::Str(mac.clone())));
+                }
+                Value::Object(fields)
+            }
             FromAgent::Heartbeat => Value::Object(vec![(
                 "type".to_string(),
                 Value::Str("heartbeat".to_string()),
@@ -232,6 +317,12 @@ impl serde::Serialize for FromAgent {
                 ("type".to_string(), Value::Str("error".to_string())),
                 ("id".to_string(), Value::UInt(*id)),
                 ("message".to_string(), Value::Str(message.clone())),
+            ]),
+            FromAgent::Sealed { seq, mac, body } => Value::Object(vec![
+                ("type".to_string(), Value::Str("sealed".to_string())),
+                ("seq".to_string(), Value::UInt(*seq)),
+                ("mac".to_string(), Value::Str(mac.clone())),
+                ("body".to_string(), Value::Str(body.clone())),
             ]),
         };
         serializer.serialize_value(value)
@@ -262,10 +353,25 @@ impl<'de> serde::Deserialize<'de> for ToAgent {
             obj_fields(deserializer.into_value()?, "ToAgent").map_err(de::Error::custom)?;
         let tag = take_string(&mut entries, "type").map_err(de::Error::custom)?;
         match tag.as_str() {
+            "challenge" => Ok(ToAgent::Challenge {
+                nonce: take_string(&mut entries, "nonce").map_err(de::Error::custom)?,
+            }),
             "welcome" => Ok(ToAgent::Welcome {
                 version: take_u64(&mut entries, "version").map_err(de::Error::custom)? as u32,
                 heartbeat_interval_ms: take_u64(&mut entries, "heartbeat_interval_ms")
                     .map_err(de::Error::custom)?,
+                sealed: if entries.iter().any(|(name, _)| name == "sealed") {
+                    match take_field(&mut entries, "sealed").map_err(de::Error::custom)? {
+                        Value::Bool(b) => b,
+                        other => {
+                            return Err(de::Error::custom(format!(
+                                "field `sealed` must be a boolean, found {other:?}"
+                            )))
+                        }
+                    }
+                } else {
+                    false
+                },
             }),
             "reject" => Ok(ToAgent::Reject {
                 message: take_string(&mut entries, "message").map_err(de::Error::custom)?,
@@ -288,6 +394,11 @@ impl<'de> serde::Deserialize<'de> for ToAgent {
                 .map_err(de::Error::custom)?,
             }),
             "shutdown" => Ok(ToAgent::Shutdown),
+            "sealed" => Ok(ToAgent::Sealed {
+                seq: take_u64(&mut entries, "seq").map_err(de::Error::custom)?,
+                mac: take_string(&mut entries, "mac").map_err(de::Error::custom)?,
+                body: take_string(&mut entries, "body").map_err(de::Error::custom)?,
+            }),
             other => Err(de::Error::custom(format!(
                 "unknown coordinator message type `{other}`"
             ))),
@@ -306,6 +417,11 @@ impl<'de> serde::Deserialize<'de> for FromAgent {
                 slots: take_u64(&mut entries, "slots").map_err(de::Error::custom)? as usize,
                 cache_format: take_u64(&mut entries, "cache_format").map_err(de::Error::custom)?
                     as u32,
+                auth: if entries.iter().any(|(name, _)| name == "auth") {
+                    Some(take_string(&mut entries, "auth").map_err(de::Error::custom)?)
+                } else {
+                    None
+                },
             }),
             "heartbeat" => Ok(FromAgent::Heartbeat),
             "result" => Ok(FromAgent::Result {
@@ -326,11 +442,60 @@ impl<'de> serde::Deserialize<'de> for FromAgent {
                 id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
                 message: take_string(&mut entries, "message").map_err(de::Error::custom)?,
             }),
+            "sealed" => Ok(FromAgent::Sealed {
+                seq: take_u64(&mut entries, "seq").map_err(de::Error::custom)?,
+                mac: take_string(&mut entries, "mac").map_err(de::Error::custom)?,
+                body: take_string(&mut entries, "body").map_err(de::Error::custom)?,
+            }),
             other => Err(de::Error::custom(format!(
                 "unknown agent message type `{other}`"
             ))),
         }
     }
+}
+
+/// Seals an agent frame for a secured session: serializes it, MACs the
+/// serialization under the session key at `seq`, and wraps both in a
+/// [`FromAgent::Sealed`] envelope.
+pub fn seal(session_key: &[u8], seq: u64, frame: &FromAgent) -> std::io::Result<FromAgent> {
+    let body = serde_json::to_string(frame)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mac = crate::auth::frame_mac(session_key, seq, &body);
+    Ok(FromAgent::Sealed { seq, mac, body })
+}
+
+/// Verifies a sealed envelope's MAC and deserializes the inner frame.
+/// The caller enforces the strictly-increasing sequence policy; this
+/// only answers "was this body really sealed at this number under this
+/// key".
+pub fn unseal(session_key: &[u8], seq: u64, mac: &str, body: &str) -> Result<FromAgent, String> {
+    let expected = crate::auth::frame_mac(session_key, seq, body);
+    if expected != mac {
+        return Err("sealed frame failed MAC verification".to_string());
+    }
+    serde_json::from_str(body).map_err(|e| format!("sealed frame body did not parse: {e}"))
+}
+
+/// [`seal`] for the downlink: wraps a coordinator frame in a
+/// [`ToAgent::Sealed`] envelope. Both directions share one session key
+/// and one MAC construction; reflecting a sealed frame back across the
+/// link is inert because the two frame namespaces are disjoint — a
+/// reflected body fails to parse as the other direction's type.
+pub fn seal_down(session_key: &[u8], seq: u64, frame: &ToAgent) -> std::io::Result<ToAgent> {
+    let body = serde_json::to_string(frame)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mac = crate::auth::frame_mac(session_key, seq, &body);
+    Ok(ToAgent::Sealed { seq, mac, body })
+}
+
+/// [`unseal`] for the downlink: verifies and unwraps a
+/// [`ToAgent::Sealed`] envelope.
+pub fn unseal_down(session_key: &[u8], seq: u64, mac: &str, body: &str) -> Result<ToAgent, String> {
+    let expected = crate::auth::frame_mac(session_key, seq, body);
+    if expected != mac {
+        return Err("sealed frame failed MAC verification".to_string());
+    }
+    serde_json::from_str(body).map_err(|e| format!("sealed frame body did not parse: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -451,17 +616,24 @@ mod tests {
             version: PROTOCOL_VERSION,
             slots: 4,
             cache_format: CACHE_FORMAT_VERSION,
+            auth: None,
         };
         let json = serde_json::to_string(&hello).unwrap();
+        assert!(
+            !json.contains("auth"),
+            "an open-fleet hello carries no auth field: {json}"
+        );
         match serde_json::from_str::<FromAgent>(&json).unwrap() {
             FromAgent::Hello {
                 version,
                 slots,
                 cache_format,
+                auth,
             } => {
                 assert_eq!(version, PROTOCOL_VERSION);
                 assert_eq!(slots, 4);
                 assert_eq!(cache_format, CACHE_FORMAT_VERSION);
+                assert_eq!(auth, None);
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -506,6 +678,7 @@ mod tests {
             &ToAgent::Welcome {
                 version: PROTOCOL_VERSION,
                 heartbeat_interval_ms: 500,
+                sealed: false,
             },
         )
         .unwrap();
@@ -516,7 +689,8 @@ mod tests {
             read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES).unwrap(),
             Some(ToAgent::Welcome {
                 version: PROTOCOL_VERSION,
-                heartbeat_interval_ms: 500
+                heartbeat_interval_ms: 500,
+                sealed: false,
             })
         ));
         assert!(matches!(
@@ -532,6 +706,98 @@ mod tests {
                 .unwrap()
                 .is_none()
         );
+    }
+
+    #[test]
+    fn challenge_and_authenticated_hello_round_trip() {
+        let challenge = ToAgent::Challenge {
+            nonce: "9f2c".repeat(16),
+        };
+        let json = serde_json::to_string(&challenge).unwrap();
+        match serde_json::from_str::<ToAgent>(&json).unwrap() {
+            ToAgent::Challenge { nonce } => assert_eq!(nonce, "9f2c".repeat(16)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let mac = crate::auth::hello_mac("s3cret", "nonce", PROTOCOL_VERSION, 4, 1);
+        let hello = FromAgent::Hello {
+            version: PROTOCOL_VERSION,
+            slots: 4,
+            cache_format: CACHE_FORMAT_VERSION,
+            auth: Some(mac.clone()),
+        };
+        let json = serde_json::to_string(&hello).unwrap();
+        match serde_json::from_str::<FromAgent>(&json).unwrap() {
+            FromAgent::Hello { auth, .. } => assert_eq!(auth, Some(mac)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sealed_envelope_round_trips_and_unseal_verifies() {
+        let key = crate::auth::session_key("s3cret", "nonce");
+        let inner = FromAgent::Error {
+            id: 7,
+            message: "boom".to_string(),
+        };
+        let sealed = seal(&key, 3, &inner).expect("seal");
+        let json = serde_json::to_string(&sealed).unwrap();
+        let (seq, mac, body) = match serde_json::from_str::<FromAgent>(&json).unwrap() {
+            FromAgent::Sealed { seq, mac, body } => (seq, mac, body),
+            other => panic!("wrong variant: {other:?}"),
+        };
+        assert_eq!(seq, 3);
+        match unseal(&key, seq, &mac, &body).expect("unseal") {
+            FromAgent::Error { id, message } => {
+                assert_eq!(id, 7);
+                assert_eq!(message, "boom");
+            }
+            other => panic!("wrong inner frame: {other:?}"),
+        }
+
+        // A flipped body byte, a wrong sequence number, or a wrong key
+        // all fail verification — the injector's three levers.
+        let tampered = body.replace("boom", "reek");
+        assert!(unseal(&key, seq, &mac, &tampered).is_err(), "tampered body");
+        assert!(unseal(&key, seq + 1, &mac, &body).is_err(), "wrong seq");
+        let other_key = crate::auth::session_key("s3cret", "other");
+        assert!(unseal(&other_key, seq, &mac, &body).is_err(), "wrong key");
+    }
+
+    /// Downlink sealing mirrors the uplink, and a reflected envelope is
+    /// inert: its MAC verifies (shared key and construction) but the
+    /// body parses only as the direction it was sealed in.
+    #[test]
+    fn downlink_sealed_envelope_round_trips_and_reflection_is_inert() {
+        let key = crate::auth::session_key("s3cret", "nonce");
+        let sealed = seal_down(&key, 5, &ToAgent::Shutdown).expect("seal");
+        let json = serde_json::to_string(&sealed).unwrap();
+        let (seq, mac, body) = match serde_json::from_str::<ToAgent>(&json).unwrap() {
+            ToAgent::Sealed { seq, mac, body } => (seq, mac, body),
+            other => panic!("wrong variant: {other:?}"),
+        };
+        assert_eq!(seq, 5);
+        assert!(matches!(
+            unseal_down(&key, seq, &mac, &body).expect("unseal"),
+            ToAgent::Shutdown
+        ));
+        let tampered = body.replace("shutdown", "shutdowm");
+        assert!(unseal_down(&key, seq, &mac, &tampered).is_err());
+        assert!(unseal_down(&key, seq + 1, &mac, &body).is_err());
+        // Reflection: the envelope verifies as an uplink frame too, but
+        // `shutdown` is not a FromAgent type, so the unseal still fails.
+        assert!(unseal(&key, seq, &mac, &body).is_err(), "reflected frame");
+    }
+
+    /// A v1 welcome (no `sealed` field) still parses — the field
+    /// defaults to false, keeping hand-rolled test peers simple.
+    #[test]
+    fn welcome_without_sealed_field_defaults_to_unsealed() {
+        let json = "{\"type\":\"welcome\",\"version\":2,\"heartbeat_interval_ms\":250}";
+        match serde_json::from_str::<ToAgent>(json).unwrap() {
+            ToAgent::Welcome { sealed, .. } => assert!(!sealed),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

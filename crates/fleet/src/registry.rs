@@ -67,11 +67,24 @@ pub(crate) struct Pending {
     pub _unit_done: Arc<UnitSlot>,
 }
 
+/// Downlink sealing state of one secured agent connection: the session
+/// key plus the coordinator's own strictly-increasing frame sequence.
+/// The number is assigned **under the writer lock** (see
+/// `coordinator::send_to_agent`), so sequence order always matches
+/// stream order and the agent's monotonic policy never trips.
+pub(crate) struct DownlinkSeal {
+    pub key: [u8; 32],
+    pub next_seq: AtomicU64,
+}
+
 /// One registered agent connection.
 pub(crate) struct AgentState {
     pub id: u64,
     pub addr: String,
     pub slots: usize,
+    /// `Some` on a secured fleet: every post-welcome frame to this agent
+    /// is wrapped in a [`crate::protocol::ToAgent::Sealed`] envelope.
+    pub seal: Option<DownlinkSeal>,
     /// The write half every dispatcher and the shutdown path share.
     pub writer: Mutex<Conn>,
     /// A handle used solely to sever the socket on death (all clones of
@@ -187,6 +200,7 @@ impl Registry {
         slots: usize,
         conn: Conn,
         writer: Conn,
+        session_key: Option<[u8; 32]>,
     ) -> Arc<AgentState> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.joined_total.fetch_add(1, Ordering::Relaxed);
@@ -194,6 +208,10 @@ impl Registry {
             id,
             addr,
             slots,
+            seal: session_key.map(|key| DownlinkSeal {
+                key,
+                next_seq: AtomicU64::new(1),
+            }),
             writer: Mutex::new(writer),
             conn,
             dead: AtomicBool::new(false),

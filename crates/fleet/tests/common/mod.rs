@@ -65,6 +65,7 @@ pub fn thread_agent(
             &bside_fleet::AgentOptions {
                 slots,
                 dial_timeout: Some(std::time::Duration::from_secs(10)),
+                ..bside_fleet::AgentOptions::default()
             },
         )
     })

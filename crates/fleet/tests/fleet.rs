@@ -27,6 +27,15 @@ fn tcp0() -> Endpoint {
     Endpoint::Tcp("127.0.0.1:0".to_string())
 }
 
+/// Every connection opens with the coordinator's challenge; hand-crafted
+/// peers must consume it before the reply they actually care about.
+fn expect_challenge(reader: &mut BufReader<Conn>) {
+    match read_message_capped::<ToAgent>(reader, MAX_FLEET_LINE_BYTES).expect("challenge") {
+        Some(ToAgent::Challenge { nonce }) => assert!(!nonce.is_empty()),
+        other => panic!("expected challenge, got {other:?}"),
+    }
+}
+
 #[test]
 fn two_tcp_agents_reproduce_the_in_process_report() {
     let (corpus_dir, units) = materialize("two_agents", 10);
@@ -77,12 +86,14 @@ fn capability_hello_gates_admission() {
     let conn = Conn::connect(handle.endpoint()).expect("dial");
     let mut writer = conn.try_clone().expect("clone");
     let mut reader = BufReader::new(conn);
+    expect_challenge(&mut reader);
     write_message(
         &mut writer,
         &FromAgent::Hello {
             version: PROTOCOL_VERSION + 1,
             slots: 1,
             cache_format: bside_fleet::protocol::CACHE_FORMAT_VERSION,
+            auth: None,
         },
     )
     .expect("hello");
@@ -97,12 +108,14 @@ fn capability_hello_gates_admission() {
     let conn = Conn::connect(handle.endpoint()).expect("dial");
     let mut writer = conn.try_clone().expect("clone");
     let mut reader = BufReader::new(conn);
+    expect_challenge(&mut reader);
     write_message(
         &mut writer,
         &FromAgent::Hello {
             version: PROTOCOL_VERSION,
             slots: 1,
             cache_format: bside_fleet::protocol::CACHE_FORMAT_VERSION + 7,
+            auth: None,
         },
     )
     .expect("hello");
@@ -117,6 +130,7 @@ fn capability_hello_gates_admission() {
     let conn = Conn::connect(handle.endpoint()).expect("dial");
     let mut writer = conn.try_clone().expect("clone");
     let mut reader = BufReader::new(conn);
+    expect_challenge(&mut reader);
     write_message(&mut writer, &FromAgent::Heartbeat).expect("frame");
     match read_message_capped::<ToAgent>(&mut reader, MAX_FLEET_LINE_BYTES).expect("reply") {
         Some(ToAgent::Reject { message }) => {
@@ -195,12 +209,14 @@ fn silent_agent_is_declared_dead_and_its_units_requeued() {
     let mute = Conn::connect(handle.endpoint()).expect("dial");
     let mut mute_writer = mute.try_clone().expect("clone");
     let mut mute_reader = BufReader::new(mute.try_clone().expect("clone"));
+    expect_challenge(&mut mute_reader);
     write_message(
         &mut mute_writer,
         &FromAgent::Hello {
             version: PROTOCOL_VERSION,
             slots: 2,
             cache_format: bside_fleet::protocol::CACHE_FORMAT_VERSION,
+            auth: None,
         },
     )
     .expect("hello");

@@ -8,9 +8,7 @@ mod common;
 
 use bside_core::AnalyzerOptions;
 use bside_fleet::{serve_offload, FleetCoordinator, FleetOptions};
-use bside_serve::{
-    derive_bundle, Endpoint, PolicyClient, PolicyServer, ServeError, ServeOptions, Source,
-};
+use bside_serve::{derive_bundle, Endpoint, PolicyClient, PolicyServer, ServeOptions, Source};
 use common::{materialize, temp_dir, thread_agent};
 use std::time::Duration;
 
@@ -133,13 +131,14 @@ fn cold_storm_composes_with_single_flight_into_one_fleet_unit() {
 }
 
 #[test]
-fn a_downed_fleet_degrades_to_an_in_band_error_not_a_hang() {
-    let (corpus_dir, units) = materialize("offload_down", 1);
+fn a_downed_fleet_degrades_to_a_local_answer_not_an_error() {
+    let (corpus_dir, units) = materialize("offload_down", 2);
     let dir = temp_dir("offload_down_daemon");
     std::fs::create_dir_all(&dir).expect("scratch");
 
     // Shut the fleet down before the daemon ever uses it: submissions
-    // fail fast, and the client sees the in-band error.
+    // fail fast, and the daemon's circuit-breaker fallback answers
+    // every request from the local pipeline instead.
     let fleet = FleetCoordinator::bind(&tcp0(), FleetOptions::default()).expect("fleet bind");
     let submitter = fleet.submitter();
     fleet.shutdown();
@@ -148,6 +147,7 @@ fn a_downed_fleet_degrades_to_an_in_band_error_not_a_hang() {
         &Endpoint::Unix(dir.join("bside.sock")),
         ServeOptions {
             remote_analyzer: Some(serve_offload(submitter, Duration::from_secs(60))),
+            breaker_threshold: 1,
             read_timeout: Duration::from_secs(10),
             ..ServeOptions::default()
         },
@@ -155,14 +155,27 @@ fn a_downed_fleet_degrades_to_an_in_band_error_not_a_hang() {
     .expect("daemon spawns");
 
     let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
-    let err = client
-        .fetch_path(units[0].1.to_str().expect("utf8"))
-        .expect_err("offload must fail in band");
+    for (name, path) in &units {
+        let fetch = client
+            .fetch_path(path.to_str().expect("utf8"))
+            .expect("a downed fleet must degrade, not fail the client");
+        assert_eq!(fetch.source, Source::Analyzed);
+        let bytes = std::fs::read(path).expect("unit bytes");
+        let local = derive_bundle(name, &bytes, &AnalyzerOptions::default(), None)
+            .expect("local derivation");
+        assert_eq!(
+            serde_json::to_string(&fetch.bundle).unwrap(),
+            serde_json::to_string(&local).unwrap(),
+            "degraded bundle for {name} differs from a local derivation"
+        );
+    }
+    let stats = client.stats().expect("stats");
     assert!(
-        matches!(&err, ServeError::Server(m) if m.contains("fleet")),
-        "got {err}"
+        stats.degraded >= 1,
+        "degradation must be counted: {stats:?}"
     );
-    client.ping().expect("connection survived the failure");
+    assert_eq!(stats.breaker_state, 1, "threshold 1: one failure opens it");
+    assert_eq!(stats.errors, 0, "no client-visible failures");
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&corpus_dir);
@@ -170,11 +183,12 @@ fn a_downed_fleet_degrades_to_an_in_band_error_not_a_hang() {
 }
 
 /// The zero-agent hazard: a daemon offloading to a fleet nobody has
-/// joined must answer cold fetches with a bounded in-band error — not
-/// pin a pool worker forever on a unit no agent will ever pull (which
-/// would wedge the pool, and then wedge shutdown behind the pool).
+/// joined must answer cold fetches within a bounded wait — the offload
+/// budget expires, the unit is abandoned, and the local fallback
+/// derives the bundle — instead of pinning a pool worker forever on a
+/// unit no agent will ever pull.
 #[test]
-fn offload_with_no_agents_times_out_in_band_and_the_daemon_stays_serviceable() {
+fn offload_with_no_agents_degrades_within_the_budget_and_stays_serviceable() {
     let (corpus_dir, units) = materialize("offload_empty", 1);
     let dir = temp_dir("offload_empty_daemon");
     std::fs::create_dir_all(&dir).expect("scratch");
@@ -193,17 +207,16 @@ fn offload_with_no_agents_times_out_in_band_and_the_daemon_stays_serviceable() {
 
     let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
     let t0 = std::time::Instant::now();
-    let err = client
+    let fetch = client
         .fetch_path(units[0].1.to_str().expect("utf8"))
-        .expect_err("no agents: the offload must fail, not hang");
+        .expect("no agents: the budget expires and the local fallback answers");
+    assert_eq!(fetch.source, Source::Analyzed);
     assert!(
-        matches!(&err, ServeError::Server(m) if m.contains("timed out")),
-        "got {err}"
+        t0.elapsed() < Duration::from_secs(20),
+        "the wait is bounded by the offload budget plus one local analysis"
     );
-    assert!(
-        t0.elapsed() < Duration::from_secs(10),
-        "the failure is bounded by the offload budget"
-    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.degraded, 1, "the timed-out offload is degradation");
     // The pool worker is free again, and shutdown completes.
     client.ping().expect("daemon still serviceable");
     server.shutdown();

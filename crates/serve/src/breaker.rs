@@ -1,0 +1,229 @@
+//! Circuit breaker for the remote-offload path: graceful degradation
+//! instead of failure amplification.
+//!
+//! When `bside serve --fleet` loses its fleet (agents dead, coordinator
+//! partitioned), every cold fetch would otherwise burn the full offload
+//! wait budget before falling back — a self-inflicted brownout. The
+//! breaker is the classic three-state machine around the remote call:
+//!
+//! * **closed** — remote calls flow; each failure increments a
+//!   consecutive-failure counter, and reaching the threshold opens the
+//!   breaker. Any success resets the counter.
+//! * **open** — remote calls are skipped outright (the caller goes
+//!   straight to its local fallback) until the cooldown elapses.
+//! * **half-open** — after the cooldown, exactly **one** probe call is
+//!   let through: success closes the breaker, failure re-opens it for
+//!   another cooldown. Concurrent callers during the probe are treated
+//!   as open (local fallback) rather than piling onto a possibly-sick
+//!   fleet.
+//!
+//! Time is passed in explicitly (`Instant` parameters), so the state
+//! machine is testable without sockets or sleeps — the unit tests below
+//! walk closed → open → half-open → closed with a synthetic clock.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The breaker's externally visible state (also surfaced as a numeric
+/// code in the serve stats snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Remote calls flow normally.
+    Closed,
+    /// Remote calls are skipped until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; everyone else falls back locally.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for the stats snapshot: 0 closed, 1 open,
+    /// 2 half-open.
+    pub fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A consecutive-failure circuit breaker with timed half-open probes.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures (clamped to ≥1) and probes again `cooldown` after
+    /// opening.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// Asks permission to attempt the remote call *now*. `false` means
+    /// skip the call and use the local fallback. A `true` from the open
+    /// state admits the single half-open probe; the caller **must**
+    /// report the outcome via [`Self::record_success`] or
+    /// [`Self::record_failure`], or the breaker stays half-open until
+    /// another cooldown admits a fresh probe.
+    pub fn try_acquire(&self, now: Instant) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let ripe = inner
+                    .opened_at
+                    .is_none_or(|at| now.duration_since(at) >= self.cooldown);
+                if ripe {
+                    inner.state = BreakerState::HalfOpen;
+                    true // this caller is the probe
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => false, // a probe is already out
+        }
+    }
+
+    /// The remote call succeeded: close the breaker and forget the
+    /// failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// The remote call failed at `now`: extend the streak (opening the
+    /// breaker at the threshold), or — for a failed half-open probe —
+    /// re-open for another cooldown.
+    pub fn record_failure(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(now);
+                }
+            }
+            BreakerState::HalfOpen | BreakerState::Open => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(now);
+            }
+        }
+    }
+
+    /// The current state (for the stats snapshot and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_secs(5);
+
+    /// The full life cycle on a synthetic clock: closed → (threshold
+    /// failures) → open → (cooldown) → half-open single probe →
+    /// closed on success. No sockets, no sleeps.
+    #[test]
+    fn closed_open_half_open_closed_on_a_synthetic_clock() {
+        let breaker = CircuitBreaker::new(3, COOLDOWN);
+        let t0 = Instant::now();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+
+        // Two failures: still closed (threshold is 3).
+        for _ in 0..2 {
+            assert!(breaker.try_acquire(t0));
+            breaker.record_failure(t0);
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
+
+        // Third consecutive failure opens it.
+        assert!(breaker.try_acquire(t0));
+        breaker.record_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(
+            !breaker.try_acquire(t0 + COOLDOWN / 2),
+            "open within the cooldown: remote skipped"
+        );
+
+        // Cooldown elapses: exactly one probe is admitted.
+        let probe_time = t0 + COOLDOWN;
+        assert!(breaker.try_acquire(probe_time), "the half-open probe");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(
+            !breaker.try_acquire(probe_time),
+            "concurrent callers during the probe fall back locally"
+        );
+
+        // Probe succeeds: closed, streak forgotten.
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.try_acquire(probe_time));
+    }
+
+    #[test]
+    fn a_failed_probe_reopens_for_a_fresh_cooldown() {
+        let breaker = CircuitBreaker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        assert!(breaker.try_acquire(t0));
+        breaker.record_failure(t0);
+        assert_eq!(breaker.state(), BreakerState::Open);
+
+        let t1 = t0 + COOLDOWN;
+        assert!(breaker.try_acquire(t1), "probe admitted");
+        breaker.record_failure(t1);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(
+            !breaker.try_acquire(t1 + COOLDOWN / 2),
+            "the failed probe bought a whole new cooldown"
+        );
+        assert!(breaker.try_acquire(t1 + COOLDOWN), "and then probes again");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak_in_closed_state() {
+        let breaker = CircuitBreaker::new(3, COOLDOWN);
+        let t0 = Instant::now();
+        for round in 0..5 {
+            assert!(breaker.try_acquire(t0));
+            breaker.record_failure(t0);
+            assert!(breaker.try_acquire(t0));
+            breaker.record_failure(t0);
+            breaker.record_success();
+            assert_eq!(
+                breaker.state(),
+                BreakerState::Closed,
+                "round {round}: interleaved successes must keep it closed"
+            );
+        }
+    }
+
+    #[test]
+    fn state_codes_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::Open.code(), 1);
+        assert_eq!(BreakerState::HalfOpen.code(), 2);
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod client;
 pub(crate) mod flight;
 pub mod net;
@@ -53,6 +54,7 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
+pub use breaker::{BreakerState, CircuitBreaker};
 pub use client::{PolicyClient, PolicyFetch, ServeError};
 pub use net::{Conn, Endpoint};
 pub use protocol::{PolicyBundle, Reply, Request, Source, StatsSnapshot, PROTOCOL_VERSION};

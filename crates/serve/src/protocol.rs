@@ -8,7 +8,7 @@
 //! client receives is exactly what a local derivation would serialize.
 //!
 //! ```text
-//! server → client   {"type":"hello","version":2,"generation":7}           (once, on connect)
+//! server → client   {"type":"hello","version":3,"generation":7}           (once, on connect)
 //! client → server   {"type":"policy","path":"/corpus/000_redis.elf"}
 //!                   {"type":"policy_by_key","key":"9f2c…"}
 //!                   {"type":"invalidate","key":"9f2c…"}
@@ -25,7 +25,9 @@
 //! carrying its [`PROTOCOL_VERSION`]; clients refuse a mismatched server
 //! instead of mis-parsing replies, exactly as the dist coordinator
 //! refuses mismatched workers. v2 added the generation counter,
-//! `invalidate`/`watch`, and the `Coalesced` source.
+//! `invalidate`/`watch`, and the `Coalesced` source; v3 added the
+//! degraded-mode fields (`degraded`, `breaker_state`) to the stats
+//! snapshot.
 //!
 //! **Error replies.** A request that cannot be answered (unreadable
 //! file, unknown key, analysis failure) produces a `{"type":"error"}`
@@ -58,7 +60,9 @@ pub use bside_dist::protocol::{read_message, read_message_capped, write_message}
 
 /// Protocol revision; bumped on any incompatible message change.
 /// v2: generation counter, `invalidate`/`watch`, `Coalesced` source.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: degraded-mode accounting (`degraded`, `breaker_state`) in the
+/// stats snapshot.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on one *request* line the server will read (enforced via
 /// the workspace-shared [`read_message_capped`] codec, so the cap
@@ -138,6 +142,13 @@ pub struct StatsSnapshot {
     pub store_entries: u64,
     /// The store's generation at snapshot time.
     pub generation: u64,
+    /// Policy requests answered by the **local** fallback because the
+    /// remote offload failed or its circuit breaker was open — the
+    /// degraded-mode gauge operators watch when a fleet goes away.
+    pub degraded: u64,
+    /// The offload circuit breaker's state at snapshot time: 0 closed,
+    /// 1 open, 2 half-open (always 0 without a remote analyzer).
+    pub breaker_state: u64,
 }
 
 serde::impl_serde_struct!(StatsSnapshot {
@@ -151,7 +162,9 @@ serde::impl_serde_struct!(StatsSnapshot {
     errors,
     panics,
     store_entries,
-    generation
+    generation,
+    degraded,
+    breaker_state
 });
 
 /// Messages a client sends to the server.
@@ -520,6 +533,8 @@ mod tests {
                 panics: 0,
                 store_entries: 2,
                 generation: 3,
+                degraded: 6,
+                breaker_state: 1,
             },
         });
         round_trip_reply(Reply::Pong);

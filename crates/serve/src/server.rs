@@ -41,6 +41,7 @@
 //! removed. [`ServerHandle::join`] returns only after every thread has
 //! exited.
 
+use crate::breaker::CircuitBreaker;
 use crate::flight::{FlightTable, Ticket};
 use crate::net::{cleanup, is_timeout, Conn, Endpoint, Listener};
 use crate::protocol::{
@@ -114,6 +115,12 @@ pub struct ServeOptions {
     /// Dynamic binaries stay local — they need this daemon's
     /// shared-interface store.
     pub remote_analyzer: Option<RemoteAnalyzer>,
+    /// Consecutive remote-offload failures that open the circuit
+    /// breaker (every request then derives locally — degraded, but
+    /// answered — until a half-open probe succeeds).
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before letting one probe through.
+    pub breaker_cooldown: Duration,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -128,6 +135,8 @@ impl std::fmt::Debug for ServeOptions {
             .field("panic_on_substr", &self.panic_on_substr)
             .field("analysis_hook", &self.analysis_hook.is_some())
             .field("remote_analyzer", &self.remote_analyzer.is_some())
+            .field("breaker_threshold", &self.breaker_threshold)
+            .field("breaker_cooldown", &self.breaker_cooldown)
             .finish()
     }
 }
@@ -144,6 +153,8 @@ impl Default for ServeOptions {
             panic_on_substr: None,
             analysis_hook: None,
             remote_analyzer: None,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
         }
     }
 }
@@ -159,6 +170,7 @@ struct Counters {
     bytes_read: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
+    degraded: AtomicU64,
 }
 
 /// One `(len, mtime) → store key` memo entry; lets a repeat request for
@@ -226,6 +238,9 @@ struct Shared {
     endpoint: Endpoint,
     shutdown: AtomicBool,
     stats: Counters,
+    /// Gates the remote-offload path; permanently closed (and unused)
+    /// without a [`ServeOptions::remote_analyzer`].
+    breaker: CircuitBreaker,
 }
 
 /// How long the watcher thread waits per sweep — also the bound on how
@@ -275,6 +290,8 @@ impl Shared {
             panics: self.stats.panics.load(Ordering::Relaxed),
             store_entries: self.store.len() as u64,
             generation: self.store.generation(),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            breaker_state: self.breaker.state().code(),
         }
     }
 
@@ -557,20 +574,47 @@ impl Shared {
                 if let Some(hook) = &self.options.analysis_hook {
                     hook(&key);
                 }
+                let derive_locally = || {
+                    let libs = (!self.libraries.is_empty()).then_some(&self.libraries);
+                    match &parsed {
+                        Some((elf, _)) => {
+                            derive_bundle_parsed(&name, elf, &self.options.analyzer, libs)
+                        }
+                        None => derive_bundle(&name, &bytes, &self.options.analyzer, libs),
+                    }
+                };
                 let derived = match (&self.options.remote_analyzer, lib_fp) {
                     // Offload only what the fleet can actually derive: a
                     // dynamic binary needs this daemon's shared-interface
-                    // store, so it stays local even under --fleet.
-                    (Some(remote), None) => remote(&name, path, &bytes),
-                    _ => {
-                        let libs = (!self.libraries.is_empty()).then_some(&self.libraries);
-                        match &parsed {
-                            Some((elf, _)) => {
-                                derive_bundle_parsed(&name, elf, &self.options.analyzer, libs)
+                    // store, so it stays local even under --fleet. The
+                    // circuit breaker turns a dead fleet into graceful
+                    // degradation: failures fall back to the local
+                    // pipeline (counted in `degraded`), and once the
+                    // breaker opens, requests skip the doomed remote
+                    // call — and its wait budget — entirely.
+                    (Some(remote), None) => {
+                        if self.breaker.try_acquire(std::time::Instant::now()) {
+                            match remote(&name, path, &bytes) {
+                                Ok(bundle) => {
+                                    self.breaker.record_success();
+                                    Ok(bundle)
+                                }
+                                Err(message) => {
+                                    self.breaker.record_failure(std::time::Instant::now());
+                                    self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                                    eprintln!(
+                                        "bside-serve: fleet offload failed ({message}); \
+                                         deriving {name} locally"
+                                    );
+                                    derive_locally()
+                                }
                             }
-                            None => derive_bundle(&name, &bytes, &self.options.analyzer, libs),
+                        } else {
+                            self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                            derive_locally()
                         }
                     }
+                    _ => derive_locally(),
                 };
                 match derived {
                     Ok(bundle) => {
@@ -788,6 +832,7 @@ impl PolicyServer {
             }
         }
         let threads = options.threads.max(1);
+        let breaker = CircuitBreaker::new(options.breaker_threshold, options.breaker_cooldown);
         let shared = Arc::new(Shared {
             store,
             libraries,
@@ -800,6 +845,7 @@ impl PolicyServer {
             endpoint: resolved,
             shutdown: AtomicBool::new(false),
             stats: Counters::default(),
+            breaker,
         });
 
         let (tx, rx) = channel::<Work>();

@@ -1,0 +1,169 @@
+//! Graceful degradation of the remote-offload path: a daemon whose
+//! fleet fails (or disappears entirely) must answer **every** policy
+//! request from its local pipeline, count the degradation, and stop
+//! paying the remote's latency once the circuit breaker opens — and
+//! close the breaker again via a half-open probe when the fleet heals.
+//!
+//! The remote analyzer here is a fake closure (no sockets): these tests
+//! pin the server ↔ breaker contract itself, independently of the fleet
+//! crate's transport. The fleet-side composition is covered by
+//! `bside-fleet/tests/offload.rs`.
+
+use bside_core::AnalyzerOptions;
+use bside_gen::corpus::{corpus_with_size, DEFAULT_SEED};
+use bside_serve::{derive_bundle, Endpoint, PolicyClient, PolicyServer, ServeOptions, Source};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bside_degraded_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus_units(dir: &std::path::Path, n: usize) -> Vec<(String, PathBuf)> {
+    corpus_with_size(DEFAULT_SEED, n, 0, 0)
+        .materialize_static(dir)
+        .expect("materialize corpus")
+}
+
+#[test]
+fn failing_remote_degrades_to_local_answers_and_opens_the_breaker() {
+    let dir = temp_dir("breaker_opens");
+    let units = corpus_units(&dir.join("corpus"), 5);
+
+    // A permanently sick remote: every call fails. The daemon must
+    // still answer every request (locally), and after `threshold`
+    // consecutive failures the breaker must stop invoking the remote
+    // at all.
+    let remote_calls = Arc::new(AtomicU64::new(0));
+    let counted = Arc::clone(&remote_calls);
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            remote_analyzer: Some(Arc::new(move |_: &str, _: &str, _: &[u8]| {
+                counted.fetch_add(1, Ordering::SeqCst);
+                Err("fleet offload failed after 1 attempt(s): no agents".to_string())
+            })),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(600), // never half-opens in this test
+            read_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    for (name, path) in &units {
+        let fetch = client
+            .fetch_path(path.to_str().expect("utf8"))
+            .expect("every request is answered despite the dead fleet");
+        assert_eq!(fetch.source, Source::Analyzed);
+        // The degraded answer is the real answer: byte-identical to a
+        // local derivation.
+        let bytes = std::fs::read(path).expect("unit bytes");
+        let local = derive_bundle(name, &bytes, &AnalyzerOptions::default(), None)
+            .expect("local derivation");
+        assert_eq!(
+            serde_json::to_string(&fetch.bundle).unwrap(),
+            serde_json::to_string(&local).unwrap(),
+            "degraded bundle for {name} differs from a local derivation"
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.degraded,
+        units.len() as u64,
+        "every cold fetch was served degraded"
+    );
+    assert_eq!(stats.breaker_state, 1, "breaker must be open");
+    assert_eq!(stats.errors, 0, "degradation must not surface as errors");
+    assert_eq!(
+        remote_calls.load(Ordering::SeqCst),
+        2,
+        "after the threshold, the breaker skips the remote entirely"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_remote_closes_the_breaker_via_a_half_open_probe() {
+    let dir = temp_dir("breaker_recovers");
+    let units = corpus_units(&dir.join("corpus"), 3);
+
+    // A remote that fails twice (opening the threshold-2 breaker) and
+    // then heals: derive for real from call 3 on.
+    let remote_calls = Arc::new(AtomicU64::new(0));
+    let counted = Arc::clone(&remote_calls);
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            remote_analyzer: Some(Arc::new(move |name: &str, _: &str, bytes: &[u8]| {
+                if counted.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("fleet offload failed: coordinator restarting".to_string())
+                } else {
+                    derive_bundle(name, bytes, &AnalyzerOptions::default(), None)
+                }
+            })),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(100),
+            read_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    // Two failures open the breaker (both answered locally).
+    for (_, path) in units.iter().take(2) {
+        client
+            .fetch_path(path.to_str().expect("utf8"))
+            .expect("degraded but answered");
+    }
+    assert_eq!(client.stats().expect("stats").breaker_state, 1, "open");
+
+    // After the cooldown, the next fetch is the half-open probe; the
+    // healed remote answers it and the breaker closes.
+    std::thread::sleep(Duration::from_millis(150));
+    let fetch = client
+        .fetch_path(units[2].1.to_str().expect("utf8"))
+        .expect("probe fetch");
+    assert_eq!(fetch.source, Source::Analyzed);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.breaker_state, 0, "probe success must close it");
+    assert_eq!(stats.degraded, 2, "the probe itself was not degraded");
+    assert_eq!(remote_calls.load(Ordering::SeqCst), 3);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_daemon_without_a_remote_reports_a_closed_breaker_and_no_degradation() {
+    let dir = temp_dir("no_remote");
+    let units = corpus_units(&dir.join("corpus"), 1);
+
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(dir.join("bside.sock")),
+        ServeOptions {
+            read_timeout: Duration::from_secs(10),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon spawns");
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    client
+        .fetch_path(units[0].1.to_str().expect("utf8"))
+        .expect("local fetch");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.breaker_state, 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

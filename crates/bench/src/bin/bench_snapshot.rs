@@ -783,6 +783,80 @@ fn run_cold_storm_in(
     })
 }
 
+/// The telemetry-overhead measurement: the serve and fleet legs timed
+/// twice — once with span/histogram recording on (the default) and once
+/// with [`bside_obs::set_enabled`]`(false)` turning every record site
+/// into a relaxed load and a branch. The acceptance bar is the enabled
+/// figure staying within a few percent of the no-op figure; the gap is
+/// what observability costs on the hot paths.
+struct TelemetryOverheadResult {
+    serve_on: ServeBenchResult,
+    serve_off: ServeBenchResult,
+    fleet_on: FleetBenchResult,
+    fleet_off: FleetBenchResult,
+}
+
+/// `(on - off) / off`, as a percentage: positive means the instrumented
+/// run was slower.
+fn overhead_pct(on_wall: Duration, off_wall: Duration) -> f64 {
+    let off = off_wall.as_secs_f64().max(1e-9);
+    (on_wall.as_secs_f64() - off) / off * 100.0
+}
+
+fn run_telemetry_overhead(
+    fleet_slots: usize,
+    images: &[(String, Vec<u8>)],
+) -> Option<TelemetryOverheadResult> {
+    // The serve passes are short (~200 sub-millisecond requests), so
+    // the enabled and disabled runs are *interleaved* per round and the
+    // best of each side kept: an on-block-then-off-block design hands
+    // the second block warmed caches and settled CPU state, which on a
+    // small container dwarfs what the instrumentation itself costs.
+    let mut serve_on: Option<ServeBenchResult> = None;
+    let mut serve_off: Option<ServeBenchResult> = None;
+    let serve_ok = (|| -> Option<()> {
+        for _ in 0..REPEATS {
+            bside_obs::set_enabled(true);
+            let on = run_serve(2, 100, images)?;
+            if serve_on.as_ref().is_none_or(|b| on.wall < b.wall) {
+                serve_on = Some(on);
+            }
+            bside_obs::set_enabled(false);
+            let off = run_serve(2, 100, images)?;
+            if serve_off.as_ref().is_none_or(|b| off.wall < b.wall) {
+                serve_off = Some(off);
+            }
+        }
+        Some(())
+    })();
+    bside_obs::set_enabled(true);
+    serve_ok?;
+    let fleet_on = run_fleet(2, fleet_slots, images);
+    bside_obs::set_enabled(false);
+    let fleet_off = run_fleet(2, fleet_slots, images);
+    bside_obs::set_enabled(true);
+    Some(TelemetryOverheadResult {
+        serve_on: serve_on?,
+        serve_off: serve_off?,
+        fleet_on: fleet_on?,
+        fleet_off: fleet_off?,
+    })
+}
+
+fn telemetry_overhead_json(r: &TelemetryOverheadResult, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"serve\": {{ \"enabled_rps\": {:.1}, \"disabled_rps\": {:.1}, \"enabled_p99_us\": {}, \"disabled_p99_us\": {}, \"overhead_pct\": {:.2} }},\n{indent}  \"fleet\": {{ \"enabled_units_per_s\": {:.1}, \"disabled_units_per_s\": {:.1}, \"overhead_pct\": {:.2} }}\n{indent}}}",
+        r.serve_on.throughput_rps(),
+        r.serve_off.throughput_rps(),
+        r.serve_on.percentile_us(0.99),
+        r.serve_off.percentile_us(0.99),
+        overhead_pct(r.serve_on.wall, r.serve_off.wall),
+        r.fleet_on.units_per_s(),
+        r.fleet_off.units_per_s(),
+        overhead_pct(r.fleet_on.wall, r.fleet_off.wall),
+    )
+}
+
 fn cold_storm_json(r: &ColdStormResult, indent: &str) -> String {
     format!(
         "{{\n{indent}  \"clients\": {},\n{indent}  \"cold_keys\": 1,\n{indent}  \"wall_us\": {},\n{indent}  \"analyses\": {},\n{indent}  \"coalesced\": {},\n{indent}  \"duplicated\": {},\n{indent}  \"store_hits\": {}\n{indent}}}",
@@ -1035,8 +1109,34 @@ fn main() {
         }
     };
 
+    // Telemetry-overhead configuration: serve and fleet timed with span
+    // and histogram recording on vs off — what the observability spine
+    // costs where it matters.
+    let overhead = run_telemetry_overhead(fleet_slots, &images);
+    let overhead_json_str = match &overhead {
+        Some(o) => {
+            eprintln!(
+                "  telemetry-overhead (serve): {:.0} req/s enabled vs {:.0} req/s disabled ({:+.2}% wall)",
+                o.serve_on.throughput_rps(),
+                o.serve_off.throughput_rps(),
+                overhead_pct(o.serve_on.wall, o.serve_off.wall),
+            );
+            eprintln!(
+                "  telemetry-overhead (fleet): {:.1} units/s enabled vs {:.1} units/s disabled ({:+.2}% wall)",
+                o.fleet_on.units_per_s(),
+                o.fleet_off.units_per_s(),
+                overhead_pct(o.fleet_on.wall, o.fleet_off.wall),
+            );
+            telemetry_overhead_json(o, "  ")
+        }
+        None => {
+            eprintln!("  telemetry-overhead: skipped (cause above)");
+            "null".to_string()
+        }
+    };
+
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {},\n  \"telemetry_overhead\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -1049,6 +1149,7 @@ fn main() {
         serve_json_str,
         storm_json_str,
         chaos_json_str,
+        overhead_json_str,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("  wrote {out_path}");

@@ -11,6 +11,7 @@ use crate::analyzer_options_from_env;
 use bside_core::phase::{detect_phases, PhaseOptions};
 use bside_core::{Analyzer, LibraryStore};
 use bside_filter::FilterPolicy;
+use bside_obs as obs;
 use bside_serve::{Endpoint, PolicyClient, PolicyServer, ServeOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -49,7 +50,8 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         name: "corpus",
         synopsis: "<dir> [--workers N] [--fleet LISTEN_ADDR] [--fleet-secret SECRET] \
                    [--heartbeat-secs SECS] [--unit-timeout-secs SECS] [--max-attempts N] \
-                   [--cache DIR] [--timeout SECS] [--in-process] [--report]",
+                   [--cache DIR] [--timeout SECS] [--in-process] [--report] \
+                   [--trace-out FILE] [--metrics-dump]",
         run: cmd_corpus,
     },
     Subcommand {
@@ -66,13 +68,14 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "agent",
         synopsis: "--connect HOST:PORT [--slots N] [--dial-timeout SECS] \
-                   [--fleet-secret SECRET] [--heartbeat-secs SECS] [--no-reconnect]",
+                   [--fleet-secret SECRET] [--heartbeat-secs SECS] [--no-reconnect] \
+                   [--metrics-dump]",
         run: cmd_agent,
     },
     Subcommand {
         name: "policy",
-        synopsis: "(<elf> [--json|--bpf] | --invalidate KEY | --watch | --stats | --ping | \
-                   --shutdown) (--socket PATH | --tcp ADDR)",
+        synopsis: "(<elf> [--json|--bpf] | --invalidate KEY | --watch | --stats | --metrics | \
+                   --ping | --shutdown) (--socket PATH | --tcp ADDR)",
         run: cmd_policy,
     },
     Subcommand {
@@ -322,6 +325,8 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
     let mut timeout_secs: Option<u64> = None;
     let mut in_process = false;
     let mut want_report = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_dump = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -389,6 +394,8 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
             }
             "--in-process" => in_process = true,
             "--report" => want_report = true,
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs FILE")?.clone()),
+            "--metrics-dump" => metrics_dump = true,
             other if dir.is_none() => dir = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other}").into()),
         }
@@ -490,6 +497,7 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
         }
         let failed = rows.iter().filter(|(_, r)| r.is_err()).count();
         eprintln!("# in-process: {} binarie(s), {} failed", rows.len(), failed);
+        dump_telemetry(trace_out.as_deref(), metrics_dump)?;
         if failed > 0 {
             return Err(format!("{failed} corpus unit(s) failed").into());
         }
@@ -526,6 +534,7 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
                 max_attempts: max_attempts.unwrap_or(defaults.max_attempts),
                 cache_dir: cache_dir.map(std::path::PathBuf::from),
                 secret,
+                registry: Some(obs::global()),
             },
         )?;
         eprintln!(
@@ -588,6 +597,7 @@ fn cmd_corpus(args: &[String]) -> CmdResult {
         "# {}: {} unit(s) over {} {}: {} cached, {} retried, {} crash(es), {} timeout(s), {} failure(s)",
         mode.0, s.units, s.workers, mode.1, s.cache_hits, s.retries, s.worker_crashes, s.timeouts, s.failures
     );
+    dump_telemetry(trace_out.as_deref(), metrics_dump)?;
     if s.failures > 0 {
         return Err(format!("{} corpus unit(s) failed", s.failures).into());
     }
@@ -601,6 +611,7 @@ fn cmd_agent(args: &[String]) -> CmdResult {
     let mut fleet_secret: Option<String> = None;
     let mut heartbeat_cap: Option<u64> = None;
     let mut reconnect = true;
+    let mut metrics_dump = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -638,6 +649,7 @@ fn cmd_agent(args: &[String]) -> CmdResult {
                 heartbeat_cap = Some(secs);
             }
             "--no-reconnect" => reconnect = false,
+            "--metrics-dump" => metrics_dump = true,
             other => return Err(format!("unexpected argument {other}").into()),
         }
     }
@@ -668,6 +680,7 @@ fn cmd_agent(args: &[String]) -> CmdResult {
         "bside agent: coordinator said goodbye after {} unit(s) over {} session(s); exiting",
         report.units, report.sessions
     );
+    dump_telemetry(None, metrics_dump)?;
     Ok(())
 }
 
@@ -727,6 +740,24 @@ fn cmd_gen_corpus(args: &[String]) -> CmdResult {
             units.len(),
             libs.len()
         );
+    }
+    Ok(())
+}
+
+/// The export tail `--trace-out` / `--metrics-dump` share: drains every
+/// span ring into one Chrome trace-event JSON file (load it in
+/// `chrome://tracing` or Perfetto) and prints the process-global
+/// registry in Prometheus text exposition format — the same rendering
+/// the serve daemon's `metrics` request returns.
+fn dump_telemetry(trace_out: Option<&str>, metrics_dump: bool) -> CmdResult {
+    if let Some(path) = trace_out {
+        let spans = obs::drain_trace();
+        std::fs::write(path, obs::chrome_trace_json(&spans))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("# trace: {} span(s) written to {path}", spans.len());
+    }
+    if metrics_dump {
+        print!("{}", obs::global().render_prometheus());
     }
     Ok(())
 }
@@ -800,6 +831,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         threads: threads.unwrap_or_else(crate::default_worker_count),
         analyzer: analyzer_options_from_env(),
         analysis_delay,
+        registry: Some(obs::global()),
         ..ServeOptions::default()
     };
     if fleet_listen.is_none() && fleet_secret.is_some() {
@@ -817,6 +849,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
                 bside_fleet::FleetOptions {
                     analyzer: options.analyzer.clone(),
                     secret,
+                    registry: Some(obs::global()),
                     ..bside_fleet::FleetOptions::default()
                 },
             )?;
@@ -880,6 +913,7 @@ fn cmd_policy(args: &[String]) -> CmdResult {
             }
             "--watch" => mode = Some("watch"),
             "--stats" => mode = Some("stats"),
+            "--metrics" => mode = Some("metrics"),
             "--ping" => mode = Some("ping"),
             "--shutdown" => mode = Some("shutdown"),
             other if elf.is_none() => elf = Some(other.to_string()),
@@ -892,7 +926,7 @@ fn cmd_policy(args: &[String]) -> CmdResult {
     // behind a cold analysis, and a watch blocks by design, so those
     // connections carry no read timeout.
     let mut client = match mode {
-        Some("stats") | Some("ping") | Some("shutdown") | Some("invalidate") => {
+        Some("stats") | Some("metrics") | Some("ping") | Some("shutdown") | Some("invalidate") => {
             PolicyClient::connect_with(&endpoint, Some(std::time::Duration::from_secs(30)))?
         }
         _ => PolicyClient::connect(&endpoint)?,
@@ -901,6 +935,10 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         Some("stats") => {
             let stats = client.stats()?;
             println!("{}", serde_json::to_string_pretty(&stats)?);
+            return Ok(());
+        }
+        Some("metrics") => {
+            print!("{}", client.metrics()?);
             return Ok(());
         }
         Some("ping") => {
@@ -937,8 +975,9 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         }
         _ => {}
     }
-    let elf =
-        elf.ok_or("missing <elf> argument (or --invalidate/--watch/--stats/--ping/--shutdown)")?;
+    let elf = elf.ok_or(
+        "missing <elf> argument (or --invalidate/--watch/--stats/--metrics/--ping/--shutdown)",
+    )?;
     // The daemon resolves the path on *its* filesystem; hand it an
     // absolute path so client and daemon working directories need not
     // agree.

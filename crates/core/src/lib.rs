@@ -59,10 +59,10 @@ pub mod wrapper;
 
 use bside_cfg::{Cfg, CfgOptions, FunctionSym};
 use bside_elf::Elf;
+use bside_obs as obs;
 use bside_symex::Limits;
 use bside_syscalls::SyscallSet;
 use std::fmt;
-use std::time::Instant;
 
 pub use identify::{SiteOutcome, SiteReport};
 pub use par::default_parallelism;
@@ -386,21 +386,35 @@ impl Analyzer {
         }
         let functions = Self::functions_of(elf);
 
-        let t0 = Instant::now();
-        let cfg = Cfg::build(text, text_vaddr, entries, &functions, &self.options.cfg);
-        let cfg_time = t0.elapsed();
+        // Each phase is one obs span; the span's own wall-clock is also
+        // what fills `PhaseTimings`, so phase times are measured once
+        // and reported two ways (report JSON and the trace) without
+        // ever disagreeing. Under a fleet/dist trace context the whole
+        // subtree parents to the dispatching machine's span.
+        let analyze_span = obs::span("analyze");
 
-        let t1 = Instant::now();
+        let phase = obs::span("cfg_recovery");
+        let cfg = Cfg::build(text, text_vaddr, entries, &functions, &self.options.cfg);
+        let cfg_time = phase.finish();
+
+        let phase = obs::span("wrapper_identification");
         let wrappers = if self.options.detect_wrappers {
             wrapper::detect_wrappers(&cfg, &self.options.limits)
         } else {
             Vec::new()
         };
-        let wrapper_time = t1.elapsed();
+        let wrapper_time = phase.finish();
 
-        let t2 = Instant::now();
-        let outcome = identify::identify_sites(&cfg, &wrappers, &self.options)?;
-        let identify_time = t2.elapsed();
+        let phase = obs::span("syscall_identification");
+        let outcome = match identify::identify_sites(&cfg, &wrappers, &self.options) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                phase.finish();
+                analyze_span.finish();
+                return Err(e);
+            }
+        };
+        let identify_time = phase.finish();
 
         let mut syscalls = SyscallSet::new();
         let mut precise = true;
@@ -426,7 +440,7 @@ impl Analyzer {
                 cfg_recovery: cfg_time,
                 wrapper_identification: wrapper_time,
                 syscall_identification: identify_time,
-                total: t0.elapsed(),
+                total: analyze_span.finish(),
             },
             cfg: cfg.stats(),
             sites: outcome.sites.len(),

@@ -23,6 +23,7 @@ use crate::errors::{DistError, FailureKind, UnitFailure};
 use crate::protocol::{read_message, write_message, FromWorker, ToWorker, PROTOCOL_VERSION};
 use crate::queue::{WorkQueue, WorkUnit};
 use bside_core::{AnalyzerOptions, BinaryAnalysis};
+use bside_obs as obs;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
@@ -194,6 +195,34 @@ struct Shared<'a> {
     retries: &'a AtomicUsize,
     worker_crashes: &'a AtomicUsize,
     timeouts: &'a AtomicUsize,
+    /// The run's trace context (`span_id` is the run root span), copied
+    /// into every manager thread so per-unit dispatch spans parent under
+    /// the run even though they start on other threads.
+    run: obs::TraceContext,
+    metrics: &'a DistMetrics,
+}
+
+/// Process-lifetime counters for the coordinator, registered in
+/// [`obs::global`] so `bside corpus --metrics-dump` sees them.
+struct DistMetrics {
+    worker_spawns: Arc<obs::Counter>,
+    unit_retries: Arc<obs::Counter>,
+    worker_crashes: Arc<obs::Counter>,
+    unit_timeouts: Arc<obs::Counter>,
+    dispatch_duration: Arc<obs::Histogram>,
+}
+
+impl DistMetrics {
+    fn new() -> DistMetrics {
+        let registry = obs::global();
+        DistMetrics {
+            worker_spawns: registry.counter("bside_dist_worker_spawn_total"),
+            unit_retries: registry.counter("bside_dist_unit_retry_total"),
+            worker_crashes: registry.counter("bside_dist_worker_crash_total"),
+            unit_timeouts: registry.counter("bside_dist_unit_timeout_total"),
+            dispatch_duration: registry.histogram("bside_dist_dispatch_duration_us"),
+        }
+    }
 }
 
 impl Shared<'_> {
@@ -279,11 +308,20 @@ impl Shared<'_> {
     }
 
     fn dispatch(&self, slot: usize, proc: &mut WorkerProc, unit: &WorkUnit) -> Dispatch {
+        // Parent this attempt's span under the run root (manager threads
+        // have no inherited context), then stamp its context on the
+        // frame so a telemetry-aware worker's spans graft beneath it.
+        let _run = obs::set_context(obs::TraceContext {
+            unit_id: unit.id as u64,
+            ..self.run
+        });
+        let dispatch_span = obs::span("dispatch");
         let message = ToWorker::Unit {
             id: unit.id,
             name: unit.name.clone(),
             path: unit.path.to_string_lossy().into_owned(),
             options: self.wire_options.clone(),
+            trace: Some(dispatch_span.context()),
         };
         let stdin = proc.stdin.as_mut().expect("live worker has stdin");
         if write_message(stdin, &message).is_err() {
@@ -292,6 +330,9 @@ impl Shared<'_> {
         self.arm_deadline(slot);
         let reply = read_message::<FromWorker>(&mut proc.stdout);
         let timed_out = self.disarm_deadline(slot);
+        self.metrics
+            .dispatch_duration
+            .record(dispatch_span.finish().as_micros() as u64);
         match reply {
             Ok(Some(message)) => {
                 if timed_out {
@@ -341,6 +382,7 @@ impl Shared<'_> {
     fn retry_or_fail(&self, unit: WorkUnit, kind: FailureKind, message: String) {
         if self.queue.retry(unit.clone()) {
             self.retries.fetch_add(1, Ordering::Relaxed);
+            self.metrics.unit_retries.inc();
         } else {
             self.record_failure(&unit, kind, message);
             self.queue.complete();
@@ -353,15 +395,20 @@ impl Shared<'_> {
         while let Some(unit) = self.queue.pull() {
             if proc.is_none() {
                 match self.spawn_worker(slot) {
-                    Ok(p) => proc = Some(p),
+                    Ok(p) => {
+                        self.metrics.worker_spawns.inc();
+                        proc = Some(p);
+                    }
                     Err((e, timed_out)) => {
                         // A handshake kill counts as a timeout, anything
                         // else as a crash; either spends one attempt.
                         let kind = if timed_out {
                             self.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.unit_timeouts.inc();
                             FailureKind::Timeout
                         } else {
                             self.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.worker_crashes.inc();
                             FailureKind::WorkerCrash
                         };
                         self.clear_slot(slot);
@@ -387,7 +434,7 @@ impl Shared<'_> {
                         self.clear_slot(slot);
                     }
                     match message {
-                        FromWorker::Result { id, analysis } if id == unit.id => {
+                        FromWorker::Result { id, analysis, .. } if id == unit.id => {
                             self.record(
                                 &unit,
                                 UnitReport {
@@ -404,7 +451,7 @@ impl Shared<'_> {
                         // chance), then recorded with the analysis
                         // error's own message so the merged report
                         // matches the in-process run byte-for-byte.
-                        FromWorker::Error { id, message } if id == unit.id => {
+                        FromWorker::Error { id, message, .. } if id == unit.id => {
                             self.retry_or_fail(unit, FailureKind::Analysis, message);
                         }
                         // Id mismatch or stray handshake: the stream is
@@ -424,8 +471,14 @@ impl Shared<'_> {
                 }
                 Dispatch::WorkerLost(kind) => {
                     match kind {
-                        FailureKind::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
-                        _ => self.worker_crashes.fetch_add(1, Ordering::Relaxed),
+                        FailureKind::Timeout => {
+                            self.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.unit_timeouts.inc();
+                        }
+                        _ => {
+                            self.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.worker_crashes.inc();
+                        }
                     };
                     proc.take().expect("live worker").shutdown(true);
                     self.clear_slot(slot);
@@ -516,6 +569,8 @@ pub fn analyze_corpus_dist(
     let retries = AtomicUsize::new(0);
     let worker_crashes = AtomicUsize::new(0);
     let timeouts = AtomicUsize::new(0);
+    let run_span = obs::span_root("dist_run", obs::new_run_id(), 0);
+    let metrics = DistMetrics::new();
     let shared = Shared {
         queue: &queue,
         results: &results,
@@ -526,6 +581,8 @@ pub fn analyze_corpus_dist(
         retries: &retries,
         worker_crashes: &worker_crashes,
         timeouts: &timeouts,
+        run: run_span.context(),
+        metrics: &metrics,
     };
 
     let done = AtomicBool::new(false);

@@ -24,8 +24,8 @@
 //! library user can never trip the injector by accident.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Environment variable consulted by [`init_from_env`], e.g.
@@ -193,13 +193,21 @@ impl PlanState {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<PlanState>> = Mutex::new(None);
-static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// The injector's lifetime disturbance counter, kept in the process
+/// global metrics registry so `bside agent`'s exit line and its
+/// Prometheus snapshot read the same number from the same cell.
+fn injected_counter() -> &'static Arc<bside_obs::Counter> {
+    static COUNTER: OnceLock<Arc<bside_obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| bside_obs::global().counter("bside_net_faults_injected_total"))
+}
 
 /// Lifetime count of frames the injector actually disturbed (anything
 /// but a clean delivery). Chaos suites assert this moved — a chaos run
-/// whose dice never fired proves nothing.
+/// whose dice never fired proves nothing. Backed by the
+/// `bside_net_faults_injected_total` counter in [`bside_obs::global`].
 pub fn faults_injected() -> u64 {
-    INJECTED.load(Ordering::Relaxed)
+    injected_counter().get()
 }
 
 /// `true` when a fault plan is installed — one relaxed load, so the
@@ -250,7 +258,7 @@ pub fn write_frame(writer: &mut impl Write, frame: &[u8]) -> std::io::Result<()>
         }
     };
     if action != Action::Deliver {
-        INJECTED.fetch_add(1, Ordering::Relaxed);
+        injected_counter().inc();
     }
     match action {
         Action::Deliver => {

@@ -24,6 +24,7 @@
 //! before dispatch (the CLI refuses such corpus entries up front).
 
 use bside_core::{AnalyzerOptions, BinaryAnalysis};
+use bside_obs::{SpanRecord, TraceContext};
 use serde::{de, to_value, Value};
 use std::io::{BufRead, Write};
 
@@ -45,6 +46,11 @@ pub enum ToWorker {
         path: String,
         /// Analyzer configuration for this unit.
         options: AnalyzerOptions,
+        /// Cross-machine trace correlation. Optional on the wire —
+        /// absent (old coordinators) or corrupted fields parse as
+        /// `None`, never as a protocol error, so telemetry loss can
+        /// orphan a span but cannot sever a working link.
+        trace: Option<TraceContext>,
     },
     /// Exit cleanly after finishing the current line.
     Shutdown,
@@ -65,6 +71,9 @@ pub enum FromWorker {
         /// The analysis, in the `bside_core::wire` format (boxed: it
         /// dwarfs the other variants).
         analysis: Box<BinaryAnalysis>,
+        /// The unit's trace context, echoed back (same leniency as on
+        /// the way out).
+        trace: Option<TraceContext>,
     },
     /// A unit failed deterministically (analysis error, unreadable file).
     Error {
@@ -72,6 +81,8 @@ pub enum FromWorker {
         id: usize,
         /// The error's `Display` rendering.
         message: String,
+        /// The unit's trace context, echoed back.
+        trace: Option<TraceContext>,
     },
 }
 
@@ -83,13 +94,18 @@ impl serde::Serialize for ToWorker {
                 name,
                 path,
                 options,
-            } => Value::Object(vec![
-                ("type".to_string(), Value::Str("unit".to_string())),
-                ("id".to_string(), Value::UInt(*id as u64)),
-                ("name".to_string(), Value::Str(name.clone())),
-                ("path".to_string(), Value::Str(path.clone())),
-                ("options".to_string(), to_value(options)),
-            ]),
+                trace,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("unit".to_string())),
+                    ("id".to_string(), Value::UInt(*id as u64)),
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("path".to_string(), Value::Str(path.clone())),
+                    ("options".to_string(), to_value(options)),
+                ];
+                push_trace(&mut fields, trace);
+                Value::Object(fields)
+            }
             ToWorker::Shutdown => Value::Object(vec![(
                 "type".to_string(),
                 Value::Str("shutdown".to_string()),
@@ -106,16 +122,28 @@ impl serde::Serialize for FromWorker {
                 ("type".to_string(), Value::Str("ready".to_string())),
                 ("version".to_string(), Value::UInt(*version as u64)),
             ]),
-            FromWorker::Result { id, analysis } => Value::Object(vec![
-                ("type".to_string(), Value::Str("result".to_string())),
-                ("id".to_string(), Value::UInt(*id as u64)),
-                ("analysis".to_string(), to_value(analysis)),
-            ]),
-            FromWorker::Error { id, message } => Value::Object(vec![
-                ("type".to_string(), Value::Str("error".to_string())),
-                ("id".to_string(), Value::UInt(*id as u64)),
-                ("message".to_string(), Value::Str(message.clone())),
-            ]),
+            FromWorker::Result {
+                id,
+                analysis,
+                trace,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("result".to_string())),
+                    ("id".to_string(), Value::UInt(*id as u64)),
+                    ("analysis".to_string(), to_value(analysis)),
+                ];
+                push_trace(&mut fields, trace);
+                Value::Object(fields)
+            }
+            FromWorker::Error { id, message, trace } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("error".to_string())),
+                    ("id".to_string(), Value::UInt(*id as u64)),
+                    ("message".to_string(), Value::Str(message.clone())),
+                ];
+                push_trace(&mut fields, trace);
+                Value::Object(fields)
+            }
         };
         serializer.serialize_value(value)
     }
@@ -141,6 +169,115 @@ pub fn take_field(entries: &mut Vec<(String, Value)>, name: &str) -> Result<Valu
         .position(|(k, _)| k == name)
         .ok_or_else(|| de::Error::custom(format!("missing field `{name}`")))?;
     Ok(entries.remove(pos).1)
+}
+
+/// Appends a trace context's run/unit/span ids to a message's field
+/// list; a no-op for `None`, so frames without telemetry are
+/// byte-identical to the previous protocol revision (which is why no
+/// version bump is needed). Shared with the fleet protocol.
+pub fn push_trace(entries: &mut Vec<(String, Value)>, trace: &Option<TraceContext>) {
+    if let Some(ctx) = trace {
+        entries.push(("trace_run".to_string(), Value::UInt(ctx.run_id)));
+        entries.push(("trace_unit".to_string(), Value::UInt(ctx.unit_id)));
+        entries.push(("trace_span".to_string(), Value::UInt(ctx.span_id)));
+    }
+}
+
+fn take_u64_lenient(entries: &mut Vec<(String, Value)>, name: &str) -> Option<u64> {
+    let pos = entries.iter().position(|(k, _)| k == name)?;
+    match entries.remove(pos).1 {
+        Value::UInt(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Removes the trace-context fields from a message's field list.
+/// Deliberately lenient, unlike every other field in these protocols:
+/// absent, partial, malformed, or all-zero ids yield `None` — the
+/// receiver's spans become orphans, but the frame still parses.
+/// Telemetry corruption must never sever a working link.
+pub fn take_trace(entries: &mut Vec<(String, Value)>) -> Option<TraceContext> {
+    let run_id = take_u64_lenient(entries, "trace_run");
+    let unit_id = take_u64_lenient(entries, "trace_unit");
+    let span_id = take_u64_lenient(entries, "trace_span");
+    let ctx = TraceContext {
+        run_id: run_id?,
+        unit_id: unit_id?,
+        span_id: span_id?,
+    };
+    if ctx == TraceContext::default() {
+        None
+    } else {
+        Some(ctx)
+    }
+}
+
+/// Renders shipped spans as a JSON array for a result frame's `spans`
+/// field — one object per span, field names matching [`take_spans`].
+pub fn spans_to_value(spans: &[SpanRecord]) -> Value {
+    Value::Seq(
+        spans
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(s.name.clone())),
+                    ("id".to_string(), Value::UInt(s.id)),
+                    ("parent".to_string(), Value::UInt(s.parent)),
+                    ("run_id".to_string(), Value::UInt(s.run_id)),
+                    ("unit_id".to_string(), Value::UInt(s.unit_id)),
+                    ("start_us".to_string(), Value::UInt(s.start_us)),
+                    ("dur_us".to_string(), Value::UInt(s.dur_us)),
+                    ("tid".to_string(), Value::UInt(s.tid)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Removes and parses a `spans` field shipped by [`spans_to_value`],
+/// with the same leniency as [`take_trace`]: an absent field or a
+/// malformed entry yields fewer spans, never a parse error.
+pub fn take_spans(entries: &mut Vec<(String, Value)>) -> Vec<SpanRecord> {
+    let pos = match entries.iter().position(|(k, _)| k == "spans") {
+        Some(pos) => pos,
+        None => return Vec::new(),
+    };
+    let items = match entries.remove(pos).1 {
+        Value::Seq(items) => items,
+        _ => return Vec::new(),
+    };
+    let mut spans = Vec::with_capacity(items.len());
+    for item in items {
+        let mut fields = match item {
+            Value::Object(fields) => fields,
+            _ => continue,
+        };
+        let name = match fields
+            .iter()
+            .position(|(k, _)| k == "name")
+            .map(|pos| fields.remove(pos).1)
+        {
+            Some(Value::Str(name)) => name,
+            _ => continue,
+        };
+        let mut num = |key: &str| take_u64_lenient(&mut fields, key);
+        let (Some(id), Some(parent), Some(run_id), Some(unit_id)) =
+            (num("id"), num("parent"), num("run_id"), num("unit_id"))
+        else {
+            continue;
+        };
+        spans.push(SpanRecord {
+            name,
+            id,
+            parent,
+            run_id,
+            unit_id,
+            start_us: num("start_us").unwrap_or(0),
+            dur_us: num("dur_us").unwrap_or(0),
+            tid: num("tid").unwrap_or(0),
+        });
+    }
+    spans
 }
 
 fn tag_of(entries: &mut Vec<(String, Value)>) -> Result<String, de::ValueError> {
@@ -173,6 +310,7 @@ impl<'de> serde::Deserialize<'de> for ToWorker {
                     take_field(&mut entries, "options").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
             }),
             "shutdown" => Ok(ToWorker::Shutdown),
             other => Err(de::Error::custom(format!(
@@ -201,6 +339,7 @@ impl<'de> serde::Deserialize<'de> for FromWorker {
                     take_field(&mut entries, "analysis").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
             }),
             "error" => Ok(FromWorker::Error {
                 id: serde::from_value(take_field(&mut entries, "id").map_err(de::Error::custom)?)
@@ -209,6 +348,7 @@ impl<'de> serde::Deserialize<'de> for FromWorker {
                     take_field(&mut entries, "message").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
             }),
             other => Err(de::Error::custom(format!(
                 "unknown worker message type `{other}`"
@@ -297,6 +437,11 @@ mod tests {
             name: "nginx_7".to_string(),
             path: "/corpus/007_nginx.elf".to_string(),
             options: AnalyzerOptions::default(),
+            trace: Some(TraceContext {
+                run_id: 11,
+                unit_id: 7,
+                span_id: 13,
+            }),
         };
         let json = serde_json::to_string(&msg).unwrap();
         match serde_json::from_str::<ToWorker>(&json).unwrap() {
@@ -305,14 +450,80 @@ mod tests {
                 name,
                 path,
                 options,
+                trace,
             } => {
                 assert_eq!(id, 7);
                 assert_eq!(name, "nginx_7");
                 assert_eq!(path, "/corpus/007_nginx.elf");
                 assert_eq!(options.limits, AnalyzerOptions::default().limits);
+                assert_eq!(
+                    trace,
+                    Some(TraceContext {
+                        run_id: 11,
+                        unit_id: 7,
+                        span_id: 13,
+                    })
+                );
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn absent_or_corrupted_trace_parses_as_none_never_an_error() {
+        // A frame from a pre-telemetry coordinator: no trace fields.
+        let old = r#"{"type":"error","id":3,"message":"boom"}"#;
+        match serde_json::from_str::<FromWorker>(old).unwrap() {
+            FromWorker::Error { id, trace, .. } => {
+                assert_eq!(id, 3);
+                assert_eq!(trace, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Corrupted: the span id is a string. The frame must still
+        // parse; only the context is dropped (orphan span downstream).
+        let bad = r#"{"type":"error","id":3,"message":"boom","trace_run":5,"trace_unit":3,"trace_span":"xx"}"#;
+        match serde_json::from_str::<FromWorker>(bad).unwrap() {
+            FromWorker::Error { trace, .. } => assert_eq!(trace, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // All-zero means "no context", same as absent.
+        let zero = r#"{"type":"error","id":3,"message":"boom","trace_run":0,"trace_unit":0,"trace_span":0}"#;
+        match serde_json::from_str::<FromWorker>(zero).unwrap() {
+            FromWorker::Error { trace, .. } => assert_eq!(trace, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shipped_spans_round_trip_and_degrade_per_entry() {
+        let spans = vec![SpanRecord {
+            name: "analyze".to_string(),
+            id: 21,
+            parent: 13,
+            run_id: 11,
+            unit_id: 7,
+            start_us: 100,
+            dur_us: 50,
+            tid: 1,
+        }];
+        let mut fields = vec![("spans".to_string(), spans_to_value(&spans))];
+        assert_eq!(take_spans(&mut fields), spans);
+        assert!(fields.is_empty(), "field consumed");
+
+        // One malformed entry in a shipped batch drops that entry, not
+        // the batch — and an absent field is simply zero spans.
+        let good = match spans_to_value(&spans) {
+            Value::Seq(mut items) => items.remove(0),
+            other => panic!("spans_to_value must yield a sequence: {other:?}"),
+        };
+        let mut fields = vec![(
+            "spans".to_string(),
+            Value::Seq(vec![Value::Str("garbage".to_string()), good]),
+        )];
+        let parsed = take_spans(&mut fields);
+        assert_eq!(parsed, spans);
+        assert!(take_spans(&mut Vec::new()).is_empty());
     }
 
     #[test]

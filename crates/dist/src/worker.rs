@@ -24,6 +24,7 @@
 
 use crate::protocol::{read_message, write_message, FromWorker, ToWorker, PROTOCOL_VERSION};
 use bside_core::{Analyzer, AnalyzerOptions};
+use bside_obs as obs;
 use std::io::{BufRead, Write};
 
 fn fault_requested(var: &str, unit_name: &str) -> bool {
@@ -69,7 +70,19 @@ pub fn parse_error_message(path: &str, e: &bside_elf::ElfError) -> String {
     format!("parsing {path}: {e}")
 }
 
-fn analyze_unit(id: usize, name: &str, path: &str, options: AnalyzerOptions) -> FromWorker {
+fn analyze_unit(
+    id: usize,
+    name: &str,
+    path: &str,
+    options: AnalyzerOptions,
+    trace: Option<obs::TraceContext>,
+) -> FromWorker {
+    // Install the coordinator's context so the core phase spans this
+    // unit records parent under its dispatch span; echo it back so the
+    // coordinator can pair the reply without positional bookkeeping. A
+    // corrupted-in-flight context arrives as `None` and the spans are
+    // simply orphans.
+    let _ctx = obs::set_context(trace.unwrap_or_default());
     apply_fault_hooks(name);
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
@@ -77,6 +90,7 @@ fn analyze_unit(id: usize, name: &str, path: &str, options: AnalyzerOptions) -> 
             return FromWorker::Error {
                 id,
                 message: read_error_message(path, &e),
+                trace,
             }
         }
     };
@@ -86,6 +100,7 @@ fn analyze_unit(id: usize, name: &str, path: &str, options: AnalyzerOptions) -> 
             return FromWorker::Error {
                 id,
                 message: parse_error_message(path, &e),
+                trace,
             }
         }
     };
@@ -93,12 +108,14 @@ fn analyze_unit(id: usize, name: &str, path: &str, options: AnalyzerOptions) -> 
         Ok(analysis) => FromWorker::Result {
             id,
             analysis: Box::new(analysis),
+            trace,
         },
         // The error's `Display` is the wire payload, so the coordinator's
         // merged report renders failures exactly like an in-process run.
         Err(e) => FromWorker::Error {
             id,
             message: e.to_string(),
+            trace,
         },
     }
 }
@@ -120,8 +137,9 @@ pub fn run_loop(input: &mut impl BufRead, output: &mut impl Write) -> std::io::R
                 name,
                 path,
                 options,
+                trace,
             } => {
-                let reply = analyze_unit(id, &name, &path, options);
+                let reply = analyze_unit(id, &name, &path, options, trace);
                 write_message(output, &reply)?;
             }
             ToWorker::Shutdown => break,
@@ -163,6 +181,7 @@ mod tests {
                 name: "missing".to_string(),
                 path: "/nonexistent/binary.elf".to_string(),
                 options: AnalyzerOptions::default(),
+                trace: None,
             },
         )
         .unwrap();
@@ -180,7 +199,7 @@ mod tests {
             })
         ));
         match read_message::<FromWorker>(&mut replies).unwrap() {
-            Some(FromWorker::Error { id: 0, message }) => {
+            Some(FromWorker::Error { id: 0, message, .. }) => {
                 assert!(message.contains("reading"), "unexpected message: {message}")
             }
             other => panic!("expected unit error, got {other:?}"),

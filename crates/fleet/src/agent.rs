@@ -55,12 +55,31 @@ use crate::protocol::{
 };
 use bside_core::{Analyzer, AnalyzerOptions};
 use bside_dist::worker::parse_error_message;
+use bside_obs as obs;
 use bside_serve::{Conn, Endpoint};
 use std::io::{BufReader, Write as _};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The agent's registry-backed lifetime counters. The `AgentReport` a
+/// library caller gets back is still counted per call (tests run
+/// several agents concurrently in one process), but these feed the
+/// metrics dump and the exit line, so a `bside-agent` process has one
+/// source of truth for "how much did I do".
+struct AgentMetrics {
+    units: Arc<obs::Counter>,
+    sessions: Arc<obs::Counter>,
+}
+
+fn agent_metrics() -> &'static AgentMetrics {
+    static METRICS: OnceLock<AgentMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| AgentMetrics {
+        units: obs::global().counter("bside_fleet_agent_units_total"),
+        sessions: obs::global().counter("bside_fleet_agent_sessions_total"),
+    })
+}
 
 /// Configuration of one agent process.
 #[derive(Debug, Clone)]
@@ -156,11 +175,18 @@ fn analyze_unit(
     want: Want,
     elf_bytes: &[u8],
     options: AnalyzerOptions,
+    trace: Option<obs::TraceContext>,
 ) -> FromAgent {
     if fault_requested("BSIDE_AGENT_CRASH_UNIT", name) {
         std::process::abort();
     }
-    match want {
+    // Install the dispatch context (an absent/corrupted one degrades to
+    // the all-zero default: the spans below become orphans) and collect
+    // everything the analysis records — core's `analyze` span and its
+    // per-phase children — to ship home in the reply instead of the
+    // local ring.
+    let _ctx = obs::set_context(trace.unwrap_or_default());
+    let (mut reply, spans) = obs::collect(|| match want {
         Want::Analysis => {
             let elf = match bside_elf::Elf::parse(elf_bytes) {
                 Ok(elf) => elf,
@@ -168,6 +194,8 @@ fn analyze_unit(
                     return FromAgent::Error {
                         id,
                         message: parse_error_message(path, &e),
+                        trace,
+                        spans: Vec::new(),
                     }
                 }
             };
@@ -175,10 +203,14 @@ fn analyze_unit(
                 Ok(analysis) => FromAgent::Result {
                     id,
                     analysis: Box::new(analysis),
+                    trace,
+                    spans: Vec::new(),
                 },
                 Err(e) => FromAgent::Error {
                     id,
                     message: e.to_string(),
+                    trace,
+                    spans: Vec::new(),
                 },
             }
         }
@@ -191,10 +223,24 @@ fn analyze_unit(
             Ok(bundle) => FromAgent::Bundle {
                 id,
                 bundle: Box::new(bundle),
+                trace,
+                spans: Vec::new(),
             },
-            Err(message) => FromAgent::Error { id, message },
+            Err(message) => FromAgent::Error {
+                id,
+                message,
+                trace,
+                spans: Vec::new(),
+            },
         },
+    });
+    match &mut reply {
+        FromAgent::Result { spans: slot, .. }
+        | FromAgent::Bundle { spans: slot, .. }
+        | FromAgent::Error { spans: slot, .. } => *slot = spans,
+        _ => {}
     }
+    reply
 }
 
 /// The sealing state of one secured session: the derived key and the
@@ -397,6 +443,9 @@ fn run_session(
         None => heartbeat_interval,
     };
 
+    // A completed handshake is a served session, however it later ends.
+    agent_metrics().sessions.inc();
+
     let stop = Arc::new(AtomicBool::new(false));
     let units_done = Arc::new(AtomicU64::new(0));
 
@@ -424,7 +473,15 @@ fn run_session(
 
     // Slot workers drain an in-agent queue so the read loop never
     // blocks behind an analysis.
-    type UnitJob = (u64, String, String, Want, Vec<u8>, AnalyzerOptions);
+    type UnitJob = (
+        u64,
+        String,
+        String,
+        Want,
+        Vec<u8>,
+        AnalyzerOptions,
+        Option<obs::TraceContext>,
+    );
     let (tx, rx) = channel::<UnitJob>();
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<_> = (0..slots)
@@ -439,11 +496,12 @@ fn run_session(
                     let rx = rx.lock().expect("agent job queue lock");
                     rx.recv()
                 };
-                let Ok((id, name, path, want, elf, options)) = job else {
+                let Ok((id, name, path, want, elf, options, trace)) = job else {
                     return; // queue closed: clean drain
                 };
-                let reply = analyze_unit(id, &name, &path, want, &elf, options);
+                let reply = analyze_unit(id, &name, &path, want, &elf, options, trace);
                 units_done.fetch_add(1, Ordering::Relaxed);
+                agent_metrics().units.inc();
                 if write_reply(&writer, auth.as_deref(), &name, &reply).is_err() {
                     stop.store(true, Ordering::SeqCst);
                     return;
@@ -511,8 +569,12 @@ fn run_session(
                 want,
                 elf,
                 options,
+                trace,
             } => {
-                if tx.send((id, name, path, want, elf, options)).is_err() {
+                if tx
+                    .send((id, name, path, want, elf, options, trace))
+                    .is_err()
+                {
                     break SessionEnd::LinkLost(std::io::Error::new(
                         std::io::ErrorKind::BrokenPipe,
                         "agent writer died mid-session",
@@ -641,9 +703,11 @@ pub fn agent_main(args: &[String]) -> i32 {
     let mut secret: Option<String> = None;
     let mut heartbeat_cap: Option<Duration> = None;
     let mut reconnect = true;
+    let mut metrics_dump = false;
     let mut it = args.iter();
     let usage = "usage: bside-agent --connect HOST:PORT [--slots N] [--dial-timeout SECS] \
-                 [--fleet-secret SECRET] [--heartbeat-secs SECS] [--no-reconnect]";
+                 [--fleet-secret SECRET] [--heartbeat-secs SECS] [--no-reconnect] \
+                 [--metrics-dump]";
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--connect" => match it.next() {
@@ -682,6 +746,7 @@ pub fn agent_main(args: &[String]) -> i32 {
                 }
             },
             "--no-reconnect" => reconnect = false,
+            "--metrics-dump" => metrics_dump = true,
             other => {
                 eprintln!("unexpected argument {other}\n{usage}");
                 return 2;
@@ -714,11 +779,20 @@ pub fn agent_main(args: &[String]) -> i32 {
         run_agent(&endpoint, &options)
     };
     match outcome {
-        Ok(report) => {
+        Ok(_report) => {
+            // The exit line reads the same registry counters the metrics
+            // dump renders — one source of truth for what this process
+            // did (a bside-agent process runs exactly one agent loop, so
+            // the counters and the report agree).
+            let metrics = agent_metrics();
             eprintln!(
                 "bside-agent: coordinator said goodbye after {} unit(s) over {} session(s); exiting",
-                report.units, report.sessions
+                metrics.units.get(),
+                metrics.sessions.get()
             );
+            if metrics_dump {
+                print!("{}", obs::global().render_prometheus());
+            }
             0
         }
         Err(e) => {

@@ -39,6 +39,7 @@ use bside_dist::cache::ResultCache;
 use bside_dist::coordinator::{CorpusRun, RunStats, UnitReport};
 use bside_dist::worker::read_error_message;
 use bside_dist::{DistError, FailureKind, UnitFailure};
+use bside_obs as obs;
 use bside_serve::net::{cleanup, is_timeout, Listener};
 use bside_serve::{Conn, Endpoint, PolicyBundle};
 use std::io::BufReader;
@@ -49,7 +50,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of a fleet coordinator.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetOptions {
     /// Analyzer configuration shipped with every unit. Parallelism is
     /// forced to 1 on the wire: agent slots are the fan-out axis, and
@@ -77,6 +78,27 @@ pub struct FleetOptions {
     /// ([`crate::protocol::seal`]) — an unauthenticated or forged peer
     /// is rejected in band and lands nothing in the result cache.
     pub secret: Option<String>,
+    /// The telemetry registry the coordinator's counters and per-agent
+    /// histograms land in. `None` gives the coordinator a fresh private
+    /// registry (so parallel in-process coordinators — tests — never
+    /// bleed counts into each other); the `bside` binaries pass
+    /// `obs::global()` so one process-wide dump covers everything.
+    pub registry: Option<Arc<obs::Registry>>,
+}
+
+impl std::fmt::Debug for FleetOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetOptions")
+            .field("analyzer", &self.analyzer)
+            .field("unit_timeout", &self.unit_timeout)
+            .field("heartbeat_interval", &self.heartbeat_interval)
+            .field("heartbeat_timeout", &self.heartbeat_timeout)
+            .field("max_attempts", &self.max_attempts)
+            .field("cache_dir", &self.cache_dir)
+            .field("secret", &self.secret.as_ref().map(|_| "…"))
+            .field("registry", &self.registry.is_some())
+            .finish()
+    }
 }
 
 impl Default for FleetOptions {
@@ -89,6 +111,7 @@ impl Default for FleetOptions {
             max_attempts: 2,
             cache_dir: None,
             secret: None,
+            registry: None,
         }
     }
 }
@@ -131,6 +154,48 @@ struct Counters {
     rejected: AtomicU64,
 }
 
+/// The coordinator's registry-backed telemetry: the unit lifecycle
+/// (queued → dispatched → landed, or requeued/failed along the way) and
+/// the agent population. Pre-registered handles — the hot paths never
+/// take the registry's registration lock.
+struct FleetMetrics {
+    registry: Arc<obs::Registry>,
+    units_queued: Arc<obs::Counter>,
+    units_dispatched: Arc<obs::Counter>,
+    units_landed: Arc<obs::Counter>,
+    units_requeued: Arc<obs::Counter>,
+    units_failed: Arc<obs::Counter>,
+    unit_timeouts: Arc<obs::Counter>,
+    agents_joined: Arc<obs::Counter>,
+    agents_lost: Arc<obs::Counter>,
+    agents_rejected: Arc<obs::Counter>,
+}
+
+impl FleetMetrics {
+    fn new(registry: Arc<obs::Registry>) -> FleetMetrics {
+        FleetMetrics {
+            units_queued: registry.counter("bside_fleet_units_queued_total"),
+            units_dispatched: registry.counter("bside_fleet_units_dispatched_total"),
+            units_landed: registry.counter("bside_fleet_units_landed_total"),
+            units_requeued: registry.counter("bside_fleet_units_requeued_total"),
+            units_failed: registry.counter("bside_fleet_units_failed_total"),
+            unit_timeouts: registry.counter("bside_fleet_unit_timeouts_total"),
+            agents_joined: registry.counter("bside_fleet_agents_joined_total"),
+            agents_lost: registry.counter("bside_fleet_agents_lost_total"),
+            agents_rejected: registry.counter("bside_fleet_agents_rejected_total"),
+            registry,
+        }
+    }
+
+    /// The per-agent answer-latency histogram, labeled by the peer
+    /// address the agent dialed from. Registered once per session (not
+    /// per unit) and cached on the [`AgentState`].
+    fn unit_duration(&self, agent_addr: &str) -> Arc<obs::Histogram> {
+        self.registry
+            .histogram_with("bside_fleet_unit_duration_us", &[("agent", agent_addr)])
+    }
+}
+
 struct FleetShared {
     queue: FleetQueue,
     registry: Registry,
@@ -142,6 +207,7 @@ struct FleetShared {
     shutdown: AtomicBool,
     seq: AtomicU64,
     stats: Counters,
+    metrics: FleetMetrics,
 }
 
 impl FleetShared {
@@ -154,8 +220,16 @@ impl FleetShared {
     ) -> (Arc<UnitSlot>, Arc<AtomicBool>) {
         let done = Arc::new(UnitSlot::default());
         let abandoned = Arc::new(AtomicBool::new(false));
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // Capture the submitter's ambient trace context (a corpus run's
+        // root span, a serve daemon's offload span) so the dispatch span
+        // hangs under it; stamp this unit's own id into the triple.
+        let trace = obs::current_context().map(|ctx| obs::TraceContext {
+            unit_id: seq,
+            ..ctx
+        });
         let unit = FleetUnit {
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            seq,
             name: name.to_string(),
             path: path.to_string(),
             bytes: Arc::new(bytes),
@@ -163,9 +237,13 @@ impl FleetShared {
             attempts: 0,
             done: Arc::clone(&done),
             abandoned: Arc::clone(&abandoned),
+            trace,
         };
-        if !self.queue.push(unit) {
+        if self.queue.push(unit) {
+            self.metrics.units_queued.inc();
+        } else {
             self.stats.failures.fetch_add(1, Ordering::Relaxed);
+            self.metrics.units_failed.inc();
             done.finish(UnitDone {
                 attempts: 0,
                 result: Err(UnitFailure {
@@ -184,8 +262,10 @@ impl FleetShared {
     fn retry_or_fail(&self, mut unit: FleetUnit, kind: FailureKind, message: String) {
         if self.queue.retry(&mut unit) {
             self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            self.metrics.units_requeued.inc();
         } else {
             self.stats.failures.fetch_add(1, Ordering::Relaxed);
+            self.metrics.units_failed.inc();
             let attempts = unit.attempts.max(1);
             unit.done.finish(UnitDone {
                 attempts,
@@ -200,6 +280,7 @@ impl FleetShared {
 
     fn complete(&self, agent: &AgentState, unit: &FleetUnit, output: UnitOutput) {
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.units_landed.inc();
         agent.completed.fetch_add(1, Ordering::Relaxed);
         unit.done.finish(UnitDone {
             attempts: unit.attempts + 1,
@@ -240,6 +321,13 @@ impl FleetShared {
                 }
                 return;
             }
+            // The dispatch span covers ship → agent → reply. It opens
+            // under the unit's submitted context (dropped after the span
+            // closes, so the context cannot leak into the next pull) and
+            // its id crosses the wire, making the agent's `analyze` span
+            // this span's child in the stitched trace.
+            let unit_ctx = obs::set_context(unit.trace.unwrap_or_default());
+            let dispatch_span = obs::span("dispatch");
             let message = ToAgent::Unit {
                 id: unit.seq,
                 name: unit.name.clone(),
@@ -247,26 +335,37 @@ impl FleetShared {
                 want: unit.want,
                 elf: (*unit.bytes).clone(),
                 options: self.wire_options.clone(),
+                trace: obs::enabled().then(|| dispatch_span.context()),
             };
             self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+            self.metrics.units_dispatched.inc();
             if send_to_agent(agent, &message).is_err() {
                 // The connection is gone; mark_dead fills our reply
                 // slot (and everyone else's) so the wait below is
                 // still the single recovery path.
                 self.declare_dead(agent, FailureKind::WorkerCrash);
             }
-            match reply.wait() {
-                SlotReply::Message(FromAgent::Result { analysis, .. })
-                    if unit.want == Want::Analysis =>
-                {
+            let outcome = reply.wait();
+            let elapsed = dispatch_span.finish();
+            drop(unit_ctx);
+            if matches!(outcome, SlotReply::Message(_)) {
+                agent.unit_duration.record(elapsed.as_micros() as u64);
+            }
+            match outcome {
+                SlotReply::Message(FromAgent::Result {
+                    analysis, spans, ..
+                }) if unit.want == Want::Analysis => {
+                    obs::record_remote(spans);
                     self.complete(agent, &unit, UnitOutput::Analysis(analysis));
                 }
-                SlotReply::Message(FromAgent::Bundle { bundle, .. })
+                SlotReply::Message(FromAgent::Bundle { bundle, spans, .. })
                     if unit.want == Want::Bundle =>
                 {
+                    obs::record_remote(spans);
                     self.complete(agent, &unit, UnitOutput::Bundle(bundle));
                 }
-                SlotReply::Message(FromAgent::Error { message, .. }) => {
+                SlotReply::Message(FromAgent::Error { message, spans, .. }) => {
+                    obs::record_remote(spans);
                     // Deterministic unit failure: retried like a lost
                     // attempt (same budget), then recorded with the
                     // analysis error's own message so the merged report
@@ -286,6 +385,7 @@ impl FleetShared {
                 SlotReply::Lost(kind) => {
                     if kind == FailureKind::Timeout {
                         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.unit_timeouts.inc();
                     }
                     let message = match kind {
                         FailureKind::Timeout => format!(
@@ -306,6 +406,7 @@ impl FleetShared {
     fn declare_dead(&self, agent: &AgentState, kind: FailureKind) {
         if agent.mark_dead(kind) && !self.shutdown.load(Ordering::SeqCst) {
             self.registry.lost_total.fetch_add(1, Ordering::Relaxed);
+            self.metrics.agents_lost.inc();
         }
     }
 
@@ -332,6 +433,7 @@ impl FleetShared {
         // Fail whatever never got dispatched.
         for unit in self.queue.close() {
             self.stats.failures.fetch_add(1, Ordering::Relaxed);
+            self.metrics.units_failed.inc();
             let attempts = unit.attempts;
             unit.done.finish(UnitDone {
                 attempts,
@@ -546,6 +648,7 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
     };
     if let Some(message) = reject {
         shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.agents_rejected.inc();
         let _ = write_message(&mut writer, &ToAgent::Reject { message });
         return;
     }
@@ -559,9 +662,16 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
         .as_deref()
         .map(|secret| crate::auth::session_key(secret, &nonce));
 
-    let agent = shared
-        .registry
-        .register(addr, slots, sever_handle, writer, session_key);
+    let unit_duration = shared.metrics.unit_duration(&addr);
+    shared.metrics.agents_joined.inc();
+    let agent = shared.registry.register(
+        addr,
+        slots,
+        sever_handle,
+        writer,
+        session_key,
+        unit_duration,
+    );
     // The welcome itself stays plaintext: it announces sealing, and the
     // agent refuses to proceed unsealed when it holds a secret, so a
     // tampered `sealed` flag fails loudly on whichever side it targets.
@@ -658,6 +768,12 @@ impl FleetCoordinator {
         let mut wire_options = options.analyzer.clone();
         wire_options.parallelism = 1;
         let max_attempts = options.max_attempts;
+        let metrics = FleetMetrics::new(
+            options
+                .registry
+                .clone()
+                .unwrap_or_else(|| Arc::new(obs::Registry::new())),
+        );
         let shared = Arc::new(FleetShared {
             queue: FleetQueue::new(max_attempts),
             registry: Registry::default(),
@@ -667,6 +783,7 @@ impl FleetCoordinator {
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             stats: Counters::default(),
+            metrics,
         });
         let sessions = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -712,6 +829,13 @@ impl FleetHandle {
     /// A point-in-time copy of the coordinator's counters.
     pub fn stats(&self) -> FleetStats {
         self.shared.snapshot()
+    }
+
+    /// The coordinator's telemetry registry rendered in Prometheus text
+    /// exposition format: the unit lifecycle counters, the agent
+    /// population, and the per-agent answer-latency histograms.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.registry.render_prometheus()
     }
 
     /// Snapshots of every agent that ever registered.
@@ -864,6 +988,10 @@ pub fn analyze_corpus_fleet(
     handle: &FleetHandle,
 ) -> Result<CorpusRun, DistError> {
     let shared = &handle.shared;
+    // The run root: alive on this thread through submission and the
+    // merge wait, so every unit submitted below inherits its context and
+    // the whole corpus stitches into one cross-machine trace.
+    let _run_span = obs::span_root("fleet_run", obs::new_run_id(), 0);
     let cache = match &shared.options.cache_dir {
         Some(dir) => Some(ResultCache::open(dir).map_err(DistError::Cache)?),
         None => None,

@@ -65,10 +65,13 @@
 //! any out-of-band probe and its in-flight units are requeued.
 
 use bside_core::{AnalyzerOptions, BinaryAnalysis};
+use bside_obs::{SpanRecord, TraceContext};
 use bside_serve::PolicyBundle;
 use serde::{de, to_value, Value};
 
-use bside_dist::protocol::{obj_fields, take_field};
+use bside_dist::protocol::{
+    obj_fields, push_trace, spans_to_value, take_field, take_spans, take_trace,
+};
 
 pub use bside_dist::cache::CACHE_FORMAT_VERSION;
 pub use bside_dist::protocol::{read_message_capped, write_message};
@@ -143,6 +146,12 @@ pub enum ToAgent {
         elf: Vec<u8>,
         /// Analyzer configuration for this unit.
         options: AnalyzerOptions,
+        /// The coordinator's dispatch-span trace context
+        /// (`trace_run`/`trace_unit`/`trace_span` on the wire), absent
+        /// when telemetry is off. Parsed leniently: a missing or
+        /// corrupted context degrades to `None` — the agent's spans
+        /// become orphans, the unit itself is never affected.
+        trace: Option<TraceContext>,
     },
     /// Exit cleanly after finishing in-flight units.
     Shutdown,
@@ -191,6 +200,13 @@ pub enum FromAgent {
         id: u64,
         /// The analysis, in the `bside_core::wire` format.
         analysis: Box<BinaryAnalysis>,
+        /// The unit's trace context, echoed back from the dispatch.
+        trace: Option<TraceContext>,
+        /// The agent-side spans for this unit (the `analyze` span and
+        /// its per-phase children), shipped home so the coordinator can
+        /// stitch one cross-machine trace. Empty when telemetry is off;
+        /// malformed entries are skipped, never fatal.
+        spans: Vec<SpanRecord>,
     },
     /// A unit derived successfully ([`Want::Bundle`]).
     Bundle {
@@ -198,6 +214,10 @@ pub enum FromAgent {
         id: u64,
         /// The policy bundle, in the `bside_filter::wire` format.
         bundle: Box<PolicyBundle>,
+        /// The unit's trace context, echoed back from the dispatch.
+        trace: Option<TraceContext>,
+        /// The agent-side spans for this unit (see [`FromAgent::Result`]).
+        spans: Vec<SpanRecord>,
     },
     /// A unit failed deterministically (unparseable ELF, analysis
     /// error); the connection stays healthy.
@@ -206,6 +226,10 @@ pub enum FromAgent {
         id: u64,
         /// The error's `Display` rendering — the merged-report payload.
         message: String,
+        /// The unit's trace context, echoed back from the dispatch.
+        trace: Option<TraceContext>,
+        /// The agent-side spans for this unit (see [`FromAgent::Result`]).
+        spans: Vec<SpanRecord>,
     },
     /// An authenticated envelope around any other agent frame — the only
     /// frame shape a secured coordinator accepts after the hello.
@@ -252,15 +276,20 @@ impl serde::Serialize for ToAgent {
                 want,
                 elf,
                 options,
-            } => Value::Object(vec![
-                ("type".to_string(), Value::Str("unit".to_string())),
-                ("id".to_string(), Value::UInt(*id)),
-                ("name".to_string(), Value::Str(name.clone())),
-                ("path".to_string(), Value::Str(path.clone())),
-                ("want".to_string(), to_value(want)),
-                ("elf".to_string(), Value::Str(base64_encode(elf))),
-                ("options".to_string(), to_value(options)),
-            ]),
+                trace,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("unit".to_string())),
+                    ("id".to_string(), Value::UInt(*id)),
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("path".to_string(), Value::Str(path.clone())),
+                    ("want".to_string(), to_value(want)),
+                    ("elf".to_string(), Value::Str(base64_encode(elf))),
+                    ("options".to_string(), to_value(options)),
+                ];
+                push_trace(&mut fields, trace);
+                Value::Object(fields)
+            }
             ToAgent::Shutdown => Value::Object(vec![(
                 "type".to_string(),
                 Value::Str("shutdown".to_string()),
@@ -303,21 +332,51 @@ impl serde::Serialize for FromAgent {
                 "type".to_string(),
                 Value::Str("heartbeat".to_string()),
             )]),
-            FromAgent::Result { id, analysis } => Value::Object(vec![
-                ("type".to_string(), Value::Str("result".to_string())),
-                ("id".to_string(), Value::UInt(*id)),
-                ("analysis".to_string(), to_value(analysis)),
-            ]),
-            FromAgent::Bundle { id, bundle } => Value::Object(vec![
-                ("type".to_string(), Value::Str("bundle".to_string())),
-                ("id".to_string(), Value::UInt(*id)),
-                ("bundle".to_string(), to_value(bundle)),
-            ]),
-            FromAgent::Error { id, message } => Value::Object(vec![
-                ("type".to_string(), Value::Str("error".to_string())),
-                ("id".to_string(), Value::UInt(*id)),
-                ("message".to_string(), Value::Str(message.clone())),
-            ]),
+            FromAgent::Result {
+                id,
+                analysis,
+                trace,
+                spans,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("result".to_string())),
+                    ("id".to_string(), Value::UInt(*id)),
+                    ("analysis".to_string(), to_value(analysis)),
+                ];
+                push_trace(&mut fields, trace);
+                push_spans(&mut fields, spans);
+                Value::Object(fields)
+            }
+            FromAgent::Bundle {
+                id,
+                bundle,
+                trace,
+                spans,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("bundle".to_string())),
+                    ("id".to_string(), Value::UInt(*id)),
+                    ("bundle".to_string(), to_value(bundle)),
+                ];
+                push_trace(&mut fields, trace);
+                push_spans(&mut fields, spans);
+                Value::Object(fields)
+            }
+            FromAgent::Error {
+                id,
+                message,
+                trace,
+                spans,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("error".to_string())),
+                    ("id".to_string(), Value::UInt(*id)),
+                    ("message".to_string(), Value::Str(message.clone())),
+                ];
+                push_trace(&mut fields, trace);
+                push_spans(&mut fields, spans);
+                Value::Object(fields)
+            }
             FromAgent::Sealed { seq, mac, body } => Value::Object(vec![
                 ("type".to_string(), Value::Str("sealed".to_string())),
                 ("seq".to_string(), Value::UInt(*seq)),
@@ -326,6 +385,15 @@ impl serde::Serialize for FromAgent {
             ]),
         };
         serializer.serialize_value(value)
+    }
+}
+
+/// Appends the `spans` field only when there is something to ship, so a
+/// telemetry-disabled agent's frames stay byte-identical to pre-trace
+/// revisions.
+fn push_spans(entries: &mut Vec<(String, Value)>, spans: &[SpanRecord]) {
+    if !spans.is_empty() {
+        entries.push(("spans".to_string(), spans_to_value(spans)));
     }
 }
 
@@ -392,6 +460,7 @@ impl<'de> serde::Deserialize<'de> for ToAgent {
                     take_field(&mut entries, "options").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
             }),
             "shutdown" => Ok(ToAgent::Shutdown),
             "sealed" => Ok(ToAgent::Sealed {
@@ -430,6 +499,8 @@ impl<'de> serde::Deserialize<'de> for FromAgent {
                     take_field(&mut entries, "analysis").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
+                spans: take_spans(&mut entries),
             }),
             "bundle" => Ok(FromAgent::Bundle {
                 id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
@@ -437,10 +508,14 @@ impl<'de> serde::Deserialize<'de> for FromAgent {
                     take_field(&mut entries, "bundle").map_err(de::Error::custom)?,
                 )
                 .map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
+                spans: take_spans(&mut entries),
             }),
             "error" => Ok(FromAgent::Error {
                 id: take_u64(&mut entries, "id").map_err(de::Error::custom)?,
                 message: take_string(&mut entries, "message").map_err(de::Error::custom)?,
+                trace: take_trace(&mut entries),
+                spans: take_spans(&mut entries),
             }),
             "sealed" => Ok(FromAgent::Sealed {
                 seq: take_u64(&mut entries, "seq").map_err(de::Error::custom)?,
@@ -645,6 +720,11 @@ mod tests {
             want: Want::Analysis,
             elf: vec![0x7f, b'E', b'L', b'F', 0, 1, 2, 3],
             options: bside_core::AnalyzerOptions::default(),
+            trace: Some(TraceContext {
+                run_id: 21,
+                unit_id: 9,
+                span_id: 33,
+            }),
         };
         let json = serde_json::to_string(&unit).unwrap();
         match serde_json::from_str::<ToAgent>(&json).unwrap() {
@@ -655,6 +735,7 @@ mod tests {
                 want,
                 elf,
                 options,
+                trace,
             } => {
                 assert_eq!(id, 9);
                 assert_eq!(name, "nginx_9");
@@ -664,6 +745,14 @@ mod tests {
                 assert_eq!(
                     options.limits,
                     bside_core::AnalyzerOptions::default().limits
+                );
+                assert_eq!(
+                    trace,
+                    Some(TraceContext {
+                        run_id: 21,
+                        unit_id: 9,
+                        span_id: 33,
+                    })
                 );
             }
             other => panic!("wrong variant: {other:?}"),
@@ -739,6 +828,8 @@ mod tests {
         let inner = FromAgent::Error {
             id: 7,
             message: "boom".to_string(),
+            trace: None,
+            spans: Vec::new(),
         };
         let sealed = seal(&key, 3, &inner).expect("seal");
         let json = serde_json::to_string(&sealed).unwrap();
@@ -748,7 +839,7 @@ mod tests {
         };
         assert_eq!(seq, 3);
         match unseal(&key, seq, &mac, &body).expect("unseal") {
-            FromAgent::Error { id, message } => {
+            FromAgent::Error { id, message, .. } => {
                 assert_eq!(id, 7);
                 assert_eq!(message, "boom");
             }

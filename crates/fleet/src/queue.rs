@@ -106,6 +106,10 @@ pub(crate) struct FleetUnit {
     /// [`UnitSlot::wait_for`] expired): dispatchers drop the unit
     /// instead of shipping work nobody will collect.
     pub abandoned: Arc<std::sync::atomic::AtomicBool>,
+    /// The submitter's trace context (captured at submission, unit id
+    /// stamped in) — where this unit's dispatch span hangs in the
+    /// cross-machine trace. `None` when the submitter had none.
+    pub trace: Option<bside_obs::TraceContext>,
 }
 
 struct QueueState {
@@ -227,6 +231,7 @@ mod tests {
             attempts: 0,
             done: Arc::new(UnitSlot::default()),
             abandoned: Arc::new(AtomicBool::new(false)),
+            trace: None,
         }
     }
 

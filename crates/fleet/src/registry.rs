@@ -94,6 +94,10 @@ pub(crate) struct AgentState {
     /// Outstanding dispatches by wire id.
     pub pending: Mutex<HashMap<u64, Pending>>,
     pub completed: AtomicU64,
+    /// This agent's answer-latency distribution,
+    /// `bside_fleet_unit_duration_us{agent=…}` in the coordinator's
+    /// telemetry registry — what a work-stealing scheduler would consume.
+    pub unit_duration: Arc<bside_obs::Histogram>,
 }
 
 impl AgentState {
@@ -201,6 +205,7 @@ impl Registry {
         conn: Conn,
         writer: Conn,
         session_key: Option<[u8; 32]>,
+        unit_duration: Arc<bside_obs::Histogram>,
     ) -> Arc<AgentState> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.joined_total.fetch_add(1, Ordering::Relaxed);
@@ -217,6 +222,7 @@ impl Registry {
             dead: AtomicBool::new(false),
             pending: Mutex::new(HashMap::new()),
             completed: AtomicU64::new(0),
+            unit_duration,
         });
         self.agents
             .lock()

@@ -234,6 +234,8 @@ fn forged_result_frames_are_severed_and_land_nothing_in_the_cache() {
                 &FromAgent::Result {
                     id,
                     analysis: Box::new(analysis),
+                    trace: None,
+                    spans: Vec::new(),
                 },
             )
             .expect("seal under the wrong key");

@@ -1,0 +1,669 @@
+//! Counters, gauges, log-linear histograms, and the registry that
+//! names them.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. One relaxed `fetch_add` per
+/// event; the handle is shared, so callers register once and clone the
+/// `Arc` into their hot paths.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down (queue depth, breaker
+/// state, store generation).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of the fixed log-linear layout: values 0–15 get
+/// width-1 buckets, values up to `2^32 - 1` get 8 linear sub-buckets
+/// per power of two (≤ 12.5 % relative error), and everything above
+/// lands in one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 16 + 28 * 8 + 1;
+
+const OVERFLOW: usize = HISTOGRAM_BUCKETS - 1;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    if msb >= 32 {
+        return OVERFLOW;
+    }
+    let sub = ((v >> (msb - 3)) & 7) as usize;
+    16 + (msb - 4) * 8 + sub
+}
+
+/// The smallest value that lands in bucket `idx`.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else if idx >= OVERFLOW {
+        1 << 32
+    } else {
+        let o = (idx - 16) / 8;
+        let s = (idx - 16) % 8;
+        (8 + s as u64) << (o + 1)
+    }
+}
+
+/// The largest value that lands in bucket `idx` (inclusive — this is
+/// the Prometheus `le` boundary).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx >= OVERFLOW {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1) - 1
+    }
+}
+
+/// A fixed-bucket log-linear histogram. Recording is one relaxed
+/// `fetch_add` into the value's bucket plus two for count and sum —
+/// no lock, no allocation — and is gated on [`crate::enabled`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation (a latency in microseconds, by the
+    /// workspace convention). A no-op when telemetry is off.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts, mergeable with other
+    /// snapshots (e.g. the same histogram from several agents).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot — the identity element of [`merge`].
+    ///
+    /// [`merge`]: HistogramSnapshot::merge
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Folds another snapshot into this one. Bucket-wise addition, so
+    /// the operation is associative and commutative — merging per-agent
+    /// snapshots in any order yields the same fleet-wide histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The inclusive upper bound of bucket `idx`.
+    pub fn bucket_upper(idx: usize) -> u64 {
+        bucket_upper(idx)
+    }
+
+    /// The inclusive lower bound of bucket `idx`.
+    pub fn bucket_lower(idx: usize) -> u64 {
+        bucket_lower(idx)
+    }
+
+    /// An estimate of the `q`-quantile (`0.0 ..= 1.0`): the upper bound
+    /// of the bucket holding the rank-`⌈q·count⌉` observation, so the
+    /// estimate never under-reports and is within the bucket's relative
+    /// width (≤ 12.5 % above the linear range) of the exact value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(OVERFLOW)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    MetricKey {
+        name: name.to_string(),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Vec<(MetricKey, Arc<Counter>)>,
+    gauges: Vec<(MetricKey, Arc<Gauge>)>,
+    histograms: Vec<(MetricKey, Arc<Histogram>)>,
+}
+
+/// Names metrics and renders them. Registration (`counter`, `gauge`,
+/// `histogram`) takes the registry lock; the returned handles don't —
+/// callers register once at startup and hammer the atomics after.
+///
+/// Each subsystem instance (a serve daemon, a fleet coordinator) owns
+/// its own registry so tests sharing a process stay isolated; the
+/// binaries pass [`crate::global`] everywhere so one snapshot covers
+/// the whole process.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name` with no labels, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter named `name` with the given label pairs.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = key_of(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some((_, c)) = inner.counters.iter().find(|(k, _)| *k == key) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::default());
+        inner.counters.push((key, c.clone()));
+        c
+    }
+
+    /// The gauge named `name` with no labels, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge named `name` with the given label pairs.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = key_of(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some((_, g)) = inner.gauges.iter().find(|(k, _)| *k == key) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::default());
+        inner.gauges.push((key, g.clone()));
+        g
+    }
+
+    /// The histogram named `name` with no labels, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram named `name` with the given label pairs.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = key_of(name, labels);
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some((_, h)) = inner.histograms.iter().find(|(k, _)| *k == key) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::default());
+        inner.histograms.push((key, h.clone()));
+        h
+    }
+
+    /// The current value of a counter, when it exists — the test hook
+    /// the stats-vs-metrics drift suite reads both sides through.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = key_of(name, labels);
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, c)| c.get())
+    }
+
+    /// The current value of a gauge, when it exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = key_of(name, labels);
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .gauges
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, g)| g.get())
+    }
+
+    /// A snapshot of a histogram, when it exists.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        let key = key_of(name, labels);
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h.snapshot())
+    }
+
+    /// Every histogram label set registered under `name`, with a
+    /// snapshot of each — how the work-stealing scheduler is meant to
+    /// read the per-agent latency distributions.
+    pub fn histogram_family(&self, name: &str) -> Vec<(Vec<(String, String)>, HistogramSnapshot)> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(k, h)| (k.labels.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Renders every metric in Prometheus text exposition format,
+    /// families sorted by name (then label set) so the output is
+    /// deterministic. Histogram buckets are emitted cumulatively with
+    /// `le` upper bounds, trailing empty buckets elided, `+Inf` always
+    /// present.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut out = String::new();
+
+        let mut counters: Vec<(&MetricKey, u64)> =
+            inner.counters.iter().map(|(k, c)| (k, c.get())).collect();
+        counters.sort_by(|a, b| a.0.cmp(b.0));
+        let mut last_family = "";
+        for (key, value) in counters {
+            if key.name != last_family {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_family = &key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), value);
+        }
+
+        let mut gauges: Vec<(&MetricKey, u64)> =
+            inner.gauges.iter().map(|(k, g)| (k, g.get())).collect();
+        gauges.sort_by(|a, b| a.0.cmp(b.0));
+        let mut last_family = "";
+        for (key, value) in gauges {
+            if key.name != last_family {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_family = &key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), value);
+        }
+
+        let mut histograms: Vec<(&MetricKey, HistogramSnapshot)> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k, h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(b.0));
+        let mut last_family = "";
+        for (key, snap) in histograms {
+            if key.name != last_family {
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                last_family = &key.name;
+            }
+            let last_used = snap
+                .buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .map_or(0, |i| i + 1)
+                .min(OVERFLOW);
+            let mut cum = 0u64;
+            for (idx, &n) in snap.buckets.iter().enumerate().take(last_used) {
+                cum += n;
+                let mut labels = key.labels.clone();
+                labels.push(("le".to_string(), bucket_upper(idx).to_string()));
+                let _ = writeln!(out, "{}_bucket{} {}", key.name, render_labels(&labels), cum);
+            }
+            let mut labels = key.labels.clone();
+            labels.push(("le".to_string(), "+Inf".to_string()));
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                key.name,
+                render_labels(&labels),
+                snap.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                key.name,
+                render_labels(&key.labels),
+                snap.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                key.name,
+                render_labels(&key.labels),
+                snap.count
+            );
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_agree_everywhere() {
+        // Every bucket's bounds map back to the bucket, and the layout
+        // tiles u64 without gaps: upper(i) + 1 == lower(i + 1).
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo <= hi, "bucket {idx}: {lo} > {hi}");
+            assert_eq!(bucket_index(lo), idx, "lower bound of {idx}");
+            assert_eq!(bucket_index(hi), idx, "upper bound of {idx}");
+            if idx + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(hi + 1, bucket_lower(idx + 1), "gap after bucket {idx}");
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16, "first log-linear bucket");
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_an_eighth() {
+        // Above the linear range each octave has 8 sub-buckets, so a
+        // bucket is at most 1/8th of its lower bound wide.
+        for idx in 16..OVERFLOW {
+            let lo = bucket_lower(idx);
+            let width = bucket_upper(idx) - lo + 1;
+            assert!(width * 8 <= lo, "bucket {idx}: width {width} vs lower {lo}");
+        }
+    }
+
+    /// A tiny xorshift so the seeded-data suites need no rand dep.
+    fn seeded_values(seed: u64, n: usize, spread_bits: u32) -> Vec<u64> {
+        let mut x = seed.max(1);
+        (0..n)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> (64 - spread_bits)
+            })
+            .collect()
+    }
+
+    fn record_all(values: &[u64]) -> HistogramSnapshot {
+        let _on = crate::test_enabled_lock()
+            .read()
+            .unwrap_or_else(|p| p.into_inner());
+        let h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn merge_is_associative_and_has_an_identity() {
+        let a = record_all(&seeded_values(7, 500, 20));
+        let b = record_all(&seeded_values(8, 300, 12));
+        let c = record_all(&seeded_values(9, 700, 28));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
+
+        let mut with_empty = a.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        assert_eq!(with_empty, a, "empty is the identity");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "commutes too");
+    }
+
+    #[test]
+    fn quantile_estimates_track_exact_values_on_seeded_data() {
+        for (seed, spread) in [(3u64, 10u32), (11, 20), (42, 30)] {
+            let mut values = seeded_values(seed, 4096, spread);
+            let snap = record_all(&values);
+            values.sort_unstable();
+            for q in [0.05, 0.25, 0.50, 0.90, 0.99] {
+                let est = snap.quantile(q);
+                let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+                let exact = values[rank];
+                assert!(
+                    est >= exact,
+                    "seed {seed} q{q}: estimate {est} under-reports exact {exact}"
+                );
+                // The estimate is the bucket's upper bound: within one
+                // sub-bucket (≤ 12.5 % relative, +1 for integer edges).
+                assert!(
+                    est <= exact + exact / 8 + 1,
+                    "seed {seed} q{q}: estimate {est} too far above exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0, "empty is 0");
+        let one = record_all(&[300]);
+        let est = one.quantile(0.99);
+        assert!((300..=300 + 300 / 8 + 1).contains(&est), "got {est}");
+    }
+
+    #[test]
+    fn registry_hands_back_the_same_handle_for_the_same_key() {
+        let reg = Registry::new();
+        let a = reg.counter_with("requests_total", &[("endpoint", "policy")]);
+        let b = reg.counter_with("requests_total", &[("endpoint", "policy")]);
+        let other = reg.counter_with("requests_total", &[("endpoint", "stats")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same key, same counter");
+        assert_eq!(other.get(), 0, "different labels, different counter");
+        assert_eq!(
+            reg.counter_value("requests_total", &[("endpoint", "policy")]),
+            Some(3)
+        );
+        assert_eq!(reg.counter_value("requests_total", &[]), None);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let g = Gauge::default();
+        g.set(5);
+        g.add(2);
+        g.sub(4);
+        assert_eq!(g.get(), 3);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "saturating, never wraps");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_well_formed() {
+        let _on = crate::test_enabled_lock()
+            .read()
+            .unwrap_or_else(|p| p.into_inner());
+        let reg = Registry::new();
+        reg.counter_with("z_total", &[]).add(4);
+        reg.counter_with("a_total", &[("who", "b")]).add(1);
+        reg.counter_with("a_total", &[("who", "a")]).add(2);
+        reg.gauge("depth").set(7);
+        reg.histogram("lat_us").record(10);
+        reg.histogram("lat_us").record(100);
+        let text = reg.render_prometheus();
+        let again = reg.render_prometheus();
+        assert_eq!(text, again, "rendering must be deterministic");
+        // Families sorted, labels sorted within a family.
+        let a_pos = text.find("a_total{who=\"a\"} 2").expect("a_total a");
+        let b_pos = text.find("a_total{who=\"b\"} 1").expect("a_total b");
+        let z_pos = text.find("z_total 4").expect("z_total");
+        assert!(a_pos < b_pos && b_pos < z_pos);
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth 7"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_sum 110"));
+        assert!(text.contains("lat_us_count 2"));
+        // Cumulative buckets: the bucket holding 100 counts both.
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_with("c_total", &[("path", "a\"b\\c")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("c_total{path=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

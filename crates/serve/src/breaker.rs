@@ -48,16 +48,34 @@ impl BreakerState {
     }
 }
 
+/// Callback invoked with the new state on every state *transition*
+/// (never on a no-op re-assertion of the current state) — how the serve
+/// daemon feeds `bside_serve_breaker_transitions_total`. Runs under the
+/// breaker lock, so it must not call back into the breaker.
+pub type BreakerObserver = Box<dyn Fn(BreakerState) + Send + Sync>;
+
 struct Inner {
     state: BreakerState,
     consecutive_failures: u32,
     opened_at: Option<Instant>,
 }
 
+impl Inner {
+    fn transition(&mut self, observer: &Option<BreakerObserver>, to: BreakerState) {
+        if self.state != to {
+            if let Some(observer) = observer {
+                observer(to);
+            }
+        }
+        self.state = to;
+    }
+}
+
 /// A consecutive-failure circuit breaker with timed half-open probes.
 pub struct CircuitBreaker {
     threshold: u32,
     cooldown: Duration,
+    observer: Option<BreakerObserver>,
     inner: Mutex<Inner>,
 }
 
@@ -69,12 +87,19 @@ impl CircuitBreaker {
         CircuitBreaker {
             threshold: threshold.max(1),
             cooldown,
+            observer: None,
             inner: Mutex::new(Inner {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
                 opened_at: None,
             }),
         }
+    }
+
+    /// Installs the transition observer. Takes `&mut self`, so it can
+    /// only happen during construction, before the breaker is shared.
+    pub fn set_observer(&mut self, observer: BreakerObserver) {
+        self.observer = Some(observer);
     }
 
     /// Asks permission to attempt the remote call *now*. `false` means
@@ -92,7 +117,7 @@ impl CircuitBreaker {
                     .opened_at
                     .is_none_or(|at| now.duration_since(at) >= self.cooldown);
                 if ripe {
-                    inner.state = BreakerState::HalfOpen;
+                    inner.transition(&self.observer, BreakerState::HalfOpen);
                     true // this caller is the probe
                 } else {
                     false
@@ -106,7 +131,7 @@ impl CircuitBreaker {
     /// failure streak.
     pub fn record_success(&self) {
         let mut inner = self.inner.lock().expect("breaker lock");
-        inner.state = BreakerState::Closed;
+        inner.transition(&self.observer, BreakerState::Closed);
         inner.consecutive_failures = 0;
         inner.opened_at = None;
     }
@@ -120,12 +145,12 @@ impl CircuitBreaker {
             BreakerState::Closed => {
                 inner.consecutive_failures += 1;
                 if inner.consecutive_failures >= self.threshold {
-                    inner.state = BreakerState::Open;
+                    inner.transition(&self.observer, BreakerState::Open);
                     inner.opened_at = Some(now);
                 }
             }
             BreakerState::HalfOpen | BreakerState::Open => {
-                inner.state = BreakerState::Open;
+                inner.transition(&self.observer, BreakerState::Open);
                 inner.opened_at = Some(now);
             }
         }
@@ -218,6 +243,30 @@ mod tests {
                 "round {round}: interleaved successes must keep it closed"
             );
         }
+    }
+
+    #[test]
+    fn observer_sees_each_transition_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new([AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)]);
+        let mut breaker = CircuitBreaker::new(1, COOLDOWN);
+        {
+            let seen = Arc::clone(&seen);
+            breaker.set_observer(Box::new(move |to| {
+                seen[to.code() as usize].fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let t0 = Instant::now();
+        breaker.record_success(); // closed → closed: NOT a transition
+        assert!(breaker.try_acquire(t0));
+        breaker.record_failure(t0); // → open
+        assert!(breaker.try_acquire(t0 + COOLDOWN)); // → half-open
+        breaker.record_failure(t0 + COOLDOWN); // → open again
+        assert!(breaker.try_acquire(t0 + 2 * COOLDOWN)); // → half-open
+        breaker.record_success(); // → closed
+        let counts: Vec<u64> = seen.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_eq!(counts, vec![1, 2, 2], "to=[closed, open, half-open]");
     }
 
     #[test]

@@ -206,6 +206,20 @@ impl PolicyClient {
         }
     }
 
+    /// The server's full telemetry registry in Prometheus text
+    /// exposition format (v4): counters, gauges, and per-endpoint
+    /// latency histograms — everything the `stats` snapshot summarizes,
+    /// plus distributions `stats` cannot carry.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics { text } => Ok(text),
+            Reply::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected metrics reply, got {other:?}"
+            ))),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ServeError> {
         match self.call(&Request::Ping)? {

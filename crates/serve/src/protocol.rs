@@ -62,7 +62,9 @@ pub use bside_dist::protocol::{read_message, read_message_capped, write_message}
 /// v2: generation counter, `invalidate`/`watch`, `Coalesced` source.
 /// v3: degraded-mode accounting (`degraded`, `breaker_state`) in the
 /// stats snapshot.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// v4: the `metrics` request/reply pair — the full telemetry registry
+/// in Prometheus text exposition format.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on one *request* line the server will read (enforced via
 /// the workspace-shared [`read_message_capped`] codec, so the cap
@@ -196,6 +198,11 @@ pub enum Request {
     },
     /// The server's counters.
     Stats,
+    /// The server's full telemetry registry (counters, gauges, latency
+    /// histograms) in Prometheus text exposition format. The legacy
+    /// `stats` snapshot is derived from the same registry, so the two
+    /// replies can never disagree on a shared counter.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Ask the daemon to shut down gracefully.
@@ -244,6 +251,12 @@ pub enum Reply {
         /// The snapshot.
         stats: StatsSnapshot,
     },
+    /// The telemetry registry snapshot.
+    Metrics {
+        /// Prometheus text exposition format, ready to write to a
+        /// scrape endpoint or a file.
+        text: String,
+    },
     /// Liveness answer.
     Pong,
     /// Shutdown acknowledged; the daemon stops accepting connections.
@@ -275,6 +288,7 @@ impl serde::Serialize for Request {
                 ("generation".to_string(), Value::UInt(*generation)),
             ]),
             Request::Stats => tag_only("stats"),
+            Request::Metrics => tag_only("metrics"),
             Request::Ping => tag_only("ping"),
             Request::Shutdown => tag_only("shutdown"),
         };
@@ -322,6 +336,10 @@ impl serde::Serialize for Reply {
             Reply::Stats { stats } => Value::Object(vec![
                 ("type".to_string(), Value::Str("stats".to_string())),
                 ("stats".to_string(), to_value(stats)),
+            ]),
+            Reply::Metrics { text } => Value::Object(vec![
+                ("type".to_string(), Value::Str("metrics".to_string())),
+                ("text".to_string(), Value::Str(text.clone())),
             ]),
             Reply::Pong => tag_only("pong"),
             Reply::ShuttingDown => tag_only("shutting_down"),
@@ -375,6 +393,7 @@ impl<'de> serde::Deserialize<'de> for Request {
                 generation: take_u64(&mut entries, "generation").map_err(de::Error::custom)?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(de::Error::custom(format!("unknown request type `{other}`"))),
@@ -436,6 +455,9 @@ impl<'de> serde::Deserialize<'de> for Reply {
                 )
                 .map_err(de::Error::custom)?,
             }),
+            "metrics" => Ok(Reply::Metrics {
+                text: take_string(&mut entries, "text").map_err(de::Error::custom)?,
+            }),
             "pong" => Ok(Reply::Pong),
             "shutting_down" => Ok(Reply::ShuttingDown),
             "error" => Ok(Reply::Error {
@@ -496,6 +518,7 @@ mod tests {
         });
         round_trip_request(Request::Watch { generation: 41 });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
     }
@@ -536,6 +559,10 @@ mod tests {
                 degraded: 6,
                 breaker_state: 1,
             },
+        });
+        round_trip_reply(Reply::Metrics {
+            text: "# TYPE bside_serve_requests_total counter\nbside_serve_requests_total 14\n"
+                .to_string(),
         });
         round_trip_reply(Reply::Pong);
         round_trip_reply(Reply::ShuttingDown);

@@ -51,6 +51,7 @@ use crate::protocol::{
 use crate::store::{library_fingerprint, PolicyStore};
 use crate::{binary_name, derive_bundle, derive_bundle_parsed};
 use bside_core::{AnalyzerOptions, LibraryStore};
+use bside_obs as obs;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,7 +59,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Callback invoked (with the store key) every time the daemon is about
 /// to run a cold analysis — the observability hook the single-flight
@@ -121,6 +122,12 @@ pub struct ServeOptions {
     pub breaker_threshold: u32,
     /// How long an open breaker waits before letting one probe through.
     pub breaker_cooldown: Duration,
+    /// The metrics registry this daemon reports into. `None` (the
+    /// default) gives the daemon a private registry, so embedders and
+    /// tests running several daemons in one process can't bleed counts
+    /// into each other; the `bside serve` binary passes
+    /// [`obs::global`] so one `metrics` snapshot covers the process.
+    pub registry: Option<Arc<obs::Registry>>,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -137,6 +144,7 @@ impl std::fmt::Debug for ServeOptions {
             .field("remote_analyzer", &self.remote_analyzer.is_some())
             .field("breaker_threshold", &self.breaker_threshold)
             .field("breaker_cooldown", &self.breaker_cooldown)
+            .field("registry", &self.registry.is_some())
             .finish()
     }
 }
@@ -155,22 +163,107 @@ impl Default for ServeOptions {
             remote_analyzer: None,
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(5),
+            registry: None,
         }
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    store_hits: AtomicU64,
-    analyses: AtomicU64,
-    coalesced: AtomicU64,
-    invalidations: AtomicU64,
-    bytes_read: AtomicU64,
-    errors: AtomicU64,
-    panics: AtomicU64,
-    degraded: AtomicU64,
+/// Request-loop endpoints, in the order of
+/// [`ServeMetrics::request_duration`]. The label on the per-endpoint
+/// latency histogram.
+const ENDPOINTS: [&str; 8] = [
+    "policy",
+    "policy_by_key",
+    "invalidate",
+    "watch",
+    "stats",
+    "metrics",
+    "ping",
+    "shutdown",
+];
+
+fn endpoint_index(request: &Request) -> usize {
+    match request {
+        Request::Policy { .. } => 0,
+        Request::PolicyByKey { .. } => 1,
+        Request::Invalidate { .. } => 2,
+        Request::Watch { .. } => 3,
+        Request::Stats => 4,
+        Request::Metrics => 5,
+        Request::Ping => 6,
+        Request::Shutdown => 7,
+    }
+}
+
+/// Where a policy answer's latency lands, in the order of
+/// [`ServeMetrics::policy_duration`]. The first three mirror
+/// [`Source`]; `degraded` times the local fallback derivation that runs
+/// when the offload path fails or is skipped by an open breaker.
+const POLICY_SOURCES: [&str; 4] = ["store", "analyzed", "coalesced", "degraded"];
+const SOURCE_DEGRADED: usize = 3;
+
+fn source_index(source: Source) -> usize {
+    match source {
+        Source::Store => 0,
+        Source::Analyzed => 1,
+        Source::Coalesced => 2,
+    }
+}
+
+/// The daemon's counters, gauges, and latency histograms — handles into
+/// the registry the daemon was given (or its private one). The legacy
+/// [`StatsSnapshot`] is *derived* from these same cells
+/// ([`Shared::snapshot`]), so the v3 `stats` reply and the v4 `metrics`
+/// reply cannot disagree on a shared counter.
+struct ServeMetrics {
+    registry: Arc<obs::Registry>,
+    connections: Arc<obs::Counter>,
+    requests: Arc<obs::Counter>,
+    store_hits: Arc<obs::Counter>,
+    analyses: Arc<obs::Counter>,
+    coalesced: Arc<obs::Counter>,
+    invalidations: Arc<obs::Counter>,
+    bytes_read: Arc<obs::Counter>,
+    errors: Arc<obs::Counter>,
+    panics: Arc<obs::Counter>,
+    degraded: Arc<obs::Counter>,
+    store_entries: Arc<obs::Gauge>,
+    generation: Arc<obs::Gauge>,
+    breaker_state: Arc<obs::Gauge>,
+    request_duration: [Arc<obs::Histogram>; ENDPOINTS.len()],
+    policy_duration: [Arc<obs::Histogram>; POLICY_SOURCES.len()],
+    offload_duration: Arc<obs::Histogram>,
+}
+
+impl ServeMetrics {
+    fn new(registry: Arc<obs::Registry>) -> ServeMetrics {
+        let counter = |name: &str| registry.counter(name);
+        let request_duration = ENDPOINTS.map(|endpoint| {
+            registry.histogram_with("bside_serve_request_duration_us", &[("endpoint", endpoint)])
+        });
+        let policy_duration = POLICY_SOURCES.map(|source| {
+            registry.histogram_with("bside_serve_policy_duration_us", &[("source", source)])
+        });
+        ServeMetrics {
+            connections: counter("bside_serve_connections_total"),
+            requests: counter("bside_serve_requests_total"),
+            store_hits: counter("bside_serve_store_hits_total"),
+            analyses: counter("bside_serve_analyses_total"),
+            coalesced: counter("bside_serve_coalesced_total"),
+            invalidations: counter("bside_serve_invalidations_total"),
+            bytes_read: counter("bside_serve_bytes_read_total"),
+            errors: counter("bside_serve_errors_total"),
+            panics: counter("bside_serve_panics_total"),
+            degraded: counter("bside_serve_degraded_total"),
+            store_entries: registry.gauge("bside_serve_store_entries"),
+            generation: registry.gauge("bside_serve_generation"),
+            breaker_state: registry.gauge("bside_serve_breaker_state"),
+            request_duration,
+            policy_duration,
+            offload_duration: registry.histogram("bside_serve_offload_duration_us"),
+            registry,
+        }
+    }
 }
 
 /// One `(len, mtime) → store key` memo entry; lets a repeat request for
@@ -237,7 +330,7 @@ struct Shared {
     options: ServeOptions,
     endpoint: Endpoint,
     shutdown: AtomicBool,
-    stats: Counters,
+    metrics: ServeMetrics,
     /// Gates the remote-offload path; permanently closed (and unused)
     /// without a [`ServeOptions::remote_analyzer`].
     breaker: CircuitBreaker,
@@ -277,26 +370,47 @@ impl Shared {
         let _ = Conn::connect(&self.endpoint);
     }
 
+    /// The legacy v3 stats snapshot, derived from the same registry
+    /// cells the `metrics` reply renders — shared counters cannot drift
+    /// between the two replies because there is only one set of cells.
     fn snapshot(&self) -> StatsSnapshot {
+        self.refresh_gauges();
         StatsSnapshot {
-            connections: self.stats.connections.load(Ordering::Relaxed),
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            store_hits: self.stats.store_hits.load(Ordering::Relaxed),
-            analyses: self.stats.analyses.load(Ordering::Relaxed),
-            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
-            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
-            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
-            errors: self.stats.errors.load(Ordering::Relaxed),
-            panics: self.stats.panics.load(Ordering::Relaxed),
-            store_entries: self.store.len() as u64,
-            generation: self.store.generation(),
-            degraded: self.stats.degraded.load(Ordering::Relaxed),
-            breaker_state: self.breaker.state().code(),
+            connections: self.metrics.connections.get(),
+            requests: self.metrics.requests.get(),
+            store_hits: self.metrics.store_hits.get(),
+            analyses: self.metrics.analyses.get(),
+            coalesced: self.metrics.coalesced.get(),
+            invalidations: self.metrics.invalidations.get(),
+            bytes_read: self.metrics.bytes_read.get(),
+            errors: self.metrics.errors.get(),
+            panics: self.metrics.panics.get(),
+            store_entries: self.metrics.store_entries.get(),
+            generation: self.metrics.generation.get(),
+            degraded: self.metrics.degraded.get(),
+            breaker_state: self.metrics.breaker_state.get(),
         }
     }
 
+    /// Copies the point-in-time gauges out of their authoritative
+    /// sources (store, breaker) into the registry. Called at snapshot
+    /// and render time, so both replies see the same instant — by
+    /// construction, not by bookkeeping at every mutation site.
+    fn refresh_gauges(&self) {
+        self.metrics.store_entries.set(self.store.len() as u64);
+        self.metrics.generation.set(self.store.generation());
+        self.metrics.breaker_state.set(self.breaker.state().code());
+    }
+
+    /// The full registry in Prometheus text exposition format — the v4
+    /// `metrics` reply.
+    fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.metrics.registry.render_prometheus()
+    }
+
     fn error_reply(&self, message: String) -> Reply {
-        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.errors.inc();
         Reply::Error { message }
     }
 
@@ -312,16 +426,19 @@ impl Shared {
         source: Source,
         generation: u64,
         bundle: crate::PolicyBundle,
+        started: Instant,
     ) -> Reply {
         match source {
             Source::Store => {
-                self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.store_hits.inc();
             }
             Source::Coalesced => {
-                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.metrics.coalesced.inc();
             }
             Source::Analyzed => {}
         }
+        self.metrics.policy_duration[source_index(source)]
+            .record(started.elapsed().as_micros() as u64);
         Reply::Policy {
             key,
             source,
@@ -340,9 +457,13 @@ impl Shared {
             Request::Stats => Reply::Stats {
                 stats: self.snapshot(),
             },
+            Request::Metrics => Reply::Metrics {
+                text: self.metrics_text(),
+            },
             Request::Shutdown => Reply::ShuttingDown,
             Request::Watch { generation } => return self.watch_decision(*generation),
             Request::PolicyByKey { key } => {
+                let started = Instant::now();
                 // Client-supplied keys reach the store's filesystem
                 // layer; anything but the canonical SHA-256 hex form is
                 // refused before it can traverse out of the store dir.
@@ -357,6 +478,7 @@ impl Shared {
                         Source::Store,
                         self.store.generation(),
                         (*bundle).clone(),
+                        started,
                     ),
                     None => self.error_reply(format!("no stored policy under key {key}")),
                 }
@@ -369,7 +491,7 @@ impl Shared {
                 }
                 match self.store.invalidate(key) {
                     Some(generation) => {
-                        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.invalidations.inc();
                         Reply::Invalidated {
                             key: key.clone(),
                             removed: true,
@@ -467,6 +589,7 @@ impl Shared {
     }
 
     fn answer_policy(&self, path: &str) -> Reply {
+        let started = Instant::now();
         // Store-key resolution before payload read (the PR-4 reorder):
         // stat the file, and if an unchanged `(len, mtime)` already has a
         // memoized key that hits the store, answer without reading the
@@ -484,6 +607,7 @@ impl Shared {
                         Source::Store,
                         self.store.generation(),
                         (*bundle).clone(),
+                        started,
                     );
                 }
             }
@@ -500,9 +624,7 @@ impl Shared {
             Ok(bytes) => bytes,
             Err(e) => return self.error_reply(format!("reading {path}: {e}")),
         };
-        self.stats
-            .bytes_read
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.metrics.bytes_read.add(bytes.len() as u64);
         let name = binary_name(std::path::Path::new(path));
         let parsed = match self.lib_fingerprint.as_deref() {
             None => None,
@@ -536,6 +658,7 @@ impl Shared {
                 Source::Store,
                 self.store.generation(),
                 (*bundle).clone(),
+                started,
             );
         }
 
@@ -546,6 +669,7 @@ impl Shared {
                 Source::Coalesced,
                 self.store.generation(),
                 (*bundle).clone(),
+                started,
             ),
             Ticket::Follower(Err(message)) => self.error_reply(message),
             Ticket::Leader(guard) => {
@@ -559,6 +683,7 @@ impl Shared {
                         Source::Store,
                         self.store.generation(),
                         (*bundle).clone(),
+                        started,
                     );
                 }
                 if let Some(delay) = self.options.analysis_delay {
@@ -583,6 +708,14 @@ impl Shared {
                         None => derive_bundle(&name, &bytes, &self.options.analyzer, libs),
                     }
                 };
+                let derive_degraded = || {
+                    self.metrics.degraded.inc();
+                    let degraded_start = Instant::now();
+                    let result = derive_locally();
+                    self.metrics.policy_duration[SOURCE_DEGRADED]
+                        .record(degraded_start.elapsed().as_micros() as u64);
+                    result
+                };
                 let derived = match (&self.options.remote_analyzer, lib_fp) {
                     // Offload only what the fleet can actually derive: a
                     // dynamic binary needs this daemon's shared-interface
@@ -594,31 +727,42 @@ impl Shared {
                     // call — and its wait budget — entirely.
                     (Some(remote), None) => {
                         if self.breaker.try_acquire(std::time::Instant::now()) {
-                            match remote(&name, path, &bytes) {
+                            // The offload span is live across the remote
+                            // call, so a trace-aware remote analyzer (the
+                            // fleet offload) reads it via
+                            // `obs::current_context()` and parents its
+                            // dispatch span here.
+                            let offload = match obs::current_context() {
+                                Some(_) => obs::span("offload"),
+                                None => obs::span_root("offload", obs::new_run_id(), 0),
+                            };
+                            let result = remote(&name, path, &bytes);
+                            self.metrics
+                                .offload_duration
+                                .record(offload.finish().as_micros() as u64);
+                            match result {
                                 Ok(bundle) => {
                                     self.breaker.record_success();
                                     Ok(bundle)
                                 }
                                 Err(message) => {
                                     self.breaker.record_failure(std::time::Instant::now());
-                                    self.stats.degraded.fetch_add(1, Ordering::Relaxed);
                                     eprintln!(
                                         "bside-serve: fleet offload failed ({message}); \
                                          deriving {name} locally"
                                     );
-                                    derive_locally()
+                                    derive_degraded()
                                 }
                             }
                         } else {
-                            self.stats.degraded.fetch_add(1, Ordering::Relaxed);
-                            derive_locally()
+                            derive_degraded()
                         }
                     }
                     _ => derive_locally(),
                 };
                 match derived {
                     Ok(bundle) => {
-                        self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.analyses.inc();
                         let (bundle, generation) =
                             match self.store.insert_with_libs(&key, bundle.clone(), lib_fp) {
                                 Ok(landed) => landed,
@@ -632,7 +776,13 @@ impl Shared {
                                 }
                             };
                         guard.complete(Ok(Arc::clone(&bundle)));
-                        self.policy_reply(key, Source::Analyzed, generation, (*bundle).clone())
+                        self.policy_reply(
+                            key,
+                            Source::Analyzed,
+                            generation,
+                            (*bundle).clone(),
+                            started,
+                        )
                     }
                     Err(message) => {
                         guard.complete(Err(message.clone()));
@@ -686,11 +836,16 @@ impl Shared {
                         return None;
                     }
                 };
-            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            self.metrics.requests.inc();
+            let started = Instant::now();
             let reply = match self.answer(&request) {
                 Answered::Reply(reply) => reply,
+                // A parked watch hasn't been answered yet; its latency
+                // would only measure the park, so it is not recorded.
                 Answered::Park { seen } => return Some(ParkedWatch { state, seen }),
             };
+            self.metrics.request_duration[endpoint_index(&request)]
+                .record(started.elapsed().as_micros() as u64);
             if write_message(&mut state.writer, &reply).is_err() {
                 return None;
             }
@@ -832,7 +987,28 @@ impl PolicyServer {
             }
         }
         let threads = options.threads.max(1);
-        let breaker = CircuitBreaker::new(options.breaker_threshold, options.breaker_cooldown);
+        let registry = options
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(obs::Registry::new()));
+        let metrics = ServeMetrics::new(Arc::clone(&registry));
+        let mut breaker = CircuitBreaker::new(options.breaker_threshold, options.breaker_cooldown);
+        {
+            // One pre-registered counter per target state: the observer
+            // runs under the breaker lock, so it must not re-enter the
+            // registry's registration lock.
+            let transitions = [
+                registry.counter_with("bside_serve_breaker_transitions_total", &[("to", "closed")]),
+                registry.counter_with("bside_serve_breaker_transitions_total", &[("to", "open")]),
+                registry.counter_with(
+                    "bside_serve_breaker_transitions_total",
+                    &[("to", "half_open")],
+                ),
+            ];
+            breaker.set_observer(Box::new(move |to| {
+                transitions[to.code() as usize].inc();
+            }));
+        }
         let shared = Arc::new(Shared {
             store,
             libraries,
@@ -844,7 +1020,7 @@ impl PolicyServer {
             options,
             endpoint: resolved,
             shutdown: AtomicBool::new(false),
-            stats: Counters::default(),
+            metrics,
             breaker,
         });
 
@@ -882,7 +1058,7 @@ fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Work>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break; // the wake connection (or a late client): drop it
                 }
-                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections.inc();
                 if tx.send(Work::New(conn)).is_err() {
                     break;
                 }
@@ -922,7 +1098,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Work>>) {
             Ok(Some(parked)) => shared.park(parked),
             Ok(None) => {}
             Err(_) => {
-                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.panics.inc();
             }
         }
     }
@@ -946,6 +1122,12 @@ impl ServerHandle {
     /// A point-in-time copy of the server's counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// The daemon's telemetry registry in Prometheus text exposition
+    /// format — the same text the in-band v4 `metrics` request returns.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
     }
 
     /// Watches currently parked off-pool (inbox + watcher-held) — an

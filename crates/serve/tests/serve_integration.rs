@@ -88,6 +88,100 @@ fn miss_then_hit_with_byte_identical_bundles() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reads one sample's value out of a Prometheus text exposition body.
+/// `sample` is the full series name including any label set, e.g.
+/// `bside_serve_requests_total` or
+/// `bside_serve_request_duration_us_count{endpoint="policy"}`.
+fn prom_value(text: &str, sample: &str) -> u64 {
+    let line = text
+        .lines()
+        .find(|l| {
+            l.strip_prefix(sample)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .unwrap_or_else(|| panic!("no sample `{sample}` in:\n{text}"));
+    line[sample.len() + 1..]
+        .trim()
+        .parse()
+        .expect("numeric sample value")
+}
+
+/// Satellite regression: the legacy v3 `stats` reply and the v4
+/// `metrics` reply must agree on every shared counter — both are
+/// derived from one registry, and this test pins that contract.
+#[test]
+fn stats_and_metrics_replies_cannot_drift() {
+    let dir = scratch("no_drift");
+    let units = corpus_units(&dir.join("corpus"), 3);
+    let endpoint = Endpoint::Unix(dir.join("bside.sock"));
+    let server = PolicyServer::spawn(
+        &endpoint,
+        options_with(Some(dir.join("store")), Duration::from_secs(2)),
+    )
+    .expect("spawn");
+
+    let mut client = PolicyClient::connect(server.endpoint()).expect("connect");
+    for (_, path) in &units {
+        let path_str = path.to_str().expect("utf8 path");
+        client.fetch_path(path_str).expect("cold fetch");
+        client.fetch_path(path_str).expect("warm fetch");
+    }
+    let err = client.fetch_key(&"0".repeat(64)).expect_err("unknown key");
+    assert!(matches!(err, ServeError::Server(_)));
+
+    // The wire path works and carries latency distributions the stats
+    // snapshot cannot: every request above landed in a histogram.
+    let wire_text = client.metrics().expect("metrics over the wire");
+    assert!(
+        prom_value(
+            &wire_text,
+            "bside_serve_request_duration_us_count{endpoint=\"policy\"}"
+        ) == 6,
+        "six policy requests histogrammed"
+    );
+    assert_eq!(
+        prom_value(
+            &wire_text,
+            "bside_serve_policy_duration_us_count{source=\"store\"}"
+        ),
+        3,
+        "three warm fetches landed in the store-hit histogram"
+    );
+
+    // Quiesce (no requests in flight), then read both renderings via
+    // the handle and compare every shared counter.
+    let stats = server.stats();
+    let text = server.metrics_text();
+    let shared = [
+        ("bside_serve_connections_total", stats.connections),
+        ("bside_serve_requests_total", stats.requests),
+        ("bside_serve_store_hits_total", stats.store_hits),
+        ("bside_serve_analyses_total", stats.analyses),
+        ("bside_serve_coalesced_total", stats.coalesced),
+        ("bside_serve_invalidations_total", stats.invalidations),
+        ("bside_serve_bytes_read_total", stats.bytes_read),
+        ("bside_serve_errors_total", stats.errors),
+        ("bside_serve_panics_total", stats.panics),
+        ("bside_serve_degraded_total", stats.degraded),
+        ("bside_serve_store_entries", stats.store_entries),
+        ("bside_serve_generation", stats.generation),
+        ("bside_serve_breaker_state", stats.breaker_state),
+    ];
+    for (name, stats_value) in shared {
+        assert_eq!(
+            prom_value(&text, name),
+            stats_value,
+            "stats and metrics disagree on {name}"
+        );
+    }
+    // Sanity on absolute values so "both zero forever" can't pass.
+    assert_eq!(stats.analyses, 3);
+    assert_eq!(stats.store_hits, 3);
+    assert_eq!(stats.errors, 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn eight_concurrent_clients_times_fifty_requests() {
     let dir = scratch("concurrent");

@@ -894,6 +894,108 @@ fn phases_json(t: &PipelineTimings, indent: &str) -> String {
     format!("{{\n{}\n{indent}}}", rows.join(",\n"))
 }
 
+// ---------------------------------------------------------------------------
+// Filter-replay configuration: the per-syscall enforcement cost the
+// policy compiler (`bside-filter::compile`) exists to shrink. Each leg
+// drives a synthesized trace through the naive linear lowering and the
+// gate-checked optimized program via the bounds-checked evaluator and
+// records ns/eval plus instruction counts — flat legs for a
+// representative application profile and the adversarial BST worst case,
+// a phased leg for a real phase automaton.
+// ---------------------------------------------------------------------------
+
+struct FilterReplayLeg {
+    name: String,
+    kind: &'static str,
+    gate_points: Option<usize>,
+    report: bside::filter::replay::ThroughputReport,
+}
+
+fn run_filter_replay() -> Vec<FilterReplayLeg> {
+    use bside::filter::{bpf::BpfProgram, compile, replay, FilterPolicy};
+    const EVENTS: usize = 200_000;
+    const SEED: u64 = 0xB51DE;
+    let mut legs = Vec::new();
+
+    let profiles = bside::gen::profiles::all_profiles();
+    let fattest = profiles
+        .iter()
+        .max_by_key(|p| p.truth().len())
+        .expect("non-empty profile set");
+    let worst = bside::gen::profiles::bst_worstcase();
+    for (name, set) in [
+        (fattest.name.to_string(), fattest.truth()),
+        (worst.name.to_string(), worst.truth()),
+    ] {
+        let policy = FilterPolicy::allow_only(name.clone(), set);
+        let naive = BpfProgram::from_policy(&policy);
+        let compiled = compile::compile(&policy);
+        assert!(
+            compiled.report.used_optimized,
+            "equivalence gate fell back for {name}: {:?}",
+            compiled.report.fallback
+        );
+        let trace = replay::synthesize_flat_trace(&policy, EVENTS, SEED);
+        let report = replay::measure_throughput(&naive, &compiled.program, &trace, REPEATS)
+            .expect("well-formed programs");
+        legs.push(FilterReplayLeg {
+            name,
+            kind: "flat",
+            gate_points: compiled.report.proof.as_ref().map(|p| p.points),
+            report,
+        });
+    }
+
+    // Phased leg: a real automaton (lighttpd's), through the shared-prefix
+    // layered compilation. Aggregated sizes are the bundle's total
+    // instruction footprint across distinct phase programs.
+    let lighttpd = bside::gen::profiles::lighttpd();
+    let bundle = bside::serve::derive_bundle(
+        "lighttpd",
+        &lighttpd.program.image,
+        &AnalyzerOptions::default(),
+        None,
+    )
+    .expect("lighttpd derives");
+    if !bundle.phases.phases.is_empty() {
+        let report = replay::measure_phased_throughput(&bundle.phases, EVENTS, SEED, REPEATS)
+            .expect("well-formed phase programs");
+        legs.push(FilterReplayLeg {
+            name: "lighttpd".to_string(),
+            kind: "phased",
+            gate_points: None,
+            report,
+        });
+    }
+    legs
+}
+
+fn filter_replay_json(legs: &[FilterReplayLeg], indent: &str) -> String {
+    let entries: Vec<String> = legs
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\n{indent}    \"name\": \"{}\",\n{indent}    \"kind\": \"{}\",\n{indent}    \"gate_points\": {},\n{indent}    \"events\": {},\n{indent}    \"repeats\": {},\n{indent}    \"naive_len\": {},\n{indent}    \"optimized_len\": {},\n{indent}    \"naive_ns_per_eval\": {:.2},\n{indent}    \"optimized_ns_per_eval\": {:.2},\n{indent}    \"speedup\": {:.4}\n{indent}  }}",
+                l.name,
+                l.kind,
+                l.gate_points
+                    .map_or("null".to_string(), |p| p.to_string()),
+                l.report.events,
+                l.report.repeats,
+                l.report.naive_len,
+                l.report.optimized_len,
+                l.report.naive_ns_per_eval,
+                l.report.optimized_ns_per_eval,
+                l.report.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        "[\n{indent}  {}\n{indent}]",
+        entries.join(&format!(",\n{indent}  "))
+    )
+}
+
 fn config_json(r: &ConfigResult, indent: &str) -> String {
     let counts: Vec<String> = r
         .syscall_counts
@@ -1135,8 +1237,25 @@ fn main() {
         }
     };
 
+    // Filter-replay configuration: the enforcement-path cost of the
+    // compiled cBPF programs, naive vs optimized.
+    let filter_replay = run_filter_replay();
+    for l in &filter_replay {
+        eprintln!(
+            "  filter-replay ({}, {}): naive {} insns @ {:.1} ns/eval | optimized {} insns @ {:.1} ns/eval | speedup {:.2}x",
+            l.name,
+            l.kind,
+            l.report.naive_len,
+            l.report.naive_ns_per_eval,
+            l.report.optimized_len,
+            l.report.optimized_ns_per_eval,
+            l.report.speedup(),
+        );
+    }
+    let filter_replay_json_str = filter_replay_json(&filter_replay, "  ");
+
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {},\n  \"telemetry_overhead\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {},\n  \"telemetry_overhead\": {},\n  \"filter_replay\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -1150,6 +1269,7 @@ fn main() {
         storm_json_str,
         chaos_json_str,
         overhead_json_str,
+        filter_replay_json_str,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("  wrote {out_path}");

@@ -74,9 +74,15 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "policy",
-        synopsis: "(<elf> [--json|--bpf] | --invalidate KEY | --watch | --stats | --metrics | \
-                   --ping | --shutdown) (--socket PATH | --tcp ADDR)",
+        synopsis: "(<elf> [--json|--bpf|--disasm] | --invalidate KEY | --watch | --stats | \
+                   --metrics | --ping | --shutdown) (--socket PATH | --tcp ADDR)",
         run: cmd_policy,
+    },
+    Subcommand {
+        name: "replay",
+        synopsis: "<elf> [--events N] [--seed N] [--repeats N] [--trace FILE] [--phased] \
+                   [--json] [--check] [--metrics-dump]",
+        run: cmd_replay,
     },
     Subcommand {
         name: "demo",
@@ -896,6 +902,7 @@ fn cmd_policy(args: &[String]) -> CmdResult {
     let mut endpoint: Option<Endpoint> = None;
     let mut want_json = false;
     let mut want_bpf = false;
+    let mut want_disasm = false;
     let mut invalidate_key: Option<String> = None;
     let mut mode: Option<&'static str> = None;
     let mut it = args.iter();
@@ -907,6 +914,7 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         match arg.as_str() {
             "--json" => want_json = true,
             "--bpf" => want_bpf = true,
+            "--disasm" => want_disasm = true,
             "--invalidate" => {
                 invalidate_key = Some(it.next().ok_or("--invalidate needs KEY")?.clone());
                 mode = Some("invalidate");
@@ -999,7 +1007,21 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         fetch.bundle.policy.allowed.len(),
         fetch.bundle.phases.phases.len(),
     );
-    if want_bpf {
+    if want_disasm {
+        // The stored program is the compile-gated (optimized) lowering;
+        // the naive one is recomputed locally from the same policy so the
+        // two columns are guaranteed to describe the same allow-set.
+        let naive = bside_filter::bpf::BpfProgram::from_policy(&fetch.bundle.policy);
+        print!(
+            "{}",
+            side_by_side(
+                &format!("naive ({} insns)", naive.insns.len()),
+                &naive.listing(),
+                &format!("stored/optimized ({} insns)", fetch.bundle.bpf.insns.len()),
+                &fetch.bundle.bpf.listing(),
+            )
+        );
+    } else if want_bpf {
         print!("{}", fetch.bundle.bpf.listing());
     } else if want_json {
         println!("{}", serde_json::to_string_pretty(&fetch.bundle.policy)?);
@@ -1009,6 +1031,200 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// Renders two instruction listings in aligned columns — the
+/// `policy --disasm` output format.
+fn side_by_side(left_title: &str, left: &str, right_title: &str, right: &str) -> String {
+    let l: Vec<&str> = left.lines().collect();
+    let r: Vec<&str> = right.lines().collect();
+    let width = l
+        .iter()
+        .map(|s| s.len())
+        .chain([left_title.len()])
+        .max()
+        .unwrap_or(0)
+        + 2;
+    let mut out = format!("{left_title:<width$}| {right_title}\n");
+    for i in 0..l.len().max(r.len()) {
+        let lv = l.get(i).copied().unwrap_or("");
+        let rv = r.get(i).copied().unwrap_or("");
+        out.push_str(&format!("{lv:<width$}| {rv}\n"));
+    }
+    out
+}
+
+/// Parses a recorded trace file: whitespace-separated syscall numbers
+/// or names (`0 read openat 60`).
+fn parse_trace(path: &str) -> Result<Vec<bside_syscalls::Sysno>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    text.split_whitespace()
+        .map(|tok| {
+            if let Ok(nr) = tok.parse::<u32>() {
+                bside_syscalls::Sysno::new(nr)
+                    .ok_or_else(|| format!("{path}: syscall number {nr} out of range").into())
+            } else {
+                bside_syscalls::Sysno::from_name(tok)
+                    .ok_or_else(|| format!("{path}: unknown syscall name `{tok}`").into())
+            }
+        })
+        .collect()
+}
+
+fn cmd_replay(args: &[String]) -> CmdResult {
+    use bside_filter::{bpf::BpfProgram, compile, replay};
+
+    let mut elf: Option<String> = None;
+    let mut events = 1_000_000usize;
+    let mut seed: u64 = 0xB51DE;
+    let mut repeats = 3usize;
+    let mut trace_file: Option<String> = None;
+    let mut phased = false;
+    let mut want_json = false;
+    let mut check = false;
+    let mut metrics_dump = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => events = it.next().ok_or("--events needs N")?.parse()?,
+            "--seed" => seed = it.next().ok_or("--seed needs N")?.parse()?,
+            "--repeats" => repeats = it.next().ok_or("--repeats needs N")?.parse()?,
+            "--trace" => trace_file = Some(it.next().ok_or("--trace needs FILE")?.clone()),
+            "--phased" => phased = true,
+            "--json" => want_json = true,
+            "--check" => check = true,
+            "--metrics-dump" => metrics_dump = true,
+            other if elf.is_none() => elf = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let path = elf.ok_or("missing <elf> argument")?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let name = bside_serve::binary_name(std::path::Path::new(&path));
+    let bundle = bside_serve::derive_bundle(&name, &bytes, &analyzer_options_from_env(), None)
+        .map_err(|e| format!("deriving policy: {e}"))?;
+
+    // The flat leg: naive lowering vs the gate-checked compiler output.
+    let naive = BpfProgram::from_policy(&bundle.policy);
+    let compiled = compile::compile(&bundle.policy);
+    let trace = match &trace_file {
+        Some(file) => parse_trace(file)?,
+        None => replay::synthesize_flat_trace(&bundle.policy, events, seed),
+    };
+    if trace.is_empty() {
+        return Err("empty trace: the policy permits no system calls".into());
+    }
+    // Recorded traces may contain violations; synthesized ones cannot.
+    let violations = replay::replay_flat(&bundle.policy, &trace).len();
+    let flat = replay::measure_throughput(&naive, &compiled.program, &trace, repeats)
+        .map_err(|e| format!("flat replay: {e}"))?;
+    replay::record_throughput(&obs::global(), &flat);
+
+    let phased_report = if phased {
+        if bundle.phases.phases.is_empty() {
+            return Err("--phased: the binary's phase automaton is empty".into());
+        }
+        let r = replay::measure_phased_throughput(&bundle.phases, events, seed, repeats)
+            .map_err(|e| format!("phased replay: {e}"))?;
+        Some(r)
+    } else {
+        None
+    };
+
+    let report = &compiled.report;
+    if want_json {
+        let gate = match (&report.proof, &report.fallback) {
+            (Some(p), _) => format!(
+                "{{\"passed\":true,\"points\":{},\"arch_candidates\":{},\"nr_candidates\":{}}}",
+                p.points, p.arch_candidates, p.nr_candidates
+            ),
+            (None, Some(why)) => format!("{{\"passed\":false,\"fallback\":{why:?}}}"),
+            (None, None) => "{\"passed\":false}".to_string(),
+        };
+        let leg = |tag: &str, r: &replay::ThroughputReport| {
+            format!(
+                "\"{tag}\":{{\"events\":{},\"repeats\":{},\"naive_len\":{},\"optimized_len\":{},\
+                 \"naive_ns_per_eval\":{:.2},\"optimized_ns_per_eval\":{:.2},\"speedup\":{:.3}}}",
+                r.events,
+                r.repeats,
+                r.naive_len,
+                r.optimized_len,
+                r.naive_ns_per_eval,
+                r.optimized_ns_per_eval,
+                r.speedup()
+            )
+        };
+        let mut legs = leg("flat", &flat);
+        if let Some(p) = &phased_report {
+            legs.push(',');
+            legs.push_str(&leg("phased", p));
+        }
+        println!(
+            "{{\"binary\":{:?},\"used_optimized\":{},\"gate\":{gate},\
+             \"violations\":{violations},{legs}}}",
+            name, report.used_optimized
+        );
+    } else {
+        let leg = |tag: &str, r: &replay::ThroughputReport| {
+            println!(
+                "{tag}: naive {} insns @ {:.1} ns/eval | optimized {} insns @ {:.1} ns/eval | \
+                 speedup {:.2}x ({} events, best of {})",
+                r.naive_len,
+                r.naive_ns_per_eval,
+                r.optimized_len,
+                r.optimized_ns_per_eval,
+                r.speedup(),
+                r.events,
+                r.repeats
+            );
+        };
+        eprintln!(
+            "# {name}: {} syscall(s) allowed, gate {}, {violations} violation(s) in trace",
+            bundle.policy.allowed.len(),
+            match (&report.proof, &report.fallback) {
+                (Some(p), _) => format!("passed ({} points)", p.points),
+                (None, Some(why)) => format!("FELL BACK ({why})"),
+                (None, None) => "not run".to_string(),
+            }
+        );
+        leg("flat", &flat);
+        if let Some(p) = &phased_report {
+            leg("phased", p);
+        }
+    }
+
+    if check {
+        // The CI contract: the optimized program must win on both axes
+        // and the equivalence gate must actually have selected it.
+        if !report.used_optimized {
+            return Err(format!(
+                "--check: equivalence gate fell back to naive: {}",
+                report.fallback.as_deref().unwrap_or("unknown")
+            )
+            .into());
+        }
+        for (tag, r) in
+            std::iter::once(("flat", &flat)).chain(phased_report.iter().map(|p| ("phased", p)))
+        {
+            if r.optimized_len > r.naive_len {
+                return Err(format!(
+                    "--check: {tag} optimized program is larger than naive \
+                     ({} > {} insns)",
+                    r.optimized_len, r.naive_len
+                )
+                .into());
+            }
+            if r.optimized_ns_per_eval > r.naive_ns_per_eval {
+                return Err(format!(
+                    "--check: {tag} optimized program is slower than naive \
+                     ({:.1} > {:.1} ns/eval)",
+                    r.optimized_ns_per_eval, r.naive_ns_per_eval
+                )
+                .into());
+            }
+        }
+    }
+    dump_telemetry(None, metrics_dump)
 }
 
 fn cmd_demo(args: &[String]) -> CmdResult {

@@ -89,11 +89,19 @@ impl ResultCache {
 }
 
 /// Version of the cached-analysis semantics, mixed into every cache key.
-/// Bump it whenever the analyzer's identification semantics or the
-/// `bside_core::wire` format change in a result-affecting way, so a
-/// persistent cache directory never serves results computed by an older
-/// engine under an unchanged `(bytes, options)` pair.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// Bump it whenever the analyzer's identification semantics, the
+/// `bside_core::wire` format, or the policy-bundle derivation change in
+/// a result-affecting way, so a persistent cache directory never serves
+/// results computed by an older engine under an unchanged
+/// `(bytes, options)` pair.
+///
+/// * v1 — original analysis semantics, naive cBPF lowering.
+/// * v2 — policy bundles carry the optimized (BST-compiled) cBPF
+///   program from `bside_filter::compile`; the flow through
+///   [`options_fingerprint`] invalidates dist caches, serve policy
+///   stores, and fleet-agent hello compatibility alike, so naive and
+///   optimized artifacts never mix.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Canonical JSON of the result-affecting analyzer options. Excludes
 /// `parallelism` (unobservable by the determinism contract) so

@@ -1,0 +1,495 @@
+//! Exhaustive semantic-equivalence checking for seccomp-BPF programs.
+//!
+//! The optimizing backend in [`crate::compile`] must never change policy
+//! semantics, so every optimized program is checked against the naive
+//! lowering before it is allowed out of the compiler — in the spirit of
+//! component-assembly verification and SMT-gated synthesis loops, but
+//! specialized to the shape of seccomp filters so the check is both
+//! *exhaustive* and cheap enough to run on every compilation.
+//!
+//! # Why a finite check is exhaustive over `u32 × u32`
+//!
+//! Both lowerings only ever (a) load `seccomp_data.nr` (byte offset 0) or
+//! `seccomp_data.arch` (byte offset 4) into the accumulator and (b)
+//! branch on `==`, `>`, `>=` against compile-time constants. Such a
+//! program is a decision DAG whose every predicate is a half-plane or
+//! point test on `(arch, nr)`; its behavior is therefore *piecewise
+//! constant* over the `u32 × u32` input space, with pieces delimited per
+//! dimension by the compared constants. Checking one sample inside every
+//! piece checks every input: for each recorded constant `k` the
+//! candidate set `{k-1, k, k+1}` (saturating) plus the extremes
+//! `{0, u32::MAX}` contains at least one point of every piece, so
+//! verdict agreement on the candidate grid implies agreement on all
+//! 2^64 `(arch, nr)` pairs.
+//!
+//! The checker *proves* the piecewise-constant premise instead of
+//! assuming it: a forward dataflow pass over the (forward-only) jump
+//! graph tracks which `seccomp_data` word the accumulator holds at each
+//! instruction, and any construct outside the provable subset —
+//! `jset`-style bit tests, `ret A`, immediate loads, loads of the
+//! instruction pointer or arguments — is rejected as [`EquivError::
+//! Unsupported`], which makes [`crate::compile::compile`] fail closed to
+//! the naive program. On top of the boundary grid the checker always
+//! sweeps the full [`bside_syscalls::MAX_SYSNO`] `Sysno` space and two
+//! argument patterns (all-zero and all-ones `args`/`ip`), so the gate
+//! also witnesses directly that verdicts agree for every representable
+//! syscall number and do not depend on argument bytes.
+
+use crate::bpf::{execute, op, BpfEvalError, BpfInsn, SeccompData, AUDIT_ARCH_X86_64};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Evidence that the equivalence check ran to completion: how many
+/// concrete `(arch, nr, args)` probes were evaluated and how the
+/// candidate grid was built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivProof {
+    /// Total `(arch, nr, arg-pattern)` probes evaluated on *both*
+    /// programs.
+    pub points: usize,
+    /// Distinct arch candidates in the grid.
+    pub arch_candidates: usize,
+    /// Distinct syscall-number candidates in the grid (includes the full
+    /// `0..MAX_SYSNO` sweep).
+    pub nr_candidates: usize,
+}
+
+/// Why two programs could not be proven equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// An instruction outside the provably piecewise-constant subset —
+    /// the finite grid would not be exhaustive, so the check refuses.
+    Unsupported {
+        /// Location of the offending instruction.
+        pc: usize,
+        /// What was found there.
+        what: String,
+    },
+    /// The programs disagree on a concrete input: a genuine semantic
+    /// difference, with the counterexample attached.
+    Mismatch {
+        /// `seccomp_data.arch` of the counterexample.
+        arch: u32,
+        /// `seccomp_data.nr` of the counterexample.
+        nr: u32,
+        /// Verdict of the first (reference) program.
+        left: u32,
+        /// Verdict of the second (candidate) program.
+        right: u32,
+    },
+    /// One program is malformed: the bounds-checked evaluator rejected
+    /// it on a concrete input.
+    Eval {
+        /// `seccomp_data.arch` of the failing probe.
+        arch: u32,
+        /// `seccomp_data.nr` of the failing probe.
+        nr: u32,
+        /// What the evaluator reported.
+        err: BpfEvalError,
+    },
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::Unsupported { pc, what } => {
+                write!(f, "instruction {pc} outside the checkable subset: {what}")
+            }
+            EquivError::Mismatch {
+                arch,
+                nr,
+                left,
+                right,
+            } => write!(
+                f,
+                "verdicts diverge at arch={arch:#x} nr={nr}: {left:#x} vs {right:#x}"
+            ),
+            EquivError::Eval { arch, nr, err } => {
+                write!(f, "evaluation failed at arch={arch:#x} nr={nr}: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+/// Accumulator contents at an instruction, as proven by forward
+/// dataflow. `Init` is the pre-load zero; `Mixed` joins disagreeing
+/// paths — branching on either would break the piecewise argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Acc {
+    /// No path reaches this instruction (yet).
+    Unreached,
+    /// The initial accumulator (constant zero, nothing loaded).
+    Init,
+    /// `seccomp_data.nr`.
+    Nr,
+    /// `seccomp_data.arch`.
+    Arch,
+    /// Different words on different paths.
+    Mixed,
+}
+
+fn join(a: Acc, b: Acc) -> Acc {
+    match (a, b) {
+        (Acc::Unreached, x) | (x, Acc::Unreached) => x,
+        (x, y) if x == y => x,
+        _ => Acc::Mixed,
+    }
+}
+
+/// Collects the comparison constants of one program, per accumulator
+/// class, while proving the program stays inside the checkable subset.
+fn classify(
+    insns: &[BpfInsn],
+    arch_consts: &mut BTreeSet<u32>,
+    nr_consts: &mut BTreeSet<u32>,
+) -> Result<(), EquivError> {
+    let unsupported = |pc: usize, what: &str| EquivError::Unsupported {
+        pc,
+        what: what.to_string(),
+    };
+    let mut state = vec![Acc::Unreached; insns.len()];
+    if !insns.is_empty() {
+        state[0] = Acc::Init;
+    }
+    // Classic-BPF jumps are forward-only, so instruction order is a
+    // topological order and one pass settles the dataflow.
+    for pc in 0..insns.len() {
+        let acc = state[pc];
+        if acc == Acc::Unreached {
+            continue; // dead code cannot affect verdicts
+        }
+        let insn = insns[pc];
+        let flow_to = |target: usize, class: Acc, state: &mut Vec<Acc>| {
+            if let Some(slot) = state.get_mut(target) {
+                *slot = join(*slot, class);
+            }
+            // Out-of-range targets surface as Eval errors on the grid.
+        };
+        match insn.code {
+            op::LD_W_ABS => {
+                let class = match insn.k {
+                    0 => Acc::Nr,
+                    4 => Acc::Arch,
+                    _ => return Err(unsupported(pc, "load outside nr/arch words")),
+                };
+                flow_to(pc + 1, class, &mut state);
+            }
+            op::LD_IMM => return Err(unsupported(pc, "immediate load")),
+            op::JMP_JA => flow_to(pc + 1 + insn.k as usize, acc, &mut state),
+            op::JMP_JEQ_K | op::JMP_JGT_K | op::JMP_JGE_K => {
+                match acc {
+                    Acc::Nr => {
+                        nr_consts.insert(insn.k);
+                    }
+                    Acc::Arch => {
+                        arch_consts.insert(insn.k);
+                    }
+                    _ => return Err(unsupported(pc, "branch on unloaded or mixed accumulator")),
+                }
+                flow_to(pc + 1 + insn.jt as usize, acc, &mut state);
+                flow_to(pc + 1 + insn.jf as usize, acc, &mut state);
+            }
+            op::JMP_JSET_K => return Err(unsupported(pc, "bit-set test")),
+            op::RET_K => {}
+            op::RET_A => return Err(unsupported(pc, "accumulator return")),
+            _ => return Err(unsupported(pc, "unknown opcode")),
+        }
+    }
+    Ok(())
+}
+
+/// Boundary candidates for one dimension: the extremes plus `k-1, k,
+/// k+1` around every compared constant (saturating at the edges).
+fn candidates(consts: &BTreeSet<u32>, extra: impl IntoIterator<Item = u32>) -> Vec<u32> {
+    let mut out: BTreeSet<u32> = [0, u32::MAX].into();
+    for &k in consts {
+        out.insert(k.saturating_sub(1));
+        out.insert(k);
+        out.insert(k.saturating_add(1));
+    }
+    out.extend(extra);
+    out.into_iter().collect()
+}
+
+/// Proves two seccomp-BPF programs return identical verdicts on **every**
+/// `(arch, nr, args)` input, or returns why that could not be
+/// established.
+///
+/// See the module docs for the exhaustiveness argument. `left` is the
+/// reference (naive) program, `right` the candidate; a
+/// [`EquivError::Mismatch`] carries the counterexample with verdicts in
+/// that order.
+///
+/// # Errors
+///
+/// [`EquivError::Unsupported`] when either program leaves the checkable
+/// subset, [`EquivError::Mismatch`] on a real semantic difference,
+/// [`EquivError::Eval`] when either program is malformed.
+pub fn check_equivalent(left: &[BpfInsn], right: &[BpfInsn]) -> Result<EquivProof, EquivError> {
+    let mut arch_consts = BTreeSet::new();
+    let mut nr_consts = BTreeSet::new();
+    classify(left, &mut arch_consts, &mut nr_consts)?;
+    classify(right, &mut arch_consts, &mut nr_consts)?;
+
+    let arch_grid = candidates(&arch_consts, [AUDIT_ARCH_X86_64]);
+    // The full representable Sysno space rides along so the gate also
+    // directly witnesses every number a SyscallSet can hold.
+    let nr_grid = candidates(&nr_consts, 0..bside_syscalls::MAX_SYSNO);
+
+    // Argument patterns: the checkable subset cannot read ip/args (the
+    // dataflow pass above proved it), but probe two extremes anyway so a
+    // regression in `classify` itself cannot silently weaken the gate.
+    let patterns = [
+        |d: SeccompData| d,
+        |mut d: SeccompData| {
+            d.instruction_pointer = u64::MAX;
+            d.args = [u64::MAX; 6];
+            d
+        },
+    ];
+
+    let mut points = 0usize;
+    for &arch in &arch_grid {
+        for &nr in &nr_grid {
+            for pattern in &patterns {
+                let data = pattern(SeccompData::new(arch, nr));
+                let lv = execute(left, &data).map_err(|err| EquivError::Eval { arch, nr, err })?;
+                let rv = execute(right, &data).map_err(|err| EquivError::Eval { arch, nr, err })?;
+                if lv != rv {
+                    return Err(EquivError::Mismatch {
+                        arch,
+                        nr,
+                        left: lv,
+                        right: rv,
+                    });
+                }
+                points += 1;
+            }
+        }
+    }
+    Ok(EquivProof {
+        points,
+        arch_candidates: arch_grid.len(),
+        nr_candidates: nr_grid.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpf::{BpfProgram, RET_ALLOW, RET_KILL};
+    use crate::FilterPolicy;
+    use bside_syscalls::SyscallSet;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_policy(rng: &mut SmallRng) -> FilterPolicy {
+        let density = rng.gen_range(1u32..100);
+        let allowed: SyscallSet = bside_syscalls::table::iter()
+            .filter(|_| rng.gen_range(0u32..100) < density)
+            .map(|(nr, _)| bside_syscalls::Sysno::new(nr).expect("table nr"))
+            .collect();
+        FilterPolicy::allow_only("prop", allowed)
+    }
+
+    #[test]
+    fn a_program_is_equivalent_to_itself() {
+        let prog = BpfProgram::from_policy(&FilterPolicy::allow_only("t", SyscallSet::all_known()));
+        let proof = check_equivalent(&prog.insns, &prog.insns).expect("reflexive");
+        assert!(proof.points > 0);
+        assert!(proof.nr_candidates >= bside_syscalls::MAX_SYSNO as usize);
+    }
+
+    #[test]
+    fn naive_lowerings_of_the_same_policy_agree() {
+        for case in 0..16u64 {
+            let mut rng = SmallRng::seed_from_u64(0xE9_0001 ^ case);
+            let policy = random_policy(&mut rng);
+            let a = BpfProgram::from_policy(&policy);
+            let b = BpfProgram::from_policy(&policy);
+            check_equivalent(&a.insns, &b.insns).expect("identical lowering");
+        }
+    }
+
+    #[test]
+    fn seeded_verdict_mutations_are_caught() {
+        // Flip each allow/kill return of a small program in turn; the
+        // grid must produce a counterexample for every single one.
+        let allowed: SyscallSet = ["read", "write", "openat", "close", "mmap"]
+            .iter()
+            .filter_map(|n| bside_syscalls::Sysno::from_name(n))
+            .collect();
+        let reference = BpfProgram::from_policy(&FilterPolicy::allow_only("t", allowed));
+        let mut flipped = 0;
+        for pc in 0..reference.insns.len() {
+            let mut mutant = reference.insns.clone();
+            if mutant[pc].code != op::RET_K {
+                continue;
+            }
+            mutant[pc].k = if mutant[pc].k == RET_ALLOW {
+                RET_KILL
+            } else {
+                RET_ALLOW
+            };
+            match check_equivalent(&reference.insns, &mutant) {
+                Err(EquivError::Mismatch { left, right, .. }) => {
+                    assert_ne!(left, right);
+                    flipped += 1;
+                }
+                other => panic!("mutation at {pc} not caught: {other:?}"),
+            }
+        }
+        assert!(flipped >= 7, "every ret was mutated and caught: {flipped}");
+    }
+
+    #[test]
+    fn seeded_constant_mutations_are_caught() {
+        let allowed: SyscallSet = bside_syscalls::table::iter()
+            .take(40)
+            .map(|(nr, _)| bside_syscalls::Sysno::new(nr).expect("table nr"))
+            .collect();
+        let reference = BpfProgram::from_policy(&FilterPolicy::allow_only("t", allowed));
+        let mut rng = SmallRng::seed_from_u64(0xE9_0002);
+        let mut caught = 0;
+        for _ in 0..24 {
+            let pc = rng.gen_range(0..reference.insns.len());
+            let mut mutant = reference.insns.clone();
+            if mutant[pc].code != op::JMP_JEQ_K || mutant[pc].k == AUDIT_ARCH_X86_64 {
+                continue;
+            }
+            // Move a matched number out of the allow-list.
+            mutant[pc].k += 5000;
+            assert!(
+                matches!(
+                    check_equivalent(&reference.insns, &mutant),
+                    Err(EquivError::Mismatch { .. })
+                ),
+                "constant mutation at {pc} must be caught"
+            );
+            caught += 1;
+        }
+        assert!(caught > 0, "at least one jeq constant was mutated");
+    }
+
+    #[test]
+    fn constructs_outside_the_subset_fail_closed() {
+        let ret = BpfInsn {
+            code: op::RET_K,
+            jt: 0,
+            jf: 0,
+            k: RET_KILL,
+        };
+        let ld_nr = BpfInsn {
+            code: op::LD_W_ABS,
+            jt: 0,
+            jf: 0,
+            k: 0,
+        };
+        let cases: Vec<(Vec<BpfInsn>, &str)> = vec![
+            (
+                vec![
+                    ld_nr,
+                    BpfInsn {
+                        code: op::JMP_JSET_K,
+                        jt: 0,
+                        jf: 0,
+                        k: 1,
+                    },
+                    ret,
+                ],
+                "bit-set",
+            ),
+            (
+                vec![
+                    ld_nr,
+                    BpfInsn {
+                        code: op::RET_A,
+                        jt: 0,
+                        jf: 0,
+                        k: 0,
+                    },
+                ],
+                "ret A",
+            ),
+            (
+                vec![
+                    BpfInsn {
+                        code: op::LD_IMM,
+                        jt: 0,
+                        jf: 0,
+                        k: 7,
+                    },
+                    ret,
+                ],
+                "ld imm",
+            ),
+            (
+                vec![
+                    BpfInsn {
+                        code: op::LD_W_ABS,
+                        jt: 0,
+                        jf: 0,
+                        k: 16,
+                    },
+                    ret,
+                ],
+                "args load",
+            ),
+            (
+                vec![
+                    BpfInsn {
+                        code: op::JMP_JEQ_K,
+                        jt: 0,
+                        jf: 0,
+                        k: 1,
+                    },
+                    ret,
+                ],
+                "branch before load",
+            ),
+        ];
+        for (prog, what) in cases {
+            assert!(
+                matches!(
+                    check_equivalent(&prog, &prog),
+                    Err(EquivError::Unsupported { .. })
+                ),
+                "{what} must be unsupported"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_code_does_not_trip_the_subset_check() {
+        // An unreachable jset after the final ret is never executed and
+        // must not block the proof.
+        let mut insns = BpfProgram::from_policy(&FilterPolicy::allow_only(
+            "t",
+            [bside_syscalls::well_known::READ].into_iter().collect(),
+        ))
+        .insns;
+        insns.push(BpfInsn {
+            code: op::JMP_JSET_K,
+            jt: 0,
+            jf: 0,
+            k: 1,
+        });
+        check_equivalent(&insns, &insns).expect("dead code ignored");
+    }
+
+    #[test]
+    fn malformed_candidates_surface_as_eval_errors() {
+        let reference = BpfProgram::from_policy(&FilterPolicy::allow_only(
+            "t",
+            [bside_syscalls::well_known::READ].into_iter().collect(),
+        ));
+        let mut truncated = reference.insns.clone();
+        truncated.pop();
+        assert!(matches!(
+            check_equivalent(&reference.insns, &truncated),
+            Err(EquivError::Eval { .. })
+        ));
+    }
+}

@@ -13,8 +13,14 @@
 //!   transition structure driving phase switches at enforcement time;
 //! * [`metrics`] — precision / recall / F1 against a ground truth
 //!   (Table 1);
-//! * [`replay`] — trace replay validation: does a recorded execution pass
-//!   under the derived policy? (§5.1's validation methodology);
+//! * [`replay`] — trace replay validation and the eval-throughput
+//!   harness: does a recorded execution pass under the derived policy
+//!   (§5.1's validation methodology), and how many ns does each verdict
+//!   cost?
+//! * [`compile`] — the optimizing cBPF backend: interval IR, balanced
+//!   binary-search-tree dispatch, phase-aware layering;
+//! * [`equiv`] — the exhaustive equivalence gate every optimized
+//!   program must pass against the naive lowering before it ships;
 //! * [`cve_eval`] — the Table 5 computation: which fraction of a binary
 //!   population a derived policy protects against each kernel CVE.
 //!
@@ -38,7 +44,9 @@
 #![warn(missing_docs)]
 
 pub mod bpf;
+pub mod compile;
 pub mod cve_eval;
+pub mod equiv;
 pub mod metrics;
 pub mod replay;
 pub mod wire;

@@ -337,6 +337,37 @@ pub fn all_profiles() -> Vec<AppProfile> {
     ]
 }
 
+/// The worst-case policy profile for the cBPF compiler's BST lowering:
+/// a sparse allow-set with **no two adjacent syscall numbers**, emitted
+/// in adversarially interleaved order, so interval coalescing finds
+/// nothing to merge and dispatch cost is pure tree depth. Not part of
+/// [`all_profiles`] (it models no paper application); the replay bench
+/// and the CI compiler smoke job use it to measure the tree instead of
+/// dense happy-path allow-sets.
+pub fn bst_worstcase() -> AppProfile {
+    // Numbers ≡ 1 (mod 3) across the classic table: maximally spread,
+    // gap ≥ 2 everywhere. Interleave the emission order (low/high
+    // alternating) so adjacent scenarios never carry adjacent numbers
+    // either.
+    let sparse: Vec<u32> = (0..56u32)
+        .map(|i| {
+            if i % 2 == 0 {
+                1 + 3 * (i / 2)
+            } else {
+                1 + 3 * (111 - i / 2)
+            }
+        })
+        // The generator adds `exit` (60) to every program; its
+        // neighbors would coalesce with it into a range.
+        .filter(|&nr| !(59..=61).contains(&nr))
+        .collect();
+    let chunks: Vec<Scenario> = sparse
+        .chunks(14)
+        .map(|c| Scenario::Direct(c.to_vec()))
+        .collect();
+    profile("bst_worstcase", WrapperStyle::None, chunks, None)
+}
+
 /// A hello-world-sized program (the §4.7 cost-comparison subject).
 pub fn hello_world() -> AppProfile {
     profile(
@@ -401,5 +432,20 @@ mod tests {
     #[test]
     fn profiles_are_deterministic() {
         assert_eq!(nginx().program.image, nginx().program.image);
+    }
+
+    #[test]
+    fn bst_worstcase_is_sparse_and_adversarially_interleaved() {
+        let p = bst_worstcase();
+        let traced = trace_syscalls(&p.program, &[]);
+        assert_eq!(traced, p.truth(), "traces to its ground truth");
+        let numbers: Vec<u32> = p.truth().iter().map(|s| s.raw()).collect();
+        assert!(numbers.len() >= 48, "enough singletons to exercise depth");
+        for w in numbers.windows(2) {
+            assert!(
+                w[1] - w[0] >= 2,
+                "adjacent numbers {w:?} would coalesce into one interval"
+            );
+        }
     }
 }

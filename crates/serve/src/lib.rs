@@ -63,7 +63,6 @@ pub use store::{library_fingerprint, PolicyStore};
 
 use bside_core::phase::{detect_phases, PhaseOptions};
 use bside_core::{Analyzer, AnalyzerOptions, LibraryStore};
-use bside_filter::bpf::BpfProgram;
 use bside_filter::{FilterPolicy, PhasePolicy};
 use bside_syscalls::SyscallSet;
 use std::collections::HashMap;
@@ -136,7 +135,11 @@ pub fn derive_bundle_parsed(
     let automaton = detect_phases(&analysis.cfg, &site_sets, &PhaseOptions::default());
     let policy = FilterPolicy::allow_only(name, analysis.syscalls);
     let phases = PhasePolicy::from_automaton(name, &automaton);
-    let bpf = BpfProgram::from_policy(&policy);
+    // The optimized lowering, gated by the exhaustive equivalence check
+    // against the naive program; falls back to naive if the gate cannot
+    // prove them identical. CACHE_FORMAT_VERSION was bumped with this
+    // change so stores never mix naive and optimized artifacts.
+    let bpf = bside_filter::compile::compile(&policy).program;
     Ok(PolicyBundle {
         binary: name.to_string(),
         policy,

@@ -696,6 +696,151 @@ fn run_serve_in(
     })
 }
 
+/// The C10k measurement: store-hit throughput on a two-thread daemon
+/// with and without a crowd of parked keyed watchers, plus the wall time
+/// for one targeted invalidate to wake the whole crowd.
+struct ServeC10kResult {
+    idlers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    baseline: Duration,
+    with_idlers: Duration,
+    /// Invalidate sent → every idler's wake reply read.
+    wake_all: Duration,
+}
+
+impl ServeC10kResult {
+    /// With-idlers throughput as a fraction of the idle-free baseline
+    /// (1.0 = parked watchers are free).
+    fn throughput_ratio(&self) -> f64 {
+        self.baseline.as_secs_f64() / self.with_idlers.as_secs_f64().max(1e-9)
+    }
+}
+
+fn run_serve_c10k(
+    idlers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    image: &(String, Vec<u8>),
+) -> Option<ServeC10kResult> {
+    let dir = std::env::temp_dir().join(format!("bside_bench_c10k_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let result = run_serve_c10k_in(idlers, clients, requests_per_client, image, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_serve_c10k_in(
+    idlers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    (name, bytes): &(String, Vec<u8>),
+    dir: &std::path::Path,
+) -> Option<ServeC10kResult> {
+    use std::io::{BufRead, Write};
+    let path = dir.join(format!("{name}.elf"));
+    std::fs::write(&path, bytes).ok()?;
+    let path = path.to_str()?.to_string();
+    let socket = dir.join("bside.sock");
+    let server = PolicyServer::spawn(
+        &Endpoint::Unix(socket.clone()),
+        ServeOptions {
+            threads: 2, // the headline: two threads, thousands of watches
+            read_timeout: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .ok()?;
+
+    let mut control = PolicyClient::connect(server.endpoint()).ok()?;
+    let first = control.fetch_path(&path).ok()?;
+
+    let hammer = |threads: usize, rounds: usize| -> Option<Duration> {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let path = &path;
+                    let server = &server;
+                    scope.spawn(move || -> Option<()> {
+                        let mut client = PolicyClient::connect(server.endpoint()).ok()?;
+                        for _ in 0..rounds {
+                            let fetch = client.fetch_path(path).ok()?;
+                            if fetch.source != Source::Store {
+                                return None;
+                            }
+                        }
+                        Some(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .try_for_each(|h| h.join().expect("client thread"))
+        })?;
+        Some(t0.elapsed())
+    };
+
+    // Warm, then best-of-two on both legs so scheduler noise hits the
+    // baseline and the loaded run symmetrically.
+    hammer(clients, requests_per_client / 4 + 1)?;
+    let baseline = hammer(clients, requests_per_client)?.min(hammer(clients, requests_per_client)?);
+
+    // Park the idler crowd: raw keyed `watch` frames, one socket each,
+    // no reply read — exactly how a fleet of enforcement agents idles.
+    let mut watchers: Vec<std::io::BufReader<std::os::unix::net::UnixStream>> = (0..idlers)
+        .map(|_| {
+            let stream = std::os::unix::net::UnixStream::connect(&socket).expect("idler connects");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            let mut reader = std::io::BufReader::new(stream);
+            let mut hello = String::new();
+            reader.read_line(&mut hello).expect("hello");
+            let frame = format!(
+                "{{\"type\":\"watch\",\"generation\":{},\"key\":\"{}\"}}\n",
+                first.generation, first.key
+            );
+            reader.get_mut().write_all(frame.as_bytes()).expect("park");
+            reader
+        })
+        .collect();
+    let parked_by = Instant::now() + Duration::from_secs(30);
+    while server.parked_watches() < idlers as u64 && Instant::now() < parked_by {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if server.parked_watches() < idlers as u64 {
+        return None;
+    }
+
+    let with_idlers =
+        hammer(clients, requests_per_client)?.min(hammer(clients, requests_per_client)?);
+
+    // One targeted invalidate wakes the entire crowd; time to last reply.
+    let t0 = Instant::now();
+    let (removed, _) = control.invalidate(&first.key).ok()?;
+    if !removed {
+        return None;
+    }
+    for watcher in &mut watchers {
+        let mut line = String::new();
+        watcher.read_line(&mut line).ok()?;
+        if !line.contains("\"generation\"") {
+            return None;
+        }
+    }
+    let wake_all = t0.elapsed();
+    server.shutdown();
+    Some(ServeC10kResult {
+        idlers,
+        clients,
+        requests_per_client,
+        baseline,
+        with_idlers,
+        wake_all,
+    })
+}
+
 /// The cold-storm measurement: N clients hit one *cold* key at once and
 /// the single-flight table should collapse them into one analysis.
 struct ColdStormResult {
@@ -882,6 +1027,19 @@ fn serve_json(r: &ServeBenchResult, indent: &str) -> String {
         r.percentile_us(0.99),
         r.analyses,
         r.store_hits,
+    )
+}
+
+fn serve_c10k_json(r: &ServeC10kResult, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"idlers\": {},\n{indent}  \"clients\": {},\n{indent}  \"requests_per_client\": {},\n{indent}  \"baseline_wall_us\": {},\n{indent}  \"with_idlers_wall_us\": {},\n{indent}  \"throughput_ratio\": {:.4},\n{indent}  \"wake_all_us\": {}\n{indent}}}",
+        r.idlers,
+        r.clients,
+        r.requests_per_client,
+        r.baseline.as_micros(),
+        r.with_idlers.as_micros(),
+        r.throughput_ratio(),
+        r.wake_all.as_micros(),
     )
 }
 
@@ -1141,6 +1299,31 @@ fn main() {
         }
     };
 
+    // C10k configuration: the readiness loop's claim in one number — a
+    // crowd of parked keyed watchers costs the active store-hit path
+    // (two worker threads) almost nothing, and one targeted invalidate
+    // wakes the whole crowd in one loop turn.
+    let c10k_idlers = 1000usize;
+    let c10k = run_serve_c10k(c10k_idlers, serve_clients, serve_requests, &images[0]);
+    let c10k_json_str = match &c10k {
+        Some(c) => {
+            eprintln!(
+                "  serve-c10k (idlers={}, clients={}): baseline {:.1} ms vs loaded {:.1} ms ({:.1}% throughput) | wake-all {:.1} ms",
+                c.idlers,
+                c.clients,
+                c.baseline.as_secs_f64() * 1e3,
+                c.with_idlers.as_secs_f64() * 1e3,
+                c.throughput_ratio() * 100.0,
+                c.wake_all.as_secs_f64() * 1e3,
+            );
+            serve_c10k_json(c, "  ")
+        }
+        None => {
+            eprintln!("  serve-c10k: skipped (daemon spawn or a request failed)");
+            "null".to_string()
+        }
+    };
+
     // Cold-storm configuration: 16 clients, one cold key, single-flight
     // coalescing observable as `analyses == 1, duplicated == 0` (without
     // it the storm would burn up to 16 identical analyses). The largest
@@ -1255,7 +1438,7 @@ fn main() {
     let filter_replay_json_str = filter_replay_json(&filter_replay, "  ");
 
     let json = format!(
-        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {},\n  \"telemetry_overhead\": {},\n  \"filter_replay\": {}\n}}\n",
+        "{{\n  \"harness\": \"bench_snapshot\",\n  \"corpus\": \"gen::profiles::all_profiles + corpus_with_size(DEFAULT_SEED, 48, 0, 0)\",\n  \"binaries\": {},\n  \"repeats\": {},\n  \"num_cpus\": {},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {:.4},\n  \"distributed\": {},\n  \"speedup_distributed\": {},\n  \"fleet\": {},\n  \"serve\": {},\n  \"serve_c10k\": {},\n  \"serve_cold_storm\": {},\n  \"fleet_chaos\": {},\n  \"telemetry_overhead\": {},\n  \"filter_replay\": {}\n}}\n",
         binaries.len(),
         REPEATS,
         ncpus,
@@ -1266,6 +1449,7 @@ fn main() {
         dist_speedup_json,
         fleet_json_str,
         serve_json_str,
+        c10k_json_str,
         storm_json_str,
         chaos_json_str,
         overhead_json_str,

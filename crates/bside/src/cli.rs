@@ -74,7 +74,7 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "policy",
-        synopsis: "(<elf> [--json|--bpf|--disasm] | --invalidate KEY | --watch | --stats | \
+        synopsis: "(<elf> [--json|--bpf|--disasm] | --invalidate KEY | --watch [KEY] | --stats | \
                    --metrics | --ping | --shutdown) (--socket PATH | --tcp ADDR)",
         run: cmd_policy,
     },
@@ -904,6 +904,7 @@ fn cmd_policy(args: &[String]) -> CmdResult {
     let mut want_bpf = false;
     let mut want_disasm = false;
     let mut invalidate_key: Option<String> = None;
+    let mut watch_key: Option<String> = None;
     let mut mode: Option<&'static str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -919,7 +920,18 @@ fn cmd_policy(args: &[String]) -> CmdResult {
                 invalidate_key = Some(it.next().ok_or("--invalidate needs KEY")?.clone());
                 mode = Some("invalidate");
             }
-            "--watch" => mode = Some("watch"),
+            "--watch" => {
+                mode = Some("watch");
+                // The KEY is optional; it is recognized by shape (the
+                // canonical 64-hex store key) so `--watch --socket …`
+                // still parses as a keyless watch.
+                let next_is_key = it.clone().next().is_some_and(|a| {
+                    a.len() == 64 && a.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+                });
+                if next_is_key {
+                    watch_key = it.next().cloned();
+                }
+            }
             "--stats" => mode = Some("stats"),
             "--metrics" => mode = Some("metrics"),
             "--ping" => mode = Some("ping"),
@@ -974,10 +986,19 @@ fn cmd_policy(args: &[String]) -> CmdResult {
         }
         Some("watch") => {
             // Anchor on the hello's generation and block until the store
-            // mutates — the push channel for enforcement agents.
+            // mutates — the push channel for enforcement agents. With a
+            // KEY, only mutations of that entry fire the watch (v5).
             let seen = client.generation_at_connect();
-            eprintln!("# watching from generation {seen}");
-            let generation = client.wait_for_generation(seen)?;
+            let generation = match watch_key.as_deref() {
+                Some(key) => {
+                    eprintln!("# watching key {key} from generation {seen}");
+                    client.wait_for_key(key, seen)?
+                }
+                None => {
+                    eprintln!("# watching from generation {seen}");
+                    client.wait_for_generation(seen)?
+                }
+            };
             println!("generation {generation}");
             return Ok(());
         }

@@ -40,7 +40,7 @@ use bside_dist::coordinator::{CorpusRun, RunStats, UnitReport};
 use bside_dist::worker::read_error_message;
 use bside_dist::{DistError, FailureKind, UnitFailure};
 use bside_obs as obs;
-use bside_serve::net::{cleanup, is_timeout, Listener};
+use bside_serve::net::{cleanup, is_deadline, Listener};
 use bside_serve::{Conn, Endpoint, PolicyBundle};
 use std::io::BufReader;
 use std::path::PathBuf;
@@ -735,7 +735,7 @@ fn run_session(shared: &Arc<FleetShared>, conn: Conn) {
                 message
             }
             Ok(None) => break FailureKind::WorkerCrash, // clean EOF
-            Err(e) if is_timeout(&e) => break FailureKind::Timeout, // silence
+            Err(e) if is_deadline(&e) => break FailureKind::Timeout, // silence
             Err(_) => break FailureKind::Protocol,
         };
         match message_id(&message) {

@@ -4,7 +4,7 @@
 use crate::net::{Conn, Endpoint};
 use crate::protocol::{
     read_message, write_message, PolicyBundle, Reply, Request, Source, StatsSnapshot,
-    PROTOCOL_VERSION,
+    OLDEST_COMPATIBLE_VERSION, PROTOCOL_VERSION,
 };
 use std::fmt;
 use std::io::BufReader;
@@ -92,13 +92,21 @@ impl PolicyClient {
             Some(Reply::Hello {
                 version,
                 generation,
-            }) if version == PROTOCOL_VERSION => Ok(PolicyClient {
-                writer,
-                reader,
-                hello_generation: generation,
-            }),
+            }) if (OLDEST_COMPATIBLE_VERSION..=PROTOCOL_VERSION).contains(&version) => {
+                // v4 servers differ from v5 only by the optional `key`
+                // field on `watch` — and the field is absent-tolerant in
+                // both directions, so everything but keyed-watch
+                // *precision* works against a v4 daemon (a keyed watch
+                // degrades to whole-store wakes: spurious, never lost).
+                Ok(PolicyClient {
+                    writer,
+                    reader,
+                    hello_generation: generation,
+                })
+            }
             Some(Reply::Hello { version, .. }) => Err(ServeError::Protocol(format!(
-                "server speaks protocol v{version}, expected v{PROTOCOL_VERSION}"
+                "server speaks protocol v{version}, expected \
+                 v{OLDEST_COMPATIBLE_VERSION}..=v{PROTOCOL_VERSION}"
             ))),
             other => Err(ServeError::Protocol(format!(
                 "expected hello, got {other:?}"
@@ -186,7 +194,25 @@ impl PolicyClient {
     /// shutting down fails the watch with an in-band error. Use a
     /// connection without a read timeout: the wait is open-ended.
     pub fn wait_for_generation(&mut self, seen: u64) -> Result<u64, ServeError> {
-        match self.call(&Request::Watch { generation: seen })? {
+        self.watch(seen, None)
+    }
+
+    /// [`Self::wait_for_generation`], scoped to one store key (v5): the
+    /// watch fires only when *that* entry is mutated (inserted,
+    /// re-analyzed, invalidated, or swept), not on unrelated store
+    /// traffic — the fan-out an enforcement agent wants when it caches
+    /// one binary's policy. Against an older (v4) daemon the key is
+    /// ignored and this degrades to a whole-store watch: wakes may be
+    /// spurious, but are never lost.
+    pub fn wait_for_key(&mut self, key: &str, seen: u64) -> Result<u64, ServeError> {
+        self.watch(seen, Some(key.to_string()))
+    }
+
+    fn watch(&mut self, seen: u64, key: Option<String>) -> Result<u64, ServeError> {
+        match self.call(&Request::Watch {
+            generation: seen,
+            key,
+        })? {
             Reply::Generation { generation } => Ok(generation),
             Reply::Error { message } => Err(ServeError::Server(message)),
             other => Err(ServeError::Protocol(format!(

@@ -15,11 +15,18 @@
 //!   a monotonic **generation counter** bumped by every mutation;
 //! * a versioned **NDJSON request/response protocol** ([`protocol`])
 //!   over Unix-domain or TCP sockets ([`net`]), with explicit framing,
-//!   in-band error replies, and push-style `watch` notification;
-//! * a **thread-pool server** ([`server`]) with graceful shutdown,
-//!   per-connection panic isolation, and **single-flight** analyze-on-miss
-//!   (the `flight` table): N concurrent cold requests for the same binary run
-//!   exactly one analysis, the rest block and share the result
+//!   in-band error replies, and push-style `watch` notification — since
+//!   v5 optionally **per key**: a keyed watch fires only when *its*
+//!   store entry is mutated;
+//! * a **readiness-loop server** ([`server`]): one event-loop thread
+//!   multiplexes every connection over the vendored `poll(2)` shim
+//!   (the `shims/poll` workspace crate), dispatching complete request lines
+//!   to a small worker pool — idle and watch-parked connections cost no
+//!   thread, so a two-thread daemon holds thousands of open watches —
+//!   with graceful shutdown, per-connection panic isolation, and
+//!   **single-flight** analyze-on-miss (the `flight` table): N
+//!   concurrent cold requests for the same binary run exactly one
+//!   analysis, the rest block and share the result
 //!   (`source: "Coalesced"`);
 //! * **dynamic binaries**: with [`ServeOptions::library_dir`] pointing
 //!   at a directory of `§4.5` shared-interface JSONs, `DT_NEEDED`
@@ -51,6 +58,7 @@ pub mod client;
 pub(crate) mod flight;
 pub mod net;
 pub mod protocol;
+pub(crate) mod readiness;
 pub mod server;
 pub mod store;
 

@@ -9,6 +9,7 @@
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -84,10 +85,31 @@ impl Listener {
     }
 
     /// Blocks until a peer connects and returns the accepted connection.
+    /// On a nonblocking listener, returns `WouldBlock` when no peer is
+    /// pending instead of blocking.
     pub fn accept(&self) -> std::io::Result<Conn> {
         match self {
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
             Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+
+    /// Switches the listener between blocking and nonblocking accepts —
+    /// the readiness loop polls the listening socket alongside every
+    /// connection instead of dedicating a thread to `accept`.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
         }
     }
 }
@@ -160,6 +182,15 @@ impl Conn {
     }
 }
 
+impl AsRawFd for Conn {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Unix(s) => s.as_raw_fd(),
+            Conn::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
 impl Read for Conn {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
@@ -192,9 +223,21 @@ pub fn cleanup(endpoint: &Endpoint) {
     }
 }
 
-/// `true` when an I/O error is a read-timeout expiry rather than a real
-/// failure (the two kinds differ across platforms).
-pub fn is_timeout(e: &std::io::Error) -> bool {
+/// `true` when an I/O error means "the socket is not ready right now" —
+/// a nonblocking read or write that found nothing to do. Strictly
+/// `WouldBlock`: on a nonblocking socket this is routine flow control,
+/// never a failure, and conflating it with `TimedOut` (as the old
+/// `is_timeout` did) would misread ordinary backpressure as a deadline.
+pub fn is_would_block(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::WouldBlock
+}
+
+/// `true` when an I/O error means a configured read deadline expired on a
+/// *blocking* socket (`set_read_timeout`). Platforms disagree on the
+/// kind — Linux reports `WouldBlock`, others `TimedOut` — so both map
+/// here. Only meaningful for blocking sockets; on a nonblocking socket
+/// use [`is_would_block`], where `WouldBlock` means "not ready".
+pub fn is_deadline(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -227,6 +270,43 @@ mod tests {
             let ep = Endpoint::parse(spec);
             assert_eq!(Endpoint::parse(&ep.to_string()), ep);
         }
+    }
+
+    #[test]
+    fn nonblocking_not_ready_is_would_block_not_deadline() {
+        // A nonblocking socket with nothing buffered: the error is
+        // routine "not ready" flow control. is_would_block must accept
+        // it; both classifiers match WouldBlock, but the distinction
+        // that matters is below — a real deadline expiry is NOT
+        // would-block.
+        let (a, _b) = UnixStream::pair().expect("pair");
+        a.set_nonblocking(true).expect("nonblocking");
+        let mut conn = Conn::Unix(a);
+        let mut buf = [0u8; 8];
+        let err = conn.read(&mut buf).expect_err("nothing to read");
+        assert!(
+            is_would_block(&err),
+            "nonblocking empty read is would-block"
+        );
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn blocking_deadline_expiry_is_deadline() {
+        // A blocking socket with a read timeout: expiry is a deadline,
+        // whatever kind the platform reports (Linux says WouldBlock,
+        // others TimedOut). is_deadline accepts both kinds.
+        let (a, _b) = UnixStream::pair().expect("pair");
+        a.set_read_timeout(Some(Duration::from_millis(30)))
+            .expect("timeout");
+        let mut conn = Conn::Unix(a);
+        let mut buf = [0u8; 8];
+        let err = conn.read(&mut buf).expect_err("deadline expires");
+        assert!(is_deadline(&err), "read-timeout expiry is a deadline");
+        // And a genuine failure is neither.
+        let real = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone");
+        assert!(!is_would_block(&real));
+        assert!(!is_deadline(&real));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!                   {"type":"policy_by_key","key":"9f2c…"}
 //!                   {"type":"invalidate","key":"9f2c…"}
 //!                   {"type":"watch","generation":7}
+//!                   {"type":"watch","generation":7,"key":"9f2c…"}
 //!                   {"type":"stats"} | {"type":"ping"} | {"type":"shutdown"}
 //! server → client   {"type":"policy","key":"9f2c…","source":"Store","generation":7,"bundle":{…}}
 //!                   {"type":"invalidated","key":"9f2c…","removed":true,"generation":8}
@@ -48,7 +49,14 @@
 //! reply, the stats snapshot, and `invalidated` acks. A `watch` request
 //! blocks until the store generation exceeds the client's value and then
 //! answers `{"type":"generation"}` — push, not polling, for enforcement
-//! agents that must learn when a binary was re-analyzed.
+//! agents that must learn when a binary was re-analyzed. v5 adds an
+//! optional `key` to `watch`: with it the watch fires only when *that
+//! store key* is mutated (insert, invalidate, or startup sweep), so an
+//! agent enforcing one binary is not woken by every unrelated
+//! re-analysis. Absent-field defaults keep both directions compatible:
+//! a v5 client's keyless watch is exactly the v2 request, and a v4
+//! server ignores the unknown `key` field, degrading a keyed watch to a
+//! whole-store one (spurious wakes, never missed ones).
 
 use bside_filter::bpf::BpfProgram;
 use bside_filter::{FilterPolicy, PhasePolicy};
@@ -64,7 +72,17 @@ pub use bside_dist::protocol::{read_message, read_message_capped, write_message}
 /// stats snapshot.
 /// v4: the `metrics` request/reply pair — the full telemetry registry
 /// in Prometheus text exposition format.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// v5: optional `key` on `watch` — per-key change subscriptions. A
+/// minor, absent-field-default revision: v4 clients speak to a v5
+/// server unchanged (see [`OLDEST_COMPATIBLE_VERSION`]).
+pub const PROTOCOL_VERSION: u32 = 5;
+
+/// The oldest server protocol revision a current client accepts. v5 is
+/// additive over v4 (one optional request field), so a v5 client can
+/// speak to a v4 daemon — it just cannot scope its watches per key
+/// there (the v4 daemon ignores the extra field and fires on any store
+/// mutation: spurious wakes, never missed ones).
+pub const OLDEST_COMPATIBLE_VERSION: u32 = 4;
 
 /// Upper bound on one *request* line the server will read (enforced via
 /// the workspace-shared [`read_message_capped`] codec, so the cap
@@ -195,6 +213,10 @@ pub enum Request {
     Watch {
         /// The generation the client has already observed.
         generation: u64,
+        /// v5: scope the watch to one store key — it fires only when
+        /// that key is inserted, invalidated, or swept. `None` keeps
+        /// the v2 whole-store semantics (any mutation fires).
+        key: Option<String>,
     },
     /// The server's counters.
     Stats,
@@ -283,10 +305,18 @@ impl serde::Serialize for Request {
                 ("type".to_string(), Value::Str("invalidate".to_string())),
                 ("key".to_string(), Value::Str(key.clone())),
             ]),
-            Request::Watch { generation } => Value::Object(vec![
-                ("type".to_string(), Value::Str("watch".to_string())),
-                ("generation".to_string(), Value::UInt(*generation)),
-            ]),
+            Request::Watch { generation, key } => {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str("watch".to_string())),
+                    ("generation".to_string(), Value::UInt(*generation)),
+                ];
+                // Serialized only when present, so a keyless v5 watch is
+                // byte-identical to the v2 request.
+                if let Some(key) = key {
+                    fields.push(("key".to_string(), Value::Str(key.clone())));
+                }
+                Value::Object(fields)
+            }
             Request::Stats => tag_only("stats"),
             Request::Metrics => tag_only("metrics"),
             Request::Ping => tag_only("ping"),
@@ -391,6 +421,13 @@ impl<'de> serde::Deserialize<'de> for Request {
             }),
             "watch" => Ok(Request::Watch {
                 generation: take_u64(&mut entries, "generation").map_err(de::Error::custom)?,
+                // Absent from pre-v5 clients: a keyless (whole-store)
+                // watch. Present-but-malformed is still a protocol error.
+                key: if entries.iter().any(|(name, _)| name == "key") {
+                    Some(take_string(&mut entries, "key").map_err(de::Error::custom)?)
+                } else {
+                    None
+                },
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -516,7 +553,14 @@ mod tests {
         round_trip_request(Request::Invalidate {
             key: "9f".repeat(32),
         });
-        round_trip_request(Request::Watch { generation: 41 });
+        round_trip_request(Request::Watch {
+            generation: 41,
+            key: None,
+        });
+        round_trip_request(Request::Watch {
+            generation: 41,
+            key: Some("9f".repeat(32)),
+        });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Metrics);
         round_trip_request(Request::Ping);
@@ -617,6 +661,37 @@ mod tests {
             "{\"type\":\"hello\",\"version\":2,\"generation\":\"oops\"}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn watch_key_is_absent_field_compatible_both_ways() {
+        // A pre-v5 client's watch (no key field) parses as keyless —
+        // whole-store v2 semantics, unchanged.
+        let old: Request = serde_json::from_str("{\"type\":\"watch\",\"generation\":7}").unwrap();
+        assert_eq!(
+            old,
+            Request::Watch {
+                generation: 7,
+                key: None
+            }
+        );
+        // A keyless v5 watch serializes byte-identically to v2 (no
+        // `key` field for a v4 server to trip on).
+        let json = serde_json::to_string(&Request::Watch {
+            generation: 7,
+            key: None,
+        })
+        .unwrap();
+        assert!(
+            !json.contains("key"),
+            "keyless watch must omit the field: {json}"
+        );
+        // A present-but-malformed key is a protocol error, not a silent
+        // whole-store downgrade.
+        assert!(
+            serde_json::from_str::<Request>("{\"type\":\"watch\",\"generation\":7,\"key\":5}")
+                .is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Readiness plumbing for the serve event loop: a reusable `poll(2)`
+//! descriptor set and a self-wake pipe.
+//!
+//! The event loop blocks in [`PollSet::wait`] on every connection, the
+//! listener, and the read half of a [`WakePipe`]. Anything that happens
+//! off-loop — a worker finishing a request, a store mutation firing a
+//! subscription, a shutdown request — rings a [`Waker`] (a cloned write
+//! half), which makes the pipe readable and pops the loop out of `poll`.
+//! Writing to the pipe never blocks: both halves are nonblocking and a
+//! `WouldBlock` on write just means a wake is already pending, which is
+//! exactly as good as delivering another byte.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A nonblocking socketpair used as a level-triggered wake signal.
+pub(crate) struct WakePipe {
+    rx: UnixStream,
+    tx: Arc<UnixStream>,
+}
+
+impl WakePipe {
+    /// A fresh pipe; both halves nonblocking.
+    pub(crate) fn new() -> io::Result<WakePipe> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(WakePipe {
+            rx,
+            tx: Arc::new(tx),
+        })
+    }
+
+    /// A clonable handle that makes [`WakePipe::fd`] readable.
+    pub(crate) fn waker(&self) -> Waker {
+        Waker {
+            tx: Arc::clone(&self.tx),
+        }
+    }
+
+    /// The descriptor the loop registers for readability.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes every pending wake byte so the pipe goes quiet until the
+    /// next [`Waker::wake`].
+    pub(crate) fn drain(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// The write half of a [`WakePipe`]; cheap to clone, safe to ring from
+/// any thread (including from inside the store's generation lock path —
+/// the write is nonblocking and never takes a lock).
+#[derive(Clone)]
+pub(crate) struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Makes the pipe readable. A full pipe means a wake is already
+    /// pending, so `WouldBlock` (and any other error — the loop is gone
+    /// during teardown) is deliberately ignored.
+    pub(crate) fn wake(&self) {
+        let _ = (&*self.tx).write(&[1]);
+    }
+}
+
+/// A reusable `poll(2)` set: filled each loop iteration, waited on once,
+/// then queried by the index `push` returned.
+pub(crate) struct PollSet {
+    fds: Vec<poll::PollFd>,
+}
+
+impl PollSet {
+    pub(crate) fn new() -> PollSet {
+        PollSet { fds: Vec::new() }
+    }
+
+    /// Empties the set for the next iteration (capacity retained).
+    pub(crate) fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Registers `fd` with the given interest; returns the slot index
+    /// used to query results after [`PollSet::wait`].
+    pub(crate) fn push(&mut self, fd: RawFd, readable: bool, writable: bool) -> usize {
+        let mut events = 0i16;
+        if readable {
+            events |= poll::POLLIN;
+        }
+        if writable {
+            events |= poll::POLLOUT;
+        }
+        self.fds.push(poll::PollFd::new(fd, events));
+        self.fds.len() - 1
+    }
+
+    /// Blocks until at least one registered descriptor is ready or the
+    /// timeout elapses; returns the number of ready descriptors.
+    pub(crate) fn wait(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        poll::poll(&mut self.fds, timeout)
+    }
+
+    /// Readability at `slot` — including hangup/error, which a read will
+    /// surface as EOF or a real error (level-triggered, so the loop must
+    /// consume it).
+    pub(crate) fn readable(&self, slot: usize) -> bool {
+        self.fds[slot].revents & (poll::POLLIN | poll::POLLHUP | poll::POLLERR) != 0
+    }
+
+    /// Writability at `slot` — including error, which the write surfaces.
+    pub(crate) fn writable(&self, slot: usize) -> bool {
+        self.fds[slot].revents & (poll::POLLOUT | poll::POLLERR | poll::POLLHUP) != 0
+    }
+
+    /// The descriptor at `slot` is dead (closed out from under the set).
+    pub(crate) fn invalid(&self, slot: usize) -> bool {
+        self.fds[slot].revents & poll::POLLNVAL != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pops_a_blocked_poll_and_drain_quiets_it() {
+        let mut pipe = WakePipe::new().expect("pipe");
+        let waker = pipe.waker();
+        let mut set = PollSet::new();
+
+        // Quiet pipe: poll times out.
+        set.clear();
+        let slot = set.push(pipe.fd(), true, false);
+        assert_eq!(set.wait(Some(Duration::from_millis(30))).unwrap(), 0);
+
+        // A wake from another thread makes it readable.
+        let t = std::thread::spawn(move || waker.wake());
+        set.clear();
+        let slot2 = set.push(pipe.fd(), true, false);
+        assert_eq!(slot, slot2);
+        assert_eq!(set.wait(Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(set.readable(slot2));
+        t.join().unwrap();
+
+        // Drained, the pipe goes quiet again — and repeated wakes while
+        // quiet coalesce without ever blocking the waker.
+        pipe.drain();
+        let waker = pipe.waker();
+        for _ in 0..10_000 {
+            waker.wake();
+        }
+        set.clear();
+        let slot3 = set.push(pipe.fd(), true, false);
+        assert_eq!(set.wait(Some(Duration::from_millis(30))).unwrap(), 1);
+        assert!(set.readable(slot3));
+        pipe.drain();
+        set.clear();
+        let slot4 = set.push(pipe.fd(), true, false);
+        assert_eq!(
+            set.wait(Some(Duration::from_millis(30))).unwrap(),
+            0,
+            "quiet after drain"
+        );
+        let _ = slot4;
+    }
+}

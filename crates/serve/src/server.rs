@@ -1,14 +1,30 @@
-//! The policy-distribution daemon: accept loop, thread pool, request
-//! handlers, graceful shutdown.
+//! The policy-distribution daemon: a readiness event loop, a worker
+//! pool, request handlers, graceful shutdown.
 //!
-//! Concurrency model: one **accept thread** feeds accepted connections
-//! into a channel drained by [`ServeOptions::threads`] **worker
-//! threads**; each worker owns one connection at a time and serves its
-//! requests to completion (NDJSON request/response, several requests per
-//! connection). Per-connection isolation mirrors the dist coordinator's
+//! Concurrency model: **one event-loop thread** owns the (nonblocking)
+//! listener and every accepted connection, multiplexing them through the
+//! vendored `poll(2)` shim (`shims/poll`, wrapped by `readiness`). The
+//! loop does all socket I/O — accepting, frame assembly into a per-
+//! connection read buffer, and draining write buffers when a socket
+//! backs up — but never executes a request: each complete NDJSON line
+//! is dispatched to one of [`ServeOptions::threads`] **worker threads**,
+//! so a slow analysis never blocks accepting, reading, or any other
+//! connection's replies. Workers hand serialized reply bytes back
+//! through a completion queue and ring a wake pipe; the loop writes
+//! them out. Per-connection isolation mirrors the dist coordinator's
 //! per-process isolation one level down: a panicking handler is caught,
 //! counted, and costs exactly its own connection — the daemon and every
 //! other client keep going.
+//!
+//! A connection is therefore in one of three phases: **idle** (the loop
+//! is assembling its next request line; an idle connection past
+//! [`ServeOptions::read_timeout`] with no progress is expired),
+//! **busy** (exactly one request executing on a worker; pipelined bytes
+//! accumulate in the read buffer, bounded by backpressure), or
+//! **parked** (a `watch` waiting for a store mutation — see below).
+//! Idle and parked connections cost no worker thread and no syscalls
+//! until their socket or subscription becomes ready, which is what lets
+//! a two-thread daemon hold thousands of open watches.
 //!
 //! The analyze-on-miss path is **single-flight** (`flight`): concurrent
 //! cold requests for one store key run exactly one analysis; followers
@@ -19,41 +35,44 @@
 //! touching the payload, so the hit path reads the binary exactly once
 //! over its lifetime (observable via the `bytes_read` counter).
 //!
-//! Blocked `watch`es do **not** occupy pool workers: a watch that must
-//! wait is *parked* — its connection (reader and writer halves) moves to
-//! a dedicated **watcher thread**, and the pool worker goes straight
-//! back to serving other connections. When the store generation passes a
-//! parked watch's anchor, the watcher writes the `generation` reply and
-//! hands the connection back to the pool, where it resumes its request
-//! loop as if nothing happened. A daemon can therefore sustain far more
-//! concurrent watchers than worker threads (the cap is
-//! [`MAX_PARKED_WATCHES`], a memory bound, not a pool bound), and even a
-//! single-threaded daemon serves a watch plus the mutation that wakes
-//! it.
+//! `watch` is **event-driven and per-key** (protocol v5): a watch that
+//! must wait becomes a [`PolicyStore::subscribe`] entry — keyed watches
+//! fire only when *their* store key is mutated; keyless watches keep
+//! the v2 whole-store semantics. The store's mutation path moves fired
+//! subscriptions onto a list and rings the loop's wake pipe, and the
+//! loop writes the `generation` reply on its next turn — wake-to-reply
+//! latency is one loop iteration, not a polling slice (the pre-v5
+//! watcher thread polled at 100 ms). A parked watch costs one map entry
+//! and one fd; the cap is [`MAX_PARKED_WATCHES`], a memory bound, not a
+//! pool bound. A client that sends bytes mid-watch is breaking the
+//! protocol and is disconnected; a client that hangs up releases its
+//! slot on the loop's next readiness pass (the kernel reports the
+//! hangup — no probing).
 //!
-//! Shutdown is cooperative and complete: an in-band `shutdown` request
-//! (or [`ServerHandle::shutdown`]) sets a flag and dials a wake
-//! connection so the blocking accept returns; the accept thread stops
-//! handing out connections, the channel drains, workers finish their
-//! current request (idle connections expire within
-//! [`ServeOptions::read_timeout`]; parked `watch`es are failed in band
-//! by the watcher thread), and the listener's Unix socket file is
-//! removed. [`ServerHandle::join`] returns only after every thread has
-//! exited.
+//! Shutdown is cooperative, deterministic, and complete: an in-band
+//! `shutdown` request (or [`ServerHandle::shutdown`]) sets a flag and
+//! rings the wake pipe. The loop closes the listener (unlinking a Unix
+//! socket file), fails every parked watch in band, closes idle
+//! connections, and drops the job channel; workers drain the queue and
+//! exit while the loop finishes writing the replies of in-flight
+//! requests. No sleeps anywhere — every hand-off is a channel, a wake
+//! byte, or a join. [`ServerHandle::join`] returns only after every
+//! thread has exited.
 
 use crate::breaker::CircuitBreaker;
 use crate::flight::{FlightTable, Ticket};
-use crate::net::{cleanup, is_timeout, Conn, Endpoint, Listener};
+use crate::net::{cleanup, is_would_block, Conn, Endpoint, Listener};
 use crate::protocol::{
-    read_message_capped, write_message, Reply, Request, Source, StatsSnapshot,
-    MAX_REQUEST_LINE_BYTES, PROTOCOL_VERSION,
+    write_message, Reply, Request, Source, StatsSnapshot, MAX_REQUEST_LINE_BYTES, PROTOCOL_VERSION,
 };
-use crate::store::{library_fingerprint, PolicyStore};
+use crate::readiness::{PollSet, WakePipe, Waker};
+use crate::store::{library_fingerprint, PolicyStore, Subscribed};
 use crate::{binary_name, derive_bundle, derive_bundle_parsed};
 use bside_core::{AnalyzerOptions, LibraryStore};
 use bside_obs as obs;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{Read as _, Write as _};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -87,16 +106,19 @@ pub struct ServeOptions {
     /// it, dynamically linked binaries are served via
     /// `Analyzer::analyze_dynamic`; without it they are refused in band.
     pub library_dir: Option<std::path::PathBuf>,
-    /// Worker threads — the number of connections served concurrently.
-    /// Blocked `watch`es park on a dedicated watcher thread and cost no
-    /// pool worker, so size the pool for request concurrency alone.
+    /// Worker threads — the number of requests *executing* concurrently.
+    /// Connections are not bound to workers: the event loop multiplexes
+    /// every open socket, and idle or watch-parked connections cost no
+    /// worker at all, so size the pool for analysis concurrency alone.
     pub threads: usize,
     /// Analyzer configuration for the analyze-on-miss path; also the
     /// options half of every store key.
     pub analyzer: AnalyzerOptions,
-    /// Per-read budget on a connection. An idle or stalled connection is
-    /// closed when it expires, which also bounds how long shutdown waits
-    /// for idle clients.
+    /// Progress budget on an idle connection. A connection that neither
+    /// delivers request bytes nor drains its pending replies for this
+    /// long is closed (a connection mid-request, or parked in a `watch`,
+    /// is exempt). Also bounds how long shutdown waits for stalled
+    /// writers.
     pub read_timeout: Duration,
     /// Artificial delay inserted before every cold analysis — widens the
     /// single-flight race window so tests and CI smokes can assert
@@ -276,35 +298,39 @@ struct PathKey {
     key: String,
 }
 
-/// One live connection's state as it moves between pool workers and the
-/// watcher thread: the buffered read half and the write half of one
-/// socket.
-struct ConnState {
-    reader: BufReader<Conn>,
-    writer: Conn,
-}
-
-/// A watch waiting for the store generation to pass its anchor, parked
-/// off-pool with its whole connection.
-struct ParkedWatch {
-    state: ConnState,
-    /// The generation the client has already observed.
-    seen: u64,
-}
-
-/// What the worker pool's channel carries: fresh connections from the
-/// accept loop, and connections the watcher thread resumed after their
-/// watch fired.
-enum Work {
-    New(Conn),
-    Resumed(ConnState),
-}
-
 /// How one request resolves: an immediate reply, or (for a waiting
-/// `watch`) an instruction to park the connection off-pool.
+/// `watch`) an instruction to park the connection on a store
+/// subscription.
 enum Answered {
     Reply(Reply),
-    Park { seen: u64 },
+    Park { seen: u64, key: Option<String> },
+}
+
+/// What the event loop does with a connection after a worker's reply
+/// bytes are written.
+enum After {
+    /// Back to idle: assemble the next request.
+    Resume,
+    /// Close once the reply drains (malformed framing, handler panic).
+    Close,
+    /// The reply acknowledged an in-band `shutdown`.
+    Shutdown,
+    /// Don't reply yet: subscribe this connection's `watch` (the loop
+    /// decides admission and subscription atomically on its own thread).
+    Park { seen: u64, key: Option<String> },
+}
+
+/// One request line dispatched to the worker pool.
+struct Job {
+    conn_id: u64,
+    line: String,
+}
+
+/// A worker's result on its way back to the event loop.
+struct Completion {
+    conn_id: u64,
+    bytes: Vec<u8>,
+    after: After,
 }
 
 struct Shared {
@@ -317,34 +343,31 @@ struct Shared {
     lib_fingerprint: Option<String>,
     flights: FlightTable,
     path_keys: Mutex<HashMap<String, PathKey>>,
-    /// Connections parked by a pending `watch`, awaiting the watcher
-    /// thread's next sweep. `None` once the watcher has done its final
-    /// shutdown drain: a worker that tries to park after that fails the
-    /// watch in band itself instead of orphaning it — the state change
-    /// and the drain share this mutex, so no park can slip between.
-    watch_inbox: Mutex<Option<Vec<ParkedWatch>>>,
-    /// Watches currently parked (inbox + watcher-held); bounded by
+    /// Watches currently parked on store subscriptions; bounded by
     /// [`MAX_PARKED_WATCHES`] so a watcher flood cannot grow connection
-    /// state without limit.
+    /// state without limit. Only the event loop mutates it; atomic so
+    /// [`ServerHandle::parked_watches`] can read it from outside.
     active_watches: AtomicU64,
     options: ServeOptions,
     endpoint: Endpoint,
     shutdown: AtomicBool,
+    /// Rings the event loop's wake pipe — how shutdown (and anything
+    /// else that happens off-loop) interrupts a blocked `poll`.
+    waker: Waker,
     metrics: ServeMetrics,
     /// Gates the remote-offload path; permanently closed (and unused)
     /// without a [`ServeOptions::remote_analyzer`].
     breaker: CircuitBreaker,
 }
 
-/// How long the watcher thread waits per sweep — also the bound on how
-/// long shutdown and freshly parked watches wait to be noticed.
-const WATCH_SLICE: Duration = Duration::from_millis(100);
-
-/// Upper bound on concurrently parked watches. Watches no longer occupy
-/// pool workers (the watcher thread holds them), so this is a memory
-/// bound on retained connections, not a deadlock guard; past it a watch
-/// is rejected in band and the client retries.
-pub const MAX_PARKED_WATCHES: u64 = 1024;
+/// Upper bound on concurrently parked watches. A parked watch costs one
+/// fd, one connection entry, and one store-subscription entry — no
+/// thread, no buffer beyond its (empty) read buffer — so this is a
+/// memory/fd bound, not a pool bound; past it a watch is rejected in
+/// band and the client retries. Raised from the thread-era 1024: the
+/// event loop holds thousands of parked watches without a measurable
+/// cost per iteration.
+pub const MAX_PARKED_WATCHES: u64 = 4096;
 
 /// Upper bound on the `(path → key)` memo. Deployments that fetch by
 /// ever-fresh per-pod paths would otherwise grow it without bound over
@@ -364,10 +387,9 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
         }
-        // Blocked watchers notice the flag within one WATCH_SLICE (their
-        // wait is deliberately sliced). Wake the blocking accept; the
-        // accepted connection is dropped.
-        let _ = Conn::connect(&self.endpoint);
+        // One wake byte: the event loop notices the flag on its next
+        // turn and runs the teardown sequence. No dialing, no sleeps.
+        self.waker.wake();
     }
 
     /// The legacy v3 stats snapshot, derived from the same registry
@@ -448,9 +470,11 @@ impl Shared {
     }
 
     /// Answers one request. Never panics on malformed input — only the
-    /// test-only fault hook panics, deliberately. A `watch` that must
-    /// wait answers [`Answered::Park`]: the connection loop hands the
-    /// whole connection to the watcher thread instead of blocking here.
+    /// test-only fault hook panics, deliberately. A `watch` answers
+    /// [`Answered::Park`] after validation: the *event loop* performs
+    /// the subscribe (admission, ahead/ready fast paths, parking) on its
+    /// own thread, so a fired subscription can never race ahead of the
+    /// park bookkeeping.
     fn answer(&self, request: &Request) -> Answered {
         Answered::Reply(match request {
             Request::Ping => Reply::Pong,
@@ -461,7 +485,22 @@ impl Shared {
                 text: self.metrics_text(),
             },
             Request::Shutdown => Reply::ShuttingDown,
-            Request::Watch { generation } => return self.watch_decision(*generation),
+            Request::Watch { generation, key } => {
+                if let Some(key) = key.as_deref() {
+                    // Keyed watches share the store-key namespace with
+                    // fetches; refuse anything but canonical hex before
+                    // it becomes a subscription entry.
+                    if !is_store_key(key) {
+                        return Answered::Reply(self.error_reply(format!(
+                            "malformed policy key {key:?} (expected 64 lowercase hex digits)"
+                        )));
+                    }
+                }
+                return Answered::Park {
+                    seen: *generation,
+                    key: key.clone(),
+                };
+            }
             Request::PolicyByKey { key } => {
                 let started = Instant::now();
                 // Client-supplied keys reach the store's filesystem
@@ -507,60 +546,6 @@ impl Shared {
             }
             Request::Policy { path } => self.answer_policy(path),
         })
-    }
-
-    /// Decides a `watch` request without ever blocking a pool worker:
-    /// answer immediately when the condition is already met (or the
-    /// request is malformed), park otherwise.
-    fn watch_decision(&self, seen: u64) -> Answered {
-        // Only this process issues generations, so an anchor ahead of the
-        // store is always a client error (typically a pre-restart anchor
-        // replayed after the counter reset) — reject it instead of
-        // pinning a watch slot until shutdown on a wait that can take
-        // arbitrarily long to satisfy.
-        let current = self.store.generation();
-        if seen > current {
-            return Answered::Reply(self.error_reply(format!(
-                "watch generation {seen} is ahead of the store (current {current}); \
-                 re-anchor from a fresh hello or fetch"
-            )));
-        }
-        if current > seen {
-            // Already satisfied: push semantics degrade gracefully to an
-            // immediate answer, no parking round-trip.
-            return Answered::Reply(Reply::Generation {
-                generation: current,
-            });
-        }
-        let admitted = self
-            .active_watches
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < MAX_PARKED_WATCHES).then_some(n + 1)
-            })
-            .is_ok();
-        if !admitted {
-            return Answered::Reply(self.error_reply(format!(
-                "too many concurrent watch requests (limit {MAX_PARKED_WATCHES}); retry later"
-            )));
-        }
-        Answered::Park { seen }
-    }
-
-    /// Hands a parked watch to the watcher thread's inbox (it sweeps
-    /// within one [`WATCH_SLICE`]). If the watcher already did its final
-    /// shutdown drain, the watch is failed in band right here — the
-    /// closed-inbox check and the drain share one mutex, so no watch can
-    /// be orphaned between them.
-    fn park(&self, mut parked: ParkedWatch) {
-        let mut inbox = self.watch_inbox.lock().expect("watch inbox lock");
-        match inbox.as_mut() {
-            Some(waiting) => waiting.push(parked),
-            None => {
-                self.active_watches.fetch_sub(1, Ordering::SeqCst);
-                let reply = self.error_reply("server shutting down; watch aborted".to_string());
-                let _ = write_message(&mut parked.state.writer, &reply);
-            }
-        }
     }
 
     /// The `(len, mtime) → key` memo: the store key of an unchanged path
@@ -792,160 +777,715 @@ impl Shared {
             }
         }
     }
-
-    /// Greets a fresh connection and serves it. Returns a parked watch
-    /// when the connection left the pool mid-`watch`.
-    fn handle_connection(&self, conn: Conn) -> Option<ParkedWatch> {
-        let _ = conn.set_read_timeout(Some(self.options.read_timeout));
-        let Ok(mut writer) = conn.try_clone() else {
-            return None;
-        };
-        let reader = BufReader::new(conn);
-        if write_message(
-            &mut writer,
-            &Reply::Hello {
-                version: PROTOCOL_VERSION,
-                generation: self.store.generation(),
-            },
-        )
-        .is_err()
-        {
-            return None;
-        }
-        self.serve_requests(ConnState { reader, writer })
-    }
-
-    /// Serves a connection's request loop until EOF, shutdown,
-    /// read-timeout expiry, or a framing error — or until a `watch` must
-    /// wait, in which case the whole connection state is returned for
-    /// parking and the pool worker goes back to the pool.
-    fn serve_requests(&self, mut state: ConnState) -> Option<ParkedWatch> {
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) {
-                return None;
-            }
-            let request =
-                match read_message_capped::<Request>(&mut state.reader, MAX_REQUEST_LINE_BYTES) {
-                    Ok(Some(request)) => request,
-                    Ok(None) => return None, // clean EOF
-                    Err(e) if is_timeout(&e) => return None,
-                    Err(e) => {
-                        // Framing is no longer trustworthy: answer once, close.
-                        let reply = self.error_reply(format!("malformed request: {e}"));
-                        let _ = write_message(&mut state.writer, &reply);
-                        return None;
-                    }
-                };
-            self.metrics.requests.inc();
-            let started = Instant::now();
-            let reply = match self.answer(&request) {
-                Answered::Reply(reply) => reply,
-                // A parked watch hasn't been answered yet; its latency
-                // would only measure the park, so it is not recorded.
-                Answered::Park { seen } => return Some(ParkedWatch { state, seen }),
-            };
-            self.metrics.request_duration[endpoint_index(&request)]
-                .record(started.elapsed().as_micros() as u64);
-            if write_message(&mut state.writer, &reply).is_err() {
-                return None;
-            }
-            if matches!(request, Request::Shutdown) {
-                self.begin_shutdown();
-                return None;
-            }
-        }
-    }
 }
 
-/// `true` when a parked watch's client is gone (EOF or transport
-/// error), probed without blocking. A client that *sends* while its
-/// watch is pending is breaking the protocol (nothing may be in flight
-/// from it until the watch answers), so any readable byte also counts
-/// as gone — the framing could not be trusted anyway.
-fn watch_client_gone(parked: &mut ParkedWatch) -> bool {
-    use std::io::Read as _;
-    if !parked.state.reader.buffer().is_empty() {
-        return true; // bytes sent mid-watch: protocol breach
-    }
-    let conn = parked.state.reader.get_mut();
-    if conn.set_nonblocking(true).is_err() {
-        return true;
-    }
-    let mut probe = [0u8; 1];
-    let gone = match conn.read(&mut probe) {
-        Ok(0) => true,             // EOF: client hung up
-        Ok(_) => true,             // data mid-watch: breach
-        Err(e) => !is_timeout(&e), // WouldBlock = alive
+/// Serializes `reply` exactly as it would go over the wire (through the
+/// workspace's fault-injection choke point, like every NDJSON frame).
+fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let _ = write_message(&mut bytes, reply);
+    bytes
+}
+
+/// Executes one parsed-or-not request line. Runs on a worker thread;
+/// everything socket-shaped already happened on the event loop.
+fn process_job(shared: &Shared, line: &str) -> (Vec<u8>, After) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(request) => request,
+        Err(e) => {
+            // Framing is no longer trustworthy: answer once, close.
+            let reply = shared.error_reply(format!("malformed request: {e}"));
+            return (encode_reply(&reply), After::Close);
+        }
     };
-    let _ = conn.set_nonblocking(false);
-    gone
+    shared.metrics.requests.inc();
+    let started = Instant::now();
+    match shared.answer(&request) {
+        Answered::Reply(reply) => {
+            shared.metrics.request_duration[endpoint_index(&request)]
+                .record(started.elapsed().as_micros() as u64);
+            let after = if matches!(request, Request::Shutdown) {
+                After::Shutdown
+            } else {
+                After::Resume
+            };
+            (encode_reply(&reply), after)
+        }
+        // A parked watch hasn't been answered yet; its latency would
+        // only measure the park, so it is not recorded.
+        Answered::Park { seen, key } => (Vec::new(), After::Park { seen, key }),
+    }
 }
 
-/// The dedicated watcher thread: holds every parked watch, fires the
-/// ripe ones as the store generation advances, hands their connections
-/// back to the worker pool, and drops watchers whose clients hung up
-/// (a dead watcher must not pin one of the [`MAX_PARKED_WATCHES`] slots
-/// until the store happens to mutate). On shutdown it closes the inbox
-/// and fails every parked watch in band — no client is left hanging on
-/// a dead socket.
-fn watcher_loop(shared: &Shared, tx: &Sender<Work>) {
-    let mut held: Vec<ParkedWatch> = Vec::new();
+fn worker_loop(
+    shared: &Shared,
+    jobs: &Mutex<Receiver<Job>>,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &Waker,
+) {
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Close the inbox and drain it under one lock hold: a park
-            // racing this drain either lands before it (drained here)
-            // or finds the inbox closed and fails its watch itself.
-            let late = {
-                let mut inbox = shared.watch_inbox.lock().expect("watch inbox lock");
-                inbox.take().unwrap_or_default()
-            };
-            for mut parked in held.drain(..).chain(late) {
-                shared.active_watches.fetch_sub(1, Ordering::SeqCst);
-                let reply = shared.error_reply("server shutting down; watch aborted".to_string());
-                let _ = write_message(&mut parked.state.writer, &reply);
+        let job = match jobs.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // loop dropped the sender; queue drained
+        };
+        // Per-connection isolation: a panicking handler (a bug in
+        // analysis or a deliberate fault injection) loses its own
+        // connection only — the empty-bytes Close makes the event loop
+        // drop the socket, so the client sees EOF.
+        let result = catch_unwind(AssertUnwindSafe(|| process_job(shared, &job.line)));
+        let (bytes, after) = result.unwrap_or_else(|_| {
+            shared.metrics.panics.inc();
+            (Vec::new(), After::Close)
+        });
+        completions
+            .lock()
+            .expect("completion queue lock")
+            .push(Completion {
+                conn_id: job.conn_id,
+                bytes,
+                after,
+            });
+        waker.wake();
+    }
+}
+
+/// What the event loop is doing with a connection right now.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Assembling the next request line; subject to idle expiry.
+    Idle,
+    /// Exactly one request executing on a worker; pipelined bytes
+    /// accumulate in `rbuf` under backpressure.
+    Busy,
+    /// A `watch` subscribed in the store; any inbound byte is a
+    /// protocol breach, EOF releases the slot.
+    Parked,
+}
+
+/// One connection owned by the event loop.
+struct Connection {
+    conn: Conn,
+    /// Inbound bytes not yet consumed as request lines.
+    rbuf: Vec<u8>,
+    /// Outbound bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written.
+    wpos: usize,
+    phase: Phase,
+    /// Close as soon as `wbuf` drains (framing error, shutdown, EOF).
+    close_after_write: bool,
+    /// The peer closed its write half; drain what we have, then close.
+    eof: bool,
+    /// Last time this connection moved bytes in either direction —
+    /// the idle-expiry anchor.
+    last_progress: Instant,
+}
+
+/// How much the loop reads per `read` call while draining a socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// The per-line framing cap, as enforced loop-side: a newline-less
+/// residual at least this large can never become a valid line.
+const LINE_CAP: usize = MAX_REQUEST_LINE_BYTES as usize;
+
+/// Backpressure bound on a busy connection's read buffer: one maximal
+/// in-flight line plus one maximal pipelined line. Past it the loop
+/// simply stops reading until the in-flight request completes — TCP/Unix
+/// flow control pushes back on the client.
+const RBUF_HIGH_WATER: usize = 2 * LINE_CAP;
+
+/// How long the loop backs off accepting after a failed `accept` (EMFILE,
+/// aborted handshake) — applied as a poll deadline, never a sleep, so
+/// wakes and I/O on live connections proceed during the backoff.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Housekeeping cadence while connections exist: cold (parked, fully
+/// drained) connections are polled for hangup/breach and idle expiry is
+/// enforced once per tick, instead of on every loop turn. This keeps the
+/// per-request poll set at O(active connections) — the C10k property —
+/// at the cost of detecting a dead parked watcher up to one tick late
+/// (its slot was open-ended anyway). Wake latency for *fired* watches is
+/// unaffected: firing goes through the wake pipe, not the tick.
+const TICK: Duration = Duration::from_millis(100);
+
+/// The readiness event loop: owns the listener, every connection, the
+/// wake pipe, and the job/completion plumbing to the worker pool.
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: Option<Listener>,
+    pipe: WakePipe,
+    conns: HashMap<u64, Connection>,
+    next_conn_id: u64,
+    jobs_tx: Option<Sender<Job>>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    poll: PollSet,
+    /// Registration scratch: `(poll slot, conn id)` pairs per iteration.
+    slots: Vec<(usize, u64)>,
+    /// Connections polled every iteration. The complement (conns not in
+    /// here) is the cold set: parked watches with nothing left to write,
+    /// which only the periodic [`TICK`] registers — so a thousand parked
+    /// watchers add nothing to the active request path's poll set.
+    hot: std::collections::HashSet<u64>,
+    /// Next housekeeping pass (cold-connection poll + idle expiry).
+    tick_due: Instant,
+    accept_backoff_until: Option<Instant>,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        loop {
+            for completion in self.take_completions() {
+                self.apply_completion(completion);
             }
+            for (token, generation) in self.shared.store.take_fired() {
+                self.fire_watch(token, generation);
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.start_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+            self.poll_and_dispatch();
+        }
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("completion queue lock"))
+    }
+
+    /// One poll cycle: register interest, wait until something is ready
+    /// or the nearest deadline, then service every ready descriptor.
+    fn poll_and_dispatch(&mut self) {
+        let now = Instant::now();
+        let tick = now >= self.tick_due && !self.conns.is_empty();
+        if tick {
+            self.tick_due = now + TICK;
+            self.expire_stalled();
+        }
+        self.poll.clear();
+        self.slots.clear();
+        let wake_slot = self.poll.push(self.pipe.fd(), true, false);
+        let mut listener_slot = None;
+        if let Some(listener) = &self.listener {
+            if self.accept_backoff_until.is_none_or(|until| now >= until) {
+                self.accept_backoff_until = None;
+                listener_slot = Some(self.poll.push(listener.as_raw_fd(), true, false));
+            }
+        }
+        for &id in &self.hot {
+            let Some(conn) = self.conns.get(&id) else {
+                continue;
+            };
+            let backpressured = conn.phase == Phase::Busy && conn.rbuf.len() >= RBUF_HIGH_WATER;
+            let want_read = !conn.eof && !backpressured;
+            let want_write = conn.wpos < conn.wbuf.len();
+            if !want_read && !want_write {
+                continue; // a completion or fire will wake us for it
+            }
+            let slot = self.poll.push(conn.conn.as_raw_fd(), want_read, want_write);
+            self.slots.push((slot, id));
+        }
+        if tick {
+            // Cold sweep: parked, fully drained connections — readable
+            // only ever means hangup or a protocol breach here.
+            for (&id, conn) in &self.conns {
+                if !self.hot.contains(&id) {
+                    let slot = self.poll.push(conn.conn.as_raw_fd(), true, false);
+                    self.slots.push((slot, id));
+                }
+            }
+        }
+        let timeout = self.next_deadline(now);
+        if self.poll.wait(timeout).is_err() {
+            return; // transient poll failure: re-derive state next turn
+        }
+        if self.poll.readable(wake_slot) {
+            self.pipe.drain();
+        }
+        if listener_slot.is_some_and(|slot| self.poll.readable(slot)) {
+            self.accept_ready();
+        }
+        let ready = std::mem::take(&mut self.slots);
+        for (slot, id) in &ready {
+            if self.poll.invalid(*slot) {
+                self.close(*id);
+                continue;
+            }
+            if self.poll.writable(*slot) {
+                self.drain_write(*id);
+            }
+            if self.poll.readable(*slot) {
+                self.drain_read(*id);
+            }
+        }
+        self.slots = ready;
+    }
+
+    /// The nearest wake-by deadline: the housekeeping tick (which
+    /// enforces idle expiry, so it must fire while connections exist)
+    /// and the accept backoff. With no connections and no backoff the
+    /// loop blocks indefinitely — only I/O or a wake byte moves it.
+    fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        let mut nearest: Option<Instant> = self.accept_backoff_until;
+        if !self.conns.is_empty() {
+            nearest = Some(nearest.map_or(self.tick_due, |n| n.min(self.tick_due)));
+        }
+        nearest.map(|deadline| deadline.saturating_duration_since(now))
+    }
+
+    /// Idle expiry covers connections waiting for request bytes and
+    /// connections that stopped draining their replies — not requests
+    /// mid-execution (a cold analysis may legitimately exceed the
+    /// budget) and not parked watches (open-ended by design).
+    fn expiry_applies(&self, conn: &Connection) -> bool {
+        let stalled_write = conn.wpos < conn.wbuf.len();
+        conn.phase == Phase::Idle || stalled_write
+    }
+
+    fn expire_stalled(&mut self) {
+        let timeout = self.shared.options.read_timeout;
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                self.expiry_applies(conn) && now.duration_since(conn.last_progress) >= timeout
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.close(id);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok(conn) => {
+                    if conn.set_nonblocking(true).is_err() {
+                        continue; // dying socket; drop it
+                    }
+                    self.shared.metrics.connections.inc();
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    let hello = encode_reply(&Reply::Hello {
+                        version: PROTOCOL_VERSION,
+                        generation: self.shared.store.generation(),
+                    });
+                    self.conns.insert(
+                        id,
+                        Connection {
+                            conn,
+                            rbuf: Vec::new(),
+                            wbuf: hello,
+                            wpos: 0,
+                            phase: Phase::Idle,
+                            close_after_write: false,
+                            eof: false,
+                            last_progress: Instant::now(),
+                        },
+                    );
+                    self.hot.insert(id);
+                    self.drain_write(id);
+                }
+                Err(e) if is_would_block(&e) => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (EMFILE, aborted
+                    // handshake): stop *registering* the listener for a
+                    // beat so this loop keeps serving — the very clients
+                    // whose departures free descriptors — instead of
+                    // spinning on accept. A deadline, never a sleep.
+                    self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts right now.
+    fn drain_write(&mut self, id: u64) {
+        let mut dead = false;
+        let mut drained_to_close = false;
+        if let Some(conn) = self.conns.get_mut(&id) {
+            while conn.wpos < conn.wbuf.len() {
+                match conn.conn.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        conn.last_progress = Instant::now();
+                    }
+                    Err(e) if is_would_block(&e) => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.wpos >= conn.wbuf.len() && !conn.wbuf.is_empty() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                drained_to_close = conn.close_after_write;
+            }
+            if !dead && !drained_to_close && conn.phase == Phase::Parked && conn.wbuf.is_empty() {
+                // A parked watch with nothing left to write goes cold:
+                // only the housekeeping tick polls it from here on.
+                self.hot.remove(&id);
+            }
+        } else {
             return;
         }
-        {
-            let mut inbox = shared.watch_inbox.lock().expect("watch inbox lock");
-            if let Some(waiting) = inbox.as_mut() {
-                held.append(waiting);
+        if dead || drained_to_close {
+            self.close(id);
+        }
+    }
+
+    /// Reads everything the socket has right now, then advances framing.
+    fn drain_read(&mut self, id: u64) {
+        let mut dead = false;
+        let mut breach = false;
+        if let Some(conn) = self.conns.get_mut(&id) {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                if conn.phase == Phase::Busy && conn.rbuf.len() >= RBUF_HIGH_WATER {
+                    break; // backpressure: resume reading after completion
+                }
+                match conn.conn.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.last_progress = Instant::now();
+                        if conn.phase == Phase::Parked {
+                            // Nothing may be in flight from a client
+                            // whose watch is pending: framing can no
+                            // longer be trusted.
+                            breach = true;
+                            break;
+                        }
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                    }
+                    Err(e) if is_would_block(&e) => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.phase == Phase::Parked && conn.eof {
+                dead = true; // watcher hung up: release the slot now
+            }
+        } else {
+            return;
+        }
+        if dead || breach {
+            self.close(id);
+            return;
+        }
+        self.pump(id);
+    }
+
+    /// Advances an idle connection's framing: extract the next request
+    /// line and dispatch it, enforce the line cap on newline-less
+    /// residue, and finish off an exhausted (EOF) connection.
+    fn pump(&mut self, id: u64) {
+        enum Step {
+            Dispatch(String),
+            BadUtf8,
+            Oversize,
+            Exhausted,
+            Wait,
+        }
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                if conn.phase != Phase::Idle || conn.close_after_write {
+                    return;
+                }
+                match conn.rbuf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        let raw: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+                        match std::str::from_utf8(&raw) {
+                            Ok(text) => {
+                                let line = text.trim();
+                                if line.is_empty() {
+                                    continue; // blank lines are skipped, per the codec
+                                }
+                                Step::Dispatch(line.to_string())
+                            }
+                            Err(_) => Step::BadUtf8,
+                        }
+                    }
+                    None if conn.rbuf.len() >= LINE_CAP => Step::Oversize,
+                    None if conn.eof => Step::Exhausted,
+                    None => Step::Wait,
+                }
+            };
+            match step {
+                Step::Dispatch(line) => {
+                    let Some(tx) = &self.jobs_tx else {
+                        self.close(id);
+                        return;
+                    };
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.phase = Phase::Busy;
+                    }
+                    if tx.send(Job { conn_id: id, line }).is_err() {
+                        self.close(id);
+                    }
+                    return;
+                }
+                Step::BadUtf8 => {
+                    // Mirrors the blocking codec: read_line would have
+                    // failed with InvalidData before JSON parsing.
+                    let reply = self.shared.error_reply(
+                        "malformed request: stream did not contain valid UTF-8".to_string(),
+                    );
+                    self.queue_reply_and_finish(id, &reply);
+                    return;
+                }
+                Step::Oversize => {
+                    let cap = MAX_REQUEST_LINE_BYTES;
+                    let reply = self.shared.error_reply(format!(
+                        "malformed request: message line exceeds {cap} bytes"
+                    ));
+                    self.queue_reply_and_finish(id, &reply);
+                    return;
+                }
+                Step::Exhausted => {
+                    // EOF with no (complete) line left: a partial
+                    // truncated line is dropped, matching a blocking
+                    // reader that sees EOF mid-line.
+                    self.finish(id);
+                    return;
+                }
+                Step::Wait => return,
             }
         }
-        // Drop watchers whose clients are gone, so 1024 connect-watch-
-        // disconnect cycles cannot exhaust the parked-watch slots on a
-        // store that never mutates.
-        held.retain_mut(|parked| {
-            let gone = watch_client_gone(parked);
-            if gone {
-                shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Queues a reply and returns the connection to idle framing.
+    fn queue_reply(&mut self, id: u64, reply: &Reply) {
+        let bytes = encode_reply(reply);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.wbuf.extend_from_slice(&bytes);
+            conn.phase = Phase::Idle;
+        }
+        self.drain_write(id);
+        self.pump(id);
+    }
+
+    /// Queues a reply, then closes once it drains.
+    fn queue_reply_and_finish(&mut self, id: u64, reply: &Reply) {
+        let bytes = encode_reply(reply);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.wbuf.extend_from_slice(&bytes);
+        }
+        self.finish(id);
+    }
+
+    /// Close as soon as pending output drains (now, if nothing pends).
+    fn finish(&mut self, id: u64) {
+        let close_now = match self.conns.get_mut(&id) {
+            Some(conn) => {
+                conn.close_after_write = true;
+                conn.wpos >= conn.wbuf.len()
             }
-            !gone
-        });
-        // One sweep: sleep until the generation can have passed the
-        // lowest anchor (or a slice elapses — the slice also bounds how
-        // long shutdown, new parks, and disconnect probes wait). With
-        // nothing parked this degrades to a plain slice sleep.
-        let anchor = held.iter().map(|p| p.seen).min().unwrap_or(u64::MAX);
-        let now = shared.store.wait_newer(anchor, WATCH_SLICE);
-        let mut i = 0;
-        while i < held.len() {
-            if now > held[i].seen {
-                let mut parked = held.swap_remove(i);
-                shared.active_watches.fetch_sub(1, Ordering::SeqCst);
-                if write_message(
-                    &mut parked.state.writer,
-                    &Reply::Generation { generation: now },
-                )
-                .is_ok()
-                {
-                    // Back to the pool: the connection resumes its
-                    // request loop on whichever worker picks it up.
-                    let _ = tx.send(Work::Resumed(parked.state));
+            None => return,
+        };
+        if close_now {
+            self.close(id);
+        } else {
+            self.drain_write(id);
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        let Completion {
+            conn_id: id,
+            bytes,
+            after,
+        } = completion;
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return; // the connection died while its request executed
+        };
+        match after {
+            After::Resume => {
+                conn.wbuf.extend_from_slice(&bytes);
+                conn.phase = Phase::Idle;
+                self.drain_write(id);
+                self.pump(id);
+            }
+            After::Close => {
+                conn.wbuf.extend_from_slice(&bytes);
+                conn.phase = Phase::Idle;
+                self.finish(id);
+            }
+            After::Shutdown => {
+                conn.wbuf.extend_from_slice(&bytes);
+                conn.phase = Phase::Idle;
+                self.finish(id);
+                self.shared.begin_shutdown();
+            }
+            After::Park { seen, key } => {
+                conn.phase = Phase::Idle;
+                self.apply_park(id, seen, key);
+            }
+        }
+    }
+
+    /// The loop-side half of a `watch`: admission, the ahead/ready fast
+    /// paths, and parking — all on the loop thread, so a subscription
+    /// can only fire after the connection is actually in `Parked` phase
+    /// (no fired-before-parked race is possible).
+    fn apply_park(&mut self, id: u64, seen: u64, key: Option<String>) {
+        {
+            let Some(conn) = self.conns.get(&id) else {
+                return;
+            };
+            // A client with bytes already in flight behind its watch is
+            // breaking the protocol (nothing may be pipelined behind a
+            // pending watch); one that hung up gets no subscription.
+            if conn.eof || !conn.rbuf.is_empty() {
+                self.close(id);
+                return;
+            }
+        }
+        if self.draining {
+            let reply = self
+                .shared
+                .error_reply("server shutting down; watch aborted".to_string());
+            self.queue_reply_and_finish(id, &reply);
+            return;
+        }
+        match self.shared.store.subscribe(id, key.as_deref(), seen) {
+            Subscribed::Ahead { current } => {
+                // Only this process issues generations, so an anchor
+                // ahead of the store is always a client error (typically
+                // a pre-restart anchor replayed after the counter
+                // reset).
+                let reply = self.shared.error_reply(format!(
+                    "watch generation {seen} is ahead of the store (current {current}); \
+                     re-anchor from a fresh hello or fetch"
+                ));
+                self.queue_reply(id, &reply);
+            }
+            Subscribed::Ready { current } => {
+                // Already satisfied: push semantics degrade gracefully
+                // to an immediate answer, no parking round-trip.
+                self.queue_reply(
+                    id,
+                    &Reply::Generation {
+                        generation: current,
+                    },
+                );
+            }
+            Subscribed::Parked => {
+                let admitted = self
+                    .shared
+                    .active_watches
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        (n < MAX_PARKED_WATCHES).then_some(n + 1)
+                    })
+                    .is_ok();
+                if admitted {
+                    let mut cold = false;
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.phase = Phase::Parked;
+                        cold = conn.wpos >= conn.wbuf.len();
+                    }
+                    if cold {
+                        self.hot.remove(&id);
+                    }
+                } else {
+                    self.shared.store.unsubscribe(id);
+                    let reply = self.shared.error_reply(format!(
+                        "too many concurrent watch requests (limit {MAX_PARKED_WATCHES}); \
+                         retry later"
+                    ));
+                    self.queue_reply(id, &reply);
                 }
-            } else {
-                i += 1;
             }
+        }
+    }
+
+    /// A store subscription fired: answer the parked watch and return
+    /// the connection to its request loop.
+    fn fire_watch(&mut self, token: u64, generation: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // closed (and unsubscribed) before we got here
+        };
+        if conn.phase != Phase::Parked {
+            return;
+        }
+        conn.last_progress = Instant::now();
+        self.shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+        self.hot.insert(token);
+        self.queue_reply(token, &Reply::Generation { generation });
+    }
+
+    /// The teardown sequence, run once when the shutdown flag is seen:
+    /// stop accepting, fail parked watches in band, close idle
+    /// connections, and let in-flight requests finish (their replies
+    /// still get written; the job channel closing drains the workers).
+    fn start_drain(&mut self) {
+        self.draining = true;
+        if self.listener.take().is_some() {
+            cleanup(&self.shared.endpoint);
+        }
+        self.jobs_tx = None;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let phase = match self.conns.get(&id) {
+                Some(conn) => conn.phase,
+                None => continue,
+            };
+            match phase {
+                Phase::Parked => {
+                    self.shared.store.unsubscribe(id);
+                    self.shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+                    self.hot.insert(id);
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.phase = Phase::Idle;
+                    }
+                    let reply = self
+                        .shared
+                        .error_reply("server shutting down; watch aborted".to_string());
+                    self.queue_reply_and_finish(id, &reply);
+                }
+                Phase::Idle => self.finish(id),
+                // In flight: its completion writes the reply, and the
+                // close-after-write set here takes it from there.
+                Phase::Busy => {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.close_after_write = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, id: u64) {
+        self.hot.remove(&id);
+        if let Some(conn) = self.conns.remove(&id) {
+            if conn.phase == Phase::Parked {
+                self.shared.store.unsubscribe(id);
+                self.shared.active_watches.fetch_sub(1, Ordering::SeqCst);
+            }
+            // Dropping `conn` closes the descriptor.
         }
     }
 }
@@ -956,7 +1496,7 @@ fn watcher_loop(shared: &Shared, tx: &Sender<Work>) {
 pub struct PolicyServer;
 
 impl PolicyServer {
-    /// Binds `endpoint` and starts the accept loop and worker pool.
+    /// Binds `endpoint` and starts the event loop and worker pool.
     ///
     /// # Errors
     ///
@@ -966,6 +1506,7 @@ impl PolicyServer {
     /// every dynamic store key, so it is refused up front).
     pub fn spawn(endpoint: &Endpoint, options: ServeOptions) -> std::io::Result<ServerHandle> {
         let (listener, resolved) = Listener::bind(endpoint)?;
+        listener.set_nonblocking(true)?;
         let store = PolicyStore::open(options.store_dir.as_deref())?;
         let libraries = match &options.library_dir {
             Some(dir) => LibraryStore::load_from_dir(dir)?,
@@ -1009,106 +1550,73 @@ impl PolicyServer {
                 transitions[to.code() as usize].inc();
             }));
         }
+        let pipe = WakePipe::new()?;
+        let waker = pipe.waker();
         let shared = Arc::new(Shared {
             store,
             libraries,
             lib_fingerprint,
             flights: FlightTable::default(),
             path_keys: Mutex::new(HashMap::new()),
-            watch_inbox: Mutex::new(Some(Vec::new())),
             active_watches: AtomicU64::new(0),
             options,
             endpoint: resolved,
             shutdown: AtomicBool::new(false),
+            waker: waker.clone(),
             metrics,
             breaker,
         });
+        // Store mutations that fire a subscription ring the loop.
+        {
+            let waker = waker.clone();
+            shared.store.set_waker(Arc::new(move || waker.wake()));
+        }
 
-        let (tx, rx) = channel::<Work>();
-        let rx = Arc::new(Mutex::new(rx));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let tx = tx.clone();
-            std::thread::spawn(move || accept_loop(&shared, listener, tx))
-        };
-        let watcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || watcher_loop(&shared, &tx))
-        };
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&shared, &rx))
+                let jobs_rx = Arc::clone(&jobs_rx);
+                let completions = Arc::clone(&completions);
+                let waker = waker.clone();
+                std::thread::spawn(move || worker_loop(&shared, &jobs_rx, &completions, &waker))
             })
             .collect();
+        let event_loop = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                EventLoop {
+                    shared,
+                    listener: Some(listener),
+                    pipe,
+                    conns: HashMap::new(),
+                    next_conn_id: 0,
+                    jobs_tx: Some(jobs_tx),
+                    completions,
+                    poll: PollSet::new(),
+                    slots: Vec::new(),
+                    hot: std::collections::HashSet::new(),
+                    tick_due: Instant::now(),
+                    accept_backoff_until: None,
+                    draining: false,
+                }
+                .run()
+            })
+        };
         Ok(ServerHandle {
             shared,
-            accept: Some(accept),
-            watcher: Some(watcher),
+            event_loop: Some(event_loop),
             workers,
         })
-    }
-}
-
-fn accept_loop(shared: &Shared, listener: Listener, tx: Sender<Work>) {
-    loop {
-        match listener.accept() {
-            Ok(conn) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break; // the wake connection (or a late client): drop it
-                }
-                shared.metrics.connections.inc();
-                if tx.send(Work::New(conn)).is_err() {
-                    break;
-                }
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Transient accept failure (EMFILE, aborted handshake):
-                // keep serving, but give the condition a moment to clear
-                // — a persistent EMFILE would otherwise busy-spin this
-                // thread against the very workers trying to free fds.
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
-    cleanup(&shared.endpoint);
-    // tx drops here; once the watcher's clone drops too, workers drain
-    // the channel and exit.
-}
-
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Work>>) {
-    loop {
-        let work = match rx.lock().expect("connection queue lock").recv() {
-            Ok(work) => work,
-            Err(_) => return, // accept loop and watcher gone, queue drained
-        };
-        // Per-connection isolation: a panicking handler (a bug in
-        // analysis or a deliberate fault injection) loses its own
-        // connection only. The connection is moved into the closure, so
-        // unwinding drops (closes) it and the client sees EOF.
-        let result = catch_unwind(AssertUnwindSafe(|| match work {
-            Work::New(conn) => shared.handle_connection(conn),
-            Work::Resumed(state) => shared.serve_requests(state),
-        }));
-        match result {
-            Ok(Some(parked)) => shared.park(parked),
-            Ok(None) => {}
-            Err(_) => {
-                shared.metrics.panics.inc();
-            }
-        }
     }
 }
 
 /// A handle on a running policy server.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    watcher: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -1130,9 +1638,9 @@ impl ServerHandle {
         self.shared.metrics_text()
     }
 
-    /// Watches currently parked off-pool (inbox + watcher-held) — an
-    /// API-side gauge (not on the wire) for embedders and the tests
-    /// that prove dead watchers release their slots.
+    /// Watches currently parked on store subscriptions — an API-side
+    /// gauge (not on the wire) for embedders and the tests that prove
+    /// dead watchers release their slots.
     pub fn parked_watches(&self) -> u64 {
         self.shared.active_watches.load(Ordering::SeqCst)
     }
@@ -1151,13 +1659,11 @@ impl ServerHandle {
     }
 
     fn join_threads(&mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        // The watcher must exit (failing its parked watches) before the
-        // workers can drain: it holds the pool channel's last sender.
-        if let Some(watcher) = self.watcher.take() {
-            let _ = watcher.join();
+        // The event loop exits once every connection is drained; it
+        // drops the job sender on the way, which is what releases the
+        // workers from their queue.
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();

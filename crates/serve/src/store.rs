@@ -21,12 +21,27 @@
 //!
 //! The store also owns the daemon's **generation counter**: a per-process
 //! strictly monotonic `u64` bumped by every mutation ([`PolicyStore::insert`],
-//! [`PolicyStore::invalidate`]) and broadcast to blocked watchers
-//! ([`PolicyStore::wait_newer`]) — the push half of the `watch`
-//! protocol, so long-lived enforcement agents learn about re-analyzed
-//! binaries without polling. Generations are not persisted: a restarted
-//! daemon starts at 0 and clients re-anchor from the `hello` they
-//! receive on (re)connect.
+//! [`PolicyStore::invalidate`]) — the push half of the `watch` protocol,
+//! so long-lived enforcement agents learn about re-analyzed binaries
+//! without polling. Generations are not persisted: a restarted daemon
+//! starts at 0 and clients re-anchor from the `hello` they receive on
+//! (re)connect.
+//!
+//! Two notification surfaces share that counter:
+//!
+//! * **blocking** — [`PolicyStore::wait_newer`] parks the calling thread
+//!   on a condvar until the generation moves (used by embedders and
+//!   tests that own a thread per waiter);
+//! * **subscription** — [`PolicyStore::subscribe`] registers a token,
+//!   optionally scoped to one store key, and every mutation moves the
+//!   affected tokens onto a fired list ([`PolicyStore::take_fired`]) and
+//!   rings the registered waker. This is the event-loop half: thousands
+//!   of parked `watch` connections cost one map entry each, a mutation
+//!   of key *k* wakes exactly *k*'s subscribers (plus keyless,
+//!   whole-store subscribers), and nothing polls. The per-key
+//!   last-mutation index (`key_gens`) makes subscription atomic against
+//!   a racing mutation: a key mutated after the subscriber's anchor is
+//!   reported `Ready` immediately rather than being lost.
 
 use crate::protocol::PolicyBundle;
 use bside_core::{AnalyzerOptions, LibraryStore};
@@ -45,10 +60,72 @@ use std::time::Duration;
 pub struct PolicyStore {
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<String, Arc<PolicyBundle>>>,
-    /// Mutation counter; guarded by a mutex (not an atomic) so a bump and
-    /// its watcher notification are one atomic step.
-    generation: Mutex<u64>,
+    /// Generation counter plus the subscription registry; one mutex so a
+    /// bump, its per-key index update, and the waiter hand-off are a
+    /// single atomic step (no subscribe/mutate race can lose a wakeup).
+    generation: Mutex<GenState>,
     generation_cv: Condvar,
+}
+
+/// Everything guarded by the generation lock.
+struct GenState {
+    /// The mutation counter itself.
+    value: u64,
+    /// Per-key last-mutation generation. `key_gens[k] > seen` means key
+    /// `k` changed after a subscriber anchored at `seen` — the check
+    /// that turns a would-be lost wakeup into an immediate `Ready`.
+    /// Unbounded by design: clearing entries would reintroduce the lost
+    /// wakeup, and growth tracks the store's own key population.
+    key_gens: HashMap<String, u64>,
+    /// Parked subscriptions by caller-chosen token.
+    waiters: HashMap<u64, Waiter>,
+    /// Subscriptions whose condition fired, as `(token, generation at
+    /// fire)`, awaiting collection via [`PolicyStore::take_fired`].
+    fired: Vec<(u64, u64)>,
+    /// Rung (outside the lock) whenever `fired` gains entries.
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    /// `Some(key)` scopes the subscription to one store key; `None` is a
+    /// whole-store subscription (v2 `watch` semantics). The subscriber's
+    /// anchor generation is *not* kept: a parked waiter is by
+    /// construction anchored at or past the current state, so any later
+    /// matching mutation satisfies it.
+    key: Option<String>,
+}
+
+impl std::fmt::Debug for GenState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenState")
+            .field("value", &self.value)
+            .field("keys", &self.key_gens.len())
+            .field("waiters", &self.waiters.len())
+            .field("fired", &self.fired.len())
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
+}
+
+/// What [`PolicyStore::subscribe`] decided, atomically against mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subscribed {
+    /// The anchor is ahead of the store — the subscriber's generation
+    /// cannot have been issued by this process (daemon restart).
+    Ahead {
+        /// The store's current generation.
+        current: u64,
+    },
+    /// The watched state already moved past the anchor; no parking
+    /// needed, answer immediately with `current`.
+    Ready {
+        /// The generation to report to the subscriber.
+        current: u64,
+    },
+    /// Parked: the token is registered and will appear in
+    /// [`PolicyStore::take_fired`] once the condition fires.
+    Parked,
 }
 
 /// Distinguishes concurrent writers' temp files within one process (the
@@ -65,7 +142,13 @@ impl PolicyStore {
         Ok(PolicyStore {
             dir: dir.map(Path::to_path_buf),
             mem: Mutex::new(HashMap::new()),
-            generation: Mutex::new(0),
+            generation: Mutex::new(GenState {
+                value: 0,
+                key_gens: HashMap::new(),
+                waiters: HashMap::new(),
+                fired: Vec::new(),
+                waker: None,
+            }),
             generation_cv: Condvar::new(),
         })
     }
@@ -124,7 +207,7 @@ impl PolicyStore {
         let Ok(entries) = std::fs::read_dir(dir) else {
             return 0;
         };
-        let mut swept = 0usize;
+        let mut swept_keys: Vec<String> = Vec::new();
         for entry in entries.filter_map(Result::ok) {
             let file_name = entry.file_name();
             let name = file_name.to_string_lossy();
@@ -141,48 +224,142 @@ impl PolicyStore {
             let mut mem = self.mem.lock().expect("store lock");
             if let Some(path) = self.entry_path(key) {
                 if std::fs::remove_file(path).is_ok() {
-                    swept += 1;
+                    swept_keys.push(key.to_string());
                 }
             }
             mem.remove(key);
             drop(mem);
             let _ = std::fs::remove_file(entry.path());
         }
-        if swept > 0 {
-            self.bump();
+        if !swept_keys.is_empty() {
+            // One bump for the whole sweep — watchers hear one mutation,
+            // but every swept key's subscribers are woken.
+            let keys: Vec<&str> = swept_keys.iter().map(String::as_str).collect();
+            self.bump_keys(&keys);
         }
-        swept
+        swept_keys.len()
     }
 
     /// The current generation: the number of mutations this process's
     /// store has performed. Strictly monotonic; starts at 0.
     pub fn generation(&self) -> u64 {
-        *self.generation.lock().expect("generation lock")
+        self.generation.lock().expect("generation lock").value
     }
 
-    /// Bumps the generation and wakes every watcher. Returns the new
-    /// value, unique to this mutation.
-    fn bump(&self) -> u64 {
-        let mut generation = self.generation.lock().expect("generation lock");
-        *generation += 1;
-        let now = *generation;
-        self.generation_cv.notify_all();
+    /// Bumps the generation **once** for a mutation touching `keys`,
+    /// records each key's last-mutation generation, moves every affected
+    /// subscription (matching keyed ones plus all keyless ones) onto the
+    /// fired list, and wakes blocking waiters. Returns the new value,
+    /// unique to this mutation. The registered waker, if any, is rung
+    /// after the lock is released.
+    fn bump_keys(&self, keys: &[&str]) -> u64 {
+        let (now, waker) = {
+            let mut state = self.generation.lock().expect("generation lock");
+            state.value += 1;
+            let now = state.value;
+            for key in keys {
+                state.key_gens.insert((*key).to_string(), now);
+            }
+            let ripe: Vec<u64> = state
+                .waiters
+                .iter()
+                .filter(|(_, w)| match &w.key {
+                    None => true,
+                    Some(k) => keys.iter().any(|mutated| mutated == k),
+                })
+                .map(|(token, _)| *token)
+                .collect();
+            for token in ripe {
+                state.waiters.remove(&token);
+                state.fired.push((token, now));
+            }
+            let waker = if state.fired.is_empty() {
+                None
+            } else {
+                state.waker.clone()
+            };
+            self.generation_cv.notify_all();
+            (now, waker)
+        };
+        if let Some(waker) = waker {
+            waker();
+        }
         now
     }
 
     /// Blocks until the generation exceeds `than` or `timeout` expires;
-    /// returns the generation observed at wakeup. The `watch` handler
-    /// calls this in short slices so shutdown can interleave — that
-    /// polling slice is the *only* shutdown-wakeup mechanism (a plain
-    /// notify without a bump would not get past the predicate re-check
-    /// inside `wait_timeout_while`).
+    /// returns the generation observed at wakeup. The thread-per-waiter
+    /// counterpart to [`PolicyStore::subscribe`]; kept for embedders and
+    /// tests that own a thread per waiter.
     pub fn wait_newer(&self, than: u64, timeout: Duration) -> u64 {
-        let generation = self.generation.lock().expect("generation lock");
-        let (generation, _) = self
+        let state = self.generation.lock().expect("generation lock");
+        let (state, _) = self
             .generation_cv
-            .wait_timeout_while(generation, timeout, |g| *g <= than)
+            .wait_timeout_while(state, timeout, |s| s.value <= than)
             .expect("generation wait");
-        *generation
+        state.value
+    }
+
+    /// Registers interest in mutations after `seen`, scoped to `key`
+    /// when given, under the caller-chosen `token`. Decided atomically
+    /// against concurrent mutations:
+    ///
+    /// * `seen` ahead of the store → [`Subscribed::Ahead`] (stale anchor
+    ///   from a previous daemon incarnation — the caller should error);
+    /// * the watched state already moved past `seen` (for a keyed
+    ///   subscription: that key was last mutated after `seen`; keyless:
+    ///   any mutation after `seen`) → [`Subscribed::Ready`] — answer now,
+    ///   nothing was lost;
+    /// * otherwise the token parks and will surface through
+    ///   [`PolicyStore::take_fired`] exactly when the condition fires.
+    pub fn subscribe(&self, token: u64, key: Option<&str>, seen: u64) -> Subscribed {
+        let mut state = self.generation.lock().expect("generation lock");
+        if seen > state.value {
+            return Subscribed::Ahead {
+                current: state.value,
+            };
+        }
+        let already = match key {
+            Some(k) => state.key_gens.get(k).copied().unwrap_or(0) > seen,
+            None => state.value > seen,
+        };
+        if already {
+            return Subscribed::Ready {
+                current: state.value,
+            };
+        }
+        state.waiters.insert(
+            token,
+            Waiter {
+                key: key.map(str::to_string),
+            },
+        );
+        Subscribed::Parked
+    }
+
+    /// Drops the subscription under `token` (parked or already fired but
+    /// uncollected). Returns whether anything was removed. Called when a
+    /// watching connection goes away before its condition fires.
+    pub fn unsubscribe(&self, token: u64) -> bool {
+        let mut state = self.generation.lock().expect("generation lock");
+        let parked = state.waiters.remove(&token).is_some();
+        let before = state.fired.len();
+        state.fired.retain(|(t, _)| *t != token);
+        parked || state.fired.len() != before
+    }
+
+    /// Takes the fired subscriptions accumulated since the last call, as
+    /// `(token, generation at fire)` pairs in firing order.
+    pub fn take_fired(&self) -> Vec<(u64, u64)> {
+        let mut state = self.generation.lock().expect("generation lock");
+        std::mem::take(&mut state.fired)
+    }
+
+    /// Installs the waker rung (outside the generation lock) whenever a
+    /// mutation moves subscriptions onto the fired list — how the serve
+    /// event loop learns a parked `watch` is ready without polling.
+    pub fn set_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        self.generation.lock().expect("generation lock").waker = Some(waker);
     }
 
     /// Loads the bundle under `key`: memory first, then disk (promoting
@@ -278,7 +455,7 @@ impl PolicyStore {
             }
             mem.insert(key.to_string(), Arc::clone(&bundle));
         }
-        Ok((bundle, self.bump()))
+        Ok((bundle, self.bump_keys(&[key])))
     }
 
     /// Removes the entry under `key` from memory and disk. Returns the
@@ -315,7 +492,7 @@ impl PolicyStore {
                 let _ = std::fs::remove_file(sidecar);
             }
         }
-        removed.then(|| self.bump())
+        removed.then(|| self.bump_keys(&[key]))
     }
 
     /// Number of stored policies: on-disk entries when directory-backed
@@ -572,6 +749,130 @@ mod tests {
             !dir.join(format!("{key}.libfp")).exists(),
             "sidecar must not outlive its entry"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keyed_subscription_wakes_only_on_its_key() {
+        let store = PolicyStore::open(None).unwrap();
+        let key_a = "a".repeat(64);
+        let key_b = "b".repeat(64);
+        assert_eq!(store.subscribe(1, Some(&key_a), 0), Subscribed::Parked);
+        assert_eq!(store.subscribe(2, Some(&key_b), 0), Subscribed::Parked);
+        assert_eq!(store.subscribe(3, None, 0), Subscribed::Parked);
+
+        // Mutating B fires B's subscriber and the keyless one — never A's.
+        let (_, g1) = store.insert(&key_b, bundle("b")).unwrap();
+        let mut fired = store.take_fired();
+        fired.sort_unstable();
+        assert_eq!(
+            fired,
+            vec![(2, g1), (3, g1)],
+            "key A's watcher stays parked"
+        );
+        assert!(store.take_fired().is_empty(), "fired list drains");
+
+        // Now A's turn.
+        let (_, g2) = store.insert(&key_a, bundle("a")).unwrap();
+        assert_eq!(store.take_fired(), vec![(1, g2)]);
+    }
+
+    #[test]
+    fn subscribe_is_atomic_against_prior_mutations() {
+        let store = PolicyStore::open(None).unwrap();
+        let key = "c".repeat(64);
+        let (_, g1) = store.insert(&key, bundle("c")).unwrap();
+
+        // Anchor ahead of the store: stale generation from a previous
+        // daemon incarnation.
+        assert_eq!(
+            store.subscribe(1, None, g1 + 5),
+            Subscribed::Ahead { current: g1 }
+        );
+        // Keyed anchor older than the key's last mutation: Ready, not a
+        // lost wakeup.
+        assert_eq!(
+            store.subscribe(2, Some(&key), 0),
+            Subscribed::Ready { current: g1 }
+        );
+        // Keyed anchor at the key's last mutation: parked (nothing newer).
+        assert_eq!(store.subscribe(3, Some(&key), g1), Subscribed::Parked);
+        // A key never mutated in this process parks regardless of other
+        // keys' churn.
+        assert_eq!(
+            store.subscribe(4, Some(&"d".repeat(64)), g1),
+            Subscribed::Parked
+        );
+        // Keyless anchor behind the store: Ready.
+        assert_eq!(
+            store.subscribe(5, None, 0),
+            Subscribed::Ready { current: g1 }
+        );
+    }
+
+    #[test]
+    fn unsubscribe_removes_parked_and_uncollected_fired() {
+        let store = PolicyStore::open(None).unwrap();
+        assert_eq!(store.subscribe(7, None, 0), Subscribed::Parked);
+        assert!(store.unsubscribe(7), "parked waiter removed");
+        assert!(!store.unsubscribe(7), "second remove is a no-op");
+
+        assert_eq!(store.subscribe(8, None, 0), Subscribed::Parked);
+        store.insert("k", bundle("a")).unwrap();
+        assert!(store.unsubscribe(8), "fired-but-uncollected removed");
+        assert!(store.take_fired().is_empty());
+    }
+
+    #[test]
+    fn waker_rings_exactly_when_subscriptions_fire() {
+        use std::sync::atomic::AtomicUsize;
+        let store = PolicyStore::open(None).unwrap();
+        let rings = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&rings);
+        store.set_waker(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+
+        // A mutation with no subscribers does not ring.
+        store.insert("k1", bundle("a")).unwrap();
+        assert_eq!(rings.load(Ordering::SeqCst), 0);
+
+        // A mutation that fires a subscription rings once.
+        assert_eq!(
+            store.subscribe(1, Some("k2"), store.generation()),
+            Subscribed::Parked
+        );
+        store.insert("k2", bundle("b")).unwrap();
+        assert_eq!(rings.load(Ordering::SeqCst), 1);
+        assert_eq!(store.take_fired().len(), 1);
+    }
+
+    #[test]
+    fn one_sweep_fires_every_swept_keys_subscribers_with_one_bump() {
+        let dir = scratch("sweep_subs");
+        let store = PolicyStore::open(Some(&dir)).unwrap();
+        let stale_x = "e".repeat(64);
+        let stale_y = "f".repeat(64);
+        store
+            .insert_with_libs(&stale_x, bundle("x"), Some("fp-old"))
+            .unwrap();
+        store
+            .insert_with_libs(&stale_y, bundle("y"), Some("fp-old"))
+            .unwrap();
+        let anchor = store.generation();
+        assert_eq!(
+            store.subscribe(1, Some(&stale_x), anchor),
+            Subscribed::Parked
+        );
+        assert_eq!(
+            store.subscribe(2, Some(&stale_y), anchor),
+            Subscribed::Parked
+        );
+        assert_eq!(store.sweep_stale_lib_entries("fp-now"), 2);
+        assert_eq!(store.generation(), anchor + 1, "one bump for the sweep");
+        let mut fired = store.take_fired();
+        fired.sort_unstable();
+        assert_eq!(fired, vec![(1, anchor + 1), (2, anchor + 1)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,157 @@
+//! Offline vendored `poll(2)` binding.
+//!
+//! The workspace builds without registry access, so instead of `libc` or
+//! `mio` this crate carries the one FFI declaration a readiness loop needs:
+//! `poll`. The surface is deliberately tiny — a `#[repr(C)]` [`PollFd`],
+//! the event bit constants, and a safe [`poll`] wrapper that retries on
+//! `EINTR` with the remaining timeout — because everything above it
+//! (interest registration, buffers, dispatch) lives in the caller.
+//!
+//! Unix-only: the daemon's readiness loop is gated to Unix alongside it.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::{Duration, Instant};
+
+/// Data is available to read without blocking (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writing is possible without blocking (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// An error condition is pending on the descriptor (`POLLERR`, revents only).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (`POLLHUP`, revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (`POLLNVAL`, revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in the descriptor set handed to [`poll`]. Layout matches the
+/// kernel's `struct pollfd` on every Unix this workspace targets.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT` bits).
+    pub events: i16,
+    /// Returned events; the kernel may add `POLLERR`/`POLLHUP`/`POLLNVAL`.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A new entry watching `fd` for the given interest bits.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+mod sys {
+    use super::PollFd;
+    use std::os::raw::{c_int, c_ulong};
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+/// Wait until at least one descriptor in `fds` is ready, the timeout
+/// elapses (`Ok(0)`), or a real error occurs. `None` blocks indefinitely.
+///
+/// `EINTR` is retried transparently with the remaining timeout, so callers
+/// never observe signal-induced spurious returns. Each entry's `revents`
+/// is cleared before the call and filled by the kernel on return.
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    for fd in fds.iter_mut() {
+        fd.revents = 0;
+    }
+    let deadline = timeout.map(|t| Instant::now() + t);
+    loop {
+        let timeout_ms: i32 = match deadline {
+            None => -1,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                // Round up so a 1ns remainder doesn't degrade into a busy
+                // spin of zero-timeout polls before the deadline.
+                remaining
+                    .as_millis()
+                    .saturating_add(u128::from(remaining.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32
+            }
+        };
+        let rc = unsafe {
+            sys::poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(0);
+            }
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn fresh_pipe_is_writable_but_not_readable() {
+        let (a, _b) = UnixStream::pair().expect("pair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll(&mut fds, Some(Duration::from_millis(100))).expect("poll");
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0, "empty socket is writable");
+        assert_eq!(fds[0].revents & POLLIN, 0, "nothing to read yet");
+    }
+
+    #[test]
+    fn becomes_readable_after_peer_writes() {
+        let (a, mut b) = UnixStream::pair().expect("pair");
+        b.write_all(b"x").expect("write");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0, "byte pending makes it readable");
+    }
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let (a, _b) = UnixStream::pair().expect("pair");
+        let start = Instant::now();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(50))).expect("poll");
+        assert_eq!(n, 0, "no events within the timeout");
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let (a, b) = UnixStream::pair().expect("pair");
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(n, 1);
+        assert_ne!(
+            fds[0].revents & (POLLIN | POLLHUP),
+            0,
+            "closed peer surfaces as readable-EOF or hangup"
+        );
+    }
+}
